@@ -1,0 +1,817 @@
+(* Benchmark harness: regenerates every quantitative claim of the paper
+   (there are no empirical tables in the original — it is a theory paper —
+   so the "tables and figures" are the theorem bounds; see DESIGN.md §4 and
+   EXPERIMENTS.md for the paper-vs-measured record).
+
+     dune exec bench/main.exe                 -- run everything
+     dune exec bench/main.exe -- --only E1    -- one experiment
+     dune exec bench/main.exe -- --list       -- list experiments
+
+   Communication complexity is measured per the paper's definition (§3.1):
+   bits sent by all parties in an honest execution. *)
+
+let fmt_bits = Analysis.Table.fmt_bits
+
+let sim_pke seed = Crypto.Pke.make_simulated ~lwe_params:Crypto.Pke.bench_lwe_params ~seed ()
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let fit_line label ms =
+  let f, j = Analysis.Complexity.fit_with_polylog ms in
+  Printf.printf "%s: fitted exponent %.2f (x polylog^%d, r2=%.3f)\n" label
+    f.Analysis.Complexity.exponent j f.Analysis.Complexity.r2;
+  f
+
+(* ------------------------------------------------------------------ *)
+(* E1 — Theorem 1: Algorithm 3 communication Õ(n²/h)                   *)
+(* ------------------------------------------------------------------ *)
+
+let run_alg3 ~n ~h ~seed =
+  let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:2 () in
+  let config =
+    { Mpc.Mpc_abort.params; pke = sim_pke seed; circuit = Circuit.parity ~n; input_width = 1 }
+  in
+  let corruption = Netsim.Corruption.none ~n in
+  let inputs = Array.init n (fun i -> i land 1) in
+  let net = Netsim.Net.create n in
+  let rng = Util.Prng.create seed in
+  let outs = Mpc.Mpc_abort.run net rng config ~corruption ~inputs ~adv:Mpc.Mpc_abort.honest_adv in
+  assert (Array.for_all Mpc.Outcome.is_output outs);
+  net
+
+let e1 () =
+  section "E1  Theorem 1: Algorithm 3 uses O~(n^2/h) bits";
+  Printf.printf "paper: total communication O(n^2 h^-1 poly(lambda, D, log n))\n\n";
+  let t = Analysis.Table.create ~title:"sweep n at fixed ratio h = n/4 (n^2/h = 4n: expect ~linear)" ~columns:[ "n"; "h"; "bits"; "bits*h/n^2" ] in
+  let ms_n =
+    List.map
+      (fun n ->
+        let h = n / 4 in
+        let net = run_alg3 ~n ~h ~seed:n in
+        let bits = Netsim.Net.total_bits net in
+        Analysis.Table.add_row t
+          [ string_of_int n; string_of_int h; fmt_bits bits;
+            Printf.sprintf "%.0f" (float_of_int bits *. float_of_int h /. float_of_int (n * n)) ];
+        { Analysis.Complexity.x = float_of_int n; value = float_of_int bits })
+      [ 64; 128; 256; 384; 512 ]
+  in
+  Analysis.Table.print t;
+  ignore (fit_line "exponent in n at fixed h/n (paper: n^2/h = 4n here, so ~1)" ms_n);
+  print_newline ();
+  let tf = Analysis.Table.create ~title:"sweep n at fixed h = 12 (expect ~n^2 polylog)" ~columns:[ "n"; "bits" ] in
+  let ms_f =
+    List.map
+      (fun n ->
+        let net = run_alg3 ~n ~h:12 ~seed:(4000 + n) in
+        let bits = Netsim.Net.total_bits net in
+        Analysis.Table.add_row tf [ string_of_int n; fmt_bits bits ];
+        { Analysis.Complexity.x = float_of_int n; value = float_of_int bits })
+      [ 48; 96; 192; 288 ]
+  in
+  Analysis.Table.print tf;
+  ignore (fit_line "exponent in n at fixed h (paper: ~2)" ms_f);
+  print_newline ();
+  let t2 = Analysis.Table.create ~title:"sweep h (n = 256)" ~columns:[ "h"; "bits"; "bits*h" ] in
+  let ms_h =
+    List.map
+      (fun h ->
+        let net = run_alg3 ~n:256 ~h ~seed:(1000 + h) in
+        let bits = Netsim.Net.total_bits net in
+        Analysis.Table.add_row t2 [ string_of_int h; fmt_bits bits; fmt_bits (bits * h) ];
+        { Analysis.Complexity.x = float_of_int h; value = float_of_int bits })
+      [ 16; 32; 64; 128; 224 ]
+  in
+  Analysis.Table.print t2;
+  ignore (fit_line "exponent in h at fixed n (paper: ~-1; the committee-internal |C|^2 terms push toward -2 until h >> log^2 n)" ms_h)
+
+(* ------------------------------------------------------------------ *)
+(* E2 — Theorem 2: gossip MPC, Õ(n³/h) bits, locality Õ(n/h)           *)
+(* ------------------------------------------------------------------ *)
+
+let run_thm2 ~n ~h ~seed =
+  let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:2 () in
+  let config =
+    { Mpc.Local_mpc.params; pke = sim_pke seed; circuit = Circuit.parity ~n; input_width = 1 }
+  in
+  let corruption = Netsim.Corruption.none ~n in
+  let inputs = Array.init n (fun i -> i land 1) in
+  let net = Netsim.Net.create n in
+  let rng = Util.Prng.create seed in
+  let outs =
+    Mpc.Local_mpc.run_theorem2 net rng config ~corruption ~inputs
+      ~adv:Mpc.Local_mpc.honest_theorem2_adv
+  in
+  assert (Array.for_all Mpc.Outcome.is_output outs);
+  net
+
+let e2 () =
+  section "E2  Theorem 2: gossip MPC uses O~(n^3/h) bits with locality O~(n/h)";
+  Printf.printf "paper: O(n^3 h^-1 poly) bits, locality O(lambda n h^-1 log n)\n\n";
+  let t =
+    Analysis.Table.create ~title:"sweep n (h = n/4)"
+      ~columns:[ "n"; "h"; "bits"; "locality"; "(n/h)*ln n" ]
+  in
+  let ms, _locs =
+    List.split
+      (List.map
+         (fun n ->
+           let h = n / 4 in
+           let net = run_thm2 ~n ~h ~seed:n in
+           let bits = Netsim.Net.total_bits net in
+           let loc = Netsim.Net.max_locality net in
+           Analysis.Table.add_row t
+             [ string_of_int n; string_of_int h; fmt_bits bits; string_of_int loc;
+               Printf.sprintf "%.0f" (float_of_int n /. float_of_int h *. log (float_of_int n)) ];
+           ( { Analysis.Complexity.x = float_of_int n; value = float_of_int bits },
+             { Analysis.Complexity.x = float_of_int n; value = float_of_int loc } ))
+         [ 32; 64; 96; 128 ])
+  in
+  Analysis.Table.print t;
+  ignore (fit_line "bits exponent in n at fixed h/n (paper: n^3/h = 4n^2 here, so ~2)" ms);
+  print_newline ();
+  let t2 = Analysis.Table.create ~title:"sweep h (n = 96)" ~columns:[ "h"; "bits"; "locality" ] in
+  let ms_h =
+    List.map
+      (fun h ->
+        let net = run_thm2 ~n:96 ~h ~seed:(2000 + h) in
+        let bits = Netsim.Net.total_bits net in
+        Analysis.Table.add_row t2
+          [ string_of_int h; fmt_bits bits; string_of_int (Netsim.Net.max_locality net) ];
+        { Analysis.Complexity.x = float_of_int h; value = float_of_int bits })
+      [ 12; 24; 48; 80 ]
+  in
+  Analysis.Table.print t2;
+  ignore (fit_line "bits exponent in h at fixed n (paper: ~-1; locality shrinks with h too)" ms_h)
+
+(* ------------------------------------------------------------------ *)
+(* E3 — Theorem 4: Algorithm 8, Õ(n³/h^{3/2}) bits, locality Õ(n/√h)   *)
+(* ------------------------------------------------------------------ *)
+
+let run_thm4 ~n ~h ~seed =
+  let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:1 () in
+  let config =
+    { Mpc.Local_mpc.params; pke = sim_pke seed; circuit = Circuit.parity ~n; input_width = 1 }
+  in
+  let corruption = Netsim.Corruption.none ~n in
+  let inputs = Array.init n (fun i -> i land 1) in
+  let net = Netsim.Net.create n in
+  let rng = Util.Prng.create seed in
+  let outs, costs =
+    Mpc.Local_mpc.run_theorem4_metered net rng config ~corruption ~inputs
+      ~adv:Mpc.Local_mpc.honest_theorem4_adv
+  in
+  ignore outs;
+  (net, costs)
+
+let e3 () =
+  section "E3  Theorem 4: Algorithm 8 uses O~(n^3/h^1.5) bits, locality O~(n/sqrt h)";
+  Printf.printf
+    "paper: O(n^3 h^-3/2 poly) bits, locality O(lambda n h^-1/2 log n)\n\
+     note: at simulation scales alpha*log n/sqrt h is near 1, so committees\n\
+     are large and the asymptotic regime is only partially visible; the\n\
+     h-dependence and the locality gap vs the clique are the reproducible\n\
+     shape.\n\n";
+  let t =
+    Analysis.Table.create ~title:"sweep n (h = n/4)"
+      ~columns:[ "n"; "h"; "bits"; "locality"; "clique" ]
+  in
+  let ms =
+    List.map
+      (fun n ->
+        let h = n / 4 in
+        let net, _ = run_thm4 ~n ~h ~seed:n in
+        let bits = Netsim.Net.total_bits net in
+        Analysis.Table.add_row t
+          [ string_of_int n; string_of_int h; fmt_bits bits;
+            string_of_int (Netsim.Net.max_locality net); string_of_int (n - 1) ];
+        { Analysis.Complexity.x = float_of_int n; value = float_of_int bits })
+      [ 32; 64; 96; 128; 160 ]
+  in
+  Analysis.Table.print t;
+  ignore (fit_line "bits exponent in n at fixed h/n (paper: n^3/h^1.5 = 8n^1.5 here; committee saturation inflates it)" ms);
+  print_newline ();
+  let t2 =
+    Analysis.Table.create ~title:"sweep h (n = 128)"
+      ~columns:[ "h"; "bits"; "locality"; "n/sqrt(h)" ]
+  in
+  let ms_h =
+    List.map
+      (fun h ->
+        let net, _ = run_thm4 ~n:128 ~h ~seed:(3000 + h) in
+        let bits = Netsim.Net.total_bits net in
+        Analysis.Table.add_row t2
+          [ string_of_int h; fmt_bits bits; string_of_int (Netsim.Net.max_locality net);
+            Printf.sprintf "%.0f" (128.0 /. sqrt (float_of_int h)) ];
+        { Analysis.Complexity.x = float_of_int h; value = float_of_int bits })
+      [ 16; 32; 64; 100 ]
+  in
+  Analysis.Table.print t2;
+  ignore (fit_line "bits exponent in h at fixed n (paper: ~-1.5)" ms_h)
+
+(* ------------------------------------------------------------------ *)
+(* E4 — Theorem 3: lower bound via the isolation attack                *)
+(* ------------------------------------------------------------------ *)
+
+let e4 () =
+  section "E4  Theorem 3: Omega(n^2/h) bits / Omega(n/h) locality are necessary";
+  let n = 96 in
+  Printf.printf
+    "paper: any protocol where some party talks to < n/8(h-1) peers admits an\n\
+     adversary that isolates it and forces disagreement WITHOUT abort.\n\
+     strawman: d-local gossip broadcast without verification; sweep d.\n\n";
+  List.iter
+    (fun h ->
+      let threshold = Mpc.Lower_bound.threshold ~n ~h in
+      Printf.printf "n = %d, h = %d, threshold n/8(h-1) = %.1f\n" n h threshold;
+      let t =
+        Analysis.Table.create ~title:""
+          ~columns:[ "degree"; "isolation rate"; "attack success"; "analytic isolation" ]
+      in
+      List.iter
+        (fun degree ->
+          let rng = Util.Prng.create (n + h + degree) in
+          let rates =
+            Mpc.Lower_bound.measure rng ~n ~h ~degree ~trials:400 ~victim_is_sender:false
+          in
+          Analysis.Table.add_row t
+            [ string_of_int degree;
+              Analysis.Table.fmt_prob rates.Mpc.Lower_bound.isolation_rate;
+              Analysis.Table.fmt_prob rates.Mpc.Lower_bound.success_rate;
+              Analysis.Table.fmt_prob
+                (Mpc.Lower_bound.isolation_probability_bound ~n ~h ~degree:(2 * degree)) ])
+        [ 1; 2; 4; 8; 16; 32 ];
+      Analysis.Table.print t;
+      print_newline ())
+    [ 4; 12 ];
+  Printf.printf "shape check: success is constant below the threshold and dies above it.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E5 — Lemma 5: succinct equality testing                             *)
+(* ------------------------------------------------------------------ *)
+
+let e5 () =
+  section "E5  Lemma 5: equality testing with O(lambda log n) bits";
+  Printf.printf "paper: detect m1 <> m2 w.p. >= 1 - n^-lambda with O(lambda log n) bits\n\n";
+  let t =
+    Analysis.Table.create ~title:"soundness (1000 near-equal pairs each)"
+      ~columns:[ "lambda"; "false accepts"; "95% CI upper"; "paper bound n^-lambda" ]
+  in
+  List.iter
+    (fun lambda ->
+      let n = 64 in
+      let params = Mpc.Params.make ~n ~h:32 ~lambda ~alpha:2 () in
+      let rng = Util.Prng.create lambda in
+      let net = Netsim.Net.create 2 in
+      let trials = 1000 in
+      let fa = ref 0 in
+      for _ = 1 to trials do
+        let len = 64 + Util.Prng.int rng 192 in
+        let m1 = Util.Prng.bytes rng len in
+        let m2 = Bytes.copy m1 in
+        let pos = Util.Prng.int rng len in
+        Bytes.set m2 pos (Char.chr (Char.code (Bytes.get m2 pos) lxor 0x5A));
+        let f1, _ = Mpc.Equality.run net rng params ~p1:0 ~p2:1 ~m1 ~m2 in
+        if f1 then incr fa
+      done;
+      let _, hi = Util.Stats.binomial_ci ~successes:!fa ~trials in
+      Analysis.Table.add_row t
+        [ string_of_int lambda; string_of_int !fa; Analysis.Table.fmt_prob hi;
+          Printf.sprintf "%.2e" (float_of_int n ** float_of_int (-lambda)) ])
+    [ 2; 4; 8 ];
+  Analysis.Table.print t;
+  print_newline ();
+  let t2 =
+    Analysis.Table.create ~title:"communication vs message size (lambda=8, n=64)"
+      ~columns:[ "message bytes"; "bits exchanged" ]
+  in
+  let params = Mpc.Params.make ~n:64 ~h:32 ~lambda:8 ~alpha:2 () in
+  List.iter
+    (fun len ->
+      let rng = Util.Prng.create len in
+      let net = Netsim.Net.create 2 in
+      let m = Util.Prng.bytes rng len in
+      ignore (Mpc.Equality.run net rng params ~p1:0 ~p2:1 ~m1:m ~m2:(Bytes.copy m));
+      Analysis.Table.add_row t2 [ string_of_int len; string_of_int (Netsim.Net.total_bits net) ])
+    [ 100; 1_000; 10_000; 100_000; 1_000_000 ];
+  Analysis.Table.print t2;
+  Printf.printf "shape check: bits grow (sub-)logarithmically in |m|, never linearly.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E6 — Claims 12/14: committee election                               *)
+(* ------------------------------------------------------------------ *)
+
+let e6 () =
+  section "E6  Claims 12 & 14: CommitteeElect";
+  Printf.printf
+    "paper: O~(n^2/h) bits; w.h.p. >= 1 honest member, consistent views,\n\
+     |C| <= 2pn, and honest runs abort with negligible probability.\n\n";
+  let t =
+    Analysis.Table.create ~title:"20 trials per row (random corruption, honest behavior)"
+      ~columns:
+        [ "n"; "h"; "bits"; "E[|C|]"; "bound 2pn"; "honest member"; "consistent"; "aborts" ]
+  in
+  List.iter
+    (fun (n, h) ->
+      let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:2 () in
+      let rng0 = Util.Prng.create (n * h) in
+      let trials = 20 in
+      let bits_acc = ref 0 and size_acc = ref 0 in
+      let member_ok = ref 0 and consistent = ref 0 and aborts = ref 0 in
+      for seed = 1 to trials do
+        let corruption = Netsim.Corruption.random rng0 ~n ~h in
+        let net = Netsim.Net.create n in
+        let rng = Util.Prng.create seed in
+        let outs = Mpc.Committee.run net rng params ~corruption ~adv:Mpc.Committee.honest_adv in
+        bits_acc := !bits_acc + Netsim.Net.total_bits net;
+        if Mpc.Outcome.some_honest_aborted outs corruption then incr aborts;
+        match Mpc.Committee.consistent_committee outs corruption with
+        | Some c ->
+          incr consistent;
+          size_acc := !size_acc + List.length c;
+          if List.exists (Netsim.Corruption.is_honest corruption) c then incr member_ok
+        | None -> ()
+      done;
+      Analysis.Table.add_row t
+        [ string_of_int n; string_of_int h; fmt_bits (!bits_acc / trials);
+          string_of_int (!size_acc / max 1 !consistent);
+          string_of_int (Mpc.Params.committee_bound params);
+          Printf.sprintf "%d/%d" !member_ok trials;
+          Printf.sprintf "%d/%d" !consistent trials;
+          Printf.sprintf "%d/%d" !aborts trials ])
+    [ (64, 16); (128, 32); (256, 64); (512, 128) ];
+  Analysis.Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E7 — Claim 20: the sparse routing network                           *)
+(* ------------------------------------------------------------------ *)
+
+let e7 () =
+  section "E7  Claim 20: SparseNetwork degree bound and honest connectivity";
+  Printf.printf "paper: max degree O(alpha n log n / h); honest subgraph connected w.h.p.\n\n";
+  let t =
+    Analysis.Table.create ~title:"20 trials per row"
+      ~columns:[ "n"; "h"; "d"; "max degree"; "cap 3d"; "connected"; "honest aborts" ]
+  in
+  List.iter
+    (fun (n, h) ->
+      let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:3 () in
+      let rng0 = Util.Prng.create (7 * n) in
+      let trials = 20 in
+      let connected = ref 0 and aborts = ref 0 and maxdeg = ref 0 in
+      for seed = 1 to trials do
+        let corruption = Netsim.Corruption.random rng0 ~n ~h in
+        let net = Netsim.Net.create n in
+        let rng = Util.Prng.create seed in
+        let outs =
+          Mpc.Sparse_network.run net rng params ~corruption ~adv:Mpc.Sparse_network.honest_adv
+        in
+        maxdeg := max !maxdeg (Mpc.Sparse_network.max_degree outs);
+        if Mpc.Sparse_network.honest_subgraph_connected outs corruption then incr connected;
+        if
+          List.exists
+            (fun i -> Mpc.Outcome.is_abort outs.(i))
+            (Netsim.Corruption.honest_list corruption)
+        then incr aborts
+      done;
+      Analysis.Table.add_row t
+        [ string_of_int n; string_of_int h; string_of_int (Mpc.Params.sparse_degree params);
+          string_of_int !maxdeg; string_of_int (3 * Mpc.Params.sparse_degree params);
+          Printf.sprintf "%d/%d" !connected trials; Printf.sprintf "%d/%d" !aborts trials ])
+    [ (64, 16); (128, 32); (256, 64); (512, 256) ];
+  Analysis.Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E8 — Claim 23: the covering claim                                   *)
+(* ------------------------------------------------------------------ *)
+
+let e8 () =
+  section "E8  Claim 23: every party is covered by an honest committee member";
+  Printf.printf
+    "paper: with |C and H| >= alpha sqrt(h) log n / 2 honest members and\n\
+     |S_c| = n/sqrt(h), every party is in some honest member's cover w.p.\n\
+     1 - n^-Omega(alpha).  Monte Carlo over the protocol's own randomness,\n\
+     with half the parties honest.\n\n";
+  let t =
+    Analysis.Table.create ~title:"50 trials per row"
+      ~columns:[ "n"; "h"; "s = n/sqrt h"; "E[|C and H|]"; "all covered" ]
+  in
+  List.iter
+    (fun (n, h) ->
+      let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:2 () in
+      let s = Mpc.Params.cover_size params in
+      let p = Mpc.Params.local_committee_prob params in
+      let rng = Util.Prng.create (n + h) in
+      let trials = 50 in
+      let covered_all = ref 0 and honest_members_acc = ref 0 in
+      for _ = 1 to trials do
+        let committee = Util.Prng.subset_bernoulli rng ~n ~p in
+        let honest_members = List.filter (fun c -> c mod 2 = 0) committee in
+        honest_members_acc := !honest_members_acc + List.length honest_members;
+        let covered = Array.make n false in
+        List.iter
+          (fun _c ->
+            List.iter
+              (fun i -> covered.(i) <- true)
+              (Util.Prng.sample_without_replacement rng ~n ~k:s))
+          honest_members;
+        if Array.for_all (fun c -> c) covered then incr covered_all
+      done;
+      Analysis.Table.add_row t
+        [ string_of_int n; string_of_int h; string_of_int s;
+          string_of_int (!honest_members_acc / trials);
+          Printf.sprintf "%d/%d" !covered_all trials ])
+    [ (64, 32); (128, 64); (256, 128); (512, 256) ];
+  Analysis.Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E9 — §2.1 baseline: GL05 O(n³) vs fingerprinted Õ(n²)               *)
+(* ------------------------------------------------------------------ *)
+
+let e9 () =
+  section "E9  Sec 2.1: all-to-all broadcast, naive O(n^3 l) vs fingerprinted O~(n^2)";
+  Printf.printf "paper: the fingerprint optimization shaves a factor n off GL05.\n\n";
+  let t =
+    Analysis.Table.create ~title:"512-byte inputs, honest run"
+      ~columns:[ "n"; "naive bits"; "fingerprinted bits"; "speedup" ]
+  in
+  let ratios = ref [] in
+  List.iter
+    (fun n ->
+      let params = Mpc.Params.make ~n ~h:(n / 2) ~lambda:8 ~alpha:2 () in
+      let corruption = Netsim.Corruption.none ~n in
+      let participants = List.init n (fun i -> i) in
+      let input i = Crypto.Kdf.expand ~key:(Bytes.of_string (string_of_int i)) ~info:"e9" 512 in
+      let cost variant =
+        let net = Netsim.Net.create n in
+        let rng = Util.Prng.create n in
+        let outs =
+          Mpc.All_to_all.run net rng params ~variant ~participants ~input ~corruption
+            ~adv:Mpc.All_to_all.honest_adv
+        in
+        assert (List.for_all (fun (_, o) -> Mpc.Outcome.is_output o) outs);
+        Netsim.Net.total_bits net
+      in
+      let naive = cost Mpc.All_to_all.Naive in
+      let fp = cost Mpc.All_to_all.Fingerprinted in
+      ratios := (float_of_int n, float_of_int naive /. float_of_int fp) :: !ratios;
+      Analysis.Table.add_row t
+        [ string_of_int n; fmt_bits naive; fmt_bits fp;
+          Analysis.Table.fmt_ratio (float_of_int naive /. float_of_int fp) ])
+    [ 8; 16; 32; 48 ];
+  Analysis.Table.print t;
+  let slope, _, _ = Util.Stats.linear_fit !ratios in
+  Printf.printf "speedup grows linearly in n (slope %.2f per party) — the factor-n win.\n" slope
+
+(* ------------------------------------------------------------------ *)
+(* E10 — Equation (1): phase decomposition of Algorithm 8              *)
+(* ------------------------------------------------------------------ *)
+
+let e10 () =
+  section "E10  Equation (1): Algorithm 8 phase balance";
+  Printf.printf
+    "paper: cost = O(|C| d n) election + O~(|C|^2 s) interaction + O~(|C|^2)\n\
+     computation, balanced at |C| = s = O~(n/sqrt h).  We sweep the cover\n\
+     size s around the optimum n/sqrt(h) at fixed (n, h).\n\n";
+  let n = 96 and h = 25 in
+  let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:1 () in
+  let config =
+    { Mpc.Local_mpc.params; pke = sim_pke 10; circuit = Circuit.parity ~n; input_width = 1 }
+  in
+  let corruption = Netsim.Corruption.none ~n in
+  let inputs = Array.init n (fun i -> i land 1) in
+  let t =
+    Analysis.Table.create
+      ~title:
+        (Printf.sprintf "n = %d, h = %d, optimum s = n/sqrt(h) = %d" n h
+           (Mpc.Params.cover_size params))
+      ~columns:
+        [ "s"; "election"; "cover+out"; "exchange"; "equality"; "compute"; "total"; "aborts" ]
+  in
+  List.iter
+    (fun s ->
+      let net = Netsim.Net.create n in
+      let rng = Util.Prng.create (100 + s) in
+      let outs, costs =
+        Mpc.Local_mpc.run_theorem4_metered ~cover_size:s net rng config ~corruption ~inputs
+          ~adv:Mpc.Local_mpc.honest_theorem4_adv
+      in
+      let aborts =
+        Array.fold_left (fun a o -> a + if Mpc.Outcome.is_abort o then 1 else 0) 0 outs
+      in
+      Analysis.Table.add_row t
+        [ string_of_int s; fmt_bits costs.Mpc.Local_mpc.election_bits;
+          fmt_bits (costs.Mpc.Local_mpc.cover_bits + costs.Mpc.Local_mpc.output_bits);
+          fmt_bits costs.Mpc.Local_mpc.exchange_bits;
+          fmt_bits costs.Mpc.Local_mpc.equality_bits;
+          fmt_bits (costs.Mpc.Local_mpc.keygen_bits + costs.Mpc.Local_mpc.compute_bits);
+          fmt_bits (Netsim.Net.total_bits net); string_of_int aborts ])
+    [ 1; 2; 5; 19; 38; 96 ];
+  Analysis.Table.print t;
+  Printf.printf
+    "shape check: small s under-covers (aborts); large s inflates the exchange\n\
+     term |C|^2 s; the optimum sits near n/sqrt(h) with zero aborts.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E11 — round complexity                                              *)
+(* ------------------------------------------------------------------ *)
+
+let e11 () =
+  section "E11  Round complexity of the protocols (GL05 comparison)";
+  let n = 48 and h = 24 in
+  let t =
+    Analysis.Table.create
+      ~title:(Printf.sprintf "n = %d, h = %d, honest runs" n h)
+      ~columns:[ "protocol"; "rounds"; "bits"; "max locality" ]
+  in
+  let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:2 () in
+  let corruption = Netsim.Corruption.none ~n in
+  let row name f =
+    let net = Netsim.Net.create n in
+    f net;
+    Analysis.Table.add_row t
+      [ name; string_of_int (Netsim.Net.rounds net); fmt_bits (Netsim.Net.total_bits net);
+        string_of_int (Netsim.Net.max_locality net) ]
+  in
+  row "single-source broadcast (naive)" (fun net ->
+      let rng = Util.Prng.create 1 in
+      ignore
+        (Mpc.Broadcast.run net rng params ~variant:Mpc.Broadcast.Naive ~sender:0
+           ~value:(Bytes.make 64 'v') ~corruption ~adv:Mpc.Broadcast.honest_adv));
+  row "single-source broadcast (fingerprinted)" (fun net ->
+      let rng = Util.Prng.create 2 in
+      ignore
+        (Mpc.Broadcast.run net rng params ~variant:Mpc.Broadcast.Fingerprinted ~sender:0
+           ~value:(Bytes.make 64 'v') ~corruption ~adv:Mpc.Broadcast.honest_adv));
+  row "all-to-all broadcast (fingerprinted)" (fun net ->
+      let rng = Util.Prng.create 3 in
+      ignore
+        (Mpc.All_to_all.run net rng params ~variant:Mpc.All_to_all.Fingerprinted
+           ~participants:(List.init n (fun i -> i))
+           ~input:(fun i -> Bytes.make 64 (Char.chr (65 + (i mod 26))))
+           ~corruption ~adv:Mpc.All_to_all.honest_adv));
+  row "committee election (Alg 2)" (fun net ->
+      let rng = Util.Prng.create 4 in
+      ignore (Mpc.Committee.run net rng params ~corruption ~adv:Mpc.Committee.honest_adv));
+  row "MPC with abort (Alg 3, Thm 1)" (fun net ->
+      let rng = Util.Prng.create 5 in
+      let config =
+        { Mpc.Mpc_abort.params; pke = sim_pke 11; circuit = Circuit.parity ~n; input_width = 1 }
+      in
+      ignore
+        (Mpc.Mpc_abort.run net rng config ~corruption ~inputs:(Array.make n 0)
+           ~adv:Mpc.Mpc_abort.honest_adv));
+  row "gossip MPC (Thm 2)" (fun net ->
+      let rng = Util.Prng.create 6 in
+      let config =
+        { Mpc.Local_mpc.params; pke = sim_pke 12; circuit = Circuit.parity ~n; input_width = 1 }
+      in
+      ignore
+        (Mpc.Local_mpc.run_theorem2 net rng config ~corruption ~inputs:(Array.make n 0)
+           ~adv:Mpc.Local_mpc.honest_theorem2_adv));
+  row "local MPC (Alg 8, Thm 4)" (fun net ->
+      let rng = Util.Prng.create 7 in
+      let config =
+        { Mpc.Local_mpc.params; pke = sim_pke 13; circuit = Circuit.parity ~n; input_width = 1 }
+      in
+      ignore
+        (Mpc.Local_mpc.run_theorem4 net rng config ~corruption ~inputs:(Array.make n 0)
+           ~adv:Mpc.Local_mpc.honest_theorem4_adv));
+  Analysis.Table.print t;
+  Printf.printf "constant round counts, as in GL05 (locality protocols add gossip rounds).\n"
+
+(* ------------------------------------------------------------------ *)
+(* E12 — crypto substrate microbenchmarks (bechamel)                   *)
+(* ------------------------------------------------------------------ *)
+
+let e12 () =
+  section "E12  Crypto substrate microbenchmarks (Bechamel, ns/op)";
+  let open Bechamel in
+  let open Toolkit in
+  let rng = Util.Prng.create 99 in
+  let data64 = Util.Prng.bytes rng 64 in
+  let data4k = Util.Prng.bytes rng 4096 in
+  let key = Util.Prng.bytes rng 32 in
+  let lwe_pk, lwe_sk = Crypto.Lwe.keygen rng in
+  let ct1 = Crypto.Lwe.encrypt_bytes rng lwe_pk (Bytes.make 1 'x') in
+  let prime = Field.Primality.random_prime_bits rng ~bits:29 in
+  let ske_key = Crypto.Ske.keygen rng in
+  let ske_ct = Crypto.Ske.encrypt rng ske_key data64 in
+  let lamport_sk, lamport_pk = Crypto.Lamport.keygen ~seed:key in
+  let lamport_sig = Crypto.Lamport.sign lamport_sk data64 in
+  let shamir_rng = Util.Prng.copy rng in
+  let tests =
+    [
+      Test.make ~name:"sha256-64B" (Staged.stage (fun () -> Crypto.Sha256.digest data64));
+      Test.make ~name:"sha256-4KB" (Staged.stage (fun () -> Crypto.Sha256.digest data4k));
+      Test.make ~name:"hmac-64B" (Staged.stage (fun () -> Crypto.Hmac.mac ~key data64));
+      Test.make ~name:"regev-encrypt-1B"
+        (Staged.stage (fun () -> Crypto.Lwe.encrypt_bytes rng lwe_pk (Bytes.make 1 'x')));
+      Test.make ~name:"regev-decrypt-1B"
+        (Staged.stage (fun () -> Crypto.Lwe.decrypt_bytes lwe_sk ct1));
+      Test.make ~name:"fingerprint-residue-4KB"
+        (Staged.stage (fun () -> Crypto.Fingerprint.residue data4k prime));
+      Test.make ~name:"shamir-share-3of5-64B"
+        (Staged.stage (fun () ->
+             Crypto.Secret_sharing.share_bytes_shamir shamir_rng ~threshold:3 ~parties:5 data64));
+      Test.make ~name:"ske-encrypt-64B"
+        (Staged.stage (fun () -> Crypto.Ske.encrypt rng ske_key data64));
+      Test.make ~name:"ske-decrypt-64B"
+        (Staged.stage (fun () -> Crypto.Ske.decrypt ske_key ske_ct));
+      Test.make ~name:"lamport-verify-64B"
+        (Staged.stage (fun () -> Crypto.Lamport.verify lamport_pk data64 lamport_sig));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"crypto" ~fmt:"%s/%s" tests in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~stabilize:false ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let t = Analysis.Table.create ~title:"" ~columns:[ "primitive"; "ns/op" ] in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  List.iter
+    (fun (name, r) ->
+      let est =
+        match Analyze.OLS.estimates r with
+        | Some (e :: _) -> e
+        | Some [] | None -> nan
+      in
+      Analysis.Table.add_row t [ name; Printf.sprintf "%.0f" est ])
+    (List.sort compare rows);
+  Analysis.Table.print t
+
+
+(* ------------------------------------------------------------------ *)
+(* E13 — baseline crossover: GMW vs Algorithm 3                        *)
+(* ------------------------------------------------------------------ *)
+
+let e13 () =
+  section "E13  Baseline: generic GMW vs the committee protocol (Algorithm 3)";
+  Printf.printf
+    "the intro's motivation: generic point-to-point MPC pays Theta(n^2) per\n\
+     multiplicative gate (every Beaver opening is an all-to-all exchange),\n\
+     while Algorithm 3 delegates to a committee and pays O~(n^2/h) total.\n\
+     f = majority(n), so the gate count itself grows with n.\n\n";
+  let t =
+    Analysis.Table.create ~title:"honest runs, h = n/4 for Alg 3"
+      ~columns:[ "n"; "AND gates"; "GMW bits"; "Alg 3 bits"; "winner" ]
+  in
+  List.iter
+    (fun n ->
+      let circuit = Circuit.majority ~n in
+      let inputs = Array.init n (fun i -> i land 1) in
+      let corruption = Netsim.Corruption.none ~n in
+      let gmw_bits =
+        let net = Netsim.Net.create n in
+        let rng = Util.Prng.create n in
+        ignore
+          (Mpc.Gmw.run net rng ~circuit ~input_width:1 ~inputs ~corruption
+             ~adv:Mpc.Gmw.honest_adv);
+        Netsim.Net.total_bits net
+      in
+      let alg3_bits =
+        let params = Mpc.Params.make ~n ~h:(n / 4) ~lambda:8 ~alpha:2 () in
+        let config =
+          { Mpc.Mpc_abort.params; pke = sim_pke n; circuit; input_width = 1 }
+        in
+        let net = Netsim.Net.create n in
+        let rng = Util.Prng.create (n + 1) in
+        ignore
+          (Mpc.Mpc_abort.run net rng config ~corruption ~inputs ~adv:Mpc.Mpc_abort.honest_adv);
+        Netsim.Net.total_bits net
+      in
+      Analysis.Table.add_row t
+        [ string_of_int n; string_of_int (Mpc.Gmw.triples_used ~circuit);
+          fmt_bits gmw_bits; fmt_bits alg3_bits;
+          (if gmw_bits < alg3_bits then
+             Printf.sprintf "GMW %.1fx" (float_of_int alg3_bits /. float_of_int gmw_bits)
+           else Printf.sprintf "Alg3 %.1fx" (float_of_int gmw_bits /. float_of_int alg3_bits)) ])
+    [ 16; 32; 64; 128; 256; 384 ];
+  Analysis.Table.print t;
+  Printf.printf
+    "shape check: GMW wins at small n (tiny constants), Algorithm 3 overtakes\n\
+     as n grows — the crossover the paper's committee delegation buys.\n\
+     GMW also gives no abort guarantee against active adversaries (see\n\
+     test_gmw's share-flip attack), unlike every protocol in this library.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E14 — Remark 10: poly(lambda, D) vs poly(lambda, C)                 *)
+(* ------------------------------------------------------------------ *)
+
+let e14 () =
+  section "E14  Remark 10: LWE/depth-based vs OT/size-based instantiation";
+  Printf.printf
+    "paper: replacing the LWE-based Theorem 9 machinery by two-round OT +\n\
+     garbled circuits weakens the assumption but the broadcast payload\n\
+     grows with circuit SIZE C instead of depth D.  Left: the Theorem 9\n\
+     round-1 payload under both polynomials.  Right: a concrete n = 2 data\n\
+     point — our real Yao+LWE-OT protocol vs Algorithm 3 at n = 2.\n\n";
+  let t =
+    Analysis.Table.create ~title:"Theorem 9 round-1 bytes per party (lambda = 8, 8-bit inputs)"
+      ~columns:[ "f"; "D"; "C"; "poly(l,D) bytes"; "poly(l,C) bytes"; "ratio" ]
+  in
+  List.iter
+    (fun (name, circuit) ->
+      let d = Circuit.depth circuit and c = Circuit.size circuit in
+      let by_depth = Mpc.Cost_model.round1_bytes ~lambda:8 ~depth:d ~input_bits:8 in
+      let by_size = Mpc.Cost_model.round1_bytes ~lambda:8 ~depth:c ~input_bits:8 in
+      Analysis.Table.add_row t
+        [ name; string_of_int d; string_of_int c; string_of_int by_depth;
+          string_of_int by_size;
+          Analysis.Table.fmt_ratio (float_of_int by_size /. float_of_int by_depth) ])
+    [
+      ("parity(64)", Circuit.parity ~n:64);
+      ("majority(64)", Circuit.majority ~n:64);
+      ("sum(16, w=8)", Circuit.sum ~n:16 ~width:8);
+      ("auction(16, w=8)", Circuit.second_price_auction ~n:16 ~width:8);
+    ];
+  Analysis.Table.print t;
+  print_newline ();
+  let t2 =
+    Analysis.Table.create ~title:"concrete n = 2: sum of two w-bit words, measured bits"
+      ~columns:[ "w"; "Yao + LWE-OT (Remark 10)"; "Alg 3 (n=2, h=1)" ]
+  in
+  List.iter
+    (fun width ->
+      let circuit = Circuit.sum ~n:2 ~width in
+      let rng = Util.Prng.create width in
+      let yao_bits =
+        let net = Netsim.Net.create 2 in
+        (match Mpc.Two_party.run net rng ~circuit ~input_width:width ~x0:1 ~x1:2 with
+        | Mpc.Outcome.Output _ -> ()
+        | Mpc.Outcome.Abort r -> failwith (Mpc.Outcome.reason_to_string r));
+        Netsim.Net.total_bits net
+      in
+      let alg3_bits =
+        let params = Mpc.Params.make ~n:2 ~h:1 ~lambda:8 ~alpha:2 () in
+        let config =
+          { Mpc.Mpc_abort.params; pke = (module Crypto.Pke.Regev : Crypto.Pke.S); circuit;
+            input_width = width }
+        in
+        let net = Netsim.Net.create 2 in
+        let corruption = Netsim.Corruption.none ~n:2 in
+        ignore
+          (Mpc.Mpc_abort.run net rng config ~corruption ~inputs:[| 1; 2 |]
+             ~adv:Mpc.Mpc_abort.honest_adv);
+        Netsim.Net.total_bits net
+      in
+      Analysis.Table.add_row t2
+        [ string_of_int width; fmt_bits yao_bits; fmt_bits alg3_bits ])
+    [ 2; 4; 8 ];
+  Analysis.Table.print t2;
+  Printf.printf
+    "shape check: the size/depth gap is mild for shallow circuits and grows\n\
+     with C/D — Remark 10's trade is visible and quantified.\n"
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("E1", "Theorem 1: Alg 3 communication O~(n^2/h)", e1);
+    ("E2", "Theorem 2: gossip MPC O~(n^3/h), locality O~(n/h)", e2);
+    ("E3", "Theorem 4: Alg 8 O~(n^3/h^1.5), locality O~(n/sqrt h)", e3);
+    ("E4", "Theorem 3: lower bound isolation attack", e4);
+    ("E5", "Lemma 5: succinct equality testing", e5);
+    ("E6", "Claims 12/14: committee election", e6);
+    ("E7", "Claim 20: sparse network", e7);
+    ("E8", "Claim 23: covering", e8);
+    ("E9", "Sec 2.1: naive vs fingerprinted all-to-all", e9);
+    ("E10", "Equation (1): Alg 8 phase balance", e10);
+    ("E11", "round complexity", e11);
+    ("E12", "crypto microbenchmarks", e12);
+    ("E13", "baseline: GMW vs Algorithm 3 crossover", e13);
+    ("E14", "Remark 10: depth-based vs size-based cost", e14);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv in
+  if List.mem "--list" args then
+    List.iter (fun (id, desc, _) -> Printf.printf "%-4s %s\n" id desc) experiments
+  else begin
+    let only =
+      let rec find = function
+        | "--only" :: id :: _ -> Some id
+        | _ :: rest -> find rest
+        | [] -> None
+      in
+      find args
+    in
+    let selected =
+      match only with
+      | None -> experiments
+      | Some id -> List.filter (fun (eid, _, _) -> eid = id) experiments
+    in
+    if selected = [] then begin
+      Printf.eprintf "unknown experiment; use --list\n";
+      exit 1
+    end;
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun (_, _, f) ->
+        let s = Unix.gettimeofday () in
+        f ();
+        Printf.printf "[%.1fs]\n%!" (Unix.gettimeofday () -. s))
+      selected;
+    Printf.printf "\nall experiments done in %.1fs\n" (Unix.gettimeofday () -. t0)
+  end

@@ -1,0 +1,1 @@
+bin/gmwtest.ml: Circuit Mpc Netsim Printf Util

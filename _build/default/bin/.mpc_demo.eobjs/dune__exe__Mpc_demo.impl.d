@@ -1,0 +1,1 @@
+bin/mpc_demo.ml: Analysis Array Circuit Crypto List Mpc Netsim Printf Sys Util

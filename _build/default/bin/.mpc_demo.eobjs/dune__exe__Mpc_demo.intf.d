@@ -1,0 +1,1 @@
+bin/mpc_demo.mli:

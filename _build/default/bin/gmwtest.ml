@@ -1,0 +1,20 @@
+let () =
+  let rng = Util.Prng.create 5 in
+  let ok = ref 0 in
+  for seed = 1 to 10 do
+    ignore seed;
+    let width = 4 in
+    let circuit = Circuit.sum ~n:2 ~width in
+    let net = Netsim.Net.create 2 in
+    let x0 = Util.Prng.int rng 16 and x1 = Util.Prng.int rng 16 in
+    match Mpc.Two_party.run net rng ~circuit ~input_width:width ~x0 ~x1 with
+    | Mpc.Outcome.Output (g, e) ->
+      let expect = x0 + x1 in
+      let got_g = Mpc.Bitpack.bytes_to_int g ~width:(width+1) in
+      let got_e = Mpc.Bitpack.bytes_to_int e ~width:(width+1) in
+      if got_g = expect && got_e = expect then incr ok
+      else Printf.printf "wrong: %d+%d -> g=%d e=%d\n" x0 x1 got_g got_e;
+      if seed = 1 then Printf.printf "2pc bits: %d\n" (Netsim.Net.total_bits net)
+    | Mpc.Outcome.Abort r -> Printf.printf "abort: %s\n" (Mpc.Outcome.reason_to_string r)
+  done;
+  Printf.printf "two_party: %d/10\n" !ok

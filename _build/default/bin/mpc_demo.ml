@@ -1,0 +1,89 @@
+(* Command-line driver: run any of the paper's MPC protocols on a chosen
+   functionality and print the cost report.
+
+     dune exec bin/mpc_demo.exe -- --protocol thm1 --n 32 --h 16 --f majority
+     dune exec bin/mpc_demo.exe -- --help *)
+
+type protocol = Thm1 | Thm2 | Thm4
+
+let protocols = [ ("thm1", Thm1); ("thm2", Thm2); ("thm4", Thm4) ]
+
+let usage () =
+  prerr_endline
+    "usage: mpc_demo [--protocol thm1|thm2|thm4] [--n N] [--h H] [--f majority|parity|sum|max]\n\
+    \                [--width W] [--seed S] [--corrupt] [--real-lwe]";
+  exit 1
+
+let () =
+  let n = ref 32 and h = ref 16 and seed = ref 1 and width = ref 1 in
+  let protocol = ref Thm1 and func = ref "majority" in
+  let corrupt = ref false and real_lwe = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--protocol" :: p :: rest ->
+      (match List.assoc_opt p protocols with Some v -> protocol := v | None -> usage ());
+      parse rest
+    | "--n" :: v :: rest -> n := int_of_string v; parse rest
+    | "--h" :: v :: rest -> h := int_of_string v; parse rest
+    | "--seed" :: v :: rest -> seed := int_of_string v; parse rest
+    | "--width" :: v :: rest -> width := int_of_string v; parse rest
+    | "--f" :: v :: rest -> func := v; parse rest
+    | "--corrupt" :: rest -> corrupt := true; parse rest
+    | "--real-lwe" :: rest -> real_lwe := true; parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let n = !n and h = !h in
+  let circuit, width =
+    match !func with
+    | "majority" -> (Circuit.majority ~n, 1)
+    | "parity" -> (Circuit.parity ~n, 1)
+    | "sum" -> (Circuit.sum ~n ~width:!width, !width)
+    | "max" -> (Circuit.maximum ~n ~width:!width, !width)
+    | _ -> usage ()
+  in
+  let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:2 () in
+  let pke =
+    if !real_lwe then (module Crypto.Pke.Regev : Crypto.Pke.S)
+    else Crypto.Pke.make_simulated ~lwe_params:Crypto.Pke.bench_lwe_params ~seed:!seed ()
+  in
+  let rng = Util.Prng.create !seed in
+  let inputs = Array.init n (fun _ -> Util.Prng.int rng (1 lsl width)) in
+  let corruption =
+    if !corrupt then Netsim.Corruption.random rng ~n ~h else Netsim.Corruption.none ~n
+  in
+  let net = Netsim.Net.create n in
+  Printf.printf "protocol=%s n=%d h=%d f=%s depth=%d corrupted=%d pke=%s\n%!"
+    (fst (List.find (fun (_, v) -> v = !protocol) protocols))
+    n h !func (Circuit.depth circuit)
+    (Netsim.Corruption.num_corrupted corruption)
+    (let module P = (val pke : Crypto.Pke.S) in P.name);
+  let outs =
+    match !protocol with
+    | Thm1 ->
+      let config = { Mpc.Mpc_abort.params; pke; circuit; input_width = width } in
+      Mpc.Mpc_abort.run net rng config ~corruption ~inputs ~adv:Mpc.Mpc_abort.honest_adv
+    | Thm2 ->
+      let config = { Mpc.Local_mpc.params; pke; circuit; input_width = width } in
+      Mpc.Local_mpc.run_theorem2 net rng config ~corruption ~inputs
+        ~adv:Mpc.Local_mpc.honest_theorem2_adv
+    | Thm4 ->
+      let config = { Mpc.Local_mpc.params; pke; circuit; input_width = width } in
+      Mpc.Local_mpc.run_theorem4 net rng config ~corruption ~inputs
+        ~adv:Mpc.Local_mpc.honest_theorem4_adv
+  in
+  let ok = ref 0 and aborts = ref 0 in
+  Array.iteri
+    (fun i o ->
+      if Netsim.Corruption.is_honest corruption i then
+        match o with
+        | Mpc.Outcome.Output _ -> incr ok
+        | Mpc.Outcome.Abort r ->
+          incr aborts;
+          if !aborts <= 3 then
+            Printf.printf "  party %d aborted: %s\n" i (Mpc.Outcome.reason_to_string r))
+    outs;
+  Printf.printf "honest outputs: %d, honest aborts: %d\n" !ok !aborts;
+  Printf.printf "communication: %s in %d rounds; max locality %d (clique %d)\n"
+    (Analysis.Table.fmt_bits (Netsim.Net.total_bits net))
+    (Netsim.Net.rounds net) (Netsim.Net.max_locality net) (n - 1)

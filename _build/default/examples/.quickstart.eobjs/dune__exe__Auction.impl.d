@@ -1,0 +1,1 @@
+examples/auction.ml: Analysis Array Builder Bytes Char Circuit Crypto List Mpc Netsim Printf Util

@@ -1,0 +1,1 @@
+examples/gossip_demo.ml: Analysis Array Bytes List Mpc Netsim Printf Util

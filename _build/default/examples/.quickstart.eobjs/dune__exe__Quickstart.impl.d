@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analysis Array Bytes Circuit Crypto Mpc Netsim Printf Util

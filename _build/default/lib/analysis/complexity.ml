@@ -1,0 +1,35 @@
+type measurement = { x : float; value : float }
+type fit = { exponent : float; constant : float; r2 : float }
+
+let sweep ~xs ~runs f =
+  List.map
+    (fun x ->
+      let values = List.init runs (fun rep -> f ~x ~rep) in
+      { x = float_of_int x; value = Util.Stats.mean values })
+    xs
+
+let fit ms =
+  let pts = List.map (fun m -> (m.x, m.value)) ms in
+  let exponent, constant, r2 = Util.Stats.loglog_exponent pts in
+  { exponent; constant; r2 }
+
+let fit_with_polylog ms =
+  let candidates =
+    List.map
+      (fun j ->
+        let adjusted =
+          List.map
+            (fun m ->
+              let logf = log (max 2.0 m.x) ** float_of_int j in
+              { m with value = m.value /. logf })
+            ms
+        in
+        (fit adjusted, j))
+      [ 0; 1; 2; 3 ]
+  in
+  List.fold_left
+    (fun ((best_fit, _) as best) ((f, _) as cand) ->
+      if f.r2 > best_fit.r2 then cand else best)
+    (List.hd candidates) (List.tl candidates)
+
+let check_exponent ~expected ~tolerance f = abs_float (f.exponent -. expected) <= tolerance

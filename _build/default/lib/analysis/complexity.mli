@@ -1,0 +1,36 @@
+(** Scaling-law measurement: run a metered experiment over a parameter sweep
+    and fit the exponent, to check the paper's asymptotic claims in the way
+    an empirical evaluation would (slopes on a log-log plot).
+
+    For example, Theorem 1 claims total communication [Õ(n²/h)]: we sweep
+    [n] at fixed [h/n] and expect a fitted exponent near 2 in [n] (the
+    polylog factors push it slightly above), and sweep [h] at fixed [n]
+    expecting an exponent near [-1]. *)
+
+type measurement = {
+  x : float;            (** the swept parameter (n, h, d, ...) *)
+  value : float;        (** measured cost (bits, locality, ...) *)
+}
+
+type fit = {
+  exponent : float;     (** fitted k in value ≈ c·x^k *)
+  constant : float;
+  r2 : float;           (** goodness of fit in log-log space *)
+}
+
+(** [sweep ~xs ~runs f] runs [f ~x ~rep] for every x and repetition and
+    averages the measured value per x. *)
+val sweep : xs:int list -> runs:int -> (x:int -> rep:int -> float) -> measurement list
+
+(** [fit ms] — least squares in log-log space. Requires ≥ 2 points with
+    positive coordinates. *)
+val fit : measurement list -> fit
+
+(** [fit_with_polylog ms] — fits [value ≈ c·x^k·(log x)^j] by first dividing
+    out the best integer [j ∈ 0..3]; returns the fit with highest r².
+    Useful because the paper's bounds are all [Õ(·)]. *)
+val fit_with_polylog : measurement list -> fit * int
+
+(** [check_exponent ~expected ~tolerance fit] — true when the fitted
+    exponent is within [tolerance] of [expected]. *)
+val check_exponent : expected:float -> tolerance:float -> fit -> bool

@@ -1,0 +1,59 @@
+type t = { title : string; columns : string list; mutable rows : string list list }
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: %d cells for %d columns" (List.length cells)
+         (List.length t.columns));
+  t.rows <- cells :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let buf = Buffer.create 256 in
+  let pad i s =
+    let extra = widths.(i) - String.length s in
+    (* Right-align numbers-ish cells, left-align the first column. *)
+    if i = 0 then s ^ String.make extra ' ' else String.make extra ' ' ^ s
+  in
+  let line cells =
+    Buffer.add_string buf "  ";
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad i cell))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  let total_width = Array.fold_left ( + ) 0 widths + (2 * (ncols - 1)) + 2 in
+  Buffer.add_string buf (String.make total_width '-');
+  Buffer.add_char buf '\n';
+  line t.columns;
+  Buffer.add_string buf (String.make total_width '-');
+  Buffer.add_char buf '\n';
+  List.iter line rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let fmt_int v = string_of_int v
+
+let fmt_bits b =
+  let fb = float_of_int b in
+  if fb >= 1e9 then Printf.sprintf "%.2f Gb" (fb /. 1e9)
+  else if fb >= 1e6 then Printf.sprintf "%.2f Mb" (fb /. 1e6)
+  else if fb >= 1e3 then Printf.sprintf "%.2f Kb" (fb /. 1e3)
+  else Printf.sprintf "%d b" b
+
+let fmt_float ?(decimals = 2) v = Printf.sprintf "%.*f" decimals v
+let fmt_ratio v = Printf.sprintf "%.2fx" v
+let fmt_prob p = Printf.sprintf "%.4f" p

@@ -1,0 +1,33 @@
+(** Aligned ASCII tables for the benchmark output.
+
+    Each experiment in [bench/main.ml] prints one table per paper claim,
+    styled like the rows a systems paper would report. *)
+
+type t
+
+(** [create ~title ~columns] — column headers fix the arity of every row. *)
+val create : title:string -> columns:string list -> t
+
+(** [add_row t cells] — [Invalid_argument] on arity mismatch. *)
+val add_row : t -> string list -> unit
+
+(** [render t] — the full table as a string (title, rule, header, rows). *)
+val render : t -> string
+
+(** [print t] — [render] to stdout. *)
+val print : t -> unit
+
+(** {1 Cell formatting helpers} *)
+
+val fmt_int : int -> string
+
+(** [fmt_bits b] — human-scaled, e.g. ["1.24 Mb"]. *)
+val fmt_bits : int -> string
+
+val fmt_float : ?decimals:int -> float -> string
+
+(** [fmt_ratio x] — e.g. ["3.1x"]. *)
+val fmt_ratio : float -> string
+
+(** [fmt_prob p] — probability with 4 decimals. *)
+val fmt_prob : float -> string

@@ -1,0 +1,320 @@
+type gate =
+  | Input of int
+  | Const of bool
+  | Not of gate
+  | And of gate * gate
+  | Or of gate * gate
+  | Xor of gate * gate
+
+type t = { num_inputs : int; outputs : gate list }
+
+(* Note: every traversal over gates must be memoized on physical identity —
+   circuits are DAGs with heavy sharing, and a plain recursion unfolds them
+   into exponentially large trees. *)
+
+(* Memoized traversal over physical node identity: shared sub-DAGs are
+   visited once, so eval/size/depth are linear in circuit size. *)
+module Memo = struct
+  type 'a t = (Obj.t * 'a) list ref array
+
+  let buckets = 1024
+  let create () : 'a t = Array.init buckets (fun _ -> ref [])
+
+  let slot tbl (g : gate) =
+    let r = Obj.repr g in
+    (* Hash the physical address via the generic hash of the boxed value's
+       tag+fields identity; collisions only cost list scans with ==. *)
+    tbl.((Hashtbl.hash g) land (buckets - 1)), r
+
+  let find tbl g =
+    let bucket, r = slot tbl g in
+    let rec scan = function
+      | [] -> None
+      | (r', v) :: _ when r' == r -> Some v
+      | _ :: rest -> scan rest
+    in
+    scan !bucket
+
+  let add tbl g v =
+    let bucket, r = slot tbl g in
+    bucket := (r, v) :: !bucket
+end
+
+let max_input outputs =
+  let memo = Memo.create () in
+  let best = ref (-1) in
+  let rec go g =
+    match Memo.find memo g with
+    | Some () -> ()
+    | None ->
+      Memo.add memo g ();
+      (match g with
+      | Input i -> if i > !best then best := i
+      | Const _ -> ()
+      | Not a -> go a
+      | And (a, b) | Or (a, b) | Xor (a, b) ->
+        go a;
+        go b)
+  in
+  List.iter go outputs;
+  !best
+
+let make ~num_inputs ~outputs =
+  let needed = max_input outputs in
+  if needed >= num_inputs then
+    invalid_arg
+      (Printf.sprintf "Circuit.make: input wire %d out of %d declared" needed num_inputs);
+  { num_inputs; outputs }
+
+let eval t inputs =
+  if Array.length inputs <> t.num_inputs then
+    invalid_arg
+      (Printf.sprintf "Circuit.eval: expected %d inputs, got %d" t.num_inputs
+         (Array.length inputs));
+  let memo = Memo.create () in
+  let rec go g =
+    match Memo.find memo g with
+    | Some v -> v
+    | None ->
+      let v =
+        match g with
+        | Input i -> inputs.(i)
+        | Const b -> b
+        | Not a -> not (go a)
+        | And (a, b) -> go a && go b
+        | Or (a, b) -> go a || go b
+        | Xor (a, b) -> go a <> go b
+      in
+      Memo.add memo g v;
+      v
+  in
+  Array.of_list (List.map go t.outputs)
+
+let depth t =
+  let memo = Memo.create () in
+  let rec go g =
+    match Memo.find memo g with
+    | Some v -> v
+    | None ->
+      let v =
+        match g with
+        | Input _ | Const _ -> 0
+        | Not a -> go a
+        | And (a, b) | Or (a, b) | Xor (a, b) -> 1 + max (go a) (go b)
+      in
+      Memo.add memo g v;
+      v
+  in
+  List.fold_left (fun acc g -> max acc (go g)) 0 t.outputs
+
+let size t =
+  let memo = Memo.create () in
+  let count = ref 0 in
+  let rec go g =
+    match Memo.find memo g with
+    | Some () -> ()
+    | None ->
+      Memo.add memo g ();
+      incr count;
+      (match g with
+      | Input _ | Const _ -> ()
+      | Not a -> go a
+      | And (a, b) | Or (a, b) | Xor (a, b) ->
+        go a;
+        go b)
+  in
+  List.iter go t.outputs;
+  !count
+
+let num_outputs t = List.length t.outputs
+
+type word = gate list
+
+module Builder = struct
+  let input_word ~offset ~width = List.init width (fun i -> Input (offset + i))
+
+  let const_word ~width v =
+    List.init width (fun i -> Const ((v lsr i) land 1 = 1))
+
+  let check_same_width a b name =
+    if List.length a <> List.length b then
+      invalid_arg (Printf.sprintf "Circuit.Builder.%s: width mismatch" name)
+
+  let xor_word a b =
+    check_same_width a b "xor_word";
+    List.map2 (fun x y -> Xor (x, y)) a b
+
+  let and_bit bit w = List.map (fun x -> And (bit, x)) w
+
+  let full_adder a b cin =
+    let s = Xor (Xor (a, b), cin) in
+    let cout = Or (And (a, b), And (cin, Xor (a, b))) in
+    (s, cout)
+
+  let add_word a b =
+    check_same_width a b "add_word";
+    let rec go a b cin acc =
+      match (a, b) with
+      | [], [] -> List.rev (cin :: acc)
+      | x :: xs, y :: ys ->
+        let s, cout = full_adder x y cin in
+        go xs ys cout (s :: acc)
+      | _ -> assert false
+    in
+    go a b (Const false) []
+
+  let add_word_mod a b =
+    let s = add_word a b in
+    List.filteri (fun i _ -> i < List.length a) s
+
+  (* a < b: scan from least significant; lt = (¬aᵢ ∧ bᵢ) ∨ ((aᵢ = bᵢ) ∧ lt). *)
+  let lt_word a b =
+    check_same_width a b "lt_word";
+    List.fold_left2
+      (fun lt x y -> Or (And (Not x, y), And (Not (Xor (x, y)), lt)))
+      (Const false) a b
+
+  let le_word a b = Not (lt_word b a)
+
+  let eq_word a b =
+    check_same_width a b "eq_word";
+    match List.map2 (fun x y -> Not (Xor (x, y))) a b with
+    | [] -> Const true
+    | bits ->
+      let rec tree = function
+        | [ g ] -> g
+        | gs ->
+          let rec halve = function
+            | x :: y :: rest -> And (x, y) :: halve rest
+            | [ x ] -> [ x ]
+            | [] -> []
+          in
+          tree (halve gs)
+      in
+      tree bits
+
+  let mux bit a b =
+    check_same_width a b "mux";
+    List.map2 (fun x y -> Or (And (bit, x), And (Not bit, y))) a b
+
+  let rec tree_fold op = function
+    | [] -> invalid_arg "Circuit.Builder: empty tree"
+    | [ g ] -> g
+    | gs ->
+      let rec halve = function
+        | x :: y :: rest -> op x y :: halve rest
+        | [ x ] -> [ x ]
+        | [] -> []
+      in
+      tree_fold op (halve gs)
+
+  let and_tree gs = tree_fold (fun a b -> And (a, b)) gs
+  let or_tree gs = tree_fold (fun a b -> Or (a, b)) gs
+  let xor_tree gs = tree_fold (fun a b -> Xor (a, b)) gs
+
+  (* Balanced-tree sum with width growth: summing 2^k words of width w gives
+     width w + k. *)
+  let sum_words ws =
+    match ws with
+    | [] -> invalid_arg "Circuit.Builder.sum_words: empty"
+    | _ ->
+      let pad_to width w =
+        w @ List.init (max 0 (width - List.length w)) (fun _ -> Const false)
+      in
+      let rec level = function
+        | [] -> []
+        | [ w ] -> [ w ]
+        | a :: b :: rest ->
+          let width = max (List.length a) (List.length b) in
+          add_word (pad_to width a) (pad_to width b) :: level rest
+      in
+      let rec go = function
+        | [ w ] -> w
+        | ws -> go (level ws)
+      in
+      go ws
+end
+
+let majority ~n =
+  if n <= 0 then invalid_arg "Circuit.majority";
+  let bits = List.init n (fun i -> [ Input i ]) in
+  let total = Builder.sum_words bits in
+  let width = List.length total in
+  (* more than n/2 ones: total >= floor(n/2) + 1 *)
+  let threshold = Builder.const_word ~width ((n / 2) + 1) in
+  make ~num_inputs:n ~outputs:[ Builder.le_word threshold total ]
+
+let parity ~n =
+  if n <= 0 then invalid_arg "Circuit.parity";
+  make ~num_inputs:n ~outputs:[ Builder.xor_tree (List.init n (fun i -> Input i)) ]
+
+let sum ~n ~width =
+  if n <= 0 || width <= 0 then invalid_arg "Circuit.sum";
+  let words = List.init n (fun i -> Builder.input_word ~offset:(i * width) ~width) in
+  make ~num_inputs:(n * width) ~outputs:(Builder.sum_words words)
+
+let maximum ~n ~width =
+  if n <= 0 || width <= 0 then invalid_arg "Circuit.maximum";
+  let words = List.init n (fun i -> Builder.input_word ~offset:(i * width) ~width) in
+  let best =
+    List.fold_left
+      (fun best w -> Builder.mux (Builder.lt_word best w) w best)
+      (List.hd words) (List.tl words)
+  in
+  make ~num_inputs:(n * width) ~outputs:best
+
+let index_bits n = max 1 (int_of_float (ceil (log (float_of_int (max 2 n)) /. log 2.0)))
+
+let second_price_auction ~n ~width =
+  if n < 2 || width <= 0 then invalid_arg "Circuit.second_price_auction";
+  let words = List.init n (fun i -> Builder.input_word ~offset:(i * width) ~width) in
+  let iw = index_bits n in
+  (* Tournament keeping (best, best_index, second). *)
+  let step (best, bidx, second) (w, widx) =
+    let w_wins = Builder.lt_word best w in
+    let new_best = Builder.mux w_wins w best in
+    let new_bidx = Builder.mux w_wins widx bidx in
+    (* The loser of this comparison competes for second place. *)
+    let loser = Builder.mux w_wins best w in
+    let loser_beats_second = Builder.lt_word second loser in
+    let new_second = Builder.mux loser_beats_second loser second in
+    (new_best, new_bidx, new_second)
+  in
+  let indexed = List.mapi (fun i w -> (w, Builder.const_word ~width:iw i)) words in
+  match indexed with
+  | [] -> assert false
+  | (w0, i0) :: rest ->
+    let zero = Builder.const_word ~width 0 in
+    let _, bidx, second = List.fold_left step (w0, i0, zero) rest in
+    make ~num_inputs:(n * width) ~outputs:(bidx @ second)
+
+let equality_check ~n ~width =
+  if n <= 0 || width <= 0 then invalid_arg "Circuit.equality_check";
+  let words = List.init n (fun i -> Builder.input_word ~offset:(i * width) ~width) in
+  match words with
+  | [] -> assert false
+  | first :: rest ->
+    let eqs = List.map (fun w -> Builder.eq_word first w) rest in
+    let out = match eqs with [] -> Const true | _ -> Builder.and_tree eqs in
+    make ~num_inputs:(n * width) ~outputs:[ out ]
+
+let pack_inputs ~width values =
+  let n = List.length values in
+  let arr = Array.make (n * width) false in
+  List.iteri
+    (fun i v ->
+      for b = 0 to width - 1 do
+        arr.((i * width) + b) <- (v lsr b) land 1 = 1
+      done)
+    values;
+  arr
+
+let bits_to_int bits =
+  List.fold_left (fun acc b -> (acc lsl 1) lor (if b then 1 else 0)) 0 (List.rev bits)
+
+let unpack_output ~width bits =
+  let v = ref 0 in
+  for i = width - 1 downto 0 do
+    v := (!v lsl 1) lor (if bits.(i) then 1 else 0)
+  done;
+  !v

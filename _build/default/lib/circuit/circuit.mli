@@ -1,0 +1,118 @@
+(** Boolean circuits — the functionality [f] the parties compute.
+
+    The paper's cost bounds are parameterized by the {b depth} [D] of [f]
+    (the MKFHE parameters of Theorem 9 grow with [poly(λ, D)]).  This module
+    gives protocols a concrete circuit representation with exact size and
+    depth metrics, an evaluator, and builders for the workloads used by the
+    examples and benchmarks (majority voting, sums, maxima, second-price
+    auctions).
+
+    Circuits are DAGs of AND/XOR/NOT/OR gates with hash-consing-free simple
+    construction: [gate] values are nodes; sharing is by physical reuse of
+    nodes.  Inputs are indexed globally; use {!Builder} helpers to slice a
+    flat input vector into per-party words. *)
+
+type gate =
+  | Input of int
+  | Const of bool
+  | Not of gate
+  | And of gate * gate
+  | Or of gate * gate
+  | Xor of gate * gate
+
+(** A circuit: output gates over [num_inputs] input wires. *)
+type t = { num_inputs : int; outputs : gate list }
+
+val make : num_inputs:int -> outputs:gate list -> t
+
+(** [eval t inputs] — [Invalid_argument] if the input vector has the wrong
+    length.  Linear in circuit size (memoized over shared nodes). *)
+val eval : t -> bool array -> bool array
+
+(** [depth t] — the longest input-to-output path, counting binary gates
+    (NOTs are free, matching the FHE convention where XOR/NOT are cheap but
+    we conservatively count XOR too). *)
+val depth : t -> int
+
+(** [size t] — the number of distinct gates. *)
+val size : t -> int
+
+val num_outputs : t -> int
+
+(** {1 Multi-bit words} *)
+
+(** A little-endian word of wires. *)
+type word = gate list
+
+module Builder : sig
+  (** [input_word ~offset ~width] — input wires [offset..offset+width-1] as
+      a word. *)
+  val input_word : offset:int -> width:int -> word
+
+  val const_word : width:int -> int -> word
+
+  (** Bitwise ops (equal widths required). *)
+  val xor_word : word -> word -> word
+
+  val and_bit : gate -> word -> word
+
+  (** [add_word a b] — ripple-carry addition, result has [width+1] bits. *)
+  val add_word : word -> word -> word
+
+  (** [add_word_mod a b] — addition dropping the final carry. *)
+  val add_word_mod : word -> word -> word
+
+  (** [lt_word a b] / [le_word a b] / [eq_word a b] — unsigned comparisons,
+      single output bit. *)
+  val lt_word : word -> word -> gate
+  val le_word : word -> word -> gate
+  val eq_word : word -> word -> gate
+
+  (** [mux bit a b] — [a] when [bit] else [b]. *)
+  val mux : gate -> word -> word -> word
+
+  (** [sum_words ws] — balanced-tree sum of words (log depth). *)
+  val sum_words : word list -> word
+
+  (** [and_tree gs] / [or_tree gs] / [xor_tree gs] — balanced trees. *)
+  val and_tree : gate list -> gate
+  val or_tree : gate list -> gate
+  val xor_tree : gate list -> gate
+end
+
+(** {1 Ready-made functionalities} *)
+
+(** [majority ~n] — [n] single-bit inputs, one output: 1 iff more than
+    [n/2] ones. *)
+val majority : n:int -> t
+
+(** [parity ~n] — XOR of [n] bits (depth [⌈log n⌉], the minimal
+    interesting circuit). *)
+val parity : n:int -> t
+
+(** [sum ~n ~width] — sum of [n] unsigned [width]-bit inputs, output width
+    [width + ⌈log n⌉]. *)
+val sum : n:int -> width:int -> t
+
+(** [maximum ~n ~width] — maximum of [n] unsigned [width]-bit inputs. *)
+val maximum : n:int -> width:int -> t
+
+(** [second_price_auction ~n ~width] — [n] bids; outputs the winner index
+    (⌈log n⌉ bits) followed by the second-highest bid ([width] bits).
+    The workload of the auction example. *)
+val second_price_auction : n:int -> width:int -> t
+
+(** [equality_check ~n ~width] — 1 iff all [n] inputs are equal. *)
+val equality_check : n:int -> width:int -> t
+
+(** {1 Word-level evaluation helpers} *)
+
+(** [pack_inputs ~width values] — flatten per-party ints into a bit vector
+    (little-endian per word). *)
+val pack_inputs : width:int -> int list -> bool array
+
+(** [unpack_output ~width bits] — read the first [width] bits as an int. *)
+val unpack_output : width:int -> bool array -> int
+
+(** [bits_to_int bits] — little-endian. *)
+val bits_to_int : bool list -> int

@@ -1,0 +1,1 @@
+lib/core/all_to_all.ml: Broadcast Bytes Equality Hashtbl List Netsim Option Outcome Util

@@ -1,0 +1,1 @@
+lib/core/attacks.ml: All_to_all Broadcast Bytes Char Committee Enc_func Equality Gossip Local_mpc Mpc_abort Sparse_network Util

@@ -1,0 +1,1 @@
+lib/core/attacks.mli: All_to_all Broadcast Committee Gossip Local_mpc Mpc_abort Sparse_network Util

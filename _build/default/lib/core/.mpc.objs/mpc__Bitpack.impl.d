@@ -1,0 +1,1 @@
+lib/core/bitpack.ml: Array Bytes Char

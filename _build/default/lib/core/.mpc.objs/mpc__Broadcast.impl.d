@@ -1,0 +1,1 @@
+lib/core/broadcast.ml: Array Bytes Crypto List Netsim Option Outcome Params Util

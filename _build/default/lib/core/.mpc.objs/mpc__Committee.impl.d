@@ -1,0 +1,1 @@
+lib/core/committee.ml: Array Bytes Equality List Netsim Outcome Params Util View_check

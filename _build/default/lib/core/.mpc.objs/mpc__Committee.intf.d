@@ -1,0 +1,1 @@
+lib/core/committee.mli: Equality Netsim Outcome Params Util

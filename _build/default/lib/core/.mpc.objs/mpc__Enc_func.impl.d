@@ -1,0 +1,1 @@
+lib/core/enc_func.ml: All_to_all Bytes Cost_model Crypto Hashtbl List Netsim Outcome Params Printf

@@ -1,0 +1,1 @@
+lib/core/enc_func.mli: All_to_all Netsim Outcome Params Util

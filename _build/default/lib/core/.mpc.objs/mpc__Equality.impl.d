@@ -1,0 +1,1 @@
+lib/core/equality.ml: Array Bytes Crypto Hashtbl List Netsim Params Util

@@ -1,0 +1,1 @@
+lib/core/gmw.ml: Array Bitpack Bytes Char Circuit Hashtbl List Netsim Obj Util

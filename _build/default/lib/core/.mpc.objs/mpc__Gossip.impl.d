@@ -1,0 +1,1 @@
+lib/core/gossip.ml: Array Bytes Hashtbl List Netsim Outcome Util

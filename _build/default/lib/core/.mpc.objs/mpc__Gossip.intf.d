@@ -1,0 +1,1 @@
+lib/core/gossip.mli: Netsim Outcome Params Util

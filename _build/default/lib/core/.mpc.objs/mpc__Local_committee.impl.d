@@ -1,0 +1,1 @@
+lib/core/local_committee.ml: Array Bytes Committee Equality Gossip List Netsim Outcome Params Sparse_network Util View_check

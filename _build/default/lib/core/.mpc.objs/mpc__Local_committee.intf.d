@@ -1,0 +1,1 @@
+lib/core/local_committee.mli: Committee Equality Gossip Netsim Outcome Params Sparse_network Util

@@ -1,0 +1,1 @@
+lib/core/local_mpc.ml: Array Bitpack Bytes Circuit Committee Cost_model Crypto Enc_func Equality Gossip Hashtbl List Local_committee Netsim Outcome Params Printf Sparse_network Util

@@ -1,0 +1,1 @@
+lib/core/local_mpc.mli: Circuit Crypto Enc_func Equality Gossip Local_committee Netsim Outcome Params Sparse_network Util

@@ -1,0 +1,1 @@
+lib/core/mpc_abort.ml: Array Bitpack Bytes Circuit Committee Crypto Enc_func Equality Hashtbl List Netsim Outcome Params Printf Util

@@ -1,0 +1,1 @@
+lib/core/mpc_abort.mli: Circuit Committee Crypto Enc_func Equality Netsim Outcome Params Util

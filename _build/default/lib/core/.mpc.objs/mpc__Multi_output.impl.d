@@ -1,0 +1,1 @@
+lib/core/multi_output.ml: Array Bitpack Bytes Circuit Committee Crypto Enc_func Equality Hashtbl List Netsim Outcome Params Printf Util

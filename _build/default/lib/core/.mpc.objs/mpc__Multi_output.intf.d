@@ -1,0 +1,1 @@
+lib/core/multi_output.mli: Circuit Committee Crypto Enc_func Equality Netsim Outcome Params Util

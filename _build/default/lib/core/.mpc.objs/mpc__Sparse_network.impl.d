@@ -1,0 +1,1 @@
+lib/core/sparse_network.ml: Array Bytes Hashtbl List Netsim Outcome Params Util

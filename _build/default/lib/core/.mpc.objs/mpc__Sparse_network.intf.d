@@ -1,0 +1,1 @@
+lib/core/sparse_network.mli: Netsim Outcome Params Util

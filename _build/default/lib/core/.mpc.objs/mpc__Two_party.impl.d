@@ -1,0 +1,1 @@
+lib/core/two_party.ml: Array Bitpack Bytes Circuit Crypto List Netsim Option Outcome Util

@@ -1,0 +1,1 @@
+lib/core/two_party.mli: Circuit Netsim Outcome Util

@@ -1,0 +1,1 @@
+lib/core/view_check.ml: Array Bytes Crypto Equality List Netsim Params Util

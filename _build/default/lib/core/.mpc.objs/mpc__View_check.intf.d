@@ -1,0 +1,1 @@
+lib/core/view_check.mli: Equality Netsim Params Util

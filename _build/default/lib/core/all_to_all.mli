@@ -1,0 +1,41 @@
+(** All-to-All (simultaneous) Broadcast with abort — the functionality
+    [F_SB] of §3.3, implemented over point-to-point channels.
+
+    Two variants, matching §2.1 of the paper:
+
+    - {!Naive} — the Goldwasser–Lindell construction: [|S|] parallel runs
+      of single-source broadcast with full echoes, [O(|S|³·ℓ)] bits.
+    - {!Fingerprinted} — the paper's optimization: everyone sends their
+      input to everyone ([O(|S|²·ℓ)]), then the [|S|] concatenated views
+      are pairwise equality-tested with [O(λ log)]-bit fingerprints
+      ([O(|S|²·λ·log n)]).  This is the [Õ(n²)] protocol of Remark 8, and
+      the committee-internal broadcast used by the encrypted functionality.
+
+    [participants] restricts the protocol to a subset of the network (the
+    paper runs [F_SB] both on all [n] parties and inside committees). *)
+
+type variant = Naive | Fingerprinted
+
+type adv = {
+  input_value : (me:int -> dst:int -> bytes) option;
+      (** equivocate: what a corrupted party claims its input is, per peer *)
+  drop : (src:int -> dst:int -> bool) option;
+  eq : Equality.adv;  (** misbehavior inside the verification step *)
+}
+
+val honest_adv : adv
+
+(** [run net rng params ~variant ~participants ~input ~corruption ~adv] —
+    each participant either outputs the full vector of participant inputs
+    (as [(id, value)] sorted by id) or aborts.  Result is ordered like
+    [participants]. *)
+val run :
+  Netsim.Net.t ->
+  Util.Prng.t ->
+  Params.t ->
+  variant:variant ->
+  participants:int list ->
+  input:(int -> bytes) ->
+  corruption:Netsim.Corruption.t ->
+  adv:adv ->
+  (int * (int * bytes) list Outcome.t) list

@@ -1,0 +1,134 @@
+let flip_byte b =
+  if Bytes.length b = 0 then Bytes.make 1 '\255'
+  else begin
+    let out = Bytes.copy b in
+    Bytes.set out 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xFF));
+    out
+  end
+
+(* ---- Broadcast ---- *)
+
+let equivocating_sender ~v1 ~v2 =
+  {
+    Broadcast.sender_value = Some (fun ~dst -> if dst mod 2 = 0 then v1 else v2);
+    echo_value = None;
+    drop = None;
+  }
+
+let lying_echo ~fake =
+  {
+    Broadcast.sender_value = None;
+    echo_value = Some (fun ~me:_ ~dst:_ _received -> fake);
+    drop = None;
+  }
+
+let partial_sender ~recipients =
+  {
+    Broadcast.sender_value = None;
+    echo_value = None;
+    drop = Some (fun ~src:_ ~dst -> not (Util.Iset.mem dst recipients));
+  }
+
+(* ---- All-to-all ---- *)
+
+let split_input ~v1 ~v2 =
+  {
+    All_to_all.input_value = Some (fun ~me ~dst -> if dst < me then v1 else v2);
+    drop = None;
+    eq = Equality.honest_adv;
+  }
+
+(* ---- Committee election ---- *)
+
+let selective_claim ~cutoff =
+  {
+    Committee.false_claim = Some (fun ~me:_ -> true);
+    claim_subset = Some (fun ~me:_ ~dst -> dst < cutoff);
+    eq = Equality.honest_adv;
+  }
+
+let claim_all =
+  {
+    Committee.false_claim = Some (fun ~me:_ -> true);
+    claim_subset = None;
+    eq = Equality.honest_adv;
+  }
+
+let lying_view_check =
+  {
+    Committee.false_claim = None;
+    claim_subset = None;
+    eq =
+      {
+        Equality.tamper_fp = None;
+        lie_verdict = Some (fun ~me:_ ~dst:_ _truth -> true);
+      };
+  }
+
+(* ---- MPC (Algorithm 3) ---- *)
+
+let pk_equivocation =
+  {
+    Mpc_abort.honest_adv with
+    Mpc_abort.pk_forward = Some (fun ~me:_ ~dst pkb -> if dst mod 2 = 0 then flip_byte pkb else pkb);
+  }
+
+let ct_equivocation =
+  {
+    Mpc_abort.honest_adv with
+    Mpc_abort.input_ct = Some (fun ~me:_ ~dst ct -> if dst mod 2 = 0 then flip_byte ct else ct);
+  }
+
+let bad_partial_decryptions =
+  {
+    Mpc_abort.honest_adv with
+    Mpc_abort.encf =
+      {
+        Enc_func.honest_adv with
+        Enc_func.tamper_partial = Some (fun ~me:_ ~dst:_ -> true);
+      };
+  }
+
+let output_tamper =
+  {
+    Mpc_abort.honest_adv with
+    Mpc_abort.out_forward = Some (fun ~me:_ ~dst out -> if dst mod 2 = 0 then flip_byte out else out);
+  }
+
+(* ---- Gossip ---- *)
+
+let gossip_equivocate =
+  {
+    Gossip.honest_adv with
+    Gossip.equivocate =
+      Some (fun ~me ~origin:_ ~dst v -> if dst > me then Some (flip_byte v) else None);
+  }
+
+let gossip_forge ~origin ~value =
+  { Gossip.honest_adv with Gossip.forge = Some (fun ~me:_ -> [ (origin, value) ]) }
+
+let gossip_suppress_warnings = { Gossip.honest_adv with Gossip.spread_warning = false }
+
+(* ---- Sparse network ---- *)
+
+let flood_victim ~victim =
+  {
+    Sparse_network.extra_targets = Some (fun ~me:_ -> [ victim ]);
+    drop_notify = None;
+  }
+
+(* ---- Theorem 4 ---- *)
+
+let exchange_tamper =
+  {
+    Local_mpc.honest_theorem4_adv with
+    Local_mpc.exchange_tamper =
+      Some (fun ~me:_ ~dst ~party:_ ct -> if dst mod 2 = 0 then flip_byte ct else ct);
+  }
+
+let t4_output_tamper =
+  {
+    Local_mpc.honest_theorem4_adv with
+    Local_mpc.out_forward =
+      Some (fun ~me:_ ~dst out -> if dst mod 2 = 0 then flip_byte out else out);
+  }

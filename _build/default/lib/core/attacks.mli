@@ -1,0 +1,88 @@
+(** Canned adversary strategies used by the test suite and the
+    experiments.  Each constructor builds the hook record of the protocol
+    it attacks; tests assert that every one of these either fails to break
+    agreement or triggers an honest abort (the paper's guarantee). *)
+
+(** {1 Broadcast attacks} *)
+
+(** The classic equivocation: the corrupted sender sends [v1] to even-id
+    parties and [v2] to odd-id parties. *)
+val equivocating_sender : v1:bytes -> v2:bytes -> Broadcast.adv
+
+(** Corrupted echoers claim they received [fake] regardless of the truth. *)
+val lying_echo : fake:bytes -> Broadcast.adv
+
+(** The corrupted sender sends only to the given recipients (partial
+    silence). *)
+val partial_sender : recipients:Util.Iset.t -> Broadcast.adv
+
+(** {1 All-to-all attacks} *)
+
+(** Corrupted parties report input [v1] to lower-id peers and [v2] to
+    higher-id peers. *)
+val split_input : v1:bytes -> v2:bytes -> All_to_all.adv
+
+(** {1 Committee election attacks} *)
+
+(** Every corrupted party claims election, but tells only the parties with
+    id below [cutoff] (equivocating the claim). *)
+val selective_claim : cutoff:int -> Committee.adv
+
+(** Every corrupted party claims election loudly (inflation attack —
+    should trip the [2pn] flood bound when there are many). *)
+val claim_all : Committee.adv
+
+(** Corrupted committee members lie in the view equality test (answer
+    "equal" always). *)
+val lying_view_check : Committee.adv
+
+(** {1 MPC (Algorithm 3) attacks} *)
+
+(** Corrupted committee members forward a corrupted public key to half the
+    network. *)
+val pk_equivocation : Mpc_abort.adv
+
+(** Corrupted parties send different ciphertexts to different committee
+    members. *)
+val ct_equivocation : Mpc_abort.adv
+
+(** Corrupted committee members send invalid partial decryptions inside
+    [F_Comp]. *)
+val bad_partial_decryptions : Mpc_abort.adv
+
+(** Corrupted committee members forward a flipped output to half the
+    network. *)
+val output_tamper : Mpc_abort.adv
+
+(** {1 Gossip attacks} *)
+
+(** Corrupted parties flip one byte of every rumor they forward to
+    higher-id neighbors. *)
+val gossip_equivocate : Gossip.adv
+
+(** Corrupted parties forge a rumor claiming [origin] said [value]. *)
+val gossip_forge : origin:int -> value:bytes -> Gossip.adv
+
+(** Corrupted parties refuse to forward warnings. *)
+val gossip_suppress_warnings : Gossip.adv
+
+(** {1 Sparse network attacks} *)
+
+(** All corrupted parties also connect to [victim] (the flooding/DDoS
+    attack of §2.3 — should trip the victim's [2d] bound). *)
+val flood_victim : victim:int -> Sparse_network.adv
+
+(** {1 Theorem 4 attacks} *)
+
+(** Corrupted members alter ciphertexts they relay in the step 6
+    exchange. *)
+val exchange_tamper : Local_mpc.theorem4_adv
+
+(** Corrupted members forward a wrong output to their covers. *)
+val t4_output_tamper : Local_mpc.theorem4_adv
+
+(** {1 Helpers} *)
+
+(** [flip_byte b] — [b] with its first byte XOR 0xFF (distinct non-empty
+    value of the same length); empty input becomes ["\255"]. *)
+val flip_byte : bytes -> bytes

@@ -1,0 +1,25 @@
+let pack bits =
+  let nbits = Array.length bits in
+  let out = Bytes.make ((nbits + 7) / 8) '\000' in
+  Array.iteri
+    (fun k b ->
+      if b then
+        Bytes.set out (k / 8)
+          (Char.chr (Char.code (Bytes.get out (k / 8)) lor (1 lsl (k mod 8)))))
+    bits;
+  out
+
+let unpack b ~nbits =
+  Array.init nbits (fun k ->
+      if k / 8 >= Bytes.length b then false
+      else (Char.code (Bytes.get b (k / 8)) lsr (k mod 8)) land 1 = 1)
+
+let int_to_bytes v ~width = pack (Array.init width (fun k -> (v lsr k) land 1 = 1))
+
+let bytes_to_int b ~width =
+  let bits = unpack b ~nbits:width in
+  let v = ref 0 in
+  for k = width - 1 downto 0 do
+    v := (!v lsl 1) lor (if bits.(k) then 1 else 0)
+  done;
+  !v

@@ -1,0 +1,13 @@
+(** Packing bit vectors (circuit inputs/outputs) into byte strings for
+    encryption and transmission. Bit [k] lives at byte [k/8], position
+    [k mod 8] (LSB first). *)
+
+val pack : bool array -> bytes
+val unpack : bytes -> nbits:int -> bool array
+
+(** [int_to_bytes v ~width] — little-endian packing of the low [width] bits
+    of [v]. *)
+val int_to_bytes : int -> width:int -> bytes
+
+(** [bytes_to_int b ~width] — inverse of {!int_to_bytes}. *)
+val bytes_to_int : bytes -> width:int -> int

@@ -1,0 +1,135 @@
+type variant = Naive | Fingerprinted
+
+type adv = {
+  sender_value : (dst:int -> bytes) option;
+  echo_value : (me:int -> dst:int -> bytes -> bytes) option;
+  drop : (src:int -> dst:int -> bool) option;
+}
+
+let honest_adv = { sender_value = None; echo_value = None; drop = None }
+
+(* Echo payloads: either the full received value (naive) or a fingerprint
+   of it (optimized).  "I received nothing" is an explicit marker so that a
+   silent sender is detected. *)
+let encode_echo_naive v = Util.Codec.encode (fun w -> Util.Codec.write_option w Util.Codec.write_bytes) v
+
+let decode_echo_naive b =
+  match Util.Codec.decode (fun r -> Util.Codec.read_option r Util.Codec.read_bytes) b with
+  | v -> Some v
+  | exception Util.Codec.Decode_error _ -> None
+
+let encode_echo_fp fp =
+  Util.Codec.encode (fun w -> Util.Codec.write_option w Crypto.Fingerprint.encode) fp
+
+let decode_echo_fp b =
+  match Util.Codec.decode (fun r -> Util.Codec.read_option r Crypto.Fingerprint.decode) b with
+  | v -> Some v
+  | exception Util.Codec.Decode_error _ -> None
+
+let run net rng params ~variant ~sender ~value ~corruption ~adv =
+  let n = Netsim.Net.n net in
+  let is_corrupt i = Netsim.Corruption.is_corrupted corruption i in
+  let should_drop ~src ~dst =
+    is_corrupt src && match adv.drop with Some f -> f ~src ~dst | None -> false
+  in
+  (* Step 1: broadcast step. *)
+  for dst = 0 to n - 1 do
+    if dst <> sender && not (should_drop ~src:sender ~dst) then begin
+      let v =
+        match adv.sender_value with
+        | Some f when is_corrupt sender -> f ~dst
+        | _ -> value
+      in
+      Netsim.Net.send net ~src:sender ~dst v
+    end
+  done;
+  Netsim.Net.step net;
+  let received = Array.make n None in
+  received.(sender) <- Some value;
+  for i = 0 to n - 1 do
+    if i <> sender then
+      match Netsim.Net.recv_from net ~dst:i ~src:sender with
+      | [ v ] -> received.(i) <- Some v
+      | _ -> received.(i) <- None
+  done;
+  (* Step 2: verification step — every party tells every other what it
+     received (full value or fingerprint). *)
+  let aborted = Array.make n false in
+  (match variant with
+  | Naive ->
+    for i = 0 to n - 1 do
+      let honest_payload = encode_echo_naive received.(i) in
+      for dst = 0 to n - 1 do
+        if dst <> i && not (should_drop ~src:i ~dst) then begin
+          let payload =
+            match adv.echo_value with
+            | Some f when is_corrupt i -> encode_echo_naive (Some (f ~me:i ~dst (Option.value received.(i) ~default:Bytes.empty)))
+            | _ -> honest_payload
+          in
+          Netsim.Net.send net ~src:i ~dst payload
+        end
+      done
+    done;
+    Netsim.Net.step net;
+    (* Step 3: output step. *)
+    for i = 0 to n - 1 do
+      let mine = received.(i) in
+      let msgs = Netsim.Net.recv net ~dst:i in
+      if List.length msgs < n - 1 then aborted.(i) <- true;
+      List.iter
+        (fun (_, payload) ->
+          match decode_echo_naive payload with
+          | None -> aborted.(i) <- true
+          | Some theirs ->
+            let same =
+              match (mine, theirs) with
+              | Some a, Some b -> Bytes.equal a b
+              | None, None -> true
+              | _ -> false
+            in
+            if not same then aborted.(i) <- true)
+        msgs
+    done
+  | Fingerprinted ->
+    let t = Params.fingerprint_t params ~msg_len:(max 1 (Bytes.length value)) in
+    for i = 0 to n - 1 do
+      let fp = Option.map (fun v -> Crypto.Fingerprint.make rng ~t v) received.(i) in
+      let honest_payload = encode_echo_fp fp in
+      for dst = 0 to n - 1 do
+        if dst <> i && not (should_drop ~src:i ~dst) then begin
+          let payload =
+            match adv.echo_value with
+            | Some f when is_corrupt i ->
+              let fake = f ~me:i ~dst (Option.value received.(i) ~default:Bytes.empty) in
+              encode_echo_fp (Some (Crypto.Fingerprint.make rng ~t fake))
+            | _ -> honest_payload
+          in
+          Netsim.Net.send net ~src:i ~dst payload
+        end
+      done
+    done;
+    Netsim.Net.step net;
+    for i = 0 to n - 1 do
+      let mine = received.(i) in
+      let msgs = Netsim.Net.recv net ~dst:i in
+      if List.length msgs < n - 1 then aborted.(i) <- true;
+      List.iter
+        (fun (_, payload) ->
+          match decode_echo_fp payload with
+          | None -> aborted.(i) <- true
+          | Some theirs ->
+            let same =
+              match (mine, theirs) with
+              | Some v, Some fp -> Crypto.Fingerprint.check fp v
+              | None, None -> true
+              | _ -> false
+            in
+            if not same then aborted.(i) <- true)
+        msgs
+    done);
+  Array.init n (fun i ->
+      if aborted.(i) then Outcome.Abort (Outcome.Equivocation "broadcast echo mismatch")
+      else
+        match received.(i) with
+        | Some v -> Outcome.Output v
+        | None -> Outcome.Abort (Outcome.Missing "no value from sender"))

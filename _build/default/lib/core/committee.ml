@@ -1,0 +1,69 @@
+type adv = {
+  false_claim : (me:int -> bool) option;
+  claim_subset : (me:int -> dst:int -> bool) option;
+  eq : Equality.adv;
+}
+
+let honest_adv = { false_claim = None; claim_subset = None; eq = Equality.honest_adv }
+
+type view = { committee : int list; elected : bool }
+
+let run net rng params ~corruption ~adv =
+  let n = Netsim.Net.n net in
+  let p = Params.committee_prob params in
+  let bound = Params.committee_bound params in
+  let is_corrupt i = Netsim.Corruption.is_corrupted corruption i in
+  (* Step 1: Bernoulli coins (corrupted parties may ignore theirs). *)
+  let coin = Array.init n (fun _ -> Util.Prng.bernoulli rng p) in
+  let claims =
+    Array.init n (fun i ->
+        match adv.false_claim with
+        | Some f when is_corrupt i -> f ~me:i
+        | _ -> coin.(i))
+  in
+  (* Step 2: election notification. *)
+  for i = 0 to n - 1 do
+    if claims.(i) then
+      for dst = 0 to n - 1 do
+        if dst <> i then begin
+          let deliver =
+            match adv.claim_subset with
+            | Some f when is_corrupt i -> f ~me:i ~dst
+            | _ -> true
+          in
+          if deliver then Netsim.Net.send net ~src:i ~dst (Bytes.make 1 '\001')
+        end
+      done
+  done;
+  Netsim.Net.step net;
+  (* Step 3: collect views, abort on too many claims. *)
+  let views = Array.make n [] in
+  let aborted = Array.make n false in
+  for i = 0 to n - 1 do
+    let senders = List.map fst (Netsim.Net.recv net ~dst:i) |> List.sort_uniq compare in
+    views.(i) <- senders;
+    if List.length senders >= bound then aborted.(i) <- true
+  done;
+  (* Step 4: pairwise equality over committee views. *)
+  View_check.run net rng params ~claims ~views ~corruption ~eq:adv.eq ~aborted;
+  Array.init n (fun i ->
+      if aborted.(i) then
+        Outcome.Abort
+          (if List.length views.(i) >= bound then Outcome.Flooded "too many committee claims"
+           else Outcome.Equality_failed "committee views differ")
+      else
+        Outcome.Output
+          { committee = View_check.self_view ~claims ~views i; elected = claims.(i) })
+
+let consistent_committee outs corruption =
+  let honest_member_views =
+    List.filter_map
+      (fun i ->
+        match outs.(i) with
+        | Outcome.Output v when v.elected -> Some v.committee
+        | _ -> None)
+      (Netsim.Corruption.honest_list corruption)
+  in
+  match honest_member_views with
+  | [] -> None
+  | first :: rest -> if List.for_all (( = ) first) rest then Some first else None

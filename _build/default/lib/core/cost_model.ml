@@ -1,0 +1,34 @@
+(* The concrete polynomial: an RLWE-style instantiation with ring dimension
+   linear in λ and D, and SIMD packing of [slot_bits] plaintext bits per
+   ciphertext.  Any fixed poly(λ, D) preserves the paper's bounds — all
+   four theorems treat λ and D as constants; these choices keep the
+   simulation's constants tractable at thousands of parties. *)
+
+let slot_bits = 64
+
+let lattice_dim ~lambda ~depth = (4 * lambda) + (2 * depth)
+
+let blocks bits = (max 1 bits + slot_bits - 1) / slot_bits
+
+let round1_bytes ~lambda ~depth ~input_bits =
+  let dim = lattice_dim ~lambda ~depth in
+  (* Public key material: dim elements; one packed ciphertext (dim+1
+     elements) per slot_bits of input; a NIZK of well-formedness: dim
+     elements.  Two bytes per element. *)
+  2 * (dim + ((dim + 1) * blocks input_bits) + dim)
+
+let partial_dec_bytes ~lambda ~depth =
+  let dim = lattice_dim ~lambda ~depth in
+  (* One partial decryption share (an element vector) plus the NIZK of the
+     noisy inner product, per packed output block. *)
+  2 * (1 + dim)
+
+let filler ~tag ~len =
+  (* Pseudorandom payload seeded by the tag.  A fast non-cryptographic
+     stream suffices: these bytes stand in for MKFHE material whose only
+     observable properties here are size and value-distinctness. *)
+  let digest = Crypto.Sha256.digest_string tag in
+  let seed = ref 0 in
+  Bytes.iteri (fun i c -> if i < 8 then seed := (!seed lsl 8) lor Char.code c) digest;
+  let rng = Util.Prng.create (!seed land max_int) in
+  Util.Prng.bytes rng len

@@ -1,0 +1,39 @@
+(** Explicit [poly(λ, D)] cost model for the Theorem 9 machinery.
+
+    Theorem 9 states that, assuming LWE, any interactive functionality can
+    be computed with one simultaneous broadcast on inputs of size
+    [poly(λ, D, ℓ_in)] plus [ℓ_out · n · poly(λ, D)] extra bits (the
+    multi-key-FHE round-1 messages and the per-output partial decryptions
+    with their NIZK proofs).
+
+    The paper never instantiates the polynomial — its bounds only need
+    {e some} fixed polynomial, because λ and D are constants in all four
+    theorems.  We pin down a concrete instantiation: an RLWE-style scheme
+    with ring dimension [Θ(λ + D)] and SIMD packing of {!slot_bits}
+    plaintext bits per ciphertext block (as real FHE deployments do), so
+    that every simulated message has a definite, tractable byte length
+    that the network meters.  The experiments verify the paper's bounds
+    {e as functions of n and h}, with these polynomials held fixed. *)
+
+(** Plaintext SIMD slots per ciphertext block. *)
+val slot_bits : int
+
+(** Ring-dimension stand-in: [4λ + 2D]. *)
+val lattice_dim : lambda:int -> depth:int -> int
+
+(** [blocks bits] — packed ciphertext blocks needed for [bits] plaintext
+    bits (at least 1). *)
+val blocks : int -> int
+
+(** Size in {b bytes} of one party's simultaneous-broadcast message in the
+    Theorem 9 protocol: key material + packed input ciphertexts + NIZK. *)
+val round1_bytes : lambda:int -> depth:int -> input_bits:int -> int
+
+(** Size in {b bytes} of one partial decryption + NIZK proof, per packed
+    output block, per sender. *)
+val partial_dec_bytes : lambda:int -> depth:int -> int
+
+(** [filler ~tag ~len] — deterministic pseudorandom payload bytes standing
+    in for actual MKFHE material (so the network carries real bytes of the
+    modeled size, and equality tests on them behave like on real data). *)
+val filler : tag:string -> len:int -> bytes

@@ -1,0 +1,52 @@
+(** Algorithm 1 — [Equality_λ], the succinct equality test.
+
+    Two parties holding strings [m₁, m₂] detect inequality with probability
+    [≥ 1 - n^{-λ}] while exchanging only [O(λ log n)] bits: P₁ samples
+    random primes and sends the residues of [m₁]; P₂ compares against the
+    residues of [m₂] and answers with one bit.
+
+    {!pairwise} runs the test between every pair of a set of parties in two
+    network rounds (all fingerprints, then all verdict bits) — this is the
+    verification step used by All-to-All Broadcast (§2.1), by CommitteeElect
+    (Algorithm 2 step 4), and by the MPC protocols (Algorithm 3 step 5,
+    Algorithm 8 step 7). *)
+
+(** How a corrupted party misbehaves in equality tests.  [tamper_fp] lets a
+    corrupted sender substitute the fingerprint it sends; [lie_verdict]
+    lets a corrupted responder flip its answer bit. *)
+type adv = {
+  tamper_fp : (me:int -> dst:int -> Crypto.Fingerprint.fp -> Crypto.Fingerprint.fp) option;
+  lie_verdict : (me:int -> dst:int -> bool -> bool) option;
+}
+
+val honest_adv : adv
+
+(** [run net rng params ~p1 ~p2 ~m1 ~m2] — the two-party protocol of
+    Algorithm 1 between parties [p1] (sender of the fingerprint) and [p2].
+    Returns the flags output by [(p1, p2)]. Used directly in tests; the
+    protocols use {!pairwise}. *)
+val run :
+  Netsim.Net.t ->
+  Util.Prng.t ->
+  Params.t ->
+  p1:int ->
+  p2:int ->
+  m1:bytes ->
+  m2:bytes ->
+  bool * bool
+
+(** [pairwise net rng params ~members ~value ~corruption ~adv] — every
+    unordered pair [{i, j}] of [members] runs [Equality_λ] on their values
+    (the lower id sends the fingerprint).  Returns, for each member in the
+    order given, [true] iff all tests it participated in accepted.
+
+    Cost: [O(|members|² · λ · log n)] bits in two rounds. *)
+val pairwise :
+  Netsim.Net.t ->
+  Util.Prng.t ->
+  Params.t ->
+  members:int list ->
+  value:(int -> bytes) ->
+  corruption:Netsim.Corruption.t ->
+  adv:adv ->
+  (int * bool) list

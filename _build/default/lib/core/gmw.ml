@@ -1,0 +1,311 @@
+type adv = { flip_share : (me:int -> gate_index:int -> bool) option }
+
+let honest_adv = { flip_share = None }
+
+(* ---- Circuit flattening ----
+
+   Assign every physically-distinct gate a dense index in topological
+   order, so shares can live in flat arrays and AND gates can be batched
+   by circuit depth (one opening round per layer). *)
+
+type flat_gate =
+  | FInput of int
+  | FConst of bool
+  | FNot of int
+  | FXor of int * int
+  | FAnd of int * int
+  | FOr of int * int
+
+type flat = {
+  gates : flat_gate array;
+  depths : int array;
+  outputs : int array; (* gate ids of the circuit outputs *)
+}
+
+let flatten (circuit : Circuit.t) : flat =
+  let ids = Hashtbl.create 256 in
+  let gates = ref [] in
+  let depths = ref [] in
+  let count = ref 0 in
+  (* Physical identity memo, mirroring Circuit's internal Memo. *)
+  let find g =
+    let h = Hashtbl.hash g in
+    let rec scan = function
+      | [] -> None
+      | (g', id) :: _ when g' == g -> Some id
+      | _ :: rest -> scan rest
+    in
+    scan (Hashtbl.find_all ids h)
+  in
+  let add g id =
+    let h = Hashtbl.hash g in
+    Hashtbl.add ids h (g, id)
+  in
+  let rec go (g : Circuit.gate) =
+    match find (Obj.repr g) with
+    | Some id -> id
+    | None ->
+      let flat, depth =
+        match g with
+        | Circuit.Input i -> (FInput i, 0)
+        | Circuit.Const b -> (FConst b, 0)
+        | Circuit.Not a ->
+          let ia = go a in
+          (* Strictly increasing levels: a NOT above a multiplicative gate
+             must evaluate after that gate's opening round. *)
+          (FNot ia, 1 + List.nth !depths (!count - 1 - ia))
+        | Circuit.Xor (a, b) ->
+          let ia = go a in
+          let ib = go b in
+          let da = List.nth !depths (!count - 1 - ia) in
+          let db = List.nth !depths (!count - 1 - ib) in
+          (FXor (ia, ib), 1 + max da db)
+        | Circuit.And (a, b) ->
+          let ia = go a in
+          let ib = go b in
+          let da = List.nth !depths (!count - 1 - ia) in
+          let db = List.nth !depths (!count - 1 - ib) in
+          (FAnd (ia, ib), 1 + max da db)
+        | Circuit.Or (a, b) ->
+          let ia = go a in
+          let ib = go b in
+          let da = List.nth !depths (!count - 1 - ia) in
+          let db = List.nth !depths (!count - 1 - ib) in
+          (FOr (ia, ib), 1 + max da db)
+      in
+      let id = !count in
+      incr count;
+      gates := flat :: !gates;
+      depths := depth :: !depths;
+      add (Obj.repr g) id;
+      id
+  in
+  let outputs = Array.of_list (List.map go circuit.Circuit.outputs) in
+  {
+    gates = Array.of_list (List.rev !gates);
+    depths = Array.of_list (List.rev !depths);
+    outputs;
+  }
+
+let triples_used ~circuit =
+  let f = flatten circuit in
+  Array.fold_left
+    (fun acc g -> match g with FAnd _ | FOr _ -> acc + 1 | _ -> acc)
+    0 f.gates
+
+(* ---- Bit-packing helpers for batched openings ---- *)
+
+let pack_bits bits =
+  let n = List.length bits in
+  let out = Bytes.make ((n + 7) / 8) '\000' in
+  List.iteri
+    (fun k b ->
+      if b then
+        Bytes.set out (k / 8) (Char.chr (Char.code (Bytes.get out (k / 8)) lor (1 lsl (k mod 8)))))
+    bits;
+  out
+
+let unpack_bits b ~count =
+  List.init count (fun k ->
+      k / 8 < Bytes.length b
+      && (Char.code (Bytes.get b (k / 8)) lsr (k mod 8)) land 1 = 1)
+
+let run net rng ~circuit ~input_width ~inputs ~corruption ~adv =
+  let n = Netsim.Net.n net in
+  if Array.length inputs <> n then invalid_arg "Gmw.run: wrong input count";
+  if n * input_width <> circuit.Circuit.num_inputs then
+    invalid_arg "Gmw.run: circuit arity mismatch";
+  let is_corrupt i = Netsim.Corruption.is_corrupted corruption i in
+  let flat = flatten circuit in
+  let num_gates = Array.length flat.gates in
+  (* shares.(party).(gate) *)
+  let shares = Array.init n (fun _ -> Array.make num_gates false) in
+
+  (* ---- Input sharing ----
+     Wire w = party (w / input_width)'s bit (w mod input_width).  The owner
+     samples n-1 random shares, keeps the XOR-completion, and sends each
+     other party one packed message with all its wire shares. *)
+  let input_bit owner k = (inputs.(owner) lsr k) land 1 = 1 in
+  let owner_shares =
+    Array.init n (fun owner ->
+        Array.init input_width (fun k ->
+            let rand = Array.init n (fun _ -> Util.Prng.bool rng) in
+            (* Overwrite the owner's slot so the XOR equals the true bit. *)
+            let others = ref false in
+            Array.iteri (fun j b -> if j <> owner then others := !others <> b) rand;
+            rand.(owner) <- !others <> input_bit owner k;
+            rand))
+  in
+  for owner = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if dst <> owner then
+        Netsim.Net.send net ~src:owner ~dst
+          (pack_bits (List.init input_width (fun k -> owner_shares.(owner).(k).(dst))))
+    done
+  done;
+  Netsim.Net.step net;
+  let wire_share = Array.make_matrix n circuit.Circuit.num_inputs false in
+  for me = 0 to n - 1 do
+    for owner = 0 to n - 1 do
+      let bits =
+        if owner = me then List.init input_width (fun k -> owner_shares.(me).(k).(me))
+        else
+          match Netsim.Net.recv_from net ~dst:me ~src:owner with
+          | [ b ] -> unpack_bits b ~count:input_width
+          | _ -> List.init input_width (fun _ -> false)
+      in
+      List.iteri (fun k b -> wire_share.(me).((owner * input_width) + k) <- b) bits
+    done
+  done;
+
+  (* ---- Beaver triples from the trusted dealer ----
+     triple.(gate) = per-party (a, b, c) shares with (⊕a)(⊕b) = ⊕c. *)
+  let triples = Hashtbl.create 64 in
+  Array.iteri
+    (fun id g ->
+      match g with
+      | FAnd _ | FOr _ ->
+        let a = Util.Prng.bool rng and b = Util.Prng.bool rng in
+        let c = a && b in
+        let sa = Array.init n (fun _ -> Util.Prng.bool rng) in
+        let sb = Array.init n (fun _ -> Util.Prng.bool rng) in
+        let sc = Array.init n (fun _ -> Util.Prng.bool rng) in
+        let fix arr v =
+          let x = ref false in
+          for j = 1 to n - 1 do
+            x := !x <> arr.(j)
+          done;
+          arr.(0) <- !x <> v
+        in
+        fix sa a;
+        fix sb b;
+        fix sc c;
+        Hashtbl.replace triples id (sa, sb, sc)
+      | _ -> ())
+    flat.gates;
+
+  (* ---- Layer-by-layer evaluation ---- *)
+  let max_depth = Array.fold_left max 0 flat.depths in
+  for layer = 0 to max_depth do
+    (* Local gates of this layer first. *)
+    Array.iteri
+      (fun id g ->
+        if flat.depths.(id) = layer then
+          match g with
+          | FInput w -> for p = 0 to n - 1 do shares.(p).(id) <- wire_share.(p).(w) done
+          | FConst b ->
+            for p = 0 to n - 1 do
+              shares.(p).(id) <- (p = 0 && b)
+            done
+          | FNot a ->
+            for p = 0 to n - 1 do
+              shares.(p).(id) <- (if p = 0 then not shares.(p).(a) else shares.(p).(a))
+            done
+          | FXor (a, b) ->
+            for p = 0 to n - 1 do
+              shares.(p).(id) <- shares.(p).(a) <> shares.(p).(b)
+            done
+          | FAnd _ | FOr _ -> ())
+      flat.gates;
+    (* Beaver openings for this layer's multiplicative gates, batched. *)
+    let layer_ands =
+      let acc = ref [] in
+      Array.iteri
+        (fun id g ->
+          if flat.depths.(id) = layer then
+            match g with FAnd (a, b) | FOr (a, b) -> acc := (id, a, b) :: !acc | _ -> ())
+        flat.gates;
+      List.rev !acc
+    in
+    if layer_ands <> [] then begin
+      (* Each party broadcasts (d_i, e_i) for every gate in the layer. *)
+      let my_de = Array.make_matrix n (2 * List.length layer_ands) false in
+      List.iteri
+        (fun k (id, ga, gb) ->
+          let sa, sb, _ = Hashtbl.find triples id in
+          for p = 0 to n - 1 do
+            (* For OR gates, the multiplication inputs are the raw shares;
+               the or-completion happens after. *)
+            let xa = shares.(p).(ga) and xb = shares.(p).(gb) in
+            let d = ref (xa <> sa.(p)) and e = ref (xb <> sb.(p)) in
+            (if is_corrupt p then
+               match adv.flip_share with
+               | Some f when f ~me:p ~gate_index:id -> d := not !d
+               | _ -> ());
+            my_de.(p).(2 * k) <- !d;
+            my_de.(p).((2 * k) + 1) <- !e
+          done)
+        layer_ands;
+      for src = 0 to n - 1 do
+        let payload = pack_bits (Array.to_list my_de.(src)) in
+        for dst = 0 to n - 1 do
+          if dst <> src then Netsim.Net.send net ~src ~dst payload
+        done
+      done;
+      Netsim.Net.step net;
+      (* Everyone reconstructs the public d, e per gate. *)
+      let received = Array.make n [||] in
+      for me = 0 to n - 1 do
+        let all = Array.make_matrix n (2 * List.length layer_ands) false in
+        for src = 0 to n - 1 do
+          let bits =
+            if src = me then Array.to_list my_de.(me)
+            else
+              match Netsim.Net.recv_from net ~dst:me ~src with
+              | [ b ] -> unpack_bits b ~count:(2 * List.length layer_ands)
+              | _ -> List.init (2 * List.length layer_ands) (fun _ -> false)
+          in
+          List.iteri (fun j b -> all.(src).(j) <- b) bits
+        done;
+        received.(me) <- Array.init (2 * List.length layer_ands) (fun j ->
+            let x = ref false in
+            for src = 0 to n - 1 do
+              x := !x <> all.(src).(j)
+            done;
+            !x)
+      done;
+      List.iteri
+        (fun k (id, ga, gb) ->
+          let sa, sb, sc = Hashtbl.find triples id in
+          for p = 0 to n - 1 do
+            let d = received.(p).(2 * k) and e = received.(p).((2 * k) + 1) in
+            let z =
+              sc.(p) <> (d && sb.(p)) <> (e && sa.(p)) <> (p = 0 && d && e)
+            in
+            let z =
+              match flat.gates.(id) with
+              | FOr _ ->
+                (* x or y = x ⊕ y ⊕ (x ∧ y) *)
+                shares.(p).(ga) <> shares.(p).(gb) <> z
+              | _ -> z
+            in
+            shares.(p).(id) <- z
+          done)
+        layer_ands
+    end
+  done;
+
+  (* ---- Output opening: exchange output-wire shares ---- *)
+  let out_count = Array.length flat.outputs in
+  for src = 0 to n - 1 do
+    let payload =
+      pack_bits (Array.to_list (Array.map (fun gid -> shares.(src).(gid)) flat.outputs))
+    in
+    for dst = 0 to n - 1 do
+      if dst <> src then Netsim.Net.send net ~src ~dst payload
+    done
+  done;
+  Netsim.Net.step net;
+  Array.init n (fun me ->
+      let acc = Array.map (fun gid -> shares.(me).(gid)) flat.outputs in
+      for src = 0 to n - 1 do
+        if src <> me then begin
+          let bits =
+            match Netsim.Net.recv_from net ~dst:me ~src with
+            | [ b ] -> unpack_bits b ~count:out_count
+            | _ -> List.init out_count (fun _ -> false)
+          in
+          List.iteri (fun j b -> acc.(j) <- acc.(j) <> b) bits
+        end
+      done;
+      Bitpack.pack acc)

@@ -1,0 +1,47 @@
+(** A classical baseline: GMW-style n-party computation over point-to-point
+    channels with additive secret sharing and Beaver multiplication triples.
+
+    This is the "generic MPC" yardstick the paper's committee-based
+    protocols are designed to beat as [n] grows: every AND gate costs one
+    Beaver opening, and every opening is an all-to-all exchange of shares —
+    [Θ(n²)] bits {e per gate}, versus Algorithm 3's [Õ(n²/h)] {e total}.
+    Experiment E13 measures the crossover.
+
+    Model notes (documented in DESIGN.md §3):
+    - Beaver triples come from a trusted dealer (the CRS in spirit; a real
+      dishonest-majority preprocessing would itself need the paper's
+      machinery, which is the point of the comparison).  Triple bits are
+      {e not} counted as protocol communication; the online phase is.
+    - The protocol is semi-honest: it computes correctly when parties
+      follow it.  It has {b no} abort mechanism — running it against our
+      active adversaries shows exactly the failure the paper's protocols
+      exist to prevent (see the tests), since without verification a single
+      lying party silently corrupts the output.
+
+    Shares: party [i] holds bit [xᵢ] with [x = ⊕ᵢ xᵢ].  XOR/NOT are local;
+    AND uses one triple; outputs are opened by exchanging shares. *)
+
+type adv = {
+  flip_share : (me:int -> gate_index:int -> bool) option;
+      (** a corrupted party flips its share during an opening — undetectable
+          in plain GMW, which is the baseline's weakness *)
+}
+
+val honest_adv : adv
+
+(** [run net rng ~circuit ~input_width ~inputs ~corruption ~adv] — every
+    party ends with the (claimed) output bits; with [honest_adv] these
+    equal [Circuit.eval].  Returns the per-party packed outputs. *)
+val run :
+  Netsim.Net.t ->
+  Util.Prng.t ->
+  circuit:Circuit.t ->
+  input_width:int ->
+  inputs:int array ->
+  corruption:Netsim.Corruption.t ->
+  adv:adv ->
+  bytes array
+
+(** [triples_used ~circuit] — the number of AND gates = Beaver triples the
+    dealer must supply. *)
+val triples_used : circuit:Circuit.t -> int

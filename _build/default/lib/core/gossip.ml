@@ -1,0 +1,149 @@
+type adv = {
+  equivocate : (me:int -> origin:int -> dst:int -> bytes -> bytes option) option;
+  forge : (me:int -> (int * bytes) list) option;
+  drop : (me:int -> origin:int -> dst:int -> bool) option;
+  spread_warning : bool;
+}
+
+let honest_adv = { equivocate = None; forge = None; drop = None; spread_warning = true }
+
+(* Wire format: tag 0 = rumor (origin, value); tag 1 = warning. *)
+let encode_rumor origin value =
+  Util.Codec.encode
+    (fun w () ->
+      Util.Codec.write_byte w 0;
+      Util.Codec.write_varint w origin;
+      Util.Codec.write_bytes w value)
+    ()
+
+let warning_msg =
+  Util.Codec.encode (fun w () -> Util.Codec.write_byte w 1) ()
+
+type parsed = Rumor of int * bytes | Warning | Garbage
+
+let parse payload =
+  match
+    Util.Codec.decode
+      (fun r ->
+        match Util.Codec.read_byte r with
+        | 0 ->
+          let origin = Util.Codec.read_varint r in
+          let value = Util.Codec.read_bytes r in
+          Rumor (origin, value)
+        | 1 -> Warning
+        | _ -> Garbage)
+      payload
+  with
+  | v -> v
+  | exception Util.Codec.Decode_error _ -> Garbage
+
+let run net _rng _params ~graph ~sources ~corruption ~adv =
+  let n = Netsim.Net.n net in
+  if Array.length graph <> n then invalid_arg "Gossip.run: graph arity";
+  let is_corrupt i = Netsim.Corruption.is_corrupted corruption i in
+  let heard : (int, bytes) Hashtbl.t array = Array.init n (fun _ -> Hashtbl.create 8) in
+  let forwarded = Array.init n (fun _ -> Hashtbl.create 8) in
+  let warned = Array.make n false in
+  let warning_sent = Array.make n false in
+  (* Outgoing queue for the current round: (src, dst, payload). *)
+  let queue = ref [] in
+  let enqueue src dst payload = queue := (src, dst, payload) :: !queue in
+  let neighbors i = Util.Iset.to_sorted_list graph.(i) in
+  let forward_rumor me origin value =
+    if not (Hashtbl.mem forwarded.(me) origin) then begin
+      Hashtbl.replace forwarded.(me) origin ();
+      List.iter
+        (fun dst ->
+          if dst <> me then begin
+            let dropped =
+              is_corrupt me
+              && match adv.drop with Some f -> f ~me ~origin ~dst | None -> false
+            in
+            if not dropped then begin
+              let v =
+                if is_corrupt me then
+                  match adv.equivocate with
+                  | Some f -> ( match f ~me ~origin ~dst value with Some v -> v | None -> value)
+                  | None -> value
+                else value
+              in
+              enqueue me dst (encode_rumor origin v)
+            end
+          end)
+        (neighbors me)
+    end
+  in
+  let send_warning me =
+    if not warning_sent.(me) then begin
+      warning_sent.(me) <- true;
+      if (not (is_corrupt me)) || adv.spread_warning then
+        List.iter (fun dst -> if dst <> me then enqueue me dst warning_msg) (neighbors me)
+    end
+  in
+  (* Round 0: sources inject their own rumors; corrupted parties may also
+     forge rumors for arbitrary origins. *)
+  List.iter
+    (fun (origin, value) ->
+      Hashtbl.replace heard.(origin) origin value;
+      forward_rumor origin origin value)
+    sources;
+  for i = 0 to n - 1 do
+    if is_corrupt i then
+      match adv.forge with
+      | Some f ->
+        List.iter
+          (fun (origin, value) ->
+            (* Forged rumors bypass the "heard" bookkeeping: the forger
+               just transmits them. *)
+            List.iter
+              (fun dst -> if dst <> i then enqueue i dst (encode_rumor origin value))
+              (neighbors i))
+          (f ~me:i)
+      | None -> ()
+  done;
+  (* Gossip rounds until quiescence (bounded by 2n + 2 as a safety net). *)
+  let max_rounds = (2 * n) + 2 in
+  let round = ref 0 in
+  while !queue <> [] && !round < max_rounds do
+    incr round;
+    let msgs = !queue in
+    queue := [];
+    List.iter (fun (src, dst, payload) -> Netsim.Net.send net ~src ~dst payload) msgs;
+    Netsim.Net.step net;
+    for me = 0 to n - 1 do
+      let inbox = Netsim.Net.recv net ~dst:me in
+      List.iter
+        (fun (_, payload) ->
+          match parse payload with
+          | Warning ->
+            if not warned.(me) then begin
+              warned.(me) <- true;
+              send_warning me
+            end
+          | Garbage ->
+            if not warned.(me) then begin
+              warned.(me) <- true;
+              send_warning me
+            end
+          | Rumor (origin, value) ->
+            if not warned.(me) then begin
+              match Hashtbl.find_opt heard.(me) origin with
+              | None ->
+                Hashtbl.replace heard.(me) origin value;
+                forward_rumor me origin value
+              | Some prev ->
+                if not (Bytes.equal prev value) then begin
+                  (* Equivocation detected: warn and abort. *)
+                  warned.(me) <- true;
+                  send_warning me
+                end
+            end)
+        inbox
+    done
+  done;
+  Array.init n (fun i ->
+      if warned.(i) then Outcome.Abort (Outcome.Equivocation "conflicting rumor or warning")
+      else
+        Outcome.Output
+          (Hashtbl.fold (fun origin value acc -> (origin, value) :: acc) heard.(i) []
+          |> List.sort compare))

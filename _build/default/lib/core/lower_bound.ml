@@ -1,0 +1,137 @@
+type trial = { victim_isolated : bool; disagreement : bool }
+type rates = { success_rate : float; isolation_rate : float }
+
+let threshold ~n ~h = float_of_int n /. (8.0 *. float_of_int (max 1 (h - 1)))
+
+let isolation_probability_bound ~n ~h ~degree =
+  (* The victim's contact set (size ~degree, both directions counted as
+     roughly degree effective contacts) must avoid the h-1 random honest
+     parties among the other n-1. *)
+  let p = ref 1.0 in
+  for i = 0 to h - 2 do
+    let remaining = n - 1 - i in
+    p := !p *. max 0.0 (1.0 -. (float_of_int degree /. float_of_int remaining))
+  done;
+  !p
+
+(* The strawman low-locality broadcast: relay the first value heard to
+   [degree] random peers; no verification, no abort.  Corrupted parties
+   play the Appendix A strategy. *)
+let run_trial rng ~n ~h ~degree ~victim_is_sender =
+  if h < 2 || h > n then invalid_arg "Lower_bound.run_trial: need 2 <= h <= n";
+  if degree < 1 || degree >= n then invalid_arg "Lower_bound.run_trial: bad degree";
+  let victim = 0 in
+  let sender = if victim_is_sender then victim else 1 in
+  (* Adversary fixes the victim (and we keep the sender honest so a
+     reference honest value always exists), then picks the remaining honest
+     parties uniformly. *)
+  let honest = Array.make n false in
+  honest.(victim) <- true;
+  honest.(sender) <- true;
+  let others =
+    List.filter (fun i -> i <> victim && i <> sender) (List.init n (fun i -> i))
+  in
+  let arr = Array.of_list others in
+  Util.Prng.shuffle rng arr;
+  let need = h - if victim_is_sender then 1 else 2 in
+  Array.iteri (fun idx i -> if idx < need then honest.(i) <- true) arr;
+  (* Each party samples its outgoing contacts. *)
+  let out_peers =
+    Array.init n (fun i ->
+        Util.Prng.sample_without_replacement rng ~n:(n - 1) ~k:(min degree (n - 1))
+        |> List.map (fun v -> if v >= i then v + 1 else v))
+  in
+  let neighbors = Array.make n Util.Iset.empty in
+  Array.iteri
+    (fun i peers ->
+      List.iter
+        (fun j ->
+          neighbors.(i) <- Util.Iset.add j neighbors.(i);
+          neighbors.(j) <- Util.Iset.add i neighbors.(j))
+        peers)
+    out_peers;
+  let victim_isolated =
+    Util.Iset.for_all (fun j -> not honest.(j)) neighbors.(victim)
+  in
+  (* Propagation.  Values: x = 0 (true), x' = 1 (forged). *)
+  let x = 0 and x' = 1 in
+  let heard = Array.make n [] in
+  let held = Array.make n None in
+  let relayed = Array.make n false in
+  let pending = ref [] in
+  let send dst v = pending := (dst, v) :: !pending in
+  (* Round 0: the sender starts the broadcast; corrupted parties inject the
+     forged value per the attack plan. *)
+  List.iter (fun j -> send j x) (Util.Iset.to_sorted_list neighbors.(sender));
+  held.(sender) <- Some x;
+  relayed.(sender) <- true;
+  for i = 0 to n - 1 do
+    if not honest.(i) then
+      if victim_is_sender then
+        (* Impersonate the sender: gossip x' to all honest contacts. *)
+        Util.Iset.iter (fun j -> if honest.(j) && j <> sender then send j x') neighbors.(i)
+      else
+        (* Feed the forged value to the victim only (stealth). *)
+        send victim x'
+  done;
+  let rounds = ref 0 in
+  while !pending <> [] && !rounds <= 2 * n do
+    incr rounds;
+    let msgs = !pending in
+    pending := [];
+    List.iter
+      (fun (dst, v) ->
+        heard.(dst) <- v :: heard.(dst);
+        if honest.(dst) then begin
+          (match held.(dst) with None -> held.(dst) <- Some v | Some _ -> ());
+          if not relayed.(dst) then begin
+            relayed.(dst) <- true;
+            let v0 = Option.get held.(dst) in
+            Util.Iset.iter (fun j -> send j v0) neighbors.(dst)
+          end
+        end
+        else begin
+          (* Corrupted relays keep the true value moving among non-victims
+             so the attack stays undetected. *)
+          if (not relayed.(dst)) && v = x then begin
+            relayed.(dst) <- true;
+            Util.Iset.iter
+              (fun j -> if j <> victim || victim_is_sender then send j x)
+              neighbors.(dst)
+          end
+        end)
+      msgs
+  done;
+  (* Detection: an honest party that heard two different values would abort
+     in any sound protocol; such trials are failures for the adversary. *)
+  let conflict_at i =
+    honest.(i)
+    && List.exists (fun v -> v = x) heard.(i)
+    && List.exists (fun v -> v = x') heard.(i)
+  in
+  let any_conflict = List.exists conflict_at (List.init n (fun i -> i)) in
+  let disagreement =
+    if any_conflict then false
+    else if victim_is_sender then
+      (* Success: some honest non-sender party adopted the forged value. *)
+      List.exists
+        (fun i -> honest.(i) && i <> sender && held.(i) = Some x')
+        (List.init n (fun i -> i))
+    else
+      (* Success: the victim adopted the forged value while the (honest)
+         sender of course holds the true one. *)
+      held.(victim) = Some x'
+  in
+  { victim_isolated; disagreement }
+
+let measure rng ~n ~h ~degree ~trials ~victim_is_sender =
+  let succ = ref 0 and iso = ref 0 in
+  for _ = 1 to trials do
+    let t = run_trial rng ~n ~h ~degree ~victim_is_sender in
+    if t.disagreement then incr succ;
+    if t.victim_isolated then incr iso
+  done;
+  {
+    success_rate = float_of_int !succ /. float_of_int trials;
+    isolation_rate = float_of_int !iso /. float_of_int trials;
+  }

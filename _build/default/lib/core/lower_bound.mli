@@ -1,0 +1,54 @@
+(** The Theorem 3 lower bound, reproduced as an executable attack
+    (Appendix A).
+
+    The proof: take any broadcast-with-abort protocol in which some party
+    [Q] communicates with fewer than [n/8(h-1)] peers in expectation.  The
+    adversary declares [Q] honest, picks the other [h-1] honest parties
+    uniformly at random, and corrupts the rest.  With constant probability
+    {e none} of [Q]'s contacts are honest, at which point the adversary
+    can impersonate the entire network to [Q] (or impersonate [Q] to the
+    network when [Q] is the sender) and force disagreement {e without any
+    honest party aborting} — violating the agreement-or-abort guarantee.
+
+    We instantiate the "protocol with low locality" as the natural
+    strawman: a gossip broadcast where every party relays the first value
+    it hears to [degree] random peers, with no verification machinery.
+    Sweeping [degree] around [n/8(h-1)] (experiment E4) shows the attack
+    succeeding with constant probability below the threshold and dying off
+    above it — the shape of Theorem 3.
+
+    This module simulates the propagation directly on adjacency lists
+    (it measures probabilities, not bits; the metered protocols live in
+    the other modules). *)
+
+type trial = {
+  victim_isolated : bool;
+      (** none of the victim's contacts were honest — the core event of
+          the proof *)
+  disagreement : bool;
+      (** two honest parties ended with different values and no honest
+          party had any signal to abort on *)
+}
+
+(** [run_trial rng ~n ~h ~degree ~victim_is_sender] — one attack run.
+    Requires [2 <= h <= n], [1 <= degree < n]. *)
+val run_trial :
+  Util.Prng.t -> n:int -> h:int -> degree:int -> victim_is_sender:bool -> trial
+
+type rates = {
+  success_rate : float;    (** fraction of trials with disagreement *)
+  isolation_rate : float;  (** fraction of trials with an isolated victim *)
+}
+
+(** [measure rng ~n ~h ~degree ~trials ~victim_is_sender]. *)
+val measure :
+  Util.Prng.t -> n:int -> h:int -> degree:int -> trials:int -> victim_is_sender:bool -> rates
+
+(** The proof's locality threshold [n / (8(h-1))]. *)
+val threshold : n:int -> h:int -> float
+
+(** [isolation_probability_bound ~n ~h ~degree] — the analytical
+    probability that a fixed set of [degree] contacts misses all [h-1]
+    random honest parties: [∏_{i<h-1} (1 - degree/(n-1-i))], for
+    comparison against the measured isolation rate. *)
+val isolation_probability_bound : n:int -> h:int -> degree:int -> float

@@ -1,0 +1,52 @@
+(** Algorithm 4 (§4.3) — multi-output MPC with abort: [f] maps [n] inputs
+    to [n] {e per-party} outputs, and each party must learn only its own.
+
+    Two additions over Algorithm 3:
+
+    + each party samples a symmetric key [kᵢ] ({!Crypto.Ske}) and submits
+      it encrypted alongside its input; the functionality returns party
+      [i]'s output encrypted under [kᵢ], so committee members and the
+      forwarder learn nothing about others' outputs;
+    + the functionality {b signs} each encrypted output
+      ({!Crypto.Merkle_sig}, standing in for the generic EUF-CMA scheme)
+      under a key pair generated from joint randomness by [F_Gen,2].
+      Because forging is infeasible, a {e single} — possibly corrupted —
+      designated committee member suffices to forward the outputs, which
+      is what keeps the communication at [Õ(n²/h)] instead of the naive
+      [Õ(n³/h²)] (every member forwarding every output).
+
+    Per-party result: its own [ℓ']-bit output (packed), or abort. *)
+
+type config = {
+  params : Params.t;
+  pke : (module Crypto.Pke.S);
+  circuit : Circuit.t;   (** must have [n·output_width] output bits *)
+  input_width : int;
+  output_width : int;    (** bits of output per party *)
+}
+
+type adv = {
+  committee : Committee.adv;
+  encf : Enc_func.adv;
+  pk_forward : (me:int -> dst:int -> bytes -> bytes) option;
+  input_ct : (me:int -> dst:int -> bytes -> bytes) option;
+  eq : Equality.adv;
+  forwarder_tamper : (dst:int -> bytes -> bytes) option;
+      (** the designated forwarder alters the signed bundle for [dst] —
+          must be caught by signature verification *)
+  forwarder_drop : (dst:int -> bool) option;
+}
+
+val honest_adv : adv
+
+val run :
+  Netsim.Net.t ->
+  Util.Prng.t ->
+  config ->
+  corruption:Netsim.Corruption.t ->
+  inputs:int array ->
+  adv:adv ->
+  bytes Outcome.t array
+
+(** [expected_outputs config ~inputs] — party [i]'s honest output bytes. *)
+val expected_outputs : config -> inputs:int array -> bytes array

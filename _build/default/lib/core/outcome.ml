@@ -1,0 +1,67 @@
+type abort_reason =
+  | Equivocation of string
+  | Equality_failed of string
+  | Flooded of string
+  | Missing of string
+  | Malformed of string
+  | Bad_signature
+  | Bad_proof of string
+  | Decryption_failed
+  | Upstream of string
+
+type 'a t = Output of 'a | Abort of abort_reason
+
+let is_output = function Output _ -> true | Abort _ -> false
+let is_abort = function Abort _ -> true | Output _ -> false
+let get = function Output v -> Some v | Abort _ -> None
+let map f = function Output v -> Output (f v) | Abort r -> Abort r
+
+let reason_to_string = function
+  | Equivocation s -> "equivocation: " ^ s
+  | Equality_failed s -> "equality test failed: " ^ s
+  | Flooded s -> "flooded: " ^ s
+  | Missing s -> "missing message: " ^ s
+  | Malformed s -> "malformed message: " ^ s
+  | Bad_signature -> "bad signature"
+  | Bad_proof s -> "bad proof: " ^ s
+  | Decryption_failed -> "decryption failed"
+  | Upstream s -> "sub-protocol aborted: " ^ s
+
+let pp pp_val fmt = function
+  | Output v -> Format.fprintf fmt "Output %a" pp_val v
+  | Abort r -> Format.fprintf fmt "Abort (%s)" (reason_to_string r)
+
+let honest_outputs outs corruption =
+  let acc = ref [] in
+  Array.iteri
+    (fun i o ->
+      if Netsim.Corruption.is_honest corruption i then
+        match o with Output v -> acc := v :: !acc | Abort _ -> ())
+    outs;
+  List.rev !acc
+
+let some_honest_aborted outs corruption =
+  let found = ref false in
+  Array.iteri
+    (fun i o ->
+      if Netsim.Corruption.is_honest corruption i && is_abort o then found := true)
+    outs;
+  !found
+
+let agreement_or_abort ~equal outs corruption =
+  if some_honest_aborted outs corruption then true
+  else
+    match honest_outputs outs corruption with
+    | [] -> true
+    | first :: rest -> List.for_all (equal first) rest
+
+let all_honest_output_value ~equal ~expected outs corruption =
+  let ok = ref true in
+  Array.iteri
+    (fun i o ->
+      if Netsim.Corruption.is_honest corruption i then
+        match o with
+        | Output v -> if not (equal expected v) then ok := false
+        | Abort _ -> ok := false)
+    outs;
+  !ok

@@ -1,0 +1,52 @@
+(** Per-party protocol outcomes and the paper's correctness predicates.
+
+    Every protocol returns one {!t} per party.  The paper's guarantee for
+    MPC with {e selective} abort is precisely {!agreement_or_abort}: in
+    every execution, either all honest parties that produce output agree,
+    or at least one honest party aborted (and individual honest parties may
+    each abort independently — hence "selective"). *)
+
+type abort_reason =
+  | Equivocation of string     (** two different messages where one was expected *)
+  | Equality_failed of string  (** a fingerprint equality test rejected *)
+  | Flooded of string          (** more messages/bits than the protocol prescribes *)
+  | Missing of string          (** an expected message never arrived *)
+  | Malformed of string        (** an undecodable or ill-typed message *)
+  | Bad_signature              (** signature verification failed (Algorithm 4) *)
+  | Bad_proof of string        (** a (simulated) NIZK proof rejected *)
+  | Decryption_failed          (** authenticated decryption failed *)
+  | Upstream of string         (** a sub-protocol aborted *)
+
+type 'a t = Output of 'a | Abort of abort_reason
+
+val is_output : 'a t -> bool
+val is_abort : 'a t -> bool
+val get : 'a t -> 'a option
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val reason_to_string : abort_reason -> string
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit
+
+(** {1 Execution-level predicates}
+
+    These take the whole per-party outcome array plus the corruption
+    pattern and check the paper's properties over the {e honest} parties
+    only (corrupted parties' outcomes are meaningless). *)
+
+(** [honest_outputs outs corruption] — the outputs produced by honest
+    parties (aborting parties excluded). *)
+val honest_outputs : 'a t array -> Netsim.Corruption.t -> 'a list
+
+(** [some_honest_aborted outs corruption]. *)
+val some_honest_aborted : 'a t array -> Netsim.Corruption.t -> bool
+
+(** [agreement_or_abort ~equal outs corruption] — the security-with-abort
+    guarantee: all honest outputs pairwise [equal], or at least one honest
+    party aborted. The vacuous cases (no honest outputs) count as true. *)
+val agreement_or_abort : equal:('a -> 'a -> bool) -> 'a t array -> Netsim.Corruption.t -> bool
+
+(** [all_honest_output_value ~equal ~expected outs corruption] — every
+    honest party produced a value [equal] to [expected] (the all-honest
+    correctness property, Remark 7). *)
+val all_honest_output_value :
+  equal:('a -> 'a -> bool) -> expected:'a -> 'a t array -> Netsim.Corruption.t -> bool

@@ -1,0 +1,39 @@
+type t = { n : int; h : int; lambda : int; alpha : int }
+
+let make ~n ~h ?(lambda = 8) ?(alpha = 4) () =
+  if n < 2 then invalid_arg "Params.make: n must be at least 2";
+  if h < 1 || h > n then invalid_arg "Params.make: need 1 <= h <= n";
+  if lambda < 1 then invalid_arg "Params.make: lambda must be positive";
+  if alpha < 1 then invalid_arg "Params.make: alpha must be positive";
+  { n; h; lambda; alpha }
+
+let log_n t = max 1.0 (log (float_of_int t.n))
+
+let committee_prob t =
+  min 1.0 (float_of_int t.alpha *. log_n t /. float_of_int t.h)
+
+let committee_bound t =
+  int_of_float (ceil (2.0 *. committee_prob t *. float_of_int t.n))
+
+let sparse_degree t =
+  let d =
+    float_of_int t.alpha *. (float_of_int t.n /. float_of_int t.h) *. log_n t
+  in
+  max 1 (min (t.n - 1) (int_of_float (ceil d)))
+
+let degree_bound t = 2 * sparse_degree t
+
+let local_committee_prob t =
+  min 1.0 (float_of_int t.alpha *. log_n t /. sqrt (float_of_int t.h))
+
+let local_committee_bound t =
+  int_of_float (ceil (2.0 *. local_committee_prob t *. float_of_int t.n))
+
+let cover_size t =
+  max 1 (min t.n (int_of_float (ceil (float_of_int t.n /. sqrt (float_of_int t.h)))))
+
+let fingerprint_t t ~msg_len =
+  Crypto.Fingerprint.residues_needed ~lambda:t.lambda ~n:t.n ~msg_len
+
+let pp fmt t =
+  Format.fprintf fmt "{n=%d; h=%d; lambda=%d; alpha=%d}" t.n t.h t.lambda t.alpha

@@ -1,0 +1,57 @@
+(** Protocol parameters, shared by every algorithm in the paper.
+
+    - [n] — total number of parties;
+    - [h] — a lower bound on the number of honest parties ([1 ≤ h ≤ n]);
+    - [lambda] — the security parameter λ controlling the error of the
+      equality tests and of the key material sizes;
+    - [alpha] — the concentration parameter α used by the committee
+      election (Algorithm 2), the sparse network (Algorithm 5) and the
+      local committee election (Algorithm 7).  The paper sets α = λ for the
+      final bounds; keeping it separate lets the experiments sweep it.
+
+    Derived quantities implement the paper's formulas exactly:
+    committee sampling probability [p = min(1, α·ln n / h)] (Algorithm 2
+    step 1), routing degree [d = α·(n/h)·ln n] (Algorithm 5 step 1), local
+    committee probability [p = min(1, α·ln n / √h)] (Algorithm 7 step 2),
+    and cover size [s = n/√h] (Algorithm 8 step 3). *)
+
+type t = {
+  n : int;
+  h : int;
+  lambda : int;
+  alpha : int;
+}
+
+(** [make ~n ~h ?lambda ?alpha ()] with defaults [lambda = 8], [alpha = 4].
+    Raises [Invalid_argument] unless [1 <= h <= n] and [n >= 2]. *)
+val make : n:int -> h:int -> ?lambda:int -> ?alpha:int -> unit -> t
+
+(** Natural log of [n], floored at 1 so small networks stay sane. *)
+val log_n : t -> float
+
+(** Committee sampling probability of Algorithm 2. *)
+val committee_prob : t -> float
+
+(** Committee-size abort threshold [2·p·n] of Algorithm 2 step 3. *)
+val committee_bound : t -> int
+
+(** Routing out-degree of Algorithm 5 step 1 (at least 1, at most n-1). *)
+val sparse_degree : t -> int
+
+(** Incoming-degree abort threshold [2·d] of Algorithm 5 step 3. *)
+val degree_bound : t -> int
+
+(** Local committee sampling probability of Algorithm 7 step 2. *)
+val local_committee_prob : t -> float
+
+(** Local committee-size abort threshold [2·p·n] of Algorithm 7 step 4. *)
+val local_committee_bound : t -> int
+
+(** Cover size [s = ⌈n/√h⌉] of Algorithm 8 step 3. *)
+val cover_size : t -> int
+
+(** Number of fingerprint primes for an equality test on messages of
+    [msg_len] bytes at this [lambda] (see {!Crypto.Fingerprint}). *)
+val fingerprint_t : t -> msg_len:int -> int
+
+val pp : Format.formatter -> t -> unit

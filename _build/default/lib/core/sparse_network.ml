@@ -1,0 +1,90 @@
+type adv = {
+  extra_targets : (me:int -> int list) option;
+  drop_notify : (me:int -> dst:int -> bool) option;
+}
+
+let honest_adv = { extra_targets = None; drop_notify = None }
+
+let run net rng params ~corruption ~adv =
+  let n = Netsim.Net.n net in
+  let d = Params.sparse_degree params in
+  let bound = Params.degree_bound params in
+  let is_corrupt i = Netsim.Corruption.is_corrupted corruption i in
+  (* Step 1: sample outgoing hops (distinct, excluding self). *)
+  let out_hops =
+    Array.init n (fun i ->
+        let sample = Util.Prng.sample_without_replacement rng ~n:(n - 1) ~k:(min d (n - 1)) in
+        (* Map [0, n-2] onto [0, n-1] \ {i}. *)
+        List.map (fun v -> if v >= i then v + 1 else v) sample)
+  in
+  (* Step 2: notification.  Corrupted parties may add extra targets (to
+     flood a victim) or silently skip some notifications. *)
+  for i = 0 to n - 1 do
+    let targets =
+      if is_corrupt i then
+        let extra = match adv.extra_targets with Some f -> f ~me:i | None -> [] in
+        List.sort_uniq compare (extra @ out_hops.(i))
+      else out_hops.(i)
+    in
+    List.iter
+      (fun dst ->
+        if dst <> i then begin
+          let dropped =
+            is_corrupt i
+            && match adv.drop_notify with Some f -> f ~me:i ~dst | None -> false
+          in
+          if not dropped then Netsim.Net.send net ~src:i ~dst (Bytes.make 1 '\001')
+        end)
+      targets
+  done;
+  Netsim.Net.step net;
+  (* Step 3: collect incoming notifications; abort on a flooded inbox.
+     (The paper's step 3 text garbles the inequality; per the proof of
+     Claim 20 the abort condition is |N_in| exceeding twice the expected
+     degree.) *)
+  Array.init n (fun i ->
+      let incoming = List.sort_uniq compare (List.map fst (Netsim.Net.recv net ~dst:i)) in
+      if List.length incoming > bound then
+        Outcome.Abort (Outcome.Flooded "incoming degree above 2d")
+      else Outcome.Output (Util.Iset.of_list (incoming @ out_hops.(i))))
+
+let honest_subgraph_connected outs corruption =
+  let honest_active =
+    List.filter
+      (fun i -> Outcome.is_output outs.(i))
+      (Netsim.Corruption.honest_list corruption)
+  in
+  match honest_active with
+  | [] -> true
+  | start :: _ ->
+    let neighbor_set i =
+      match outs.(i) with Outcome.Output s -> s | Outcome.Abort _ -> Util.Iset.empty
+    in
+    let honest_set = Util.Iset.of_list honest_active in
+    let visited = Hashtbl.create 64 in
+    let rec bfs = function
+      | [] -> ()
+      | i :: rest ->
+        if Hashtbl.mem visited i then bfs rest
+        else begin
+          Hashtbl.replace visited i ();
+          let next =
+            Util.Iset.fold
+              (fun j acc ->
+                if Util.Iset.mem j honest_set && not (Hashtbl.mem visited j) then j :: acc
+                else acc)
+              (neighbor_set i) []
+          in
+          bfs (next @ rest)
+        end
+    in
+    bfs [ start ];
+    List.for_all (Hashtbl.mem visited) honest_active
+
+let max_degree outs =
+  Array.fold_left
+    (fun acc o ->
+      match o with
+      | Outcome.Output s -> max acc (Util.Iset.cardinal s)
+      | Outcome.Abort _ -> acc)
+    0 outs

@@ -1,0 +1,37 @@
+(** Algorithm 5 — [SparseNetwork], establishing a sparse routing graph.
+
+    Each party samples [d = α·(n/h)·log n] random outgoing hops and
+    notifies them; the graph is bidirectional (hop relations are
+    symmetric).  A party that receives more than [2d] incoming connections
+    aborts — with honest parties this happens with probability
+    [n^{-Ω(α)}], so crossing the threshold indicates a targeted flooding
+    attack (Algorithm 5 step 3).
+
+    Guarantees (Claim 20): max degree [O(α·n·log n/h)], and the subgraph
+    induced by the honest parties is connected w.h.p. *)
+
+type adv = {
+  extra_targets : (me:int -> int list) option;
+      (** corrupted parties connect to extra victims (the "DDoS" attack) *)
+  drop_notify : (me:int -> dst:int -> bool) option;
+      (** corrupted parties fail to notify some sampled hops *)
+}
+
+val honest_adv : adv
+
+(** Per-party neighbor set, or abort. *)
+val run :
+  Netsim.Net.t ->
+  Util.Prng.t ->
+  Params.t ->
+  corruption:Netsim.Corruption.t ->
+  adv:adv ->
+  Util.Iset.t Outcome.t array
+
+(** [honest_subgraph_connected outs corruption] — true when the honest
+    parties that did not abort form a connected subgraph under the mutual
+    neighbor relation (the Claim 20 property measured by experiment E7). *)
+val honest_subgraph_connected : Util.Iset.t Outcome.t array -> Netsim.Corruption.t -> bool
+
+(** [max_degree outs] — over non-aborted parties. *)
+val max_degree : Util.Iset.t Outcome.t array -> int

@@ -1,0 +1,110 @@
+let garbler = 0
+let evaluator = 1
+
+let run net rng ~circuit ~input_width ~x0 ~x1 =
+  if Netsim.Net.n net < 2 then invalid_arg "Two_party.run: need two parties";
+  if circuit.Circuit.num_inputs <> 2 * input_width then
+    invalid_arg "Two_party.run: circuit must take two input words";
+  (* Round 1: evaluator sends one OT first message per input bit. *)
+  let ot_states =
+    Array.init input_width (fun k ->
+        let choice = (x1 lsr k) land 1 = 1 in
+        Crypto.Ot.receiver_round1 rng ~choice)
+  in
+  let ot_round1 =
+    Util.Codec.encode
+      (fun w () ->
+        Util.Codec.write_list w
+          (fun w (msg, _) -> Util.Codec.write_bytes w msg)
+          (Array.to_list ot_states))
+      ()
+  in
+  Netsim.Net.send net ~src:evaluator ~dst:garbler ot_round1;
+  Netsim.Net.step net;
+  (* Garbler: garble, answer the OTs with the evaluator-wire labels, and
+     attach tables + its own active labels. *)
+  let g = Crypto.Garble.garble rng circuit in
+  let reply =
+    match Netsim.Net.recv_from net ~dst:garbler ~src:evaluator with
+    | [ r1 ] -> (
+      match
+        Util.Codec.decode (fun r -> Util.Codec.read_list r Util.Codec.read_bytes) r1
+      with
+      | exception Util.Codec.Decode_error _ -> None
+      | round1s when List.length round1s = input_width ->
+        let ot_replies =
+          List.mapi
+            (fun k round1 ->
+              let wire = input_width + k in
+              let l0, l1 = Crypto.Garble.input_labels g ~wire in
+              Crypto.Ot.sender_round2 rng ~round1 ~m0:l0 ~m1:l1)
+            round1s
+        in
+        if List.exists Option.is_none ot_replies then None
+        else begin
+          let own_labels =
+            List.init input_width (fun k ->
+                let l0, l1 = Crypto.Garble.input_labels g ~wire:k in
+                if (x0 lsr k) land 1 = 1 then l1 else l0)
+          in
+          Some
+            (Util.Codec.encode
+               (fun w () ->
+                 Util.Codec.write_bytes w (Crypto.Garble.tables g);
+                 Util.Codec.write_list w Util.Codec.write_bytes own_labels;
+                 Util.Codec.write_list w Util.Codec.write_bytes
+                   (List.map Option.get ot_replies))
+               ())
+        end
+      | _ -> None)
+    | _ -> None
+  in
+  match reply with
+  | None -> Outcome.Abort (Outcome.Malformed "OT round 1")
+  | Some payload -> (
+    Netsim.Net.send net ~src:garbler ~dst:evaluator payload;
+    Netsim.Net.step net;
+    (* Evaluator: finish the OTs, assemble labels, evaluate. *)
+    match Netsim.Net.recv_from net ~dst:evaluator ~src:garbler with
+    | [ msg ] -> (
+      match
+        Util.Codec.decode
+          (fun r ->
+            let tables = Util.Codec.read_bytes r in
+            let own = Util.Codec.read_list r Util.Codec.read_bytes in
+            let ots = Util.Codec.read_list r Util.Codec.read_bytes in
+            (tables, own, ots))
+          msg
+      with
+      | exception Util.Codec.Decode_error _ -> Outcome.Abort (Outcome.Malformed "garbler message")
+      | tables, own_labels, ot_replies ->
+        if List.length own_labels <> input_width || List.length ot_replies <> input_width
+        then Outcome.Abort (Outcome.Malformed "label arity")
+        else begin
+          let my_labels =
+            List.mapi
+              (fun k round2 -> Crypto.Ot.receiver_finish (snd ot_states.(k)) ~round2)
+              ot_replies
+          in
+          if List.exists Option.is_none my_labels then
+            Outcome.Abort Outcome.Decryption_failed
+          else begin
+            let input_labels =
+              Array.of_list (own_labels @ List.map Option.get my_labels)
+            in
+            match Crypto.Garble.eval ~tables ~input_labels with
+            | None -> Outcome.Abort (Outcome.Malformed "garbled tables")
+            | Some out_bits ->
+              let packed = Bitpack.pack out_bits in
+              (* Round 3: the evaluator shares the output with the garbler. *)
+              Netsim.Net.send net ~src:evaluator ~dst:garbler packed;
+              Netsim.Net.step net;
+              let g_out =
+                match Netsim.Net.recv_from net ~dst:garbler ~src:evaluator with
+                | [ b ] -> b
+                | _ -> Bytes.empty
+              in
+              Outcome.Output (g_out, packed)
+          end
+        end)
+    | _ -> Outcome.Abort (Outcome.Missing "garbler reply"))

@@ -1,0 +1,26 @@
+(** Two-party semi-honest computation from garbled circuits + LWE OT —
+    the Remark 10 instantiation at [n = 2], run over the network simulator
+    so its communication is measured like every other protocol.
+
+    Party 0 (the garbler) garbles [f], sends the tables and its own active
+    input labels; party 1 (the evaluator) obtains its input labels via one
+    {!Crypto.Ot} instance per input bit, evaluates, and returns the result
+    to the garbler (both learn [f(x₀, x₁)]).
+
+    Communication is [O(C·λ)] for the tables plus [O(ℓ·poly(λ))] for the
+    OTs — size-dependent, exactly the [poly(λ, C)] trade Remark 10
+    describes (the E14 ablation compares it against the depth-based
+    Theorem 9 cost). *)
+
+(** [run net rng ~circuit ~input_width ~x0 ~x1] — the circuit takes
+    [2·input_width] input bits: party 0's word then party 1's word.
+    Returns (party 0's output, party 1's output) as packed bits, or an
+    abort on malformed data. *)
+val run :
+  Netsim.Net.t ->
+  Util.Prng.t ->
+  circuit:Circuit.t ->
+  input_width:int ->
+  x0:int ->
+  x1:int ->
+  (bytes * bytes) Outcome.t

@@ -1,0 +1,82 @@
+let self_view ~claims ~views i =
+  if claims.(i) then List.sort_uniq compare (i :: views.(i)) else views.(i)
+
+let encode_fp fp = Util.Codec.encode Crypto.Fingerprint.encode fp
+
+let decode_fp b =
+  match Util.Codec.decode Crypto.Fingerprint.decode b with
+  | fp -> Some fp
+  | exception Util.Codec.Decode_error _ -> None
+
+let run net rng params ~claims ~views ~corruption ~eq ~aborted =
+  let n = Netsim.Net.n net in
+  let is_corrupt i = Netsim.Corruption.is_corrupted corruption i in
+  let encoded_view i = Util.Codec.encode_int_list (self_view ~claims ~views i) in
+  let max_len =
+    let len = ref 1 in
+    for i = 0 to n - 1 do
+      if claims.(i) then len := max !len (Bytes.length (encoded_view i))
+    done;
+    !len
+  in
+  let t = Params.fingerprint_t params ~msg_len:max_len in
+  let mutual i j =
+    claims.(i) && claims.(j) && List.mem j views.(i) && List.mem i views.(j)
+  in
+  (* Round A: lower id sends its fingerprint. *)
+  let my_fp = Array.make n None in
+  for i = 0 to n - 1 do
+    if claims.(i) && not aborted.(i) then
+      my_fp.(i) <- Some (Crypto.Fingerprint.make rng ~t (encoded_view i))
+  done;
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if mutual i j && not aborted.(i) then
+        match my_fp.(i) with
+        | Some fp ->
+          let fp =
+            match eq.Equality.tamper_fp with
+            | Some f when is_corrupt i -> f ~me:i ~dst:j fp
+            | _ -> fp
+          in
+          Netsim.Net.send net ~src:i ~dst:j (encode_fp fp)
+        | None -> ()
+    done
+  done;
+  Netsim.Net.step net;
+  (* Round B: receivers verify and reply one bit. *)
+  for j = 0 to n - 1 do
+    for i = 0 to j - 1 do
+      if mutual i j then begin
+        let verdict =
+          match Netsim.Net.recv_from net ~dst:j ~src:i with
+          | [ b ] -> (
+            match decode_fp b with
+            | Some fp -> Crypto.Fingerprint.check fp (encoded_view j)
+            | None -> false)
+          | _ -> false
+        in
+        if (not verdict) && not (is_corrupt j) then aborted.(j) <- true;
+        let reported =
+          match eq.Equality.lie_verdict with
+          | Some f when is_corrupt j -> f ~me:j ~dst:i verdict
+          | _ -> verdict
+        in
+        Netsim.Net.send net ~src:j ~dst:i
+          (Bytes.make 1 (if reported then '\001' else '\000'))
+      end
+    done
+  done;
+  Netsim.Net.step net;
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if mutual i j then begin
+        let accepted =
+          match Netsim.Net.recv_from net ~dst:i ~src:j with
+          | [ b ] when Bytes.length b = 1 -> Bytes.get b 0 = '\001'
+          | _ -> false
+        in
+        if not accepted then aborted.(i) <- true
+      end
+    done
+  done

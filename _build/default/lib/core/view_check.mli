@@ -1,0 +1,22 @@
+(** The committee-view verification step shared by Algorithm 2 (step 4)
+    and Algorithm 7 (step 5): every pair of claimed committee members with
+    mutual knowledge of each other runs [Equality_λ] on their
+    (self-inclusive) views of the committee, over direct channels.
+
+    Mutates [aborted]: an honest party whose test fails is marked. *)
+
+val run :
+  Netsim.Net.t ->
+  Util.Prng.t ->
+  Params.t ->
+  claims:bool array ->
+  views:int list array ->
+  corruption:Netsim.Corruption.t ->
+  eq:Equality.adv ->
+  aborted:bool array ->
+  unit
+
+(** [self_view ~claims ~views i] — party [i]'s view of the committee
+    including itself when elected (the string compared by the tests and
+    carried into the MPC protocols). *)
+val self_view : claims:bool array -> views:int list array -> int -> int list

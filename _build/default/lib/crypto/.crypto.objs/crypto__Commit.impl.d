@@ -1,0 +1,1 @@
+lib/crypto/commit.ml: Bytes Sha256 Util

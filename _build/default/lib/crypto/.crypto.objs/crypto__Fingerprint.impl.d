@@ -1,0 +1,1 @@
+lib/crypto/fingerprint.ml: Array Bytes Char Field Util

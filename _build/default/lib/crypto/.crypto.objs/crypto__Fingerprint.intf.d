@@ -1,0 +1,1 @@
+lib/crypto/fingerprint.mli: Util

@@ -1,0 +1,1 @@
+lib/crypto/garble.ml: Array Bytes Char Circuit Hashtbl List Obj Sha256 Util

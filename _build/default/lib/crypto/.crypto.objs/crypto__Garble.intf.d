@@ -1,0 +1,1 @@
+lib/crypto/garble.mli: Circuit Util

@@ -1,0 +1,1 @@
+lib/crypto/kdf.ml: Buffer Bytes Char Hmac Util

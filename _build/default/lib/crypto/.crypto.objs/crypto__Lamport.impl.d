@@ -1,0 +1,1 @@
+lib/crypto/lamport.ml: Array Bytes Char Kdf Printf Sha256 Util

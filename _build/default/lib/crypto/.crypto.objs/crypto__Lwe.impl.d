@@ -1,0 +1,1 @@
+lib/crypto/lwe.ml: Array Bytes Char Field Kdf Util

@@ -1,0 +1,1 @@
+lib/crypto/lwe.mli: Util

@@ -1,0 +1,1 @@
+lib/crypto/merkle_sig.ml: Bytes Kdf Lamport List Merkle Printf Util

@@ -1,0 +1,1 @@
+lib/crypto/ot.ml: Lwe Util

@@ -1,0 +1,1 @@
+lib/crypto/pke.ml: Bytes Hmac Kdf Lwe Printf Ske Util

@@ -1,0 +1,1 @@
+lib/crypto/pke.mli: Lwe Util

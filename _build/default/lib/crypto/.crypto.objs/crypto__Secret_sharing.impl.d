@@ -1,0 +1,1 @@
+lib/crypto/secret_sharing.ml: Array Bytes Char Field List Util

@@ -1,0 +1,1 @@
+lib/crypto/secret_sharing.mli: Field Util

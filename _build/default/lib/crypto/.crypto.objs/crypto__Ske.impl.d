@@ -1,0 +1,1 @@
+lib/crypto/ske.ml: Buffer Bytes Char Hmac Kdf Util

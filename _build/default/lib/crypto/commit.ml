@@ -1,0 +1,21 @@
+type commitment = bytes
+type opening = bytes (* the 32-byte randomness *)
+
+let randomness_size = 32
+let commitment_size = 32
+
+let hash randomness msg =
+  let ctx = Sha256.init () in
+  Sha256.update ctx randomness;
+  Sha256.update ctx msg;
+  Sha256.finalize ctx
+
+let commit rng msg =
+  let randomness = Util.Prng.bytes rng randomness_size in
+  (hash randomness msg, randomness)
+
+let verify com msg opening =
+  Bytes.length opening = randomness_size && Bytes.equal (hash opening msg) com
+
+let encode_opening w o = Util.Codec.write_raw w o
+let decode_opening r = Util.Codec.read_raw r randomness_size

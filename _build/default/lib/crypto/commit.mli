@@ -1,0 +1,18 @@
+(** Hash-based commitments: [com = H(randomness ‖ message)] with 32 bytes of
+    randomness.  Hiding under the random-oracle heuristic for SHA-256,
+    binding under collision resistance.  Used by tests and examples that
+    need parties to bind to values before revealing them. *)
+
+type commitment = bytes
+type opening
+
+(** [commit rng msg] returns the commitment and its opening. *)
+val commit : Util.Prng.t -> bytes -> commitment * opening
+
+(** [verify com msg opening]. *)
+val verify : commitment -> bytes -> opening -> bool
+
+val commitment_size : int
+
+val encode_opening : Util.Codec.writer -> opening -> unit
+val decode_opening : Util.Codec.reader -> opening

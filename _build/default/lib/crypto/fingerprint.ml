@@ -1,0 +1,49 @@
+type fp = { primes : int array; residues : int array }
+
+let prime_bits = 29
+
+let residues_needed ~lambda ~n ~msg_len =
+  (* Failure of one prime: #(29-bit prime divisors of a |m|-byte difference)
+     / #(29-bit primes) <= (8*msg_len/29) / 2^24 approx. msg_len <= 2^20 in
+     practice, so one prime fails with prob < 2^-6; solve
+     (per_prime)^t <= n^-lambda. *)
+  let per_prime =
+    let divisors = max 1 (8 * max 1 msg_len / prime_bits) in
+    float_of_int divisors /. (2.0 ** 24.0)
+  in
+  let target = -.float_of_int lambda *. log (float_of_int (max 2 n)) in
+  let t = int_of_float (ceil (target /. log per_prime)) in
+  max 1 t
+
+let sample_primes rng t =
+  Array.init t (fun _ -> Field.Primality.random_prime_bits rng ~bits:prime_bits)
+
+let residue msg p =
+  let acc = ref 0 in
+  Bytes.iter (fun c -> acc := ((!acc lsl 8) lor Char.code c) mod p) msg;
+  !acc
+
+let make rng ~t msg =
+  let primes = sample_primes rng t in
+  { primes; residues = Array.map (residue msg) primes }
+
+let check fp msg =
+  Array.for_all2 (fun p r -> residue msg p = r) fp.primes fp.residues
+
+let matches fp1 fp2 =
+  if fp1.primes <> fp2.primes then
+    invalid_arg "Fingerprint.matches: prime sets differ";
+  fp1.residues = fp2.residues
+
+let encode w fp =
+  Util.Codec.write_array w Util.Codec.write_varint fp.primes;
+  Util.Codec.write_array w Util.Codec.write_varint fp.residues
+
+let decode r =
+  let primes = Util.Codec.read_array r Util.Codec.read_varint in
+  let residues = Util.Codec.read_array r Util.Codec.read_varint in
+  if Array.length primes <> Array.length residues then
+    raise (Util.Codec.Decode_error "fingerprint arity mismatch");
+  { primes; residues }
+
+let size_bytes fp = Bytes.length (Util.Codec.encode encode fp)

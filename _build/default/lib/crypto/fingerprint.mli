@@ -1,0 +1,44 @@
+(** Succinct string fingerprints — the substrate of the paper's
+    [Equality_λ] test (Algorithm 1 / Lemma 5).
+
+    The paper samples one random prime [p ∈ [n^λ]] and exchanges [m mod p].
+    To avoid arbitrary-precision arithmetic we instead sample [t]
+    independent 29-bit primes and send the [t] residues: a single random
+    29-bit prime is wrong on a fixed pair [m₁ ≠ m₂] with probability at most
+    [log₂(max|m|·256) / π(2²⁹) ≲ |m|·2⁻²⁴] ... concretely, the number of
+    prime divisors of [m₁ - m₂] below 2²⁹ is at most [8·|m|/29], while there
+    are more than 2²⁴ such primes, so each prime fails with probability
+    [< |m|/2²¹] and [t] independent primes fail with probability
+    [< (|m|/2²¹)^t].  {!residues_needed} picks [t] to reach the paper's
+    [n^{-λ}] target.  The communicated size is [t·(4+4)] bytes =
+    [O(λ log n)] bits, exactly the paper's cost. *)
+
+type fp = { primes : int array; residues : int array }
+
+(** [residues_needed ~lambda ~n ~msg_len] — the number [t] of independent
+    primes needed so the failure probability is at most [n^-lambda]. *)
+val residues_needed : lambda:int -> n:int -> msg_len:int -> int
+
+(** [sample_primes rng t] draws [t] random 29-bit primes. *)
+val sample_primes : Util.Prng.t -> int -> int array
+
+(** [residue msg p] is the big-endian integer value of [msg] mod [p]
+    (Horner; [p < 2³¹]). *)
+val residue : bytes -> int -> int
+
+(** [make rng ~t msg] samples primes and computes the fingerprint. *)
+val make : Util.Prng.t -> t:int -> bytes -> fp
+
+(** [check fp msg] recomputes the residues of [msg] at [fp.primes] and
+    compares — the receiver side of Algorithm 1. *)
+val check : fp -> bytes -> bool
+
+(** [matches fp1 fp2] — equality of two fingerprints over the same primes;
+    [Invalid_argument] if the primes differ. *)
+val matches : fp -> fp -> bool
+
+val size_bytes : fp -> int
+
+(** Serialization. *)
+val encode : Util.Codec.writer -> fp -> unit
+val decode : Util.Codec.reader -> fp

@@ -1,0 +1,205 @@
+type label = bytes
+
+let label_size = 16
+let tag_size = 4
+let row_size = label_size + tag_size
+
+let select_bit (k : bytes) = Char.code (Bytes.get k (label_size - 1)) land 1
+
+(* ---- Flattened circuit (topological order, physical-identity memo) ---- *)
+
+type fgate =
+  | GInput of int
+  | GConst of bool
+  | GNot of int
+  | GBin of int * int (* children; the truth table lives in the rows *)
+
+let truth (g : Circuit.gate) a b =
+  match g with
+  | Circuit.And _ -> a && b
+  | Circuit.Or _ -> a || b
+  | Circuit.Xor _ -> a <> b
+  | _ -> assert false
+
+let flatten (circuit : Circuit.t) =
+  let ids = Hashtbl.create 256 in
+  let rev_gates = ref [] in
+  let count = ref 0 in
+  let find g =
+    let h = Hashtbl.hash g in
+    let rec scan = function
+      | [] -> None
+      | (g', id) :: _ when g' == g -> Some id
+      | _ :: rest -> scan rest
+    in
+    scan (Hashtbl.find_all ids h)
+  in
+  let rec go (g : Circuit.gate) =
+    match find (Obj.repr g) with
+    | Some id -> id
+    | None ->
+      let fg =
+        match g with
+        | Circuit.Input i -> GInput i
+        | Circuit.Const b -> GConst b
+        | Circuit.Not a -> GNot (go a)
+        | Circuit.And (a, b) | Circuit.Or (a, b) | Circuit.Xor (a, b) ->
+          let ia = go a in
+          let ib = go b in
+          GBin (ia, ib)
+      in
+      let id = !count in
+      incr count;
+      rev_gates := (fg, g) :: !rev_gates;
+      Hashtbl.add ids (Hashtbl.hash (Obj.repr g)) (Obj.repr g, id);
+      id
+  in
+  let outputs = List.map go circuit.Circuit.outputs in
+  (Array.of_list (List.rev !rev_gates), Array.of_list outputs)
+
+(* ---- Garbling ---- *)
+
+type garbled = {
+  circuit : Circuit.t;
+  labels : (bytes * bytes) array; (* per flattened gate: (K0, K1) *)
+  gate_of_wire : int array;       (* input wire -> flattened gate id *)
+  blob : bytes;                   (* the transferable tables *)
+}
+
+let hash_row ka kb gate_id =
+  let w = Util.Codec.writer () in
+  Util.Codec.write_raw w ka;
+  Util.Codec.write_raw w kb;
+  Util.Codec.write_varint w gate_id;
+  Bytes.sub (Sha256.digest (Util.Codec.contents w)) 0 row_size
+
+let xor_bytes a b =
+  Bytes.init (Bytes.length a) (fun i ->
+      Char.chr (Char.code (Bytes.get a i) lxor Char.code (Bytes.get b i)))
+
+let fresh_label rng ~select =
+  let k = Util.Prng.bytes rng label_size in
+  let last = Char.code (Bytes.get k (label_size - 1)) in
+  Bytes.set k (label_size - 1) (Char.chr ((last land 0xFE) lor select));
+  k
+
+let fresh_pair rng =
+  let p = if Util.Prng.bool rng then 1 else 0 in
+  (fresh_label rng ~select:p, fresh_label rng ~select:(1 - p))
+
+let garble rng circuit =
+  let gates, outputs = flatten circuit in
+  let num = Array.length gates in
+  let labels = Array.make num (Bytes.empty, Bytes.empty) in
+  let gate_of_wire = Array.make circuit.Circuit.num_inputs (-1) in
+  let w = Util.Codec.writer () in
+  Util.Codec.write_varint w num;
+  Array.iteri
+    (fun id (fg, orig) ->
+      match fg with
+      | GInput wire ->
+        labels.(id) <- fresh_pair rng;
+        gate_of_wire.(wire) <- id;
+        Util.Codec.write_byte w 0;
+        Util.Codec.write_varint w wire
+      | GConst b ->
+        let pair = fresh_pair rng in
+        labels.(id) <- pair;
+        (* The evaluator receives the active label directly. *)
+        Util.Codec.write_byte w 1;
+        Util.Codec.write_bytes w (if b then snd pair else fst pair)
+      | GNot child ->
+        (* Swapped alias: K_not^b = K_child^{1-b}; the evaluator just
+           carries the child's active label forward. *)
+        let c0, c1 = labels.(child) in
+        labels.(id) <- (c1, c0);
+        Util.Codec.write_byte w 2;
+        Util.Codec.write_varint w child
+      | GBin (ia, ib) ->
+        let pair = fresh_pair rng in
+        labels.(id) <- pair;
+        let rows = Array.make 4 Bytes.empty in
+        List.iter
+          (fun (va, vb) ->
+            let ka = if va then snd labels.(ia) else fst labels.(ia) in
+            let kb = if vb then snd labels.(ib) else fst labels.(ib) in
+            let out = truth orig va vb in
+            let kc = if out then snd pair else fst pair in
+            let plain = Bytes.cat kc (Bytes.make tag_size '\000') in
+            let row_idx = (2 * select_bit ka) + select_bit kb in
+            rows.(row_idx) <- xor_bytes (hash_row ka kb id) plain)
+          [ (false, false); (false, true); (true, false); (true, true) ];
+        Util.Codec.write_byte w 3;
+        Util.Codec.write_varint w ia;
+        Util.Codec.write_varint w ib;
+        Array.iter (fun r -> Util.Codec.write_raw w r) rows)
+    gates;
+  (* Output decode map: permute bit of each output wire. *)
+  Util.Codec.write_list w
+    (fun w out_id ->
+      Util.Codec.write_varint w out_id;
+      Util.Codec.write_byte w (select_bit (fst labels.(out_id))))
+    (Array.to_list outputs);
+  { circuit; labels; gate_of_wire; blob = Util.Codec.contents w }
+
+let input_labels g ~wire =
+  let id = g.gate_of_wire.(wire) in
+  if id < 0 then invalid_arg "Garble.input_labels: unused wire";
+  g.labels.(id)
+
+let encode g ~inputs =
+  if Array.length inputs <> g.circuit.Circuit.num_inputs then
+    invalid_arg "Garble.encode: wrong input arity";
+  Array.mapi
+    (fun wire b ->
+      let id = g.gate_of_wire.(wire) in
+      if id < 0 then Bytes.make label_size '\000'
+      else if b then snd g.labels.(id)
+      else fst g.labels.(id))
+    inputs
+
+let tables g = Bytes.copy g.blob
+
+let eval ~tables ~input_labels =
+  match
+    let r = Util.Codec.reader tables in
+    let num = Util.Codec.read_varint r in
+    let active = Array.make num Bytes.empty in
+    for id = 0 to num - 1 do
+      match Util.Codec.read_byte r with
+      | 0 ->
+        let wire = Util.Codec.read_varint r in
+        if wire >= Array.length input_labels then
+          raise (Util.Codec.Decode_error "missing input label");
+        active.(id) <- input_labels.(wire)
+      | 1 -> active.(id) <- Util.Codec.read_bytes r
+      | 2 ->
+        let child = Util.Codec.read_varint r in
+        active.(id) <- active.(child)
+      | 3 ->
+        let ia = Util.Codec.read_varint r in
+        let ib = Util.Codec.read_varint r in
+        let rows = Array.init 4 (fun _ -> Util.Codec.read_raw r row_size) in
+        let ka = active.(ia) and kb = active.(ib) in
+        let row = rows.((2 * select_bit ka) + select_bit kb) in
+        let plain = xor_bytes (hash_row ka kb id) row in
+        let kc = Bytes.sub plain 0 label_size in
+        let tag = Bytes.sub plain label_size tag_size in
+        if not (Bytes.equal tag (Bytes.make tag_size '\000')) then
+          raise (Util.Codec.Decode_error "garbled row authentication failed");
+        active.(id) <- kc
+      | _ -> raise (Util.Codec.Decode_error "bad gate tag")
+    done;
+    let outs =
+      Util.Codec.read_list r (fun r ->
+          let out_id = Util.Codec.read_varint r in
+          let permute = Util.Codec.read_byte r in
+          select_bit active.(out_id) lxor permute = 1)
+    in
+    Array.of_list outs
+  with
+  | outs -> Some outs
+  | exception Util.Codec.Decode_error _ -> None
+  | exception Invalid_argument _ -> None
+
+let size_bytes g = Bytes.length g.blob

@@ -1,0 +1,45 @@
+(** Yao garbled circuits with point-and-permute.
+
+    Remark 10 of the paper notes that the LWE-based Theorem 9 machinery
+    (cost [poly(λ, D)]) can be replaced by maliciously-secure two-round OT
+    plus garbled circuits at cost [poly(λ, C)] — trading the stronger
+    assumption for a dependence on circuit {e size} rather than depth.
+    This module provides the garbling half of that instantiation, for the
+    two-party protocol ({!Two_party}) and the E14 ablation.
+
+    Construction: each wire carries two 16-byte labels whose last bit is
+    the permute bit; every binary gate is a four-row table, row
+    [(σ_a, σ_b)] holding [H(K_a ‖ K_b ‖ gate_id) ⊕ (K_c ‖ tag)] — the
+    evaluator decrypts exactly one row per gate and learns nothing else.
+    NOT gates are free (label swap at garble time).  No free-XOR, no
+    row-reduction: clarity over squeezing bytes. *)
+
+type garbled
+
+(** Input labels for one wire: the pair [(label₀, label₁)] (garbler side). *)
+type label = bytes
+
+(** [garble rng circuit] — garbled tables plus the label maps. *)
+val garble : Util.Prng.t -> Circuit.t -> garbled
+
+(** [input_labels g ~wire] — the two labels of an input wire (garbler
+    keeps these; it sends the one matching its own input bit, and runs OT
+    for the evaluator's wires). *)
+val input_labels : garbled -> wire:int -> label * label
+
+(** [encode g ~inputs] — active labels for a full input assignment. *)
+val encode : garbled -> inputs:bool array -> label array
+
+(** Everything the evaluator needs: tables + output decode map (a
+    transferable blob; input labels travel separately). *)
+val tables : garbled -> bytes
+
+(** [eval ~tables ~input_labels] — returns the output bits, or [None] on a
+    malformed garbling/labels.  Pure: no secrets needed. *)
+val eval : tables:bytes -> input_labels:label array -> bool array option
+
+(** [size_bytes g] — encoded table size (the communication of sending the
+    garbled circuit), ~[4·(16+1)·C] bytes. *)
+val size_bytes : garbled -> int
+
+val label_size : int

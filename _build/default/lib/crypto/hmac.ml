@@ -1,0 +1,34 @@
+let block_size = 64
+
+let normalize_key key =
+  let key = if Bytes.length key > block_size then Sha256.digest key else key in
+  let out = Bytes.make block_size '\000' in
+  Bytes.blit key 0 out 0 (Bytes.length key);
+  out
+
+let xor_pad key pad =
+  Bytes.init block_size (fun i ->
+      Char.chr (Char.code (Bytes.get key i) lxor pad))
+
+let mac ~key msg =
+  let key = normalize_key key in
+  let inner = Sha256.init () in
+  Sha256.update inner (xor_pad key 0x36);
+  Sha256.update inner msg;
+  let inner_digest = Sha256.finalize inner in
+  let outer = Sha256.init () in
+  Sha256.update outer (xor_pad key 0x5c);
+  Sha256.update outer inner_digest;
+  Sha256.finalize outer
+
+let verify ~key msg tag =
+  let expected = mac ~key msg in
+  if Bytes.length tag <> Bytes.length expected then false
+  else begin
+    (* Constant-time comparison. *)
+    let diff = ref 0 in
+    for i = 0 to Bytes.length expected - 1 do
+      diff := !diff lor (Char.code (Bytes.get expected i) lxor Char.code (Bytes.get tag i))
+    done;
+    !diff = 0
+  end

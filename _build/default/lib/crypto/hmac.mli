@@ -1,0 +1,10 @@
+(** HMAC-SHA256 (RFC 2104), built on {!Sha256}.
+
+    Used for authenticated encryption in {!Ske} and for deriving
+    pseudorandom values in {!Kdf}. *)
+
+(** [mac ~key msg] is the 32-byte HMAC tag. *)
+val mac : key:bytes -> bytes -> bytes
+
+(** [verify ~key msg tag] checks a tag in constant time. *)
+val verify : key:bytes -> bytes -> bytes -> bool

@@ -1,0 +1,32 @@
+let block ~key ~info counter =
+  let w = Util.Codec.writer () in
+  Util.Codec.write_string w info;
+  Util.Codec.write_varint w counter;
+  Hmac.mac ~key (Util.Codec.contents w)
+
+let expand ~key ~info len =
+  if len < 0 then invalid_arg "Kdf.expand: negative length";
+  let out = Buffer.create len in
+  let counter = ref 0 in
+  while Buffer.length out < len do
+    Buffer.add_bytes out (block ~key ~info !counter);
+    incr counter
+  done;
+  Bytes.sub (Buffer.to_bytes out) 0 len
+
+let derive_int ~key ~info ~bound =
+  if bound <= 0 then invalid_arg "Kdf.derive_int: bound must be positive";
+  (* 8 bytes gives negligible modulo bias for bounds < 2^32. *)
+  let b = expand ~key ~info 8 in
+  let v = ref 0 in
+  for i = 0 to 7 do
+    v := (!v lsl 8) lor Char.code (Bytes.get b i)
+  done;
+  (!v land max_int) mod bound
+
+let prf_stream ~key ~info =
+  let counter = ref 0 in
+  fun () ->
+    let b = block ~key ~info !counter in
+    incr counter;
+    b

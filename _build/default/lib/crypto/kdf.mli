@@ -1,0 +1,15 @@
+(** Key derivation (HKDF-expand style, RFC 5869) over HMAC-SHA256.
+
+    [expand ~key ~info len] produces [len] pseudorandom bytes bound to the
+    context string [info].  Used to derive independent subkeys (encryption
+    key, MAC key, per-party keys) from one master secret. *)
+
+val expand : key:bytes -> info:string -> int -> bytes
+
+(** [derive_int ~key ~info ~bound] derives a pseudorandom int in
+    [\[0, bound)]. Requires [bound > 0]. *)
+val derive_int : key:bytes -> info:string -> bound:int -> int
+
+(** [prf_stream ~key ~info] is an infinite deterministic byte stream reader:
+    each call returns the next block of 32 bytes. *)
+val prf_stream : key:bytes -> info:string -> unit -> bytes

@@ -1,0 +1,48 @@
+(* 256 message bits, two 32-byte secrets per bit. *)
+let bits = 256
+let secret_size = 32
+
+type secret_key = bytes array array (* [bit].[value] -> 32-byte preimage *)
+type public_key = bytes array array (* [bit].[value] -> 32-byte hash *)
+type signature = bytes array (* [bit] -> revealed preimage *)
+
+let keygen ~seed =
+  let sk =
+    Array.init bits (fun i ->
+        Array.init 2 (fun v ->
+            Kdf.expand ~key:seed ~info:(Printf.sprintf "lamport/%d/%d" i v) secret_size))
+  in
+  let pk = Array.map (Array.map Sha256.digest) sk in
+  (sk, pk)
+
+let message_bits msg =
+  let d = Sha256.digest msg in
+  Array.init bits (fun i ->
+      (Char.code (Bytes.get d (i / 8)) lsr (7 - (i mod 8))) land 1)
+
+let sign sk msg =
+  let mb = message_bits msg in
+  Array.init bits (fun i -> sk.(i).(mb.(i)))
+
+let verify pk msg signature =
+  Array.length signature = bits
+  &&
+  let mb = message_bits msg in
+  let ok = ref true in
+  Array.iteri
+    (fun i preimage ->
+      if not (Bytes.equal (Sha256.digest preimage) pk.(i).(mb.(i))) then ok := false)
+    signature;
+  !ok
+
+let public_key_size = bits * 2 * 32
+let signature_size = bits * 32
+
+let encode_public_key w pk =
+  Array.iter (fun pair -> Array.iter (fun h -> Util.Codec.write_raw w h) pair) pk
+
+let decode_public_key r =
+  Array.init bits (fun _ -> Array.init 2 (fun _ -> Util.Codec.read_raw r 32))
+
+let encode_signature w s = Array.iter (fun b -> Util.Codec.write_raw w b) s
+let decode_signature r = Array.init bits (fun _ -> Util.Codec.read_raw r secret_size)

@@ -1,0 +1,33 @@
+(** Lamport one-time signatures over SHA-256.
+
+    The secret key is derived deterministically from a 32-byte seed (so the
+    "encrypted functionality" of Algorithm 4 can generate it from shared
+    randomness); the public key is the per-position hashes.  Messages are
+    hashed to 256 bits and each bit reveals one preimage.
+
+    Security rests only on one-wayness of SHA-256, matching the paper's use
+    of a generic EUF-CMA digital signature scheme in §4.3. *)
+
+type secret_key
+type public_key
+type signature
+
+(** [keygen ~seed] derives a key pair deterministically from [seed]. *)
+val keygen : seed:bytes -> secret_key * public_key
+
+(** [sign sk msg] signs an arbitrary-length message (hashed internally).
+    One-time: signing two different messages with the same key leaks it. *)
+val sign : secret_key -> bytes -> signature
+
+(** [verify pk msg signature]. *)
+val verify : public_key -> bytes -> signature -> bool
+
+(** Sizes in bytes, for communication accounting. *)
+val public_key_size : int
+val signature_size : int
+
+(** Serialization. *)
+val encode_public_key : Util.Codec.writer -> public_key -> unit
+val decode_public_key : Util.Codec.reader -> public_key
+val encode_signature : Util.Codec.writer -> signature -> unit
+val decode_signature : Util.Codec.reader -> signature

@@ -1,0 +1,171 @@
+type params = { dim : int; samples : int; q : int; err_bound : int }
+
+(* q = 12289 is prime; correctness needs samples * err_bound < q / 4,
+   here 256 * 2 = 512 < 3072. *)
+let default_params = { dim = 48; samples = 256; q = 12289; err_bound = 2 }
+
+type public_key = {
+  p : params;
+  a : int array array; (* samples x dim *)
+  b : int array;       (* samples *)
+}
+
+type secret_key = { sp : params; s : int array }
+type ciphertext = { u : int array; v : int }
+
+let check_params p =
+  if p.dim <= 0 || p.samples <= 0 then invalid_arg "Lwe: bad dimensions";
+  if p.q >= 1 lsl 16 then invalid_arg "Lwe: q must fit 16 bits";
+  if not (Field.Primality.is_prime p.q) then invalid_arg "Lwe: q not prime";
+  if p.samples * p.err_bound >= p.q / 4 then invalid_arg "Lwe: decryption not correct"
+
+let sample_error rng p = Util.Prng.int_in rng (-p.err_bound) p.err_bound
+
+let keygen ?(params = default_params) rng =
+  check_params params;
+  let p = params in
+  let s = Array.init p.dim (fun _ -> Util.Prng.int rng p.q) in
+  let a = Array.init p.samples (fun _ -> Array.init p.dim (fun _ -> Util.Prng.int rng p.q)) in
+  let b =
+    Array.map
+      (fun row ->
+        let dot = ref 0 in
+        Array.iteri (fun j aj -> dot := (!dot + (aj * s.(j))) mod p.q) row;
+        (((!dot + sample_error rng p) mod p.q) + p.q) mod p.q)
+      a
+  in
+  ({ p; a; b }, { sp = p; s })
+
+let keygen_seeded ?(params = default_params) seed =
+  (* Derive a PRNG seed from the joint randomness; the simulation treats the
+     KDF output as ideal randomness (documented in DESIGN.md §3). *)
+  let d = Kdf.expand ~key:seed ~info:"lwe/keygen" 8 in
+  let s = ref 0 in
+  Bytes.iter (fun c -> s := (!s lsl 8) lor Char.code c) d;
+  keygen ~params (Util.Prng.create (!s land max_int))
+
+let encrypt_bit rng pk bit =
+  let p = pk.p in
+  (* Random subset of the rows. *)
+  let x = Array.init p.samples (fun _ -> Util.Prng.bool rng) in
+  let u = Array.make p.dim 0 in
+  let v = ref 0 in
+  Array.iteri
+    (fun i included ->
+      if included then begin
+        let row = pk.a.(i) in
+        for j = 0 to p.dim - 1 do
+          u.(j) <- (u.(j) + row.(j)) mod p.q
+        done;
+        v := (!v + pk.b.(i)) mod p.q
+      end)
+    x;
+  let v = if bit then (!v + (p.q / 2)) mod p.q else !v in
+  { u; v }
+
+let decrypt_bit sk ct =
+  let p = sk.sp in
+  let dot = ref 0 in
+  Array.iteri (fun j uj -> dot := (!dot + (uj * sk.s.(j))) mod p.q) ct.u;
+  let diff = ((ct.v - !dot) mod p.q + p.q) mod p.q in
+  (* Distance to 0 vs distance to q/2. *)
+  let dist0 = min diff (p.q - diff) in
+  let half = p.q / 2 in
+  let dist_half = abs (diff - half) in
+  dist_half < dist0
+
+let add_ct pk c1 c2 =
+  let p = pk.p in
+  {
+    u = Array.init p.dim (fun j -> (c1.u.(j) + c2.u.(j)) mod p.q);
+    v = (c1.v + c2.v) mod p.q;
+  }
+
+(* Fixed-width 2-byte little-endian coordinates: q < 2^16. *)
+let write_coord w v =
+  Util.Codec.write_byte w (v land 0xFF);
+  Util.Codec.write_byte w ((v lsr 8) land 0xFF)
+
+let read_coord r =
+  let lo = Util.Codec.read_byte r in
+  let hi = Util.Codec.read_byte r in
+  lo lor (hi lsl 8)
+
+let encode_ciphertext w ct =
+  Array.iter (write_coord w) ct.u;
+  write_coord w ct.v
+
+let decode_ciphertext r ~dim =
+  let u = Array.init dim (fun _ -> read_coord r) in
+  let v = read_coord r in
+  { u; v }
+
+let encrypt_bytes rng pk pt =
+  let w = Util.Codec.writer () in
+  Util.Codec.write_varint w (Bytes.length pt);
+  Bytes.iter
+    (fun c ->
+      let byte = Char.code c in
+      for bit = 7 downto 0 do
+        encode_ciphertext w (encrypt_bit rng pk ((byte lsr bit) land 1 = 1))
+      done)
+    pt;
+  Util.Codec.contents w
+
+let decrypt_bytes sk blob =
+  match
+    Util.Codec.decode
+      (fun r ->
+        let len = Util.Codec.read_varint r in
+        Bytes.init len (fun _ ->
+            let byte = ref 0 in
+            for _bit = 0 to 7 do
+              let ct = decode_ciphertext r ~dim:sk.sp.dim in
+              byte := (!byte lsl 1) lor (if decrypt_bit sk ct then 1 else 0)
+            done;
+            Char.chr !byte))
+      blob
+  with
+  | pt -> Some pt
+  | exception Util.Codec.Decode_error _ -> None
+  | exception Invalid_argument _ -> None
+
+let public_key_size p = 2 * p.samples * (p.dim + 1)
+
+let ciphertext_blob_size p ~plaintext_len =
+  Util.Codec.varint_size plaintext_len + (8 * plaintext_len * 2 * (p.dim + 1))
+
+let params_of_pk pk = pk.p
+
+let encode_params w p =
+  Util.Codec.write_varint w p.dim;
+  Util.Codec.write_varint w p.samples;
+  Util.Codec.write_varint w p.q;
+  Util.Codec.write_varint w p.err_bound
+
+let decode_params r =
+  let dim = Util.Codec.read_varint r in
+  let samples = Util.Codec.read_varint r in
+  let q = Util.Codec.read_varint r in
+  let err_bound = Util.Codec.read_varint r in
+  { dim; samples; q; err_bound }
+
+let encode_public_key w pk =
+  encode_params w pk.p;
+  Array.iter (fun row -> Array.iter (write_coord w) row) pk.a;
+  Array.iter (write_coord w) pk.b
+
+let decode_public_key r =
+  let p = decode_params r in
+  let a = Array.init p.samples (fun _ -> Array.init p.dim (fun _ -> read_coord r)) in
+  let b = Array.init p.samples (fun _ -> read_coord r) in
+  { p; a; b }
+
+let encode_secret_key w sk =
+  encode_params w sk.sp;
+  Array.iter (write_coord w) sk.s
+
+let decode_secret_key r =
+  let sp = decode_params r in
+  let s = Array.init sp.dim (fun _ -> read_coord r) in
+  { sp; s }

@@ -1,0 +1,67 @@
+(** Regev public-key encryption from Learning with Errors (Regev '05).
+
+    The paper's protocols assume LWE-based encryption for the parties'
+    inputs; this module implements the actual scheme (not a mock): keys are
+    [(A, b = A·s + e)] over [Z_q], each plaintext bit is encrypted as a
+    random subset-sum of the rows plus [bit·⌊q/2⌋].
+
+    Parameters are simulation-scale (q = 12289, dimension 48, 256 samples,
+    errors in [\[-2, 2\]]), giving perfect correctness (m·B < q/4) and a
+    meaningful — though of course not production-hardened — LWE instance.
+    Ciphertext and key sizes are what the communication accounting measures.
+
+    The scheme is additively homomorphic modulo 2: adding ciphertexts
+    coordinate-wise yields an encryption of the XOR, with error growth
+    bounded by the number of summands (exposed as {!add_ct} and used in
+    tests to exercise the homomorphic code path of the encrypted
+    functionality). *)
+
+type params = {
+  dim : int;      (** secret dimension d *)
+  samples : int;  (** public-key rows m *)
+  q : int;        (** prime modulus *)
+  err_bound : int (** errors uniform in [-err_bound, err_bound] *)
+}
+
+val default_params : params
+
+type public_key
+type secret_key
+type ciphertext (* encryption of a single bit *)
+
+(** [keygen ?params rng]. *)
+val keygen : ?params:params -> Util.Prng.t -> public_key * secret_key
+
+(** [keygen_seeded ?params seed] — deterministic keygen from a seed, used by
+    the encrypted functionality to derive the key from the parties' joint
+    randomness [⊕ rᵢ]. *)
+val keygen_seeded : ?params:params -> bytes -> public_key * secret_key
+
+(** [encrypt_bit rng pk b]. *)
+val encrypt_bit : Util.Prng.t -> public_key -> bool -> ciphertext
+
+(** [decrypt_bit sk ct]. *)
+val decrypt_bit : secret_key -> ciphertext -> bool
+
+(** [add_ct pk c1 c2] is a ciphertext of [b1 xor b2] (error grows). *)
+val add_ct : public_key -> ciphertext -> ciphertext -> ciphertext
+
+(** [encrypt_bytes rng pk pt] encrypts a byte string bitwise, returning the
+    encoded ciphertext blob. *)
+val encrypt_bytes : Util.Prng.t -> public_key -> bytes -> bytes
+
+(** [decrypt_bytes sk blob] — [None] if the blob is malformed. *)
+val decrypt_bytes : secret_key -> bytes -> bytes option
+
+(** Sizes in bytes, for communication accounting. *)
+val public_key_size : params -> int
+val ciphertext_blob_size : params -> plaintext_len:int -> int
+
+(** [params_of_pk pk]. *)
+val params_of_pk : public_key -> params
+
+(** Serialization. *)
+val encode_public_key : Util.Codec.writer -> public_key -> unit
+val decode_public_key : Util.Codec.reader -> public_key
+val encode_secret_key : Util.Codec.writer -> secret_key -> unit
+val decode_secret_key : Util.Codec.reader -> secret_key

@@ -1,0 +1,89 @@
+(* Domain separation: leaf hashes are H(0x00 || payload), internal nodes are
+   H(0x01 || left || right).  Odd nodes at a level are promoted unchanged. *)
+
+let hash_leaf payload =
+  let ctx = Sha256.init () in
+  Sha256.update ctx (Bytes.make 1 '\000');
+  Sha256.update ctx payload;
+  Sha256.finalize ctx
+
+let hash_node left right =
+  let ctx = Sha256.init () in
+  Sha256.update ctx (Bytes.make 1 '\001');
+  Sha256.update ctx left;
+  Sha256.update ctx right;
+  Sha256.finalize ctx
+
+type tree = { levels : bytes array array (* levels.(0) = leaf hashes *) }
+
+type proof = { index : int; path : (bool * bytes) list (* (sibling_is_right, sibling) *) }
+
+let build leaves =
+  if leaves = [] then invalid_arg "Merkle.build: no leaves";
+  let level0 = Array.of_list (List.map hash_leaf leaves) in
+  let rec up acc level =
+    if Array.length level = 1 then List.rev (level :: acc)
+    else begin
+      let n = Array.length level in
+      let parent =
+        Array.init
+          ((n + 1) / 2)
+          (fun i ->
+            let l = level.(2 * i) in
+            if (2 * i) + 1 < n then hash_node l level.((2 * i) + 1) else l)
+      in
+      up (level :: acc) parent
+    end
+  in
+  { levels = Array.of_list (up [] level0) }
+
+let root t = Bytes.copy t.levels.(Array.length t.levels - 1).(0)
+let num_leaves t = Array.length t.levels.(0)
+
+let prove t i =
+  if i < 0 || i >= num_leaves t then invalid_arg "Merkle.prove: bad index";
+  let path = ref [] in
+  let idx = ref i in
+  for lvl = 0 to Array.length t.levels - 2 do
+    let level = t.levels.(lvl) in
+    let sibling = !idx lxor 1 in
+    if sibling < Array.length level then begin
+      let sibling_is_right = sibling > !idx in
+      path := (sibling_is_right, Bytes.copy level.(sibling)) :: !path
+    end;
+    idx := !idx / 2
+  done;
+  { index = i; path = List.rev !path }
+
+let verify ~root:r ~leaf proof =
+  let acc = ref (hash_leaf leaf) in
+  let idx = ref proof.index in
+  List.iter
+    (fun (sibling_is_right, sibling) ->
+      acc := if sibling_is_right then hash_node !acc sibling else hash_node sibling !acc;
+      idx := !idx / 2)
+    proof.path;
+  Bytes.equal !acc r
+
+let proof_index p = p.index
+
+let encode_proof w p =
+  Util.Codec.write_varint w p.index;
+  Util.Codec.write_list w
+    (fun w (right, sib) ->
+      Util.Codec.write_bool w right;
+      Util.Codec.write_bytes w sib)
+    p.path
+
+let decode_proof r =
+  let index = Util.Codec.read_varint r in
+  let path =
+    Util.Codec.read_list r (fun r ->
+        let right = Util.Codec.read_bool r in
+        let sib = Util.Codec.read_bytes r in
+        (right, sib))
+  in
+  { index; path }
+
+let proof_size_bytes p =
+  Bytes.length (Util.Codec.encode encode_proof p)

@@ -1,0 +1,37 @@
+(** Merkle trees over SHA-256 with inclusion proofs.
+
+    Used by {!Merkle_sig} to turn Lamport one-time keys into a many-time
+    signature scheme, and available to protocols that need to commit to a
+    vector of values with short openings. *)
+
+type tree
+
+(** An inclusion proof: the leaf index plus the authentication path. *)
+type proof
+
+(** [build leaves] constructs a tree over the given leaf payloads.  Leaves
+    are domain-separated from internal nodes so no second-preimage confusion
+    is possible.  Requires at least one leaf. *)
+val build : bytes list -> tree
+
+(** [root t] is the 32-byte root digest. *)
+val root : tree -> bytes
+
+(** [num_leaves t]. *)
+val num_leaves : tree -> int
+
+(** [prove t i] is an inclusion proof for leaf [i]. *)
+val prove : tree -> int -> proof
+
+(** [verify ~root ~leaf proof] checks the proof for the leaf payload. *)
+val verify : root:bytes -> leaf:bytes -> proof -> bool
+
+(** [proof_index p] is the leaf index the proof speaks for. *)
+val proof_index : proof -> int
+
+(** [proof_size_bytes p] — size of the encoded proof, for cost accounting. *)
+val proof_size_bytes : proof -> int
+
+(** Serialization, for sending proofs over the simulated network. *)
+val encode_proof : Util.Codec.writer -> proof -> unit
+val decode_proof : Util.Codec.reader -> proof

@@ -1,0 +1,71 @@
+type public_key = bytes
+
+type secret_key = {
+  seed : bytes;
+  total : int;
+  mutable next : int;
+  tree : Merkle.tree;
+  lamport_pks : bytes list; (* encoded one-time pks, the tree leaves *)
+}
+
+type signature = {
+  leaf_index : int;
+  ots_pk : Lamport.public_key;
+  ots_sig : Lamport.signature;
+  proof : Merkle.proof;
+}
+
+exception Out_of_signatures
+
+let leaf_seed seed i = Kdf.expand ~key:seed ~info:(Printf.sprintf "merkle-sig/leaf/%d" i) 32
+
+let encoded_lamport_pk pk = Util.Codec.encode Lamport.encode_public_key pk
+
+let keygen ~seed ~height =
+  if height < 0 || height > 20 then invalid_arg "Merkle_sig.keygen: bad height";
+  let total = 1 lsl height in
+  let lamport_pks =
+    List.init total (fun i ->
+        let _, pk = Lamport.keygen ~seed:(leaf_seed seed i) in
+        encoded_lamport_pk pk)
+  in
+  let tree = Merkle.build lamport_pks in
+  ({ seed; total; next = 0; tree; lamport_pks }, Merkle.root tree)
+
+let signatures_remaining sk = sk.total - sk.next
+
+let sign sk msg =
+  if sk.next >= sk.total then raise Out_of_signatures;
+  let i = sk.next in
+  sk.next <- i + 1;
+  let ots_sk, ots_pk = Lamport.keygen ~seed:(leaf_seed sk.seed i) in
+  let ots_sig = Lamport.sign ots_sk msg in
+  { leaf_index = i; ots_pk; ots_sig; proof = Merkle.prove sk.tree i }
+
+let verify root msg s =
+  Merkle.proof_index s.proof = s.leaf_index
+  && Merkle.verify ~root ~leaf:(encoded_lamport_pk s.ots_pk) s.proof
+  && Lamport.verify s.ots_pk msg s.ots_sig
+
+let public_key_size = 32
+
+let public_key_bytes pk = Bytes.copy pk
+let public_key_of_bytes b = if Bytes.length b = 32 then Some (Bytes.copy b) else None
+
+let encode_public_key w pk = Util.Codec.write_bytes w pk
+let decode_public_key r = Util.Codec.read_bytes r
+
+let encode_signature w s =
+  Util.Codec.write_varint w s.leaf_index;
+  Lamport.encode_public_key w s.ots_pk;
+  Lamport.encode_signature w s.ots_sig;
+  Merkle.encode_proof w s.proof
+
+let decode_signature r =
+  let leaf_index = Util.Codec.read_varint r in
+  let ots_pk = Lamport.decode_public_key r in
+  let ots_sig = Lamport.decode_signature r in
+  let proof = Merkle.decode_proof r in
+  { leaf_index; ots_pk; ots_sig; proof }
+
+let signature_size s = Bytes.length (Util.Codec.encode encode_signature s)

@@ -1,0 +1,44 @@
+(** Many-time hash-based signatures: a Merkle tree over [2^height] Lamport
+    one-time keys.
+
+    This instantiates the digital signature scheme [DS = (Gen_sig, Sign,
+    Vrfy)] used by the multi-output protocol (Algorithm 4, §4.3): the
+    committee's encrypted functionality generates the key from joint
+    randomness and signs each party's encrypted output; forging a signature
+    on a tampered output requires inverting SHA-256.
+
+    Keys are deterministic from a seed; signing is stateful (each signature
+    consumes one leaf) and raises once all [2^height] slots are used. *)
+
+type secret_key
+type public_key (* the Merkle root *)
+type signature
+
+exception Out_of_signatures
+
+(** [keygen ~seed ~height] — [2^height] one-time slots.  [height] up to 12
+    is practical. *)
+val keygen : seed:bytes -> height:int -> secret_key * public_key
+
+(** [sign sk msg] uses (and consumes) the next one-time key. *)
+val sign : secret_key -> bytes -> signature
+
+(** [signatures_remaining sk]. *)
+val signatures_remaining : secret_key -> int
+
+val verify : public_key -> bytes -> signature -> bool
+
+(** Size in bytes of an encoded signature, for cost accounting. *)
+val signature_size : signature -> int
+
+val public_key_size : int
+
+(** Raw (32-byte root) conversions, for sending keys over the network. *)
+val public_key_bytes : public_key -> bytes
+val public_key_of_bytes : bytes -> public_key option
+
+(** Serialization. *)
+val encode_public_key : Util.Codec.writer -> public_key -> unit
+val decode_public_key : Util.Codec.reader -> public_key
+val encode_signature : Util.Codec.writer -> signature -> unit
+val decode_signature : Util.Codec.reader -> signature

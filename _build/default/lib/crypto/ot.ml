@@ -1,0 +1,80 @@
+type receiver_state = { choice : bool; sk : Lwe.secret_key }
+
+let params = Lwe.default_params
+
+(* A uniformly random "public key": fresh uniform matrix and vector.  Under
+   LWE this is indistinguishable from a real key, and it carries no usable
+   secret key — the lossy branch of the OT. *)
+let random_pk rng =
+  let w = Util.Codec.writer () in
+  Util.Codec.write_varint w params.Lwe.dim;
+  Util.Codec.write_varint w params.Lwe.samples;
+  Util.Codec.write_varint w params.Lwe.q;
+  Util.Codec.write_varint w params.Lwe.err_bound;
+  for _ = 1 to params.Lwe.samples * (params.Lwe.dim + 1) do
+    let v = Util.Prng.int rng params.Lwe.q in
+    Util.Codec.write_byte w (v land 0xFF);
+    Util.Codec.write_byte w ((v lsr 8) land 0xFF)
+  done;
+  Util.Codec.decode Lwe.decode_public_key (Util.Codec.contents w)
+
+let encode_pk pk = Util.Codec.encode Lwe.encode_public_key pk
+
+let receiver_round1 rng ~choice =
+  let real_pk, sk = Lwe.keygen ~params rng in
+  let fake_pk = random_pk rng in
+  let pk0, pk1 = if choice then (fake_pk, real_pk) else (real_pk, fake_pk) in
+  let msg =
+    Util.Codec.encode
+      (fun w () ->
+        Util.Codec.write_bytes w (encode_pk pk0);
+        Util.Codec.write_bytes w (encode_pk pk1))
+      ()
+  in
+  (msg, { choice; sk })
+
+let sender_round2 rng ~round1 ~m0 ~m1 =
+  match
+    Util.Codec.decode
+      (fun r ->
+        let pk0 = Util.Codec.read_bytes r in
+        let pk1 = Util.Codec.read_bytes r in
+        (pk0, pk1))
+      round1
+  with
+  | exception Util.Codec.Decode_error _ -> None
+  | pk0b, pk1b -> (
+    match
+      ( Util.Codec.decode Lwe.decode_public_key pk0b,
+        Util.Codec.decode Lwe.decode_public_key pk1b )
+    with
+    | exception Util.Codec.Decode_error _ -> None
+    | pk0, pk1 ->
+      let ct0 = Lwe.encrypt_bytes rng pk0 m0 in
+      let ct1 = Lwe.encrypt_bytes rng pk1 m1 in
+      Some
+        (Util.Codec.encode
+           (fun w () ->
+             Util.Codec.write_bytes w ct0;
+             Util.Codec.write_bytes w ct1)
+           ()))
+
+let receiver_finish st ~round2 =
+  match
+    Util.Codec.decode
+      (fun r ->
+        let ct0 = Util.Codec.read_bytes r in
+        let ct1 = Util.Codec.read_bytes r in
+        (ct0, ct1))
+      round2
+  with
+  | exception Util.Codec.Decode_error _ -> None
+  | ct0, ct1 -> Lwe.decrypt_bytes st.sk (if st.choice then ct1 else ct0)
+
+let round1_size =
+  (* two encoded public keys with their length prefixes *)
+  let pk_bytes = Lwe.public_key_size params + 8 in
+  2 * (pk_bytes + 4)
+
+let round2_size ~plaintext_len =
+  2 * (Lwe.ciphertext_blob_size params ~plaintext_len + 4)

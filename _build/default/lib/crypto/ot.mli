@@ -1,0 +1,35 @@
+(** 1-out-of-2 oblivious transfer from LWE, in two rounds.
+
+    The classic construction from "lossy" public keys: the receiver with
+    choice bit [c] generates one real Regev key pair and one uniformly
+    random public key (indistinguishable from real under LWE), placing the
+    real one in slot [c].  The sender encrypts [m₀] under slot 0 and [m₁]
+    under slot 1; the receiver can decrypt only slot [c].
+
+    - Receiver privacy: the two public keys are computationally
+      indistinguishable, so the sender learns nothing about [c].
+    - Sender privacy (semi-honest): a uniformly random Regev key has no
+      functional secret key, so the other message is hidden.
+
+    This instantiates the OT required by Remark 10 (there in its
+    maliciously-secure two-round form; ours is the semi-honest core, which
+    is what the two-party example and the E14 ablation exercise). *)
+
+type receiver_state
+
+(** [receiver_round1 rng ~choice] — the receiver's first message (two
+    public keys) and its private state. *)
+val receiver_round1 : Util.Prng.t -> choice:bool -> bytes * receiver_state
+
+(** [sender_round2 rng ~round1 ~m0 ~m1] — the sender's reply: both
+    messages encrypted under the respective keys.  [None] if the first
+    message is malformed. *)
+val sender_round2 : Util.Prng.t -> round1:bytes -> m0:bytes -> m1:bytes -> bytes option
+
+(** [receiver_finish st ~round2] — the chosen message. *)
+val receiver_finish : receiver_state -> round2:bytes -> bytes option
+
+(** Message sizes for cost accounting (both ≈ two Regev keys /
+    ciphertexts). *)
+val round1_size : int
+val round2_size : plaintext_len:int -> int

@@ -1,0 +1,107 @@
+module type S = sig
+  val name : string
+
+  type public_key
+  type secret_key
+
+  val keygen : Util.Prng.t -> public_key * secret_key
+  val keygen_seeded : bytes -> public_key * secret_key
+  val encrypt : Util.Prng.t -> public_key -> bytes -> bytes
+  val decrypt : secret_key -> bytes -> bytes option
+  val public_key_bytes : public_key -> bytes
+  val public_key_of_bytes : bytes -> public_key option
+  val public_key_size : int
+  val ciphertext_size : plaintext_len:int -> int
+end
+
+module Regev : S = struct
+  let name = "regev-lwe"
+
+  type public_key = Lwe.public_key
+  type secret_key = Lwe.secret_key
+
+  let keygen rng = Lwe.keygen rng
+  let keygen_seeded seed = Lwe.keygen_seeded seed
+  let encrypt rng pk pt = Lwe.encrypt_bytes rng pk pt
+  let decrypt sk blob = Lwe.decrypt_bytes sk blob
+  let public_key_bytes pk = Util.Codec.encode Lwe.encode_public_key pk
+
+  let public_key_of_bytes b =
+    match Util.Codec.decode Lwe.decode_public_key b with
+    | pk -> Some pk
+    | exception Util.Codec.Decode_error _ -> None
+
+  let public_key_size =
+    (* params header + matrix + vector, under the default parameters *)
+    Bytes.length
+      (public_key_bytes (fst (Lwe.keygen ~params:Lwe.default_params (Util.Prng.create 0))))
+
+  let ciphertext_size ~plaintext_len =
+    Lwe.ciphertext_blob_size Lwe.default_params ~plaintext_len
+end
+
+let bench_lwe_params = { Lwe.dim = 16; samples = 64; q = 12289; err_bound = 2 }
+
+let make_simulated ?(lwe_params = Lwe.default_params) ~seed () : (module S) =
+  (module struct
+    let name = "simulated-pke"
+
+    (* The "trapdoor" stands in for the ideal encryption oracle: everything
+       is symmetric AE under a key hidden inside this module instance,
+       padded out to Regev sizes. *)
+    let trapdoor =
+      Kdf.expand
+        ~key:(Bytes.of_string (Printf.sprintf "sim-pke-trapdoor-%d" seed))
+        ~info:"root" 32
+
+    type public_key = bytes (* a 32-byte key identifier *)
+    type secret_key = bytes (* the same identifier *)
+
+    let kid_size = 32
+
+    (* Measured on a real encoded key so the simulated size matches the
+       Regev wire format exactly (params header included). *)
+    let model_pk_size =
+      Bytes.length
+        (Util.Codec.encode Lwe.encode_public_key
+           (fst (Lwe.keygen ~params:lwe_params (Util.Prng.create 0))))
+    let pk_pad = max 0 (model_pk_size - kid_size)
+
+    let keygen rng =
+      let kid = Util.Prng.bytes rng kid_size in
+      (kid, kid)
+
+    let keygen_seeded s =
+      let kid = Kdf.expand ~key:s ~info:"sim-pke/kid" kid_size in
+      (kid, kid)
+
+    let ae_key kid = Ske.of_seed (Hmac.mac ~key:trapdoor kid)
+
+    let ciphertext_size ~plaintext_len =
+      Lwe.ciphertext_blob_size lwe_params ~plaintext_len
+
+    let encrypt rng pk pt =
+      let inner = Ske.encrypt rng (ae_key pk) pt in
+      (* Pad to exactly the Regev ciphertext size for the same plaintext. *)
+      let target = ciphertext_size ~plaintext_len:(Bytes.length pt) in
+      let w = Util.Codec.writer () in
+      Util.Codec.write_bytes w inner;
+      let body = Util.Codec.contents w in
+      if Bytes.length body > target then body
+      else Bytes.cat body (Bytes.make (target - Bytes.length body) '\000')
+
+    let decrypt sk blob =
+      match
+        let r = Util.Codec.reader blob in
+        Util.Codec.read_bytes r
+      with
+      | inner -> Ske.decrypt (ae_key sk) inner
+      | exception Util.Codec.Decode_error _ -> None
+
+    let public_key_bytes pk = Bytes.cat pk (Bytes.make pk_pad '\000')
+
+    let public_key_of_bytes b =
+      if Bytes.length b < kid_size then None else Some (Bytes.sub b 0 kid_size)
+
+    let public_key_size = model_pk_size
+  end)

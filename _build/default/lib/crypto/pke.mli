@@ -1,0 +1,53 @@
+(** Public-key encryption abstraction.
+
+    The MPC protocols are written against this signature so the same
+    protocol code runs with:
+
+    - {!Regev}: the real LWE-based scheme of {!Lwe} (tests, examples,
+      small-scale benches), and
+    - {!make_simulated}: a size-faithful simulated PKE for large-[n] sweeps,
+      where per-bit lattice operations would dominate wall time without
+      changing a single communicated bit.  Internally it is
+      encrypt-then-MAC under a hidden "trapdoor" key held by the module
+      instance (standing in for the ideal encryption oracle), padded so
+      ciphertext and key sizes match {!Regev} exactly.  DESIGN.md §3
+      documents this substitution. *)
+
+module type S = sig
+  val name : string
+
+  type public_key
+  type secret_key
+
+  val keygen : Util.Prng.t -> public_key * secret_key
+
+  (** Deterministic keygen from joint randomness (for [F_Gen]). *)
+  val keygen_seeded : bytes -> public_key * secret_key
+
+  (** [encrypt rng pk plaintext] returns an encoded ciphertext blob. *)
+  val encrypt : Util.Prng.t -> public_key -> bytes -> bytes
+
+  (** [decrypt sk blob] is [None] on malformed or mismatched input. *)
+  val decrypt : secret_key -> bytes -> bytes option
+
+  (** Encoded sizes, for building messages and for cost accounting. *)
+  val public_key_bytes : public_key -> bytes
+  val public_key_of_bytes : bytes -> public_key option
+  val public_key_size : int
+  val ciphertext_size : plaintext_len:int -> int
+end
+
+(** The real Regev scheme with {!Lwe.default_params}. *)
+module Regev : S
+
+(** [make_simulated ?lwe_params ~seed] builds a fresh simulated-PKE
+    instance whose trapdoor is derived from [seed].  Distinct instances
+    cannot decrypt each other's ciphertexts.  [lwe_params] selects the
+    Regev parameter set whose key/ciphertext sizes are mimicked (default
+    {!Lwe.default_params}); benchmarks use {!bench_lwe_params} to keep the
+    constant factors tractable at thousands of parties. *)
+val make_simulated : ?lwe_params:Lwe.params -> seed:int -> unit -> (module S)
+
+(** A small but still correct Regev parameter set (dimension 16,
+    64 samples), used to size benchmark runs. *)
+val bench_lwe_params : Lwe.params

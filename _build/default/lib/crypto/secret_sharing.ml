@@ -1,0 +1,129 @@
+module Additive = struct
+  let share rng ~parties secret =
+    if parties <= 0 then invalid_arg "Additive.share: parties must be positive";
+    let len = Bytes.length secret in
+    let randoms = List.init (parties - 1) (fun _ -> Util.Prng.bytes rng len) in
+    let last = Bytes.copy secret in
+    List.iter
+      (fun r ->
+        for i = 0 to len - 1 do
+          Bytes.set last i
+            (Char.chr (Char.code (Bytes.get last i) lxor Char.code (Bytes.get r i)))
+        done)
+      randoms;
+    randoms @ [ last ]
+
+  let reconstruct shares =
+    match shares with
+    | [] -> invalid_arg "Additive.reconstruct: no shares"
+    | first :: rest ->
+      let len = Bytes.length first in
+      let out = Bytes.copy first in
+      List.iter
+        (fun s ->
+          if Bytes.length s <> len then
+            invalid_arg "Additive.reconstruct: share length mismatch";
+          for i = 0 to len - 1 do
+            Bytes.set out i
+              (Char.chr (Char.code (Bytes.get out i) lxor Char.code (Bytes.get s i)))
+          done)
+        rest;
+      out
+end
+
+module Shamir = struct
+  module Make (F : Field.Gf.S) = struct
+    module P = Field.Poly.Make (F)
+
+    type share = { x : F.t; y : F.t }
+
+    let share rng ~threshold ~parties secret =
+      if threshold < 1 || threshold > parties then
+        invalid_arg "Shamir.share: need 1 <= threshold <= parties";
+      if parties >= F.p then invalid_arg "Shamir.share: too many parties for field";
+      let poly = P.random rng ~degree:(threshold - 1) ~const:secret in
+      List.init parties (fun i ->
+          let x = F.of_int (i + 1) in
+          { x; y = P.eval poly x })
+
+    let reconstruct shares =
+      P.interpolate_at_zero (List.map (fun s -> (s.x, s.y)) shares)
+
+    let encode_share w s =
+      Util.Codec.write_varint w s.x;
+      Util.Codec.write_varint w s.y
+
+    let decode_share r =
+      let x = Util.Codec.read_varint r in
+      let y = Util.Codec.read_varint r in
+      { x; y }
+  end
+end
+
+module S30 = Shamir.Make (Field.Gf.F30)
+
+(* Bytewise packing: 3 bytes per GF(2^30-35) element. *)
+let pack_elements secret =
+  let len = Bytes.length secret in
+  let n_elems = (len + 2) / 3 in
+  Array.init n_elems (fun i ->
+      let get j = if (3 * i) + j < len then Char.code (Bytes.get secret ((3 * i) + j)) else 0 in
+      (get 0 lsl 16) lor (get 1 lsl 8) lor get 2)
+
+let unpack_elements ~len elems =
+  Bytes.init len (fun i ->
+      let e = elems.(i / 3) in
+      Char.chr ((e lsr (8 * (2 - (i mod 3)))) land 0xFF))
+
+let share_bytes_shamir rng ~threshold ~parties secret =
+  let elems = pack_elements secret in
+  (* shares_per_party.(p) collects party p's y-values across all elements. *)
+  let shares_per_party = Array.make parties [] in
+  Array.iter
+    (fun e ->
+      let shares = S30.share rng ~threshold ~parties (Field.Gf.F30.of_int e) in
+      List.iteri (fun p s -> shares_per_party.(p) <- s.S30.y :: shares_per_party.(p)) shares)
+    elems;
+  List.init parties (fun p ->
+      let w = Util.Codec.writer () in
+      Util.Codec.write_varint w (Bytes.length secret);
+      Util.Codec.write_varint w threshold;
+      List.iter (Util.Codec.write_varint w) (List.rev shares_per_party.(p));
+      Util.Codec.contents w)
+
+let reconstruct_bytes_shamir shares =
+  match shares with
+  | [] -> None
+  | _ -> (
+    try
+      let parsed =
+        List.map
+          (fun (idx, blob) ->
+            let r = Util.Codec.reader blob in
+            let len = Util.Codec.read_varint r in
+            let threshold = Util.Codec.read_varint r in
+            let n_elems = (len + 2) / 3 in
+            let ys = Array.init n_elems (fun _ -> Util.Codec.read_varint r) in
+            (idx, len, threshold, ys))
+          shares
+      in
+      match parsed with
+      | [] -> None
+      | (_, len, threshold, _) :: _ ->
+        if List.length parsed < threshold then None
+        else if List.exists (fun (_, l, t, _) -> l <> len || t <> threshold) parsed then None
+        else begin
+          let n_elems = (len + 2) / 3 in
+          let elems =
+            Array.init n_elems (fun e ->
+                let pts =
+                  List.map
+                    (fun (idx, _, _, ys) ->
+                      { S30.x = Field.Gf.F30.of_int idx; S30.y = ys.(e) })
+                    parsed
+                in
+                S30.reconstruct pts)
+          in
+          Some (unpack_elements ~len elems)
+        end
+    with Util.Codec.Decode_error _ | Invalid_argument _ -> None)

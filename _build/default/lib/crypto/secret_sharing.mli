@@ -1,0 +1,51 @@
+(** Secret sharing.
+
+    Two schemes, matching the two uses in the paper:
+
+    - {b Additive k-out-of-k} over bytes (XOR): the committee's TFHE secret
+      key is "k-out-of-k secret shared among the parties" (§2.2).  All [k]
+      shares are required; any [k-1] shares are uniformly random.
+
+    - {b Shamir t-out-of-n} over GF(p): provided as the general-purpose
+      threshold substrate (and to test the {!Field.Poly} machinery); the
+      locality protocols can trade the k-of-k sharing for threshold sharing
+      when committee dropout is a concern (a noted extension, not used by
+      the paper's main protocols). *)
+
+module Additive : sig
+  (** [share rng ~parties secret] splits [secret] into [parties] XOR shares. *)
+  val share : Util.Prng.t -> parties:int -> bytes -> bytes list
+
+  (** [reconstruct shares] XORs all shares together.  Requires a non-empty
+      list of equal-length shares. *)
+  val reconstruct : bytes list -> bytes
+end
+
+module Shamir : sig
+  module Make (F : Field.Gf.S) : sig
+    type share = { x : F.t; y : F.t }
+
+    (** [share rng ~threshold ~parties secret] — any [threshold] shares
+        reconstruct; fewer reveal nothing.  Requires
+        [1 <= threshold <= parties < F.p]. *)
+    val share : Util.Prng.t -> threshold:int -> parties:int -> F.t -> share list
+
+    (** [reconstruct shares] interpolates at zero.  Correct when given at
+        least [threshold] valid shares with distinct x. *)
+    val reconstruct : share list -> F.t
+
+    val encode_share : Util.Codec.writer -> share -> unit
+    val decode_share : Util.Codec.reader -> share
+  end
+end
+
+(** [share_bytes_shamir rng ~threshold ~parties secret] — Shamir-shares an
+    arbitrary byte string bytewise over GF(257)... no: over {!Field.Gf.F30}
+    packing 3 bytes per element. Returns one blob per party. *)
+val share_bytes_shamir :
+  Util.Prng.t -> threshold:int -> parties:int -> bytes -> bytes list
+
+(** [reconstruct_bytes_shamir shares] — inverse of {!share_bytes_shamir};
+    [None] on malformed input. Each element of [shares] is [(party_index,
+    blob)] with 1-based party indices as produced by sharing. *)
+val reconstruct_bytes_shamir : (int * bytes) list -> bytes option

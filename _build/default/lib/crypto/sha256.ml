@@ -1,0 +1,172 @@
+type digest = bytes
+
+let digest_size = 32
+
+(* Round constants: first 32 bits of the fractional parts of the cube roots
+   of the first 64 primes. *)
+let k =
+  [| 0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b; 0x59f111f1;
+     0x923f82a4; 0xab1c5ed5; 0xd807aa98; 0x12835b01; 0x243185be; 0x550c7dc3;
+     0x72be5d74; 0x80deb1fe; 0x9bdc06a7; 0xc19bf174; 0xe49b69c1; 0xefbe4786;
+     0x0fc19dc6; 0x240ca1cc; 0x2de92c6f; 0x4a7484aa; 0x5cb0a9dc; 0x76f988da;
+     0x983e5152; 0xa831c66d; 0xb00327c8; 0xbf597fc7; 0xc6e00bf3; 0xd5a79147;
+     0x06ca6351; 0x14292967; 0x27b70a85; 0x2e1b2138; 0x4d2c6dfc; 0x53380d13;
+     0x650a7354; 0x766a0abb; 0x81c2c92e; 0x92722c85; 0xa2bfe8a1; 0xa81a664b;
+     0xc24b8b70; 0xc76c51a3; 0xd192e819; 0xd6990624; 0xf40e3585; 0x106aa070;
+     0x19a4c116; 0x1e376c08; 0x2748774c; 0x34b0bcb5; 0x391c0cb3; 0x4ed8aa4a;
+     0x5b9cca4f; 0x682e6ff3; 0x748f82ee; 0x78a5636f; 0x84c87814; 0x8cc70208;
+     0x90befffa; 0xa4506ceb; 0xbef9a3f7; 0xc67178f2 |]
+
+type ctx = {
+  h : int array; (* eight 32-bit words *)
+  buf : Bytes.t; (* 64-byte block buffer *)
+  mutable buf_len : int;
+  mutable total : int64; (* total message bytes *)
+  mutable finalized : bool;
+}
+
+let init () =
+  {
+    h =
+      [| 0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f;
+         0x9b05688c; 0x1f83d9ab; 0x5be0cd19 |];
+    buf = Bytes.create 64;
+    buf_len = 0;
+    total = 0L;
+    finalized = false;
+  }
+
+let mask = 0xFFFFFFFF
+let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
+
+let compress ctx block off =
+  let w = Array.make 64 0 in
+  for i = 0 to 15 do
+    w.(i) <-
+      (Char.code (Bytes.get block (off + (4 * i))) lsl 24)
+      lor (Char.code (Bytes.get block (off + (4 * i) + 1)) lsl 16)
+      lor (Char.code (Bytes.get block (off + (4 * i) + 2)) lsl 8)
+      lor Char.code (Bytes.get block (off + (4 * i) + 3))
+  done;
+  for i = 16 to 63 do
+    let s0 = rotr w.(i - 15) 7 lxor rotr w.(i - 15) 18 lxor (w.(i - 15) lsr 3) in
+    let s1 = rotr w.(i - 2) 17 lxor rotr w.(i - 2) 19 lxor (w.(i - 2) lsr 10) in
+    w.(i) <- (w.(i - 16) + s0 + w.(i - 7) + s1) land mask
+  done;
+  let h = ctx.h in
+  let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
+  let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
+  for i = 0 to 63 do
+    let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
+    let ch = (!e land !f) lxor (lnot !e land !g) in
+    let temp1 = (!hh + s1 + ch + k.(i) + w.(i)) land mask in
+    let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
+    let maj = (!a land !b) lxor (!a land !c) lxor (!b land !c) in
+    let temp2 = (s0 + maj) land mask in
+    hh := !g;
+    g := !f;
+    f := !e;
+    e := (!d + temp1) land mask;
+    d := !c;
+    c := !b;
+    b := !a;
+    a := (temp1 + temp2) land mask
+  done;
+  h.(0) <- (h.(0) + !a) land mask;
+  h.(1) <- (h.(1) + !b) land mask;
+  h.(2) <- (h.(2) + !c) land mask;
+  h.(3) <- (h.(3) + !d) land mask;
+  h.(4) <- (h.(4) + !e) land mask;
+  h.(5) <- (h.(5) + !f) land mask;
+  h.(6) <- (h.(6) + !g) land mask;
+  h.(7) <- (h.(7) + !hh) land mask
+
+let update ctx data =
+  if ctx.finalized then invalid_arg "Sha256.update: already finalized";
+  let len = Bytes.length data in
+  ctx.total <- Int64.add ctx.total (Int64.of_int len);
+  let pos = ref 0 in
+  (* Fill a partial block first. *)
+  if ctx.buf_len > 0 then begin
+    let take = min (64 - ctx.buf_len) len in
+    Bytes.blit data 0 ctx.buf ctx.buf_len take;
+    ctx.buf_len <- ctx.buf_len + take;
+    pos := take;
+    if ctx.buf_len = 64 then begin
+      compress ctx ctx.buf 0;
+      ctx.buf_len <- 0
+    end
+  end;
+  while len - !pos >= 64 do
+    compress ctx data !pos;
+    pos := !pos + 64
+  done;
+  if !pos < len then begin
+    Bytes.blit data !pos ctx.buf 0 (len - !pos);
+    ctx.buf_len <- len - !pos
+  end
+
+let update_string ctx s = update ctx (Bytes.unsafe_of_string s)
+
+let finalize ctx =
+  if ctx.finalized then invalid_arg "Sha256.finalize: already finalized";
+  ctx.finalized <- true;
+  let bitlen = Int64.mul ctx.total 8L in
+  (* Padding: 0x80 then zeros to 56 mod 64, then 64-bit big-endian length. *)
+  let pad_len =
+    let r = (ctx.buf_len + 1 + 8) mod 64 in
+    if r = 0 then 1 + 8 else 1 + 8 + (64 - r)
+  in
+  let pad = Bytes.make pad_len '\000' in
+  Bytes.set pad 0 '\x80';
+  for i = 0 to 7 do
+    Bytes.set pad
+      (pad_len - 1 - i)
+      (Char.chr (Int64.to_int (Int64.shift_right_logical bitlen (8 * i)) land 0xFF))
+  done;
+  (* Feed the padding through the normal path (total is already counted, but
+     finalize only reads the precomputed bitlen). *)
+  ctx.finalized <- false;
+  update ctx pad;
+  ctx.finalized <- true;
+  assert (ctx.buf_len = 0);
+  let out = Bytes.create 32 in
+  Array.iteri
+    (fun i word ->
+      Bytes.set out (4 * i) (Char.chr ((word lsr 24) land 0xFF));
+      Bytes.set out ((4 * i) + 1) (Char.chr ((word lsr 16) land 0xFF));
+      Bytes.set out ((4 * i) + 2) (Char.chr ((word lsr 8) land 0xFF));
+      Bytes.set out ((4 * i) + 3) (Char.chr (word land 0xFF)))
+    ctx.h;
+  out
+
+let digest b =
+  let ctx = init () in
+  update ctx b;
+  finalize ctx
+
+let digest_string s = digest (Bytes.of_string s)
+
+let hex_chars = "0123456789abcdef"
+
+let to_hex d =
+  let n = Bytes.length d in
+  let out = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let v = Char.code (Bytes.get d i) in
+    Bytes.set out (2 * i) hex_chars.[v lsr 4];
+    Bytes.set out ((2 * i) + 1) hex_chars.[v land 0xF]
+  done;
+  Bytes.to_string out
+
+let of_hex s =
+  let len = String.length s in
+  if len mod 2 <> 0 then invalid_arg "Sha256.of_hex: odd length";
+  let nib c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg "Sha256.of_hex: bad character"
+  in
+  Bytes.init (len / 2) (fun i -> Char.chr ((nib s.[2 * i] lsl 4) lor nib s.[(2 * i) + 1]))

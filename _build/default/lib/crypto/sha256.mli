@@ -1,0 +1,33 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch.
+
+    This is the hash underlying every other primitive in the library:
+    HMAC, the KDF, commitments, Merkle trees, Lamport signatures, and the
+    counter-mode stream cipher.  Verified against the FIPS test vectors in
+    the test suite. *)
+
+(** A 32-byte digest. *)
+type digest = bytes
+
+val digest_size : int
+
+(** [digest b] hashes a byte string. *)
+val digest : bytes -> digest
+
+(** [digest_string s] hashes a string. *)
+val digest_string : string -> digest
+
+(** Incremental interface. *)
+type ctx
+
+val init : unit -> ctx
+val update : ctx -> bytes -> unit
+val update_string : ctx -> string -> unit
+
+(** [finalize ctx] pads, produces the digest, and invalidates [ctx]. *)
+val finalize : ctx -> digest
+
+(** [to_hex d] renders a digest (or any bytes) in lowercase hex. *)
+val to_hex : bytes -> string
+
+(** [of_hex s] parses hex; raises [Invalid_argument] on bad input. *)
+val of_hex : string -> bytes

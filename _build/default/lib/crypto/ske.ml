@@ -1,0 +1,58 @@
+type key = bytes (* 32 bytes *)
+
+let key_size = 32
+let nonce_size = 16
+let tag_size = 32
+
+let keygen rng = Util.Prng.bytes rng key_size
+let of_seed seed = Kdf.expand ~key:seed ~info:"ske/key" key_size
+
+let subkey key purpose = Kdf.expand ~key ~info:("ske/" ^ purpose) key_size
+
+let keystream key nonce len =
+  let enc_key = subkey key "enc" in
+  let out = Buffer.create len in
+  let counter = ref 0 in
+  while Buffer.length out < len do
+    let w = Util.Codec.writer () in
+    Util.Codec.write_bytes w nonce;
+    Util.Codec.write_varint w !counter;
+    Buffer.add_bytes out (Hmac.mac ~key:enc_key (Util.Codec.contents w));
+    incr counter
+  done;
+  Bytes.sub (Buffer.to_bytes out) 0 len
+
+let xor_into dst src =
+  for i = 0 to Bytes.length dst - 1 do
+    Bytes.set dst i
+      (Char.chr (Char.code (Bytes.get dst i) lxor Char.code (Bytes.get src i)))
+  done
+
+let encrypt rng key pt =
+  let nonce = Util.Prng.bytes rng nonce_size in
+  let body = Bytes.copy pt in
+  xor_into body (keystream key nonce (Bytes.length pt));
+  let mac_input = Bytes.cat nonce body in
+  let tag = Hmac.mac ~key:(subkey key "mac") mac_input in
+  Bytes.concat Bytes.empty [ nonce; body; tag ]
+
+let decrypt key ct =
+  let len = Bytes.length ct in
+  if len < nonce_size + tag_size then None
+  else begin
+    let nonce = Bytes.sub ct 0 nonce_size in
+    let body = Bytes.sub ct nonce_size (len - nonce_size - tag_size) in
+    let tag = Bytes.sub ct (len - tag_size) tag_size in
+    let mac_input = Bytes.cat nonce body in
+    if not (Hmac.verify ~key:(subkey key "mac") mac_input tag) then None
+    else begin
+      xor_into body (keystream key nonce (Bytes.length body));
+      Some body
+    end
+  end
+
+let ciphertext_size ~plaintext_len = nonce_size + plaintext_len + tag_size
+
+let encode_key w k = Util.Codec.write_raw w k
+let decode_key r = Util.Codec.read_raw r key_size
+let key_bytes k = Bytes.copy k

@@ -1,0 +1,32 @@
+(** Symmetric authenticated encryption: SHA-256 in counter mode for the
+    keystream, HMAC-SHA256 over nonce‖ciphertext for integrity
+    (encrypt-then-MAC).
+
+    Instantiates the secret-key scheme [SKE = (Gen', Enc', Dec')] of the
+    multi-output protocol (§4.3): each party samples [kᵢ], the committee's
+    functionality encrypts party [i]'s output under [kᵢ], and only party [i]
+    can read it. *)
+
+type key
+
+(** [keygen rng] samples a fresh 32-byte key. *)
+val keygen : Util.Prng.t -> key
+
+(** [of_seed seed] derives a key deterministically. *)
+val of_seed : bytes -> key
+
+(** [encrypt rng key pt] — random 16-byte nonce, keystream XOR, 32-byte tag. *)
+val encrypt : Util.Prng.t -> key -> bytes -> bytes
+
+(** [decrypt key ct] is [None] when authentication fails. *)
+val decrypt : key -> bytes -> bytes option
+
+(** [ciphertext_size ~plaintext_len] = nonce + plaintext + tag. *)
+val ciphertext_size : plaintext_len:int -> int
+
+val key_size : int
+
+(** Serialization (a key is sent encrypted under the committee's PKE). *)
+val encode_key : Util.Codec.writer -> key -> unit
+val decode_key : Util.Codec.reader -> key
+val key_bytes : key -> bytes

@@ -1,0 +1,1 @@
+lib/field/gf.ml: Format Int Modarith Primality Util

@@ -1,0 +1,1 @@
+lib/field/modarith.ml:

@@ -1,0 +1,1 @@
+lib/field/poly.mli: Format Gf Util

@@ -1,0 +1,1 @@
+lib/field/primality.ml: List Modarith Util

@@ -1,0 +1,1 @@
+lib/field/primality.mli: Util

@@ -1,0 +1,58 @@
+module type S = sig
+  val p : int
+
+  type t = int
+
+  val zero : t
+  val one : t
+  val of_int : int -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val mul : t -> t -> t
+  val inv : t -> t
+  val div : t -> t -> t
+  val pow : t -> int -> t
+  val random : Util.Prng.t -> t
+  val random_nonzero : Util.Prng.t -> t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (P : sig
+  val p : int
+end) : S = struct
+  let p = P.p
+
+  type t = int
+
+  let zero = 0
+  let one = 1 mod p
+  let of_int v = ((v mod p) + p) mod p
+  let add a b = Modarith.add_mod a b p
+  let sub a b = Modarith.sub_mod a b p
+  let neg a = if a = 0 then 0 else p - a
+  let mul a b = Modarith.mul_mod a b p
+
+  let inv a =
+    if a = 0 then invalid_arg "Gf.inv: zero";
+    Modarith.inv_mod a p
+
+  let div a b = mul a (inv b)
+  let pow a e = Modarith.pow_mod a e p
+  let random rng = Util.Prng.int rng p
+  let random_nonzero rng = 1 + Util.Prng.int rng (p - 1)
+  let equal = Int.equal
+  let pp fmt a = Format.fprintf fmt "%d" a
+end
+
+let make p =
+  if p >= 1 lsl 31 then invalid_arg "Gf.make: p >= 2^31";
+  if not (Primality.is_prime p) then invalid_arg "Gf.make: p not prime";
+  (module Make (struct
+    let p = p
+  end) : S)
+
+module F30 = Make (struct
+  let p = (1 lsl 30) - 35
+end)

@@ -1,0 +1,48 @@
+(** Prime fields GF(p) for p < 2³¹.
+
+    Used by Shamir secret sharing ({!Crypto.Secret_sharing}) and by the Regev
+    encryption scheme ({!Crypto.Lwe}).  Elements are canonical ints in
+    [\[0, p)]. *)
+
+module type S = sig
+  (** The prime modulus. *)
+  val p : int
+
+  type t = int
+
+  val zero : t
+  val one : t
+
+  (** [of_int v] reduces [v] (possibly negative) into [\[0, p)]. *)
+  val of_int : int -> t
+
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val mul : t -> t -> t
+
+  (** [inv a] — raises [Invalid_argument] on [zero]. *)
+  val inv : t -> t
+
+  (** [div a b] is [mul a (inv b)]. *)
+  val div : t -> t -> t
+
+  val pow : t -> int -> t
+
+  (** [random rng] is a uniform field element. *)
+  val random : Util.Prng.t -> t
+
+  (** [random_nonzero rng] is uniform over [\[1, p)]. *)
+  val random_nonzero : Util.Prng.t -> t
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+(** [make p] builds the field.  Raises [Invalid_argument] if [p] is not a
+    prime below 2³¹. *)
+val make : int -> (module S)
+
+(** A convenient default field with p = 2³⁰ − 35 (the largest 30-bit prime),
+    used where any big prime field will do. *)
+module F30 : S

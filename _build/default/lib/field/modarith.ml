@@ -1,0 +1,36 @@
+let add_mod a b m =
+  let s = a + b in
+  if s >= m then s - m else s
+
+let sub_mod a b m =
+  let d = a - b in
+  if d < 0 then d + m else d
+
+let mul_mod a b m = a * b mod m
+
+let pow_mod b e m =
+  if e < 0 then invalid_arg "Modarith.pow_mod: negative exponent";
+  let rec go b e acc =
+    if e = 0 then acc
+    else
+      let acc = if e land 1 = 1 then mul_mod acc b m else acc in
+      go (mul_mod b b m) (e lsr 1) acc
+  in
+  go (b mod m) e 1
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let egcd a b =
+  let rec go r0 r1 x0 x1 y0 y1 =
+    if r1 = 0 then (r0, x0, y0)
+    else
+      let q = r0 / r1 in
+      go r1 (r0 - (q * r1)) x1 (x0 - (q * x1)) y1 (y0 - (q * y1))
+  in
+  go a b 1 0 0 1
+
+let inv_mod a m =
+  let a = ((a mod m) + m) mod m in
+  let g, x, _ = egcd a m in
+  if g <> 1 then invalid_arg "Modarith.inv_mod: not invertible";
+  ((x mod m) + m) mod m

@@ -1,0 +1,29 @@
+(** Modular arithmetic on moduli below 2³¹.
+
+    All protocol-level number theory (fingerprints, Shamir shares, Regev
+    ciphertext coordinates) uses moduli under 2³¹ so that every intermediate
+    product fits in OCaml's native 63-bit integers — no bignum dependency.
+    See DESIGN.md §3 for why 30-bit primes suffice for Lemma 5. *)
+
+(** [add_mod a b m] is [(a + b) mod m] for [0 <= a, b < m < 2^31]. *)
+val add_mod : int -> int -> int -> int
+
+(** [sub_mod a b m] is [(a - b) mod m], always in [\[0, m)]. *)
+val sub_mod : int -> int -> int -> int
+
+(** [mul_mod a b m] is [(a * b) mod m]. Requires [m < 2^31] so the product
+    fits in 62 bits. *)
+val mul_mod : int -> int -> int -> int
+
+(** [pow_mod b e m] is [b^e mod m] by square-and-multiply. Requires [e >= 0]. *)
+val pow_mod : int -> int -> int -> int
+
+(** [inv_mod a m] is the inverse of [a] modulo [m] via the extended Euclidean
+    algorithm. Raises [Invalid_argument] if [gcd a m <> 1]. *)
+val inv_mod : int -> int -> int
+
+(** [gcd a b] for non-negative ints. *)
+val gcd : int -> int -> int
+
+(** [egcd a b] returns [(g, x, y)] with [a*x + b*y = g = gcd a b]. *)
+val egcd : int -> int -> int * int * int

@@ -1,0 +1,97 @@
+module Make (F : Gf.S) = struct
+  type t = F.t array
+
+  let normalize arr =
+    let n = Array.length arr in
+    let rec last i = if i >= 0 && F.equal arr.(i) F.zero then last (i - 1) else i in
+    let d = last (n - 1) in
+    if d = n - 1 then arr else Array.sub arr 0 (d + 1)
+
+  let zero = [||]
+  let of_coeffs arr = normalize (Array.copy arr)
+  let coeffs p = Array.copy p
+  let degree p = Array.length p - 1
+
+  let eval p x =
+    (* Horner's rule. *)
+    let acc = ref F.zero in
+    for i = Array.length p - 1 downto 0 do
+      acc := F.add (F.mul !acc x) p.(i)
+    done;
+    !acc
+
+  let add a b =
+    let n = max (Array.length a) (Array.length b) in
+    let get arr i = if i < Array.length arr then arr.(i) else F.zero in
+    normalize (Array.init n (fun i -> F.add (get a i) (get b i)))
+
+  let mul a b =
+    if Array.length a = 0 || Array.length b = 0 then zero
+    else begin
+      let out = Array.make (Array.length a + Array.length b - 1) F.zero in
+      Array.iteri
+        (fun i ai ->
+          Array.iteri (fun j bj -> out.(i + j) <- F.add out.(i + j) (F.mul ai bj)) b)
+        a;
+      normalize out
+    end
+
+  let scale c p = normalize (Array.map (F.mul c) p)
+
+  let random rng ~degree ~const =
+    if degree < 0 then invalid_arg "Poly.random: negative degree";
+    normalize
+      (Array.init (degree + 1) (fun i -> if i = 0 then const else F.random rng))
+
+  let check_distinct pts =
+    let xs = List.map fst pts in
+    let sorted = List.sort compare xs in
+    let rec dup = function
+      | a :: b :: _ when F.equal a b -> true
+      | _ :: rest -> dup rest
+      | [] -> false
+    in
+    if dup sorted then invalid_arg "Poly.interpolate: duplicate x coordinates"
+
+  let interpolate pts =
+    check_distinct pts;
+    (* Sum of y_i * prod_{j<>i} (X - x_j)/(x_i - x_j). *)
+    List.fold_left
+      (fun acc (xi, yi) ->
+        let num, den =
+          List.fold_left
+            (fun (num, den) (xj, _) ->
+              if F.equal xi xj then (num, den)
+              else (mul num (of_coeffs [| F.neg xj; F.one |]), F.mul den (F.sub xi xj)))
+            (of_coeffs [| F.one |], F.one)
+            pts
+        in
+        add acc (scale (F.mul yi (F.inv den)) num))
+      zero pts
+
+  let interpolate_at_zero pts =
+    check_distinct pts;
+    List.fold_left
+      (fun acc (xi, yi) ->
+        let weight =
+          List.fold_left
+            (fun w (xj, _) ->
+              if F.equal xi xj then w
+              else F.mul w (F.div xj (F.sub xj xi)))
+            F.one pts
+        in
+        F.add acc (F.mul yi weight))
+      F.zero pts
+
+  let equal a b =
+    Array.length a = Array.length b && Array.for_all2 F.equal a b
+
+  let pp fmt p =
+    if Array.length p = 0 then Format.fprintf fmt "0"
+    else
+      Array.iteri
+        (fun i c ->
+          if i > 0 then Format.fprintf fmt " + ";
+          Format.fprintf fmt "%a*X^%d" F.pp c i)
+        p
+end

@@ -1,0 +1,37 @@
+(** Polynomials over a prime field, as needed by Shamir secret sharing:
+    random polynomials with a fixed constant term, evaluation, and Lagrange
+    interpolation at zero. *)
+
+module Make (F : Gf.S) : sig
+  (** Coefficients in increasing degree order; invariant: no trailing zeros
+      (the zero polynomial is the empty array). *)
+  type t
+
+  val zero : t
+  val of_coeffs : F.t array -> t
+  val coeffs : t -> F.t array
+
+  (** [degree p] is [-1] for the zero polynomial. *)
+  val degree : t -> int
+
+  val eval : t -> F.t -> F.t
+  val add : t -> t -> t
+  val mul : t -> t -> t
+  val scale : F.t -> t -> t
+
+  (** [random rng ~degree ~const] samples a uniformly random polynomial of
+      degree at most [degree] whose constant coefficient is [const] — the
+      Shamir dealer's polynomial. *)
+  val random : Util.Prng.t -> degree:int -> const:F.t -> t
+
+  (** [interpolate pts] returns the unique polynomial of degree
+      [< length pts] through the given (distinct-x) points. *)
+  val interpolate : (F.t * F.t) list -> t
+
+  (** [interpolate_at_zero pts] evaluates the interpolating polynomial at 0
+      without materializing it (Lagrange) — Shamir reconstruction. *)
+  val interpolate_at_zero : (F.t * F.t) list -> F.t
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,57 @@
+let small_primes = [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37 ]
+
+(* Deterministic Miller-Rabin for n < 3,215,031,751 with bases {2,3,5,7}
+   (Jaeschke 1993).  All moduli in this library are < 2^31, well inside. *)
+let miller_rabin_witness n d r a =
+  let x = Modarith.pow_mod a d n in
+  if x = 1 || x = n - 1 then false
+  else
+    let rec squares i x =
+      if i >= r - 1 then true
+      else
+        let x = Modarith.mul_mod x x n in
+        if x = n - 1 then false else squares (i + 1) x
+    in
+    squares 0 x
+
+let is_prime n =
+  if n < 2 then false
+  else if List.mem n small_primes then true
+  else if List.exists (fun p -> n mod p = 0) small_primes then false
+  else begin
+    (* Write n-1 = d * 2^r with d odd. *)
+    let rec split d r = if d land 1 = 0 then split (d lsr 1) (r + 1) else (d, r) in
+    let d, r = split (n - 1) 0 in
+    not (List.exists (fun a -> miller_rabin_witness n d r a) [ 2; 3; 5; 7 ])
+  end
+
+let random_prime rng ~lo ~hi =
+  if hi >= 1 lsl 31 then invalid_arg "Primality.random_prime: hi >= 2^31";
+  if lo > hi then invalid_arg "Primality.random_prime: lo > hi";
+  (* Expected O(log hi) rejection rounds by the prime number theorem; bail
+     out after a generous budget in case the interval has no primes. *)
+  let budget = 64 * (64 - (if hi > 0 then 0 else 1)) * 8 in
+  let rec go tries =
+    if tries > budget then begin
+      (* Exhaustive fallback for adversarially small intervals. *)
+      let rec scan n = if n > hi then None else if is_prime n then Some n else scan (n + 1) in
+      match scan lo with
+      | Some _ ->
+        (* Primes exist; keep rejecting (the budget was just unlucky). *)
+        let candidate = Util.Prng.int_in rng lo hi in
+        if is_prime candidate then candidate else go tries
+      | None -> invalid_arg "Primality.random_prime: no prime in interval"
+    end
+    else
+      let candidate = Util.Prng.int_in rng lo hi in
+      if is_prime candidate then candidate else go (tries + 1)
+  in
+  go 0
+
+let random_prime_bits rng ~bits =
+  if bits < 2 || bits > 30 then invalid_arg "Primality.random_prime_bits";
+  random_prime rng ~lo:(1 lsl (bits - 1)) ~hi:((1 lsl bits) - 1)
+
+let next_prime n =
+  let rec go n = if is_prime n then n else go (n + 1) in
+  go (max n 2)

@@ -1,0 +1,21 @@
+(** Primality testing and random prime sampling.
+
+    The succinct equality test (Lemma 5 of the paper) needs uniformly random
+    primes; we use a Miller–Rabin test that is deterministic for all inputs
+    below 3,215,031,751 with witness set {2, 3, 5, 7}, which covers every
+    modulus this library ever samples (all < 2³¹). *)
+
+(** [is_prime n] decides primality for [0 <= n < 2^31]. *)
+val is_prime : int -> bool
+
+(** [random_prime rng ~lo ~hi] samples a uniformly random prime in
+    [\[lo, hi\]] by rejection.  Raises [Invalid_argument] when the interval
+    contains no prime or [hi >= 2^31]. *)
+val random_prime : Util.Prng.t -> lo:int -> hi:int -> int
+
+(** [random_prime_bits rng ~bits] samples a prime with exactly [bits] bits
+    (i.e. in [\[2^(bits-1), 2^bits)]). Requires [2 <= bits <= 30]. *)
+val random_prime_bits : Util.Prng.t -> bits:int -> int
+
+(** [next_prime n] is the smallest prime [>= n]. *)
+val next_prime : int -> int

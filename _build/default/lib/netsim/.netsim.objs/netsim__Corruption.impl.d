@@ -1,0 +1,1 @@
+lib/netsim/corruption.ml: Array List Util

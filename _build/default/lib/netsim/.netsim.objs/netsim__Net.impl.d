@@ -1,0 +1,1 @@
+lib/netsim/net.ml: Array Bytes List Printf Util

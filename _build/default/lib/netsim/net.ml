@@ -1,0 +1,106 @@
+type t = {
+  num_parties : int;
+  mutable round : int;
+  inboxes : (int * bytes) list array; (* per recipient, arrival order *)
+  mutable pending : (int * int * bytes) list; (* (src, dst, payload), reversed *)
+  sent_bits : int array;
+  recv_bits : int array;
+  peer_sets : Util.Iset.t array;
+  mutable total_messages : int;
+}
+
+let create num_parties =
+  if num_parties <= 0 then invalid_arg "Net.create: need at least one party";
+  {
+    num_parties;
+    round = 0;
+    inboxes = Array.make num_parties [];
+    pending = [];
+    sent_bits = Array.make num_parties 0;
+    recv_bits = Array.make num_parties 0;
+    peer_sets = Array.make num_parties Util.Iset.empty;
+    total_messages = 0;
+  }
+
+let n t = t.num_parties
+
+let check_party t i name =
+  if i < 0 || i >= t.num_parties then
+    invalid_arg (Printf.sprintf "Net.%s: party %d out of range" name i)
+
+let send t ~src ~dst payload =
+  check_party t src "send";
+  check_party t dst "send";
+  if src = dst then invalid_arg "Net.send: self-send";
+  let bits = 8 * Bytes.length payload in
+  t.sent_bits.(src) <- t.sent_bits.(src) + bits;
+  t.recv_bits.(dst) <- t.recv_bits.(dst) + bits;
+  t.peer_sets.(src) <- Util.Iset.add dst t.peer_sets.(src);
+  t.peer_sets.(dst) <- Util.Iset.add src t.peer_sets.(dst);
+  t.total_messages <- t.total_messages + 1;
+  t.pending <- (src, dst, payload) :: t.pending
+
+let step t =
+  (* Deterministic delivery: stable order by sender id, preserving per-sender
+     send order (pending is reversed send order). *)
+  let msgs = List.rev t.pending in
+  t.pending <- [];
+  let sorted = List.stable_sort (fun (s1, _, _) (s2, _, _) -> compare s1 s2) msgs in
+  List.iter (fun (src, dst, payload) -> t.inboxes.(dst) <- (src, payload) :: t.inboxes.(dst)) sorted;
+  t.round <- t.round + 1
+
+let recv t ~dst =
+  check_party t dst "recv";
+  let msgs = List.rev t.inboxes.(dst) in
+  t.inboxes.(dst) <- [];
+  msgs
+
+let recv_from t ~dst ~src =
+  check_party t dst "recv_from";
+  let mine, rest = List.partition (fun (s, _) -> s = src) (List.rev t.inboxes.(dst)) in
+  t.inboxes.(dst) <- List.rev rest;
+  List.map snd mine
+
+let peek t ~dst =
+  check_party t dst "peek";
+  List.rev t.inboxes.(dst)
+
+let rounds t = t.round
+
+let bits_sent t i =
+  check_party t i "bits_sent";
+  t.sent_bits.(i)
+
+let bits_received t i =
+  check_party t i "bits_received";
+  t.recv_bits.(i)
+
+let total_bits t = Array.fold_left ( + ) 0 t.sent_bits
+let total_bits_of t parties = List.fold_left (fun acc i -> acc + bits_sent t i) 0 parties
+
+let peers t i =
+  check_party t i "peers";
+  t.peer_sets.(i)
+
+let locality t i = Util.Iset.cardinal (peers t i)
+
+let max_locality t =
+  let best = ref 0 in
+  for i = 0 to t.num_parties - 1 do
+    best := max !best (locality t i)
+  done;
+  !best
+
+let messages_sent t = t.total_messages
+
+type snapshot = { snap_bits : int; snap_msgs : int; snap_rounds : int }
+
+let snapshot t =
+  { snap_bits = total_bits t; snap_msgs = t.total_messages; snap_rounds = t.round }
+
+let diff_snapshot ~before ~after =
+  {
+    snap_bits = after.snap_bits - before.snap_bits;
+    snap_msgs = after.snap_msgs - before.snap_msgs;
+    snap_rounds = after.snap_rounds - before.snap_rounds;
+  }

@@ -1,0 +1,81 @@
+(** Synchronous point-to-point network simulator.
+
+    This is the substrate every protocol in the library runs on.  It models
+    exactly the paper's network: [n] parties, a complete graph of private
+    point-to-point channels, lockstep synchronous rounds, and {e no}
+    broadcast primitive.  A party "broadcasting" must pay [n-1] separate
+    messages — which is the entire subject of the paper.
+
+    The simulator accounts, per party:
+    - bits sent and received (message payloads, 8 bits per byte),
+    - the set of distinct peers communicated with ({b locality}),
+    - message counts and round counts.
+
+    Communication complexity is defined as in §3.1 of the paper: the total
+    number of bits sent by all parties {e when following the protocol
+    honestly}; the experiment harness therefore measures cost on
+    honest runs, and separately exercises adversarial runs for the
+    correctness/abort properties. *)
+
+type t
+
+(** [create n] — a fresh network of parties [0 .. n-1]. *)
+val create : int -> t
+
+val n : t -> int
+
+(** {1 Sending and receiving} *)
+
+(** [send t ~src ~dst payload] enqueues a message for delivery at the next
+    {!step}.  Self-sends are free and forbidden ([Invalid_argument]). *)
+val send : t -> src:int -> dst:int -> bytes -> unit
+
+(** [step t] delivers all pending messages and advances the round clock.
+    Messages become readable by their recipients in arrival order
+    (deterministic: sorted by sender id, then send order). *)
+val step : t -> unit
+
+(** [recv t ~dst] drains and returns party [dst]'s inbox as
+    [(sender, payload)] pairs. *)
+val recv : t -> dst:int -> (int * bytes) list
+
+(** [recv_from t ~dst ~src] — only the messages from [src] (drains just
+    those). *)
+val recv_from : t -> dst:int -> src:int -> bytes list
+
+(** [peek t ~dst] — inbox contents without draining. *)
+val peek : t -> dst:int -> (int * bytes) list
+
+(** {1 Accounting} *)
+
+val rounds : t -> int
+
+(** [bits_sent t i] — total payload bits sent by party [i] so far. *)
+val bits_sent : t -> int -> int
+
+val bits_received : t -> int -> int
+
+(** [total_bits t] — sum over all parties of bits sent. *)
+val total_bits : t -> int
+
+(** [total_bits_of t parties] — bits sent by the given parties only (used to
+    report honest-only communication). *)
+val total_bits_of : t -> int list -> int
+
+(** [peers t i] — the set of parties [i] has sent to or received from. *)
+val peers : t -> int -> Util.Iset.t
+
+(** [locality t i] — [|peers t i|]. *)
+val locality : t -> int -> int
+
+(** [max_locality t] — the protocol's locality in the paper's sense. *)
+val max_locality : t -> int
+
+val messages_sent : t -> int
+
+(** [snapshot t] captures current counters; [diff_snapshot] subtracts two
+    snapshots so a protocol phase can be metered in isolation. *)
+type snapshot = { snap_bits : int; snap_msgs : int; snap_rounds : int }
+
+val snapshot : t -> snapshot
+val diff_snapshot : before:snapshot -> after:snapshot -> snapshot

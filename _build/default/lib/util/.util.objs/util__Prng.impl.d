@@ -1,0 +1,1 @@
+lib/util/prng.ml: Array Bytes Char Hashtbl Int64 List

@@ -1,0 +1,146 @@
+type writer = Buffer.t
+
+let writer () = Buffer.create 64
+let contents w = Buffer.to_bytes w
+
+(* Varints use the LEB128-style 7-bits-per-byte scheme on the two's
+   complement representation, so negative ints terminate (10 bytes max). *)
+let write_varint w v =
+  let rec go v =
+    let low = v land 0x7F in
+    let rest = v lsr 7 in
+    if rest = 0 then Buffer.add_char w (Char.chr low)
+    else begin
+      Buffer.add_char w (Char.chr (low lor 0x80));
+      go rest
+    end
+  in
+  go v
+
+let write_int64 w v =
+  for i = 0 to 7 do
+    Buffer.add_char w (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF))
+  done
+
+let write_bool w b = Buffer.add_char w (if b then '\001' else '\000')
+
+let write_byte w v =
+  if v < 0 || v > 255 then invalid_arg "Codec.write_byte";
+  Buffer.add_char w (Char.chr v)
+
+let write_raw w b = Buffer.add_bytes w b
+
+let write_bytes w b =
+  write_varint w (Bytes.length b);
+  Buffer.add_bytes w b
+
+let write_string w s =
+  write_varint w (String.length s);
+  Buffer.add_string w s
+
+let write_list w f lst =
+  write_varint w (List.length lst);
+  List.iter (fun x -> f w x) lst
+
+let write_array w f arr =
+  write_varint w (Array.length arr);
+  Array.iter (fun x -> f w x) arr
+
+let write_pair w fa fb (a, b) =
+  fa w a;
+  fb w b
+
+let write_option w f = function
+  | None -> write_bool w false
+  | Some v ->
+    write_bool w true;
+    f w v
+
+type reader = { data : bytes; mutable pos : int }
+
+exception Decode_error of string
+
+let reader data = { data; pos = 0 }
+let at_end r = r.pos >= Bytes.length r.data
+
+let need r k =
+  if k < 0 then raise (Decode_error "negative length");
+  if r.pos + k > Bytes.length r.data then
+    raise (Decode_error (Printf.sprintf "need %d bytes at %d, have %d" k r.pos (Bytes.length r.data)))
+
+let read_byte r =
+  need r 1;
+  let v = Char.code (Bytes.get r.data r.pos) in
+  r.pos <- r.pos + 1;
+  v
+
+let read_varint r =
+  let rec go shift acc =
+    if shift > 62 then raise (Decode_error "varint too long");
+    let b = read_byte r in
+    let acc = acc lor ((b land 0x7F) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let read_int64 r =
+  need r 8;
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8)
+           (Int64.of_int (Char.code (Bytes.get r.data (r.pos + i))))
+  done;
+  r.pos <- r.pos + 8;
+  !v
+
+let read_bool r =
+  match read_byte r with
+  | 0 -> false
+  | 1 -> true
+  | b -> raise (Decode_error (Printf.sprintf "bad bool byte %d" b))
+
+let read_raw r len =
+  need r len;
+  let b = Bytes.sub r.data r.pos len in
+  r.pos <- r.pos + len;
+  b
+
+let read_bytes r =
+  let len = read_varint r in
+  read_raw r len
+
+let read_string r = Bytes.to_string (read_bytes r)
+
+let read_list r f =
+  let len = read_varint r in
+  List.init len (fun _ -> f r)
+
+let read_array r f =
+  let len = read_varint r in
+  Array.init len (fun _ -> f r)
+
+let read_pair r fa fb =
+  let a = fa r in
+  let b = fb r in
+  (a, b)
+
+let read_option r f = if read_bool r then Some (f r) else None
+
+let encode f v =
+  let w = writer () in
+  f w v;
+  contents w
+
+let decode f b =
+  let r = reader b in
+  let v = f r in
+  if not (at_end r) then
+    raise (Decode_error (Printf.sprintf "%d trailing bytes" (Bytes.length b - r.pos)));
+  v
+
+let varint_size v =
+  let rec go v acc = if v lsr 7 = 0 then acc else go (v lsr 7) (acc + 1) in
+  go v 1
+
+let encode_int_list lst = encode (fun w -> write_list w write_varint) lst
+let decode_int_list b = decode (fun r -> read_list r read_varint) b

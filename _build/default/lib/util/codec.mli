@@ -1,0 +1,73 @@
+(** Binary serialization for protocol messages.
+
+    Every message that crosses the simulated network is encoded through this
+    module, so communication complexity is measured on real byte strings
+    rather than on abstract message counts.  The format is a simple
+    length-prefixed binary encoding: varints for integers, raw bytes for
+    strings, and recursively encoded containers. *)
+
+(** {1 Writer} *)
+
+type writer
+
+val writer : unit -> writer
+
+(** [contents w] returns the bytes written so far. *)
+val contents : writer -> bytes
+
+val write_varint : writer -> int -> unit
+val write_int64 : writer -> int64 -> unit
+val write_bool : writer -> bool -> unit
+val write_byte : writer -> int -> unit
+val write_bytes : writer -> bytes -> unit
+
+(** [write_raw w b] appends [b] without a length prefix. *)
+val write_raw : writer -> bytes -> unit
+
+val write_string : writer -> string -> unit
+val write_list : writer -> (writer -> 'a -> unit) -> 'a list -> unit
+val write_array : writer -> (writer -> 'a -> unit) -> 'a array -> unit
+val write_pair : writer -> (writer -> 'a -> unit) -> (writer -> 'b -> unit) -> 'a * 'b -> unit
+val write_option : writer -> (writer -> 'a -> unit) -> 'a option -> unit
+
+(** {1 Reader} *)
+
+type reader
+
+exception Decode_error of string
+
+val reader : bytes -> reader
+
+(** [at_end r] is true when every byte has been consumed. *)
+val at_end : reader -> bool
+
+val read_varint : reader -> int
+val read_int64 : reader -> int64
+val read_bool : reader -> bool
+val read_byte : reader -> int
+val read_bytes : reader -> bytes
+
+(** [read_raw r len] reads exactly [len] bytes with no length prefix. *)
+val read_raw : reader -> int -> bytes
+
+val read_string : reader -> string
+val read_list : reader -> (reader -> 'a) -> 'a list
+val read_array : reader -> (reader -> 'a) -> 'a array
+val read_pair : reader -> (reader -> 'a) -> (reader -> 'b) -> 'a * 'b
+val read_option : reader -> (reader -> 'a) -> 'a option
+
+(** {1 Whole-message helpers} *)
+
+(** [encode f v] runs [f] on a fresh writer and returns the bytes. *)
+val encode : (writer -> 'a -> unit) -> 'a -> bytes
+
+(** [decode f b] decodes [b] entirely; raises {!Decode_error} on trailing or
+    missing bytes. *)
+val decode : (reader -> 'a) -> bytes -> 'a
+
+(** [varint_size v] is the encoded size of [v] in bytes (for cost models). *)
+val varint_size : int -> int
+
+(** Encoders for common shapes used across protocols. *)
+val encode_int_list : int list -> bytes
+val decode_int_list : bytes -> int list

@@ -1,0 +1,13 @@
+(** Integer-keyed maps; see {!Iset} for the rationale. *)
+
+include Map.Make (Int)
+
+let keys m = fold (fun k _ acc -> k :: acc) m [] |> List.rev
+let values m = fold (fun _ v acc -> v :: acc) m [] |> List.rev
+
+(** [add_multi k v m] conses [v] onto the list bound to [k]. *)
+let add_multi k v m =
+  update k (function None -> Some [ v ] | Some vs -> Some (v :: vs)) m
+
+(** [find_list k m] is the list bound to [k], or [[]]. *)
+let find_list k m = match find_opt k m with None -> [] | Some vs -> vs

@@ -1,0 +1,15 @@
+include Set.Make (Int)
+
+let of_list' = of_list
+let to_sorted_list s = elements s
+
+let range lo hi =
+  let rec go i acc = if i > hi then acc else go (i + 1) (add i acc) in
+  go lo empty
+
+let pp fmt s =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+       Format.pp_print_int)
+    (elements s)

@@ -1,0 +1,19 @@
+(** Integer sets specialized for party-id bookkeeping.
+
+    A thin layer over [Set.Make (Int)] with the handful of operations the
+    protocol code uses constantly (construction from lists, sampling-friendly
+    conversions, pretty-printing). *)
+
+include Set.S with type elt = int
+
+(** [of_list'] is {!of_list} (re-exported for symmetry with {!to_sorted_list}). *)
+val of_list' : int list -> t
+
+(** [to_sorted_list s] lists elements in increasing order. *)
+val to_sorted_list : t -> int list
+
+(** [range lo hi] is the set [{lo, lo+1, ..., hi}] (empty when [lo > hi]). *)
+val range : int -> int -> t
+
+(** [pp] prints as [{1, 2, 5}]. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,124 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* SplitMix64: used to expand a seed into the four Xoshiro words and to
+   derive split-off generators.  Reference: Steele, Lea, Flood (2014). *)
+let splitmix_next (state : int64 ref) : int64 =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let of_seed64 (seed : int64) : t =
+  let st = ref seed in
+  let s0 = splitmix_next st in
+  let s1 = splitmix_next st in
+  let s2 = splitmix_next st in
+  let s3 = splitmix_next st in
+  (* Xoshiro must not start at the all-zero state. *)
+  if Int64.logor (Int64.logor s0 s1) (Int64.logor s2 s3) = 0L then
+    { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
+  else { s0; s1; s2; s3 }
+
+let create seed = of_seed64 (Int64.of_int seed)
+
+let rotl (x : int64) (k : int) : int64 =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* Xoshiro256** next. *)
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t = of_seed64 (bits64 t)
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling on the top 62 bits to avoid modulo bias. *)
+  let mask = 0x3FFF_FFFF_FFFF_FFFF in
+  let rec go () =
+    let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) land mask in
+    let v = r mod bound in
+    if r - v > mask - bound + 1 then go () else v
+  in
+  go ()
+
+let int_in t lo hi =
+  if lo > hi then invalid_arg "Prng.int_in: lo > hi";
+  lo + int t (hi - lo + 1)
+
+let float t =
+  (* 53 random bits scaled to [0,1). *)
+  let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int r *. (1.0 /. 9007199254740992.0)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t p =
+  if p <= 0.0 then false else if p >= 1.0 then true else float t < p
+
+let byte t = Int64.to_int (Int64.logand (bits64 t) 0xFFL)
+
+let bytes t len =
+  let b = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.unsafe_set b i (Char.unsafe_chr (byte t))
+  done;
+  b
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample_without_replacement t ~n ~k =
+  if k < 0 || k > n then invalid_arg "Prng.sample_without_replacement";
+  if k = 0 then []
+  else if 2 * k >= n then begin
+    (* Dense case: shuffle a full index array and keep a prefix. *)
+    let arr = Array.init n (fun i -> i) in
+    shuffle t arr;
+    Array.sub arr 0 k |> Array.to_list |> List.sort compare
+  end
+  else begin
+    (* Sparse case: rejection sampling into a hash set. *)
+    let seen = Hashtbl.create (2 * k) in
+    let rec fill count =
+      if count = k then ()
+      else
+        let v = int t n in
+        if Hashtbl.mem seen v then fill count
+        else begin
+          Hashtbl.add seen v ();
+          fill (count + 1)
+        end
+    in
+    fill 0;
+    Hashtbl.fold (fun v () acc -> v :: acc) seen [] |> List.sort compare
+  end
+
+let pick t lst =
+  match lst with
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | _ -> List.nth lst (int t (List.length lst))
+
+let subset_bernoulli t ~n ~p =
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else if bernoulli t p then go (i + 1) (i :: acc)
+    else go (i + 1) acc
+  in
+  go 0 []

@@ -1,0 +1,58 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    All randomness used by the protocols and experiments flows through this
+    module, so every run is reproducible from a single integer seed.  The
+    implementation is SplitMix64 for seeding and state splitting, with a
+    Xoshiro256** core for the main stream.  It is {e not} cryptographically
+    secure; cryptographic randomness in the library is derived from
+    {!Crypto.Sha256} in counter mode seeded by values drawn here (adequate
+    for a simulation, documented in DESIGN.md). *)
+
+type t
+
+(** [create seed] makes a fresh generator from a 64-bit seed. *)
+val create : int -> t
+
+(** [split t] derives an independent generator; [t] advances. *)
+val split : t -> t
+
+(** [copy t] duplicates the current state (same future stream). *)
+val copy : t -> t
+
+(** [bits64 t] returns 64 uniformly random bits as an [int64]. *)
+val bits64 : t -> int64
+
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+val int : t -> int -> int
+
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. Requires [lo <= hi]. *)
+val int_in : t -> int -> int -> int
+
+(** [float t] is uniform in [\[0, 1)]. *)
+val float : t -> float
+
+(** [bool t] is a fair coin. *)
+val bool : t -> bool
+
+(** [bernoulli t p] is [true] with probability [p] (clamped to [\[0,1\]]). *)
+val bernoulli : t -> float -> bool
+
+(** [byte t] is uniform in [\[0, 255\]]. *)
+val byte : t -> int
+
+(** [bytes t len] is a fresh uniformly random byte string. *)
+val bytes : t -> int -> bytes
+
+(** [shuffle t arr] permutes [arr] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [sample_without_replacement t ~n ~k] returns [k] distinct values drawn
+    uniformly from [\[0, n)], in increasing order. Requires [0 <= k <= n]. *)
+val sample_without_replacement : t -> n:int -> k:int -> int list
+
+(** [pick t lst] picks a uniform element. Requires a non-empty list. *)
+val pick : t -> 'a list -> 'a
+
+(** [subset_bernoulli t ~n ~p] independently includes each of [0..n-1] with
+    probability [p]; returns the included indices in increasing order. *)
+val subset_bernoulli : t -> n:int -> p:float -> int list

@@ -1,0 +1,107 @@
+let check_nonempty name = function
+  | [] -> invalid_arg (name ^ ": empty list")
+  | _ -> ()
+
+let mean xs =
+  check_nonempty "Stats.mean" xs;
+  List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let variance xs =
+  check_nonempty "Stats.variance" xs;
+  let m = mean xs in
+  let sq = List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+  sq /. float_of_int (List.length xs)
+
+let stddev xs = sqrt (variance xs)
+
+let sorted xs = List.sort compare xs
+
+let median xs =
+  check_nonempty "Stats.median" xs;
+  let arr = Array.of_list (sorted xs) in
+  let n = Array.length arr in
+  if n mod 2 = 1 then arr.(n / 2) else (arr.((n / 2) - 1) +. arr.(n / 2)) /. 2.0
+
+let percentile xs p =
+  check_nonempty "Stats.percentile" xs;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let arr = Array.of_list (sorted xs) in
+  let n = Array.length arr in
+  if n = 1 then arr.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
+  end
+
+let minimum xs =
+  check_nonempty "Stats.minimum" xs;
+  List.fold_left min infinity xs
+
+let maximum xs =
+  check_nonempty "Stats.maximum" xs;
+  List.fold_left max neg_infinity xs
+
+let linear_fit pts =
+  let n = List.length pts in
+  if n < 2 then invalid_arg "Stats.linear_fit: need at least two points";
+  let fn = float_of_int n in
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 pts in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 pts in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 pts in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 pts in
+  let denom = (fn *. sxx) -. (sx *. sx) in
+  if abs_float denom < 1e-12 then invalid_arg "Stats.linear_fit: degenerate x values";
+  let slope = ((fn *. sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (slope *. sx)) /. fn in
+  (* Coefficient of determination. *)
+  let ybar = sy /. fn in
+  let ss_tot = List.fold_left (fun a (_, y) -> a +. ((y -. ybar) *. (y -. ybar))) 0.0 pts in
+  let ss_res =
+    List.fold_left
+      (fun a (x, y) ->
+        let e = y -. ((slope *. x) +. intercept) in
+        a +. (e *. e))
+      0.0 pts
+  in
+  let r2 = if ss_tot < 1e-12 then 1.0 else 1.0 -. (ss_res /. ss_tot) in
+  (slope, intercept, r2)
+
+let loglog_exponent pts =
+  List.iter
+    (fun (x, y) ->
+      if x <= 0.0 || y <= 0.0 then
+        invalid_arg "Stats.loglog_exponent: coordinates must be positive")
+    pts;
+  let logs = List.map (fun (x, y) -> (log x, log y)) pts in
+  let slope, intercept, r2 = linear_fit logs in
+  (slope, exp intercept, r2)
+
+let histogram xs ~bins =
+  check_nonempty "Stats.histogram" xs;
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  let lo = minimum xs and hi = maximum xs in
+  let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+  let counts = Array.make bins 0 in
+  List.iter
+    (fun x ->
+      let idx = int_of_float ((x -. lo) /. width) in
+      let idx = if idx >= bins then bins - 1 else if idx < 0 then 0 else idx in
+      counts.(idx) <- counts.(idx) + 1)
+    xs;
+  List.init bins (fun i -> (lo +. (float_of_int i *. width), counts.(i)))
+
+let binomial_ci ~successes ~trials =
+  if trials <= 0 then invalid_arg "Stats.binomial_ci: trials must be positive";
+  let z = 1.96 in
+  let n = float_of_int trials in
+  let p = float_of_int successes /. n in
+  let z2 = z *. z in
+  let denom = 1.0 +. (z2 /. n) in
+  let center = (p +. (z2 /. (2.0 *. n))) /. denom in
+  let half =
+    z *. sqrt (((p *. (1.0 -. p)) +. (z2 /. (4.0 *. n))) /. n) /. denom
+  in
+  (max 0.0 (center -. half), min 1.0 (center +. half))

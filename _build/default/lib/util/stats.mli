@@ -1,0 +1,40 @@
+(** Descriptive statistics and regression, used by the experiment harness to
+    summarize measurements and fit communication-complexity exponents. *)
+
+(** [mean xs] is the arithmetic mean. Requires a non-empty list. *)
+val mean : float list -> float
+
+(** [variance xs] is the (population) variance. *)
+val variance : float list -> float
+
+(** [stddev xs] is the (population) standard deviation. *)
+val stddev : float list -> float
+
+(** [median xs] is the median (average of the middle two for even lengths). *)
+val median : float list -> float
+
+(** [percentile xs p] is the [p]-th percentile by linear interpolation,
+    [p] in [\[0, 100\]]. *)
+val percentile : float list -> float -> float
+
+(** [minimum xs] / [maximum xs]. *)
+val minimum : float list -> float
+val maximum : float list -> float
+
+(** Least-squares line fit: [linear_fit pts] returns [(slope, intercept, r2)]
+    for points [(x, y)]. Requires at least two distinct x values. *)
+val linear_fit : (float * float) list -> float * float * float
+
+(** [loglog_exponent pts] fits [y = c * x^k] by linear regression in log-log
+    space and returns [(k, c, r2)].  Requires strictly positive coordinates.
+    This is how we estimate the exponent of measured communication cost as a
+    function of [n] or [h]. *)
+val loglog_exponent : (float * float) list -> float * float * float
+
+(** [histogram xs ~bins] buckets values into [bins] equal-width bins over
+    [\[min, max\]]; returns [(lower_edge, count)] per bin. *)
+val histogram : float list -> bins:int -> (float * int) list
+
+(** [binomial_ci ~successes ~trials] returns a 95% Wilson score interval for
+    a proportion, as [(low, high)]. *)
+val binomial_ci : successes:int -> trials:int -> float * float

@@ -1,0 +1,1 @@
+test/test_all_to_all.ml: Alcotest Array Bytes List Mpc Netsim Printf QCheck QCheck_alcotest Util

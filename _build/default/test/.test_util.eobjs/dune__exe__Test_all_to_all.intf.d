@@ -1,0 +1,1 @@
+test/test_all_to_all.mli:

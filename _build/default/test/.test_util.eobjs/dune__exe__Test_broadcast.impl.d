@@ -1,0 +1,1 @@
+test/test_broadcast.ml: Alcotest Array Bytes List Mpc Netsim QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Builder Circuit List Printf QCheck QCheck_alcotest Util

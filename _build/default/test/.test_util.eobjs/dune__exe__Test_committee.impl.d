@@ -1,0 +1,1 @@
+test/test_committee.ml: Alcotest Array List Mpc Netsim Util

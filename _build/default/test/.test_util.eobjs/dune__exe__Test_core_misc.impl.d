@@ -1,0 +1,1 @@
+test/test_core_misc.ml: Alcotest Array Bytes Int List Mpc Netsim String Util

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Bytes Char Crypto Field List Printf String Util

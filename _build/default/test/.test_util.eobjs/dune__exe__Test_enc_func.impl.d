@@ -1,0 +1,1 @@
+test/test_enc_func.ml: Alcotest Bytes Char List Mpc Netsim Printf Util

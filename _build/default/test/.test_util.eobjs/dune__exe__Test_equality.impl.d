@@ -1,0 +1,1 @@
+test/test_equality.ml: Alcotest Array Bytes Crypto List Mpc Netsim Printf Util

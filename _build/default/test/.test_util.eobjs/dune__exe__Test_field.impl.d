@@ -1,0 +1,1 @@
+test/test_field.ml: Alcotest Array Field Gen List QCheck QCheck_alcotest Util

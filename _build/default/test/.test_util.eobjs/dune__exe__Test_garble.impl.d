@@ -1,0 +1,1 @@
+test/test_garble.ml: Alcotest Array Bytes Char Circuit Crypto List Mpc Netsim Printf QCheck QCheck_alcotest Util

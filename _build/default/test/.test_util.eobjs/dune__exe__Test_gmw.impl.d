@@ -1,0 +1,1 @@
+test/test_gmw.ml: Alcotest Array Bytes Circuit List Mpc Netsim Printf QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_local.ml: Alcotest Array Bytes Circuit Crypto List Mpc Netsim Util

@@ -1,0 +1,1 @@
+test/test_lower_bound.ml: Alcotest Mpc Util

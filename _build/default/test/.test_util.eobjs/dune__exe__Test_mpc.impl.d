@@ -1,0 +1,1 @@
+test/test_mpc.ml: Alcotest Array Bytes Circuit Crypto Mpc Netsim Printf QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_multi_output.ml: Alcotest Array Bytes Circuit Crypto List Mpc Netsim Printf Util

@@ -1,0 +1,1 @@
+test/test_sparse_gossip.ml: Alcotest Array Bytes List Mpc Netsim Printf Util

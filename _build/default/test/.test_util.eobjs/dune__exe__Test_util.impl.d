@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes Gen Int64 List Printf QCheck QCheck_alcotest Util

@@ -1,0 +1,147 @@
+(* Tests for All-to-All Broadcast with abort (F_SB, §2.1 / Remark 8). *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let params n = Mpc.Params.make ~n ~h:(max 1 (n / 2)) ~lambda:8 ~alpha:2 ()
+
+let run ?(seed = 1) ~n ~variant ~participants ~corruption ~adv input =
+  let net = Netsim.Net.create n in
+  let rng = Util.Prng.create seed in
+  let outs =
+    Mpc.All_to_all.run net rng (params n) ~variant ~participants ~input ~corruption ~adv
+  in
+  (net, outs)
+
+let view_equal a b =
+  List.length a = List.length b
+  && List.for_all2 (fun (i, v) (j, w) -> i = j && Bytes.equal v w) a b
+
+let test_honest_full_network () =
+  let n = 8 in
+  let corruption = Netsim.Corruption.none ~n in
+  let input i = Bytes.of_string (Printf.sprintf "input-%d" i) in
+  List.iter
+    (fun variant ->
+      let _, outs =
+        run ~n ~variant ~participants:(List.init n (fun i -> i)) ~corruption
+          ~adv:Mpc.All_to_all.honest_adv input
+      in
+      List.iter
+        (fun (i, o) ->
+          match o with
+          | Mpc.Outcome.Output view ->
+            checki "full view" n (List.length view);
+            List.iter (fun (j, v) -> checkb "correct value" true (Bytes.equal v (input j))) view
+          | Mpc.Outcome.Abort r ->
+            Alcotest.failf "party %d aborted: %s" i (Mpc.Outcome.reason_to_string r))
+        outs)
+    [ Mpc.All_to_all.Naive; Mpc.All_to_all.Fingerprinted ]
+
+let test_honest_subset () =
+  (* Restricted to a committee — the F_Gen / F_Comp usage pattern. *)
+  let n = 10 in
+  let corruption = Netsim.Corruption.none ~n in
+  let participants = [ 1; 3; 5; 7 ] in
+  let input i = Bytes.of_string (Printf.sprintf "member-%d" i) in
+  let net, outs =
+    run ~n ~variant:Mpc.All_to_all.Fingerprinted ~participants ~corruption
+      ~adv:Mpc.All_to_all.honest_adv input
+  in
+  List.iter
+    (fun (_, o) ->
+      match o with
+      | Mpc.Outcome.Output view -> checki "subset view" 4 (List.length view)
+      | Mpc.Outcome.Abort _ -> Alcotest.fail "abort in honest subset run")
+    outs;
+  (* Non-participants exchanged nothing. *)
+  checki "party 0 silent" 0 (Netsim.Net.bits_sent net 0);
+  checki "party 0 locality" 0 (Netsim.Net.locality net 0)
+
+let test_fingerprinted_beats_naive () =
+  let n = 12 in
+  let corruption = Netsim.Corruption.none ~n in
+  let input _ = Bytes.make 2048 'd' in
+  let participants = List.init n (fun i -> i) in
+  let net1, _ =
+    run ~n ~variant:Mpc.All_to_all.Naive ~participants ~corruption
+      ~adv:Mpc.All_to_all.honest_adv input
+  in
+  let net2, _ =
+    run ~n ~variant:Mpc.All_to_all.Fingerprinted ~participants ~corruption
+      ~adv:Mpc.All_to_all.honest_adv input
+  in
+  (* Naive echoes full payloads: Θ(n³·ℓ); fingerprinted sends Θ(n²·ℓ). *)
+  checkb "n^2 vs n^3" true
+    (Netsim.Net.total_bits net2 * 3 < Netsim.Net.total_bits net1)
+
+let test_split_input_attack () =
+  let n = 10 in
+  let corruption = Netsim.Corruption.make ~n ~corrupted:(Util.Iset.of_list [ 4 ]) in
+  let adv = Mpc.Attacks.split_input ~v1:(Bytes.of_string "left") ~v2:(Bytes.of_string "right") in
+  let input i = Bytes.of_string (Printf.sprintf "honest-%d" i) in
+  List.iter
+    (fun variant ->
+      let _, outs =
+        run ~n ~variant ~participants:(List.init n (fun i -> i)) ~corruption ~adv input
+      in
+      let outcome_arr = Array.make n (Mpc.Outcome.Abort (Mpc.Outcome.Missing "x")) in
+      List.iter (fun (i, o) -> outcome_arr.(i) <- o) outs;
+      checkb "agreement or abort" true
+        (Mpc.Outcome.agreement_or_abort ~equal:view_equal outcome_arr corruption);
+      checkb "equivocation detected" true
+        (Mpc.Outcome.some_honest_aborted outcome_arr corruption))
+    [ Mpc.All_to_all.Naive; Mpc.All_to_all.Fingerprinted ]
+
+let test_silent_participant () =
+  let n = 8 in
+  let corruption = Netsim.Corruption.make ~n ~corrupted:(Util.Iset.of_list [ 2 ]) in
+  let adv =
+    { Mpc.All_to_all.honest_adv with Mpc.All_to_all.drop = Some (fun ~src:_ ~dst:_ -> true) }
+  in
+  let _, outs =
+    run ~n ~variant:Mpc.All_to_all.Fingerprinted ~participants:(List.init n (fun i -> i))
+      ~corruption ~adv (fun i -> Bytes.of_string (string_of_int i))
+  in
+  List.iter
+    (fun (i, o) ->
+      if Netsim.Corruption.is_honest corruption i then
+        checkb (Printf.sprintf "party %d aborts on silence" i) true (Mpc.Outcome.is_abort o))
+    outs
+
+let prop_agreement_under_random_split =
+  QCheck.Test.make ~name:"all-to-all agreement-or-abort" ~count:25
+    QCheck.(pair (int_range 4 10) (int_bound 10_000))
+    (fun (n, seed) ->
+      let rng = Util.Prng.create seed in
+      let h = 2 + Util.Prng.int rng (n - 2) in
+      let corruption = Netsim.Corruption.random rng ~n ~h in
+      let adv =
+        Mpc.Attacks.split_input ~v1:(Bytes.of_string "aa") ~v2:(Bytes.of_string "bb")
+      in
+      let _, outs =
+        run ~seed ~n ~variant:Mpc.All_to_all.Fingerprinted
+          ~participants:(List.init n (fun i -> i))
+          ~corruption ~adv
+          (fun i -> Bytes.of_string (string_of_int i))
+      in
+      let outcome_arr = Array.make n (Mpc.Outcome.Abort (Mpc.Outcome.Missing "x")) in
+      List.iter (fun (i, o) -> outcome_arr.(i) <- o) outs;
+      Mpc.Outcome.agreement_or_abort ~equal:view_equal outcome_arr corruption)
+
+let () =
+  Alcotest.run "all_to_all"
+    [
+      ( "honest",
+        [
+          Alcotest.test_case "full network" `Quick test_honest_full_network;
+          Alcotest.test_case "committee subset" `Quick test_honest_subset;
+          Alcotest.test_case "fingerprinted beats naive" `Quick test_fingerprinted_beats_naive;
+        ] );
+      ( "adversarial",
+        [
+          Alcotest.test_case "split input" `Quick test_split_input_attack;
+          Alcotest.test_case "silent participant" `Quick test_silent_participant;
+          QCheck_alcotest.to_alcotest prop_agreement_under_random_split;
+        ] );
+    ]

@@ -1,0 +1,92 @@
+(* Tests for the experiment harness: complexity fitting and tables. *)
+
+let checkb = Alcotest.(check bool)
+
+let test_sweep_averages () =
+  let ms =
+    Analysis.Complexity.sweep ~xs:[ 2; 4 ] ~runs:3 (fun ~x ~rep ->
+        float_of_int (x * 10) +. float_of_int rep)
+  in
+  match ms with
+  | [ a; b ] ->
+    Alcotest.(check (float 1e-9)) "x=2 mean" 21.0 a.Analysis.Complexity.value;
+    Alcotest.(check (float 1e-9)) "x=4 mean" 41.0 b.Analysis.Complexity.value
+  | _ -> Alcotest.fail "wrong arity"
+
+let test_fit_exact_power_law () =
+  let ms =
+    List.map
+      (fun x -> { Analysis.Complexity.x = float_of_int x; value = 7.0 *. (float_of_int x ** 2.5) })
+      [ 2; 4; 8; 16; 32 ]
+  in
+  let f = Analysis.Complexity.fit ms in
+  checkb "exponent" true (abs_float (f.Analysis.Complexity.exponent -. 2.5) < 1e-6);
+  checkb "constant" true (abs_float (f.Analysis.Complexity.constant -. 7.0) < 1e-4);
+  checkb "check_exponent accepts" true
+    (Analysis.Complexity.check_exponent ~expected:2.5 ~tolerance:0.01 f);
+  checkb "check_exponent rejects" false
+    (Analysis.Complexity.check_exponent ~expected:3.0 ~tolerance:0.1 f)
+
+let test_fit_with_polylog () =
+  (* y = x^2 * (log x)^2: the polylog fit should find j = 2 and k ≈ 2,
+     where a plain fit would overshoot the exponent. *)
+  let ms =
+    List.map
+      (fun x ->
+        let fx = float_of_int x in
+        { Analysis.Complexity.x = fx; value = fx *. fx *. (log fx ** 2.0) })
+      [ 4; 8; 16; 32; 64; 128; 256 ]
+  in
+  let f, j = Analysis.Complexity.fit_with_polylog ms in
+  Alcotest.(check int) "polylog power" 2 j;
+  checkb "exponent near 2" true (abs_float (f.Analysis.Complexity.exponent -. 2.0) < 0.05)
+
+let test_table_rendering () =
+  let t = Analysis.Table.create ~title:"T" ~columns:[ "n"; "bits" ] in
+  Analysis.Table.add_row t [ "16"; "1.00 Kb" ];
+  Analysis.Table.add_row t [ "32"; "4.00 Kb" ];
+  let s = Analysis.Table.render t in
+  checkb "has title" true (String.length s > 0 && s.[0] = 'T');
+  checkb "has rows" true
+    (let contains sub =
+       let rec go i =
+         i + String.length sub <= String.length s
+         && (String.sub s i (String.length sub) = sub || go (i + 1))
+       in
+       go 0
+     in
+     contains "16" && contains "4.00 Kb")
+
+let test_table_arity_checked () =
+  let t = Analysis.Table.create ~title:"T" ~columns:[ "a"; "b" ] in
+  checkb "raises" true
+    (try
+       Analysis.Table.add_row t [ "only one" ];
+       false
+     with Invalid_argument _ -> true)
+
+let test_formatters () =
+  Alcotest.(check string) "bits small" "512 b" (Analysis.Table.fmt_bits 512);
+  Alcotest.(check string) "bits kb" "2.00 Kb" (Analysis.Table.fmt_bits 2000);
+  Alcotest.(check string) "bits mb" "1.50 Mb" (Analysis.Table.fmt_bits 1_500_000);
+  Alcotest.(check string) "bits gb" "2.10 Gb" (Analysis.Table.fmt_bits 2_100_000_000);
+  Alcotest.(check string) "ratio" "3.10x" (Analysis.Table.fmt_ratio 3.1);
+  Alcotest.(check string) "prob" "0.2500" (Analysis.Table.fmt_prob 0.25);
+  Alcotest.(check string) "float" "1.23" (Analysis.Table.fmt_float 1.2345)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "complexity",
+        [
+          Alcotest.test_case "sweep averages" `Quick test_sweep_averages;
+          Alcotest.test_case "exact power law" `Quick test_fit_exact_power_law;
+          Alcotest.test_case "polylog factor" `Quick test_fit_with_polylog;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "rendering" `Quick test_table_rendering;
+          Alcotest.test_case "arity checked" `Quick test_table_arity_checked;
+          Alcotest.test_case "formatters" `Quick test_formatters;
+        ] );
+    ]

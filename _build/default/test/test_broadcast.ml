@@ -1,0 +1,177 @@
+(* Tests for single-source broadcast with abort (GL05, §2.1): honest
+   correctness and agreement-or-abort under every attack in the library. *)
+
+let checkb = Alcotest.(check bool)
+
+let params n = Mpc.Params.make ~n ~h:(max 1 (n / 2)) ~lambda:8 ~alpha:2 ()
+
+let run_broadcast ?(seed = 1) ~n ~variant ~corruption ~adv value =
+  let net = Netsim.Net.create n in
+  let rng = Util.Prng.create seed in
+  let outs =
+    Mpc.Broadcast.run net rng (params n) ~variant ~sender:0 ~value ~corruption ~adv
+  in
+  (net, outs)
+
+let all_output_value outs corruption v =
+  Mpc.Outcome.all_honest_output_value ~equal:Bytes.equal ~expected:v outs corruption
+
+let agreement_or_abort outs corruption =
+  Mpc.Outcome.agreement_or_abort ~equal:Bytes.equal outs corruption
+
+let test_honest_naive () =
+  let n = 10 in
+  let corruption = Netsim.Corruption.none ~n in
+  let v = Bytes.of_string "announcement" in
+  let _, outs =
+    run_broadcast ~n ~variant:Mpc.Broadcast.Naive ~corruption ~adv:Mpc.Broadcast.honest_adv v
+  in
+  checkb "all output v" true (all_output_value outs corruption v)
+
+let test_honest_fingerprinted () =
+  let n = 10 in
+  let corruption = Netsim.Corruption.none ~n in
+  let v = Bytes.of_string "announcement" in
+  let _, outs =
+    run_broadcast ~n ~variant:Mpc.Broadcast.Fingerprinted ~corruption
+      ~adv:Mpc.Broadcast.honest_adv v
+  in
+  checkb "all output v" true (all_output_value outs corruption v)
+
+let test_fingerprinted_cheaper_than_naive () =
+  let n = 16 in
+  let corruption = Netsim.Corruption.none ~n in
+  let v = Bytes.make 4096 'p' in
+  let net1, _ =
+    run_broadcast ~n ~variant:Mpc.Broadcast.Naive ~corruption ~adv:Mpc.Broadcast.honest_adv v
+  in
+  let net2, _ =
+    run_broadcast ~n ~variant:Mpc.Broadcast.Fingerprinted ~corruption
+      ~adv:Mpc.Broadcast.honest_adv v
+  in
+  checkb "fingerprinted wins on large messages" true
+    (Netsim.Net.total_bits net2 < Netsim.Net.total_bits net1 / 4)
+
+let test_equivocating_sender_naive () =
+  let n = 12 in
+  (* Sender (party 0) corrupted. *)
+  let corruption = Netsim.Corruption.make ~n ~corrupted:(Util.Iset.of_list [ 0 ]) in
+  let adv = Mpc.Attacks.equivocating_sender ~v1:(Bytes.of_string "A") ~v2:(Bytes.of_string "B") in
+  List.iter
+    (fun variant ->
+      let _, outs = run_broadcast ~n ~variant ~corruption ~adv (Bytes.of_string "A") in
+      checkb "agreement or abort" true (agreement_or_abort outs corruption);
+      (* With an even split, honest parties must actually abort. *)
+      checkb "someone aborted" true (Mpc.Outcome.some_honest_aborted outs corruption))
+    [ Mpc.Broadcast.Naive; Mpc.Broadcast.Fingerprinted ]
+
+let test_partial_silent_sender () =
+  let n = 10 in
+  let corruption = Netsim.Corruption.make ~n ~corrupted:(Util.Iset.of_list [ 0 ]) in
+  let adv = Mpc.Attacks.partial_sender ~recipients:(Util.Iset.of_list [ 1; 2; 3 ]) in
+  List.iter
+    (fun variant ->
+      let _, outs = run_broadcast ~n ~variant ~corruption ~adv (Bytes.of_string "partial") in
+      checkb "agreement or abort" true (agreement_or_abort outs corruption);
+      checkb "silence detected" true (Mpc.Outcome.some_honest_aborted outs corruption))
+    [ Mpc.Broadcast.Naive; Mpc.Broadcast.Fingerprinted ]
+
+let test_lying_echoers () =
+  let n = 12 in
+  (* A minority of echoers lie about what they received; the sender is
+     honest.  Honest parties may abort (adversary can always force that)
+     but must never output a wrong value. *)
+  let corruption = Netsim.Corruption.make ~n ~corrupted:(Util.Iset.of_list [ 5; 6; 7 ]) in
+  let adv = Mpc.Attacks.lying_echo ~fake:(Bytes.of_string "forged") in
+  List.iter
+    (fun variant ->
+      let _, outs = run_broadcast ~n ~variant ~corruption ~adv (Bytes.of_string "true value") in
+      Array.iteri
+        (fun i o ->
+          if Netsim.Corruption.is_honest corruption i then
+            match o with
+            | Mpc.Outcome.Output v ->
+              checkb "never a wrong output" true (Bytes.equal v (Bytes.of_string "true value"))
+            | Mpc.Outcome.Abort _ -> ())
+        outs)
+    [ Mpc.Broadcast.Naive; Mpc.Broadcast.Fingerprinted ]
+
+let test_dishonest_majority_agreement_or_abort () =
+  (* 8 of 12 corrupted — beyond any BA threshold, but selective abort must
+     survive. *)
+  let n = 12 in
+  let rng = Util.Prng.create 42 in
+  for seed = 1 to 10 do
+    let corruption = Netsim.Corruption.random rng ~n ~h:4 in
+    let adv =
+      Mpc.Attacks.equivocating_sender
+        ~v1:(Bytes.of_string "X")
+        ~v2:(Bytes.of_string "Y")
+    in
+    let _, outs =
+      run_broadcast ~seed ~n ~variant:Mpc.Broadcast.Fingerprinted ~corruption ~adv
+        (Bytes.of_string "X")
+    in
+    checkb "agreement or abort" true (agreement_or_abort outs corruption)
+  done
+
+let prop_random_equivocation_safe =
+  (* Property: for random corruption patterns and random two-value
+     equivocations, agreement-or-abort always holds. *)
+  QCheck.Test.make ~name:"broadcast agreement-or-abort under equivocation" ~count:30
+    QCheck.(triple (int_range 4 14) (int_bound 10_000) bool)
+    (fun (n, seed, use_naive) ->
+      let rng = Util.Prng.create seed in
+      let h = 2 + Util.Prng.int rng (n - 2) in
+      let corruption =
+        (* Force the sender corrupted so equivocation applies. *)
+        let c = Netsim.Corruption.random rng ~n ~h in
+        if Netsim.Corruption.is_corrupted c 0 then c
+        else
+          Netsim.Corruption.make ~n
+            ~corrupted:
+              (Util.Iset.add 0
+                 (Util.Iset.remove
+                    (match Netsim.Corruption.corrupted_list c with x :: _ -> x | [] -> 0)
+                    (Netsim.Corruption.corrupted c)))
+      in
+      let adv =
+        Mpc.Attacks.equivocating_sender
+          ~v1:(Bytes.of_string "v1")
+          ~v2:(Bytes.of_string "v2")
+      in
+      let variant = if use_naive then Mpc.Broadcast.Naive else Mpc.Broadcast.Fingerprinted in
+      let _, outs = run_broadcast ~seed ~n ~variant ~corruption ~adv (Bytes.of_string "v1") in
+      agreement_or_abort outs corruption)
+
+let test_cost_quadratic_in_n () =
+  let cost n =
+    let corruption = Netsim.Corruption.none ~n in
+    let net, _ =
+      run_broadcast ~n ~variant:Mpc.Broadcast.Fingerprinted ~corruption
+        ~adv:Mpc.Broadcast.honest_adv (Bytes.of_string "cost probe")
+    in
+    float_of_int (Netsim.Net.total_bits net)
+  in
+  let ratio = cost 32 /. cost 16 in
+  checkb "roughly quadratic" true (ratio > 3.0 && ratio < 6.0)
+
+let () =
+  Alcotest.run "broadcast"
+    [
+      ( "honest",
+        [
+          Alcotest.test_case "naive" `Quick test_honest_naive;
+          Alcotest.test_case "fingerprinted" `Quick test_honest_fingerprinted;
+          Alcotest.test_case "fingerprinted cheaper" `Quick test_fingerprinted_cheaper_than_naive;
+          Alcotest.test_case "cost quadratic" `Quick test_cost_quadratic_in_n;
+        ] );
+      ( "adversarial",
+        [
+          Alcotest.test_case "equivocating sender" `Quick test_equivocating_sender_naive;
+          Alcotest.test_case "partial silence" `Quick test_partial_silent_sender;
+          Alcotest.test_case "lying echoers" `Quick test_lying_echoers;
+          Alcotest.test_case "dishonest majority" `Quick test_dishonest_majority_agreement_or_abort;
+          QCheck_alcotest.to_alcotest prop_random_equivocation_safe;
+        ] );
+    ]

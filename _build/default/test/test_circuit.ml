@@ -1,0 +1,272 @@
+(* Tests for the boolean circuit library: evaluation against reference
+   functions, depth/size metrics, and the ready-made functionalities. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let eval1 circuit inputs =
+  let out = Circuit.eval circuit inputs in
+  Alcotest.(check int) "single output" 1 (Array.length out);
+  out.(0)
+
+(* ---- basic gates ---- *)
+
+let test_gates () =
+  let open Circuit in
+  let c =
+    make ~num_inputs:2
+      ~outputs:
+        [
+          And (Input 0, Input 1);
+          Or (Input 0, Input 1);
+          Xor (Input 0, Input 1);
+          Not (Input 0);
+          Const true;
+        ]
+  in
+  let t = true and f = false in
+  let out = eval c [| t; f |] in
+  Alcotest.(check (array bool)) "gate semantics" [| f; t; t; f; t |] out
+
+let test_make_rejects_bad_input_index () =
+  checkb "raises" true
+    (try
+       ignore (Circuit.make ~num_inputs:2 ~outputs:[ Circuit.Input 2 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_eval_rejects_wrong_arity () =
+  let c = Circuit.parity ~n:4 in
+  checkb "raises" true
+    (try
+       ignore (Circuit.eval c [| true |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_depth_size () =
+  let open Circuit in
+  let c = make ~num_inputs:2 ~outputs:[ And (Input 0, Input 1) ] in
+  checki "depth" 1 (depth c);
+  checki "size" 3 (size c);
+  let c2 = make ~num_inputs:1 ~outputs:[ Not (Input 0) ] in
+  checki "not free depth" 0 (depth c2);
+  (* Shared sub-DAGs counted once. *)
+  let shared = And (Input 0, Input 1) in
+  let c3 = make ~num_inputs:2 ~outputs:[ Xor (shared, shared) ] in
+  checki "shared size" 4 (size c3)
+
+let test_deep_sharing_no_blowup () =
+  (* A 60-level DAG whose tree unfolding is 2^60 nodes: traversals must be
+     linear (this is the regression test for the exponential max_input). *)
+  let g = ref (Circuit.Input 0) in
+  for _ = 1 to 60 do
+    g := Circuit.And (!g, !g)
+  done;
+  let c = Circuit.make ~num_inputs:1 ~outputs:[ !g ] in
+  checki "depth 60" 60 (Circuit.depth c);
+  checki "size 61" 61 (Circuit.size c);
+  checkb "eval" true (eval1 c [| true |])
+
+(* ---- majority ---- *)
+
+let test_majority_reference () =
+  let rng = Util.Prng.create 1 in
+  List.iter
+    (fun n ->
+      let c = Circuit.majority ~n in
+      for _ = 1 to 50 do
+        let inputs = Array.init n (fun _ -> Util.Prng.bool rng) in
+        let ones = Array.fold_left (fun a b -> a + if b then 1 else 0) 0 inputs in
+        let expected = ones > n / 2 in
+        checkb (Printf.sprintf "majority n=%d" n) expected (eval1 c inputs)
+      done)
+    [ 1; 2; 3; 4; 5; 8; 15; 16; 33 ]
+
+(* ---- parity ---- *)
+
+let test_parity_reference () =
+  let rng = Util.Prng.create 2 in
+  List.iter
+    (fun n ->
+      let c = Circuit.parity ~n in
+      for _ = 1 to 50 do
+        let inputs = Array.init n (fun _ -> Util.Prng.bool rng) in
+        let expected = Array.fold_left (fun a b -> a <> b) false inputs in
+        checkb (Printf.sprintf "parity n=%d" n) expected (eval1 c inputs)
+      done)
+    [ 1; 2; 3; 7; 32 ]
+
+let test_parity_depth_logarithmic () =
+  let c = Circuit.parity ~n:64 in
+  checki "depth log2 64" 6 (Circuit.depth c)
+
+(* ---- sum ---- *)
+
+let test_sum_reference () =
+  let rng = Util.Prng.create 3 in
+  List.iter
+    (fun (n, width) ->
+      let c = Circuit.sum ~n ~width in
+      for _ = 1 to 30 do
+        let values = List.init n (fun _ -> Util.Prng.int rng (1 lsl width)) in
+        let expected = List.fold_left ( + ) 0 values in
+        let out = Circuit.eval c (Circuit.pack_inputs ~width values) in
+        let got = Circuit.unpack_output ~width:(Array.length out) out in
+        checki (Printf.sprintf "sum n=%d w=%d" n width) expected got
+      done)
+    [ (2, 4); (3, 4); (5, 3); (8, 8); (16, 2) ]
+
+(* ---- maximum ---- *)
+
+let test_maximum_reference () =
+  let rng = Util.Prng.create 4 in
+  List.iter
+    (fun (n, width) ->
+      let c = Circuit.maximum ~n ~width in
+      for _ = 1 to 30 do
+        let values = List.init n (fun _ -> Util.Prng.int rng (1 lsl width)) in
+        let expected = List.fold_left max 0 values in
+        let out = Circuit.eval c (Circuit.pack_inputs ~width values) in
+        checki (Printf.sprintf "max n=%d w=%d" n width) expected
+          (Circuit.unpack_output ~width out)
+      done)
+    [ (2, 4); (4, 4); (8, 5); (16, 3) ]
+
+(* ---- second price auction ---- *)
+
+let test_auction_reference () =
+  let rng = Util.Prng.create 5 in
+  List.iter
+    (fun (n, width) ->
+      let c = Circuit.second_price_auction ~n ~width in
+      for _ = 1 to 30 do
+        let values = List.init n (fun _ -> Util.Prng.int rng (1 lsl width)) in
+        (* Reference: winner = first index with max bid; price = second
+           highest (max of the rest). *)
+        let maxv = List.fold_left max 0 values in
+        let winner =
+          let rec find i = function
+            | v :: _ when v = maxv -> i
+            | _ :: rest -> find (i + 1) rest
+            | [] -> assert false
+          in
+          find 0 values
+        in
+        let second =
+          List.fold_left max 0 (List.filteri (fun i _ -> i <> winner) values)
+        in
+        let out = Circuit.eval c (Circuit.pack_inputs ~width values) in
+        let iw = Array.length out - width in
+        let got_winner = Circuit.unpack_output ~width:iw (Array.sub out 0 iw) in
+        let got_second = Circuit.unpack_output ~width (Array.sub out iw width) in
+        checki (Printf.sprintf "winner n=%d" n) winner got_winner;
+        checki (Printf.sprintf "price n=%d" n) second got_second
+      done)
+    [ (2, 4); (4, 4); (8, 3) ]
+
+(* ---- equality check ---- *)
+
+let test_equality_check_reference () =
+  let rng = Util.Prng.create 6 in
+  let c = Circuit.equality_check ~n:4 ~width:4 in
+  for _ = 1 to 50 do
+    let base = Util.Prng.int rng 16 in
+    let all_equal = Util.Prng.bool rng in
+    let values =
+      if all_equal then [ base; base; base; base ]
+      else [ base; base; (base + 1) mod 16; base ]
+    in
+    checkb "equality" all_equal (eval1 c (Circuit.pack_inputs ~width:4 values))
+  done
+
+(* ---- builders ---- *)
+
+let test_add_word_carry () =
+  let open Circuit in
+  let a = Builder.input_word ~offset:0 ~width:4 in
+  let b = Builder.input_word ~offset:4 ~width:4 in
+  let c = make ~num_inputs:8 ~outputs:(Builder.add_word a b) in
+  let rng = Util.Prng.create 7 in
+  for _ = 1 to 50 do
+    let x = Util.Prng.int rng 16 and y = Util.Prng.int rng 16 in
+    let out = eval c (pack_inputs ~width:4 [ x; y ]) in
+    checki "sum with carry" (x + y) (unpack_output ~width:5 out)
+  done
+
+let test_comparison_builders () =
+  let open Circuit in
+  let a = Builder.input_word ~offset:0 ~width:4 in
+  let b = Builder.input_word ~offset:4 ~width:4 in
+  let c =
+    make ~num_inputs:8
+      ~outputs:[ Builder.lt_word a b; Builder.le_word a b; Builder.eq_word a b ]
+  in
+  let rng = Util.Prng.create 8 in
+  for _ = 1 to 100 do
+    let x = Util.Prng.int rng 16 and y = Util.Prng.int rng 16 in
+    let out = eval c (pack_inputs ~width:4 [ x; y ]) in
+    checkb "lt" (x < y) out.(0);
+    checkb "le" (x <= y) out.(1);
+    checkb "eq" (x = y) out.(2)
+  done
+
+let test_mux_builder () =
+  let open Circuit in
+  let a = Builder.const_word ~width:4 5 in
+  let b = Builder.const_word ~width:4 9 in
+  let c = make ~num_inputs:1 ~outputs:(Builder.mux (Input 0) a b) in
+  checki "mux true" 5 (unpack_output ~width:4 (eval c [| true |]));
+  checki "mux false" 9 (unpack_output ~width:4 (eval c [| false |]))
+
+let test_bitpack_helpers () =
+  checki "bits_to_int" 6 (Circuit.bits_to_int [ false; true; true ]);
+  let packed = Circuit.pack_inputs ~width:3 [ 5; 2 ] in
+  Alcotest.(check (array bool)) "pack layout"
+    [| true; false; true; false; true; false |]
+    packed
+
+let circuit_prop_majority_monotone =
+  QCheck.Test.make ~name:"majority is monotone" ~count:200
+    QCheck.(pair (int_range 1 20) (int_bound 1_000_000))
+    (fun (n, seed) ->
+      let rng = Util.Prng.create seed in
+      let c = Circuit.majority ~n in
+      let inputs = Array.init n (fun _ -> Util.Prng.bool rng) in
+      let flipped = Array.copy inputs in
+      let idx = Util.Prng.int rng n in
+      flipped.(idx) <- true;
+      (* Turning a bit on can only turn the majority on. *)
+      let before = (Circuit.eval c inputs).(0) in
+      let after = (Circuit.eval c flipped).(0) in
+      (not before) || after)
+
+let () =
+  Alcotest.run "circuit"
+    [
+      ( "core",
+        [
+          Alcotest.test_case "gate semantics" `Quick test_gates;
+          Alcotest.test_case "bad input index" `Quick test_make_rejects_bad_input_index;
+          Alcotest.test_case "wrong arity" `Quick test_eval_rejects_wrong_arity;
+          Alcotest.test_case "depth & size" `Quick test_depth_size;
+          Alcotest.test_case "deep sharing linear" `Quick test_deep_sharing_no_blowup;
+        ] );
+      ( "functionalities",
+        [
+          Alcotest.test_case "majority vs reference" `Quick test_majority_reference;
+          Alcotest.test_case "parity vs reference" `Quick test_parity_reference;
+          Alcotest.test_case "parity depth" `Quick test_parity_depth_logarithmic;
+          Alcotest.test_case "sum vs reference" `Quick test_sum_reference;
+          Alcotest.test_case "maximum vs reference" `Quick test_maximum_reference;
+          Alcotest.test_case "auction vs reference" `Quick test_auction_reference;
+          Alcotest.test_case "equality check" `Quick test_equality_check_reference;
+          QCheck_alcotest.to_alcotest circuit_prop_majority_monotone;
+        ] );
+      ( "builders",
+        [
+          Alcotest.test_case "add_word carry" `Quick test_add_word_carry;
+          Alcotest.test_case "comparisons" `Quick test_comparison_builders;
+          Alcotest.test_case "mux" `Quick test_mux_builder;
+          Alcotest.test_case "bitpack helpers" `Quick test_bitpack_helpers;
+        ] );
+    ]

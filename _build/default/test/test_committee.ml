@@ -1,0 +1,159 @@
+(* Tests for Algorithm 2 (CommitteeElect): Claims 12 and 14. *)
+
+let checkb = Alcotest.(check bool)
+
+let run ?(seed = 1) ?(alpha = 3) ~n ~h ~corruption ~adv () =
+  let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha () in
+  let net = Netsim.Net.create n in
+  let rng = Util.Prng.create seed in
+  let outs = Mpc.Committee.run net rng params ~corruption ~adv in
+  (params, net, outs)
+
+let test_honest_no_abort () =
+  (* Claim 14 non-triviality: honest executions abort with negligible
+     probability. *)
+  let n = 24 and h = 12 in
+  let corruption = Netsim.Corruption.none ~n in
+  for seed = 1 to 20 do
+    let _, _, outs = run ~seed ~n ~h ~corruption ~adv:Mpc.Committee.honest_adv () in
+    Array.iteri
+      (fun i o ->
+        match o with
+        | Mpc.Outcome.Output _ -> ()
+        | Mpc.Outcome.Abort r ->
+          Alcotest.failf "party %d aborted honestly: %s (seed %d)" i
+            (Mpc.Outcome.reason_to_string r) seed)
+      outs
+  done
+
+let test_honest_member_exists () =
+  (* Claim 14 item 1: at least one honest member w.h.p. *)
+  let n = 24 and h = 12 in
+  let rng = Util.Prng.create 99 in
+  let failures = ref 0 in
+  for seed = 1 to 30 do
+    let corruption = Netsim.Corruption.random rng ~n ~h in
+    let _, _, outs = run ~seed ~n ~h ~corruption ~adv:Mpc.Committee.honest_adv () in
+    match Mpc.Committee.consistent_committee outs corruption with
+    | Some committee -> checkb "non-empty" true (committee <> [])
+    | None -> incr failures
+  done;
+  (* With p = 3 ln 24 / 12 ≈ 0.79 and 12 honest parties, missing every
+     honest party is < 1e-8 per run. *)
+  checkb "honest member present" true (!failures = 0)
+
+let test_views_consistent () =
+  (* Claim 14 item 2: all honest members share one view. *)
+  let n = 20 and h = 10 in
+  let rng = Util.Prng.create 7 in
+  for seed = 1 to 20 do
+    let corruption = Netsim.Corruption.random rng ~n ~h in
+    let _, _, outs = run ~seed ~n ~h ~corruption ~adv:Mpc.Committee.honest_adv () in
+    checkb "consistent" true (Mpc.Committee.consistent_committee outs corruption <> None)
+  done
+
+let test_committee_size_bound () =
+  (* Claim 12: |C| ≤ 2pn. *)
+  let n = 40 and h = 20 in
+  let corruption = Netsim.Corruption.none ~n in
+  for seed = 1 to 20 do
+    let params, _, outs = run ~seed ~n ~h ~corruption ~adv:Mpc.Committee.honest_adv () in
+    let bound = Mpc.Params.committee_bound params in
+    Array.iter
+      (fun o ->
+        match o with
+        | Mpc.Outcome.Output v ->
+          checkb "size bound" true (List.length v.Mpc.Committee.committee <= bound + 1)
+        | Mpc.Outcome.Abort _ -> ())
+      outs
+  done
+
+let test_selective_claim_detected () =
+  (* A corrupted party claims election to only half the network: the view
+     equality tests must catch the divergence (or the liar is excluded from
+     every honest view consistently). *)
+  let n = 16 and h = 12 in
+  let rng = Util.Prng.create 8 in
+  for seed = 1 to 10 do
+    let corruption = Netsim.Corruption.random rng ~n ~h in
+    let adv = Mpc.Attacks.selective_claim ~cutoff:(n / 2) in
+    let _, _, outs = run ~seed ~n ~h ~corruption ~adv () in
+    (* Safety: honest members that did NOT abort must share the same view. *)
+    checkb "agreement among non-aborted members" true
+      (let views =
+         List.filter_map
+           (fun i ->
+             match outs.(i) with
+             | Mpc.Outcome.Output v when v.Mpc.Committee.elected ->
+               Some v.Mpc.Committee.committee
+             | _ -> None)
+           (Netsim.Corruption.honest_list corruption)
+       in
+       match views with
+       | [] -> true
+       | first :: rest -> List.for_all (( = ) first) rest)
+  done
+
+let test_claim_flood_aborts () =
+  (* Every corrupted party falsely claims election.  With alpha = 1,
+     n = 30, h = 15 the bound is 2pn ≈ 14, far below the 15 corrupted
+     claims — honest parties must detect the flood and abort. *)
+  let n = 30 and h = 15 in
+  let rng = Util.Prng.create 9 in
+  let corruption = Netsim.Corruption.random rng ~n ~h in
+  let _, _, outs = run ~alpha:1 ~n ~h ~corruption ~adv:Mpc.Attacks.claim_all () in
+  checkb "flood detected" true (Mpc.Outcome.some_honest_aborted outs corruption)
+
+let test_lying_view_check_safe () =
+  (* Corrupted members answering "equal" to everything cannot make two
+     honest members hold different views without abort. *)
+  let n = 16 in
+  let rng = Util.Prng.create 10 in
+  for seed = 1 to 10 do
+    let h = 4 + Util.Prng.int rng 10 in
+    let corruption = Netsim.Corruption.random rng ~n ~h in
+    let _, _, outs = run ~seed ~n ~h ~corruption ~adv:Mpc.Attacks.lying_view_check () in
+    let honest_views =
+      List.filter_map
+        (fun i ->
+          match outs.(i) with
+          | Mpc.Outcome.Output v when v.Mpc.Committee.elected -> Some v.Mpc.Committee.committee
+          | _ -> None)
+        (Netsim.Corruption.honest_list corruption)
+    in
+    checkb "honest views agree or aborted" true
+      (match honest_views with
+      | [] -> true
+      | first :: rest ->
+        List.for_all (( = ) first) rest
+        || Mpc.Outcome.some_honest_aborted outs corruption)
+  done
+
+let test_communication_near_optimal () =
+  (* Claim 12: Õ(n²/h) — halving h should roughly double the bits. *)
+  let cost n h =
+    let corruption = Netsim.Corruption.none ~n in
+    let _, net, _ = run ~n ~h ~corruption ~adv:Mpc.Committee.honest_adv () in
+    float_of_int (Netsim.Net.total_bits net)
+  in
+  let c1 = cost 64 32 and c2 = cost 64 8 in
+  checkb "more honest parties, cheaper election" true (c1 < c2)
+
+let () =
+  Alcotest.run "committee"
+    [
+      ( "honest",
+        [
+          Alcotest.test_case "no abort" `Quick test_honest_no_abort;
+          Alcotest.test_case "honest member exists" `Quick test_honest_member_exists;
+          Alcotest.test_case "views consistent" `Quick test_views_consistent;
+          Alcotest.test_case "size bound" `Quick test_committee_size_bound;
+          Alcotest.test_case "cost scales with 1/h" `Quick test_communication_near_optimal;
+        ] );
+      ( "adversarial",
+        [
+          Alcotest.test_case "selective claim" `Quick test_selective_claim_detected;
+          Alcotest.test_case "claim flood aborts" `Quick test_claim_flood_aborts;
+          Alcotest.test_case "lying view check" `Quick test_lying_view_check_safe;
+        ] );
+    ]

@@ -1,0 +1,218 @@
+(* Tests for the core support modules: Params (the paper's parameter
+   formulas), Outcome (the agreement-or-abort predicates), Bitpack, and
+   the Theorem 9 cost model. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ---- Params ---- *)
+
+let test_params_validation () =
+  checkb "n too small" true
+    (try ignore (Mpc.Params.make ~n:1 ~h:1 ()); false with Invalid_argument _ -> true);
+  checkb "h too big" true
+    (try ignore (Mpc.Params.make ~n:4 ~h:5 ()); false with Invalid_argument _ -> true);
+  checkb "h zero" true
+    (try ignore (Mpc.Params.make ~n:4 ~h:0 ()); false with Invalid_argument _ -> true);
+  checkb "valid" true (ignore (Mpc.Params.make ~n:4 ~h:4 ()); true)
+
+let test_committee_prob_formula () =
+  (* p = min(1, alpha * ln n / h) — the Algorithm 2 step 1 bias. *)
+  let p = Mpc.Params.make ~n:100 ~h:50 ~alpha:2 () in
+  let expected = 2.0 *. log 100.0 /. 50.0 in
+  checkb "formula" true (abs_float (Mpc.Params.committee_prob p -. expected) < 1e-9);
+  (* Saturation at 1. *)
+  let p2 = Mpc.Params.make ~n:100 ~h:2 ~alpha:4 () in
+  checkb "capped at 1" true (Mpc.Params.committee_prob p2 = 1.0)
+
+let test_local_committee_prob_formula () =
+  (* p = min(1, alpha * ln n / sqrt h) — Algorithm 7 step 2. *)
+  let p = Mpc.Params.make ~n:100 ~h:64 ~alpha:1 () in
+  let expected = log 100.0 /. 8.0 in
+  checkb "formula" true (abs_float (Mpc.Params.local_committee_prob p -. expected) < 1e-9);
+  checkb "bigger than global" true
+    (Mpc.Params.local_committee_prob p > Mpc.Params.committee_prob p)
+
+let test_sparse_degree_formula () =
+  let p = Mpc.Params.make ~n:128 ~h:32 ~alpha:2 () in
+  let expected = int_of_float (ceil (2.0 *. (128.0 /. 32.0) *. log 128.0)) in
+  checki "degree" expected (Mpc.Params.sparse_degree p);
+  checki "bound 2d" (2 * expected) (Mpc.Params.degree_bound p);
+  (* Clamped to n-1. *)
+  let tiny = Mpc.Params.make ~n:4 ~h:1 ~alpha:8 () in
+  checkb "clamped" true (Mpc.Params.sparse_degree tiny <= 3)
+
+let test_cover_size_formula () =
+  let p = Mpc.Params.make ~n:100 ~h:25 () in
+  checki "n/sqrt h" 20 (Mpc.Params.cover_size p);
+  let p2 = Mpc.Params.make ~n:10 ~h:1 () in
+  checki "clamped to n" 10 (Mpc.Params.cover_size p2)
+
+let test_params_monotonicity () =
+  (* More honest parties -> smaller committees, sparser graphs. *)
+  let at h = Mpc.Params.make ~n:256 ~h ~alpha:2 () in
+  checkb "committee prob decreasing in h" true
+    (Mpc.Params.committee_prob (at 16) > Mpc.Params.committee_prob (at 128));
+  checkb "degree decreasing in h" true
+    (Mpc.Params.sparse_degree (at 16) > Mpc.Params.sparse_degree (at 128));
+  checkb "cover decreasing in h" true
+    (Mpc.Params.cover_size (at 16) > Mpc.Params.cover_size (at 128))
+
+(* ---- Outcome ---- *)
+
+let mk_corruption n bad = Netsim.Corruption.make ~n ~corrupted:(Util.Iset.of_list bad)
+
+let test_agreement_or_abort_cases () =
+  let c = mk_corruption 4 [ 3 ] in
+  let eq = Int.equal in
+  (* All honest agree. *)
+  checkb "agree" true
+    (Mpc.Outcome.agreement_or_abort ~equal:eq
+       [| Mpc.Outcome.Output 1; Output 1; Output 1; Output 99 |]
+       c);
+  (* Disagreement without abort: violation. *)
+  checkb "split detected" false
+    (Mpc.Outcome.agreement_or_abort ~equal:eq
+       [| Mpc.Outcome.Output 1; Output 2; Output 1; Output 99 |]
+       c);
+  (* Disagreement WITH an honest abort: allowed by selective abort. *)
+  checkb "abort excuses" true
+    (Mpc.Outcome.agreement_or_abort ~equal:eq
+       [| Mpc.Outcome.Output 1; Output 2; Abort Mpc.Outcome.Bad_signature; Output 99 |]
+       c);
+  (* Corrupted disagreement is irrelevant. *)
+  checkb "corrupted ignored" true
+    (Mpc.Outcome.agreement_or_abort ~equal:eq
+       [| Mpc.Outcome.Output 1; Output 1; Output 1; Output 12345 |]
+       c);
+  (* Vacuous: everyone aborted. *)
+  checkb "vacuous" true
+    (Mpc.Outcome.agreement_or_abort ~equal:eq
+       [| Mpc.Outcome.Abort Mpc.Outcome.Bad_signature;
+          Abort Mpc.Outcome.Bad_signature;
+          Abort Mpc.Outcome.Bad_signature;
+          Output 0 |]
+       c)
+
+let test_all_honest_output_value () =
+  let c = mk_corruption 3 [ 2 ] in
+  checkb "all correct" true
+    (Mpc.Outcome.all_honest_output_value ~equal:Int.equal ~expected:7
+       [| Mpc.Outcome.Output 7; Output 7; Output 0 |] c);
+  checkb "one wrong" false
+    (Mpc.Outcome.all_honest_output_value ~equal:Int.equal ~expected:7
+       [| Mpc.Outcome.Output 7; Output 8; Output 7 |] c);
+  checkb "abort counts as failure" false
+    (Mpc.Outcome.all_honest_output_value ~equal:Int.equal ~expected:7
+       [| Mpc.Outcome.Output 7; Abort Mpc.Outcome.Bad_signature; Output 7 |] c)
+
+let test_outcome_helpers () =
+  checkb "is_output" true (Mpc.Outcome.is_output (Mpc.Outcome.Output 1));
+  checkb "is_abort" true (Mpc.Outcome.is_abort (Mpc.Outcome.Abort Mpc.Outcome.Bad_signature));
+  checkb "get" true (Mpc.Outcome.get (Mpc.Outcome.Output 5) = Some 5);
+  checkb "map" true
+    (Mpc.Outcome.map (( + ) 1) (Mpc.Outcome.Output 5) = Mpc.Outcome.Output 6);
+  (* Every reason renders. *)
+  List.iter
+    (fun r -> checkb "renders" true (String.length (Mpc.Outcome.reason_to_string r) > 0))
+    [
+      Mpc.Outcome.Equivocation "x"; Equality_failed "x"; Flooded "x"; Missing "x";
+      Malformed "x"; Bad_signature; Bad_proof "x"; Decryption_failed; Upstream "x";
+    ]
+
+(* ---- Bitpack ---- *)
+
+let test_bitpack_roundtrip () =
+  let rng = Util.Prng.create 1 in
+  for _ = 1 to 200 do
+    let n = Util.Prng.int rng 70 in
+    let bits = Array.init n (fun _ -> Util.Prng.bool rng) in
+    let packed = Mpc.Bitpack.pack bits in
+    checkb "roundtrip" true (Mpc.Bitpack.unpack packed ~nbits:n = bits);
+    checki "packed size" ((n + 7) / 8) (Bytes.length packed)
+  done
+
+let test_bitpack_int_roundtrip () =
+  let rng = Util.Prng.create 2 in
+  for _ = 1 to 200 do
+    let width = 1 + Util.Prng.int rng 30 in
+    let v = Util.Prng.int rng (1 lsl width) in
+    let b = Mpc.Bitpack.int_to_bytes v ~width in
+    checki "int roundtrip" v (Mpc.Bitpack.bytes_to_int b ~width)
+  done
+
+let test_bitpack_unpack_short_buffer () =
+  (* Reading beyond the buffer yields false bits, never a crash. *)
+  let bits = Mpc.Bitpack.unpack (Bytes.make 1 '\255') ~nbits:16 in
+  checkb "low bits set" true bits.(0);
+  checkb "high bits clear" false bits.(15)
+
+(* ---- Cost model ---- *)
+
+let test_cost_model_monotone () =
+  let r d = Mpc.Cost_model.round1_bytes ~lambda:8 ~depth:d ~input_bits:64 in
+  checkb "grows with depth" true (r 100 > r 1);
+  let ri b = Mpc.Cost_model.round1_bytes ~lambda:8 ~depth:10 ~input_bits:b in
+  checkb "grows with input" true (ri 1024 > ri 8);
+  let rl l = Mpc.Cost_model.round1_bytes ~lambda:l ~depth:10 ~input_bits:64 in
+  checkb "grows with lambda" true (rl 32 > rl 4);
+  let p d = Mpc.Cost_model.partial_dec_bytes ~lambda:8 ~depth:d in
+  checkb "pdec grows with depth" true (p 100 > p 1)
+
+let test_cost_model_blocks () =
+  checki "one block minimum" 1 (Mpc.Cost_model.blocks 0);
+  checki "one block" 1 (Mpc.Cost_model.blocks 64);
+  checki "two blocks" 2 (Mpc.Cost_model.blocks 65);
+  checki "many" 16 (Mpc.Cost_model.blocks 1024)
+
+let test_cost_model_filler () =
+  let a = Mpc.Cost_model.filler ~tag:"a" ~len:100 in
+  let a' = Mpc.Cost_model.filler ~tag:"a" ~len:100 in
+  let b = Mpc.Cost_model.filler ~tag:"b" ~len:100 in
+  checkb "deterministic" true (Bytes.equal a a');
+  checkb "tag-separated" false (Bytes.equal a b);
+  checki "length" 100 (Bytes.length a)
+
+(* ---- Attacks helpers ---- *)
+
+let test_flip_byte () =
+  let b = Bytes.of_string "hello" in
+  let f = Mpc.Attacks.flip_byte b in
+  checkb "differs" false (Bytes.equal b f);
+  checki "same length" 5 (Bytes.length f);
+  checkb "only first byte" true (Bytes.sub f 1 4 = Bytes.sub b 1 4);
+  checki "empty becomes 1 byte" 1 (Bytes.length (Mpc.Attacks.flip_byte Bytes.empty))
+
+let () =
+  Alcotest.run "core_misc"
+    [
+      ( "params",
+        [
+          Alcotest.test_case "validation" `Quick test_params_validation;
+          Alcotest.test_case "committee prob" `Quick test_committee_prob_formula;
+          Alcotest.test_case "local committee prob" `Quick test_local_committee_prob_formula;
+          Alcotest.test_case "sparse degree" `Quick test_sparse_degree_formula;
+          Alcotest.test_case "cover size" `Quick test_cover_size_formula;
+          Alcotest.test_case "monotone in h" `Quick test_params_monotonicity;
+        ] );
+      ( "outcome",
+        [
+          Alcotest.test_case "agreement-or-abort" `Quick test_agreement_or_abort_cases;
+          Alcotest.test_case "all honest output" `Quick test_all_honest_output_value;
+          Alcotest.test_case "helpers" `Quick test_outcome_helpers;
+        ] );
+      ( "bitpack",
+        [
+          Alcotest.test_case "bit roundtrip" `Quick test_bitpack_roundtrip;
+          Alcotest.test_case "int roundtrip" `Quick test_bitpack_int_roundtrip;
+          Alcotest.test_case "short buffer" `Quick test_bitpack_unpack_short_buffer;
+        ] );
+      ( "cost_model",
+        [
+          Alcotest.test_case "monotonicity" `Quick test_cost_model_monotone;
+          Alcotest.test_case "blocks" `Quick test_cost_model_blocks;
+          Alcotest.test_case "filler" `Quick test_cost_model_filler;
+        ] );
+      ( "attacks",
+        [ Alcotest.test_case "flip_byte" `Quick test_flip_byte ] );
+    ]

@@ -1,0 +1,605 @@
+(* Tests for the cryptographic substrates: SHA-256 (FIPS vectors), HMAC
+   (RFC 4231), KDF, Merkle trees, Lamport & Merkle signatures, Regev LWE,
+   SKE, secret sharing, fingerprints, commitments, and the PKE backends. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* ---- SHA-256 ---- *)
+
+let test_sha256_fips_vectors () =
+  let cases =
+    [
+      ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+      ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+      ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+      ( "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+        "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1" );
+    ]
+  in
+  List.iter
+    (fun (msg, expected) -> checks msg expected (Crypto.Sha256.to_hex (Crypto.Sha256.digest_string msg)))
+    cases
+
+let test_sha256_million_a () =
+  let msg = String.make 1_000_000 'a' in
+  checks "1M a's" "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Crypto.Sha256.to_hex (Crypto.Sha256.digest_string msg))
+
+let test_sha256_incremental_matches () =
+  let rng = Util.Prng.create 1 in
+  for _ = 1 to 50 do
+    let len = Util.Prng.int rng 500 in
+    let data = Util.Prng.bytes rng len in
+    let one_shot = Crypto.Sha256.digest data in
+    let ctx = Crypto.Sha256.init () in
+    (* Feed in randomly-sized chunks. *)
+    let pos = ref 0 in
+    while !pos < len do
+      let chunk = min (1 + Util.Prng.int rng 64) (len - !pos) in
+      Crypto.Sha256.update ctx (Bytes.sub data !pos chunk);
+      pos := !pos + chunk
+    done;
+    checkb "incremental = one-shot" true (Bytes.equal one_shot (Crypto.Sha256.finalize ctx))
+  done
+
+let test_sha256_boundary_lengths () =
+  (* Around the 64-byte block boundary and the 56-byte padding pivot. *)
+  List.iter
+    (fun len ->
+      let msg = String.make len 'x' in
+      let d1 = Crypto.Sha256.digest_string msg in
+      let ctx = Crypto.Sha256.init () in
+      Crypto.Sha256.update_string ctx msg;
+      checkb (Printf.sprintf "len %d" len) true (Bytes.equal d1 (Crypto.Sha256.finalize ctx)))
+    [ 0; 1; 55; 56; 57; 63; 64; 65; 119; 120; 128 ]
+
+let test_sha256_finalize_twice_rejected () =
+  let ctx = Crypto.Sha256.init () in
+  ignore (Crypto.Sha256.finalize ctx);
+  checkb "raises" true
+    (try
+       ignore (Crypto.Sha256.finalize ctx);
+       false
+     with Invalid_argument _ -> true)
+
+let test_sha256_hex_roundtrip () =
+  let d = Crypto.Sha256.digest_string "roundtrip" in
+  checkb "hex roundtrip" true (Bytes.equal d (Crypto.Sha256.of_hex (Crypto.Sha256.to_hex d)))
+
+(* ---- HMAC (RFC 4231 vectors) ---- *)
+
+let test_hmac_rfc4231 () =
+  (* Test case 1. *)
+  let key = Bytes.make 20 '\x0b' in
+  let tag = Crypto.Hmac.mac ~key (Bytes.of_string "Hi There") in
+  checks "tc1" "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Crypto.Sha256.to_hex tag);
+  (* Test case 2: "Jefe". *)
+  let tag2 =
+    Crypto.Hmac.mac ~key:(Bytes.of_string "Jefe") (Bytes.of_string "what do ya want for nothing?")
+  in
+  checks "tc2" "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Crypto.Sha256.to_hex tag2);
+  (* Test case 3: 20x 0xaa key, 50x 0xdd data. *)
+  let tag3 = Crypto.Hmac.mac ~key:(Bytes.make 20 '\xaa') (Bytes.make 50 '\xdd') in
+  checks "tc3" "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+    (Crypto.Sha256.to_hex tag3)
+
+let test_hmac_long_key () =
+  (* Keys longer than the block size are hashed first (RFC 4231 tc 6). *)
+  let key = Bytes.make 131 '\xaa' in
+  let tag = Crypto.Hmac.mac ~key (Bytes.of_string "Test Using Larger Than Block-Size Key - Hash Key First") in
+  checks "tc6" "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (Crypto.Sha256.to_hex tag)
+
+let test_hmac_verify () =
+  let key = Bytes.of_string "k" in
+  let msg = Bytes.of_string "m" in
+  let tag = Crypto.Hmac.mac ~key msg in
+  checkb "accepts" true (Crypto.Hmac.verify ~key msg tag);
+  let bad = Bytes.copy tag in
+  Bytes.set bad 0 (Char.chr (Char.code (Bytes.get bad 0) lxor 1));
+  checkb "rejects flipped" false (Crypto.Hmac.verify ~key msg bad);
+  checkb "rejects truncated" false (Crypto.Hmac.verify ~key msg (Bytes.sub tag 0 16))
+
+(* ---- KDF ---- *)
+
+let test_kdf_deterministic_and_distinct () =
+  let key = Bytes.of_string "master" in
+  let a = Crypto.Kdf.expand ~key ~info:"a" 64 in
+  let a' = Crypto.Kdf.expand ~key ~info:"a" 64 in
+  let b = Crypto.Kdf.expand ~key ~info:"b" 64 in
+  checkb "deterministic" true (Bytes.equal a a');
+  checkb "info separates" false (Bytes.equal a b);
+  checki "length" 64 (Bytes.length a);
+  (* Prefix property: expanding less gives a prefix. *)
+  let short = Crypto.Kdf.expand ~key ~info:"a" 10 in
+  checkb "prefix" true (Bytes.equal short (Bytes.sub a 0 10))
+
+let test_kdf_derive_int () =
+  let key = Bytes.of_string "seed" in
+  for bound = 1 to 50 do
+    let v = Crypto.Kdf.derive_int ~key ~info:(string_of_int bound) ~bound in
+    checkb "range" true (v >= 0 && v < bound)
+  done
+
+(* ---- Merkle ---- *)
+
+let test_merkle_proofs_all_leaves () =
+  let rng = Util.Prng.create 2 in
+  List.iter
+    (fun n_leaves ->
+      let leaves = List.init n_leaves (fun i -> Bytes.cat (Util.Prng.bytes rng 10) (Bytes.of_string (string_of_int i))) in
+      let tree = Crypto.Merkle.build leaves in
+      let root = Crypto.Merkle.root tree in
+      List.iteri
+        (fun i leaf ->
+          let proof = Crypto.Merkle.prove tree i in
+          checkb (Printf.sprintf "n=%d leaf %d verifies" n_leaves i) true
+            (Crypto.Merkle.verify ~root ~leaf proof);
+          checki "proof index" i (Crypto.Merkle.proof_index proof))
+        leaves)
+    [ 1; 2; 3; 4; 5; 7; 8; 16; 17 ]
+
+let test_merkle_wrong_leaf_rejected () =
+  let leaves = List.init 8 (fun i -> Bytes.of_string (string_of_int i)) in
+  let tree = Crypto.Merkle.build leaves in
+  let root = Crypto.Merkle.root tree in
+  let proof = Crypto.Merkle.prove tree 3 in
+  checkb "wrong leaf" false (Crypto.Merkle.verify ~root ~leaf:(Bytes.of_string "9") proof);
+  checkb "wrong root" false
+    (Crypto.Merkle.verify ~root:(Crypto.Sha256.digest_string "fake") ~leaf:(Bytes.of_string "3") proof)
+
+let test_merkle_proof_serialization () =
+  let leaves = List.init 10 (fun i -> Bytes.of_string (string_of_int i)) in
+  let tree = Crypto.Merkle.build leaves in
+  let proof = Crypto.Merkle.prove tree 7 in
+  let enc = Util.Codec.encode Crypto.Merkle.encode_proof proof in
+  let proof' = Util.Codec.decode Crypto.Merkle.decode_proof enc in
+  checkb "roundtrip verifies" true
+    (Crypto.Merkle.verify ~root:(Crypto.Merkle.root tree) ~leaf:(Bytes.of_string "7") proof')
+
+(* ---- Lamport ---- *)
+
+let test_lamport_sign_verify () =
+  let sk, pk = Crypto.Lamport.keygen ~seed:(Bytes.of_string "seed1") in
+  let msg = Bytes.of_string "attack at dawn" in
+  let signature = Crypto.Lamport.sign sk msg in
+  checkb "verifies" true (Crypto.Lamport.verify pk msg signature);
+  checkb "wrong message" false (Crypto.Lamport.verify pk (Bytes.of_string "attack at dusk") signature)
+
+let test_lamport_wrong_key () =
+  let sk, _ = Crypto.Lamport.keygen ~seed:(Bytes.of_string "seed1") in
+  let _, pk2 = Crypto.Lamport.keygen ~seed:(Bytes.of_string "seed2") in
+  let msg = Bytes.of_string "msg" in
+  checkb "wrong key rejects" false (Crypto.Lamport.verify pk2 msg (Crypto.Lamport.sign sk msg))
+
+let test_lamport_deterministic_keygen () =
+  let _, pk1 = Crypto.Lamport.keygen ~seed:(Bytes.of_string "same") in
+  let _, pk2 = Crypto.Lamport.keygen ~seed:(Bytes.of_string "same") in
+  let e1 = Util.Codec.encode Crypto.Lamport.encode_public_key pk1 in
+  let e2 = Util.Codec.encode Crypto.Lamport.encode_public_key pk2 in
+  checkb "same seed, same key" true (Bytes.equal e1 e2)
+
+(* ---- Merkle_sig ---- *)
+
+let test_merkle_sig_many () =
+  let sk, pk = Crypto.Merkle_sig.keygen ~seed:(Bytes.of_string "ms") ~height:3 in
+  checki "slots" 8 (Crypto.Merkle_sig.signatures_remaining sk);
+  for i = 0 to 7 do
+    let msg = Bytes.of_string (Printf.sprintf "message %d" i) in
+    let s = Crypto.Merkle_sig.sign sk msg in
+    checkb "verifies" true (Crypto.Merkle_sig.verify pk msg s);
+    checkb "wrong msg" false (Crypto.Merkle_sig.verify pk (Bytes.of_string "other") s)
+  done;
+  checkb "exhausted" true
+    (try
+       ignore (Crypto.Merkle_sig.sign sk (Bytes.of_string "one more"));
+       false
+     with Crypto.Merkle_sig.Out_of_signatures -> true)
+
+let test_merkle_sig_serialization () =
+  let sk, pk = Crypto.Merkle_sig.keygen ~seed:(Bytes.of_string "ser") ~height:2 in
+  let msg = Bytes.of_string "serialize me" in
+  let s = Crypto.Merkle_sig.sign sk msg in
+  let enc = Util.Codec.encode Crypto.Merkle_sig.encode_signature s in
+  let s' = Util.Codec.decode Crypto.Merkle_sig.decode_signature enc in
+  checkb "roundtrip verifies" true (Crypto.Merkle_sig.verify pk msg s');
+  checkb "tampered blob rejected" true
+    (let bad = Bytes.copy enc in
+     Bytes.set bad (Bytes.length bad / 2) 'X';
+     match Util.Codec.decode Crypto.Merkle_sig.decode_signature bad with
+     | s'' -> not (Crypto.Merkle_sig.verify pk msg s'')
+     | exception Util.Codec.Decode_error _ -> true)
+
+(* ---- LWE / Regev ---- *)
+
+let test_lwe_bit_roundtrip () =
+  let rng = Util.Prng.create 3 in
+  let pk, sk = Crypto.Lwe.keygen rng in
+  for _ = 1 to 200 do
+    let b = Util.Prng.bool rng in
+    let ct = Crypto.Lwe.encrypt_bit rng pk b in
+    checkb "bit roundtrip" b (Crypto.Lwe.decrypt_bit sk ct)
+  done
+
+let test_lwe_bytes_roundtrip () =
+  let rng = Util.Prng.create 4 in
+  let pk, sk = Crypto.Lwe.keygen rng in
+  List.iter
+    (fun s ->
+      let pt = Bytes.of_string s in
+      let ct = Crypto.Lwe.encrypt_bytes rng pk pt in
+      match Crypto.Lwe.decrypt_bytes sk ct with
+      | Some pt' -> checkb ("roundtrip " ^ s) true (Bytes.equal pt pt')
+      | None -> Alcotest.fail "decryption failed")
+    [ ""; "x"; "hello world"; "\x00\xff\x7f" ]
+
+let test_lwe_wrong_key_garbles () =
+  let rng = Util.Prng.create 5 in
+  let pk, _ = Crypto.Lwe.keygen rng in
+  let _, sk2 = Crypto.Lwe.keygen rng in
+  let pt = Bytes.of_string "secret secret secret" in
+  let ct = Crypto.Lwe.encrypt_bytes rng pk pt in
+  (match Crypto.Lwe.decrypt_bytes sk2 ct with
+  | Some pt' -> checkb "wrong key garbles" false (Bytes.equal pt pt')
+  | None -> ())
+
+let test_lwe_homomorphic_xor () =
+  let rng = Util.Prng.create 6 in
+  let pk, sk = Crypto.Lwe.keygen rng in
+  for _ = 1 to 50 do
+    let b1 = Util.Prng.bool rng and b2 = Util.Prng.bool rng in
+    let c1 = Crypto.Lwe.encrypt_bit rng pk b1 in
+    let c2 = Crypto.Lwe.encrypt_bit rng pk b2 in
+    checkb "xor homomorphism" (b1 <> b2) (Crypto.Lwe.decrypt_bit sk (Crypto.Lwe.add_ct pk c1 c2))
+  done
+
+let test_lwe_ciphertexts_randomized () =
+  let rng = Util.Prng.create 7 in
+  let pk, _ = Crypto.Lwe.keygen rng in
+  let pt = Bytes.of_string "same" in
+  let c1 = Crypto.Lwe.encrypt_bytes rng pk pt in
+  let c2 = Crypto.Lwe.encrypt_bytes rng pk pt in
+  checkb "randomized encryption" false (Bytes.equal c1 c2)
+
+let test_lwe_sizes_match_model () =
+  let rng = Util.Prng.create 8 in
+  let pk, _ = Crypto.Lwe.keygen rng in
+  let pkb = Util.Codec.encode Crypto.Lwe.encode_public_key pk in
+  let declared = Crypto.Lwe.public_key_size Crypto.Lwe.default_params in
+  (* The encoded key adds a small params header. *)
+  checkb "pk size close to model" true (abs (Bytes.length pkb - declared) < 32);
+  let pt = Bytes.of_string "0123456789" in
+  let ct = Crypto.Lwe.encrypt_bytes rng pk pt in
+  checki "ct size exact" (Crypto.Lwe.ciphertext_blob_size Crypto.Lwe.default_params ~plaintext_len:10)
+    (Bytes.length ct)
+
+let test_lwe_keygen_seeded_deterministic () =
+  let pk1, _ = Crypto.Lwe.keygen_seeded (Bytes.of_string "s") in
+  let pk2, _ = Crypto.Lwe.keygen_seeded (Bytes.of_string "s") in
+  let e1 = Util.Codec.encode Crypto.Lwe.encode_public_key pk1 in
+  let e2 = Util.Codec.encode Crypto.Lwe.encode_public_key pk2 in
+  checkb "deterministic" true (Bytes.equal e1 e2)
+
+let test_lwe_key_serialization () =
+  let rng = Util.Prng.create 9 in
+  let pk, sk = Crypto.Lwe.keygen rng in
+  let pk' =
+    Util.Codec.decode Crypto.Lwe.decode_public_key (Util.Codec.encode Crypto.Lwe.encode_public_key pk)
+  in
+  let sk' =
+    Util.Codec.decode Crypto.Lwe.decode_secret_key (Util.Codec.encode Crypto.Lwe.encode_secret_key sk)
+  in
+  let pt = Bytes.of_string "serialization" in
+  let ct = Crypto.Lwe.encrypt_bytes rng pk' pt in
+  checkb "decrypt after roundtrip" true
+    (match Crypto.Lwe.decrypt_bytes sk' ct with Some p -> Bytes.equal p pt | None -> false)
+
+let test_lwe_bad_params_rejected () =
+  let rng = Util.Prng.create 10 in
+  checkb "correctness bound enforced" true
+    (try
+       ignore (Crypto.Lwe.keygen ~params:{ Crypto.Lwe.dim = 8; samples = 10000; q = 12289; err_bound = 10 } rng);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- SKE ---- *)
+
+let test_ske_roundtrip () =
+  let rng = Util.Prng.create 11 in
+  let key = Crypto.Ske.keygen rng in
+  List.iter
+    (fun s ->
+      let pt = Bytes.of_string s in
+      let ct = Crypto.Ske.encrypt rng key pt in
+      checki "size model" (Crypto.Ske.ciphertext_size ~plaintext_len:(String.length s)) (Bytes.length ct);
+      match Crypto.Ske.decrypt key ct with
+      | Some pt' -> checkb "roundtrip" true (Bytes.equal pt pt')
+      | None -> Alcotest.fail "decrypt failed")
+    [ ""; "a"; "the quick brown fox"; String.make 1000 'z' ]
+
+let test_ske_tamper_rejected () =
+  let rng = Util.Prng.create 12 in
+  let key = Crypto.Ske.keygen rng in
+  let ct = Crypto.Ske.encrypt rng key (Bytes.of_string "authentic") in
+  for pos = 0 to Bytes.length ct - 1 do
+    let bad = Bytes.copy ct in
+    Bytes.set bad pos (Char.chr (Char.code (Bytes.get bad pos) lxor 0x01));
+    checkb (Printf.sprintf "flip at %d rejected" pos) true (Crypto.Ske.decrypt key bad = None)
+  done
+
+let test_ske_wrong_key_rejected () =
+  let rng = Util.Prng.create 13 in
+  let k1 = Crypto.Ske.keygen rng in
+  let k2 = Crypto.Ske.keygen rng in
+  let ct = Crypto.Ske.encrypt rng k1 (Bytes.of_string "for k1 only") in
+  checkb "wrong key" true (Crypto.Ske.decrypt k2 ct = None)
+
+let test_ske_short_ciphertext () =
+  let rng = Util.Prng.create 14 in
+  let key = Crypto.Ske.keygen rng in
+  checkb "too short" true (Crypto.Ske.decrypt key (Bytes.make 10 'x') = None)
+
+(* ---- Secret sharing ---- *)
+
+let test_additive_roundtrip () =
+  let rng = Util.Prng.create 15 in
+  for parties = 1 to 10 do
+    let secret = Util.Prng.bytes rng 32 in
+    let shares = Crypto.Secret_sharing.Additive.share rng ~parties secret in
+    checki "share count" parties (List.length shares);
+    checkb "reconstructs" true
+      (Bytes.equal secret (Crypto.Secret_sharing.Additive.reconstruct shares))
+  done
+
+let test_additive_partial_shares_useless () =
+  (* Any k-1 shares XOR to something independent of the secret: check that
+     reconstructing without one share differs from the secret (w.h.p.). *)
+  let rng = Util.Prng.create 16 in
+  let secret = Util.Prng.bytes rng 32 in
+  let shares = Crypto.Secret_sharing.Additive.share rng ~parties:5 secret in
+  let partial = List.filteri (fun i _ -> i <> 2) shares in
+  checkb "partial differs" false
+    (Bytes.equal secret (Crypto.Secret_sharing.Additive.reconstruct partial))
+
+module Sh = Crypto.Secret_sharing.Shamir.Make (Field.Gf.F30)
+
+let test_shamir_threshold () =
+  let rng = Util.Prng.create 17 in
+  for _ = 1 to 20 do
+    let secret = Field.Gf.F30.random rng in
+    let shares = Sh.share rng ~threshold:3 ~parties:6 secret in
+    (* Any 3 shares reconstruct. *)
+    let subset = [ List.nth shares 0; List.nth shares 3; List.nth shares 5 ] in
+    checki "reconstructs" secret (Sh.reconstruct subset);
+    (* All shares reconstruct too. *)
+    checki "full reconstructs" secret (Sh.reconstruct shares)
+  done
+
+let test_shamir_below_threshold_varies () =
+  (* With 2 of threshold-3 shares, different completions give different
+     secrets — the 2 shares alone cannot determine it. *)
+  let rng = Util.Prng.create 18 in
+  let s1 = Sh.share rng ~threshold:3 ~parties:5 42 in
+  let s2 = Sh.share rng ~threshold:3 ~parties:5 42 in
+  (* Same secret, fresh polynomials: pairs of shares differ. *)
+  let y1 = (List.nth s1 0).Sh.y in
+  let y2 = (List.nth s2 0).Sh.y in
+  checkb "fresh randomness" true (y1 <> y2 || (List.nth s1 1).Sh.y <> (List.nth s2 1).Sh.y)
+
+let test_shamir_bytes_roundtrip () =
+  let rng = Util.Prng.create 19 in
+  List.iter
+    (fun s ->
+      let secret = Bytes.of_string s in
+      let shares = Crypto.Secret_sharing.share_bytes_shamir rng ~threshold:3 ~parties:5 secret in
+      let indexed = List.mapi (fun i b -> (i + 1, b)) shares in
+      let subset = List.filteri (fun i _ -> i = 0 || i = 2 || i = 4) indexed in
+      match Crypto.Secret_sharing.reconstruct_bytes_shamir subset with
+      | Some out -> checkb ("roundtrip " ^ s) true (Bytes.equal secret out)
+      | None -> Alcotest.fail "reconstruction failed")
+    [ ""; "x"; "secret key material"; String.make 100 '\x42' ]
+
+let test_shamir_bytes_below_threshold () =
+  let rng = Util.Prng.create 20 in
+  let secret = Bytes.of_string "needs three" in
+  let shares = Crypto.Secret_sharing.share_bytes_shamir rng ~threshold:3 ~parties:5 secret in
+  let indexed = List.mapi (fun i b -> (i + 1, b)) shares in
+  let two = List.filteri (fun i _ -> i < 2) indexed in
+  checkb "refuses below threshold" true (Crypto.Secret_sharing.reconstruct_bytes_shamir two = None)
+
+(* ---- Fingerprint ---- *)
+
+let test_fingerprint_completeness () =
+  let rng = Util.Prng.create 21 in
+  for _ = 1 to 100 do
+    let msg = Util.Prng.bytes rng (Util.Prng.int rng 1000) in
+    let fp = Crypto.Fingerprint.make rng ~t:3 msg in
+    checkb "accepts equal" true (Crypto.Fingerprint.check fp msg)
+  done
+
+let test_fingerprint_soundness () =
+  let rng = Util.Prng.create 22 in
+  let false_accepts = ref 0 in
+  let trials = 2000 in
+  for _ = 1 to trials do
+    let len = 1 + Util.Prng.int rng 200 in
+    let m1 = Util.Prng.bytes rng len in
+    let m2 = Bytes.copy m1 in
+    (* Single random byte flip — the hardest case for mod-p tests. *)
+    let pos = Util.Prng.int rng len in
+    Bytes.set m2 pos (Char.chr (Char.code (Bytes.get m2 pos) lxor (1 + Util.Prng.int rng 255)));
+    let fp = Crypto.Fingerprint.make rng ~t:2 m1 in
+    if Crypto.Fingerprint.check fp m2 then incr false_accepts
+  done;
+  checkb "soundness" true (!false_accepts = 0)
+
+let test_fingerprint_size () =
+  let rng = Util.Prng.create 23 in
+  let fp = Crypto.Fingerprint.make rng ~t:4 (Bytes.make 10000 'q') in
+  (* 4 primes + 4 residues, each ≤ 5 varint bytes, plus 2 length bytes. *)
+  checkb "O(lambda log n) size" true (Crypto.Fingerprint.size_bytes fp <= 2 + (8 * 5))
+
+let test_fingerprint_residues_needed_monotone () =
+  let t1 = Crypto.Fingerprint.residues_needed ~lambda:4 ~n:100 ~msg_len:100 in
+  let t2 = Crypto.Fingerprint.residues_needed ~lambda:16 ~n:100 ~msg_len:100 in
+  let t3 = Crypto.Fingerprint.residues_needed ~lambda:4 ~n:100 ~msg_len:1000000 in
+  checkb "more lambda, more primes" true (t2 >= t1);
+  checkb "longer message, more primes" true (t3 >= t1);
+  checkb "positive" true (t1 >= 1)
+
+let test_fingerprint_serialization () =
+  let rng = Util.Prng.create 24 in
+  let fp = Crypto.Fingerprint.make rng ~t:3 (Bytes.of_string "serialize") in
+  let enc = Util.Codec.encode Crypto.Fingerprint.encode fp in
+  let fp' = Util.Codec.decode Crypto.Fingerprint.decode enc in
+  checkb "roundtrip matches" true (Crypto.Fingerprint.matches fp fp')
+
+(* ---- Commit ---- *)
+
+let test_commit_verify () =
+  let rng = Util.Prng.create 25 in
+  let msg = Bytes.of_string "commitment" in
+  let com, opening = Crypto.Commit.commit rng msg in
+  checkb "verifies" true (Crypto.Commit.verify com msg opening);
+  checkb "wrong msg" false (Crypto.Commit.verify com (Bytes.of_string "other") opening);
+  let com2, _ = Crypto.Commit.commit rng msg in
+  checkb "hiding randomness" false (Bytes.equal com com2)
+
+(* ---- PKE backends ---- *)
+
+let test_pke_regev_roundtrip () =
+  let module P = Crypto.Pke.Regev in
+  let rng = Util.Prng.create 26 in
+  let pk, sk = P.keygen rng in
+  let pt = Bytes.of_string "via the signature" in
+  let ct = P.encrypt rng pk pt in
+  checkb "roundtrip" true (match P.decrypt sk ct with Some p -> Bytes.equal p pt | None -> false)
+
+let test_pke_sim_matches_regev_sizes () =
+  let (module S) = Crypto.Pke.make_simulated ~seed:1 () in
+  let rng = Util.Prng.create 27 in
+  let pk, sk = S.keygen rng in
+  let pt = Bytes.of_string "size-faithful" in
+  let ct = S.encrypt rng pk pt in
+  checki "ciphertext size equals Regev model"
+    (Crypto.Pke.Regev.ciphertext_size ~plaintext_len:(Bytes.length pt))
+    (Bytes.length ct);
+  checki "pk size equals Regev" Crypto.Pke.Regev.public_key_size (Bytes.length (S.public_key_bytes pk));
+  checkb "roundtrip" true (match S.decrypt sk ct with Some p -> Bytes.equal p pt | None -> false)
+
+let test_pke_sim_instances_isolated () =
+  (* Two simulated-PKE instances derive the same key id from the same seed
+     but hold different trapdoors: B must not decrypt A's ciphertexts. *)
+  let (module A) = Crypto.Pke.make_simulated ~seed:1 () in
+  let (module B) = Crypto.Pke.make_simulated ~seed:2 () in
+  let rng = Util.Prng.create 28 in
+  let pka, ska = A.keygen_seeded (Bytes.of_string "same-seed") in
+  let _, skb = B.keygen_seeded (Bytes.of_string "same-seed") in
+  let pt = Bytes.of_string "for A" in
+  let ct = A.encrypt rng pka pt in
+  checkb "A decrypts its own" true
+    (match A.decrypt ska ct with Some p -> Bytes.equal p pt | None -> false);
+  checkb "B cannot decrypt A's" true
+    (match B.decrypt skb ct with Some p -> not (Bytes.equal p pt) | None -> true)
+
+let test_pke_seeded_agreement () =
+  let module P = Crypto.Pke.Regev in
+  let pk1, sk1 = P.keygen_seeded (Bytes.of_string "joint-randomness") in
+  let pk2, _ = P.keygen_seeded (Bytes.of_string "joint-randomness") in
+  checkb "same seed same pk" true (Bytes.equal (P.public_key_bytes pk1) (P.public_key_bytes pk2));
+  let rng = Util.Prng.create 29 in
+  let ct = P.encrypt rng pk2 (Bytes.of_string "cross") in
+  checkb "cross decrypt" true
+    (match P.decrypt sk1 ct with Some p -> Bytes.equal p (Bytes.of_string "cross") | None -> false)
+
+let () =
+  Alcotest.run "crypto"
+    [
+      ( "sha256",
+        [
+          Alcotest.test_case "FIPS vectors" `Quick test_sha256_fips_vectors;
+          Alcotest.test_case "million a's" `Slow test_sha256_million_a;
+          Alcotest.test_case "incremental = one-shot" `Quick test_sha256_incremental_matches;
+          Alcotest.test_case "block boundaries" `Quick test_sha256_boundary_lengths;
+          Alcotest.test_case "double finalize rejected" `Quick test_sha256_finalize_twice_rejected;
+          Alcotest.test_case "hex roundtrip" `Quick test_sha256_hex_roundtrip;
+        ] );
+      ( "hmac",
+        [
+          Alcotest.test_case "RFC 4231 vectors" `Quick test_hmac_rfc4231;
+          Alcotest.test_case "long key" `Quick test_hmac_long_key;
+          Alcotest.test_case "verify" `Quick test_hmac_verify;
+        ] );
+      ( "kdf",
+        [
+          Alcotest.test_case "deterministic & separated" `Quick test_kdf_deterministic_and_distinct;
+          Alcotest.test_case "derive_int range" `Quick test_kdf_derive_int;
+        ] );
+      ( "merkle",
+        [
+          Alcotest.test_case "proofs for all leaves" `Quick test_merkle_proofs_all_leaves;
+          Alcotest.test_case "wrong leaf/root rejected" `Quick test_merkle_wrong_leaf_rejected;
+          Alcotest.test_case "proof serialization" `Quick test_merkle_proof_serialization;
+        ] );
+      ( "lamport",
+        [
+          Alcotest.test_case "sign/verify" `Quick test_lamport_sign_verify;
+          Alcotest.test_case "wrong key" `Quick test_lamport_wrong_key;
+          Alcotest.test_case "deterministic keygen" `Quick test_lamport_deterministic_keygen;
+        ] );
+      ( "merkle_sig",
+        [
+          Alcotest.test_case "many signatures + exhaustion" `Quick test_merkle_sig_many;
+          Alcotest.test_case "serialization" `Quick test_merkle_sig_serialization;
+        ] );
+      ( "lwe",
+        [
+          Alcotest.test_case "bit roundtrip" `Quick test_lwe_bit_roundtrip;
+          Alcotest.test_case "bytes roundtrip" `Quick test_lwe_bytes_roundtrip;
+          Alcotest.test_case "wrong key garbles" `Quick test_lwe_wrong_key_garbles;
+          Alcotest.test_case "homomorphic xor" `Quick test_lwe_homomorphic_xor;
+          Alcotest.test_case "randomized encryption" `Quick test_lwe_ciphertexts_randomized;
+          Alcotest.test_case "sizes match model" `Quick test_lwe_sizes_match_model;
+          Alcotest.test_case "seeded keygen deterministic" `Quick test_lwe_keygen_seeded_deterministic;
+          Alcotest.test_case "key serialization" `Quick test_lwe_key_serialization;
+          Alcotest.test_case "bad params rejected" `Quick test_lwe_bad_params_rejected;
+        ] );
+      ( "ske",
+        [
+          Alcotest.test_case "roundtrip & sizes" `Quick test_ske_roundtrip;
+          Alcotest.test_case "every bit flip rejected" `Quick test_ske_tamper_rejected;
+          Alcotest.test_case "wrong key" `Quick test_ske_wrong_key_rejected;
+          Alcotest.test_case "short ciphertext" `Quick test_ske_short_ciphertext;
+        ] );
+      ( "secret_sharing",
+        [
+          Alcotest.test_case "additive roundtrip" `Quick test_additive_roundtrip;
+          Alcotest.test_case "additive partial useless" `Quick test_additive_partial_shares_useless;
+          Alcotest.test_case "shamir threshold" `Quick test_shamir_threshold;
+          Alcotest.test_case "shamir fresh randomness" `Quick test_shamir_below_threshold_varies;
+          Alcotest.test_case "shamir bytes roundtrip" `Quick test_shamir_bytes_roundtrip;
+          Alcotest.test_case "shamir bytes below threshold" `Quick test_shamir_bytes_below_threshold;
+        ] );
+      ( "fingerprint",
+        [
+          Alcotest.test_case "completeness" `Quick test_fingerprint_completeness;
+          Alcotest.test_case "soundness on near-equal strings" `Quick test_fingerprint_soundness;
+          Alcotest.test_case "succinct size" `Quick test_fingerprint_size;
+          Alcotest.test_case "residues_needed monotone" `Quick test_fingerprint_residues_needed_monotone;
+          Alcotest.test_case "serialization" `Quick test_fingerprint_serialization;
+        ] );
+      ( "commit",
+        [ Alcotest.test_case "commit/verify/hiding" `Quick test_commit_verify ] );
+      ( "pke",
+        [
+          Alcotest.test_case "regev roundtrip" `Quick test_pke_regev_roundtrip;
+          Alcotest.test_case "simulated matches regev sizes" `Quick test_pke_sim_matches_regev_sizes;
+          Alcotest.test_case "simulated instances isolated" `Quick test_pke_sim_instances_isolated;
+          Alcotest.test_case "seeded keygen agreement" `Quick test_pke_seeded_agreement;
+        ] );
+    ]

@@ -1,0 +1,209 @@
+(* Tests for the encrypted functionality (Theorem 9 machinery). *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let params n = Mpc.Params.make ~n ~h:(max 1 (n / 2)) ~lambda:8 ~alpha:2 ()
+
+(* A simple functionality: XOR of all input bytes, delivered to everyone
+   as a private output. *)
+let xor_eval members_expected inputs =
+  Alcotest.(check int) "eval sees all members" members_expected (List.length inputs);
+  let acc = Bytes.make 1 '\000' in
+  List.iter
+    (fun (_, b) ->
+      Bytes.iter
+        (fun c -> Bytes.set acc 0 (Char.chr (Char.code (Bytes.get acc 0) lxor Char.code c)))
+        b)
+    inputs;
+  {
+    Mpc.Enc_func.public_output = Bytes.empty;
+    private_outputs = List.map (fun (i, _) -> (i, Bytes.copy acc)) inputs;
+  }
+
+let run ?(seed = 1) ~n ~participants ~corruption ~adv ~eval () =
+  let net = Netsim.Net.create n in
+  let rng = Util.Prng.create seed in
+  let outs =
+    Mpc.Enc_func.run net rng (params n) ~participants
+      ~private_input:(fun i -> Bytes.make 4 (Char.chr (i + 65)))
+      ~depth:3 ~eval ~corruption ~adv
+  in
+  (net, outs)
+
+let test_honest_private_outputs () =
+  let n = 8 in
+  let participants = [ 0; 2; 4; 6 ] in
+  let corruption = Netsim.Corruption.none ~n in
+  let _, outs =
+    run ~n ~participants ~corruption ~adv:Mpc.Enc_func.honest_adv
+      ~eval:(xor_eval 4) ()
+  in
+  List.iter
+    (fun (i, o) ->
+      match o with
+      | Mpc.Outcome.Output (_, priv) -> checki (Printf.sprintf "party %d output" i) 1 (Bytes.length priv)
+      | Mpc.Outcome.Abort r -> Alcotest.failf "abort: %s" (Mpc.Outcome.reason_to_string r))
+    outs
+
+let test_honest_public_output_free () =
+  (* Public outputs cost nothing beyond the round-1 broadcast. *)
+  let n = 8 in
+  let participants = [ 0; 1; 2; 3 ] in
+  let corruption = Netsim.Corruption.none ~n in
+  let eval_pub inputs =
+    ignore inputs;
+    { Mpc.Enc_func.public_output = Bytes.of_string "public-key-material"; private_outputs = [] }
+  in
+  let eval_priv inputs =
+    {
+      Mpc.Enc_func.public_output = Bytes.empty;
+      private_outputs = List.map (fun (i, _) -> (i, Bytes.make 100 'y')) inputs;
+    }
+  in
+  let net_pub, outs_pub = run ~n ~participants ~corruption ~adv:Mpc.Enc_func.honest_adv ~eval:eval_pub () in
+  let net_priv, _ = run ~n ~participants ~corruption ~adv:Mpc.Enc_func.honest_adv ~eval:eval_priv () in
+  List.iter
+    (fun (_, o) ->
+      match o with
+      | Mpc.Outcome.Output (pub, _) ->
+        checkb "public delivered" true (Bytes.equal pub (Bytes.of_string "public-key-material"))
+      | Mpc.Outcome.Abort _ -> Alcotest.fail "abort")
+    outs_pub;
+  checkb "private outputs cost extra" true
+    (Netsim.Net.total_bits net_priv > Netsim.Net.total_bits net_pub)
+
+let test_tampered_partial_dec_detected () =
+  let n = 8 in
+  let participants = [ 0; 1; 2; 3 ] in
+  let corruption = Netsim.Corruption.make ~n ~corrupted:(Util.Iset.of_list [ 1 ]) in
+  let adv =
+    { Mpc.Enc_func.honest_adv with Mpc.Enc_func.tamper_partial = Some (fun ~me:_ ~dst:_ -> true) }
+  in
+  let _, outs = run ~n ~participants ~corruption ~adv ~eval:(xor_eval 4) () in
+  List.iter
+    (fun (i, o) ->
+      if Netsim.Corruption.is_honest corruption i then
+        match o with
+        | Mpc.Outcome.Abort (Mpc.Outcome.Bad_proof _) -> ()
+        | Mpc.Outcome.Abort r ->
+          Alcotest.failf "wrong abort reason: %s" (Mpc.Outcome.reason_to_string r)
+        | Mpc.Outcome.Output _ -> Alcotest.fail "honest party accepted a forged proof")
+    outs
+
+let test_dropped_partial_dec_detected () =
+  let n = 8 in
+  let participants = [ 0; 1; 2; 3 ] in
+  let corruption = Netsim.Corruption.make ~n ~corrupted:(Util.Iset.of_list [ 2 ]) in
+  let adv =
+    { Mpc.Enc_func.honest_adv with Mpc.Enc_func.drop_partial = Some (fun ~me:_ ~dst:_ -> true) }
+  in
+  let _, outs = run ~n ~participants ~corruption ~adv ~eval:(xor_eval 4) () in
+  List.iter
+    (fun (i, o) ->
+      if Netsim.Corruption.is_honest corruption i then
+        checkb (Printf.sprintf "party %d aborts on missing pdec" i) true (Mpc.Outcome.is_abort o))
+    outs
+
+let test_input_substitution_changes_output () =
+  (* Ideal-world semantics: a corrupted participant may substitute its
+     input; the functionality computes on the substituted value for
+     everyone consistently. *)
+  let n = 6 in
+  let participants = [ 0; 1; 2 ] in
+  let corruption = Netsim.Corruption.make ~n ~corrupted:(Util.Iset.of_list [ 1 ]) in
+  let adv =
+    {
+      Mpc.Enc_func.honest_adv with
+      Mpc.Enc_func.substitute_input = Some (fun ~me:_ _ -> Bytes.of_string "\xFF\x00\x00\x00");
+    }
+  in
+  let _, outs_sub = run ~n ~participants ~corruption ~adv ~eval:(xor_eval 3) () in
+  let _, outs_honest =
+    run ~n ~participants ~corruption ~adv:Mpc.Enc_func.honest_adv ~eval:(xor_eval 3) ()
+  in
+  let out_of outs i =
+    match List.assoc i outs with
+    | Mpc.Outcome.Output (_, priv) -> priv
+    | Mpc.Outcome.Abort _ -> Alcotest.fail "unexpected abort"
+  in
+  checkb "substitution changed the result" false
+    (Bytes.equal (out_of outs_sub 0) (out_of outs_honest 0));
+  (* But all honest participants agree with each other. *)
+  checkb "consistent across members" true (Bytes.equal (out_of outs_sub 0) (out_of outs_sub 2))
+
+let test_sb_equivocation_aborts () =
+  (* Equivocating in the round-1 broadcast trips the fingerprint check. *)
+  let n = 8 in
+  let participants = [ 0; 1; 2; 3 ] in
+  let corruption = Netsim.Corruption.make ~n ~corrupted:(Util.Iset.of_list [ 3 ]) in
+  let adv =
+    {
+      Mpc.Enc_func.honest_adv with
+      Mpc.Enc_func.sb =
+        {
+          Mpc.All_to_all.honest_adv with
+          Mpc.All_to_all.input_value =
+            Some (fun ~me:_ ~dst -> Bytes.make 16 (if dst < 2 then 'L' else 'R'));
+        };
+    }
+  in
+  let _, outs = run ~n ~participants ~corruption ~adv ~eval:(xor_eval 4) () in
+  List.iter
+    (fun (i, o) ->
+      if Netsim.Corruption.is_honest corruption i then
+        checkb (Printf.sprintf "party %d aborts on SB equivocation" i) true
+          (Mpc.Outcome.is_abort o))
+    outs
+
+let test_round1_size_scales_with_depth () =
+  let n = 6 in
+  let participants = [ 0; 1; 2 ] in
+  let corruption = Netsim.Corruption.none ~n in
+  let cost depth =
+    let net = Netsim.Net.create n in
+    let rng = Util.Prng.create 1 in
+    ignore
+      (Mpc.Enc_func.run net rng (params n) ~participants
+         ~private_input:(fun _ -> Bytes.make 4 'i')
+         ~depth
+         ~eval:(fun inputs ->
+           { Mpc.Enc_func.public_output = Bytes.empty;
+             private_outputs = List.map (fun (i, _) -> (i, Bytes.make 1 'o')) inputs })
+         ~corruption ~adv:Mpc.Enc_func.honest_adv);
+    Netsim.Net.total_bits net
+  in
+  checkb "deeper circuits cost more" true (cost 50 > cost 1)
+
+let test_eval_rejects_foreign_recipient () =
+  let n = 6 in
+  let corruption = Netsim.Corruption.none ~n in
+  checkb "raises" true
+    (try
+       ignore
+         (run ~n ~participants:[ 0; 1 ] ~corruption ~adv:Mpc.Enc_func.honest_adv
+            ~eval:(fun _ ->
+              { Mpc.Enc_func.public_output = Bytes.empty;
+                private_outputs = [ (5, Bytes.make 1 'x') ] })
+            ());
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "enc_func"
+    [
+      ( "honest",
+        [
+          Alcotest.test_case "private outputs" `Quick test_honest_private_outputs;
+          Alcotest.test_case "public output free" `Quick test_honest_public_output_free;
+          Alcotest.test_case "round-1 scales with depth" `Quick test_round1_size_scales_with_depth;
+        ] );
+      ( "adversarial",
+        [
+          Alcotest.test_case "tampered partial dec" `Quick test_tampered_partial_dec_detected;
+          Alcotest.test_case "dropped partial dec" `Quick test_dropped_partial_dec_detected;
+          Alcotest.test_case "input substitution" `Quick test_input_substitution_changes_output;
+          Alcotest.test_case "SB equivocation" `Quick test_sb_equivocation_aborts;
+          Alcotest.test_case "foreign recipient rejected" `Quick test_eval_rejects_foreign_recipient;
+        ] );
+    ]

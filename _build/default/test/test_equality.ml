@@ -1,0 +1,173 @@
+(* Tests for Algorithm 1 (Equality_λ) and its pairwise composition. *)
+
+let checkb = Alcotest.(check bool)
+
+let params n = Mpc.Params.make ~n ~h:(n / 2) ~lambda:8 ~alpha:2 ()
+
+let test_two_party_equal () =
+  let net = Netsim.Net.create 4 in
+  let rng = Util.Prng.create 1 in
+  let m = Bytes.of_string "identical strings here" in
+  let f1, f2 = Mpc.Equality.run net rng (params 4) ~p1:0 ~p2:3 ~m1:m ~m2:(Bytes.copy m) in
+  checkb "p1 accepts" true f1;
+  checkb "p2 accepts" true f2
+
+let test_two_party_unequal () =
+  let net = Netsim.Net.create 4 in
+  let rng = Util.Prng.create 2 in
+  for i = 0 to 20 do
+    let m1 = Bytes.of_string (Printf.sprintf "message number %d" i) in
+    let m2 = Bytes.of_string (Printf.sprintf "message number %d!" i) in
+    let f1, f2 = Mpc.Equality.run net rng (params 4) ~p1:0 ~p2:1 ~m1 ~m2 in
+    checkb "p1 rejects" false f1;
+    checkb "p2 rejects" false f2
+  done
+
+let test_two_party_single_bit_difference () =
+  (* The adversarially-hardest case: strings differing in exactly one bit. *)
+  let net = Netsim.Net.create 2 in
+  let rng = Util.Prng.create 3 in
+  let base = Bytes.make 64 'A' in
+  for pos = 0 to 63 do
+    let m2 = Bytes.copy base in
+    Bytes.set m2 pos 'B';
+    let f1, f2 = Mpc.Equality.run net rng (params 2) ~p1:0 ~p2:1 ~m1:base ~m2 in
+    checkb "detects one-byte diff" false (f1 || f2)
+  done
+
+let test_two_party_communication_succinct () =
+  (* Lemma 5: O(λ log n) bits regardless of message size. *)
+  let net = Netsim.Net.create 2 in
+  let rng = Util.Prng.create 4 in
+  let big = Bytes.make 100_000 'x' in
+  let before = Netsim.Net.total_bits net in
+  ignore (Mpc.Equality.run net rng (params 2) ~p1:0 ~p2:1 ~m1:big ~m2:big);
+  let bits = Netsim.Net.total_bits net - before in
+  checkb "succinct" true (bits < 2048)
+
+let test_pairwise_all_equal () =
+  let net = Netsim.Net.create 8 in
+  let rng = Util.Prng.create 5 in
+  let corruption = Netsim.Corruption.none ~n:8 in
+  let verdicts =
+    Mpc.Equality.pairwise net rng (params 8) ~members:[ 0; 2; 4; 6 ]
+      ~value:(fun _ -> Bytes.of_string "shared view")
+      ~corruption ~adv:Mpc.Equality.honest_adv
+  in
+  List.iter (fun (_, ok) -> checkb "accepts" true ok) verdicts
+
+let test_pairwise_one_outlier () =
+  let net = Netsim.Net.create 8 in
+  let rng = Util.Prng.create 6 in
+  let corruption = Netsim.Corruption.none ~n:8 in
+  let verdicts =
+    Mpc.Equality.pairwise net rng (params 8) ~members:[ 0; 1; 2; 3 ]
+      ~value:(fun i -> Bytes.of_string (if i = 2 then "different" else "same"))
+      ~corruption ~adv:Mpc.Equality.honest_adv
+  in
+  (* Everyone participated in a failing test, so everyone rejects. *)
+  List.iter
+    (fun (m, ok) -> checkb (Printf.sprintf "member %d rejects" m) false ok)
+    verdicts
+
+let test_pairwise_two_camps () =
+  let net = Netsim.Net.create 8 in
+  let rng = Util.Prng.create 7 in
+  let corruption = Netsim.Corruption.none ~n:8 in
+  let verdicts =
+    Mpc.Equality.pairwise net rng (params 8) ~members:[ 0; 1; 2; 3 ]
+      ~value:(fun i -> Bytes.of_string (if i < 2 then "camp A" else "camp B"))
+      ~corruption ~adv:Mpc.Equality.honest_adv
+  in
+  List.iter (fun (_, ok) -> checkb "everyone sees a mismatch" false ok) verdicts
+
+let test_pairwise_tampered_fingerprint () =
+  (* A corrupted member sends garbage fingerprints: honest receivers must
+     reject (and the corrupted sender cannot make two honest parties with
+     different values both accept). *)
+  let n = 6 in
+  let net = Netsim.Net.create n in
+  let rng = Util.Prng.create 8 in
+  let corruption = Netsim.Corruption.make ~n ~corrupted:(Util.Iset.of_list [ 0 ]) in
+  let adv =
+    {
+      Mpc.Equality.tamper_fp =
+        Some
+          (fun ~me:_ ~dst:_ fp ->
+            { fp with Crypto.Fingerprint.residues = Array.map (fun r -> r + 1) fp.Crypto.Fingerprint.residues });
+      lie_verdict = None;
+    }
+  in
+  let verdicts =
+    Mpc.Equality.pairwise net rng (params n) ~members:[ 0; 1; 2 ]
+      ~value:(fun _ -> Bytes.of_string "same everywhere")
+      ~corruption ~adv
+  in
+  (* Honest members 1 and 2 reject because 0's fingerprint fails. *)
+  List.iter
+    (fun (m, ok) ->
+      if m <> 0 then checkb (Printf.sprintf "member %d rejects tampering" m) false ok)
+    verdicts
+
+let test_pairwise_lying_verdict_cannot_fool_receiver () =
+  (* Corrupted member 3 lies "equal" to senders, but honest receivers of
+     3's (honest-looking) fingerprints still detect 3's divergent value
+     through their own checks of messages 3 sends... here 3 is the highest
+     id so it only receives; the lie makes senders accept, but the honest
+     receivers that share a pair with each other still agree.  The key
+     security property: no two honest parties with DIFFERENT values both
+     accept. *)
+  let n = 6 in
+  let net = Netsim.Net.create n in
+  let rng = Util.Prng.create 9 in
+  let corruption = Netsim.Corruption.make ~n ~corrupted:(Util.Iset.of_list [ 3 ]) in
+  let adv =
+    { Mpc.Equality.tamper_fp = None; lie_verdict = Some (fun ~me:_ ~dst:_ _ -> true) }
+  in
+  let verdicts =
+    Mpc.Equality.pairwise net rng (params n) ~members:[ 0; 1; 3 ]
+      ~value:(fun i -> Bytes.of_string (if i = 1 then "divergent" else "base"))
+      ~corruption ~adv
+  in
+  (* 0 and 1 hold different values; the 0-1 pair runs honestly, so at least
+     one of them rejects. *)
+  let ok0 = List.assoc 0 verdicts and ok1 = List.assoc 1 verdicts in
+  checkb "honest disagreement detected" false (ok0 && ok1)
+
+let test_pairwise_cost_scales_with_members () =
+  let run k =
+    let net = Netsim.Net.create 32 in
+    let rng = Util.Prng.create 10 in
+    let corruption = Netsim.Corruption.none ~n:32 in
+    ignore
+      (Mpc.Equality.pairwise net rng (params 32)
+         ~members:(List.init k (fun i -> i))
+         ~value:(fun _ -> Bytes.make 1000 'v')
+         ~corruption ~adv:Mpc.Equality.honest_adv);
+    Netsim.Net.total_bits net
+  in
+  let b8 = run 8 and b16 = run 16 in
+  (* Quadratic in members: 16 members ≈ 4x the pairs of 8. *)
+  let ratio = float_of_int b16 /. float_of_int b8 in
+  checkb "quadratic growth" true (ratio > 3.0 && ratio < 5.0)
+
+let () =
+  Alcotest.run "equality"
+    [
+      ( "two-party",
+        [
+          Alcotest.test_case "equal accepts" `Quick test_two_party_equal;
+          Alcotest.test_case "unequal rejects" `Quick test_two_party_unequal;
+          Alcotest.test_case "single-byte difference" `Quick test_two_party_single_bit_difference;
+          Alcotest.test_case "succinct communication" `Quick test_two_party_communication_succinct;
+        ] );
+      ( "pairwise",
+        [
+          Alcotest.test_case "all equal" `Quick test_pairwise_all_equal;
+          Alcotest.test_case "one outlier" `Quick test_pairwise_one_outlier;
+          Alcotest.test_case "two camps" `Quick test_pairwise_two_camps;
+          Alcotest.test_case "tampered fingerprints" `Quick test_pairwise_tampered_fingerprint;
+          Alcotest.test_case "lying verdict" `Quick test_pairwise_lying_verdict_cannot_fool_receiver;
+          Alcotest.test_case "quadratic cost" `Quick test_pairwise_cost_scales_with_members;
+        ] );
+    ]

@@ -1,0 +1,240 @@
+(* Tests for modular arithmetic, primality, prime fields, polynomials. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ---- Modarith ---- *)
+
+let test_modarith_basic () =
+  checki "add" 1 (Field.Modarith.add_mod 5 3 7);
+  checki "add no wrap" 5 (Field.Modarith.add_mod 2 3 7);
+  checki "sub" 6 (Field.Modarith.sub_mod 2 3 7);
+  checki "mul" 1 (Field.Modarith.mul_mod 3 5 7);
+  checki "pow" 4 (Field.Modarith.pow_mod 2 10 10);
+  checki "pow zero" 1 (Field.Modarith.pow_mod 5 0 7)
+
+let test_modarith_pow_fermat () =
+  (* Fermat's little theorem on a 30-bit prime. *)
+  let p = (1 lsl 30) - 35 in
+  List.iter
+    (fun a -> checki "a^(p-1) = 1" 1 (Field.Modarith.pow_mod a (p - 1) p))
+    [ 2; 3; 12345; 99999989 ]
+
+let test_modarith_egcd () =
+  let g, x, y = Field.Modarith.egcd 240 46 in
+  checki "gcd" 2 g;
+  checki "bezout" 2 ((240 * x) + (46 * y))
+
+let test_modarith_inv () =
+  let p = 1000003 in
+  for a = 1 to 50 do
+    let inv = Field.Modarith.inv_mod a p in
+    checki "a * inv(a) = 1" 1 (Field.Modarith.mul_mod a inv p)
+  done
+
+let test_modarith_inv_noninvertible () =
+  checkb "raises" true
+    (try
+       ignore (Field.Modarith.inv_mod 4 8);
+       false
+     with Invalid_argument _ -> true)
+
+let mod_prop =
+  QCheck.Test.make ~name:"mul_mod matches naive" ~count:1000
+    QCheck.(triple (int_bound ((1 lsl 30) - 1)) (int_bound ((1 lsl 30) - 1)) (int_range 2 ((1 lsl 30) - 1)))
+    (fun (a, b, m) ->
+      let a = a mod m and b = b mod m in
+      Field.Modarith.mul_mod a b m = a * b mod m)
+
+(* ---- Primality ---- *)
+
+let test_small_primes () =
+  let primes = [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37; 41; 997; 7919 ] in
+  List.iter (fun p -> checkb (string_of_int p) true (Field.Primality.is_prime p)) primes;
+  let composites = [ 0; 1; 4; 6; 9; 15; 21; 25; 49; 91; 561; 1105; 1729; 2465 ] in
+  (* 561, 1105, 1729, 2465 are Carmichael numbers — the classic MR trap. *)
+  List.iter (fun c -> checkb (string_of_int c) false (Field.Primality.is_prime c)) composites
+
+let test_known_30bit_prime () =
+  checkb "2^30-35 prime" true (Field.Primality.is_prime ((1 lsl 30) - 35));
+  checkb "2^30-34 composite" false (Field.Primality.is_prime ((1 lsl 30) - 34))
+
+let test_primality_matches_trial_division () =
+  let trial n =
+    if n < 2 then false
+    else begin
+      let rec go d = if d * d > n then true else if n mod d = 0 then false else go (d + 1) in
+      go 2
+    end
+  in
+  for n = 0 to 2000 do
+    checkb (string_of_int n) (trial n) (Field.Primality.is_prime n)
+  done
+
+let test_random_prime () =
+  let rng = Util.Prng.create 1 in
+  for _ = 1 to 50 do
+    let p = Field.Primality.random_prime rng ~lo:1000 ~hi:100000 in
+    checkb "prime" true (Field.Primality.is_prime p);
+    checkb "range" true (p >= 1000 && p <= 100000)
+  done
+
+let test_random_prime_bits () =
+  let rng = Util.Prng.create 2 in
+  for _ = 1 to 20 do
+    let p = Field.Primality.random_prime_bits rng ~bits:29 in
+    checkb "prime" true (Field.Primality.is_prime p);
+    checkb "29 bits" true (p >= 1 lsl 28 && p < 1 lsl 29)
+  done
+
+let test_random_prime_empty_interval () =
+  let rng = Util.Prng.create 3 in
+  checkb "raises" true
+    (try
+       ignore (Field.Primality.random_prime rng ~lo:24 ~hi:28);
+       false
+     with Invalid_argument _ -> true)
+
+let test_next_prime () =
+  checki "next_prime 14" 17 (Field.Primality.next_prime 14);
+  checki "next_prime 17" 17 (Field.Primality.next_prime 17);
+  checki "next_prime 0" 2 (Field.Primality.next_prime 0)
+
+(* ---- Gf ---- *)
+
+module F = Field.Gf.F30
+
+let test_gf_basic_laws () =
+  let rng = Util.Prng.create 4 in
+  for _ = 1 to 200 do
+    let a = F.random rng and b = F.random rng and c = F.random rng in
+    checki "add comm" (F.add a b) (F.add b a);
+    checki "mul comm" (F.mul a b) (F.mul b a);
+    checki "distrib" (F.mul a (F.add b c)) (F.add (F.mul a b) (F.mul a c));
+    checki "add neg" F.zero (F.add a (F.neg a));
+    checki "sub self" F.zero (F.sub a a)
+  done
+
+let test_gf_inverse () =
+  let rng = Util.Prng.create 5 in
+  for _ = 1 to 200 do
+    let a = F.random_nonzero rng in
+    checki "a/a = 1" F.one (F.div a a);
+    checki "a * inv a" F.one (F.mul a (F.inv a))
+  done
+
+let test_gf_of_int_negative () =
+  checki "negative reduces" (F.p - 1) (F.of_int (-1));
+  checki "wraps" 1 (F.of_int (F.p + 1))
+
+let test_gf_make_rejects_composite () =
+  checkb "raises" true
+    (try
+       ignore (Field.Gf.make 1000);
+       false
+     with Invalid_argument _ -> true)
+
+let test_gf_make_small_prime () =
+  let (module F7) = Field.Gf.make 7 in
+  checki "3+5 mod 7" 1 (F7.add 3 5);
+  checki "inv 3 = 5" 5 (F7.inv 3)
+
+(* ---- Poly ---- *)
+
+module P = Field.Poly.Make (F)
+
+let test_poly_eval_horner () =
+  (* p(x) = 2 + 3x + x^2 at x = 5: 2 + 15 + 25 = 42. *)
+  let p = P.of_coeffs [| 2; 3; 1 |] in
+  checki "eval" 42 (P.eval p 5);
+  checki "eval at 0" 2 (P.eval p 0)
+
+let test_poly_zero_and_normalize () =
+  checki "zero degree" (-1) (P.degree P.zero);
+  checki "trailing zeros trimmed" 1 (P.degree (P.of_coeffs [| 1; 2; 0; 0 |]));
+  checki "eval zero poly" 0 (P.eval P.zero 17)
+
+let test_poly_add_mul () =
+  let a = P.of_coeffs [| 1; 1 |] in
+  (* (1+x)^2 = 1 + 2x + x^2 *)
+  let sq = P.mul a a in
+  checkb "square" true (P.equal sq (P.of_coeffs [| 1; 2; 1 |]));
+  let s = P.add a (P.of_coeffs [| 0; F.neg 1 |]) in
+  checkb "cancellation" true (P.equal s (P.of_coeffs [| 1 |]))
+
+let test_poly_interpolate_roundtrip () =
+  let rng = Util.Prng.create 6 in
+  for _ = 1 to 50 do
+    let deg = Util.Prng.int rng 6 in
+    let p = P.random rng ~degree:deg ~const:(F.random rng) in
+    let pts = List.init (deg + 1) (fun i -> (F.of_int (i + 1), P.eval p (F.of_int (i + 1)))) in
+    let q = P.interpolate pts in
+    checkb "interpolation recovers" true (P.equal p q || P.degree p < deg)
+  done
+
+let test_poly_interpolate_at_zero () =
+  let rng = Util.Prng.create 7 in
+  for _ = 1 to 50 do
+    let secret = F.random rng in
+    let p = P.random rng ~degree:3 ~const:secret in
+    let pts = List.init 4 (fun i -> (F.of_int (i + 1), P.eval p (F.of_int (i + 1)))) in
+    checki "recovers constant" secret (P.interpolate_at_zero pts)
+  done
+
+let test_poly_interpolate_duplicate_x () =
+  checkb "raises" true
+    (try
+       ignore (P.interpolate [ (1, 2); (1, 3) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let poly_prop_eval_additive =
+  QCheck.Test.make ~name:"eval (p+q) = eval p + eval q" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 6) (int_bound 1000)) (list_of_size Gen.(1 -- 6) (int_bound 1000)))
+    (fun (ca, cb) ->
+      let pa = P.of_coeffs (Array.of_list (List.map F.of_int ca)) in
+      let pb = P.of_coeffs (Array.of_list (List.map F.of_int cb)) in
+      let x = 12345 in
+      F.add (P.eval pa x) (P.eval pb x) = P.eval (P.add pa pb) x)
+
+let () =
+  Alcotest.run "field"
+    [
+      ( "modarith",
+        [
+          Alcotest.test_case "basic ops" `Quick test_modarith_basic;
+          Alcotest.test_case "fermat" `Quick test_modarith_pow_fermat;
+          Alcotest.test_case "egcd bezout" `Quick test_modarith_egcd;
+          Alcotest.test_case "inverse" `Quick test_modarith_inv;
+          Alcotest.test_case "non-invertible" `Quick test_modarith_inv_noninvertible;
+          QCheck_alcotest.to_alcotest mod_prop;
+        ] );
+      ( "primality",
+        [
+          Alcotest.test_case "small primes & carmichael" `Quick test_small_primes;
+          Alcotest.test_case "30-bit boundary" `Quick test_known_30bit_prime;
+          Alcotest.test_case "matches trial division" `Quick test_primality_matches_trial_division;
+          Alcotest.test_case "random prime" `Quick test_random_prime;
+          Alcotest.test_case "random prime bits" `Quick test_random_prime_bits;
+          Alcotest.test_case "empty interval" `Quick test_random_prime_empty_interval;
+          Alcotest.test_case "next prime" `Quick test_next_prime;
+        ] );
+      ( "gf",
+        [
+          Alcotest.test_case "field laws" `Quick test_gf_basic_laws;
+          Alcotest.test_case "inverses" `Quick test_gf_inverse;
+          Alcotest.test_case "of_int negative" `Quick test_gf_of_int_negative;
+          Alcotest.test_case "make rejects composite" `Quick test_gf_make_rejects_composite;
+          Alcotest.test_case "make GF(7)" `Quick test_gf_make_small_prime;
+        ] );
+      ( "poly",
+        [
+          Alcotest.test_case "horner eval" `Quick test_poly_eval_horner;
+          Alcotest.test_case "zero & normalize" `Quick test_poly_zero_and_normalize;
+          Alcotest.test_case "add/mul" `Quick test_poly_add_mul;
+          Alcotest.test_case "interpolate roundtrip" `Quick test_poly_interpolate_roundtrip;
+          Alcotest.test_case "interpolate at zero" `Quick test_poly_interpolate_at_zero;
+          Alcotest.test_case "duplicate x rejected" `Quick test_poly_interpolate_duplicate_x;
+          QCheck_alcotest.to_alcotest poly_prop_eval_additive;
+        ] );
+    ]

@@ -1,0 +1,234 @@
+(* Tests for Yao garbling, LWE oblivious transfer, and the two-party
+   protocol built from them (Remark 10's instantiation). *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ---- Garbling ---- *)
+
+let test_garble_families () =
+  let rng = Util.Prng.create 1 in
+  List.iter
+    (fun (name, circuit) ->
+      for _ = 1 to 10 do
+        let g = Crypto.Garble.garble rng circuit in
+        let inputs =
+          Array.init circuit.Circuit.num_inputs (fun _ -> Util.Prng.bool rng)
+        in
+        let labels = Crypto.Garble.encode g ~inputs in
+        match Crypto.Garble.eval ~tables:(Crypto.Garble.tables g) ~input_labels:labels with
+        | Some out -> checkb name true (out = Circuit.eval circuit inputs)
+        | None -> Alcotest.failf "%s: eval failed" name
+      done)
+    [
+      ("majority", Circuit.majority ~n:8);
+      ("parity", Circuit.parity ~n:9);
+      ("sum", Circuit.sum ~n:4 ~width:3);
+      ("maximum", Circuit.maximum ~n:4 ~width:4);
+      ("auction", Circuit.second_price_auction ~n:4 ~width:3);
+      ("equality", Circuit.equality_check ~n:3 ~width:4);
+    ]
+
+let test_garble_wrong_labels_detected () =
+  let rng = Util.Prng.create 2 in
+  let circuit = Circuit.majority ~n:5 in
+  let g = Crypto.Garble.garble rng circuit in
+  let inputs = [| true; false; true; true; false |] in
+  let labels = Crypto.Garble.encode g ~inputs in
+  (* Replace one active label by random bytes: the row tag must reject. *)
+  labels.(2) <- Util.Prng.bytes rng Crypto.Garble.label_size;
+  checkb "garbage label rejected" true
+    (Crypto.Garble.eval ~tables:(Crypto.Garble.tables g) ~input_labels:labels = None)
+
+let test_garble_tables_fresh_per_garbling () =
+  let rng = Util.Prng.create 3 in
+  let circuit = Circuit.parity ~n:4 in
+  let g1 = Crypto.Garble.garble rng circuit in
+  let g2 = Crypto.Garble.garble rng circuit in
+  checkb "randomized garbling" false
+    (Bytes.equal (Crypto.Garble.tables g1) (Crypto.Garble.tables g2))
+
+let test_garble_size_linear_in_circuit () =
+  let rng = Util.Prng.create 4 in
+  let size n = Crypto.Garble.size_bytes (Crypto.Garble.garble rng (Circuit.majority ~n)) in
+  let s16 = size 16 and s32 = size 32 in
+  let ratio = float_of_int s32 /. float_of_int s16 in
+  checkb "tables ~linear in C" true (ratio > 1.5 && ratio < 3.0)
+
+let test_garble_labels_hide_values () =
+  (* The two labels of a wire are unrelated byte strings (no shared prefix
+     beyond chance): a weak but meaningful sanity check of the hiding
+     structure. *)
+  let rng = Util.Prng.create 5 in
+  let g = Crypto.Garble.garble rng (Circuit.majority ~n:4) in
+  for wire = 0 to 3 do
+    let l0, l1 = Crypto.Garble.input_labels g ~wire in
+    checkb "labels differ" false (Bytes.equal l0 l1);
+    (* opposite select bits: point-and-permute *)
+    let sel b = Char.code (Bytes.get b (Crypto.Garble.label_size - 1)) land 1 in
+    checki "select bits complementary" 1 (sel l0 lxor sel l1)
+  done
+
+let prop_garble_random_circuits =
+  (* Random DAGs: interleave gate constructors over a growing wire pool. *)
+  QCheck.Test.make ~name:"garbled eval = plain eval on random circuits" ~count:40
+    QCheck.(pair (int_range 2 6) (int_bound 1_000_000))
+    (fun (num_inputs, seed) ->
+      let rng = Util.Prng.create seed in
+      let pool = ref (List.init num_inputs (fun i -> Circuit.Input i)) in
+      for _ = 1 to 15 do
+        let pick () = List.nth !pool (Util.Prng.int rng (List.length !pool)) in
+        let g =
+          match Util.Prng.int rng 5 with
+          | 0 -> Circuit.And (pick (), pick ())
+          | 1 -> Circuit.Or (pick (), pick ())
+          | 2 -> Circuit.Xor (pick (), pick ())
+          | 3 -> Circuit.Not (pick ())
+          | _ -> Circuit.Const (Util.Prng.bool rng)
+        in
+        pool := g :: !pool
+      done;
+      let outputs = [ List.hd !pool; List.nth !pool (List.length !pool / 2) ] in
+      let circuit = Circuit.make ~num_inputs ~outputs in
+      let g = Crypto.Garble.garble rng circuit in
+      let inputs = Array.init num_inputs (fun _ -> Util.Prng.bool rng) in
+      let labels = Crypto.Garble.encode g ~inputs in
+      match Crypto.Garble.eval ~tables:(Crypto.Garble.tables g) ~input_labels:labels with
+      | Some out -> out = Circuit.eval circuit inputs
+      | None -> false)
+
+(* ---- Oblivious transfer ---- *)
+
+let test_ot_both_choices () =
+  let rng = Util.Prng.create 6 in
+  List.iter
+    (fun choice ->
+      let m0 = Bytes.of_string "zero message" in
+      let m1 = Bytes.of_string "one  message" in
+      let r1, st = Crypto.Ot.receiver_round1 rng ~choice in
+      match Crypto.Ot.sender_round2 rng ~round1:r1 ~m0 ~m1 with
+      | None -> Alcotest.fail "round 2 failed"
+      | Some r2 -> (
+        match Crypto.Ot.receiver_finish st ~round2:r2 with
+        | Some m ->
+          checkb "chosen message" true (Bytes.equal m (if choice then m1 else m0))
+        | None -> Alcotest.fail "finish failed"))
+    [ false; true ]
+
+let test_ot_other_message_hidden () =
+  (* The receiver's state can only open its chosen slot; decrypting the
+     other ciphertext with its key yields garbage (statistically never the
+     other message). *)
+  let rng = Util.Prng.create 7 in
+  let m0 = Bytes.of_string "AAAAAAAAAAAAAAAA" in
+  let m1 = Bytes.of_string "BBBBBBBBBBBBBBBB" in
+  for _ = 1 to 10 do
+    let r1, st = Crypto.Ot.receiver_round1 rng ~choice:false in
+    match Crypto.Ot.sender_round2 rng ~round1:r1 ~m0 ~m1 with
+    | None -> Alcotest.fail "round 2 failed"
+    | Some r2 -> (
+      (* Swap the two ciphertexts so the receiver's key targets the wrong
+         slot: it must not recover m1. *)
+      let ct0, ct1 =
+        Util.Codec.decode
+          (fun r ->
+            let a = Util.Codec.read_bytes r in
+            let b = Util.Codec.read_bytes r in
+            (a, b))
+          r2
+      in
+      let swapped =
+        Util.Codec.encode
+          (fun w () ->
+            Util.Codec.write_bytes w ct1;
+            Util.Codec.write_bytes w ct0)
+          ()
+      in
+      match Crypto.Ot.receiver_finish st ~round2:swapped with
+      | Some m -> checkb "lossy slot hides m1" false (Bytes.equal m m1)
+      | None -> ())
+  done
+
+let test_ot_malformed_rejected () =
+  let rng = Util.Prng.create 8 in
+  checkb "bad round1" true
+    (Crypto.Ot.sender_round2 rng ~round1:(Bytes.of_string "junk") ~m0:Bytes.empty ~m1:Bytes.empty
+     = None);
+  let _, st = Crypto.Ot.receiver_round1 rng ~choice:true in
+  checkb "bad round2" true (Crypto.Ot.receiver_finish st ~round2:(Bytes.of_string "junk") = None)
+
+(* ---- Two-party protocol ---- *)
+
+let test_two_party_sum () =
+  let rng = Util.Prng.create 9 in
+  let width = 4 in
+  let circuit = Circuit.sum ~n:2 ~width in
+  for _ = 1 to 5 do
+    let x0 = Util.Prng.int rng 16 and x1 = Util.Prng.int rng 16 in
+    let net = Netsim.Net.create 2 in
+    match Mpc.Two_party.run net rng ~circuit ~input_width:width ~x0 ~x1 with
+    | Mpc.Outcome.Output (g, e) ->
+      checki "garbler" (x0 + x1) (Mpc.Bitpack.bytes_to_int g ~width:(width + 1));
+      checki "evaluator" (x0 + x1) (Mpc.Bitpack.bytes_to_int e ~width:(width + 1))
+    | Mpc.Outcome.Abort r -> Alcotest.failf "abort: %s" (Mpc.Outcome.reason_to_string r)
+  done
+
+let test_two_party_comparison () =
+  let rng = Util.Prng.create 10 in
+  let width = 5 in
+  let a = Circuit.Builder.input_word ~offset:0 ~width in
+  let b = Circuit.Builder.input_word ~offset:width ~width in
+  let circuit = Circuit.make ~num_inputs:(2 * width) ~outputs:[ Circuit.Builder.lt_word a b ] in
+  for x0 = 0 to 4 do
+    for x1 = 0 to 4 do
+      let net = Netsim.Net.create 2 in
+      match Mpc.Two_party.run net rng ~circuit ~input_width:width ~x0:(x0 * 6) ~x1:(x1 * 6) with
+      | Mpc.Outcome.Output (_, e) ->
+        checki
+          (Printf.sprintf "%d < %d" (x0 * 6) (x1 * 6))
+          (if x0 * 6 < x1 * 6 then 1 else 0)
+          (Mpc.Bitpack.bytes_to_int e ~width:1)
+      | Mpc.Outcome.Abort r -> Alcotest.failf "abort: %s" (Mpc.Outcome.reason_to_string r)
+    done
+  done
+
+let test_two_party_cost_linear_in_size () =
+  let rng = Util.Prng.create 11 in
+  let cost width =
+    let circuit = Circuit.sum ~n:2 ~width in
+    let net = Netsim.Net.create 2 in
+    (match Mpc.Two_party.run net rng ~circuit ~input_width:width ~x0:1 ~x1:2 with
+    | Mpc.Outcome.Output _ -> ()
+    | Mpc.Outcome.Abort _ -> Alcotest.fail "abort");
+    Netsim.Net.total_bits net
+  in
+  (* Doubling the word width doubles both C and the OT count. *)
+  let c4 = cost 4 and c8 = cost 8 in
+  let ratio = float_of_int c8 /. float_of_int c4 in
+  checkb "linear growth" true (ratio > 1.5 && ratio < 2.6)
+
+let () =
+  Alcotest.run "garble"
+    [
+      ( "garbling",
+        [
+          Alcotest.test_case "circuit families" `Quick test_garble_families;
+          Alcotest.test_case "wrong labels detected" `Quick test_garble_wrong_labels_detected;
+          Alcotest.test_case "randomized garbling" `Quick test_garble_tables_fresh_per_garbling;
+          Alcotest.test_case "tables linear in C" `Quick test_garble_size_linear_in_circuit;
+          Alcotest.test_case "label structure" `Quick test_garble_labels_hide_values;
+          QCheck_alcotest.to_alcotest prop_garble_random_circuits;
+        ] );
+      ( "ot",
+        [
+          Alcotest.test_case "both choices" `Quick test_ot_both_choices;
+          Alcotest.test_case "other message hidden" `Quick test_ot_other_message_hidden;
+          Alcotest.test_case "malformed rejected" `Quick test_ot_malformed_rejected;
+        ] );
+      ( "two_party",
+        [
+          Alcotest.test_case "sum" `Quick test_two_party_sum;
+          Alcotest.test_case "comparison" `Quick test_two_party_comparison;
+          Alcotest.test_case "cost linear in size" `Quick test_two_party_cost_linear_in_size;
+        ] );
+    ]

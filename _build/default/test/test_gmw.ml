@@ -1,0 +1,158 @@
+(* Tests for the GMW baseline: correctness on every circuit family, cost
+   shape (Θ(n²) per AND layer), and — crucially — the demonstration that
+   plain GMW has NO abort guarantee: a single corrupted party silently
+   corrupts everyone's output, which is exactly the failure mode the
+   paper's protocols exist to prevent. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let run ?(seed = 1) ~n ~circuit ~input_width ~inputs ~corruption ~adv () =
+  let net = Netsim.Net.create n in
+  let rng = Util.Prng.create seed in
+  let outs = Mpc.Gmw.run net rng ~circuit ~input_width ~inputs ~corruption ~adv in
+  (net, outs)
+
+let expected circuit width inputs =
+  Mpc.Bitpack.pack (Circuit.eval circuit (Circuit.pack_inputs ~width (Array.to_list inputs)))
+
+let test_correct_on_families () =
+  let rng = Util.Prng.create 7 in
+  List.iter
+    (fun (n, circuit, width) ->
+      for seed = 1 to 5 do
+        let inputs = Array.init n (fun _ -> Util.Prng.int rng (1 lsl width)) in
+        let corruption = Netsim.Corruption.none ~n in
+        let _, outs = run ~seed ~n ~circuit ~input_width:width ~inputs ~corruption ~adv:Mpc.Gmw.honest_adv () in
+        let e = expected circuit width inputs in
+        Array.iteri
+          (fun i o -> checkb (Printf.sprintf "party %d" i) true (Bytes.equal o e))
+          outs
+      done)
+    [
+      (8, Circuit.majority ~n:8, 1);
+      (6, Circuit.parity ~n:6, 1);
+      (5, Circuit.sum ~n:5 ~width:3, 3);
+      (4, Circuit.maximum ~n:4 ~width:4, 4);
+      (4, Circuit.second_price_auction ~n:4 ~width:3, 3);
+      (4, Circuit.equality_check ~n:4 ~width:3, 3);
+    ]
+
+let test_two_parties_minimal () =
+  let circuit = Circuit.sum ~n:2 ~width:4 in
+  let inputs = [| 9; 5 |] in
+  let corruption = Netsim.Corruption.none ~n:2 in
+  let _, outs = run ~n:2 ~circuit ~input_width:4 ~inputs ~corruption ~adv:Mpc.Gmw.honest_adv () in
+  checki "9+5" 14 (Mpc.Bitpack.bytes_to_int outs.(0) ~width:5);
+  checki "9+5" 14 (Mpc.Bitpack.bytes_to_int outs.(1) ~width:5)
+
+let test_triples_counted () =
+  let circuit = Circuit.majority ~n:8 in
+  let t = Mpc.Gmw.triples_used ~circuit in
+  checkb "some multiplicative gates" true (t > 0);
+  (* parity is XOR-only: zero triples. *)
+  checki "parity needs no triples" 0 (Mpc.Gmw.triples_used ~circuit:(Circuit.parity ~n:8))
+
+let test_xor_only_is_cheap () =
+  (* Free-XOR structure: parity has no openings, so the only traffic is
+     input sharing and output opening. *)
+  let n = 10 in
+  let corruption = Netsim.Corruption.none ~n in
+  let inputs = Array.init n (fun i -> i land 1) in
+  let net, _ =
+    run ~n ~circuit:(Circuit.parity ~n) ~input_width:1 ~inputs ~corruption
+      ~adv:Mpc.Gmw.honest_adv ()
+  in
+  (* input share: n*(n-1) bytes; output open: n*(n-1) bytes; nothing else. *)
+  checkb "only sharing + opening" true (Netsim.Net.total_bits net <= 8 * 2 * n * (n - 1))
+
+let test_cost_quadratic_in_n () =
+  let cost n =
+    let corruption = Netsim.Corruption.none ~n in
+    let inputs = Array.init n (fun i -> i land 1) in
+    let net, _ =
+      run ~n ~circuit:(Circuit.majority ~n) ~input_width:1 ~inputs ~corruption
+        ~adv:Mpc.Gmw.honest_adv ()
+    in
+    float_of_int (Netsim.Net.total_bits net)
+  in
+  (* #ANDs grows ~linearly in n and each costs Θ(n²): expect ~n³ total. *)
+  let r = cost 24 /. cost 12 in
+  checkb "super-quadratic growth" true (r > 5.0)
+
+let test_full_locality () =
+  (* The baseline talks to everyone — no locality at all. *)
+  let n = 8 in
+  let corruption = Netsim.Corruption.none ~n in
+  let inputs = Array.make n 1 in
+  let net, _ =
+    run ~n ~circuit:(Circuit.majority ~n) ~input_width:1 ~inputs ~corruption
+      ~adv:Mpc.Gmw.honest_adv ()
+  in
+  checki "clique locality" (n - 1) (Netsim.Net.max_locality net)
+
+let test_share_flip_corrupts_silently () =
+  (* The headline negative result: one corrupted party flips one share in
+     one opening and every honest party computes a wrong output with no
+     abort — plain GMW gives no agreement-or-abort guarantee in the
+     malicious model.  (The paper's protocols detect exactly this.) *)
+  let n = 8 in
+  let circuit = Circuit.majority ~n in
+  let inputs = Array.init n (fun i -> i land 1) in
+  let corruption = Netsim.Corruption.make ~n ~corrupted:(Util.Iset.of_list [ 3 ]) in
+  let adv = { Mpc.Gmw.flip_share = Some (fun ~me:_ ~gate_index:_ -> true) } in
+  let corrupted_runs = ref 0 in
+  for seed = 1 to 5 do
+    let _, outs = run ~seed ~n ~circuit ~input_width:1 ~inputs ~corruption ~adv () in
+    let e = expected circuit 1 inputs in
+    if
+      List.exists
+        (fun i -> not (Bytes.equal outs.(i) e))
+        (Netsim.Corruption.honest_list corruption)
+    then incr corrupted_runs
+  done;
+  checkb "attack silently corrupts outputs" true (!corrupted_runs > 0)
+
+let test_deterministic_given_seed () =
+  let n = 6 in
+  let circuit = Circuit.sum ~n ~width:2 in
+  let inputs = [| 1; 2; 3; 0; 1; 2 |] in
+  let corruption = Netsim.Corruption.none ~n in
+  let _, o1 = run ~seed:9 ~n ~circuit ~input_width:2 ~inputs ~corruption ~adv:Mpc.Gmw.honest_adv () in
+  let _, o2 = run ~seed:9 ~n ~circuit ~input_width:2 ~inputs ~corruption ~adv:Mpc.Gmw.honest_adv () in
+  checkb "reproducible" true (Array.for_all2 Bytes.equal o1 o2)
+
+let prop_random_inputs =
+  QCheck.Test.make ~name:"gmw matches plain evaluation" ~count:30
+    QCheck.(pair (int_range 2 8) (int_bound 100_000))
+    (fun (n, seed) ->
+      let rng = Util.Prng.create seed in
+      let circuit = Circuit.sum ~n ~width:3 in
+      let inputs = Array.init n (fun _ -> Util.Prng.int rng 8) in
+      let corruption = Netsim.Corruption.none ~n in
+      let _, outs =
+        run ~seed ~n ~circuit ~input_width:3 ~inputs ~corruption ~adv:Mpc.Gmw.honest_adv ()
+      in
+      let e = expected circuit 3 inputs in
+      Array.for_all (Bytes.equal e) outs)
+
+let () =
+  Alcotest.run "gmw"
+    [
+      ( "correctness",
+        [
+          Alcotest.test_case "all circuit families" `Quick test_correct_on_families;
+          Alcotest.test_case "two parties" `Quick test_two_parties_minimal;
+          Alcotest.test_case "triple counting" `Quick test_triples_counted;
+          Alcotest.test_case "deterministic" `Quick test_deterministic_given_seed;
+          QCheck_alcotest.to_alcotest prop_random_inputs;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "xor-only cheap" `Quick test_xor_only_is_cheap;
+          Alcotest.test_case "quadratic per gate" `Quick test_cost_quadratic_in_n;
+          Alcotest.test_case "no locality" `Quick test_full_locality;
+        ] );
+      ( "baseline weakness",
+        [ Alcotest.test_case "share flip corrupts silently" `Quick test_share_flip_corrupts_silently ] );
+    ]

@@ -1,0 +1,283 @@
+(* Tests for the locality protocols: Algorithm 7 (LocalCommitteeElect),
+   Theorem 2 (gossip MPC) and Theorem 4 / Algorithm 8. *)
+
+let checkb = Alcotest.(check bool)
+
+let make_config ~n ~h ~circuit ~input_width () =
+  {
+    Mpc.Local_mpc.params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:2 ();
+    pke = (module Crypto.Pke.Regev : Crypto.Pke.S);
+    circuit;
+    input_width;
+  }
+
+(* ---- LocalCommitteeElect ---- *)
+
+let test_local_committee_honest () =
+  let n = 30 and h = 15 in
+  let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:2 () in
+  let corruption = Netsim.Corruption.none ~n in
+  for seed = 1 to 5 do
+    let net = Netsim.Net.create n in
+    let rng = Util.Prng.create seed in
+    let result = Mpc.Local_committee.run net rng params ~corruption ~adv:Mpc.Local_committee.honest_adv in
+    (* No honest aborts, and elected members share a view. *)
+    let views =
+      List.filter_map
+        (fun i ->
+          match result.Mpc.Local_committee.views.(i) with
+          | Mpc.Outcome.Output v when v.Mpc.Committee.elected -> Some v.Mpc.Committee.committee
+          | Mpc.Outcome.Output _ -> None
+          | Mpc.Outcome.Abort r ->
+            Alcotest.failf "party %d aborted: %s" i (Mpc.Outcome.reason_to_string r))
+        (List.init n (fun i -> i))
+    in
+    checkb "some members" true (views <> []);
+    (match views with
+    | [] -> ()
+    | first :: rest -> List.iter (fun v -> checkb "consistent views" true (v = first)) rest)
+  done
+
+let test_local_committee_size_larger_than_global () =
+  (* Algorithm 7 uses bias α log n / √h — the committee is bigger than
+     Algorithm 2's (Claim 22 needs √h·log n honest members). *)
+  let n = 100 and h = 64 in
+  let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:2 () in
+  checkb "local bias above global bias" true
+    (Mpc.Params.local_committee_prob params > Mpc.Params.committee_prob params)
+
+let test_local_committee_false_claims_bounded () =
+  let n = 30 and h = 15 in
+  let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:2 () in
+  let rng0 = Util.Prng.create 3 in
+  let corruption = Netsim.Corruption.random rng0 ~n ~h in
+  let net = Netsim.Net.create n in
+  let rng = Util.Prng.create 4 in
+  let adv =
+    { Mpc.Local_committee.honest_adv with Mpc.Local_committee.false_claim = Some (fun ~me:_ -> true) }
+  in
+  let result = Mpc.Local_committee.run net rng params ~corruption ~adv in
+  (* Safety: surviving honest elected members agree. *)
+  let views =
+    List.filter_map
+      (fun i ->
+        match result.Mpc.Local_committee.views.(i) with
+        | Mpc.Outcome.Output v when v.Mpc.Committee.elected -> Some v.Mpc.Committee.committee
+        | _ -> None)
+      (Netsim.Corruption.honest_list corruption)
+  in
+  (match views with
+  | [] -> ()
+  | first :: rest -> List.iter (fun v -> checkb "agree" true (v = first)) rest);
+  checkb "ran" true (Array.length result.Mpc.Local_committee.views = n)
+
+(* ---- Theorem 2 ---- *)
+
+let test_theorem2_honest () =
+  let n = 24 and h = 12 in
+  let config = make_config ~n ~h ~circuit:(Circuit.majority ~n) ~input_width:1 () in
+  let corruption = Netsim.Corruption.none ~n in
+  let inputs = Array.init n (fun i -> (i / 2) mod 2) in
+  let expected = Mpc.Local_mpc.expected_output config ~inputs in
+  for seed = 1 to 3 do
+    let net = Netsim.Net.create n in
+    let rng = Util.Prng.create seed in
+    let outs = Mpc.Local_mpc.run_theorem2 net rng config ~corruption ~inputs ~adv:Mpc.Local_mpc.honest_theorem2_adv in
+    checkb "all correct" true
+      (Mpc.Outcome.all_honest_output_value ~equal:Bytes.equal ~expected outs corruption)
+  done
+
+let test_theorem2_locality () =
+  (* Theorem 2: locality O(α n log n / h) — much smaller than n-1. *)
+  let n = 60 and h = 30 in
+  let config = make_config ~n ~h ~circuit:(Circuit.parity ~n) ~input_width:1 () in
+  let corruption = Netsim.Corruption.none ~n in
+  let inputs = Array.make n 0 in
+  let net = Netsim.Net.create n in
+  let rng = Util.Prng.create 5 in
+  ignore (Mpc.Local_mpc.run_theorem2 net rng config ~corruption ~inputs ~adv:Mpc.Local_mpc.honest_theorem2_adv);
+  let d = Mpc.Params.sparse_degree config.Mpc.Local_mpc.params in
+  checkb "locality bounded by O(d)" true (Netsim.Net.max_locality net <= 4 * d);
+  checkb "sparser than clique" true (Netsim.Net.max_locality net < n - 1)
+
+let test_theorem2_gossip_equivocation_safe () =
+  let n = 24 and h = 12 in
+  let config = make_config ~n ~h ~circuit:(Circuit.majority ~n) ~input_width:1 () in
+  let rng0 = Util.Prng.create 6 in
+  let corruption = Netsim.Corruption.random rng0 ~n ~h in
+  let inputs = Array.init n (fun i -> i mod 2) in
+  let adv =
+    { Mpc.Local_mpc.honest_theorem2_adv with Mpc.Local_mpc.gossip_r1 = Mpc.Attacks.gossip_equivocate }
+  in
+  let net = Netsim.Net.create n in
+  let rng = Util.Prng.create 7 in
+  let outs = Mpc.Local_mpc.run_theorem2 net rng config ~corruption ~inputs ~adv in
+  checkb "agreement or abort" true
+    (Mpc.Outcome.agreement_or_abort ~equal:Bytes.equal outs corruption)
+
+let test_theorem2_bad_pdec_detected () =
+  let n = 24 and h = 12 in
+  let config = make_config ~n ~h ~circuit:(Circuit.majority ~n) ~input_width:1 () in
+  let rng0 = Util.Prng.create 8 in
+  let corruption = Netsim.Corruption.random rng0 ~n ~h in
+  let inputs = Array.init n (fun i -> i mod 2) in
+  let adv =
+    { Mpc.Local_mpc.honest_theorem2_adv with Mpc.Local_mpc.tamper_pdec = Some (fun ~me:_ -> true) }
+  in
+  let net = Netsim.Net.create n in
+  let rng = Util.Prng.create 9 in
+  let outs = Mpc.Local_mpc.run_theorem2 net rng config ~corruption ~inputs ~adv in
+  (* Every honest party that sees the tampered proof aborts; none outputs
+     a wrong value. *)
+  let expected = Mpc.Local_mpc.expected_output config ~inputs in
+  Array.iteri
+    (fun i o ->
+      if Netsim.Corruption.is_honest corruption i then
+        match o with
+        | Mpc.Outcome.Output v -> checkb "correct if output" true (Bytes.equal v expected)
+        | Mpc.Outcome.Abort _ -> ())
+    outs
+
+(* ---- Theorem 4 ---- *)
+
+let test_theorem4_honest () =
+  let n = 25 and h = 16 in
+  let config = make_config ~n ~h ~circuit:(Circuit.majority ~n) ~input_width:1 () in
+  let corruption = Netsim.Corruption.none ~n in
+  let inputs = Array.init n (fun i -> (i / 3) mod 2) in
+  let expected = Mpc.Local_mpc.expected_output config ~inputs in
+  for seed = 1 to 3 do
+    let net = Netsim.Net.create n in
+    let rng = Util.Prng.create seed in
+    let outs = Mpc.Local_mpc.run_theorem4 net rng config ~corruption ~inputs ~adv:Mpc.Local_mpc.honest_theorem4_adv in
+    checkb "all correct" true
+      (Mpc.Outcome.all_honest_output_value ~equal:Bytes.equal ~expected outs corruption)
+  done
+
+let test_theorem4_metered_phases () =
+  let n = 25 and h = 16 in
+  let config = make_config ~n ~h ~circuit:(Circuit.majority ~n) ~input_width:1 () in
+  let corruption = Netsim.Corruption.none ~n in
+  let inputs = Array.init n (fun i -> i mod 2) in
+  let net = Netsim.Net.create n in
+  let rng = Util.Prng.create 4 in
+  let _, costs =
+    Mpc.Local_mpc.run_theorem4_metered net rng config ~corruption ~inputs
+      ~adv:Mpc.Local_mpc.honest_theorem4_adv
+  in
+  let sum =
+    costs.Mpc.Local_mpc.election_bits + costs.keygen_bits + costs.cover_bits
+    + costs.exchange_bits + costs.equality_bits + costs.compute_bits + costs.output_bits
+  in
+  Alcotest.(check int) "phases account for everything" (Netsim.Net.total_bits net) sum
+
+let test_theorem4_exchange_tamper_safe () =
+  let n = 25 and h = 12 in
+  let config = make_config ~n ~h ~circuit:(Circuit.majority ~n) ~input_width:1 () in
+  let rng0 = Util.Prng.create 10 in
+  let inputs = Array.init n (fun i -> i mod 2) in
+  let expected = Mpc.Local_mpc.expected_output config ~inputs in
+  for seed = 1 to 3 do
+    let corruption = Netsim.Corruption.random rng0 ~n ~h in
+    let net = Netsim.Net.create n in
+    let rng = Util.Prng.create seed in
+    let outs = Mpc.Local_mpc.run_theorem4 net rng config ~corruption ~inputs ~adv:Mpc.Attacks.exchange_tamper in
+    checkb "agreement or abort" true
+      (Mpc.Outcome.agreement_or_abort ~equal:Bytes.equal outs corruption);
+    Array.iteri
+      (fun i o ->
+        if Netsim.Corruption.is_honest corruption i then
+          match o with
+          | Mpc.Outcome.Output v -> checkb "correct if output" true (Bytes.equal v expected)
+          | Mpc.Outcome.Abort _ -> ())
+      outs
+  done
+
+let test_theorem4_output_tamper_safe () =
+  let n = 25 and h = 12 in
+  let config = make_config ~n ~h ~circuit:(Circuit.parity ~n) ~input_width:1 () in
+  let rng0 = Util.Prng.create 11 in
+  let inputs = Array.init n (fun i -> (i * 3) mod 2) in
+  for seed = 1 to 3 do
+    let corruption = Netsim.Corruption.random rng0 ~n ~h in
+    let net = Netsim.Net.create n in
+    let rng = Util.Prng.create seed in
+    let outs = Mpc.Local_mpc.run_theorem4 net rng config ~corruption ~inputs ~adv:Mpc.Attacks.t4_output_tamper in
+    checkb "agreement or abort" true
+      (Mpc.Outcome.agreement_or_abort ~equal:Bytes.equal outs corruption)
+  done
+
+let test_theorem4_locality_below_clique () =
+  (* Needs a regime where the committee bias alpha*log n/sqrt(h) is well
+     below 1, otherwise the committee saturates to everyone and the
+     asymptotic locality has not kicked in yet. *)
+  let n = 100 and h = 81 in
+  let config =
+    {
+      Mpc.Local_mpc.params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:1 ();
+      pke = Crypto.Pke.make_simulated ~seed:3 ();
+      circuit = Circuit.parity ~n;
+      input_width = 1;
+    }
+  in
+  let corruption = Netsim.Corruption.none ~n in
+  let inputs = Array.make n 1 in
+  let net = Netsim.Net.create n in
+  let rng = Util.Prng.create 12 in
+  ignore (Mpc.Local_mpc.run_theorem4 net rng config ~corruption ~inputs ~adv:Mpc.Local_mpc.honest_theorem4_adv);
+  checkb "locality below clique" true (Netsim.Net.max_locality net < n - 1)
+
+let test_theorem4_cover_size_override () =
+  (* The E10 experiment sweeps the cover size; check the knob works and a
+     tiny cover leaves parties without output (uncovered → abort).  The
+     committee must not saturate to everyone, or nobody is uncovered. *)
+  let n = 60 and h = 36 in
+  let config =
+    {
+      Mpc.Local_mpc.params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:1 ();
+      pke = Crypto.Pke.make_simulated ~seed:13 ();
+      circuit = Circuit.majority ~n;
+      input_width = 1;
+    }
+  in
+  let corruption = Netsim.Corruption.none ~n in
+  let inputs = Array.init n (fun i -> i mod 2) in
+  let net = Netsim.Net.create n in
+  let rng = Util.Prng.create 13 in
+  let outs, _ =
+    Mpc.Local_mpc.run_theorem4_metered ~cover_size:1 net rng config ~corruption ~inputs
+      ~adv:Mpc.Local_mpc.honest_theorem4_adv
+  in
+  (* With cover size 1 most parties are uncovered; they abort rather than
+     output garbage. *)
+  let aborts = Array.fold_left (fun a o -> a + if Mpc.Outcome.is_abort o then 1 else 0) 0 outs in
+  checkb "uncovered parties abort" true (aborts > 0);
+  checkb "agreement or abort" true
+    (Mpc.Outcome.agreement_or_abort ~equal:Bytes.equal outs corruption)
+
+let () =
+  Alcotest.run "local"
+    [
+      ( "local_committee",
+        [
+          Alcotest.test_case "honest" `Quick test_local_committee_honest;
+          Alcotest.test_case "bias above global" `Quick test_local_committee_size_larger_than_global;
+          Alcotest.test_case "false claims" `Quick test_local_committee_false_claims_bounded;
+        ] );
+      ( "theorem2",
+        [
+          Alcotest.test_case "honest" `Quick test_theorem2_honest;
+          Alcotest.test_case "locality" `Quick test_theorem2_locality;
+          Alcotest.test_case "gossip equivocation" `Quick test_theorem2_gossip_equivocation_safe;
+          Alcotest.test_case "bad partial dec" `Quick test_theorem2_bad_pdec_detected;
+        ] );
+      ( "theorem4",
+        [
+          Alcotest.test_case "honest" `Quick test_theorem4_honest;
+          Alcotest.test_case "metered phases" `Quick test_theorem4_metered_phases;
+          Alcotest.test_case "exchange tamper" `Quick test_theorem4_exchange_tamper_safe;
+          Alcotest.test_case "output tamper" `Quick test_theorem4_output_tamper_safe;
+          Alcotest.test_case "locality below clique" `Quick test_theorem4_locality_below_clique;
+          Alcotest.test_case "cover size override" `Quick test_theorem4_cover_size_override;
+        ] );
+    ]

