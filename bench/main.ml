@@ -6,11 +6,36 @@
      dune exec bench/main.exe                 -- run everything
      dune exec bench/main.exe -- --only E1    -- one experiment
      dune exec bench/main.exe -- --list       -- list experiments
+     dune exec bench/main.exe -- --quick      -- reduced sweeps (CI tier)
+     dune exec bench/main.exe -- --json F     -- also write a JSON report to F
+     dune exec bench/main.exe -- --max-wall-s S   -- exit 2 if wall-clock > S
+     dune exec bench/main.exe -- --diff A B   -- regression-diff two reports
 
    Communication complexity is measured per the paper's definition (§3.1):
    bits sent by all parties in an honest execution. *)
 
 let fmt_bits = Analysis.Table.fmt_bits
+
+(* --quick shrinks the sweep lists so the whole suite fits a CI budget;
+   [pick] selects per-experiment.  Every metered run is also appended to
+   [recorded] so --json can persist a Bench_io report. *)
+let quick = ref false
+let pick ~full ~reduced = if !quick then reduced else full
+
+let recorded : Analysis.Bench_io.run list ref = ref []
+
+let record ~experiment ~series ~n ~h ~bits ~messages ~rounds ~wall_ms =
+  recorded :=
+    { Analysis.Bench_io.experiment; series; n; h; bits; messages; rounds; wall_ms } :: !recorded
+
+let record_net ~experiment ~series ~n ~h ~wall_ms net =
+  record ~experiment ~series ~n ~h ~bits:(Netsim.Net.total_bits net)
+    ~messages:(Netsim.Net.messages_sent net) ~rounds:(Netsim.Net.rounds net) ~wall_ms
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, 1000.0 *. (Unix.gettimeofday () -. t0))
 
 let sim_pke seed = Crypto.Pke.make_simulated ~lwe_params:Crypto.Pke.bench_lwe_params ~seed ()
 
@@ -48,13 +73,14 @@ let e1 () =
     List.map
       (fun n ->
         let h = n / 4 in
-        let net = run_alg3 ~n ~h ~seed:n in
+        let net, wall_ms = timed (fun () -> run_alg3 ~n ~h ~seed:n) in
         let bits = Netsim.Net.total_bits net in
+        record_net ~experiment:"E1" ~series:"n-sweep h=n/4" ~n ~h ~wall_ms net;
         Analysis.Table.add_row t
           [ string_of_int n; string_of_int h; fmt_bits bits;
             Printf.sprintf "%.0f" (float_of_int bits *. float_of_int h /. float_of_int (n * n)) ];
         { Analysis.Complexity.x = float_of_int n; value = float_of_int bits })
-      [ 64; 128; 256; 384; 512 ]
+      (pick ~full:[ 64; 128; 256; 384; 512 ] ~reduced:[ 64; 128; 256 ])
   in
   Analysis.Table.print t;
   ignore (fit_line "exponent in n at fixed h/n (paper: n^2/h = 4n here, so ~1)" ms_n);
@@ -63,11 +89,12 @@ let e1 () =
   let ms_f =
     List.map
       (fun n ->
-        let net = run_alg3 ~n ~h:12 ~seed:(4000 + n) in
+        let net, wall_ms = timed (fun () -> run_alg3 ~n ~h:12 ~seed:(4000 + n)) in
         let bits = Netsim.Net.total_bits net in
+        record_net ~experiment:"E1" ~series:"n-sweep h=12" ~n ~h:12 ~wall_ms net;
         Analysis.Table.add_row tf [ string_of_int n; fmt_bits bits ];
         { Analysis.Complexity.x = float_of_int n; value = float_of_int bits })
-      [ 48; 96; 192; 288 ]
+      (pick ~full:[ 48; 96; 192; 288 ] ~reduced:[ 48; 96; 192 ])
   in
   Analysis.Table.print tf;
   ignore (fit_line "exponent in n at fixed h (paper: ~2)" ms_f);
@@ -76,11 +103,12 @@ let e1 () =
   let ms_h =
     List.map
       (fun h ->
-        let net = run_alg3 ~n:256 ~h ~seed:(1000 + h) in
+        let net, wall_ms = timed (fun () -> run_alg3 ~n:256 ~h ~seed:(1000 + h)) in
         let bits = Netsim.Net.total_bits net in
+        record_net ~experiment:"E1" ~series:"h-sweep n=256" ~n:256 ~h ~wall_ms net;
         Analysis.Table.add_row t2 [ string_of_int h; fmt_bits bits; fmt_bits (bits * h) ];
         { Analysis.Complexity.x = float_of_int h; value = float_of_int bits })
-      [ 16; 32; 64; 128; 224 ]
+      (pick ~full:[ 16; 32; 64; 128; 224 ] ~reduced:[ 32; 64; 128 ])
   in
   Analysis.Table.print t2;
   ignore (fit_line "exponent in h at fixed n (paper: ~-1; the committee-internal |C|^2 terms push toward -2 until h >> log^2 n)" ms_h)
@@ -117,15 +145,16 @@ let e2 () =
       (List.map
          (fun n ->
            let h = n / 4 in
-           let net = run_thm2 ~n ~h ~seed:n in
+           let net, wall_ms = timed (fun () -> run_thm2 ~n ~h ~seed:n) in
            let bits = Netsim.Net.total_bits net in
            let loc = Netsim.Net.max_locality net in
+           record_net ~experiment:"E2" ~series:"n-sweep h=n/4" ~n ~h ~wall_ms net;
            Analysis.Table.add_row t
              [ string_of_int n; string_of_int h; fmt_bits bits; string_of_int loc;
                Printf.sprintf "%.0f" (float_of_int n /. float_of_int h *. log (float_of_int n)) ];
            ( { Analysis.Complexity.x = float_of_int n; value = float_of_int bits },
              { Analysis.Complexity.x = float_of_int n; value = float_of_int loc } ))
-         [ 32; 64; 96; 128 ])
+         (pick ~full:[ 32; 64; 96; 128 ] ~reduced:[ 32; 64; 96 ]))
   in
   Analysis.Table.print t;
   ignore (fit_line "bits exponent in n at fixed h/n (paper: n^3/h = 4n^2 here, so ~2)" ms);
@@ -134,12 +163,13 @@ let e2 () =
   let ms_h =
     List.map
       (fun h ->
-        let net = run_thm2 ~n:96 ~h ~seed:(2000 + h) in
+        let net, wall_ms = timed (fun () -> run_thm2 ~n:96 ~h ~seed:(2000 + h)) in
         let bits = Netsim.Net.total_bits net in
+        record_net ~experiment:"E2" ~series:"h-sweep n=96" ~n:96 ~h ~wall_ms net;
         Analysis.Table.add_row t2
           [ string_of_int h; fmt_bits bits; string_of_int (Netsim.Net.max_locality net) ];
         { Analysis.Complexity.x = float_of_int h; value = float_of_int bits })
-      [ 12; 24; 48; 80 ]
+      (pick ~full:[ 12; 24; 48; 80 ] ~reduced:[ 24; 48; 80 ])
   in
   Analysis.Table.print t2;
   ignore (fit_line "bits exponent in h at fixed n (paper: ~-1; locality shrinks with h too)" ms_h)
@@ -180,13 +210,14 @@ let e3 () =
     List.map
       (fun n ->
         let h = n / 4 in
-        let net, _ = run_thm4 ~n ~h ~seed:n in
+        let (net, _), wall_ms = timed (fun () -> run_thm4 ~n ~h ~seed:n) in
         let bits = Netsim.Net.total_bits net in
+        record_net ~experiment:"E3" ~series:"n-sweep h=n/4" ~n ~h ~wall_ms net;
         Analysis.Table.add_row t
           [ string_of_int n; string_of_int h; fmt_bits bits;
             string_of_int (Netsim.Net.max_locality net); string_of_int (n - 1) ];
         { Analysis.Complexity.x = float_of_int n; value = float_of_int bits })
-      [ 32; 64; 96; 128; 160 ]
+      (pick ~full:[ 32; 64; 96; 128; 160 ] ~reduced:[ 32; 64; 96 ])
   in
   Analysis.Table.print t;
   ignore (fit_line "bits exponent in n at fixed h/n (paper: n^3/h^1.5 = 8n^1.5 here; committee saturation inflates it)" ms);
@@ -198,13 +229,14 @@ let e3 () =
   let ms_h =
     List.map
       (fun h ->
-        let net, _ = run_thm4 ~n:128 ~h ~seed:(3000 + h) in
+        let (net, _), wall_ms = timed (fun () -> run_thm4 ~n:128 ~h ~seed:(3000 + h)) in
         let bits = Netsim.Net.total_bits net in
+        record_net ~experiment:"E3" ~series:"h-sweep n=128" ~n:128 ~h ~wall_ms net;
         Analysis.Table.add_row t2
           [ string_of_int h; fmt_bits bits; string_of_int (Netsim.Net.max_locality net);
             Printf.sprintf "%.0f" (128.0 /. sqrt (float_of_int h)) ];
         { Analysis.Complexity.x = float_of_int h; value = float_of_int bits })
-      [ 16; 32; 64; 100 ]
+      (pick ~full:[ 16; 32; 64; 100 ] ~reduced:[ 32; 64; 100 ])
   in
   Analysis.Table.print t2;
   ignore (fit_line "bits exponent in h at fixed n (paper: ~-1.5)" ms_h)
@@ -232,7 +264,9 @@ let e4 () =
         (fun degree ->
           let rng = Util.Prng.create (n + h + degree) in
           let rates =
-            Mpc.Lower_bound.measure rng ~n ~h ~degree ~trials:400 ~victim_is_sender:false
+            Mpc.Lower_bound.measure rng ~n ~h ~degree
+              ~trials:(pick ~full:400 ~reduced:80)
+              ~victim_is_sender:false
           in
           Analysis.Table.add_row t
             [ string_of_int degree;
@@ -315,23 +349,34 @@ let e6 () =
     (fun (n, h) ->
       let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:2 () in
       let rng0 = Util.Prng.create (n * h) in
-      let trials = 20 in
+      let trials = pick ~full:20 ~reduced:5 in
       let bits_acc = ref 0 and size_acc = ref 0 in
+      let msgs_acc = ref 0 and rounds_acc = ref 0 in
       let member_ok = ref 0 and consistent = ref 0 and aborts = ref 0 in
-      for seed = 1 to trials do
-        let corruption = Netsim.Corruption.random rng0 ~n ~h in
-        let net = Netsim.Net.create n in
-        let rng = Util.Prng.create seed in
-        let outs = Mpc.Committee.run net rng params ~corruption ~adv:Mpc.Committee.honest_adv in
-        bits_acc := !bits_acc + Netsim.Net.total_bits net;
-        if Mpc.Outcome.some_honest_aborted outs corruption then incr aborts;
-        match Mpc.Committee.consistent_committee outs corruption with
-        | Some c ->
-          incr consistent;
-          size_acc := !size_acc + List.length c;
-          if List.exists (Netsim.Corruption.is_honest corruption) c then incr member_ok
-        | None -> ()
-      done;
+      let (), wall_ms =
+        timed (fun () ->
+            for seed = 1 to trials do
+              let corruption = Netsim.Corruption.random rng0 ~n ~h in
+              let net = Netsim.Net.create n in
+              let rng = Util.Prng.create seed in
+              let outs =
+                Mpc.Committee.run net rng params ~corruption ~adv:Mpc.Committee.honest_adv
+              in
+              bits_acc := !bits_acc + Netsim.Net.total_bits net;
+              msgs_acc := !msgs_acc + Netsim.Net.messages_sent net;
+              rounds_acc := !rounds_acc + Netsim.Net.rounds net;
+              if Mpc.Outcome.some_honest_aborted outs corruption then incr aborts;
+              match Mpc.Committee.consistent_committee outs corruption with
+              | Some c ->
+                incr consistent;
+                size_acc := !size_acc + List.length c;
+                if List.exists (Netsim.Corruption.is_honest corruption) c then incr member_ok
+              | None -> ()
+            done)
+      in
+      record ~experiment:"E6"
+        ~series:(Printf.sprintf "%d-trial total" trials)
+        ~n ~h ~bits:!bits_acc ~messages:!msgs_acc ~rounds:!rounds_acc ~wall_ms;
       Analysis.Table.add_row t
         [ string_of_int n; string_of_int h; fmt_bits (!bits_acc / trials);
           string_of_int (!size_acc / max 1 !consistent);
@@ -339,7 +384,9 @@ let e6 () =
           Printf.sprintf "%d/%d" !member_ok trials;
           Printf.sprintf "%d/%d" !consistent trials;
           Printf.sprintf "%d/%d" !aborts trials ])
-    [ (64, 16); (128, 32); (256, 64); (512, 128) ];
+    (pick
+       ~full:[ (64, 16); (128, 32); (256, 64); (512, 128) ]
+       ~reduced:[ (64, 16); (128, 32); (256, 64) ]);
   Analysis.Table.print t
 
 (* ------------------------------------------------------------------ *)
@@ -357,28 +404,42 @@ let e7 () =
     (fun (n, h) ->
       let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:3 () in
       let rng0 = Util.Prng.create (7 * n) in
-      let trials = 20 in
+      let trials = pick ~full:20 ~reduced:5 in
       let connected = ref 0 and aborts = ref 0 and maxdeg = ref 0 in
-      for seed = 1 to trials do
-        let corruption = Netsim.Corruption.random rng0 ~n ~h in
-        let net = Netsim.Net.create n in
-        let rng = Util.Prng.create seed in
-        let outs =
-          Mpc.Sparse_network.run net rng params ~corruption ~adv:Mpc.Sparse_network.honest_adv
-        in
-        maxdeg := max !maxdeg (Mpc.Sparse_network.max_degree outs);
-        if Mpc.Sparse_network.honest_subgraph_connected outs corruption then incr connected;
-        if
-          List.exists
-            (fun i -> Mpc.Outcome.is_abort outs.(i))
-            (Netsim.Corruption.honest_list corruption)
-        then incr aborts
-      done;
+      let bits_acc = ref 0 and msgs_acc = ref 0 and rounds_acc = ref 0 in
+      let (), wall_ms =
+        timed (fun () ->
+            for seed = 1 to trials do
+              let corruption = Netsim.Corruption.random rng0 ~n ~h in
+              let net = Netsim.Net.create n in
+              let rng = Util.Prng.create seed in
+              let outs =
+                Mpc.Sparse_network.run net rng params ~corruption
+                  ~adv:Mpc.Sparse_network.honest_adv
+              in
+              bits_acc := !bits_acc + Netsim.Net.total_bits net;
+              msgs_acc := !msgs_acc + Netsim.Net.messages_sent net;
+              rounds_acc := !rounds_acc + Netsim.Net.rounds net;
+              maxdeg := max !maxdeg (Mpc.Sparse_network.max_degree outs);
+              if Mpc.Sparse_network.honest_subgraph_connected outs corruption then
+                incr connected;
+              if
+                List.exists
+                  (fun i -> Mpc.Outcome.is_abort outs.(i))
+                  (Netsim.Corruption.honest_list corruption)
+              then incr aborts
+            done)
+      in
+      record ~experiment:"E7"
+        ~series:(Printf.sprintf "%d-trial total" trials)
+        ~n ~h ~bits:!bits_acc ~messages:!msgs_acc ~rounds:!rounds_acc ~wall_ms;
       Analysis.Table.add_row t
         [ string_of_int n; string_of_int h; string_of_int (Mpc.Params.sparse_degree params);
           string_of_int !maxdeg; string_of_int (3 * Mpc.Params.sparse_degree params);
           Printf.sprintf "%d/%d" !connected trials; Printf.sprintf "%d/%d" !aborts trials ])
-    [ (64, 16); (128, 32); (256, 64); (512, 256) ];
+    (pick
+       ~full:[ (64, 16); (128, 32); (256, 64); (512, 256) ]
+       ~reduced:[ (64, 16); (128, 32); (256, 64) ]);
   Analysis.Table.print t
 
 (* ------------------------------------------------------------------ *)
@@ -402,7 +463,7 @@ let e8 () =
       let s = Mpc.Params.cover_size params in
       let p = Mpc.Params.local_committee_prob params in
       let rng = Util.Prng.create (n + h) in
-      let trials = 50 in
+      let trials = pick ~full:50 ~reduced:20 in
       let covered_all = ref 0 and honest_members_acc = ref 0 in
       for _ = 1 to trials do
         let committee = Util.Prng.subset_bernoulli rng ~n ~p in
@@ -442,18 +503,20 @@ let e9 () =
       let corruption = Netsim.Corruption.none ~n in
       let participants = List.init n (fun i -> i) in
       let input i = Crypto.Kdf.expand ~key:(Bytes.of_string (string_of_int i)) ~info:"e9" 512 in
-      let cost variant =
+      let cost name variant =
         let net = Netsim.Net.create n in
         let rng = Util.Prng.create n in
-        let outs =
-          Mpc.All_to_all.run net rng params ~variant ~participants ~input ~corruption
-            ~adv:Mpc.All_to_all.honest_adv
+        let outs, wall_ms =
+          timed (fun () ->
+              Mpc.All_to_all.run net rng params ~variant ~participants ~input ~corruption
+                ~adv:Mpc.All_to_all.honest_adv)
         in
         assert (List.for_all (fun (_, o) -> Mpc.Outcome.is_output o) outs);
+        record_net ~experiment:"E9" ~series:name ~n ~h:(n / 2) ~wall_ms net;
         Netsim.Net.total_bits net
       in
-      let naive = cost Mpc.All_to_all.Naive in
-      let fp = cost Mpc.All_to_all.Fingerprinted in
+      let naive = cost "naive 512B" Mpc.All_to_all.Naive in
+      let fp = cost "fingerprinted 512B" Mpc.All_to_all.Fingerprinted in
       ratios := (float_of_int n, float_of_int naive /. float_of_int fp) :: !ratios;
       Analysis.Table.add_row t
         [ string_of_int n; fmt_bits naive; fmt_bits fp;
@@ -492,10 +555,12 @@ let e10 () =
     (fun s ->
       let net = Netsim.Net.create n in
       let rng = Util.Prng.create (100 + s) in
-      let outs, costs =
-        Mpc.Local_mpc.run_theorem4_metered ~cover_size:s net rng config ~corruption ~inputs
-          ~adv:Mpc.Local_mpc.honest_theorem4_adv
+      let (outs, costs), wall_ms =
+        timed (fun () ->
+            Mpc.Local_mpc.run_theorem4_metered ~cover_size:s net rng config ~corruption
+              ~inputs ~adv:Mpc.Local_mpc.honest_theorem4_adv)
       in
+      record_net ~experiment:"E10" ~series:(Printf.sprintf "cover s=%d" s) ~n ~h ~wall_ms net;
       let aborts =
         Array.fold_left (fun a o -> a + if Mpc.Outcome.is_abort o then 1 else 0) 0 outs
       in
@@ -506,7 +571,7 @@ let e10 () =
           fmt_bits costs.Mpc.Local_mpc.equality_bits;
           fmt_bits (costs.Mpc.Local_mpc.keygen_bits + costs.Mpc.Local_mpc.compute_bits);
           fmt_bits (Netsim.Net.total_bits net); string_of_int aborts ])
-    [ 1; 2; 5; 19; 38; 96 ];
+    (pick ~full:[ 1; 2; 5; 19; 38; 96 ] ~reduced:[ 2; 5; 19; 38 ]);
   Analysis.Table.print t;
   Printf.printf
     "shape check: small s under-covers (aborts); large s inflates the exchange\n\
@@ -528,7 +593,8 @@ let e11 () =
   let corruption = Netsim.Corruption.none ~n in
   let row name f =
     let net = Netsim.Net.create n in
-    f net;
+    let (), wall_ms = timed (fun () -> f net) in
+    record_net ~experiment:"E11" ~series:name ~n ~h ~wall_ms net;
     Analysis.Table.add_row t
       [ name; string_of_int (Netsim.Net.rounds net); fmt_bits (Netsim.Net.total_bits net);
         string_of_int (Netsim.Net.max_locality net) ]
@@ -624,7 +690,13 @@ let e12 () =
   in
   let grouped = Test.make_grouped ~name:"crypto" ~fmt:"%s/%s" tests in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:1000 ~stabilize:false ~quota:(Time.second 0.25) () in
+  let cfg =
+    Benchmark.cfg
+      ~limit:(pick ~full:1000 ~reduced:200)
+      ~stabilize:false
+      ~quota:(Time.second (pick ~full:0.25 ~reduced:0.05))
+      ()
+  in
   let raw = Benchmark.all cfg instances grouped in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
   let results = Analyze.all ols Instance.monotonic_clock raw in
@@ -665,9 +737,13 @@ let e13 () =
       let gmw_bits =
         let net = Netsim.Net.create n in
         let rng = Util.Prng.create n in
-        ignore
-          (Mpc.Gmw.run net rng ~circuit ~input_width:1 ~inputs ~corruption
-             ~adv:Mpc.Gmw.honest_adv);
+        let (), wall_ms =
+          timed (fun () ->
+              ignore
+                (Mpc.Gmw.run net rng ~circuit ~input_width:1 ~inputs ~corruption
+                   ~adv:Mpc.Gmw.honest_adv))
+        in
+        record_net ~experiment:"E13" ~series:"gmw majority" ~n ~h:0 ~wall_ms net;
         Netsim.Net.total_bits net
       in
       let alg3_bits =
@@ -677,8 +753,13 @@ let e13 () =
         in
         let net = Netsim.Net.create n in
         let rng = Util.Prng.create (n + 1) in
-        ignore
-          (Mpc.Mpc_abort.run net rng config ~corruption ~inputs ~adv:Mpc.Mpc_abort.honest_adv);
+        let (), wall_ms =
+          timed (fun () ->
+              ignore
+                (Mpc.Mpc_abort.run net rng config ~corruption ~inputs
+                   ~adv:Mpc.Mpc_abort.honest_adv))
+        in
+        record_net ~experiment:"E13" ~series:"alg3 majority h=n/4" ~n ~h:(n / 4) ~wall_ms net;
         Netsim.Net.total_bits net
       in
       Analysis.Table.add_row t
@@ -687,7 +768,7 @@ let e13 () =
           (if gmw_bits < alg3_bits then
              Printf.sprintf "GMW %.1fx" (float_of_int alg3_bits /. float_of_int gmw_bits)
            else Printf.sprintf "Alg3 %.1fx" (float_of_int gmw_bits /. float_of_int alg3_bits)) ])
-    [ 16; 32; 64; 128; 256; 384 ];
+    (pick ~full:[ 16; 32; 64; 128; 256; 384 ] ~reduced:[ 16; 32; 64; 128 ]);
   Analysis.Table.print t;
   Printf.printf
     "shape check: GMW wins at small n (tiny constants), Algorithm 3 overtakes\n\
@@ -738,9 +819,14 @@ let e14 () =
       let rng = Util.Prng.create width in
       let yao_bits =
         let net = Netsim.Net.create 2 in
-        (match Mpc.Two_party.run net rng ~circuit ~input_width:width ~x0:1 ~x1:2 with
-        | Mpc.Outcome.Output _ -> ()
-        | Mpc.Outcome.Abort r -> failwith (Mpc.Outcome.reason_to_string r));
+        let (), wall_ms =
+          timed (fun () ->
+              match Mpc.Two_party.run net rng ~circuit ~input_width:width ~x0:1 ~x1:2 with
+              | Mpc.Outcome.Output _ -> ()
+              | Mpc.Outcome.Abort r -> failwith (Mpc.Outcome.reason_to_string r))
+        in
+        record_net ~experiment:"E14" ~series:(Printf.sprintf "yao w=%d" width) ~n:2 ~h:1
+          ~wall_ms net;
         Netsim.Net.total_bits net
       in
       let alg3_bits =
@@ -751,9 +837,14 @@ let e14 () =
         in
         let net = Netsim.Net.create 2 in
         let corruption = Netsim.Corruption.none ~n:2 in
-        ignore
-          (Mpc.Mpc_abort.run net rng config ~corruption ~inputs:[| 1; 2 |]
-             ~adv:Mpc.Mpc_abort.honest_adv);
+        let (), wall_ms =
+          timed (fun () ->
+              ignore
+                (Mpc.Mpc_abort.run net rng config ~corruption ~inputs:[| 1; 2 |]
+                   ~adv:Mpc.Mpc_abort.honest_adv))
+        in
+        record_net ~experiment:"E14" ~series:(Printf.sprintf "alg3 w=%d" width) ~n:2 ~h:1
+          ~wall_ms net;
         Netsim.Net.total_bits net
       in
       Analysis.Table.add_row t2
@@ -784,34 +875,90 @@ let experiments =
     ("E14", "Remark 10: depth-based vs size-based cost", e14);
   ]
 
+let iso_date () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+
+let find_arg args flag =
+  let rec go = function
+    | f :: v :: _ when f = flag -> Some v
+    | _ :: rest -> go rest
+    | [] -> None
+  in
+  go args
+
 let () =
   let args = Array.to_list Sys.argv in
-  if List.mem "--list" args then
-    List.iter (fun (id, desc, _) -> Printf.printf "%-4s %s\n" id desc) experiments
-  else begin
-    let only =
-      let rec find = function
-        | "--only" :: id :: _ -> Some id
-        | _ :: rest -> find rest
-        | [] -> None
+  let rec find_diff = function
+    | "--diff" :: a :: b :: _ -> Some (a, b)
+    | _ :: rest -> find_diff rest
+    | [] -> None
+  in
+  match find_diff args with
+  | Some (a, b) ->
+    (* Regression-diff two saved reports; exit 1 on accounting drift so CI
+       can gate on it (wall-clock changes alone do not fail the diff). *)
+    let load path =
+      try Analysis.Bench_io.load path with
+      | Sys_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+      | Failure msg | Analysis.Json.Parse_error msg ->
+        Printf.eprintf "error: %s is not a bench report: %s\n" path msg;
+        exit 1
+    in
+    let before = load a and after = load b in
+    let drifted = Analysis.Bench_io.print_diff ~before ~after in
+    exit (if drifted > 0 then 1 else 0)
+  | None ->
+    if List.mem "--list" args then
+      List.iter (fun (id, desc, _) -> Printf.printf "%-4s %s\n" id desc) experiments
+    else begin
+      quick := List.mem "--quick" args;
+      let json_path = find_arg args "--json" in
+      let max_wall_s = Option.map float_of_string (find_arg args "--max-wall-s") in
+      let selected =
+        match find_arg args "--only" with
+        | None -> experiments
+        | Some id -> List.filter (fun (eid, _, _) -> eid = id) experiments
       in
-      find args
-    in
-    let selected =
-      match only with
-      | None -> experiments
-      | Some id -> List.filter (fun (eid, _, _) -> eid = id) experiments
-    in
-    if selected = [] then begin
-      Printf.eprintf "unknown experiment; use --list\n";
-      exit 1
-    end;
-    let t0 = Unix.gettimeofday () in
-    List.iter
-      (fun (_, _, f) ->
-        let s = Unix.gettimeofday () in
-        f ();
-        Printf.printf "[%.1fs]\n%!" (Unix.gettimeofday () -. s))
-      selected;
-    Printf.printf "\nall experiments done in %.1fs\n" (Unix.gettimeofday () -. t0)
-  end
+      if selected = [] then begin
+        Printf.eprintf "unknown experiment; use --list\n";
+        exit 1
+      end;
+      let t0 = Unix.gettimeofday () in
+      let experiment_wall_ms =
+        List.map
+          (fun (id, _, f) ->
+            let s = Unix.gettimeofday () in
+            f ();
+            let ms = 1000.0 *. (Unix.gettimeofday () -. s) in
+            Printf.printf "[%.1fs]\n%!" (ms /. 1000.0);
+            (id, ms))
+          selected
+      in
+      let total_wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+      Printf.printf "\nall experiments done in %.1fs%s\n" (total_wall_ms /. 1000.0)
+        (if !quick then " (quick tier)" else "");
+      (match json_path with
+      | Some path ->
+        let report =
+          {
+            Analysis.Bench_io.date = iso_date ();
+            quick = !quick;
+            total_wall_ms;
+            experiment_wall_ms;
+            runs = List.rev !recorded;
+          }
+        in
+        Analysis.Bench_io.save path report;
+        Printf.printf "wrote %d run records to %s\n" (List.length report.Analysis.Bench_io.runs)
+          path
+      | None -> ());
+      match max_wall_s with
+      | Some budget when total_wall_ms > 1000.0 *. budget ->
+        Printf.eprintf "wall-clock budget exceeded: %.1fs > %.1fs\n" (total_wall_ms /. 1000.0)
+          budget;
+        exit 2
+      | _ -> ()
+    end

@@ -1,0 +1,160 @@
+let schema = "mpc-aborts-bench/1"
+
+type run = {
+  experiment : string;
+  series : string;
+  n : int;
+  h : int;
+  bits : int;
+  messages : int;
+  rounds : int;
+  wall_ms : float;
+}
+
+type report = {
+  date : string;
+  quick : bool;
+  total_wall_ms : float;
+  experiment_wall_ms : (string * float) list;
+  runs : run list;
+}
+
+(* ---- JSON encoding ---- *)
+
+let run_to_json r =
+  Json.Obj
+    [
+      ("experiment", Json.String r.experiment);
+      ("series", Json.String r.series);
+      ("n", Json.Int r.n);
+      ("h", Json.Int r.h);
+      ("bits", Json.Int r.bits);
+      ("messages", Json.Int r.messages);
+      ("rounds", Json.Int r.rounds);
+      ("wall_ms", Json.Float r.wall_ms);
+    ]
+
+let report_to_json rep =
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("date", Json.String rep.date);
+      ("quick", Json.Bool rep.quick);
+      ("total_wall_ms", Json.Float rep.total_wall_ms);
+      ( "experiments",
+        Json.List
+          (List.map
+             (fun (id, ms) ->
+               Json.Obj [ ("experiment", Json.String id); ("wall_ms", Json.Float ms) ])
+             rep.experiment_wall_ms) );
+      ("runs", Json.List (List.map run_to_json rep.runs));
+    ]
+
+(* ---- JSON decoding ---- *)
+
+let field name get j =
+  match Option.bind (Json.member name j) get with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "Bench_io: missing or malformed field %S" name)
+
+let run_of_json j =
+  {
+    experiment = field "experiment" Json.get_string j;
+    series = field "series" Json.get_string j;
+    n = field "n" Json.get_int j;
+    h = field "h" Json.get_int j;
+    bits = field "bits" Json.get_int j;
+    messages = field "messages" Json.get_int j;
+    rounds = field "rounds" Json.get_int j;
+    wall_ms = field "wall_ms" Json.get_float j;
+  }
+
+let report_of_json j =
+  (match Json.member "schema" j with
+  | Some (Json.String s) when s = schema -> ()
+  | Some (Json.String s) -> failwith (Printf.sprintf "Bench_io: unknown schema %S" s)
+  | _ -> failwith "Bench_io: missing schema field");
+  {
+    date = field "date" Json.get_string j;
+    quick = (match Option.bind (Json.member "quick" j) Json.get_bool with Some b -> b | None -> false);
+    total_wall_ms = field "total_wall_ms" Json.get_float j;
+    experiment_wall_ms =
+      field "experiments" Json.get_list j
+      |> List.map (fun e -> (field "experiment" Json.get_string e, field "wall_ms" Json.get_float e));
+    runs = field "runs" Json.get_list j |> List.map run_of_json;
+  }
+
+let save path rep =
+  let oc = open_out path in
+  output_string oc (Json.to_string ~pretty:true (report_to_json rep));
+  close_out oc
+
+let load path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  report_of_json (Json.parse s)
+
+(* ---- diffing two reports ---- *)
+
+let run_key r = (r.experiment, r.series, r.n, r.h)
+
+let pct_delta ~before ~after =
+  if after = before then "="
+  else if before = 0 then "new"
+  else
+    let pct = 100.0 *. (float_of_int after -. float_of_int before) /. float_of_int before in
+    (* Never let a real drift round down to a clean-looking 0.0%. *)
+    if Float.abs pct < 0.05 then Printf.sprintf "%+d" (after - before)
+    else Printf.sprintf "%+.1f%%" pct
+
+let speedup ~before ~after =
+  if after <= 0.0 then "-" else Printf.sprintf "%.2fx" (before /. after)
+
+let diff_table ~before ~after =
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "bench diff: %s (%s) vs %s (%s)" before.date
+           (if before.quick then "quick" else "full")
+           after.date
+           (if after.quick then "quick" else "full"))
+      ~columns:[ "experiment"; "series"; "n"; "h"; "bits"; "d-bits"; "d-msgs"; "d-rounds"; "speedup" ]
+  in
+  let after_tbl = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace after_tbl (run_key r) r) after.runs;
+  let matched = ref 0 and drifted = ref 0 in
+  List.iter
+    (fun b ->
+      match Hashtbl.find_opt after_tbl (run_key b) with
+      | None -> ()
+      | Some a ->
+        incr matched;
+        if a.bits <> b.bits || a.messages <> b.messages || a.rounds <> b.rounds then incr drifted;
+        Table.add_row t
+          [
+            b.experiment;
+            b.series;
+            string_of_int b.n;
+            string_of_int b.h;
+            Table.fmt_bits a.bits;
+            pct_delta ~before:b.bits ~after:a.bits;
+            pct_delta ~before:b.messages ~after:a.messages;
+            pct_delta ~before:b.rounds ~after:a.rounds;
+            speedup ~before:b.wall_ms ~after:a.wall_ms;
+          ])
+    before.runs;
+  (t, !matched, !drifted)
+
+let print_diff ~before ~after =
+  let t, matched, drifted = diff_table ~before ~after in
+  Table.print t;
+  Printf.printf
+    "\n%d comparable runs; %d with accounting drift (bits/messages/rounds changed).\n\
+     total wall: %.1fs -> %.1fs (%s)\n"
+    matched drifted
+    (before.total_wall_ms /. 1000.0)
+    (after.total_wall_ms /. 1000.0)
+    (speedup ~before:before.total_wall_ms ~after:after.total_wall_ms);
+  drifted

@@ -1,0 +1,52 @@
+(** Persisted benchmark reports: the [--json] output of [bench/main.exe]
+    and the regression-diff logic behind its [--diff] mode.
+
+    A report is a JSON object (schema {!schema}) holding one {!run} record
+    per metered protocol execution — experiment id, series label, (n, h),
+    the simulator's accounting counters, and wall-clock — plus per-
+    experiment and total wall times.  Two reports from different commits
+    can be diffed to catch both performance regressions (wall-clock) and
+    accounting drift (bits/messages/rounds changing without a deliberate
+    protocol change). *)
+
+val schema : string
+
+type run = {
+  experiment : string;  (** e.g. ["E1"] *)
+  series : string;  (** which sweep within the experiment, e.g. ["n-sweep h=n/4"] *)
+  n : int;
+  h : int;
+  bits : int;  (** total bits sent, the paper's §3.1 communication measure *)
+  messages : int;
+  rounds : int;
+  wall_ms : float;
+}
+
+type report = {
+  date : string;  (** ISO-8601 UTC *)
+  quick : bool;  (** produced by the reduced [--quick] CI tier *)
+  total_wall_ms : float;
+  experiment_wall_ms : (string * float) list;
+  runs : run list;
+}
+
+val report_to_json : report -> Json.t
+
+(** Raises [Failure] on schema mismatch or malformed fields. *)
+val report_of_json : Json.t -> report
+
+(** [save path report] — pretty-printed JSON, trailing newline. *)
+val save : string -> report -> unit
+
+(** [load path] — raises [Sys_error] / [Failure] / {!Json.Parse_error}. *)
+val load : string -> report
+
+(** [diff_table ~before ~after] — one row per run present in both reports
+    (matched on experiment/series/n/h): accounting deltas and wall-clock
+    speedup.  Also returns (matched, drifted) counts, where a drifted run
+    changed bits, messages, or rounds. *)
+val diff_table : before:report -> after:report -> Table.t * int * int
+
+(** [print_diff ~before ~after] prints the table plus a summary line and
+    returns the number of drifted runs (for use as an exit status). *)
+val print_diff : before:report -> after:report -> int

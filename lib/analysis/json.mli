@@ -1,0 +1,33 @@
+(** Minimal JSON values: just enough to persist and reload benchmark
+    reports ({!Bench_io}) without external dependencies.
+
+    [to_string] and [parse] round-trip every value this library produces;
+    the parser handles standard JSON with the caveat that [\u] escapes
+    outside ASCII decode to ['?'] (the reports never emit them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(** [to_string ?pretty v] — compact by default; [~pretty:true] indents by
+    two spaces and ends with a newline (the on-disk report format). *)
+val to_string : ?pretty:bool -> t -> string
+
+(** [parse s] — raises {!Parse_error} on malformed input. *)
+val parse : string -> t
+
+(** {1 Accessors} — all total, returning [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+val get_int : t -> int option
+val get_float : t -> float option
+val get_string : t -> string option
+val get_bool : t -> bool option
+val get_list : t -> t list option

@@ -33,6 +33,18 @@ let run net rng params ~p1 ~p2 ~m1 ~m2 =
 
 let pairwise net rng params ~members ~value ~corruption ~adv =
   let members_arr = Array.of_list members in
+  (* Callers often encode large views in [value]; evaluate once per member
+     (it is consulted again for sizing and for tamper-recovery checks). *)
+  let value =
+    let cache = Hashtbl.create 16 in
+    fun i ->
+      match Hashtbl.find_opt cache i with
+      | Some v -> v
+      | None ->
+        let v = value i in
+        Hashtbl.replace cache i v;
+        v
+  in
   let k = Array.length members_arr in
   let ok = Hashtbl.create k in
   List.iter (fun m -> Hashtbl.replace ok m true) members;

@@ -7,34 +7,58 @@ type adv = {
 
 let honest_adv = { equivocate = None; forge = None; drop = None; spread_warning = true }
 
-(* Wire format: tag 0 = rumor (origin, value); tag 1 = warning. *)
-let encode_rumor origin value =
+(* Wire format: everything a party says to one neighbor in one round rides
+   in a single batched message instead of many tiny ones.  A batch is a
+   varint item count, a {!Bitpack}ed item-kind bitmap (bit k set = item k
+   is a warning, clear = rumor), then the rumor bodies (varint origin,
+   length-prefixed value) in item order.  The per-item tag byte of the old
+   one-message-per-rumor format becomes one bit, and per-round message
+   counts drop from O(rumors x degree) to O(degree). *)
+type item = Rumor of int * bytes | Warning
+
+type parsed = Batch of item list | Garbage
+
+let encode_batch items =
   Util.Codec.encode
-    (fun w () ->
-      Util.Codec.write_byte w 0;
-      Util.Codec.write_varint w origin;
-      Util.Codec.write_bytes w value)
-    ()
-
-let warning_msg =
-  Util.Codec.encode (fun w () -> Util.Codec.write_byte w 1) ()
-
-type parsed = Rumor of int * bytes | Warning | Garbage
+    (fun w items ->
+      Util.Codec.write_varint w (List.length items);
+      let kinds =
+        Array.of_list (List.map (function Warning -> true | Rumor _ -> false) items)
+      in
+      Util.Codec.write_raw w (Bitpack.pack kinds);
+      List.iter
+        (function
+          | Warning -> ()
+          | Rumor (origin, value) ->
+            Util.Codec.write_varint w origin;
+            Util.Codec.write_bytes w value)
+        items)
+    items
 
 let parse payload =
   match
     Util.Codec.decode
       (fun r ->
-        match Util.Codec.read_byte r with
-        | 0 ->
-          let origin = Util.Codec.read_varint r in
-          let value = Util.Codec.read_bytes r in
-          Rumor (origin, value)
-        | 1 -> Warning
-        | _ -> Garbage)
+        let count = Util.Codec.read_varint r in
+        if count < 0 || count > 8 * Bytes.length payload then
+          raise (Util.Codec.Decode_error "bad batch count");
+        let kinds = Bitpack.unpack (Util.Codec.read_raw r ((count + 7) / 8)) ~nbits:count in
+        let items = ref [] in
+        for k = 0 to count - 1 do
+          let it =
+            if kinds.(k) then Warning
+            else begin
+              let origin = Util.Codec.read_varint r in
+              let value = Util.Codec.read_bytes r in
+              Rumor (origin, value)
+            end
+          in
+          items := it :: !items
+        done;
+        List.rev !items)
       payload
   with
-  | v -> v
+  | items -> Batch items
   | exception Util.Codec.Decode_error _ -> Garbage
 
 let run net _rng _params ~graph ~sources ~corruption ~adv =
@@ -45,9 +69,30 @@ let run net _rng _params ~graph ~sources ~corruption ~adv =
   let forwarded = Array.init n (fun _ -> Hashtbl.create 8) in
   let warned = Array.make n false in
   let warning_sent = Array.make n false in
-  (* Outgoing queue for the current round: (src, dst, payload). *)
+  (* Outgoing queue for the current round: (src, dst, item), newest first.
+     Items are grouped per (src, dst) pair into one batched message at
+     flush time, preserving enqueue order within the pair. *)
   let queue = ref [] in
-  let enqueue src dst payload = queue := (src, dst, payload) :: !queue in
+  let enqueue src dst item = queue := (src, dst, item) :: !queue in
+  let flush () =
+    let msgs = List.rev !queue in
+    queue := [];
+    let batches : (int * int, item list ref) Hashtbl.t = Hashtbl.create 64 in
+    let order = ref [] in
+    List.iter
+      (fun (src, dst, item) ->
+        match Hashtbl.find_opt batches (src, dst) with
+        | Some items -> items := item :: !items
+        | None ->
+          Hashtbl.add batches (src, dst) (ref [ item ]);
+          order := (src, dst) :: !order)
+      msgs;
+    List.iter
+      (fun (src, dst) ->
+        let items = List.rev !(Hashtbl.find batches (src, dst)) in
+        Netsim.Net.send net ~src ~dst (encode_batch items))
+      (List.rev !order)
+  in
   let neighbors i = Util.Iset.to_sorted_list graph.(i) in
   let forward_rumor me origin value =
     if not (Hashtbl.mem forwarded.(me) origin) then begin
@@ -67,7 +112,7 @@ let run net _rng _params ~graph ~sources ~corruption ~adv =
                   | None -> value
                 else value
               in
-              enqueue me dst (encode_rumor origin v)
+              enqueue me dst (Rumor (origin, v))
             end
           end)
         (neighbors me)
@@ -77,7 +122,7 @@ let run net _rng _params ~graph ~sources ~corruption ~adv =
     if not warning_sent.(me) then begin
       warning_sent.(me) <- true;
       if (not (is_corrupt me)) || adv.spread_warning then
-        List.iter (fun dst -> if dst <> me then enqueue me dst warning_msg) (neighbors me)
+        List.iter (fun dst -> if dst <> me then enqueue me dst Warning) (neighbors me)
     end
   in
   (* Round 0: sources inject their own rumors; corrupted parties may also
@@ -96,7 +141,7 @@ let run net _rng _params ~graph ~sources ~corruption ~adv =
             (* Forged rumors bypass the "heard" bookkeeping: the forger
                just transmits them. *)
             List.iter
-              (fun dst -> if dst <> i then enqueue i dst (encode_rumor origin value))
+              (fun dst -> if dst <> i then enqueue i dst (Rumor (origin, value)))
               (neighbors i))
           (f ~me:i)
       | None -> ()
@@ -106,37 +151,38 @@ let run net _rng _params ~graph ~sources ~corruption ~adv =
   let round = ref 0 in
   while !queue <> [] && !round < max_rounds do
     incr round;
-    let msgs = !queue in
-    queue := [];
-    List.iter (fun (src, dst, payload) -> Netsim.Net.send net ~src ~dst payload) msgs;
+    flush ();
     Netsim.Net.step net;
     for me = 0 to n - 1 do
       let inbox = Netsim.Net.recv net ~dst:me in
+      let on_item = function
+        | Warning ->
+          if not warned.(me) then begin
+            warned.(me) <- true;
+            send_warning me
+          end
+        | Rumor (origin, value) ->
+          if not warned.(me) then begin
+            match Hashtbl.find_opt heard.(me) origin with
+            | None ->
+              Hashtbl.replace heard.(me) origin value;
+              forward_rumor me origin value
+            | Some prev ->
+              if not (Bytes.equal prev value) then begin
+                (* Equivocation detected: warn and abort. *)
+                warned.(me) <- true;
+                send_warning me
+              end
+          end
+      in
       List.iter
         (fun (_, payload) ->
           match parse payload with
-          | Warning ->
-            if not warned.(me) then begin
-              warned.(me) <- true;
-              send_warning me
-            end
+          | Batch items -> List.iter on_item items
           | Garbage ->
             if not warned.(me) then begin
               warned.(me) <- true;
               send_warning me
-            end
-          | Rumor (origin, value) ->
-            if not warned.(me) then begin
-              match Hashtbl.find_opt heard.(me) origin with
-              | None ->
-                Hashtbl.replace heard.(me) origin value;
-                forward_rumor me origin value
-              | Some prev ->
-                if not (Bytes.equal prev value) then begin
-                  (* Equivocation detected: warn and abort. *)
-                  warned.(me) <- true;
-                  send_warning me
-                end
             end)
         inbox
     done

@@ -11,7 +11,15 @@ let decode_fp b =
 let run net rng params ~claims ~views ~corruption ~eq ~aborted =
   let n = Netsim.Net.n net in
   let is_corrupt i = Netsim.Corruption.is_corrupted corruption i in
-  let encoded_view i = Util.Codec.encode_int_list (self_view ~claims ~views i) in
+  (* Encode each claimant's view once: the same bytes are fingerprinted by
+     [i] and re-hashed by every partner [j], so per-pair re-encoding was a
+     quadratic allocation hot spot at n = 512. *)
+  let encoded = Array.make n Bytes.empty in
+  for i = 0 to n - 1 do
+    if claims.(i) then
+      encoded.(i) <- Util.Codec.encode_int_list (self_view ~claims ~views i)
+  done;
+  let encoded_view i = encoded.(i) in
   let max_len =
     let len = ref 1 in
     for i = 0 to n - 1 do
@@ -20,8 +28,14 @@ let run net rng params ~claims ~views ~corruption ~eq ~aborted =
     !len
   in
   let t = Params.fingerprint_t params ~msg_len:max_len in
+  (* Adjacency bitmap: [mutual] is evaluated for every ordered pair, and
+     [List.mem] over committee-sized view lists made it O(n^2 |C|). *)
+  let sees = Array.make (n * n) false in
+  for i = 0 to n - 1 do
+    List.iter (fun j -> if j >= 0 && j < n then sees.((i * n) + j) <- true) views.(i)
+  done;
   let mutual i j =
-    claims.(i) && claims.(j) && List.mem j views.(i) && List.mem i views.(j)
+    claims.(i) && claims.(j) && sees.((i * n) + j) && sees.((j * n) + i)
   in
   (* Round A: lower id sends its fingerprint. *)
   let my_fp = Array.make n None in

@@ -18,9 +18,23 @@ let residues_needed ~lambda ~n ~msg_len =
 let sample_primes rng t =
   Array.init t (fun _ -> Field.Primality.random_prime_bits rng ~bits:prime_bits)
 
+(* Horner evaluation of the message as a base-256 number mod p, 4 bytes per
+   step: acc < p < 2^29, so (acc lsl 32) lor word < 2^62 never overflows a
+   63-bit int.  Same residues as the byte-at-a-time loop, ~4x fewer
+   divisions — this is the hot loop of every equality test. *)
 let residue msg p =
+  let len = Bytes.length msg in
   let acc = ref 0 in
-  Bytes.iter (fun c -> acc := ((!acc lsl 8) lor Char.code c) mod p) msg;
+  let k = ref 0 in
+  while !k + 4 <= len do
+    let word = Int32.to_int (Bytes.get_int32_be msg !k) land 0xFFFFFFFF in
+    acc := ((!acc lsl 32) lor word) mod p;
+    k := !k + 4
+  done;
+  while !k < len do
+    acc := ((!acc lsl 8) lor Char.code (Bytes.get msg !k)) mod p;
+    incr k
+  done;
   !acc
 
 let make rng ~t msg =

@@ -1,8 +1,44 @@
+(* High-throughput core.
+
+   The simulator used to keep one global [pending] list (stable-sorted on
+   every [step]) and plain association lists for inboxes (re-reversed and
+   partitioned on every [recv_from]).  At the sweep sizes the experiments
+   run (n up to 512 and beyond), that bookkeeping dominated wall-clock.
+
+   The rewrite buckets traffic by sender at both ends:
+
+   - [pending.(src)] is a FIFO of [(dst, payload)].  [send] is O(1) and
+     [step] delivers by walking sender ids in increasing order — which IS
+     the documented delivery order (sender id, then send order), so no
+     sort is ever needed.
+   - Each recipient keeps an arrival-order [log] (growable array of
+     cells) plus per-sender FIFOs of the same cells, built lazily in a
+     hash table keyed by sender.  [recv] walks the log once; [recv_from]
+     pops only that sender's queue, so it is O(messages from that sender)
+     and repeated polling of an empty pair costs O(1).  A cell popped by
+     one view is marked dead so the other view skips it.
+
+   Delivery order, accounting, and the external API are identical to the
+   list-based implementation (see test_netsim's model-equivalence
+   property test). *)
+
+type cell = { c_src : int; c_payload : bytes; mutable c_live : bool }
+
+let dummy_cell = { c_src = -1; c_payload = Bytes.empty; c_live = false }
+
+type inbox = {
+  mutable log : cell array; (* arrival order; indices < log_len are valid *)
+  mutable log_len : int;
+  mutable live : int; (* number of undrained cells in the log *)
+  by_sender : (int, cell Queue.t) Hashtbl.t;
+}
+
 type t = {
   num_parties : int;
   mutable round : int;
-  inboxes : (int * bytes) list array; (* per recipient, arrival order *)
-  mutable pending : (int * int * bytes) list; (* (src, dst, payload), reversed *)
+  inboxes : inbox array;
+  pending : (int * bytes) Queue.t array; (* per sender: (dst, payload) *)
+  mutable pending_count : int;
   sent_bits : int array;
   recv_bits : int array;
   peer_sets : Util.Iset.t array;
@@ -14,8 +50,11 @@ let create num_parties =
   {
     num_parties;
     round = 0;
-    inboxes = Array.make num_parties [];
-    pending = [];
+    inboxes =
+      Array.init num_parties (fun _ ->
+          { log = [||]; log_len = 0; live = 0; by_sender = Hashtbl.create 8 });
+    pending = Array.init num_parties (fun _ -> Queue.create ());
+    pending_count = 0;
     sent_bits = Array.make num_parties 0;
     recv_bits = Array.make num_parties 0;
     peer_sets = Array.make num_parties Util.Iset.empty;
@@ -38,32 +77,105 @@ let send t ~src ~dst payload =
   t.peer_sets.(src) <- Util.Iset.add dst t.peer_sets.(src);
   t.peer_sets.(dst) <- Util.Iset.add src t.peer_sets.(dst);
   t.total_messages <- t.total_messages + 1;
-  t.pending <- (src, dst, payload) :: t.pending
+  Queue.push (dst, payload) t.pending.(src);
+  t.pending_count <- t.pending_count + 1
+
+let deliver t ~src ~dst payload =
+  let ib = t.inboxes.(dst) in
+  let cell = { c_src = src; c_payload = payload; c_live = true } in
+  (if ib.log_len = Array.length ib.log then begin
+     let grown = Array.make (max 8 (2 * ib.log_len)) dummy_cell in
+     Array.blit ib.log 0 grown 0 ib.log_len;
+     ib.log <- grown
+   end);
+  ib.log.(ib.log_len) <- cell;
+  ib.log_len <- ib.log_len + 1;
+  ib.live <- ib.live + 1;
+  let q =
+    match Hashtbl.find_opt ib.by_sender src with
+    | Some q -> q
+    | None ->
+      let q = Queue.create () in
+      Hashtbl.add ib.by_sender src q;
+      q
+  in
+  Queue.push cell q
 
 let step t =
-  (* Deterministic delivery: stable order by sender id, preserving per-sender
-     send order (pending is reversed send order). *)
-  let msgs = List.rev t.pending in
-  t.pending <- [];
-  let sorted = List.stable_sort (fun (s1, _, _) (s2, _, _) -> compare s1 s2) msgs in
-  List.iter (fun (src, dst, payload) -> t.inboxes.(dst) <- (src, payload) :: t.inboxes.(dst)) sorted;
+  (* Deterministic delivery: senders in increasing id order, each sender's
+     messages in send order — no sort required. *)
+  if t.pending_count > 0 then begin
+    for src = 0 to t.num_parties - 1 do
+      let q = t.pending.(src) in
+      while not (Queue.is_empty q) do
+        let dst, payload = Queue.pop q in
+        deliver t ~src ~dst payload
+      done
+    done;
+    t.pending_count <- 0
+  end;
   t.round <- t.round + 1
+
+let reset_inbox ib =
+  (* Drop cell references so drained payloads can be collected. *)
+  for k = 0 to ib.log_len - 1 do
+    ib.log.(k) <- dummy_cell
+  done;
+  ib.log_len <- 0;
+  ib.live <- 0
 
 let recv t ~dst =
   check_party t dst "recv";
-  let msgs = List.rev t.inboxes.(dst) in
-  t.inboxes.(dst) <- [];
-  msgs
+  let ib = t.inboxes.(dst) in
+  if ib.live = 0 then begin
+    reset_inbox ib;
+    []
+  end
+  else begin
+    let acc = ref [] in
+    for k = ib.log_len - 1 downto 0 do
+      let c = ib.log.(k) in
+      if c.c_live then begin
+        c.c_live <- false;
+        (match Hashtbl.find_opt ib.by_sender c.c_src with
+        | Some q -> Queue.clear q
+        | None -> ());
+        acc := (c.c_src, c.c_payload) :: !acc
+      end
+    done;
+    reset_inbox ib;
+    !acc
+  end
 
 let recv_from t ~dst ~src =
   check_party t dst "recv_from";
-  let mine, rest = List.partition (fun (s, _) -> s = src) (List.rev t.inboxes.(dst)) in
-  t.inboxes.(dst) <- List.rev rest;
-  List.map snd mine
+  let ib = t.inboxes.(dst) in
+  match Hashtbl.find_opt ib.by_sender src with
+  | None -> []
+  | Some q ->
+    let k = Queue.length q in
+    if k = 0 then []
+    else begin
+      let acc = ref [] in
+      while not (Queue.is_empty q) do
+        let c = Queue.pop q in
+        c.c_live <- false;
+        acc := c.c_payload :: !acc
+      done;
+      ib.live <- ib.live - k;
+      if ib.live = 0 then reset_inbox ib;
+      List.rev !acc
+    end
 
 let peek t ~dst =
   check_party t dst "peek";
-  List.rev t.inboxes.(dst)
+  let ib = t.inboxes.(dst) in
+  let acc = ref [] in
+  for k = ib.log_len - 1 downto 0 do
+    let c = ib.log.(k) in
+    if c.c_live then acc := (c.c_src, c.c_payload) :: !acc
+  done;
+  !acc
 
 let rounds t = t.round
 

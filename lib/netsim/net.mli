@@ -15,7 +15,14 @@
     number of bits sent by all parties {e when following the protocol
     honestly}; the experiment harness therefore measures cost on
     honest runs, and separately exercises adversarial runs for the
-    correctness/abort properties. *)
+    correctness/abort properties.
+
+    Performance contract: mailboxes are bucketed by sender, so {!send} is
+    O(1), {!step} delivers without sorting (it walks sender ids in
+    ascending order, which realizes the documented delivery order
+    directly), {!recv} is linear in the messages returned, and
+    {!recv_from} is linear in the messages from that one sender rather
+    than in the whole inbox. *)
 
 type t
 

@@ -74,6 +74,125 @@ let test_formatters () =
   Alcotest.(check string) "prob" "0.2500" (Analysis.Table.fmt_prob 0.25);
   Alcotest.(check string) "float" "1.23" (Analysis.Table.fmt_float 1.2345)
 
+(* ---- Json ---- *)
+
+let sample_json =
+  Analysis.Json.(
+    Obj
+      [
+        ("null", Null);
+        ("flag", Bool true);
+        ("count", Int (-42));
+        ("ratio", Float 1.5);
+        ("text", String "line1\nline2 \"quoted\" \\slash\x01");
+        ("items", List [ Int 1; String "two"; List []; Obj [] ]);
+        ("nested", Obj [ ("k", List [ Bool false; Null ]) ]);
+      ])
+
+let test_json_roundtrip () =
+  List.iter
+    (fun pretty ->
+      let s = Analysis.Json.to_string ~pretty sample_json in
+      checkb
+        (Printf.sprintf "roundtrip pretty=%b" pretty)
+        true
+        (Analysis.Json.parse s = sample_json))
+    [ false; true ]
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      checkb (Printf.sprintf "rejects %S" s) true
+        (try
+           ignore (Analysis.Json.parse s);
+           false
+         with Analysis.Json.Parse_error _ -> true))
+    [ ""; "{"; "[1,"; "tru"; "\"unterminated"; "{\"a\" 1}"; "[1] trailing"; "nan" ]
+
+let test_json_accessors () =
+  let open Analysis.Json in
+  Alcotest.(check (option int)) "member int" (Some (-42)) (Option.bind (member "count" sample_json) get_int);
+  Alcotest.(check (option string)) "missing member" None
+    (Option.bind (member "absent" sample_json) get_string);
+  checkb "int as float" true (get_float (Int 3) = Some 3.0);
+  checkb "float as int only when integral" true
+    (get_int (Float 2.0) = Some 2 && get_int (Float 2.5) = None)
+
+(* ---- Bench_io ---- *)
+
+let sample_report =
+  {
+    Analysis.Bench_io.date = "2026-08-06";
+    quick = false;
+    total_wall_ms = 1234.5;
+    experiment_wall_ms = [ ("E1", 1000.0); ("E9", 234.5) ];
+    runs =
+      [
+        {
+          Analysis.Bench_io.experiment = "E1";
+          series = "n-sweep h=n/4";
+          n = 64;
+          h = 16;
+          bits = 123456;
+          messages = 789;
+          rounds = 42;
+          wall_ms = 55.5;
+        };
+        {
+          Analysis.Bench_io.experiment = "E9";
+          series = "naive 512B";
+          n = 8;
+          h = 4;
+          bits = 2072000;
+          messages = 112;
+          rounds = 2;
+          wall_ms = 1.5;
+        };
+      ];
+  }
+
+let test_bench_io_roundtrip () =
+  let j = Analysis.Bench_io.report_to_json sample_report in
+  let back = Analysis.Bench_io.report_of_json (Analysis.Json.parse (Analysis.Json.to_string ~pretty:true j)) in
+  checkb "report roundtrips" true (back = sample_report)
+
+let test_bench_io_save_load () =
+  let path = Filename.temp_file "bench_io_test" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Analysis.Bench_io.save path sample_report;
+      checkb "save/load roundtrips" true (Analysis.Bench_io.load path = sample_report))
+
+let test_bench_io_schema_checked () =
+  checkb "wrong schema rejected" true
+    (try
+       ignore (Analysis.Bench_io.report_of_json (Analysis.Json.parse "{\"schema\":\"bogus/9\"}"));
+       false
+     with Failure _ -> true)
+
+let test_bench_io_diff_counts_drift () =
+  let bump r = { r with Analysis.Bench_io.bits = r.Analysis.Bench_io.bits + 8 } in
+  let drifted_report =
+    {
+      sample_report with
+      Analysis.Bench_io.runs =
+        (match sample_report.Analysis.Bench_io.runs with
+        | first :: rest -> bump first :: rest
+        | [] -> []);
+    }
+  in
+  let _, matched, drifted =
+    Analysis.Bench_io.diff_table ~before:sample_report ~after:sample_report
+  in
+  Alcotest.(check int) "self-diff matches all" 2 matched;
+  Alcotest.(check int) "self-diff has no drift" 0 drifted;
+  let _, matched', drifted' =
+    Analysis.Bench_io.diff_table ~before:sample_report ~after:drifted_report
+  in
+  Alcotest.(check int) "still matches" 2 matched';
+  Alcotest.(check int) "one drifted run" 1 drifted'
+
 let () =
   Alcotest.run "analysis"
     [
@@ -88,5 +207,18 @@ let () =
           Alcotest.test_case "rendering" `Quick test_table_rendering;
           Alcotest.test_case "arity checked" `Quick test_table_arity_checked;
           Alcotest.test_case "formatters" `Quick test_formatters;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "bench_io",
+        [
+          Alcotest.test_case "json roundtrip" `Quick test_bench_io_roundtrip;
+          Alcotest.test_case "save/load" `Quick test_bench_io_save_load;
+          Alcotest.test_case "schema checked" `Quick test_bench_io_schema_checked;
+          Alcotest.test_case "diff counts drift" `Quick test_bench_io_diff_counts_drift;
         ] );
     ]

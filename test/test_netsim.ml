@@ -112,6 +112,112 @@ let test_messages_cross_rounds () =
   let received = Netsim.Net.recv net ~dst:1 in
   checki "both rounds present" 2 (List.length received)
 
+(* ---- Property: the bucketed simulator matches the old list-based one ---- *)
+
+(* Reference model: the original implementation kept one pending list in
+   send order and, at [step], stable-sorted it by sender id before
+   appending to each recipient's inbox list; [recv_from] partitioned the
+   inbox.  The rewritten simulator must be observationally identical. *)
+module Model = struct
+  type t = {
+    n : int;
+    mutable pending : (int * int * bytes) list; (* reverse send order *)
+    inbox : (int * bytes) list array;
+  }
+
+  let create n = { n; pending = []; inbox = Array.make n [] }
+  let send t ~src ~dst payload = t.pending <- (src, dst, payload) :: t.pending
+
+  let step t =
+    let msgs = List.rev t.pending in
+    t.pending <- [];
+    let sorted = List.stable_sort (fun (s1, _, _) (s2, _, _) -> compare s1 s2) msgs in
+    List.iter (fun (src, dst, p) -> t.inbox.(dst) <- t.inbox.(dst) @ [ (src, p) ]) sorted
+
+  let recv t ~dst =
+    let r = t.inbox.(dst) in
+    t.inbox.(dst) <- [];
+    r
+
+  let recv_from t ~dst ~src =
+    let mine, rest = List.partition (fun (s, _) -> s = src) t.inbox.(dst) in
+    t.inbox.(dst) <- rest;
+    List.map snd mine
+
+  let peek t ~dst = t.inbox.(dst)
+end
+
+type op =
+  | Send of int * int * int (* src, dst, extra payload len *)
+  | Step
+  | Recv of int
+  | Recv_from of int * int (* dst, src *)
+  | Peek of int
+
+let gen_op n =
+  let open QCheck.Gen in
+  let party = int_bound (n - 1) in
+  frequency
+    [
+      (5, map3 (fun src dst len -> Send (src, dst, len)) party party (int_bound 8));
+      (2, return Step);
+      (2, map (fun dst -> Recv dst) party);
+      (3, map2 (fun dst src -> Recv_from (dst, src)) party party);
+      (1, map (fun dst -> Peek dst) party);
+    ]
+
+let run_ops n ops =
+  let net = Netsim.Net.create n in
+  let m = Model.create n in
+  let counter = ref 0 in
+  let bits = ref 0 and msgs = ref 0 and rnds = ref 0 in
+  let ok = ref true in
+  let check_eq a b = if a <> b then ok := false in
+  List.iter
+    (fun op ->
+      match op with
+      | Send (src, dst0, len) ->
+        (* Self-sends are forbidden by the simulator; redirect. *)
+        let dst = if dst0 = src then (src + 1) mod n else dst0 in
+        incr counter;
+        let payload = Bytes.of_string (Printf.sprintf "m%d.%s" !counter (String.make len 'x')) in
+        Netsim.Net.send net ~src ~dst payload;
+        Model.send m ~src ~dst payload;
+        bits := !bits + (8 * Bytes.length payload);
+        incr msgs
+      | Step ->
+        Netsim.Net.step net;
+        Model.step m;
+        incr rnds
+      | Recv dst -> check_eq (Netsim.Net.recv net ~dst) (Model.recv m ~dst)
+      | Recv_from (dst, src) ->
+        check_eq (Netsim.Net.recv_from net ~dst ~src) (Model.recv_from m ~dst ~src)
+      | Peek dst -> check_eq (Netsim.Net.peek net ~dst) (Model.peek m ~dst))
+    ops;
+  (* Whatever is still undrained must also agree. *)
+  for dst = 0 to n - 1 do
+    check_eq (Netsim.Net.peek net ~dst) (Model.peek m ~dst)
+  done;
+  (* Accounting invariants: counters equal the op-by-op tallies, and
+     snapshots diff to zero against themselves. *)
+  let snap = Netsim.Net.snapshot net in
+  if snap.Netsim.Net.snap_bits <> !bits then ok := false;
+  if snap.Netsim.Net.snap_msgs <> !msgs then ok := false;
+  if snap.Netsim.Net.snap_rounds <> !rnds then ok := false;
+  let zero = Netsim.Net.diff_snapshot ~before:snap ~after:snap in
+  if
+    zero.Netsim.Net.snap_bits <> 0
+    || zero.Netsim.Net.snap_msgs <> 0
+    || zero.Netsim.Net.snap_rounds <> 0
+  then ok := false;
+  !ok
+
+let prop_matches_reference =
+  let n = 5 in
+  QCheck.Test.make ~count:500 ~name:"bucketed net ≡ list-based reference"
+    (QCheck.make QCheck.Gen.(list_size (int_bound 120) (gen_op n)))
+    (fun ops -> run_ops n ops)
+
 (* ---- Corruption ---- *)
 
 let test_corruption_none () =
@@ -171,6 +277,7 @@ let () =
           Alcotest.test_case "round counting" `Quick test_rounds;
           Alcotest.test_case "snapshot diff" `Quick test_snapshot_diff;
           Alcotest.test_case "messages accumulate" `Quick test_messages_cross_rounds;
+          QCheck_alcotest.to_alcotest prop_matches_reference;
         ] );
       ( "corruption",
         [
