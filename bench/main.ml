@@ -7,30 +7,50 @@
      dune exec bench/main.exe -- --only E1    -- one experiment
      dune exec bench/main.exe -- --list       -- list experiments
      dune exec bench/main.exe -- --quick      -- reduced sweeps (CI tier)
+     dune exec bench/main.exe -- --jobs N     -- N parallel executors ("max" = all cores)
      dune exec bench/main.exe -- --json F     -- also write a JSON report to F
      dune exec bench/main.exe -- --max-wall-s S   -- exit 2 if wall-clock > S
      dune exec bench/main.exe -- --diff A B   -- regression-diff two reports
 
    Communication complexity is measured per the paper's definition (§3.1):
-   bits sent by all parties in an honest execution. *)
+   bits sent by all parties in an honest execution.
+
+   Execution model: every experiment describes its metered work as an
+   array of independent, seed-deterministic jobs and maps it through
+   [Util.Pool.map_jobs], which preserves array order regardless of
+   scheduling.  Each job builds its own network, RNG, and PKE instance and
+   returns its [Analysis.Bench_io.run] records; tables, fits, and the JSON
+   report are assembled from the result arrays on the main domain, so the
+   output is byte-identical at any --jobs value (wall-clock aside). *)
 
 let fmt_bits = Analysis.Table.fmt_bits
 
 (* --quick shrinks the sweep lists so the whole suite fits a CI budget;
-   [pick] selects per-experiment.  Every metered run is also appended to
-   [recorded] so --json can persist a Bench_io report. *)
+   [pick] selects per-experiment.  [quick] is set once at startup, before
+   any job runs, so reading it from worker domains is race-free. *)
 let quick = ref false
 let pick ~full ~reduced = if !quick then reduced else full
 
-let recorded : Analysis.Bench_io.run list ref = ref []
+(* The worker pool behind [par_map]; [None] (--jobs 1) is the pure
+   sequential path with zero pool overhead. *)
+let pool : Util.Pool.t option ref = ref None
 
-let record ~experiment ~series ~n ~h ~bits ~messages ~rounds ~wall_ms =
-  recorded :=
-    { Analysis.Bench_io.experiment; series; n; h; bits; messages; rounds; wall_ms } :: !recorded
+let par_map arr f =
+  match !pool with None -> Array.map f arr | Some p -> Util.Pool.map_jobs p arr f
 
-let record_net ~experiment ~series ~n ~h ~wall_ms net =
-  record ~experiment ~series ~n ~h ~bits:(Netsim.Net.total_bits net)
-    ~messages:(Netsim.Net.messages_sent net) ~rounds:(Netsim.Net.rounds net) ~wall_ms
+let par_list xs f = Array.to_list (par_map (Array.of_list xs) f)
+
+let run_of_net ~experiment ~series ~n ~h ~wall_ms net =
+  {
+    Analysis.Bench_io.experiment;
+    series;
+    n;
+    h;
+    bits = Netsim.Net.total_bits net;
+    messages = Netsim.Net.messages_sent net;
+    rounds = Netsim.Net.rounds net;
+    wall_ms;
+  }
 
 let timed f =
   let t0 = Unix.gettimeofday () in
@@ -47,6 +67,9 @@ let fit_line label ms =
   Printf.printf "%s: fitted exponent %.2f (x polylog^%d, r2=%.3f)\n" label
     f.Analysis.Complexity.exponent j f.Analysis.Complexity.r2;
   f
+
+let bits_measure ~x (r : Analysis.Bench_io.run) =
+  { Analysis.Complexity.x = float_of_int x; value = float_of_int r.Analysis.Bench_io.bits }
 
 (* ------------------------------------------------------------------ *)
 (* E1 — Theorem 1: Algorithm 3 communication Õ(n²/h)                   *)
@@ -68,50 +91,65 @@ let run_alg3 ~n ~h ~seed =
 let e1 () =
   section "E1  Theorem 1: Algorithm 3 uses O~(n^2/h) bits";
   Printf.printf "paper: total communication O(n^2 h^-1 poly(lambda, D, log n))\n\n";
-  let t = Analysis.Table.create ~title:"sweep n at fixed ratio h = n/4 (n^2/h = 4n: expect ~linear)" ~columns:[ "n"; "h"; "bits"; "bits*h/n^2" ] in
-  let ms_n =
-    List.map
+  let r1 =
+    par_list
+      (pick ~full:[ 64; 128; 256; 384; 512 ] ~reduced:[ 64; 128; 256 ])
       (fun n ->
         let h = n / 4 in
         let net, wall_ms = timed (fun () -> run_alg3 ~n ~h ~seed:n) in
-        let bits = Netsim.Net.total_bits net in
-        record_net ~experiment:"E1" ~series:"n-sweep h=n/4" ~n ~h ~wall_ms net;
+        run_of_net ~experiment:"E1" ~series:"n-sweep h=n/4" ~n ~h ~wall_ms net)
+  in
+  let t = Analysis.Table.create ~title:"sweep n at fixed ratio h = n/4 (n^2/h = 4n: expect ~linear)" ~columns:[ "n"; "h"; "bits"; "bits*h/n^2" ] in
+  let ms_n =
+    List.map
+      (fun (r : Analysis.Bench_io.run) ->
         Analysis.Table.add_row t
-          [ string_of_int n; string_of_int h; fmt_bits bits;
-            Printf.sprintf "%.0f" (float_of_int bits *. float_of_int h /. float_of_int (n * n)) ];
-        { Analysis.Complexity.x = float_of_int n; value = float_of_int bits })
-      (pick ~full:[ 64; 128; 256; 384; 512 ] ~reduced:[ 64; 128; 256 ])
+          [ string_of_int r.n; string_of_int r.h; fmt_bits r.bits;
+            Printf.sprintf "%.0f"
+              (float_of_int r.bits *. float_of_int r.h /. float_of_int (r.n * r.n)) ];
+        bits_measure ~x:r.n r)
+      r1
   in
   Analysis.Table.print t;
   ignore (fit_line "exponent in n at fixed h/n (paper: n^2/h = 4n here, so ~1)" ms_n);
   print_newline ();
+  let r2 =
+    par_list
+      (pick ~full:[ 48; 96; 192; 288 ] ~reduced:[ 48; 96; 192 ])
+      (fun n ->
+        let net, wall_ms = timed (fun () -> run_alg3 ~n ~h:12 ~seed:(4000 + n)) in
+        run_of_net ~experiment:"E1" ~series:"n-sweep h=12" ~n ~h:12 ~wall_ms net)
+  in
   let tf = Analysis.Table.create ~title:"sweep n at fixed h = 12 (expect ~n^2 polylog)" ~columns:[ "n"; "bits" ] in
   let ms_f =
     List.map
-      (fun n ->
-        let net, wall_ms = timed (fun () -> run_alg3 ~n ~h:12 ~seed:(4000 + n)) in
-        let bits = Netsim.Net.total_bits net in
-        record_net ~experiment:"E1" ~series:"n-sweep h=12" ~n ~h:12 ~wall_ms net;
-        Analysis.Table.add_row tf [ string_of_int n; fmt_bits bits ];
-        { Analysis.Complexity.x = float_of_int n; value = float_of_int bits })
-      (pick ~full:[ 48; 96; 192; 288 ] ~reduced:[ 48; 96; 192 ])
+      (fun (r : Analysis.Bench_io.run) ->
+        Analysis.Table.add_row tf [ string_of_int r.n; fmt_bits r.bits ];
+        bits_measure ~x:r.n r)
+      r2
   in
   Analysis.Table.print tf;
   ignore (fit_line "exponent in n at fixed h (paper: ~2)" ms_f);
   print_newline ();
+  let r3 =
+    par_list
+      (pick ~full:[ 16; 32; 64; 128; 224 ] ~reduced:[ 32; 64; 128 ])
+      (fun h ->
+        let net, wall_ms = timed (fun () -> run_alg3 ~n:256 ~h ~seed:(1000 + h)) in
+        run_of_net ~experiment:"E1" ~series:"h-sweep n=256" ~n:256 ~h ~wall_ms net)
+  in
   let t2 = Analysis.Table.create ~title:"sweep h (n = 256)" ~columns:[ "h"; "bits"; "bits*h" ] in
   let ms_h =
     List.map
-      (fun h ->
-        let net, wall_ms = timed (fun () -> run_alg3 ~n:256 ~h ~seed:(1000 + h)) in
-        let bits = Netsim.Net.total_bits net in
-        record_net ~experiment:"E1" ~series:"h-sweep n=256" ~n:256 ~h ~wall_ms net;
-        Analysis.Table.add_row t2 [ string_of_int h; fmt_bits bits; fmt_bits (bits * h) ];
-        { Analysis.Complexity.x = float_of_int h; value = float_of_int bits })
-      (pick ~full:[ 16; 32; 64; 128; 224 ] ~reduced:[ 32; 64; 128 ])
+      (fun (r : Analysis.Bench_io.run) ->
+        Analysis.Table.add_row t2
+          [ string_of_int r.h; fmt_bits r.bits; fmt_bits (r.bits * r.h) ];
+        bits_measure ~x:r.h r)
+      r3
   in
   Analysis.Table.print t2;
-  ignore (fit_line "exponent in h at fixed n (paper: ~-1; the committee-internal |C|^2 terms push toward -2 until h >> log^2 n)" ms_h)
+  ignore (fit_line "exponent in h at fixed n (paper: ~-1; the committee-internal |C|^2 terms push toward -2 until h >> log^2 n)" ms_h);
+  r1 @ r2 @ r3
 
 (* ------------------------------------------------------------------ *)
 (* E2 — Theorem 2: gossip MPC, Õ(n³/h) bits, locality Õ(n/h)           *)
@@ -136,43 +174,51 @@ let run_thm2 ~n ~h ~seed =
 let e2 () =
   section "E2  Theorem 2: gossip MPC uses O~(n^3/h) bits with locality O~(n/h)";
   Printf.printf "paper: O(n^3 h^-1 poly) bits, locality O(lambda n h^-1 log n)\n\n";
+  let r1 =
+    par_list
+      (pick ~full:[ 32; 64; 96; 128 ] ~reduced:[ 32; 64; 96 ])
+      (fun n ->
+        let h = n / 4 in
+        let net, wall_ms = timed (fun () -> run_thm2 ~n ~h ~seed:n) in
+        (run_of_net ~experiment:"E2" ~series:"n-sweep h=n/4" ~n ~h ~wall_ms net,
+         Netsim.Net.max_locality net))
+  in
   let t =
     Analysis.Table.create ~title:"sweep n (h = n/4)"
       ~columns:[ "n"; "h"; "bits"; "locality"; "(n/h)*ln n" ]
   in
-  let ms, _locs =
-    List.split
-      (List.map
-         (fun n ->
-           let h = n / 4 in
-           let net, wall_ms = timed (fun () -> run_thm2 ~n ~h ~seed:n) in
-           let bits = Netsim.Net.total_bits net in
-           let loc = Netsim.Net.max_locality net in
-           record_net ~experiment:"E2" ~series:"n-sweep h=n/4" ~n ~h ~wall_ms net;
-           Analysis.Table.add_row t
-             [ string_of_int n; string_of_int h; fmt_bits bits; string_of_int loc;
-               Printf.sprintf "%.0f" (float_of_int n /. float_of_int h *. log (float_of_int n)) ];
-           ( { Analysis.Complexity.x = float_of_int n; value = float_of_int bits },
-             { Analysis.Complexity.x = float_of_int n; value = float_of_int loc } ))
-         (pick ~full:[ 32; 64; 96; 128 ] ~reduced:[ 32; 64; 96 ]))
+  let ms =
+    List.map
+      (fun ((r : Analysis.Bench_io.run), loc) ->
+        Analysis.Table.add_row t
+          [ string_of_int r.n; string_of_int r.h; fmt_bits r.bits; string_of_int loc;
+            Printf.sprintf "%.0f"
+              (float_of_int r.n /. float_of_int r.h *. log (float_of_int r.n)) ];
+        bits_measure ~x:r.n r)
+      r1
   in
   Analysis.Table.print t;
   ignore (fit_line "bits exponent in n at fixed h/n (paper: n^3/h = 4n^2 here, so ~2)" ms);
   print_newline ();
+  let r2 =
+    par_list
+      (pick ~full:[ 12; 24; 48; 80 ] ~reduced:[ 24; 48; 80 ])
+      (fun h ->
+        let net, wall_ms = timed (fun () -> run_thm2 ~n:96 ~h ~seed:(2000 + h)) in
+        (run_of_net ~experiment:"E2" ~series:"h-sweep n=96" ~n:96 ~h ~wall_ms net,
+         Netsim.Net.max_locality net))
+  in
   let t2 = Analysis.Table.create ~title:"sweep h (n = 96)" ~columns:[ "h"; "bits"; "locality" ] in
   let ms_h =
     List.map
-      (fun h ->
-        let net, wall_ms = timed (fun () -> run_thm2 ~n:96 ~h ~seed:(2000 + h)) in
-        let bits = Netsim.Net.total_bits net in
-        record_net ~experiment:"E2" ~series:"h-sweep n=96" ~n:96 ~h ~wall_ms net;
-        Analysis.Table.add_row t2
-          [ string_of_int h; fmt_bits bits; string_of_int (Netsim.Net.max_locality net) ];
-        { Analysis.Complexity.x = float_of_int h; value = float_of_int bits })
-      (pick ~full:[ 12; 24; 48; 80 ] ~reduced:[ 24; 48; 80 ])
+      (fun ((r : Analysis.Bench_io.run), loc) ->
+        Analysis.Table.add_row t2 [ string_of_int r.h; fmt_bits r.bits; string_of_int loc ];
+        bits_measure ~x:r.h r)
+      r2
   in
   Analysis.Table.print t2;
-  ignore (fit_line "bits exponent in h at fixed n (paper: ~-1; locality shrinks with h too)" ms_h)
+  ignore (fit_line "bits exponent in h at fixed n (paper: ~-1; locality shrinks with h too)" ms_h);
+  List.map fst r1 @ List.map fst r2
 
 (* ------------------------------------------------------------------ *)
 (* E3 — Theorem 4: Algorithm 8, Õ(n³/h^{3/2}) bits, locality Õ(n/√h)   *)
@@ -202,44 +248,55 @@ let e3 () =
      are large and the asymptotic regime is only partially visible; the\n\
      h-dependence and the locality gap vs the clique are the reproducible\n\
      shape.\n\n";
+  let r1 =
+    par_list
+      (pick ~full:[ 32; 64; 96; 128; 160 ] ~reduced:[ 32; 64; 96 ])
+      (fun n ->
+        let h = n / 4 in
+        let (net, _), wall_ms = timed (fun () -> run_thm4 ~n ~h ~seed:n) in
+        (run_of_net ~experiment:"E3" ~series:"n-sweep h=n/4" ~n ~h ~wall_ms net,
+         Netsim.Net.max_locality net))
+  in
   let t =
     Analysis.Table.create ~title:"sweep n (h = n/4)"
       ~columns:[ "n"; "h"; "bits"; "locality"; "clique" ]
   in
   let ms =
     List.map
-      (fun n ->
-        let h = n / 4 in
-        let (net, _), wall_ms = timed (fun () -> run_thm4 ~n ~h ~seed:n) in
-        let bits = Netsim.Net.total_bits net in
-        record_net ~experiment:"E3" ~series:"n-sweep h=n/4" ~n ~h ~wall_ms net;
+      (fun ((r : Analysis.Bench_io.run), loc) ->
         Analysis.Table.add_row t
-          [ string_of_int n; string_of_int h; fmt_bits bits;
-            string_of_int (Netsim.Net.max_locality net); string_of_int (n - 1) ];
-        { Analysis.Complexity.x = float_of_int n; value = float_of_int bits })
-      (pick ~full:[ 32; 64; 96; 128; 160 ] ~reduced:[ 32; 64; 96 ])
+          [ string_of_int r.n; string_of_int r.h; fmt_bits r.bits; string_of_int loc;
+            string_of_int (r.n - 1) ];
+        bits_measure ~x:r.n r)
+      r1
   in
   Analysis.Table.print t;
   ignore (fit_line "bits exponent in n at fixed h/n (paper: n^3/h^1.5 = 8n^1.5 here; committee saturation inflates it)" ms);
   print_newline ();
+  let r2 =
+    par_list
+      (pick ~full:[ 16; 32; 64; 100 ] ~reduced:[ 32; 64; 100 ])
+      (fun h ->
+        let (net, _), wall_ms = timed (fun () -> run_thm4 ~n:128 ~h ~seed:(3000 + h)) in
+        (run_of_net ~experiment:"E3" ~series:"h-sweep n=128" ~n:128 ~h ~wall_ms net,
+         Netsim.Net.max_locality net))
+  in
   let t2 =
     Analysis.Table.create ~title:"sweep h (n = 128)"
       ~columns:[ "h"; "bits"; "locality"; "n/sqrt(h)" ]
   in
   let ms_h =
     List.map
-      (fun h ->
-        let (net, _), wall_ms = timed (fun () -> run_thm4 ~n:128 ~h ~seed:(3000 + h)) in
-        let bits = Netsim.Net.total_bits net in
-        record_net ~experiment:"E3" ~series:"h-sweep n=128" ~n:128 ~h ~wall_ms net;
+      (fun ((r : Analysis.Bench_io.run), loc) ->
         Analysis.Table.add_row t2
-          [ string_of_int h; fmt_bits bits; string_of_int (Netsim.Net.max_locality net);
-            Printf.sprintf "%.0f" (128.0 /. sqrt (float_of_int h)) ];
-        { Analysis.Complexity.x = float_of_int h; value = float_of_int bits })
-      (pick ~full:[ 16; 32; 64; 100 ] ~reduced:[ 32; 64; 100 ])
+          [ string_of_int r.h; fmt_bits r.bits; string_of_int loc;
+            Printf.sprintf "%.0f" (128.0 /. sqrt (float_of_int r.h)) ];
+        bits_measure ~x:r.h r)
+      r2
   in
   Analysis.Table.print t2;
-  ignore (fit_line "bits exponent in h at fixed n (paper: ~-1.5)" ms_h)
+  ignore (fit_line "bits exponent in h at fixed n (paper: ~-1.5)" ms_h);
+  List.map fst r1 @ List.map fst r2
 
 (* ------------------------------------------------------------------ *)
 (* E4 — Theorem 3: lower bound via the isolation attack                *)
@@ -252,6 +309,18 @@ let e4 () =
     "paper: any protocol where some party talks to < n/8(h-1) peers admits an\n\
      adversary that isolates it and forces disagreement WITHOUT abort.\n\
      strawman: d-local gossip broadcast without verification; sweep d.\n\n";
+  let hs = [ 4; 12 ] and degrees = [ 1; 2; 4; 8; 16; 32 ] in
+  (* One Monte Carlo batch (up to 400 trials) per (h, degree) point. *)
+  let points = List.concat_map (fun h -> List.map (fun d -> (h, d)) degrees) hs in
+  let rates =
+    par_list points (fun (h, degree) ->
+        let rng = Util.Prng.create (n + h + degree) in
+        Mpc.Lower_bound.measure rng ~n ~h ~degree
+          ~trials:(pick ~full:400 ~reduced:80)
+          ~victim_is_sender:false)
+  in
+  let rate_tbl = Hashtbl.create 16 in
+  List.iter2 (fun p r -> Hashtbl.replace rate_tbl p r) points rates;
   List.iter
     (fun h ->
       let threshold = Mpc.Lower_bound.threshold ~n ~h in
@@ -262,23 +331,19 @@ let e4 () =
       in
       List.iter
         (fun degree ->
-          let rng = Util.Prng.create (n + h + degree) in
-          let rates =
-            Mpc.Lower_bound.measure rng ~n ~h ~degree
-              ~trials:(pick ~full:400 ~reduced:80)
-              ~victim_is_sender:false
-          in
+          let rates = Hashtbl.find rate_tbl (h, degree) in
           Analysis.Table.add_row t
             [ string_of_int degree;
               Analysis.Table.fmt_prob rates.Mpc.Lower_bound.isolation_rate;
               Analysis.Table.fmt_prob rates.Mpc.Lower_bound.success_rate;
               Analysis.Table.fmt_prob
                 (Mpc.Lower_bound.isolation_probability_bound ~n ~h ~degree:(2 * degree)) ])
-        [ 1; 2; 4; 8; 16; 32 ];
+        degrees;
       Analysis.Table.print t;
       print_newline ())
-    [ 4; 12 ];
-  Printf.printf "shape check: success is constant below the threshold and dies above it.\n"
+    hs;
+  Printf.printf "shape check: success is constant below the threshold and dies above it.\n";
+  []
 
 (* ------------------------------------------------------------------ *)
 (* E5 — Lemma 5: succinct equality testing                             *)
@@ -287,49 +352,59 @@ let e4 () =
 let e5 () =
   section "E5  Lemma 5: equality testing with O(lambda log n) bits";
   Printf.printf "paper: detect m1 <> m2 w.p. >= 1 - n^-lambda with O(lambda log n) bits\n\n";
+  let soundness =
+    par_list [ 2; 4; 8 ] (fun lambda ->
+        let n = 64 in
+        let params = Mpc.Params.make ~n ~h:32 ~lambda ~alpha:2 () in
+        let rng = Util.Prng.create lambda in
+        let net = Netsim.Net.create 2 in
+        let trials = 1000 in
+        let fa = ref 0 in
+        for _ = 1 to trials do
+          let len = 64 + Util.Prng.int rng 192 in
+          let m1 = Util.Prng.bytes rng len in
+          let m2 = Bytes.copy m1 in
+          let pos = Util.Prng.int rng len in
+          Bytes.set m2 pos (Char.chr (Char.code (Bytes.get m2 pos) lxor 0x5A));
+          let f1, _ = Mpc.Equality.run net rng params ~p1:0 ~p2:1 ~m1 ~m2 in
+          if f1 then incr fa
+        done;
+        let _, hi = Util.Stats.binomial_ci ~successes:!fa ~trials in
+        (lambda, !fa, hi, float_of_int n ** float_of_int (-lambda)))
+  in
   let t =
     Analysis.Table.create ~title:"soundness (1000 near-equal pairs each)"
       ~columns:[ "lambda"; "false accepts"; "95% CI upper"; "paper bound n^-lambda" ]
   in
   List.iter
-    (fun lambda ->
-      let n = 64 in
-      let params = Mpc.Params.make ~n ~h:32 ~lambda ~alpha:2 () in
-      let rng = Util.Prng.create lambda in
-      let net = Netsim.Net.create 2 in
-      let trials = 1000 in
-      let fa = ref 0 in
-      for _ = 1 to trials do
-        let len = 64 + Util.Prng.int rng 192 in
-        let m1 = Util.Prng.bytes rng len in
-        let m2 = Bytes.copy m1 in
-        let pos = Util.Prng.int rng len in
-        Bytes.set m2 pos (Char.chr (Char.code (Bytes.get m2 pos) lxor 0x5A));
-        let f1, _ = Mpc.Equality.run net rng params ~p1:0 ~p2:1 ~m1 ~m2 in
-        if f1 then incr fa
-      done;
-      let _, hi = Util.Stats.binomial_ci ~successes:!fa ~trials in
+    (fun (lambda, fa, hi, bound) ->
       Analysis.Table.add_row t
-        [ string_of_int lambda; string_of_int !fa; Analysis.Table.fmt_prob hi;
-          Printf.sprintf "%.2e" (float_of_int n ** float_of_int (-lambda)) ])
-    [ 2; 4; 8 ];
+        [ string_of_int lambda; string_of_int fa; Analysis.Table.fmt_prob hi;
+          Printf.sprintf "%.2e" bound ])
+    soundness;
   Analysis.Table.print t;
   print_newline ();
+  let params = Mpc.Params.make ~n:64 ~h:32 ~lambda:8 ~alpha:2 () in
+  let comm =
+    par_list
+      [ 100; 1_000; 10_000; 100_000; 1_000_000 ]
+      (fun len ->
+        let rng = Util.Prng.create len in
+        let net = Netsim.Net.create 2 in
+        let m = Util.Prng.bytes rng len in
+        ignore (Mpc.Equality.run net rng params ~p1:0 ~p2:1 ~m1:m ~m2:(Bytes.copy m));
+        (len, Netsim.Net.total_bits net))
+  in
   let t2 =
     Analysis.Table.create ~title:"communication vs message size (lambda=8, n=64)"
       ~columns:[ "message bytes"; "bits exchanged" ]
   in
-  let params = Mpc.Params.make ~n:64 ~h:32 ~lambda:8 ~alpha:2 () in
   List.iter
-    (fun len ->
-      let rng = Util.Prng.create len in
-      let net = Netsim.Net.create 2 in
-      let m = Util.Prng.bytes rng len in
-      ignore (Mpc.Equality.run net rng params ~p1:0 ~p2:1 ~m1:m ~m2:(Bytes.copy m));
-      Analysis.Table.add_row t2 [ string_of_int len; string_of_int (Netsim.Net.total_bits net) ])
-    [ 100; 1_000; 10_000; 100_000; 1_000_000 ];
+    (fun (len, bits) -> Analysis.Table.add_row t2 [ string_of_int len; string_of_int bits ])
+    comm;
   Analysis.Table.print t2;
-  Printf.printf "shape check: bits grow (sub-)logarithmically in |m|, never linearly.\n"
+  Printf.printf "shape check: bits grow (sub-)logarithmically in |m|, never linearly.\n";
+  []
 
 (* ------------------------------------------------------------------ *)
 (* E6 — Claims 12/14: committee election                               *)
@@ -340,54 +415,75 @@ let e6 () =
   Printf.printf
     "paper: O~(n^2/h) bits; w.h.p. >= 1 honest member, consistent views,\n\
      |C| <= 2pn, and honest runs abort with negligible probability.\n\n";
+  (* One job per (n, h) row: the trials share an RNG stream, so they stay
+     sequential inside the job and the row totals are seed-deterministic. *)
+  let rows =
+    par_list
+      (pick
+         ~full:[ (64, 16); (128, 32); (256, 64); (512, 128) ]
+         ~reduced:[ (64, 16); (128, 32); (256, 64) ])
+      (fun (n, h) ->
+        let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:2 () in
+        let rng0 = Util.Prng.create (n * h) in
+        let trials = pick ~full:20 ~reduced:5 in
+        let bits_acc = ref 0 and size_acc = ref 0 in
+        let msgs_acc = ref 0 and rounds_acc = ref 0 in
+        let member_ok = ref 0 and consistent = ref 0 and aborts = ref 0 in
+        let (), wall_ms =
+          timed (fun () ->
+              for seed = 1 to trials do
+                let corruption = Netsim.Corruption.random rng0 ~n ~h in
+                let net = Netsim.Net.create n in
+                let rng = Util.Prng.create seed in
+                let outs =
+                  Mpc.Committee.run net rng params ~corruption ~adv:Mpc.Committee.honest_adv
+                in
+                bits_acc := !bits_acc + Netsim.Net.total_bits net;
+                msgs_acc := !msgs_acc + Netsim.Net.messages_sent net;
+                rounds_acc := !rounds_acc + Netsim.Net.rounds net;
+                if Mpc.Outcome.some_honest_aborted outs corruption then incr aborts;
+                match Mpc.Committee.consistent_committee outs corruption with
+                | Some c ->
+                  incr consistent;
+                  size_acc := !size_acc + List.length c;
+                  if List.exists (Netsim.Corruption.is_honest corruption) c then
+                    incr member_ok
+                | None -> ()
+              done)
+        in
+        let run =
+          {
+            Analysis.Bench_io.experiment = "E6";
+            series = Printf.sprintf "%d-trial total" trials;
+            n;
+            h;
+            bits = !bits_acc;
+            messages = !msgs_acc;
+            rounds = !rounds_acc;
+            wall_ms;
+          }
+        in
+        ( run,
+          (trials, !size_acc, !consistent, !member_ok, !aborts,
+           Mpc.Params.committee_bound params) ))
+  in
   let t =
     Analysis.Table.create ~title:"20 trials per row (random corruption, honest behavior)"
       ~columns:
         [ "n"; "h"; "bits"; "E[|C|]"; "bound 2pn"; "honest member"; "consistent"; "aborts" ]
   in
   List.iter
-    (fun (n, h) ->
-      let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:2 () in
-      let rng0 = Util.Prng.create (n * h) in
-      let trials = pick ~full:20 ~reduced:5 in
-      let bits_acc = ref 0 and size_acc = ref 0 in
-      let msgs_acc = ref 0 and rounds_acc = ref 0 in
-      let member_ok = ref 0 and consistent = ref 0 and aborts = ref 0 in
-      let (), wall_ms =
-        timed (fun () ->
-            for seed = 1 to trials do
-              let corruption = Netsim.Corruption.random rng0 ~n ~h in
-              let net = Netsim.Net.create n in
-              let rng = Util.Prng.create seed in
-              let outs =
-                Mpc.Committee.run net rng params ~corruption ~adv:Mpc.Committee.honest_adv
-              in
-              bits_acc := !bits_acc + Netsim.Net.total_bits net;
-              msgs_acc := !msgs_acc + Netsim.Net.messages_sent net;
-              rounds_acc := !rounds_acc + Netsim.Net.rounds net;
-              if Mpc.Outcome.some_honest_aborted outs corruption then incr aborts;
-              match Mpc.Committee.consistent_committee outs corruption with
-              | Some c ->
-                incr consistent;
-                size_acc := !size_acc + List.length c;
-                if List.exists (Netsim.Corruption.is_honest corruption) c then incr member_ok
-              | None -> ()
-            done)
-      in
-      record ~experiment:"E6"
-        ~series:(Printf.sprintf "%d-trial total" trials)
-        ~n ~h ~bits:!bits_acc ~messages:!msgs_acc ~rounds:!rounds_acc ~wall_ms;
+    (fun ((r : Analysis.Bench_io.run), (trials, size_acc, consistent, member_ok, aborts, bound)) ->
       Analysis.Table.add_row t
-        [ string_of_int n; string_of_int h; fmt_bits (!bits_acc / trials);
-          string_of_int (!size_acc / max 1 !consistent);
-          string_of_int (Mpc.Params.committee_bound params);
-          Printf.sprintf "%d/%d" !member_ok trials;
-          Printf.sprintf "%d/%d" !consistent trials;
-          Printf.sprintf "%d/%d" !aborts trials ])
-    (pick
-       ~full:[ (64, 16); (128, 32); (256, 64); (512, 128) ]
-       ~reduced:[ (64, 16); (128, 32); (256, 64) ]);
-  Analysis.Table.print t
+        [ string_of_int r.n; string_of_int r.h; fmt_bits (r.bits / trials);
+          string_of_int (size_acc / max 1 consistent);
+          string_of_int bound;
+          Printf.sprintf "%d/%d" member_ok trials;
+          Printf.sprintf "%d/%d" consistent trials;
+          Printf.sprintf "%d/%d" aborts trials ])
+    rows;
+  Analysis.Table.print t;
+  List.map fst rows
 
 (* ------------------------------------------------------------------ *)
 (* E7 — Claim 20: the sparse routing network                           *)
@@ -396,51 +492,67 @@ let e6 () =
 let e7 () =
   section "E7  Claim 20: SparseNetwork degree bound and honest connectivity";
   Printf.printf "paper: max degree O(alpha n log n / h); honest subgraph connected w.h.p.\n\n";
+  let rows =
+    par_list
+      (pick
+         ~full:[ (64, 16); (128, 32); (256, 64); (512, 256) ]
+         ~reduced:[ (64, 16); (128, 32); (256, 64) ])
+      (fun (n, h) ->
+        let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:3 () in
+        let rng0 = Util.Prng.create (7 * n) in
+        let trials = pick ~full:20 ~reduced:5 in
+        let connected = ref 0 and aborts = ref 0 and maxdeg = ref 0 in
+        let bits_acc = ref 0 and msgs_acc = ref 0 and rounds_acc = ref 0 in
+        let (), wall_ms =
+          timed (fun () ->
+              for seed = 1 to trials do
+                let corruption = Netsim.Corruption.random rng0 ~n ~h in
+                let net = Netsim.Net.create n in
+                let rng = Util.Prng.create seed in
+                let outs =
+                  Mpc.Sparse_network.run net rng params ~corruption
+                    ~adv:Mpc.Sparse_network.honest_adv
+                in
+                bits_acc := !bits_acc + Netsim.Net.total_bits net;
+                msgs_acc := !msgs_acc + Netsim.Net.messages_sent net;
+                rounds_acc := !rounds_acc + Netsim.Net.rounds net;
+                maxdeg := max !maxdeg (Mpc.Sparse_network.max_degree outs);
+                if Mpc.Sparse_network.honest_subgraph_connected outs corruption then
+                  incr connected;
+                if
+                  List.exists
+                    (fun i -> Mpc.Outcome.is_abort outs.(i))
+                    (Netsim.Corruption.honest_list corruption)
+                then incr aborts
+              done)
+        in
+        let run =
+          {
+            Analysis.Bench_io.experiment = "E7";
+            series = Printf.sprintf "%d-trial total" trials;
+            n;
+            h;
+            bits = !bits_acc;
+            messages = !msgs_acc;
+            rounds = !rounds_acc;
+            wall_ms;
+          }
+        in
+        (run, (trials, !connected, !aborts, !maxdeg, Mpc.Params.sparse_degree params)))
+  in
   let t =
     Analysis.Table.create ~title:"20 trials per row"
       ~columns:[ "n"; "h"; "d"; "max degree"; "cap 3d"; "connected"; "honest aborts" ]
   in
   List.iter
-    (fun (n, h) ->
-      let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:3 () in
-      let rng0 = Util.Prng.create (7 * n) in
-      let trials = pick ~full:20 ~reduced:5 in
-      let connected = ref 0 and aborts = ref 0 and maxdeg = ref 0 in
-      let bits_acc = ref 0 and msgs_acc = ref 0 and rounds_acc = ref 0 in
-      let (), wall_ms =
-        timed (fun () ->
-            for seed = 1 to trials do
-              let corruption = Netsim.Corruption.random rng0 ~n ~h in
-              let net = Netsim.Net.create n in
-              let rng = Util.Prng.create seed in
-              let outs =
-                Mpc.Sparse_network.run net rng params ~corruption
-                  ~adv:Mpc.Sparse_network.honest_adv
-              in
-              bits_acc := !bits_acc + Netsim.Net.total_bits net;
-              msgs_acc := !msgs_acc + Netsim.Net.messages_sent net;
-              rounds_acc := !rounds_acc + Netsim.Net.rounds net;
-              maxdeg := max !maxdeg (Mpc.Sparse_network.max_degree outs);
-              if Mpc.Sparse_network.honest_subgraph_connected outs corruption then
-                incr connected;
-              if
-                List.exists
-                  (fun i -> Mpc.Outcome.is_abort outs.(i))
-                  (Netsim.Corruption.honest_list corruption)
-              then incr aborts
-            done)
-      in
-      record ~experiment:"E7"
-        ~series:(Printf.sprintf "%d-trial total" trials)
-        ~n ~h ~bits:!bits_acc ~messages:!msgs_acc ~rounds:!rounds_acc ~wall_ms;
+    (fun ((r : Analysis.Bench_io.run), (trials, connected, aborts, maxdeg, d)) ->
       Analysis.Table.add_row t
-        [ string_of_int n; string_of_int h; string_of_int (Mpc.Params.sparse_degree params);
-          string_of_int !maxdeg; string_of_int (3 * Mpc.Params.sparse_degree params);
-          Printf.sprintf "%d/%d" !connected trials; Printf.sprintf "%d/%d" !aborts trials ])
-    (pick
-       ~full:[ (64, 16); (128, 32); (256, 64); (512, 256) ]
-       ~reduced:[ (64, 16); (128, 32); (256, 64) ]);
-  Analysis.Table.print t
+        [ string_of_int r.n; string_of_int r.h; string_of_int d;
+          string_of_int maxdeg; string_of_int (3 * d);
+          Printf.sprintf "%d/%d" connected trials; Printf.sprintf "%d/%d" aborts trials ])
+    rows;
+  Analysis.Table.print t;
+  List.map fst rows
 
 (* ------------------------------------------------------------------ *)
 (* E8 — Claim 23: the covering claim                                   *)
@@ -453,37 +565,44 @@ let e8 () =
      |S_c| = n/sqrt(h), every party is in some honest member's cover w.p.\n\
      1 - n^-Omega(alpha).  Monte Carlo over the protocol's own randomness,\n\
      with half the parties honest.\n\n";
+  let rows =
+    par_list
+      [ (64, 32); (128, 64); (256, 128); (512, 256) ]
+      (fun (n, h) ->
+        let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:2 () in
+        let s = Mpc.Params.cover_size params in
+        let p = Mpc.Params.local_committee_prob params in
+        let rng = Util.Prng.create (n + h) in
+        let trials = pick ~full:50 ~reduced:20 in
+        let covered_all = ref 0 and honest_members_acc = ref 0 in
+        for _ = 1 to trials do
+          let committee = Util.Prng.subset_bernoulli rng ~n ~p in
+          let honest_members = List.filter (fun c -> c mod 2 = 0) committee in
+          honest_members_acc := !honest_members_acc + List.length honest_members;
+          let covered = Array.make n false in
+          List.iter
+            (fun _c ->
+              List.iter
+                (fun i -> covered.(i) <- true)
+                (Util.Prng.sample_without_replacement rng ~n ~k:s))
+            honest_members;
+          if Array.for_all (fun c -> c) covered then incr covered_all
+        done;
+        (n, h, s, trials, !honest_members_acc, !covered_all))
+  in
   let t =
     Analysis.Table.create ~title:"50 trials per row"
       ~columns:[ "n"; "h"; "s = n/sqrt h"; "E[|C and H|]"; "all covered" ]
   in
   List.iter
-    (fun (n, h) ->
-      let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:2 () in
-      let s = Mpc.Params.cover_size params in
-      let p = Mpc.Params.local_committee_prob params in
-      let rng = Util.Prng.create (n + h) in
-      let trials = pick ~full:50 ~reduced:20 in
-      let covered_all = ref 0 and honest_members_acc = ref 0 in
-      for _ = 1 to trials do
-        let committee = Util.Prng.subset_bernoulli rng ~n ~p in
-        let honest_members = List.filter (fun c -> c mod 2 = 0) committee in
-        honest_members_acc := !honest_members_acc + List.length honest_members;
-        let covered = Array.make n false in
-        List.iter
-          (fun _c ->
-            List.iter
-              (fun i -> covered.(i) <- true)
-              (Util.Prng.sample_without_replacement rng ~n ~k:s))
-          honest_members;
-        if Array.for_all (fun c -> c) covered then incr covered_all
-      done;
+    (fun (n, h, s, trials, honest_members_acc, covered_all) ->
       Analysis.Table.add_row t
         [ string_of_int n; string_of_int h; string_of_int s;
-          string_of_int (!honest_members_acc / trials);
-          Printf.sprintf "%d/%d" !covered_all trials ])
-    [ (64, 32); (128, 64); (256, 128); (512, 256) ];
-  Analysis.Table.print t
+          string_of_int (honest_members_acc / trials);
+          Printf.sprintf "%d/%d" covered_all trials ])
+    rows;
+  Analysis.Table.print t;
+  []
 
 (* ------------------------------------------------------------------ *)
 (* E9 — §2.1 baseline: GL05 O(n³) vs fingerprinted Õ(n²)               *)
@@ -492,39 +611,46 @@ let e8 () =
 let e9 () =
   section "E9  Sec 2.1: all-to-all broadcast, naive O(n^3 l) vs fingerprinted O~(n^2)";
   Printf.printf "paper: the fingerprint optimization shaves a factor n off GL05.\n\n";
+  let rows =
+    par_list [ 8; 16; 32; 48 ] (fun n ->
+        let params = Mpc.Params.make ~n ~h:(n / 2) ~lambda:8 ~alpha:2 () in
+        let corruption = Netsim.Corruption.none ~n in
+        let participants = List.init n (fun i -> i) in
+        let input i =
+          Crypto.Kdf.expand ~key:(Bytes.of_string (string_of_int i)) ~info:"e9" 512
+        in
+        let cost name variant =
+          let net = Netsim.Net.create n in
+          let rng = Util.Prng.create n in
+          let outs, wall_ms =
+            timed (fun () ->
+                Mpc.All_to_all.run net rng params ~variant ~participants ~input ~corruption
+                  ~adv:Mpc.All_to_all.honest_adv)
+          in
+          assert (List.for_all (fun (_, o) -> Mpc.Outcome.is_output o) outs);
+          run_of_net ~experiment:"E9" ~series:name ~n ~h:(n / 2) ~wall_ms net
+        in
+        let naive = cost "naive 512B" Mpc.All_to_all.Naive in
+        let fp = cost "fingerprinted 512B" Mpc.All_to_all.Fingerprinted in
+        (naive, fp))
+  in
   let t =
     Analysis.Table.create ~title:"512-byte inputs, honest run"
       ~columns:[ "n"; "naive bits"; "fingerprinted bits"; "speedup" ]
   in
-  let ratios = ref [] in
-  List.iter
-    (fun n ->
-      let params = Mpc.Params.make ~n ~h:(n / 2) ~lambda:8 ~alpha:2 () in
-      let corruption = Netsim.Corruption.none ~n in
-      let participants = List.init n (fun i -> i) in
-      let input i = Crypto.Kdf.expand ~key:(Bytes.of_string (string_of_int i)) ~info:"e9" 512 in
-      let cost name variant =
-        let net = Netsim.Net.create n in
-        let rng = Util.Prng.create n in
-        let outs, wall_ms =
-          timed (fun () ->
-              Mpc.All_to_all.run net rng params ~variant ~participants ~input ~corruption
-                ~adv:Mpc.All_to_all.honest_adv)
-        in
-        assert (List.for_all (fun (_, o) -> Mpc.Outcome.is_output o) outs);
-        record_net ~experiment:"E9" ~series:name ~n ~h:(n / 2) ~wall_ms net;
-        Netsim.Net.total_bits net
-      in
-      let naive = cost "naive 512B" Mpc.All_to_all.Naive in
-      let fp = cost "fingerprinted 512B" Mpc.All_to_all.Fingerprinted in
-      ratios := (float_of_int n, float_of_int naive /. float_of_int fp) :: !ratios;
-      Analysis.Table.add_row t
-        [ string_of_int n; fmt_bits naive; fmt_bits fp;
-          Analysis.Table.fmt_ratio (float_of_int naive /. float_of_int fp) ])
-    [ 8; 16; 32; 48 ];
+  let ratios =
+    List.map
+      (fun ((naive : Analysis.Bench_io.run), (fp : Analysis.Bench_io.run)) ->
+        Analysis.Table.add_row t
+          [ string_of_int naive.n; fmt_bits naive.bits; fmt_bits fp.bits;
+            Analysis.Table.fmt_ratio (float_of_int naive.bits /. float_of_int fp.bits) ];
+        (float_of_int naive.n, float_of_int naive.bits /. float_of_int fp.bits))
+      rows
+  in
   Analysis.Table.print t;
-  let slope, _, _ = Util.Stats.linear_fit !ratios in
-  Printf.printf "speedup grows linearly in n (slope %.2f per party) — the factor-n win.\n" slope
+  let slope, _, _ = Util.Stats.linear_fit (List.rev ratios) in
+  Printf.printf "speedup grows linearly in n (slope %.2f per party) — the factor-n win.\n" slope;
+  List.concat_map (fun (naive, fp) -> [ naive; fp ]) rows
 
 (* ------------------------------------------------------------------ *)
 (* E10 — Equation (1): phase decomposition of Algorithm 8              *)
@@ -537,12 +663,32 @@ let e10 () =
      computation, balanced at |C| = s = O~(n/sqrt h).  We sweep the cover\n\
      size s around the optimum n/sqrt(h) at fixed (n, h).\n\n";
   let n = 96 and h = 25 in
-  let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:1 () in
-  let config =
-    { Mpc.Local_mpc.params; pke = sim_pke 10; circuit = Circuit.parity ~n; input_width = 1 }
+  let rows =
+    par_list
+      (pick ~full:[ 1; 2; 5; 19; 38; 96 ] ~reduced:[ 2; 5; 19; 38 ])
+      (fun s ->
+        let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:1 () in
+        let config =
+          { Mpc.Local_mpc.params; pke = sim_pke 10; circuit = Circuit.parity ~n;
+            input_width = 1 }
+        in
+        let corruption = Netsim.Corruption.none ~n in
+        let inputs = Array.init n (fun i -> i land 1) in
+        let net = Netsim.Net.create n in
+        let rng = Util.Prng.create (100 + s) in
+        let (outs, costs), wall_ms =
+          timed (fun () ->
+              Mpc.Local_mpc.run_theorem4_metered ~cover_size:s net rng config ~corruption
+                ~inputs ~adv:Mpc.Local_mpc.honest_theorem4_adv)
+        in
+        let aborts =
+          Array.fold_left (fun a o -> a + if Mpc.Outcome.is_abort o then 1 else 0) 0 outs
+        in
+        ( run_of_net ~experiment:"E10" ~series:(Printf.sprintf "cover s=%d" s) ~n ~h ~wall_ms
+            net,
+          (s, costs, aborts) ))
   in
-  let corruption = Netsim.Corruption.none ~n in
-  let inputs = Array.init n (fun i -> i land 1) in
+  let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:1 () in
   let t =
     Analysis.Table.create
       ~title:
@@ -552,30 +698,20 @@ let e10 () =
         [ "s"; "election"; "cover+out"; "exchange"; "equality"; "compute"; "total"; "aborts" ]
   in
   List.iter
-    (fun s ->
-      let net = Netsim.Net.create n in
-      let rng = Util.Prng.create (100 + s) in
-      let (outs, costs), wall_ms =
-        timed (fun () ->
-            Mpc.Local_mpc.run_theorem4_metered ~cover_size:s net rng config ~corruption
-              ~inputs ~adv:Mpc.Local_mpc.honest_theorem4_adv)
-      in
-      record_net ~experiment:"E10" ~series:(Printf.sprintf "cover s=%d" s) ~n ~h ~wall_ms net;
-      let aborts =
-        Array.fold_left (fun a o -> a + if Mpc.Outcome.is_abort o then 1 else 0) 0 outs
-      in
+    (fun ((r : Analysis.Bench_io.run), (s, costs, aborts)) ->
       Analysis.Table.add_row t
         [ string_of_int s; fmt_bits costs.Mpc.Local_mpc.election_bits;
           fmt_bits (costs.Mpc.Local_mpc.cover_bits + costs.Mpc.Local_mpc.output_bits);
           fmt_bits costs.Mpc.Local_mpc.exchange_bits;
           fmt_bits costs.Mpc.Local_mpc.equality_bits;
           fmt_bits (costs.Mpc.Local_mpc.keygen_bits + costs.Mpc.Local_mpc.compute_bits);
-          fmt_bits (Netsim.Net.total_bits net); string_of_int aborts ])
-    (pick ~full:[ 1; 2; 5; 19; 38; 96 ] ~reduced:[ 2; 5; 19; 38 ]);
+          fmt_bits r.bits; string_of_int aborts ])
+    rows;
   Analysis.Table.print t;
   Printf.printf
     "shape check: small s under-covers (aborts); large s inflates the exchange\n\
-     term |C|^2 s; the optimum sits near n/sqrt(h) with zero aborts.\n"
+     term |C|^2 s; the optimum sits near n/sqrt(h) with zero aborts.\n";
+  List.map fst rows
 
 (* ------------------------------------------------------------------ *)
 (* E11 — round complexity                                              *)
@@ -584,72 +720,94 @@ let e10 () =
 let e11 () =
   section "E11  Round complexity of the protocols (GL05 comparison)";
   let n = 48 and h = 24 in
+  let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:2 () in
+  let corruption = Netsim.Corruption.none ~n in
+  let protocols : (string * (Netsim.Net.t -> unit)) list =
+    [
+      ( "single-source broadcast (naive)",
+        fun net ->
+          let rng = Util.Prng.create 1 in
+          ignore
+            (Mpc.Broadcast.run net rng params ~variant:Mpc.Broadcast.Naive ~sender:0
+               ~value:(Bytes.make 64 'v') ~corruption ~adv:Mpc.Broadcast.honest_adv) );
+      ( "single-source broadcast (fingerprinted)",
+        fun net ->
+          let rng = Util.Prng.create 2 in
+          ignore
+            (Mpc.Broadcast.run net rng params ~variant:Mpc.Broadcast.Fingerprinted ~sender:0
+               ~value:(Bytes.make 64 'v') ~corruption ~adv:Mpc.Broadcast.honest_adv) );
+      ( "all-to-all broadcast (fingerprinted)",
+        fun net ->
+          let rng = Util.Prng.create 3 in
+          ignore
+            (Mpc.All_to_all.run net rng params ~variant:Mpc.All_to_all.Fingerprinted
+               ~participants:(List.init n (fun i -> i))
+               ~input:(fun i -> Bytes.make 64 (Char.chr (65 + (i mod 26))))
+               ~corruption ~adv:Mpc.All_to_all.honest_adv) );
+      ( "committee election (Alg 2)",
+        fun net ->
+          let rng = Util.Prng.create 4 in
+          ignore (Mpc.Committee.run net rng params ~corruption ~adv:Mpc.Committee.honest_adv)
+      );
+      ( "MPC with abort (Alg 3, Thm 1)",
+        fun net ->
+          let rng = Util.Prng.create 5 in
+          let config =
+            { Mpc.Mpc_abort.params; pke = sim_pke 11; circuit = Circuit.parity ~n;
+              input_width = 1 }
+          in
+          ignore
+            (Mpc.Mpc_abort.run net rng config ~corruption ~inputs:(Array.make n 0)
+               ~adv:Mpc.Mpc_abort.honest_adv) );
+      ( "gossip MPC (Thm 2)",
+        fun net ->
+          let rng = Util.Prng.create 6 in
+          let config =
+            { Mpc.Local_mpc.params; pke = sim_pke 12; circuit = Circuit.parity ~n;
+              input_width = 1 }
+          in
+          ignore
+            (Mpc.Local_mpc.run_theorem2 net rng config ~corruption ~inputs:(Array.make n 0)
+               ~adv:Mpc.Local_mpc.honest_theorem2_adv) );
+      ( "local MPC (Alg 8, Thm 4)",
+        fun net ->
+          let rng = Util.Prng.create 7 in
+          let config =
+            { Mpc.Local_mpc.params; pke = sim_pke 13; circuit = Circuit.parity ~n;
+              input_width = 1 }
+          in
+          ignore
+            (Mpc.Local_mpc.run_theorem4 net rng config ~corruption ~inputs:(Array.make n 0)
+               ~adv:Mpc.Local_mpc.honest_theorem4_adv) );
+    ]
+  in
+  let rows =
+    par_list protocols (fun (name, f) ->
+        let net = Netsim.Net.create n in
+        let (), wall_ms = timed (fun () -> f net) in
+        ( run_of_net ~experiment:"E11" ~series:name ~n ~h ~wall_ms net,
+          Netsim.Net.max_locality net ))
+  in
   let t =
     Analysis.Table.create
       ~title:(Printf.sprintf "n = %d, h = %d, honest runs" n h)
       ~columns:[ "protocol"; "rounds"; "bits"; "max locality" ]
   in
-  let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:2 () in
-  let corruption = Netsim.Corruption.none ~n in
-  let row name f =
-    let net = Netsim.Net.create n in
-    let (), wall_ms = timed (fun () -> f net) in
-    record_net ~experiment:"E11" ~series:name ~n ~h ~wall_ms net;
-    Analysis.Table.add_row t
-      [ name; string_of_int (Netsim.Net.rounds net); fmt_bits (Netsim.Net.total_bits net);
-        string_of_int (Netsim.Net.max_locality net) ]
-  in
-  row "single-source broadcast (naive)" (fun net ->
-      let rng = Util.Prng.create 1 in
-      ignore
-        (Mpc.Broadcast.run net rng params ~variant:Mpc.Broadcast.Naive ~sender:0
-           ~value:(Bytes.make 64 'v') ~corruption ~adv:Mpc.Broadcast.honest_adv));
-  row "single-source broadcast (fingerprinted)" (fun net ->
-      let rng = Util.Prng.create 2 in
-      ignore
-        (Mpc.Broadcast.run net rng params ~variant:Mpc.Broadcast.Fingerprinted ~sender:0
-           ~value:(Bytes.make 64 'v') ~corruption ~adv:Mpc.Broadcast.honest_adv));
-  row "all-to-all broadcast (fingerprinted)" (fun net ->
-      let rng = Util.Prng.create 3 in
-      ignore
-        (Mpc.All_to_all.run net rng params ~variant:Mpc.All_to_all.Fingerprinted
-           ~participants:(List.init n (fun i -> i))
-           ~input:(fun i -> Bytes.make 64 (Char.chr (65 + (i mod 26))))
-           ~corruption ~adv:Mpc.All_to_all.honest_adv));
-  row "committee election (Alg 2)" (fun net ->
-      let rng = Util.Prng.create 4 in
-      ignore (Mpc.Committee.run net rng params ~corruption ~adv:Mpc.Committee.honest_adv));
-  row "MPC with abort (Alg 3, Thm 1)" (fun net ->
-      let rng = Util.Prng.create 5 in
-      let config =
-        { Mpc.Mpc_abort.params; pke = sim_pke 11; circuit = Circuit.parity ~n; input_width = 1 }
-      in
-      ignore
-        (Mpc.Mpc_abort.run net rng config ~corruption ~inputs:(Array.make n 0)
-           ~adv:Mpc.Mpc_abort.honest_adv));
-  row "gossip MPC (Thm 2)" (fun net ->
-      let rng = Util.Prng.create 6 in
-      let config =
-        { Mpc.Local_mpc.params; pke = sim_pke 12; circuit = Circuit.parity ~n; input_width = 1 }
-      in
-      ignore
-        (Mpc.Local_mpc.run_theorem2 net rng config ~corruption ~inputs:(Array.make n 0)
-           ~adv:Mpc.Local_mpc.honest_theorem2_adv));
-  row "local MPC (Alg 8, Thm 4)" (fun net ->
-      let rng = Util.Prng.create 7 in
-      let config =
-        { Mpc.Local_mpc.params; pke = sim_pke 13; circuit = Circuit.parity ~n; input_width = 1 }
-      in
-      ignore
-        (Mpc.Local_mpc.run_theorem4 net rng config ~corruption ~inputs:(Array.make n 0)
-           ~adv:Mpc.Local_mpc.honest_theorem4_adv));
+  List.iter
+    (fun ((r : Analysis.Bench_io.run), loc) ->
+      Analysis.Table.add_row t
+        [ r.series; string_of_int r.rounds; fmt_bits r.bits; string_of_int loc ])
+    rows;
   Analysis.Table.print t;
-  Printf.printf "constant round counts, as in GL05 (locality protocols add gossip rounds).\n"
+  Printf.printf "constant round counts, as in GL05 (locality protocols add gossip rounds).\n";
+  List.map fst rows
 
 (* ------------------------------------------------------------------ *)
 (* E12 — crypto substrate microbenchmarks (bechamel)                   *)
 (* ------------------------------------------------------------------ *)
 
+(* Deliberately sequential: bechamel's ns/op estimates would be distorted
+   by concurrent load, so this experiment ignores --jobs. *)
 let e12 () =
   section "E12  Crypto substrate microbenchmarks (Bechamel, ns/op)";
   let open Bechamel in
@@ -711,8 +869,8 @@ let e12 () =
       in
       Analysis.Table.add_row t [ name; Printf.sprintf "%.0f" est ])
     (List.sort compare rows);
-  Analysis.Table.print t
-
+  Analysis.Table.print t;
+  []
 
 (* ------------------------------------------------------------------ *)
 (* E13 — baseline crossover: GMW vs Algorithm 3                        *)
@@ -725,56 +883,60 @@ let e13 () =
      multiplicative gate (every Beaver opening is an all-to-all exchange),\n\
      while Algorithm 3 delegates to a committee and pays O~(n^2/h) total.\n\
      f = majority(n), so the gate count itself grows with n.\n\n";
+  let rows =
+    par_list
+      (pick ~full:[ 16; 32; 64; 128; 256; 384 ] ~reduced:[ 16; 32; 64; 128 ])
+      (fun n ->
+        let circuit = Circuit.majority ~n in
+        let inputs = Array.init n (fun i -> i land 1) in
+        let corruption = Netsim.Corruption.none ~n in
+        let gmw =
+          let net = Netsim.Net.create n in
+          let rng = Util.Prng.create n in
+          let (), wall_ms =
+            timed (fun () ->
+                ignore
+                  (Mpc.Gmw.run net rng ~circuit ~input_width:1 ~inputs ~corruption
+                     ~adv:Mpc.Gmw.honest_adv))
+          in
+          run_of_net ~experiment:"E13" ~series:"gmw majority" ~n ~h:0 ~wall_ms net
+        in
+        let alg3 =
+          let params = Mpc.Params.make ~n ~h:(n / 4) ~lambda:8 ~alpha:2 () in
+          let config = { Mpc.Mpc_abort.params; pke = sim_pke n; circuit; input_width = 1 } in
+          let net = Netsim.Net.create n in
+          let rng = Util.Prng.create (n + 1) in
+          let (), wall_ms =
+            timed (fun () ->
+                ignore
+                  (Mpc.Mpc_abort.run net rng config ~corruption ~inputs
+                     ~adv:Mpc.Mpc_abort.honest_adv))
+          in
+          run_of_net ~experiment:"E13" ~series:"alg3 majority h=n/4" ~n ~h:(n / 4) ~wall_ms
+            net
+        in
+        (gmw, alg3, Mpc.Gmw.triples_used ~circuit))
+  in
   let t =
     Analysis.Table.create ~title:"honest runs, h = n/4 for Alg 3"
       ~columns:[ "n"; "AND gates"; "GMW bits"; "Alg 3 bits"; "winner" ]
   in
   List.iter
-    (fun n ->
-      let circuit = Circuit.majority ~n in
-      let inputs = Array.init n (fun i -> i land 1) in
-      let corruption = Netsim.Corruption.none ~n in
-      let gmw_bits =
-        let net = Netsim.Net.create n in
-        let rng = Util.Prng.create n in
-        let (), wall_ms =
-          timed (fun () ->
-              ignore
-                (Mpc.Gmw.run net rng ~circuit ~input_width:1 ~inputs ~corruption
-                   ~adv:Mpc.Gmw.honest_adv))
-        in
-        record_net ~experiment:"E13" ~series:"gmw majority" ~n ~h:0 ~wall_ms net;
-        Netsim.Net.total_bits net
-      in
-      let alg3_bits =
-        let params = Mpc.Params.make ~n ~h:(n / 4) ~lambda:8 ~alpha:2 () in
-        let config =
-          { Mpc.Mpc_abort.params; pke = sim_pke n; circuit; input_width = 1 }
-        in
-        let net = Netsim.Net.create n in
-        let rng = Util.Prng.create (n + 1) in
-        let (), wall_ms =
-          timed (fun () ->
-              ignore
-                (Mpc.Mpc_abort.run net rng config ~corruption ~inputs
-                   ~adv:Mpc.Mpc_abort.honest_adv))
-        in
-        record_net ~experiment:"E13" ~series:"alg3 majority h=n/4" ~n ~h:(n / 4) ~wall_ms net;
-        Netsim.Net.total_bits net
-      in
+    (fun ((gmw : Analysis.Bench_io.run), (alg3 : Analysis.Bench_io.run), gates) ->
       Analysis.Table.add_row t
-        [ string_of_int n; string_of_int (Mpc.Gmw.triples_used ~circuit);
-          fmt_bits gmw_bits; fmt_bits alg3_bits;
-          (if gmw_bits < alg3_bits then
-             Printf.sprintf "GMW %.1fx" (float_of_int alg3_bits /. float_of_int gmw_bits)
-           else Printf.sprintf "Alg3 %.1fx" (float_of_int gmw_bits /. float_of_int alg3_bits)) ])
-    (pick ~full:[ 16; 32; 64; 128; 256; 384 ] ~reduced:[ 16; 32; 64; 128 ]);
+        [ string_of_int gmw.n; string_of_int gates; fmt_bits gmw.bits; fmt_bits alg3.bits;
+          (if gmw.bits < alg3.bits then
+             Printf.sprintf "GMW %.1fx" (float_of_int alg3.bits /. float_of_int gmw.bits)
+           else Printf.sprintf "Alg3 %.1fx" (float_of_int gmw.bits /. float_of_int alg3.bits))
+        ])
+    rows;
   Analysis.Table.print t;
   Printf.printf
     "shape check: GMW wins at small n (tiny constants), Algorithm 3 overtakes\n\
      as n grows — the crossover the paper's committee delegation buys.\n\
      GMW also gives no abort guarantee against active adversaries (see\n\
-     test_gmw's share-flip attack), unlike every protocol in this library.\n"
+     test_gmw's share-flip attack), unlike every protocol in this library.\n";
+  List.concat_map (fun (gmw, alg3, _) -> [ gmw; alg3 ]) rows
 
 (* ------------------------------------------------------------------ *)
 (* E14 — Remark 10: poly(lambda, D) vs poly(lambda, C)                 *)
@@ -809,55 +971,59 @@ let e14 () =
     ];
   Analysis.Table.print t;
   print_newline ();
+  (* Yao and Alg 3 share one RNG stream per width (Alg 3's randomness
+     continues where Yao's stopped), so both stay in a single job. *)
+  let rows =
+    par_list [ 2; 4; 8 ] (fun width ->
+        let circuit = Circuit.sum ~n:2 ~width in
+        let rng = Util.Prng.create width in
+        let yao =
+          let net = Netsim.Net.create 2 in
+          let (), wall_ms =
+            timed (fun () ->
+                match Mpc.Two_party.run net rng ~circuit ~input_width:width ~x0:1 ~x1:2 with
+                | Mpc.Outcome.Output _ -> ()
+                | Mpc.Outcome.Abort r -> failwith (Mpc.Outcome.reason_to_string r))
+          in
+          run_of_net ~experiment:"E14" ~series:(Printf.sprintf "yao w=%d" width) ~n:2 ~h:1
+            ~wall_ms net
+        in
+        let alg3 =
+          let params = Mpc.Params.make ~n:2 ~h:1 ~lambda:8 ~alpha:2 () in
+          let config =
+            { Mpc.Mpc_abort.params; pke = (module Crypto.Pke.Regev : Crypto.Pke.S); circuit;
+              input_width = width }
+          in
+          let net = Netsim.Net.create 2 in
+          let corruption = Netsim.Corruption.none ~n:2 in
+          let (), wall_ms =
+            timed (fun () ->
+                ignore
+                  (Mpc.Mpc_abort.run net rng config ~corruption ~inputs:[| 1; 2 |]
+                     ~adv:Mpc.Mpc_abort.honest_adv))
+          in
+          run_of_net ~experiment:"E14" ~series:(Printf.sprintf "alg3 w=%d" width) ~n:2 ~h:1
+            ~wall_ms net
+        in
+        (width, yao, alg3))
+  in
   let t2 =
     Analysis.Table.create ~title:"concrete n = 2: sum of two w-bit words, measured bits"
       ~columns:[ "w"; "Yao + LWE-OT (Remark 10)"; "Alg 3 (n=2, h=1)" ]
   in
   List.iter
-    (fun width ->
-      let circuit = Circuit.sum ~n:2 ~width in
-      let rng = Util.Prng.create width in
-      let yao_bits =
-        let net = Netsim.Net.create 2 in
-        let (), wall_ms =
-          timed (fun () ->
-              match Mpc.Two_party.run net rng ~circuit ~input_width:width ~x0:1 ~x1:2 with
-              | Mpc.Outcome.Output _ -> ()
-              | Mpc.Outcome.Abort r -> failwith (Mpc.Outcome.reason_to_string r))
-        in
-        record_net ~experiment:"E14" ~series:(Printf.sprintf "yao w=%d" width) ~n:2 ~h:1
-          ~wall_ms net;
-        Netsim.Net.total_bits net
-      in
-      let alg3_bits =
-        let params = Mpc.Params.make ~n:2 ~h:1 ~lambda:8 ~alpha:2 () in
-        let config =
-          { Mpc.Mpc_abort.params; pke = (module Crypto.Pke.Regev : Crypto.Pke.S); circuit;
-            input_width = width }
-        in
-        let net = Netsim.Net.create 2 in
-        let corruption = Netsim.Corruption.none ~n:2 in
-        let (), wall_ms =
-          timed (fun () ->
-              ignore
-                (Mpc.Mpc_abort.run net rng config ~corruption ~inputs:[| 1; 2 |]
-                   ~adv:Mpc.Mpc_abort.honest_adv))
-        in
-        record_net ~experiment:"E14" ~series:(Printf.sprintf "alg3 w=%d" width) ~n:2 ~h:1
-          ~wall_ms net;
-        Netsim.Net.total_bits net
-      in
-      Analysis.Table.add_row t2
-        [ string_of_int width; fmt_bits yao_bits; fmt_bits alg3_bits ])
-    [ 2; 4; 8 ];
+    (fun (width, (yao : Analysis.Bench_io.run), (alg3 : Analysis.Bench_io.run)) ->
+      Analysis.Table.add_row t2 [ string_of_int width; fmt_bits yao.bits; fmt_bits alg3.bits ])
+    rows;
   Analysis.Table.print t2;
   Printf.printf
     "shape check: the size/depth gap is mild for shallow circuits and grows\n\
-     with C/D — Remark 10's trade is visible and quantified.\n"
+     with C/D — Remark 10's trade is visible and quantified.\n";
+  List.concat_map (fun (_, yao, alg3) -> [ yao; alg3 ]) rows
 
 (* ------------------------------------------------------------------ *)
 
-let experiments =
+let experiments : (string * string * (unit -> Analysis.Bench_io.run list)) list =
   [
     ("E1", "Theorem 1: Alg 3 communication O~(n^2/h)", e1);
     ("E2", "Theorem 2: gossip MPC O~(n^3/h), locality O~(n/h)", e2);
@@ -875,6 +1041,8 @@ let experiments =
     ("E14", "Remark 10: depth-based vs size-based cost", e14);
   ]
 
+let valid_ids () = String.concat " " (List.map (fun (id, _, _) -> id) experiments)
+
 let iso_date () =
   let tm = Unix.gmtime (Unix.gettimeofday ()) in
   Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
@@ -886,6 +1054,15 @@ let find_arg args flag =
     | [] -> None
   in
   go args
+
+let parse_jobs s =
+  if s = "max" then Util.Pool.default_num_domains () + 1
+  else
+    match int_of_string_opt s with
+    | Some j when j >= 1 -> j
+    | _ ->
+      Printf.eprintf "error: --jobs expects a positive integer or \"max\", got %S\n" s;
+      exit 1
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -908,7 +1085,14 @@ let () =
         exit 1
     in
     let before = load a and after = load b in
-    let drifted = Analysis.Bench_io.print_diff ~before ~after in
+    let matched, drifted = Analysis.Bench_io.print_diff ~before ~after in
+    if matched = 0 then begin
+      Printf.eprintf
+        "error: no comparable runs between %s and %s — the reports cover disjoint \
+         experiment/series/n/h keys (e.g. a --quick report diffed against a full-tier one)\n"
+        a b;
+      exit 1
+    end;
     exit (if drifted > 0 then 1 else 0)
   | None ->
     if List.mem "--list" args then
@@ -917,28 +1101,34 @@ let () =
       quick := List.mem "--quick" args;
       let json_path = find_arg args "--json" in
       let max_wall_s = Option.map float_of_string (find_arg args "--max-wall-s") in
+      let jobs = match find_arg args "--jobs" with None -> 1 | Some s -> parse_jobs s in
+      if jobs > 1 then pool := Some (Util.Pool.create ~num_domains:(jobs - 1) ());
       let selected =
         match find_arg args "--only" with
         | None -> experiments
-        | Some id -> List.filter (fun (eid, _, _) -> eid = id) experiments
+        | Some id ->
+          (match List.filter (fun (eid, _, _) -> eid = id) experiments with
+          | [] ->
+            Printf.eprintf "error: unknown experiment id %S; valid ids: %s\n" id
+              (valid_ids ());
+            exit 1
+          | sel -> sel)
       in
-      if selected = [] then begin
-        Printf.eprintf "unknown experiment; use --list\n";
-        exit 1
-      end;
       let t0 = Unix.gettimeofday () in
-      let experiment_wall_ms =
+      let results =
         List.map
           (fun (id, _, f) ->
             let s = Unix.gettimeofday () in
-            f ();
+            let runs = f () in
             let ms = 1000.0 *. (Unix.gettimeofday () -. s) in
             Printf.printf "[%.1fs]\n%!" (ms /. 1000.0);
-            (id, ms))
+            (id, ms, runs))
           selected
       in
       let total_wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
-      Printf.printf "\nall experiments done in %.1fs%s\n" (total_wall_ms /. 1000.0)
+      Option.iter Util.Pool.shutdown !pool;
+      Printf.printf "\nall experiments done in %.1fs (jobs=%d)%s\n" (total_wall_ms /. 1000.0)
+        jobs
         (if !quick then " (quick tier)" else "");
       (match json_path with
       | Some path ->
@@ -946,9 +1136,10 @@ let () =
           {
             Analysis.Bench_io.date = iso_date ();
             quick = !quick;
+            jobs;
             total_wall_ms;
-            experiment_wall_ms;
-            runs = List.rev !recorded;
+            experiment_wall_ms = List.map (fun (id, ms, _) -> (id, ms)) results;
+            runs = List.concat_map (fun (_, _, runs) -> runs) results;
           }
         in
         Analysis.Bench_io.save path report;
@@ -957,8 +1148,8 @@ let () =
       | None -> ());
       match max_wall_s with
       | Some budget when total_wall_ms > 1000.0 *. budget ->
-        Printf.eprintf "wall-clock budget exceeded: %.1fs > %.1fs\n" (total_wall_ms /. 1000.0)
-          budget;
+        Printf.eprintf "wall-clock budget exceeded: %.1fs > %.1fs (at jobs=%d)\n"
+          (total_wall_ms /. 1000.0) budget jobs;
         exit 2
       | _ -> ()
     end

@@ -1,4 +1,8 @@
-let schema = "mpc-aborts-bench/1"
+let schema = "mpc-aborts-bench/2"
+
+(* /1 reports predate the --jobs flag; they load with [jobs = 1], which is
+   accurate — the old harness was sequential. *)
+let legacy_schema = "mpc-aborts-bench/1"
 
 type run = {
   experiment : string;
@@ -14,6 +18,7 @@ type run = {
 type report = {
   date : string;
   quick : bool;
+  jobs : int;
   total_wall_ms : float;
   experiment_wall_ms : (string * float) list;
   runs : run list;
@@ -40,6 +45,7 @@ let report_to_json rep =
       ("schema", Json.String schema);
       ("date", Json.String rep.date);
       ("quick", Json.Bool rep.quick);
+      ("jobs", Json.Int rep.jobs);
       ("total_wall_ms", Json.Float rep.total_wall_ms);
       ( "experiments",
         Json.List
@@ -71,12 +77,13 @@ let run_of_json j =
 
 let report_of_json j =
   (match Json.member "schema" j with
-  | Some (Json.String s) when s = schema -> ()
+  | Some (Json.String s) when s = schema || s = legacy_schema -> ()
   | Some (Json.String s) -> failwith (Printf.sprintf "Bench_io: unknown schema %S" s)
   | _ -> failwith "Bench_io: missing schema field");
   {
     date = field "date" Json.get_string j;
     quick = (match Option.bind (Json.member "quick" j) Json.get_bool with Some b -> b | None -> false);
+    jobs = (match Option.bind (Json.member "jobs" j) Json.get_int with Some v -> v | None -> 1);
     total_wall_ms = field "total_wall_ms" Json.get_float j;
     experiment_wall_ms =
       field "experiments" Json.get_list j
@@ -152,9 +159,11 @@ let print_diff ~before ~after =
   Table.print t;
   Printf.printf
     "\n%d comparable runs; %d with accounting drift (bits/messages/rounds changed).\n\
-     total wall: %.1fs -> %.1fs (%s)\n"
+     total wall: %.1fs (jobs=%d) -> %.1fs (jobs=%d) (%s)\n"
     matched drifted
     (before.total_wall_ms /. 1000.0)
+    before.jobs
     (after.total_wall_ms /. 1000.0)
+    after.jobs
     (speedup ~before:before.total_wall_ms ~after:after.total_wall_ms);
-  drifted
+  (matched, drifted)

@@ -11,6 +11,10 @@
 
 val schema : string
 
+(** The pre-[--jobs] schema ([mpc-aborts-bench/1]); {!report_of_json}
+    still accepts it, defaulting {!type-report.jobs} to [1]. *)
+val legacy_schema : string
+
 type run = {
   experiment : string;  (** e.g. ["E1"] *)
   series : string;  (** which sweep within the experiment, e.g. ["n-sweep h=n/4"] *)
@@ -25,6 +29,9 @@ type run = {
 type report = {
   date : string;  (** ISO-8601 UTC *)
   quick : bool;  (** produced by the reduced [--quick] CI tier *)
+  jobs : int;
+      (** parallel executors used ([--jobs]); affects only wall-clock
+          fields — bits/messages/rounds are deterministic at any value *)
   total_wall_ms : float;
   experiment_wall_ms : (string * float) list;
   runs : run list;
@@ -48,5 +55,6 @@ val load : string -> report
 val diff_table : before:report -> after:report -> Table.t * int * int
 
 (** [print_diff ~before ~after] prints the table plus a summary line and
-    returns the number of drifted runs (for use as an exit status). *)
-val print_diff : before:report -> after:report -> int
+    returns [(matched, drifted)] so the caller can fail both on
+    accounting drift and on a vacuous diff with no comparable runs. *)
+val print_diff : before:report -> after:report -> int * int

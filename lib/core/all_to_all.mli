@@ -12,7 +12,11 @@
       the committee-internal broadcast used by the encrypted functionality.
 
     [participants] restricts the protocol to a subset of the network (the
-    paper runs [F_SB] both on all [n] parties and inside committees). *)
+    paper runs [F_SB] both on all [n] parties and inside committees).
+
+    Domain-safety: the [input i] memo and the per-receiver echo tables
+    are per-call; nothing is cached at module level, so concurrent runs
+    on distinct networks (see {!Netsim.Net}) are safe. *)
 
 type variant = Naive | Fingerprinted
 

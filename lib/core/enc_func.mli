@@ -26,7 +26,12 @@
     paper's claims depend on.  NIZK soundness is modeled by a validity
     tag: honest messages carry tag 0 and any adversarial deviation is
     visible as a non-zero tag or malformed length (a sound proof system
-    makes deviation detectable — that detectability is all we keep). *)
+    makes deviation detectable — that detectability is all we keep).
+
+    Domain-safety: the input memo and the broadcast-consistency table are
+    per-call; a run touches only the network/RNG/PKE instance it is
+    handed, so jobs that own those (see {!Netsim.Net}) can run this
+    concurrently. *)
 
 type result = {
   public_output : bytes;

@@ -9,7 +9,12 @@
     network rounds (all fingerprints, then all verdict bits) — this is the
     verification step used by All-to-All Broadcast (§2.1), by CommitteeElect
     (Algorithm 2 step 4), and by the MPC protocols (Algorithm 3 step 5,
-    Algorithm 8 step 7). *)
+    Algorithm 8 step 7).
+
+    Domain-safety: {!pairwise} memoizes [value i] and each member's
+    residues, but both caches live inside the call — no state survives it
+    or is shared between concurrent runs, so parallel jobs that own their
+    network and RNG ({!Netsim.Net} contract) may run this freely. *)
 
 (** How a corrupted party misbehaves in equality tests.  [tamper_fp] lets a
     corrupted sender substitute the fingerprint it sends; [lie_verdict]

@@ -3,7 +3,12 @@
     mutual knowledge of each other runs [Equality_λ] on their
     (self-inclusive) views of the committee, over direct channels.
 
-    Mutates [aborted]: an honest party whose test fails is marked. *)
+    Mutates [aborted]: an honest party whose test fails is marked.
+
+    Domain-safety: the per-claimant view encodings and the adjacency
+    bitmap are allocated per call; the only state crossing the call
+    boundary is the caller-owned [aborted] array.  Safe under
+    [Util.Pool] jobs that own their network/RNG/arrays. *)
 
 val run :
   Netsim.Net.t ->

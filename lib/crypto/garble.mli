@@ -12,7 +12,12 @@
     [(σ_a, σ_b)] holding [H(K_a ‖ K_b ‖ gate_id) ⊕ (K_c ‖ tag)] — the
     evaluator decrypts exactly one row per gate and learns nothing else.
     NOT gates are free (label swap at garble time).  No free-XOR, no
-    row-reduction: clarity over squeezing bytes. *)
+    row-reduction: clarity over squeezing bytes.
+
+    Domain-safety: the wire-id table built during garbling belongs to the
+    call, and a [garbled] value is immutable once returned; distinct
+    garble/eval calls share nothing, so parallel bench jobs may use this
+    module without coordination. *)
 
 type garbled
 

@@ -22,7 +22,15 @@
     ascending order, which realizes the documented delivery order
     directly), {!recv} is linear in the messages returned, and
     {!recv_from} is linear in the messages from that one sender rather
-    than in the whole inbox. *)
+    than in the whole inbox.
+
+    Domain-safety contract: a [t] is single-owner mutable state with no
+    internal locking.  Two domains must never touch the same instance;
+    one domain may freely own many.  The bench harness's parallel
+    scheduler ([Util.Pool]) relies on this: every job creates its own
+    network (plus its own [Util.Prng.t] — same contract), which is
+    sufficient because no protocol module in the library keeps mutable
+    state that outlives a single [run] call. *)
 
 type t
 

@@ -1,0 +1,137 @@
+(* A batch is the unit of work published to the pool.  Workers that wake
+   up late (after the batch is already drained) still hold a reference to
+   *their* batch, whose [next] counter is exhausted — they take zero jobs
+   and never touch a newer batch's counter, which is what makes reusing
+   the pool across map_jobs calls race-free. *)
+type batch = {
+  run : int -> unit;
+  len : int;
+  next : int Atomic.t;
+  mutable remaining : int; (* jobs not yet completed; under the pool mutex *)
+}
+
+type t = {
+  n : int;
+  m : Mutex.t;
+  work_cv : Condition.t; (* workers wait here for a new generation *)
+  done_cv : Condition.t; (* the caller waits here for batch completion *)
+  mutable gen : int;
+  mutable current : batch option;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let clamp_domains d = max 0 (min d 15)
+
+let default_num_domains () = clamp_domains (Domain.recommended_domain_count () - 1)
+
+(* Drain [b]: claim indices until the counter runs past the end.  Returns
+   how many jobs this domain completed so the caller can settle the
+   batch's [remaining] under the mutex. *)
+let drain (b : batch) =
+  let completed = ref 0 in
+  let rec go () =
+    let i = Atomic.fetch_and_add b.next 1 in
+    if i < b.len then begin
+      b.run i;
+      incr completed;
+      go ()
+    end
+  in
+  go ();
+  !completed
+
+let settle t b completed =
+  Mutex.lock t.m;
+  b.remaining <- b.remaining - completed;
+  if b.remaining = 0 then Condition.broadcast t.done_cv;
+  Mutex.unlock t.m
+
+let worker t =
+  let my_gen = ref 0 in
+  let rec loop () =
+    Mutex.lock t.m;
+    while (not t.stop) && t.gen = !my_gen do
+      Condition.wait t.work_cv t.m
+    done;
+    if t.stop then Mutex.unlock t.m
+    else begin
+      my_gen := t.gen;
+      let b = t.current in
+      Mutex.unlock t.m;
+      (match b with
+      | Some b -> settle t b (drain b)
+      | None -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?num_domains () =
+  let n = clamp_domains (Option.value num_domains ~default:(default_num_domains ())) in
+  let t =
+    {
+      n;
+      m = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      gen = 0;
+      current = None;
+      stop = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init n (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let num_domains t = t.n
+
+let map_jobs t jobs f =
+  let len = Array.length jobs in
+  if len = 0 then [||]
+  else begin
+    let results = Array.make len None in
+    let run i =
+      let r =
+        try Ok (f jobs.(i)) with e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      results.(i) <- Some r
+    in
+    let b = { run; len; next = Atomic.make 0; remaining = len } in
+    Mutex.lock t.m;
+    if t.stop then begin
+      Mutex.unlock t.m;
+      invalid_arg "Pool.map_jobs: pool is shut down"
+    end;
+    t.current <- Some b;
+    t.gen <- t.gen + 1;
+    Condition.broadcast t.work_cv;
+    Mutex.unlock t.m;
+    (* The caller is a worker too: with num_domains = 0 it does everything,
+       and otherwise it never sits idle while jobs remain. *)
+    let completed = drain b in
+    Mutex.lock t.m;
+    b.remaining <- b.remaining - completed;
+    while b.remaining > 0 do
+      Condition.wait t.done_cv t.m
+    done;
+    t.current <- None;
+    Mutex.unlock t.m;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false (* remaining = 0 implies every slot was written *))
+      results
+  end
+
+let shutdown t =
+  Mutex.lock t.m;
+  let already = t.stop in
+  t.stop <- true;
+  Condition.broadcast t.work_cv;
+  Mutex.unlock t.m;
+  if not already then begin
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end

@@ -124,6 +124,7 @@ let sample_report =
   {
     Analysis.Bench_io.date = "2026-08-06";
     quick = false;
+    jobs = 1;
     total_wall_ms = 1234.5;
     experiment_wall_ms = [ ("E1", 1000.0); ("E9", 234.5) ];
     runs =
@@ -171,6 +172,88 @@ let test_bench_io_schema_checked () =
        false
      with Failure _ -> true)
 
+(* A /1 report (pre---jobs harness) must still load, with [jobs] = 1. *)
+let test_bench_io_legacy_schema () =
+  let legacy =
+    Printf.sprintf
+      "{\"schema\":%S,\"date\":\"2026-08-06\",\"quick\":true,\"total_wall_ms\":10.0,\
+       \"experiments\":[],\"runs\":[]}"
+      Analysis.Bench_io.legacy_schema
+  in
+  let rep = Analysis.Bench_io.report_of_json (Analysis.Json.parse legacy) in
+  Alcotest.(check int) "legacy jobs defaults to 1" 1 rep.Analysis.Bench_io.jobs;
+  Alcotest.(check bool) "legacy quick preserved" true rep.Analysis.Bench_io.quick
+
+(* ---- QCheck round-trip properties ---- *)
+
+(* Floats that print exactly under the emitter's %.12g: dyadic rationals
+   with small numerators.  (Arbitrary doubles can need 17 significant
+   digits, which is a printer limitation, not a parser bug.) *)
+let gen_dyadic = QCheck.Gen.(map (fun a -> float_of_int a /. 8.0) (int_range (-8_000_000) 8_000_000))
+
+(* Strings over the full byte range: exercises the \uXXXX control-char
+   escapes, the quote/backslash escapes, and raw high bytes. *)
+let gen_raw_string = QCheck.Gen.(string_size ~gen:char (int_bound 20))
+
+let gen_json =
+  QCheck.Gen.(
+    sized @@ fix (fun self size ->
+        let leaf =
+          oneof
+            [
+              return Analysis.Json.Null;
+              map (fun b -> Analysis.Json.Bool b) bool;
+              map (fun i -> Analysis.Json.Int i) int;
+              map (fun f -> Analysis.Json.Float f) gen_dyadic;
+              map (fun s -> Analysis.Json.String s) gen_raw_string;
+            ]
+        in
+        if size = 0 then leaf
+        else
+          frequency
+            [
+              (3, leaf);
+              (1, map (fun l -> Analysis.Json.List l) (list_size (int_bound 4) (self (size / 2))));
+              ( 1,
+                map
+                  (fun l -> Analysis.Json.Obj l)
+                  (list_size (int_bound 4) (pair gen_raw_string (self (size / 2)))) );
+            ]))
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"Json print/parse round-trip"
+    (QCheck.make ~print:(fun j -> Analysis.Json.to_string j) gen_json)
+    (fun j ->
+      Analysis.Json.parse (Analysis.Json.to_string j) = j
+      && Analysis.Json.parse (Analysis.Json.to_string ~pretty:true j) = j)
+
+let gen_run =
+  QCheck.Gen.(
+    map
+      (fun ((experiment, series, n, h), (bits, messages, rounds, wall_ms)) ->
+        { Analysis.Bench_io.experiment; series; n; h; bits; messages; rounds; wall_ms })
+      (pair
+         (quad gen_raw_string gen_raw_string small_nat small_nat)
+         (quad small_nat small_nat small_nat gen_dyadic)))
+
+let gen_report =
+  QCheck.Gen.(
+    map
+      (fun ((date, quick, jobs, total_wall_ms), (experiment_wall_ms, runs)) ->
+        { Analysis.Bench_io.date; quick; jobs; total_wall_ms; experiment_wall_ms; runs })
+      (pair
+         (quad gen_raw_string bool (int_range 1 64) gen_dyadic)
+         (pair
+            (list_size (int_bound 5) (pair gen_raw_string gen_dyadic))
+            (list_size (int_bound 8) gen_run))))
+
+let prop_bench_io_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"Bench_io report print/parse round-trip"
+    (QCheck.make gen_report)
+    (fun rep ->
+      let s = Analysis.Json.to_string ~pretty:true (Analysis.Bench_io.report_to_json rep) in
+      Analysis.Bench_io.report_of_json (Analysis.Json.parse s) = rep)
+
 let test_bench_io_diff_counts_drift () =
   let bump r = { r with Analysis.Bench_io.bits = r.Analysis.Bench_io.bits + 8 } in
   let drifted_report =
@@ -213,12 +296,15 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
           Alcotest.test_case "accessors" `Quick test_json_accessors;
+          QCheck_alcotest.to_alcotest prop_json_roundtrip;
         ] );
       ( "bench_io",
         [
           Alcotest.test_case "json roundtrip" `Quick test_bench_io_roundtrip;
           Alcotest.test_case "save/load" `Quick test_bench_io_save_load;
           Alcotest.test_case "schema checked" `Quick test_bench_io_schema_checked;
+          Alcotest.test_case "legacy /1 schema loads" `Quick test_bench_io_legacy_schema;
           Alcotest.test_case "diff counts drift" `Quick test_bench_io_diff_counts_drift;
+          QCheck_alcotest.to_alcotest prop_bench_io_roundtrip;
         ] );
     ]

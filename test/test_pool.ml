@@ -1,0 +1,102 @@
+(* Tests for Util.Pool — the deterministic domain pool under the bench
+   harness.  The load-bearing property: [map_jobs] equals sequential
+   [Array.map] at every worker count, because results are written back by
+   job index regardless of which domain claims which job. *)
+
+let checkb = Alcotest.(check bool)
+
+(* jobs ∈ {1, 2, 8} parallel executors = {0, 1, 7} pool workers plus the
+   participating caller. *)
+let worker_counts = [ 0; 1; 7 ]
+
+let with_pool num_domains f =
+  let p = Util.Pool.create ~num_domains () in
+  Fun.protect ~finally:(fun () -> Util.Pool.shutdown p) (fun () -> f p)
+
+let prop_matches_sequential =
+  QCheck.Test.make ~count:60 ~name:"map_jobs ≡ Array.map at jobs ∈ {1,2,8}"
+    QCheck.(pair (list_of_size (QCheck.Gen.int_bound 50) int) small_nat)
+    (fun (xs, salt) ->
+      let jobs = Array.of_list xs in
+      let f x = (x * x) + salt in
+      let expected = Array.map f jobs in
+      List.for_all
+        (fun nd -> with_pool nd (fun p -> Util.Pool.map_jobs p jobs f = expected))
+        worker_counts)
+
+let test_order_preserved_under_skew () =
+  (* Give early jobs the most work so late jobs finish first on a real
+     multicore — the result must still come back in array order. *)
+  with_pool 7 (fun p ->
+      let jobs = Array.init 64 (fun i -> i) in
+      let f i =
+        let spin = (64 - i) * 2000 in
+        let acc = ref 0 in
+        for k = 1 to spin do
+          acc := !acc + (k land 7)
+        done;
+        ignore !acc;
+        i * 3
+      in
+      let r = Util.Pool.map_jobs p jobs f in
+      checkb "ordered" true (r = Array.map f jobs))
+
+let test_pool_reuse () =
+  with_pool 3 (fun p ->
+      for round = 1 to 20 do
+        let jobs = Array.init (round * 5) (fun i -> i) in
+        let f i = i + round in
+        checkb "reused pool matches" true (Util.Pool.map_jobs p jobs f = Array.map f jobs)
+      done)
+
+let test_empty_and_singleton () =
+  with_pool 2 (fun p ->
+      checkb "empty" true (Util.Pool.map_jobs p [||] (fun () -> assert false) = [||]);
+      checkb "singleton" true (Util.Pool.map_jobs p [| 41 |] succ = [| 42 |]))
+
+let test_exception_lowest_index () =
+  with_pool 7 (fun p ->
+      let jobs = Array.init 40 (fun i -> i) in
+      checkb "lowest failing index wins" true
+        (try
+           ignore
+             (Util.Pool.map_jobs p jobs (fun i ->
+                  if i mod 10 = 3 then failwith (string_of_int i) else i));
+           false
+         with Failure s -> s = "3"))
+
+let test_shutdown_idempotent_and_final () =
+  let p = Util.Pool.create ~num_domains:2 () in
+  Util.Pool.shutdown p;
+  Util.Pool.shutdown p;
+  checkb "map_jobs after shutdown raises" true
+    (try
+       ignore (Util.Pool.map_jobs p [| 1 |] succ);
+       false
+     with Invalid_argument _ -> true)
+
+let test_default_and_clamping () =
+  checkb "default is non-negative" true (Util.Pool.default_num_domains () >= 0);
+  checkb "default is clamped" true (Util.Pool.default_num_domains () <= 15);
+  with_pool 99 (fun p -> Alcotest.(check int) "clamped to 15" 15 (Util.Pool.num_domains p));
+  with_pool (-3) (fun p -> Alcotest.(check int) "clamped to 0" 0 (Util.Pool.num_domains p))
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "map_jobs",
+        [
+          QCheck_alcotest.to_alcotest prop_matches_sequential;
+          Alcotest.test_case "order under skewed job sizes" `Quick
+            test_order_preserved_under_skew;
+          Alcotest.test_case "pool reuse across batches" `Quick test_pool_reuse;
+          Alcotest.test_case "empty and singleton arrays" `Quick test_empty_and_singleton;
+          Alcotest.test_case "exception of lowest index" `Quick test_exception_lowest_index;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "shutdown idempotent, then raises" `Quick
+            test_shutdown_idempotent_and_final;
+          Alcotest.test_case "defaults and clamping" `Quick test_default_and_clamping;
+        ] );
+    ]
