@@ -7,6 +7,7 @@
      dune exec bench/main.exe -- --only E1    -- one experiment
      dune exec bench/main.exe -- --list       -- list experiments
      dune exec bench/main.exe -- --quick      -- reduced sweeps (CI tier)
+     dune exec bench/main.exe -- --huge       -- n up to 2048 for E1/E9/E13 (see below)
      dune exec bench/main.exe -- --jobs N     -- N parallel executors ("max" = all cores)
      dune exec bench/main.exe -- --json F     -- also write a JSON report to F
      dune exec bench/main.exe -- --max-wall-s S   -- exit 2 if wall-clock > S
@@ -21,7 +22,20 @@
    scheduling.  Each job builds its own network, RNG, and PKE instance and
    returns its [Analysis.Bench_io.run] records; tables, fits, and the JSON
    report are assembled from the result arrays on the main domain, so the
-   output is byte-identical at any --jobs value (wall-clock aside). *)
+   output is byte-identical at any --jobs value (wall-clock aside).
+
+   The --huge tier flips the parallelism inside-out: instead of many small
+   sweep points fanned across the pool, it runs few very large points
+   (n up to 2048) sequentially and hands the pool to the protocol itself,
+   which shards each communication round across domains via
+   [Netsim.Net.run_round].  Delivery and accounting are bit-identical at
+   any --jobs value there too (that is the run_round contract, enforced by
+   test/test_net_parallel.ml), so --diff between a --jobs 1 and a
+   --jobs max huge report must show zero drift.  --huge selects only
+   E1/E9/E13 by default; --huge --quick is the n = 512 smoke tier CI
+   uses.  The cubic baselines (E9 naive, E13 GMW) are capped — the cap is
+   printed, and is itself the point: past it only the paper's protocols
+   are feasible. *)
 
 let fmt_bits = Analysis.Table.fmt_bits
 
@@ -30,6 +44,10 @@ let fmt_bits = Analysis.Table.fmt_bits
    any job runs, so reading it from worker domains is race-free. *)
 let quick = ref false
 let pick ~full ~reduced = if !quick then reduced else full
+
+(* --huge: few very large sweep points, parallelized inside each run via
+   [Netsim.Net.run_round] instead of across runs.  Set once at startup. *)
+let huge = ref false
 
 (* The worker pool behind [par_map]; [None] (--jobs 1) is the pure
    sequential path with zero pool overhead. *)
@@ -75,7 +93,7 @@ let bits_measure ~x (r : Analysis.Bench_io.run) =
 (* E1 — Theorem 1: Algorithm 3 communication Õ(n²/h)                   *)
 (* ------------------------------------------------------------------ *)
 
-let run_alg3 ~n ~h ~seed =
+let run_alg3 ?pool ~n ~h ~seed () =
   let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:2 () in
   let config =
     { Mpc.Mpc_abort.params; pke = sim_pke seed; circuit = Circuit.parity ~n; input_width = 1 }
@@ -84,11 +102,44 @@ let run_alg3 ~n ~h ~seed =
   let inputs = Array.init n (fun i -> i land 1) in
   let net = Netsim.Net.create n in
   let rng = Util.Prng.create seed in
-  let outs = Mpc.Mpc_abort.run net rng config ~corruption ~inputs ~adv:Mpc.Mpc_abort.honest_adv in
+  let outs =
+    Mpc.Mpc_abort.run ?pool net rng config ~corruption ~inputs ~adv:Mpc.Mpc_abort.honest_adv
+  in
   assert (Array.for_all Mpc.Outcome.is_output outs);
   net
 
+let e1_huge () =
+  section "E1  (huge tier) Algorithm 3 at n up to 2048";
+  Printf.printf
+    "same protocol, series, and seeds as the full tier's h = n/4 sweep,\n\
+     pushed to n = 2048; each run shards its rounds across the --jobs pool\n\
+     via Net.run_round, so records are bit-identical at any --jobs value.\n\n";
+  let rows =
+    List.map
+      (fun n ->
+        let h = n / 4 in
+        let net, wall_ms = timed (run_alg3 ?pool:!pool ~n ~h ~seed:n) in
+        run_of_net ~experiment:"E1" ~series:"n-sweep h=n/4" ~n ~h ~wall_ms net)
+      (pick ~full:[ 512; 1024; 2048 ] ~reduced:[ 512 ])
+  in
+  let t =
+    Analysis.Table.create ~title:"sweep n at fixed ratio h = n/4 (n^2/h = 4n: expect ~linear)"
+      ~columns:[ "n"; "h"; "bits"; "bits*h/n^2"; "wall ms" ]
+  in
+  List.iter
+    (fun (r : Analysis.Bench_io.run) ->
+      Analysis.Table.add_row t
+        [ string_of_int r.n; string_of_int r.h; fmt_bits r.bits;
+          Printf.sprintf "%.0f"
+            (float_of_int r.bits *. float_of_int r.h /. float_of_int (r.n * r.n));
+          Printf.sprintf "%.0f" r.wall_ms ])
+    rows;
+  Analysis.Table.print t;
+  rows
+
 let e1 () =
+  if !huge then e1_huge ()
+  else begin
   section "E1  Theorem 1: Algorithm 3 uses O~(n^2/h) bits";
   Printf.printf "paper: total communication O(n^2 h^-1 poly(lambda, D, log n))\n\n";
   let r1 =
@@ -96,7 +147,7 @@ let e1 () =
       (pick ~full:[ 64; 128; 256; 384; 512 ] ~reduced:[ 64; 128; 256 ])
       (fun n ->
         let h = n / 4 in
-        let net, wall_ms = timed (fun () -> run_alg3 ~n ~h ~seed:n) in
+        let net, wall_ms = timed (run_alg3 ~n ~h ~seed:n) in
         run_of_net ~experiment:"E1" ~series:"n-sweep h=n/4" ~n ~h ~wall_ms net)
   in
   let t = Analysis.Table.create ~title:"sweep n at fixed ratio h = n/4 (n^2/h = 4n: expect ~linear)" ~columns:[ "n"; "h"; "bits"; "bits*h/n^2" ] in
@@ -117,7 +168,7 @@ let e1 () =
     par_list
       (pick ~full:[ 48; 96; 192; 288 ] ~reduced:[ 48; 96; 192 ])
       (fun n ->
-        let net, wall_ms = timed (fun () -> run_alg3 ~n ~h:12 ~seed:(4000 + n)) in
+        let net, wall_ms = timed (run_alg3 ~n ~h:12 ~seed:(4000 + n)) in
         run_of_net ~experiment:"E1" ~series:"n-sweep h=12" ~n ~h:12 ~wall_ms net)
   in
   let tf = Analysis.Table.create ~title:"sweep n at fixed h = 12 (expect ~n^2 polylog)" ~columns:[ "n"; "bits" ] in
@@ -135,7 +186,7 @@ let e1 () =
     par_list
       (pick ~full:[ 16; 32; 64; 128; 224 ] ~reduced:[ 32; 64; 128 ])
       (fun h ->
-        let net, wall_ms = timed (fun () -> run_alg3 ~n:256 ~h ~seed:(1000 + h)) in
+        let net, wall_ms = timed (run_alg3 ~n:256 ~h ~seed:(1000 + h)) in
         run_of_net ~experiment:"E1" ~series:"h-sweep n=256" ~n:256 ~h ~wall_ms net)
   in
   let t2 = Analysis.Table.create ~title:"sweep h (n = 256)" ~columns:[ "h"; "bits"; "bits*h" ] in
@@ -150,6 +201,7 @@ let e1 () =
   Analysis.Table.print t2;
   ignore (fit_line "exponent in h at fixed n (paper: ~-1; the committee-internal |C|^2 terms push toward -2 until h >> log^2 n)" ms_h);
   r1 @ r2 @ r3
+  end
 
 (* ------------------------------------------------------------------ *)
 (* E2 — Theorem 2: gossip MPC, Õ(n³/h) bits, locality Õ(n/h)           *)
@@ -608,7 +660,52 @@ let e8 () =
 (* E9 — §2.1 baseline: GL05 O(n³) vs fingerprinted Õ(n²)               *)
 (* ------------------------------------------------------------------ *)
 
+let e9_huge () =
+  section "E9  (huge tier) all-to-all broadcast at n up to 2048";
+  Printf.printf
+    "64-byte inputs keep one round's in-flight traffic in memory at\n\
+     n = 2048.  naive is O(n^3 l) and capped at n <= 128 — the cap is the\n\
+     point: past it only the fingerprinted protocol is feasible.\n\n";
+  let cost ~n name variant =
+    let params = Mpc.Params.make ~n ~h:(n / 2) ~lambda:8 ~alpha:2 () in
+    let corruption = Netsim.Corruption.none ~n in
+    let participants = List.init n (fun i -> i) in
+    let input i = Crypto.Kdf.expand ~key:(Bytes.of_string (string_of_int i)) ~info:"e9" 64 in
+    let net = Netsim.Net.create n in
+    let rng = Util.Prng.create n in
+    let outs, wall_ms =
+      timed (fun () ->
+          Mpc.All_to_all.run ?pool:!pool net rng params ~variant ~participants ~input
+            ~corruption ~adv:Mpc.All_to_all.honest_adv)
+    in
+    assert (List.for_all (fun (_, o) -> Mpc.Outcome.is_output o) outs);
+    run_of_net ~experiment:"E9" ~series:name ~n ~h:(n / 2) ~wall_ms net
+  in
+  let naive_rows =
+    List.map
+      (fun n -> cost ~n "naive 64B" Mpc.All_to_all.Naive)
+      (pick ~full:[ 64; 128 ] ~reduced:[ 64 ])
+  in
+  let fp_rows =
+    List.map
+      (fun n -> cost ~n "fingerprinted 64B" Mpc.All_to_all.Fingerprinted)
+      (pick ~full:[ 256; 512; 1024; 2048 ] ~reduced:[ 512 ])
+  in
+  let t =
+    Analysis.Table.create ~title:"64-byte inputs, honest runs"
+      ~columns:[ "series"; "n"; "bits"; "wall ms" ]
+  in
+  List.iter
+    (fun (r : Analysis.Bench_io.run) ->
+      Analysis.Table.add_row t
+        [ r.series; string_of_int r.n; fmt_bits r.bits; Printf.sprintf "%.0f" r.wall_ms ])
+    (naive_rows @ fp_rows);
+  Analysis.Table.print t;
+  naive_rows @ fp_rows
+
 let e9 () =
+  if !huge then e9_huge ()
+  else begin
   section "E9  Sec 2.1: all-to-all broadcast, naive O(n^3 l) vs fingerprinted O~(n^2)";
   Printf.printf "paper: the fingerprint optimization shaves a factor n off GL05.\n\n";
   let rows =
@@ -651,6 +748,7 @@ let e9 () =
   let slope, _, _ = Util.Stats.linear_fit (List.rev ratios) in
   Printf.printf "speedup grows linearly in n (slope %.2f per party) — the factor-n win.\n" slope;
   List.concat_map (fun (naive, fp) -> [ naive; fp ]) rows
+  end
 
 (* ------------------------------------------------------------------ *)
 (* E10 — Equation (1): phase decomposition of Algorithm 8              *)
@@ -876,7 +974,59 @@ let e12 () =
 (* E13 — baseline crossover: GMW vs Algorithm 3                        *)
 (* ------------------------------------------------------------------ *)
 
+let e13_huge () =
+  section "E13  (huge tier) GMW vs Algorithm 3 deep past the crossover";
+  Printf.printf
+    "GMW's Theta(n^2)-per-gate traffic is capped at n <= 384 (tens of\n\
+     seconds of simulated all-to-all openings beyond); Algorithm 3\n\
+     continues to n = 2048 where committee delegation wins outright.\n\n";
+  let gmw_point n =
+    let circuit = Circuit.majority ~n in
+    let inputs = Array.init n (fun i -> i land 1) in
+    let corruption = Netsim.Corruption.none ~n in
+    let net = Netsim.Net.create n in
+    let rng = Util.Prng.create n in
+    let (), wall_ms =
+      timed (fun () ->
+          ignore
+            (Mpc.Gmw.run net rng ~circuit ~input_width:1 ~inputs ~corruption
+               ~adv:Mpc.Gmw.honest_adv))
+    in
+    run_of_net ~experiment:"E13" ~series:"gmw majority" ~n ~h:0 ~wall_ms net
+  in
+  let alg3_point n =
+    let circuit = Circuit.majority ~n in
+    let inputs = Array.init n (fun i -> i land 1) in
+    let corruption = Netsim.Corruption.none ~n in
+    let params = Mpc.Params.make ~n ~h:(n / 4) ~lambda:8 ~alpha:2 () in
+    let config = { Mpc.Mpc_abort.params; pke = sim_pke n; circuit; input_width = 1 } in
+    let net = Netsim.Net.create n in
+    let rng = Util.Prng.create (n + 1) in
+    let (), wall_ms =
+      timed (fun () ->
+          ignore
+            (Mpc.Mpc_abort.run ?pool:!pool net rng config ~corruption ~inputs
+               ~adv:Mpc.Mpc_abort.honest_adv))
+    in
+    run_of_net ~experiment:"E13" ~series:"alg3 majority h=n/4" ~n ~h:(n / 4) ~wall_ms net
+  in
+  let gmw_rows = List.map gmw_point (pick ~full:[ 384 ] ~reduced:[ 128 ]) in
+  let alg3_rows = List.map alg3_point (pick ~full:[ 512; 1024; 2048 ] ~reduced:[ 512 ]) in
+  let t =
+    Analysis.Table.create ~title:"honest runs, h = n/4 for Alg 3"
+      ~columns:[ "series"; "n"; "bits"; "wall ms" ]
+  in
+  List.iter
+    (fun (r : Analysis.Bench_io.run) ->
+      Analysis.Table.add_row t
+        [ r.series; string_of_int r.n; fmt_bits r.bits; Printf.sprintf "%.0f" r.wall_ms ])
+    (gmw_rows @ alg3_rows);
+  Analysis.Table.print t;
+  gmw_rows @ alg3_rows
+
 let e13 () =
+  if !huge then e13_huge ()
+  else begin
   section "E13  Baseline: generic GMW vs the committee protocol (Algorithm 3)";
   Printf.printf
     "the intro's motivation: generic point-to-point MPC pays Theta(n^2) per\n\
@@ -937,6 +1087,7 @@ let e13 () =
      GMW also gives no abort guarantee against active adversaries (see\n\
      test_gmw's share-flip attack), unlike every protocol in this library.\n";
   List.concat_map (fun (gmw, alg3, _) -> [ gmw; alg3 ]) rows
+  end
 
 (* ------------------------------------------------------------------ *)
 (* E14 — Remark 10: poly(lambda, D) vs poly(lambda, C)                 *)
@@ -1022,6 +1173,68 @@ let e14 () =
   List.concat_map (fun (_, yao, alg3) -> [ yao; alg3 ]) rows
 
 (* ------------------------------------------------------------------ *)
+(* pool-micro — Util.Pool.map_jobs dispatch overhead                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Deliberately sequential and ignores --jobs: each measurement owns its
+   pool (created and shut down here), and bechamel's ns/op estimates would
+   be distorted by concurrent load.  Trivial jobs isolate pure scheduling
+   cost — the atomic job-counter claim, worker wakeup, and result-slot
+   write per job — which is the overhead every [Net.run_round] shard and
+   every par_list sweep point pays on top of its real work. *)
+let pool_micro () =
+  section "pool-micro  Util.Pool.map_jobs dispatch overhead (ns/job)";
+  let open Bechamel in
+  let open Toolkit in
+  let njobs = 256 in
+  let jobs = Array.init njobs (fun i -> i) in
+  let widths = [ 1; 8; 64 ] in
+  let pools = List.map (fun d -> (d, Util.Pool.create ~num_domains:d ())) widths in
+  let tests =
+    List.map
+      (fun (d, p) ->
+        Test.make
+          ~name:(Printf.sprintf "domains-%02d" d)
+          (Staged.stage (fun () -> ignore (Util.Pool.map_jobs p jobs (fun x -> x + 1)))))
+      pools
+  in
+  let grouped = Test.make_grouped ~name:"pool" ~fmt:"%s/%s" tests in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg
+      ~limit:(pick ~full:1000 ~reduced:200)
+      ~stabilize:false
+      ~quota:(Time.second (pick ~full:0.25 ~reduced:0.05))
+      ()
+  in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let t =
+    Analysis.Table.create
+      ~title:(Printf.sprintf "%d trivial jobs per call, caller participates" njobs)
+      ~columns:[ "pool"; "ns/call"; "ns/job" ]
+  in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  List.iter
+    (fun (name, r) ->
+      let est =
+        match Analyze.OLS.estimates r with
+        | Some (e :: _) -> e
+        | Some [] | None -> nan
+      in
+      Analysis.Table.add_row t
+        [ name; Printf.sprintf "%.0f" est; Printf.sprintf "%.1f" (est /. float_of_int njobs) ])
+    (List.sort compare rows);
+  Analysis.Table.print t;
+  Printf.printf
+    "shape check: ns/job grows with pool width on a loaded machine (more\n\
+     workers contending for the same counter) — batching per shard, as\n\
+     run_round does, is what keeps the overhead amortized.\n";
+  List.iter (fun (_, p) -> Util.Pool.shutdown p) pools;
+  []
+
+(* ------------------------------------------------------------------ *)
 
 let experiments : (string * string * (unit -> Analysis.Bench_io.run list)) list =
   [
@@ -1039,6 +1252,7 @@ let experiments : (string * string * (unit -> Analysis.Bench_io.run list)) list 
     ("E12", "crypto microbenchmarks", e12);
     ("E13", "baseline: GMW vs Algorithm 3 crossover", e13);
     ("E14", "Remark 10: depth-based vs size-based cost", e14);
+    ("pool-micro", "Pool.map_jobs dispatch overhead (ns/job)", pool_micro);
   ]
 
 let valid_ids () = String.concat " " (List.map (fun (id, _, _) -> id) experiments)
@@ -1099,13 +1313,20 @@ let () =
       List.iter (fun (id, desc, _) -> Printf.printf "%-4s %s\n" id desc) experiments
     else begin
       quick := List.mem "--quick" args;
+      huge := List.mem "--huge" args;
       let json_path = find_arg args "--json" in
       let max_wall_s = Option.map float_of_string (find_arg args "--max-wall-s") in
       let jobs = match find_arg args "--jobs" with None -> 1 | Some s -> parse_jobs s in
       if jobs > 1 then pool := Some (Util.Pool.create ~num_domains:(jobs - 1) ());
       let selected =
         match find_arg args "--only" with
-        | None -> experiments
+        | None ->
+          (* The huge tier only covers the experiments with huge sweeps;
+             anything else can still be requested explicitly via --only
+             (it then runs its normal full/quick sweep). *)
+          if !huge then
+            List.filter (fun (id, _, _) -> List.mem id [ "E1"; "E9"; "E13" ]) experiments
+          else experiments
         | Some id ->
           (match List.filter (fun (eid, _, _) -> eid = id) experiments with
           | [] ->
@@ -1129,7 +1350,11 @@ let () =
       Option.iter Util.Pool.shutdown !pool;
       Printf.printf "\nall experiments done in %.1fs (jobs=%d)%s\n" (total_wall_ms /. 1000.0)
         jobs
-        (if !quick then " (quick tier)" else "");
+        (match (!huge, !quick) with
+        | true, true -> " (huge smoke tier)"
+        | true, false -> " (huge tier)"
+        | false, true -> " (quick tier)"
+        | false, false -> "");
       (match json_path with
       | Some path ->
         let report =

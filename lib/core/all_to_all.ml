@@ -18,9 +18,12 @@ let encode_view view =
           Util.Codec.write_option w Util.Codec.write_bytes v))
     view
 
-let run net rng params ~variant ~participants ~input ~corruption ~adv =
+let run ?pool net rng params ~variant ~participants ~input ~corruption ~adv =
   (* Input thunks may consume randomness; evaluate once per participant so
-     the value sent, echoed and placed in views is identical. *)
+     the value sent, echoed and placed in views is identical.  The cache is
+     filled on the calling domain before any sharded round (thunks may pull
+     from the shared RNG) and is read-only afterwards, so party steps can
+     consult it from worker domains. *)
   let input =
     let cache = Hashtbl.create 16 in
     fun i ->
@@ -36,6 +39,28 @@ let run net rng params ~variant ~participants ~input ~corruption ~adv =
     is_corrupt src && match adv.drop with Some f -> f ~src ~dst | None -> false
   in
   let members = List.sort_uniq compare participants in
+  List.iter (fun i -> ignore (input i)) members;
+  (* Distribution round (both variants): everyone sends its (claimed) input
+     to every other participant. *)
+  let distribute () =
+    let (_ : unit list) =
+      Netsim.Net.run_round ?pool net ~parties:members (fun p ->
+          let src = Netsim.Net.Party.id p in
+          let value = input src in
+          List.iter
+            (fun dst ->
+              if dst <> src && not (should_drop ~src ~dst) then begin
+                let v =
+                  match adv.input_value with
+                  | Some f when is_corrupt src -> f ~me:src ~dst
+                  | _ -> value
+                in
+                Netsim.Net.Party.send p ~dst v
+              end)
+            members)
+    in
+    Netsim.Net.step net
+  in
   match variant with
   | Naive ->
     (* |S| parallel single-source broadcasts restricted to the subset, run
@@ -49,53 +74,40 @@ let run net rng params ~variant ~participants ~input ~corruption ~adv =
        one bit, and message count drops from O(|S|³) to O(|S|²). *)
     let member_arr = Array.of_list members in
     let n_members = Array.length member_arr in
-    (* Distribution round. *)
-    List.iter
-      (fun src ->
-        let value = input src in
-        List.iter
-          (fun dst ->
-            if dst <> src && not (should_drop ~src ~dst) then begin
-              let v =
-                match adv.input_value with
-                | Some f when is_corrupt src -> f ~me:src ~dst
-                | _ -> value
-              in
-              Netsim.Net.send net ~src ~dst v
-            end)
-          members)
-      members;
-    Netsim.Net.step net;
-    let received = Hashtbl.create 16 in
-    List.iter
-      (fun i ->
-        List.iter
-          (fun sender ->
-            let v =
-              if sender = i then Some (input sender)
-              else
-                match Netsim.Net.recv_from net ~dst:i ~src:sender with
-                | [ v ] -> Some v
-                | _ -> None
-            in
-            Hashtbl.replace received (sender, i) v)
-          members)
-      members;
-    (* Echo round: one batched message per ordered pair. *)
-    let encode_echo i =
-      let present =
-        Array.map (fun s -> Hashtbl.find received (s, i) <> None) member_arr
-      in
-      let w = Util.Codec.writer () in
-      Util.Codec.write_raw w (Bitpack.pack present);
-      Array.iter
-        (fun s ->
-          match Hashtbl.find received (s, i) with
-          | Some v -> Util.Codec.write_bytes w v
-          | None -> ())
-        member_arr;
-      Util.Codec.contents w
+    let index_of = Hashtbl.create n_members in
+    Array.iteri (fun k m -> Hashtbl.replace index_of m k) member_arr;
+    distribute ();
+    (* Collection + echo round, one sharded pass: each party drains its
+       per-sender queues into its received row, then broadcasts the row as
+       one batched echo message. *)
+    let rows =
+      Netsim.Net.run_round ?pool net ~parties:members (fun p ->
+          let i = Netsim.Net.Party.id p in
+          let row =
+            Array.map
+              (fun sender ->
+                if sender = i then Some (input sender)
+                else
+                  match Netsim.Net.Party.recv_from p ~src:sender with
+                  | [ v ] -> Some v
+                  | _ -> None)
+              member_arr
+          in
+          let w = Util.Codec.writer () in
+          Util.Codec.write_raw w (Bitpack.pack (Array.map (fun v -> v <> None) row));
+          Array.iter
+            (function Some v -> Util.Codec.write_bytes w v | None -> ())
+            row;
+          let payload = Util.Codec.contents w in
+          List.iter
+            (fun dst ->
+              if dst <> i && not (should_drop ~src:i ~dst) then
+                Netsim.Net.Party.send p ~dst payload)
+            members;
+          row)
     in
+    let row_arr = Array.of_list rows in
+    Netsim.Net.step net;
     let decode_echo payload =
       match
         Util.Codec.decode
@@ -112,26 +124,18 @@ let run net rng params ~variant ~participants ~input ~corruption ~adv =
       | vec -> Some vec
       | exception Util.Codec.Decode_error _ -> None
     in
-    List.iter
-      (fun i ->
-        let payload = encode_echo i in
-        List.iter
-          (fun dst ->
-            if dst <> i && not (should_drop ~src:i ~dst) then
-              Netsim.Net.send net ~src:i ~dst payload)
-          members)
-      members;
-    Netsim.Net.step net;
-    List.map
-      (fun i ->
+    (* Output round: compare every echo against the own row, per party. *)
+    Netsim.Net.run_round ?pool net ~parties:members (fun p ->
+        let i = Netsim.Net.Party.id p in
+        let mine_row = row_arr.(Hashtbl.find index_of i) in
         let echoes =
           List.filter_map
             (fun j ->
               if j = i then None
               else
                 Some
-                  (match Netsim.Net.recv_from net ~dst:i ~src:j with
-                  | [ p ] -> decode_echo p
+                  (match Netsim.Net.Party.recv_from p ~src:j with
+                  | [ payload ] -> decode_echo payload
                   | _ -> None))
             members
         in
@@ -142,7 +146,7 @@ let run net rng params ~variant ~participants ~input ~corruption ~adv =
         let view = ref [] in
         for k = n_members - 1 downto 0 do
           let sender = member_arr.(k) in
-          let mine = Hashtbl.find received (sender, i) in
+          let mine = mine_row.(k) in
           let agreed =
             all_echoed
             && List.for_all
@@ -157,47 +161,29 @@ let run net rng params ~variant ~participants ~input ~corruption ~adv =
                  echoes
           in
           if not agreed then ok := false;
-          (match (if agreed then mine else None) with
+          match (if agreed then mine else None) with
           | Some v -> view := (sender, v) :: !view
-          | None -> ());
-          if not agreed then Hashtbl.replace received (sender, i) None
+          | None -> ()
         done;
         if !ok && List.length !view = n_members then (i, Outcome.Output !view)
         else (i, Outcome.Abort (Outcome.Equivocation "all-to-all naive mismatch")))
-      members
   | Fingerprinted ->
     (* Round 1: everyone sends their input to every other participant. *)
-    List.iter
-      (fun src ->
-        let value = input src in
-        List.iter
-          (fun dst ->
-            if dst <> src && not (should_drop ~src ~dst) then begin
-              let v =
-                match adv.input_value with
-                | Some f when is_corrupt src -> f ~me:src ~dst
-                | _ -> value
-              in
-              Netsim.Net.send net ~src ~dst v
-            end)
-          members)
-      members;
-    Netsim.Net.step net;
-    let views = Hashtbl.create 16 in
-    List.iter
-      (fun i ->
-        let view =
+    distribute ();
+    let views_in_order =
+      Netsim.Net.run_round ?pool net ~parties:members (fun p ->
+          let i = Netsim.Net.Party.id p in
           List.map
             (fun src ->
               if src = i then (src, Some (input src))
               else
-                match Netsim.Net.recv_from net ~dst:i ~src with
+                match Netsim.Net.Party.recv_from p ~src with
                 | [ v ] -> (src, Some v)
                 | _ -> (src, None))
-            members
-        in
-        Hashtbl.replace views i view)
-      members;
+            members)
+    in
+    let views = Hashtbl.create 16 in
+    List.iter2 (fun i view -> Hashtbl.replace views i view) members views_in_order;
     (* Round 2: pairwise equality over the concatenated views. *)
     let verdicts =
       Equality.pairwise net rng params ~members

@@ -16,7 +16,13 @@
 
     Domain-safety: the [input i] memo and the per-receiver echo tables
     are per-call; nothing is cached at module level, so concurrent runs
-    on distinct networks (see {!Netsim.Net}) are safe. *)
+    on distinct networks (see {!Netsim.Net}) are safe.  With [~pool] the
+    per-party distribution, collection/echo, and output rounds run
+    through {!Netsim.Net.run_round}, sharding parties across domains;
+    all [input] thunks are forced on the calling domain first (they may
+    consume shared randomness), and the adversary callbacks must be pure
+    (all of {!Attacks}' are).  Output is bit-identical at any domain
+    count. *)
 
 type variant = Naive | Fingerprinted
 
@@ -34,6 +40,7 @@ val honest_adv : adv
     (as [(id, value)] sorted by id) or aborts.  Result is ordered like
     [participants]. *)
 val run :
+  ?pool:Util.Pool.t ->
   Netsim.Net.t ->
   Util.Prng.t ->
   Params.t ->

@@ -26,8 +26,9 @@ let decode_echo_fp b =
   | v -> Some v
   | exception Util.Codec.Decode_error _ -> None
 
-let run net rng params ~variant ~sender ~value ~corruption ~adv =
+let run ?pool net rng params ~variant ~sender ~value ~corruption ~adv =
   let n = Netsim.Net.n net in
+  let all_parties = List.init n (fun i -> i) in
   let is_corrupt i = Netsim.Corruption.is_corrupted corruption i in
   let should_drop ~src ~dst =
     is_corrupt src && match adv.drop with Some f -> f ~src ~dst | None -> false
@@ -44,54 +45,70 @@ let run net rng params ~variant ~sender ~value ~corruption ~adv =
     end
   done;
   Netsim.Net.step net;
+  (* Per-party collection of the sender's value shards across domains:
+     each party only drains its own inbox. *)
   let received = Array.make n None in
-  received.(sender) <- Some value;
-  for i = 0 to n - 1 do
-    if i <> sender then
-      match Netsim.Net.recv_from net ~dst:i ~src:sender with
-      | [ v ] -> received.(i) <- Some v
-      | _ -> received.(i) <- None
-  done;
+  let collected =
+    Netsim.Net.run_round ?pool net ~parties:all_parties (fun p ->
+        let i = Netsim.Net.Party.id p in
+        if i = sender then Some value
+        else
+          match Netsim.Net.Party.recv_from p ~src:sender with
+          | [ v ] -> Some v
+          | _ -> None)
+  in
+  List.iteri (fun i v -> received.(i) <- v) collected;
   (* Step 2: verification step — every party tells every other what it
      received (full value or fingerprint). *)
   let aborted = Array.make n false in
+  let mark_aborted verdicts =
+    List.iteri (fun i bad -> if bad then aborted.(i) <- true) verdicts
+  in
   (match variant with
   | Naive ->
-    for i = 0 to n - 1 do
-      let honest_payload = encode_echo_naive received.(i) in
-      for dst = 0 to n - 1 do
-        if dst <> i && not (should_drop ~src:i ~dst) then begin
-          let payload =
-            match adv.echo_value with
-            | Some f when is_corrupt i -> encode_echo_naive (Some (f ~me:i ~dst (Option.value received.(i) ~default:Bytes.empty)))
-            | _ -> honest_payload
-          in
-          Netsim.Net.send net ~src:i ~dst payload
-        end
-      done
-    done;
+    (* The naive echo consumes no randomness, so both the fan-out and the
+       output check run through the sharded driver. *)
+    let (_ : unit list) =
+      Netsim.Net.run_round ?pool net ~parties:all_parties (fun p ->
+          let i = Netsim.Net.Party.id p in
+          let honest_payload = encode_echo_naive received.(i) in
+          for dst = 0 to n - 1 do
+            if dst <> i && not (should_drop ~src:i ~dst) then begin
+              let payload =
+                match adv.echo_value with
+                | Some f when is_corrupt i -> encode_echo_naive (Some (f ~me:i ~dst (Option.value received.(i) ~default:Bytes.empty)))
+                | _ -> honest_payload
+              in
+              Netsim.Net.Party.send p ~dst payload
+            end
+          done)
+    in
     Netsim.Net.step net;
     (* Step 3: output step. *)
-    for i = 0 to n - 1 do
-      let mine = received.(i) in
-      let msgs = Netsim.Net.recv net ~dst:i in
-      if List.length msgs < n - 1 then aborted.(i) <- true;
-      List.iter
-        (fun (_, payload) ->
-          match decode_echo_naive payload with
-          | None -> aborted.(i) <- true
-          | Some theirs ->
-            let same =
-              match (mine, theirs) with
-              | Some a, Some b -> Bytes.equal a b
-              | None, None -> true
-              | _ -> false
-            in
-            if not same then aborted.(i) <- true)
-        msgs
-    done
+    mark_aborted
+      (Netsim.Net.run_round ?pool net ~parties:all_parties (fun p ->
+           let i = Netsim.Net.Party.id p in
+           let mine = received.(i) in
+           let msgs = Netsim.Net.Party.recv p in
+           let bad = ref (List.length msgs < n - 1) in
+           List.iter
+             (fun (_, payload) ->
+               match decode_echo_naive payload with
+               | None -> bad := true
+               | Some theirs ->
+                 let same =
+                   match (mine, theirs) with
+                   | Some a, Some b -> Bytes.equal a b
+                   | None, None -> true
+                   | _ -> false
+                 in
+                 if not same then bad := true)
+             msgs;
+           !bad))
   | Fingerprinted ->
     let t = Params.fingerprint_t params ~msg_len:(max 1 (Bytes.length value)) in
+    (* The echo fan-out draws fingerprint keys from the shared [rng], so
+       it must stay on the calling domain in party order. *)
     for i = 0 to n - 1 do
       let fp = Option.map (fun v -> Crypto.Fingerprint.make rng ~t v) received.(i) in
       let honest_payload = encode_echo_fp fp in
@@ -109,24 +126,26 @@ let run net rng params ~variant ~sender ~value ~corruption ~adv =
       done
     done;
     Netsim.Net.step net;
-    for i = 0 to n - 1 do
-      let mine = received.(i) in
-      let msgs = Netsim.Net.recv net ~dst:i in
-      if List.length msgs < n - 1 then aborted.(i) <- true;
-      List.iter
-        (fun (_, payload) ->
-          match decode_echo_fp payload with
-          | None -> aborted.(i) <- true
-          | Some theirs ->
-            let same =
-              match (mine, theirs) with
-              | Some v, Some fp -> Crypto.Fingerprint.check fp v
-              | None, None -> true
-              | _ -> false
-            in
-            if not same then aborted.(i) <- true)
-        msgs
-    done);
+    mark_aborted
+      (Netsim.Net.run_round ?pool net ~parties:all_parties (fun p ->
+           let i = Netsim.Net.Party.id p in
+           let mine = received.(i) in
+           let msgs = Netsim.Net.Party.recv p in
+           let bad = ref (List.length msgs < n - 1) in
+           List.iter
+             (fun (_, payload) ->
+               match decode_echo_fp payload with
+               | None -> bad := true
+               | Some theirs ->
+                 let same =
+                   match (mine, theirs) with
+                   | Some v, Some fp -> Crypto.Fingerprint.check fp v
+                   | None, None -> true
+                   | _ -> false
+                 in
+                 if not same then bad := true)
+             msgs;
+           !bad)));
   Array.init n (fun i ->
       if aborted.(i) then Outcome.Abort (Outcome.Equivocation "broadcast echo mismatch")
       else

@@ -8,7 +8,7 @@ let honest_adv = { false_claim = None; claim_subset = None; eq = Equality.honest
 
 type view = { committee : int list; elected : bool }
 
-let run net rng params ~corruption ~adv =
+let run ?pool net rng params ~corruption ~adv =
   let n = Netsim.Net.n net in
   let p = Params.committee_prob params in
   let bound = Params.committee_bound params in
@@ -36,14 +36,20 @@ let run net rng params ~corruption ~adv =
       done
   done;
   Netsim.Net.step net;
-  (* Step 3: collect views, abort on too many claims. *)
+  (* Step 3: collect views, abort on too many claims.  Per-party inbox
+     drains are independent, so the collection shards across domains. *)
   let views = Array.make n [] in
   let aborted = Array.make n false in
-  for i = 0 to n - 1 do
-    let senders = List.map fst (Netsim.Net.recv net ~dst:i) |> List.sort_uniq compare in
-    views.(i) <- senders;
-    if List.length senders >= bound then aborted.(i) <- true
-  done;
+  let collected =
+    Netsim.Net.run_round ?pool net
+      ~parties:(List.init n (fun i -> i))
+      (fun p -> List.map fst (Netsim.Net.Party.recv p) |> List.sort_uniq compare)
+  in
+  List.iteri
+    (fun i senders ->
+      views.(i) <- senders;
+      if List.length senders >= bound then aborted.(i) <- true)
+    collected;
   (* Step 4: pairwise equality over committee views. *)
   View_check.run net rng params ~claims ~views ~corruption ~eq:adv.eq ~aborted;
   Array.init n (fun i ->

@@ -24,7 +24,13 @@ val honest_adv : adv
     including itself if elected), or an abort. *)
 type view = { committee : int list; elected : bool }
 
+(** With [~pool], the step-3 view collection (each party draining and
+    deduplicating its claim inbox) shards across domains via
+    {!Netsim.Net.run_round}; coins, claims, and the equality phase stay
+    on the calling domain.  Output is bit-identical at any domain
+    count. *)
 val run :
+  ?pool:Util.Pool.t ->
   Netsim.Net.t ->
   Util.Prng.t ->
   Params.t ->

@@ -61,7 +61,7 @@ let parse payload =
   | items -> Batch items
   | exception Util.Codec.Decode_error _ -> Garbage
 
-let run net _rng _params ~graph ~sources ~corruption ~adv =
+let run ?pool net _rng _params ~graph ~sources ~corruption ~adv =
   let n = Netsim.Net.n net in
   if Array.length graph <> n then invalid_arg "Gossip.run: graph arity";
   let is_corrupt i = Netsim.Corruption.is_corrupted corruption i in
@@ -69,32 +69,34 @@ let run net _rng _params ~graph ~sources ~corruption ~adv =
   let forwarded = Array.init n (fun _ -> Hashtbl.create 8) in
   let warned = Array.make n false in
   let warning_sent = Array.make n false in
-  (* Outgoing queue for the current round: (src, dst, item), newest first.
-     Items are grouped per (src, dst) pair into one batched message at
-     flush time, preserving enqueue order within the pair. *)
-  let queue = ref [] in
-  let enqueue src dst item = queue := (src, dst, item) :: !queue in
-  let flush () =
-    let msgs = List.rev !queue in
-    queue := [];
-    let batches : (int * int, item list ref) Hashtbl.t = Hashtbl.create 64 in
+  let neighbors i = Util.Iset.to_sorted_list graph.(i) in
+  (* A round's outgoing traffic is a list of (src, dst, payload) batches:
+     everything [src] says to [dst] in the round rides in one encoded
+     message.  Batches produced by one round are sent at the top of the
+     next — a batch produced when the round cap strikes is dropped
+     unsent, exactly as the pre-parallel queue-based implementation
+     dropped its unflushed queue. *)
+  let batch_up src items =
+    (* Group (dst, item) records per dst, preserving first-enqueue dst
+       order and per-dst item order. *)
+    let per_dst : (int, item list ref) Hashtbl.t = Hashtbl.create 8 in
     let order = ref [] in
     List.iter
-      (fun (src, dst, item) ->
-        match Hashtbl.find_opt batches (src, dst) with
+      (fun (dst, item) ->
+        match Hashtbl.find_opt per_dst dst with
         | Some items -> items := item :: !items
         | None ->
-          Hashtbl.add batches (src, dst) (ref [ item ]);
-          order := (src, dst) :: !order)
-      msgs;
-    List.iter
-      (fun (src, dst) ->
-        let items = List.rev !(Hashtbl.find batches (src, dst)) in
-        Netsim.Net.send net ~src ~dst (encode_batch items))
+          Hashtbl.add per_dst dst (ref [ item ]);
+          order := dst :: !order)
+      items;
+    List.map
+      (fun dst -> (src, dst, encode_batch (List.rev !(Hashtbl.find per_dst dst))))
       (List.rev !order)
   in
-  let neighbors i = Util.Iset.to_sorted_list graph.(i) in
-  let forward_rumor me origin value =
+  (* [forward_rumor] and [send_warning] write only party [me]'s slots of
+     the state arrays and enqueue through the caller-supplied [enqueue] —
+     shard-safe when run inside a [Net.run_round] compute phase. *)
+  let forward_rumor enqueue me origin value =
     if not (Hashtbl.mem forwarded.(me) origin) then begin
       Hashtbl.replace forwarded.(me) origin ();
       List.iter
@@ -112,25 +114,31 @@ let run net _rng _params ~graph ~sources ~corruption ~adv =
                   | None -> value
                 else value
               in
-              enqueue me dst (Rumor (origin, v))
+              enqueue dst (Rumor (origin, v))
             end
           end)
         (neighbors me)
     end
   in
-  let send_warning me =
+  let send_warning enqueue me =
     if not warning_sent.(me) then begin
       warning_sent.(me) <- true;
       if (not (is_corrupt me)) || adv.spread_warning then
-        List.iter (fun dst -> if dst <> me then enqueue me dst Warning) (neighbors me)
+        List.iter (fun dst -> if dst <> me then enqueue dst Warning) (neighbors me)
     end
   in
-  (* Round 0: sources inject their own rumors; corrupted parties may also
-     forge rumors for arbitrary origins. *)
+  (* Round 0 (calling domain): sources inject their own rumors; corrupted
+     parties may also forge rumors for arbitrary origins.  All round-0
+     enqueues share one queue so that a party that is both a source and a
+     forger still emits a single batch per destination. *)
+  let round0_queue = ref [] in
+  (* (src, dst, item), newest first *)
   List.iter
     (fun (origin, value) ->
       Hashtbl.replace heard.(origin) origin value;
-      forward_rumor origin origin value)
+      forward_rumor
+        (fun dst item -> round0_queue := (origin, dst, item) :: !round0_queue)
+        origin origin value)
     sources;
   for i = 0 to n - 1 do
     if is_corrupt i then
@@ -141,51 +149,83 @@ let run net _rng _params ~graph ~sources ~corruption ~adv =
             (* Forged rumors bypass the "heard" bookkeeping: the forger
                just transmits them. *)
             List.iter
-              (fun dst -> if dst <> i then enqueue i dst (Rumor (origin, value)))
+              (fun dst ->
+                if dst <> i then
+                  round0_queue := (i, dst, Rumor (origin, value)) :: !round0_queue)
               (neighbors i))
           (f ~me:i)
       | None -> ()
   done;
-  (* Gossip rounds until quiescence (bounded by 2n + 2 as a safety net). *)
+  let round0 =
+    let msgs = List.rev !round0_queue in
+    let per_pair : (int * int, item list ref) Hashtbl.t = Hashtbl.create 64 in
+    let order = ref [] in
+    List.iter
+      (fun (src, dst, item) ->
+        match Hashtbl.find_opt per_pair (src, dst) with
+        | Some items -> items := item :: !items
+        | None ->
+          Hashtbl.add per_pair (src, dst) (ref [ item ]);
+          order := (src, dst) :: !order)
+      msgs;
+    ref
+      (List.map
+         (fun (src, dst) ->
+           (src, dst, encode_batch (List.rev !(Hashtbl.find per_pair (src, dst)))))
+         (List.rev !order))
+  in
+  (* Gossip rounds until quiescence (bounded by 2n + 2 as a safety net).
+     Each iteration sends the previous round's batches, steps, then runs
+     every party's drain-and-forward step — sharded across domains when a
+     pool is supplied; batch contents and ordering are independent of the
+     domain count. *)
+  let all_parties = List.init n (fun i -> i) in
   let max_rounds = (2 * n) + 2 in
   let round = ref 0 in
-  while !queue <> [] && !round < max_rounds do
+  let batches = ref !round0 in
+  while !batches <> [] && !round < max_rounds do
     incr round;
-    flush ();
+    List.iter (fun (src, dst, payload) -> Netsim.Net.send net ~src ~dst payload) !batches;
     Netsim.Net.step net;
-    for me = 0 to n - 1 do
-      let inbox = Netsim.Net.recv net ~dst:me in
-      let on_item = function
-        | Warning ->
-          if not warned.(me) then begin
-            warned.(me) <- true;
-            send_warning me
-          end
-        | Rumor (origin, value) ->
-          if not warned.(me) then begin
-            match Hashtbl.find_opt heard.(me) origin with
-            | None ->
-              Hashtbl.replace heard.(me) origin value;
-              forward_rumor me origin value
-            | Some prev ->
-              if not (Bytes.equal prev value) then begin
-                (* Equivocation detected: warn and abort. *)
+    let produced =
+      Netsim.Net.run_round ?pool net ~parties:all_parties (fun p ->
+          let me = Netsim.Net.Party.id p in
+          let inbox = Netsim.Net.Party.recv p in
+          let out = ref [] in
+          let enqueue dst item = out := (dst, item) :: !out in
+          let on_item = function
+            | Warning ->
+              if not warned.(me) then begin
                 warned.(me) <- true;
-                send_warning me
+                send_warning enqueue me
               end
-          end
-      in
-      List.iter
-        (fun (_, payload) ->
-          match parse payload with
-          | Batch items -> List.iter on_item items
-          | Garbage ->
-            if not warned.(me) then begin
-              warned.(me) <- true;
-              send_warning me
-            end)
-        inbox
-    done
+            | Rumor (origin, value) ->
+              if not warned.(me) then begin
+                match Hashtbl.find_opt heard.(me) origin with
+                | None ->
+                  Hashtbl.replace heard.(me) origin value;
+                  forward_rumor enqueue me origin value
+                | Some prev ->
+                  if not (Bytes.equal prev value) then begin
+                    (* Equivocation detected: warn and abort. *)
+                    warned.(me) <- true;
+                    send_warning enqueue me
+                  end
+              end
+          in
+          List.iter
+            (fun (_, payload) ->
+              match parse payload with
+              | Batch items -> List.iter on_item items
+              | Garbage ->
+                if not warned.(me) then begin
+                  warned.(me) <- true;
+                  send_warning enqueue me
+                end)
+            inbox;
+          batch_up me (List.rev !out))
+    in
+    batches := List.concat produced
   done;
   Array.init n (fun i ->
       if warned.(i) then Outcome.Abort (Outcome.Equivocation "conflicting rumor or warning")

@@ -49,7 +49,7 @@ let encode_ct_view view =
           Util.Codec.write_option w Util.Codec.write_bytes ct))
     view
 
-let run_metered net rng config ~corruption ~inputs ~adv =
+let run_metered ?pool net rng config ~corruption ~inputs ~adv =
   let module P = (val config.pke : Crypto.Pke.S) in
   let params = config.params in
   let n = Netsim.Net.n net in
@@ -68,7 +68,7 @@ let run_metered net rng config ~corruption ~inputs ~adv =
 
   (* ---- Step 1: committee election ---- *)
   let s0 = mark_phase () in
-  let views = Committee.run net rng params ~corruption ~adv:adv.committee in
+  let views = Committee.run ?pool net rng params ~corruption ~adv:adv.committee in
   Array.iteri
     (fun i o -> match o with Outcome.Abort r -> set_abort i r | Outcome.Output _ -> ())
     views;
@@ -122,37 +122,53 @@ let run_metered net rng config ~corruption ~inputs ~adv =
   let keygen_bits = phase_bits s1 in
 
   (* ---- Step 3: pk forwarding to the whole network ---- *)
+  (* Both halves of the phase are rng-free per-party loops, so they shard
+     across domains: the member fan-out (O(|C|·n) sends) and the per-party
+     conflict check each run through {!Netsim.Net.run_round}; abort
+     bookkeeping is applied on the calling domain afterwards. *)
   let s2 = mark_phase () in
-  List.iter
-    (fun c ->
-      if active c then
-        match Hashtbl.find_opt member_pk c with
-        | Some pkb ->
-          for dst = 0 to n - 1 do
-            if dst <> c then begin
-              let payload =
-                match adv.pk_forward with
-                | Some f when is_corrupt c -> f ~me:c ~dst pkb
-                | _ -> pkb
-              in
-              Netsim.Net.send net ~src:c ~dst payload
-            end
-          done
-        | None -> ())
-    members;
+  let (_ : unit list) =
+    Netsim.Net.run_round ?pool net ~parties:members (fun p ->
+        let c = Netsim.Net.Party.id p in
+        if active c then
+          match Hashtbl.find_opt member_pk c with
+          | Some pkb ->
+            for dst = 0 to n - 1 do
+              if dst <> c then begin
+                let payload =
+                  match adv.pk_forward with
+                  | Some f when is_corrupt c -> f ~me:c ~dst pkb
+                  | _ -> pkb
+                in
+                Netsim.Net.Party.send p ~dst payload
+              end
+            done
+          | None -> ())
+  in
   Netsim.Net.step net;
   let party_pk = Array.make n None in
-  for i = 0 to n - 1 do
-    let copies = List.map snd (Netsim.Net.recv net ~dst:i) in
-    let copies =
-      match Hashtbl.find_opt member_pk i with Some own -> own :: copies | None -> copies
-    in
-    match copies with
-    | [] -> if active i then set_abort i (Outcome.Missing "no public key received")
-    | first :: rest ->
-      if List.for_all (Bytes.equal first) rest then party_pk.(i) <- Some first
-      else if active i then set_abort i (Outcome.Equivocation "conflicting public keys")
-  done;
+  let pk_verdicts =
+    Netsim.Net.run_round ?pool net
+      ~parties:(List.init n (fun i -> i))
+      (fun p ->
+        let i = Netsim.Net.Party.id p in
+        let copies = List.map snd (Netsim.Net.Party.recv p) in
+        let copies =
+          match Hashtbl.find_opt member_pk i with Some own -> own :: copies | None -> copies
+        in
+        match copies with
+        | [] -> `No_key
+        | first :: rest ->
+          if List.for_all (Bytes.equal first) rest then `Pk first else `Conflict)
+  in
+  List.iteri
+    (fun i verdict ->
+      match verdict with
+      | `No_key -> if active i then set_abort i (Outcome.Missing "no public key received")
+      | `Pk first -> party_pk.(i) <- Some first
+      | `Conflict ->
+        if active i then set_abort i (Outcome.Equivocation "conflicting public keys"))
+    pk_verdicts;
   let pk_forward_bits = phase_bits s2 in
 
   (* ---- Step 4: input encryption and submission ---- *)
@@ -183,11 +199,15 @@ let run_metered net rng config ~corruption ~inputs ~adv =
       | _ -> ()
   done;
   Netsim.Net.step net;
+  (* Encryption above consumes the shared [rng] and stays sequential; the
+     members' ciphertext-view assembly below is pure per-inbox work and
+     shards across domains. *)
   let member_cts = Hashtbl.create 8 in
-  List.iter
-    (fun c ->
-      if active c then begin
-        let msgs = Netsim.Net.recv net ~dst:c in
+  let ct_members = List.filter active members in
+  let ct_views =
+    Netsim.Net.run_round ?pool net ~parties:ct_members (fun p ->
+        let c = Netsim.Net.Party.id p in
+        let msgs = Netsim.Net.Party.recv p in
         let tbl = Hashtbl.create n in
         List.iter
           (fun (src, ct) ->
@@ -199,13 +219,10 @@ let run_metered net rng config ~corruption ~inputs ~adv =
         (match Hashtbl.find_opt own_ct c with
         | Some ct -> Hashtbl.replace tbl c (Some ct)
         | None -> ());
-        let view =
-          List.init n (fun i ->
-              (i, match Hashtbl.find_opt tbl i with Some (Some ct) -> Some ct | _ -> None))
-        in
-        Hashtbl.replace member_cts c view
-      end)
-    members;
+        List.init n (fun i ->
+            (i, match Hashtbl.find_opt tbl i with Some (Some ct) -> Some ct | _ -> None)))
+  in
+  List.iter2 (fun c view -> Hashtbl.replace member_cts c view) ct_members ct_views;
   let input_phase_bits = phase_bits s3 in
 
   (* ---- Step 5: pairwise equality on ciphertext views ---- *)
@@ -288,40 +305,50 @@ let run_metered net rng config ~corruption ~inputs ~adv =
   let compute_bits = phase_bits s5 in
 
   (* ---- Step 7: output forwarding ---- *)
+  (* Same shape as step 3: rng-free fan-out plus per-party conflict check,
+     both sharded; the abort verdicts merge on the calling domain. *)
   let s6 = mark_phase () in
-  List.iter
-    (fun c ->
-      if active c then
-        match Hashtbl.find_opt member_out c with
-        | Some out ->
-          for dst = 0 to n - 1 do
-            if dst <> c then begin
-              let payload =
-                match adv.out_forward with
-                | Some f when is_corrupt c -> f ~me:c ~dst out
-                | _ -> out
-              in
-              Netsim.Net.send net ~src:c ~dst payload
-            end
-          done
-        | None -> ())
-    members;
+  let (_ : unit list) =
+    Netsim.Net.run_round ?pool net ~parties:members (fun p ->
+        let c = Netsim.Net.Party.id p in
+        if active c then
+          match Hashtbl.find_opt member_out c with
+          | Some out ->
+            for dst = 0 to n - 1 do
+              if dst <> c then begin
+                let payload =
+                  match adv.out_forward with
+                  | Some f when is_corrupt c -> f ~me:c ~dst out
+                  | _ -> out
+                in
+                Netsim.Net.Party.send p ~dst payload
+              end
+            done
+          | None -> ())
+  in
   Netsim.Net.step net;
   let final = Array.make n (Outcome.Abort (Outcome.Missing "no output received")) in
-  for i = 0 to n - 1 do
-    let copies = List.map snd (Netsim.Net.recv net ~dst:i) in
-    let copies =
-      match Hashtbl.find_opt member_out i with Some own -> own :: copies | None -> copies
-    in
-    match abort.(i) with
-    | Some r -> final.(i) <- Outcome.Abort r
-    | None -> (
-      match copies with
-      | [] -> final.(i) <- Outcome.Abort (Outcome.Missing "no output received")
-      | first :: rest ->
-        if List.for_all (Bytes.equal first) rest then final.(i) <- Outcome.Output first
-        else final.(i) <- Outcome.Abort (Outcome.Equivocation "conflicting outputs"))
-  done;
+  let classified =
+    Netsim.Net.run_round ?pool net
+      ~parties:(List.init n (fun i -> i))
+      (fun p ->
+        let i = Netsim.Net.Party.id p in
+        let copies = List.map snd (Netsim.Net.Party.recv p) in
+        let copies =
+          match Hashtbl.find_opt member_out i with Some own -> own :: copies | None -> copies
+        in
+        match copies with
+        | [] -> Outcome.Abort (Outcome.Missing "no output received")
+        | first :: rest ->
+          if List.for_all (Bytes.equal first) rest then Outcome.Output first
+          else Outcome.Abort (Outcome.Equivocation "conflicting outputs"))
+  in
+  List.iteri
+    (fun i out ->
+      match abort.(i) with
+      | Some r -> final.(i) <- Outcome.Abort r
+      | None -> final.(i) <- out)
+    classified;
   let output_bits = phase_bits s6 in
   ( final,
     {
@@ -334,5 +361,5 @@ let run_metered net rng config ~corruption ~inputs ~adv =
       output_bits;
     } )
 
-let run net rng config ~corruption ~inputs ~adv =
-  fst (run_metered net rng config ~corruption ~inputs ~adv)
+let run ?pool net rng config ~corruption ~inputs ~adv =
+  fst (run_metered ?pool net rng config ~corruption ~inputs ~adv)

@@ -45,8 +45,18 @@ type adv = {
 
 val honest_adv : adv
 
-(** Per-party result: the packed circuit output bits (see {!Bitpack}). *)
+(** Per-party result: the packed circuit output bits (see {!Bitpack}).
+
+    With [~pool], the heaviest per-round loops shard across domains via
+    {!Netsim.Net.run_round}: the committee's claim collection (step 1,
+    through {!Committee.run}), the pk fan-out and conflict check (step 3),
+    the members' ciphertext-view assembly (step 4), and the output fan-out
+    and conflict check (step 7).  Everything that draws from the shared
+    [rng] — coins, key generation, input encryption, equality
+    fingerprints — stays on the calling domain in party order, so results
+    and accounting are bit-identical at any domain count. *)
 val run :
+  ?pool:Util.Pool.t ->
   Netsim.Net.t ->
   Util.Prng.t ->
   config ->
@@ -72,6 +82,7 @@ type phase_costs = {
 
 (** [run_metered] — like {!run} but also returns per-phase bit counts. *)
 val run_metered :
+  ?pool:Util.Pool.t ->
   Netsim.Net.t ->
   Util.Prng.t ->
   config ->

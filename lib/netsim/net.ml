@@ -205,6 +205,96 @@ let max_locality t =
 
 let messages_sent t = t.total_messages
 
+(* ---- Intra-round parallel party stepping ---------------------------- *)
+
+(* [run_round] splits one protocol round into two phases:
+
+   - a {e compute} phase in which every listed party runs its step
+     function.  A step may drain its own inbox ([Party.recv],
+     [Party.recv_from], [Party.peek] reach only the party's own mailbox —
+     state no other party touches) and buffers its sends into a private
+     outbox, so concurrent steps share {e no} mutable state and the phase
+     can be sharded across pool domains;
+
+   - a sequential {e commit} phase on the calling domain that replays the
+     outboxes through [send] in ascending sender id, each outbox in send
+     order.
+
+   Because [pending] is already bucketed per sender and every counter
+   update is commutative (sums, set unions), the committed network state
+   is a pure function of {i which} messages each party produced — not of
+   shard count or scheduling — so delivery order, bit/locality/message
+   accounting, and all later [recv]s are bit-identical at any domain
+   count.  See test_net_parallel's differential property. *)
+
+module Party = struct
+  type p = { net : t; me : int; outbox : (int * bytes) Queue.t }
+
+  let id p = p.me
+  let recv p = recv p.net ~dst:p.me
+  let recv_from p ~src = recv_from p.net ~dst:p.me ~src
+  let peek p = peek p.net ~dst:p.me
+
+  let send p ~dst payload =
+    (* Validate eagerly (same checks as [send]) so a bad destination
+       faults inside the offending party's step, but touch nothing
+       shared: the real send happens at commit. *)
+    check_party p.net dst "send";
+    if p.me = dst then invalid_arg "Net.send: self-send";
+    Queue.push (dst, payload) p.outbox
+end
+
+let run_round ?pool t ~parties f =
+  let ps = Array.of_list parties in
+  let len = Array.length ps in
+  (* Shard ownership must be exclusive: a duplicated party would be
+     stepped by two domains at once. *)
+  let seen = Array.make t.num_parties false in
+  Array.iter
+    (fun i ->
+      check_party t i "run_round";
+      if seen.(i) then invalid_arg "Net.run_round: duplicate party";
+      seen.(i) <- true)
+    ps;
+  let handles =
+    Array.map (fun me -> { Party.net = t; me; outbox = Queue.create () }) ps
+  in
+  (* Compute phase. *)
+  let results =
+    match pool with
+    | None ->
+      (* Explicit ascending loop: party steps run in list order, exactly
+         the pre-run_round sequential code path. *)
+      let out = Array.make len None in
+      for k = 0 to len - 1 do
+        out.(k) <- Some (f handles.(k))
+      done;
+      Array.map Option.get out
+    | Some pool ->
+      let nshards = max 1 (min len (Util.Pool.num_domains pool + 1)) in
+      let shards =
+        Array.init nshards (fun k -> (k * len / nshards, (k + 1) * len / nshards))
+      in
+      let parts =
+        Util.Pool.map_jobs pool shards (fun (lo, hi) ->
+            let out = Array.make (hi - lo) None in
+            for j = lo to hi - 1 do
+              out.(j - lo) <- Some (f handles.(j))
+            done;
+            Array.map Option.get out)
+      in
+      Array.concat (Array.to_list parts)
+  in
+  (* Commit phase: ascending sender id, each outbox in send order. *)
+  let order = Array.init len (fun k -> k) in
+  Array.sort (fun a b -> compare ps.(a) ps.(b)) order;
+  Array.iter
+    (fun k ->
+      let h = handles.(k) in
+      Queue.iter (fun (dst, payload) -> send t ~src:h.Party.me ~dst payload) h.Party.outbox)
+    order;
+  Array.to_list results
+
 type snapshot = { snap_bits : int; snap_msgs : int; snap_rounds : int }
 
 let snapshot t =

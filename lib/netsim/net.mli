@@ -30,7 +30,23 @@
     scheduler ([Util.Pool]) relies on this: every job creates its own
     network (plus its own [Util.Prng.t] — same contract), which is
     sufficient because no protocol module in the library keeps mutable
-    state that outlives a single [run] call. *)
+    state that outlives a single [run] call.
+
+    {!run_round} extends the contract {e inside} one instance for the
+    duration of its compute phase: ownership of [t] is temporarily
+    partitioned by party.  A worker domain that has been handed a shard
+    of parties exclusively owns those parties' inboxes (the only state
+    {!Party.recv}/{!Party.recv_from}/{!Party.peek} mutate) and their
+    private outboxes; the network-global state — pending queues, bit and
+    locality counters, the round clock — is owned by {e nobody} during
+    the compute phase and only mutated by the sequential commit phase on
+    the calling domain.  Party step functions must therefore reach the
+    network exclusively through their {!Party.p} handle (never through
+    the raw [t]), and must not share mutable state with other parties'
+    steps; per-party slots of a caller-owned array (index [i] written
+    only by party [i]'s step) are safe, as is any immutable or freshly
+    allocated state.  {!Util.Pool.map_jobs} supplies the happens-before
+    edges between the phases. *)
 
 type t
 
@@ -60,6 +76,64 @@ val recv_from : t -> dst:int -> src:int -> bytes list
 
 (** [peek t ~dst] — inbox contents without draining. *)
 val peek : t -> dst:int -> (int * bytes) list
+
+(** {1 Intra-round parallel party stepping}
+
+    One protocol round ("every party drains its mailbox, thinks, and
+    posts next round's messages") as a two-phase bulk operation: a
+    compute phase that may run party steps concurrently on a
+    {!Util.Pool}, and a sequential commit phase that realizes the sends.
+    The committed state is bit-identical at any domain count — see the
+    determinism argument in EXPERIMENTS.md and the domain-safety
+    contract above. *)
+
+module Party : sig
+  (** A party's capability during a {!run_round} compute phase: its own
+      mailbox plus a private outbox.  Handles are only valid inside the
+      step function they are passed to. *)
+  type p
+
+  val id : p -> int
+
+  (** Same semantics as the network-level {!recv}/{!recv_from}/{!peek},
+      restricted to this party's own inbox. *)
+
+  val recv : p -> (int * bytes) list
+
+  val recv_from : p -> src:int -> bytes list
+  val peek : p -> (int * bytes) list
+
+  (** [send p ~dst payload] buffers a send from this party.  Argument
+      validation (range, self-send) happens immediately, with the same
+      exceptions as the network-level {!val-send}; the message itself is
+      enqueued, metered, and made deliverable only at commit. *)
+  val send : p -> dst:int -> bytes -> unit
+end
+
+(** [run_round ?pool t ~parties f] steps every party in [parties]
+    through [f] and returns the results in list order.
+
+    Compute phase: with [?pool] absent, steps run sequentially in list
+    order — today's plain per-party loop.  With [~pool], [parties] is cut
+    into contiguous shards, one per pool domain (the calling domain
+    included), and shards run concurrently; each party may drain its own
+    inbox and buffer sends through its {!Party.p} handle, touching no
+    shared state.
+
+    Commit phase (always sequential, on the calling domain): outboxes
+    are replayed through {!val-send} in ascending {e sender id}, each in
+    send order.  Since delivery is bucketed per sender and all counter
+    updates commute, every observable — delivery order, per-party bit
+    counters, locality sets, message and round counts — is identical to
+    the sequential run at any domain count.
+
+    [run_round] does not advance the round clock; call {!step} to
+    deliver the committed messages, as after plain {!val-send}s.
+
+    Raises [Invalid_argument] on an out-of-range or duplicated party.
+    If a step raises, the exception propagates (for the first offending
+    party in list order) and {e no} sends are committed. *)
+val run_round : ?pool:Util.Pool.t -> t -> parties:int list -> (Party.p -> 'a) -> 'a list
 
 (** {1 Accounting} *)
 

@@ -21,9 +21,19 @@ type t = {
   mutable domains : unit Domain.t list;
 }
 
-let clamp_domains d = max 0 (min d 15)
+let clamp_domains d = max 0 (min d 64)
 
-let default_num_domains () = clamp_domains (Domain.recommended_domain_count () - 1)
+let default_num_domains () = max 0 (min (Domain.recommended_domain_count () - 1) 15)
+
+(* True while the current domain is executing pool work: for the lifetime
+   of a worker domain, and inside [map_jobs] on the calling domain.  A
+   nested [map_jobs] (e.g. [Netsim.Net.run_round ~pool] called from a
+   protocol that is itself running as a pool job) must not publish a
+   second batch — workers are already busy and the caller would deadlock
+   waiting on them — so it runs its jobs inline instead.  Inline execution
+   returns the same results (the scheduling model is order-insensitive by
+   construction), only the parallelism degenerates. *)
+let inside_pool : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
 (* Drain [b]: claim indices until the counter runs past the end.  Returns
    how many jobs this domain completed so the caller can settle the
@@ -48,6 +58,7 @@ let settle t b completed =
   Mutex.unlock t.m
 
 let worker t =
+  Domain.DLS.set inside_pool true;
   let my_gen = ref 0 in
   let rec loop () =
     Mutex.lock t.m;
@@ -89,7 +100,13 @@ let num_domains t = t.n
 let map_jobs t jobs f =
   let len = Array.length jobs in
   if len = 0 then [||]
+  else if Domain.DLS.get inside_pool then
+    (* Nested call from a worker (or from a job running on the calling
+       domain): run inline.  Same results, no second batch. *)
+    Array.map f jobs
   else begin
+    Domain.DLS.set inside_pool true;
+    Fun.protect ~finally:(fun () -> Domain.DLS.set inside_pool false) @@ fun () ->
     let results = Array.make len None in
     let run i =
       let r =

@@ -31,9 +31,11 @@ type t
 val default_num_domains : unit -> int
 
 (** [create ?num_domains ()] spawns the worker domains immediately.
-    [num_domains] is clamped to [0, 15]; [0] is legal — {!map_jobs} then
-    runs every job on the calling domain, which is the degenerate
-    sequential case. *)
+    [num_domains] is clamped to [0, 64] (counts above the core count are
+    legal and simply oversubscribe — the pool microbenchmark uses this to
+    measure dispatch overhead at fixed worker counts); [0] is legal —
+    {!map_jobs} then runs every job on the calling domain, which is the
+    degenerate sequential case. *)
 val create : ?num_domains:int -> unit -> t
 
 (** Workers actually spawned (after clamping). *)
@@ -44,7 +46,12 @@ val num_domains : t -> int
     sequential map regardless of scheduling.  If any [f jobs.(i)] raises,
     the remaining jobs still run to completion and the exception of the
     {e lowest} such index is re-raised in the caller (deterministically).
-    Not reentrant: do not call {!map_jobs} from inside a job. *)
+    Reentrancy: a {!map_jobs} issued from inside a job (on any pool) does
+    not publish a second batch — it runs its jobs inline on the current
+    domain and returns the same results.  This is what lets
+    [Netsim.Net.run_round ~pool] be called from protocol code that is
+    itself executing as a pool job: the nested call degenerates to the
+    sequential map, which is observationally identical. *)
 val map_jobs : t -> 'a array -> ('a -> 'b) -> 'b array
 
 (** Terminates the workers (idempotent).  Further {!map_jobs} calls raise

@@ -42,6 +42,35 @@ let test_recv_from () =
   Alcotest.(check (list string)) "from 0 remains" [ "x" ]
     (List.map Bytes.to_string (Netsim.Net.recv_from net ~dst:2 ~src:0))
 
+let test_recv_drains_everything () =
+  (* recv takes the whole inbox: a recv_from in the same round finds
+     nothing left, for any sender. *)
+  let net = Netsim.Net.create 3 in
+  Netsim.Net.send net ~src:0 ~dst:2 (msg "x");
+  Netsim.Net.send net ~src:1 ~dst:2 (msg "y");
+  Netsim.Net.step net;
+  checki "recv returns both" 2 (List.length (Netsim.Net.recv net ~dst:2));
+  checki "recv_from src 0 after recv" 0 (List.length (Netsim.Net.recv_from net ~dst:2 ~src:0));
+  checki "recv_from src 1 after recv" 0 (List.length (Netsim.Net.recv_from net ~dst:2 ~src:1));
+  checki "peek after recv" 0 (List.length (Netsim.Net.peek net ~dst:2))
+
+let test_recv_from_leaves_other_senders () =
+  (* recv_from drains exactly one sender's bucket; the rest of the inbox
+     survives, in delivery order, and a later recv returns it. *)
+  let net = Netsim.Net.create 4 in
+  Netsim.Net.send net ~src:1 ~dst:0 (msg "a");
+  Netsim.Net.send net ~src:2 ~dst:0 (msg "b");
+  Netsim.Net.send net ~src:3 ~dst:0 (msg "c");
+  Netsim.Net.send net ~src:1 ~dst:0 (msg "a2");
+  Netsim.Net.step net;
+  Alcotest.(check (list string)) "only src 2" [ "b" ]
+    (List.map Bytes.to_string (Netsim.Net.recv_from net ~dst:0 ~src:2));
+  Alcotest.(check (list (pair int string)))
+    "others intact, in delivery order"
+    [ (1, "a"); (1, "a2"); (3, "c") ]
+    (List.map (fun (s, b) -> (s, Bytes.to_string b)) (Netsim.Net.recv net ~dst:0));
+  checki "second recv_from empty" 0 (List.length (Netsim.Net.recv_from net ~dst:0 ~src:2))
+
 let test_self_send_rejected () =
   let net = Netsim.Net.create 2 in
   checkb "raises" true
@@ -270,6 +299,9 @@ let () =
           Alcotest.test_case "send/recv basic" `Quick test_basic_send_recv;
           Alcotest.test_case "deterministic delivery order" `Quick test_delivery_order_deterministic;
           Alcotest.test_case "recv_from" `Quick test_recv_from;
+          Alcotest.test_case "recv drains everything" `Quick test_recv_drains_everything;
+          Alcotest.test_case "recv_from leaves other senders" `Quick
+            test_recv_from_leaves_other_senders;
           Alcotest.test_case "self-send rejected" `Quick test_self_send_rejected;
           Alcotest.test_case "out-of-range rejected" `Quick test_out_of_range_rejected;
           Alcotest.test_case "bit accounting" `Quick test_bit_accounting;

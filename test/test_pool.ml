@@ -78,7 +78,7 @@ let test_shutdown_idempotent_and_final () =
 let test_default_and_clamping () =
   checkb "default is non-negative" true (Util.Pool.default_num_domains () >= 0);
   checkb "default is clamped" true (Util.Pool.default_num_domains () <= 15);
-  with_pool 99 (fun p -> Alcotest.(check int) "clamped to 15" 15 (Util.Pool.num_domains p));
+  with_pool 99 (fun p -> Alcotest.(check int) "clamped to 64" 64 (Util.Pool.num_domains p));
   with_pool (-3) (fun p -> Alcotest.(check int) "clamped to 0" 0 (Util.Pool.num_domains p))
 
 let () =
