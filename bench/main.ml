@@ -217,7 +217,7 @@ let run_thm2 ~n ~h ~seed =
   let net = Netsim.Net.create n in
   let rng = Util.Prng.create seed in
   let outs =
-    Mpc.Local_mpc.run_theorem2 net rng config ~corruption ~inputs
+    Mpc.Local_mpc.run_theorem2 ?pool:!pool net rng config ~corruption ~inputs
       ~adv:Mpc.Local_mpc.honest_theorem2_adv
   in
   assert (Array.for_all Mpc.Outcome.is_output outs);
@@ -286,7 +286,7 @@ let run_thm4 ~n ~h ~seed =
   let net = Netsim.Net.create n in
   let rng = Util.Prng.create seed in
   let outs, costs =
-    Mpc.Local_mpc.run_theorem4_metered net rng config ~corruption ~inputs
+    Mpc.Local_mpc.run_theorem4_metered ?pool:!pool net rng config ~corruption ~inputs
       ~adv:Mpc.Local_mpc.honest_theorem4_adv
   in
   ignore outs;
@@ -689,7 +689,7 @@ let e9_huge () =
   let fp_rows =
     List.map
       (fun n -> cost ~n "fingerprinted 64B" Mpc.All_to_all.Fingerprinted)
-      (pick ~full:[ 256; 512; 1024; 2048 ] ~reduced:[ 512 ])
+      (pick ~full:[ 256; 512; 1024; 2048 ] ~reduced:[ 1024 ])
   in
   let t =
     Analysis.Table.create ~title:"64-byte inputs, honest runs"
@@ -776,8 +776,8 @@ let e10 () =
         let rng = Util.Prng.create (100 + s) in
         let (outs, costs), wall_ms =
           timed (fun () ->
-              Mpc.Local_mpc.run_theorem4_metered ~cover_size:s net rng config ~corruption
-                ~inputs ~adv:Mpc.Local_mpc.honest_theorem4_adv)
+              Mpc.Local_mpc.run_theorem4_metered ~cover_size:s ?pool:!pool net rng config
+                ~corruption ~inputs ~adv:Mpc.Local_mpc.honest_theorem4_adv)
         in
         let aborts =
           Array.fold_left (fun a o -> a + if Mpc.Outcome.is_abort o then 1 else 0) 0 outs
@@ -865,8 +865,8 @@ let e11 () =
               input_width = 1 }
           in
           ignore
-            (Mpc.Local_mpc.run_theorem2 net rng config ~corruption ~inputs:(Array.make n 0)
-               ~adv:Mpc.Local_mpc.honest_theorem2_adv) );
+            (Mpc.Local_mpc.run_theorem2 ?pool:!pool net rng config ~corruption
+               ~inputs:(Array.make n 0) ~adv:Mpc.Local_mpc.honest_theorem2_adv) );
       ( "local MPC (Alg 8, Thm 4)",
         fun net ->
           let rng = Util.Prng.create 7 in
@@ -875,8 +875,8 @@ let e11 () =
               input_width = 1 }
           in
           ignore
-            (Mpc.Local_mpc.run_theorem4 net rng config ~corruption ~inputs:(Array.make n 0)
-               ~adv:Mpc.Local_mpc.honest_theorem4_adv) );
+            (Mpc.Local_mpc.run_theorem4 ?pool:!pool net rng config ~corruption
+               ~inputs:(Array.make n 0) ~adv:Mpc.Local_mpc.honest_theorem4_adv) );
     ]
   in
   let rows =

@@ -120,6 +120,11 @@ let speedup ~before ~after =
   if after <= 0.0 then "-" else Printf.sprintf "%.2fx" (before /. after)
 
 let diff_table ~before ~after =
+  (* Wall-clock comparisons between reports produced at different --jobs
+     counts measure the parallel speedup, not a regression: label the
+     column as informational.  Accounting columns (bits/messages/rounds)
+     are jobs-independent by the determinism contract and always gate. *)
+  let jobs_differ = before.jobs <> after.jobs in
   let t =
     Table.create
       ~title:
@@ -127,7 +132,9 @@ let diff_table ~before ~after =
            (if before.quick then "quick" else "full")
            after.date
            (if after.quick then "quick" else "full"))
-      ~columns:[ "experiment"; "series"; "n"; "h"; "bits"; "d-bits"; "d-msgs"; "d-rounds"; "speedup" ]
+      ~columns:
+        [ "experiment"; "series"; "n"; "h"; "bits"; "d-bits"; "d-msgs"; "d-rounds";
+          (if jobs_differ then "speedup (info)" else "speedup") ]
   in
   let after_tbl = Hashtbl.create 64 in
   List.iter (fun r -> Hashtbl.replace after_tbl (run_key r) r) after.runs;
@@ -166,4 +173,10 @@ let print_diff ~before ~after =
     (after.total_wall_ms /. 1000.0)
     after.jobs
     (speedup ~before:before.total_wall_ms ~after:after.total_wall_ms);
+  if before.jobs <> after.jobs then
+    Printf.printf
+      "note: reports were produced at different --jobs counts (%d vs %d); wall-time\n\
+       deltas above are informational (they measure parallel speedup, not drift).\n\
+       Only accounting drift — bits/messages/rounds/locality/verdicts — gates.\n"
+      before.jobs after.jobs;
   (matched, drifted)

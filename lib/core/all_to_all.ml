@@ -186,7 +186,7 @@ let run ?pool net rng params ~variant ~participants ~input ~corruption ~adv =
     List.iter2 (fun i view -> Hashtbl.replace views i view) members views_in_order;
     (* Round 2: pairwise equality over the concatenated views. *)
     let verdicts =
-      Equality.pairwise net rng params ~members
+      Equality.pairwise ?pool net rng params ~members
         ~value:(fun i -> encode_view (Hashtbl.find views i))
         ~corruption ~adv:adv.eq
     in

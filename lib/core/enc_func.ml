@@ -39,7 +39,7 @@ let partial_dec_message params ~depth ~me ~dst ~out_bytes ~tampered =
   let head = Bytes.make 1 (if tampered then '\001' else '\000') in
   Bytes.cat head body
 
-let run net rng params ~participants ~private_input ~depth ~eval ~corruption ~adv =
+let run ?pool net rng params ~participants ~private_input ~depth ~eval ~corruption ~adv =
   let members = List.sort_uniq compare participants in
   let is_corrupt i = Netsim.Corruption.is_corrupted corruption i in
   (* Evaluate each party's input exactly once: input thunks may consume
@@ -61,7 +61,7 @@ let run net rng params ~participants ~private_input ~depth ~eval ~corruption ~ad
   in
   (* Phase 1: simultaneous broadcast of the round-1 messages. *)
   let sb_results =
-    All_to_all.run net rng params ~variant:All_to_all.Fingerprinted ~participants:members
+    All_to_all.run ?pool net rng params ~variant:All_to_all.Fingerprinted ~participants:members
       ~input:(fun i -> round1_message params ~depth ~me:i ~input:(effective_input i))
       ~corruption ~adv:adv.sb
   in
@@ -78,51 +78,57 @@ let run net rng params ~participants ~private_input ~depth ~eval ~corruption ~ad
     match List.assoc_opt i result.private_outputs with Some b -> b | None -> Bytes.empty
   in
   (* Phase 2: partial decryptions toward every recipient of a private
-     output. *)
-  List.iter
-    (fun sender ->
-      if Hashtbl.find sb_ok sender then
-        List.iter
-          (fun recipient ->
-            if recipient <> sender then begin
-              let out = private_for recipient in
-              if Bytes.length out > 0 then begin
-                let dropped =
-                  is_corrupt sender
-                  &&
-                  match adv.drop_partial with
-                  | Some f -> f ~me:sender ~dst:recipient
-                  | None -> false
-                in
-                if not dropped then begin
-                  let tampered =
-                    is_corrupt sender
-                    &&
-                    match adv.tamper_partial with
-                    | Some f -> f ~me:sender ~dst:recipient
-                    | None -> false
-                  in
-                  let msg =
-                    partial_dec_message params ~depth ~me:sender ~dst:recipient
-                      ~out_bytes:(Bytes.length out) ~tampered
-                  in
-                  Netsim.Net.send net ~src:sender ~dst:recipient msg
-                end
-              end
-            end)
-          members)
-    members;
+     output.  Rng-free (filler-based carriers), so the per-sender fan-out
+     shards through run_round; commit order (ascending sender id) matches
+     the previous sequential List.iter over the sorted member list. *)
+  ignore
+    (Netsim.Net.run_round ?pool net ~parties:members (fun p ->
+         let sender = Netsim.Net.Party.id p in
+         if Hashtbl.find sb_ok sender then
+           List.iter
+             (fun recipient ->
+               if recipient <> sender then begin
+                 let out = private_for recipient in
+                 if Bytes.length out > 0 then begin
+                   let dropped =
+                     is_corrupt sender
+                     &&
+                     match adv.drop_partial with
+                     | Some f -> f ~me:sender ~dst:recipient
+                     | None -> false
+                   in
+                   if not dropped then begin
+                     let tampered =
+                       is_corrupt sender
+                       &&
+                       match adv.tamper_partial with
+                       | Some f -> f ~me:sender ~dst:recipient
+                       | None -> false
+                     in
+                     let msg =
+                       partial_dec_message params ~depth ~me:sender ~dst:recipient
+                         ~out_bytes:(Bytes.length out) ~tampered
+                     in
+                     Netsim.Net.Party.send p ~dst:recipient msg
+                   end
+                 end
+               end)
+             members)
+      : unit list);
   Netsim.Net.step net;
-  (* Phase 3: recipients verify the proofs and assemble their outputs. *)
-  List.map
-    (fun i ->
+  (* Phase 3: recipients verify the proofs and assemble their outputs.
+     Pure per-recipient collection (each drains only its own inbox), so it
+     shards too; run_round returns results in member-list order, exactly
+     the List.map it replaces. *)
+  Netsim.Net.run_round ?pool net ~parties:members (fun p ->
+      let i = Netsim.Net.Party.id p in
       if not (Hashtbl.find sb_ok i) then
         (i, Outcome.Abort (Outcome.Upstream "round-1 broadcast"))
       else begin
         let out = private_for i in
         if Bytes.length out = 0 then (i, Outcome.Output (result.public_output, Bytes.empty))
         else begin
-          let msgs = Netsim.Net.recv net ~dst:i in
+          let msgs = Netsim.Net.Party.recv p in
           let senders = List.sort_uniq compare (List.map fst msgs) in
           let expected = List.filter (fun j -> j <> i) members in
           if List.exists (fun j -> not (List.mem j senders)) expected then
@@ -138,4 +144,3 @@ let run net rng params ~participants ~private_input ~depth ~eval ~corruption ~ad
           end
         end
       end)
-    members

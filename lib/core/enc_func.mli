@@ -31,7 +31,13 @@
     Domain-safety: the input memo and the broadcast-consistency table are
     per-call; a run touches only the network/RNG/PKE instance it is
     handed, so jobs that own those (see {!Netsim.Net}) can run this
-    concurrently. *)
+    concurrently.
+
+    Parallelism: with [~pool] the round-1 broadcast, the partial
+    decryption fan-out, and the per-recipient verification all shard
+    through [Netsim.Net.run_round] (the fan-out and collection are
+    rng-free); results and accounting are byte-identical at any jobs
+    count. *)
 
 type result = {
   public_output : bytes;
@@ -61,6 +67,7 @@ val honest_adv : adv
     On success each participant receives
     [(public_output, its private output or empty)]. *)
 val run :
+  ?pool:Util.Pool.t ->
   Netsim.Net.t ->
   Util.Prng.t ->
   Params.t ->

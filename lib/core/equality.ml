@@ -31,10 +31,33 @@ let run net rng params ~p1 ~p2 ~m1 ~m2 =
   in
   (p1_flag, verdict)
 
-let pairwise net rng params ~members ~value ~corruption ~adv =
+(* Run [body pos] for every [pos] in [0, n): chunked across the pool when
+   one is supplied, plain loop otherwise.  [body] must be pure per
+   position (it may write to per-position slots of caller-owned arrays —
+   the Netsim.Net domain-safety discipline), so chunking is invisible. *)
+let par_positions pool ~n body =
+  match pool with
+  | Some p when n > 1 ->
+    let nchunks = max 1 (min n ((Util.Pool.num_domains p + 1) * 8)) in
+    let chunks = Array.init nchunks (fun c -> (c * n / nchunks, (c + 1) * n / nchunks)) in
+    let (_ : unit array) =
+      Util.Pool.map_jobs p chunks (fun (lo, hi) ->
+          for pos = lo to hi - 1 do
+            body pos
+          done)
+    in
+    ()
+  | _ ->
+    for pos = 0 to n - 1 do
+      body pos
+    done
+
+let pairwise ?pool net rng params ~members ~value ~corruption ~adv =
   let members_arr = Array.of_list members in
   (* Callers often encode large views in [value]; evaluate once per member
-     (it is consulted again for sizing and for tamper-recovery checks). *)
+     (it is consulted again for sizing and for tamper-recovery checks).
+     The [max_len] fold below touches every member, so by the time
+     parallel jobs read the cache it is complete and never mutated. *)
   let value =
     let cache = Hashtbl.create 16 in
     fun i ->
@@ -46,6 +69,7 @@ let pairwise net rng params ~members ~value ~corruption ~adv =
         v
   in
   let k = Array.length members_arr in
+  let net_n = Netsim.Net.n net in
   let ok = Hashtbl.create k in
   List.iter (fun m -> Hashtbl.replace ok m true) members;
   let fail m = Hashtbl.replace ok m false in
@@ -54,68 +78,120 @@ let pairwise net rng params ~members ~value ~corruption ~adv =
      test for the longest so soundness covers all pairs. *)
   let max_len = List.fold_left (fun acc m -> max acc (Bytes.length (value m))) 1 members in
   let t = Params.fingerprint_t params ~msg_len:max_len in
-  (* One shared prime set per phase, sampled after all values are fixed —
-     the CRS provides this shared randomness in the paper's model.  Each
-     member then evaluates its own residues exactly once, instead of
-     re-running Horner per pair; the bits on the wire are unchanged and the
-     union-bound soundness analysis is identical. *)
-  let primes = Crypto.Fingerprint.sample_primes rng t in
-  let my_fp =
-    Array.map
-      (fun i ->
-        let v = value i in
-        { Crypto.Fingerprint.primes;
-          residues = Array.map (Crypto.Fingerprint.residue v) primes })
-      members_arr
+  (* Prime pool: the CRS samples 2t random primes once, after all values
+     are fixed; each pair's keyed substream (below) then selects its own
+     t-subset.  Every selected prime is a uniformly random 29-bit prime
+     sampled after the values were fixed, so the per-pair union bound of
+     Lemma 5 is unchanged; selecting from a shared pool (rather than
+     sampling per pair) is what lets each member run Horner once per pool
+     prime instead of once per pair — Θ(k) less work on the hot path. *)
+  let pool_size = 2 * t in
+  let crs_primes = Crypto.Fingerprint.sample_primes rng pool_size in
+  (* Per-member residue tables over the whole pool: rng-free, so the
+     Horner evaluations (the CPU-heavy half at large values) can shard. *)
+  let member_residues = Array.make k [||] in
+  par_positions pool ~n:k (fun idx ->
+      let v = value members_arr.(idx) in
+      member_residues.(idx) <- Array.map (Crypto.Fingerprint.residue v) crs_primes);
+  (* The pair's substream is keyed by the ordered pair of party ids — a
+     pure function of the parent stream position and the key, so jobs can
+     derive it in any scheduling order and produce identical transcripts. *)
+  let pair_selection i j =
+    let child = Util.Prng.derive rng ~key:((i * net_n) + j) in
+    Array.of_list (Util.Prng.sample_without_replacement child ~n:pool_size ~k:t)
   in
-  let fp_of i =
-    let rec find idx = if members_arr.(idx) = i then my_fp.(idx) else find (idx + 1) in
-    find 0
-  in
+  (* Enumerate pairs in round-1 send order (sender-major, exactly the
+     order the sequential loop used); [posmat] recovers a pair's position
+     for the round-2 (receiver-major) commit. *)
+  let pairs = Array.make (k * (k - 1) / 2) 0 in
+  let posmat = Array.make (k * k) (-1) in
+  let npairs = ref 0 in
   Array.iteri
     (fun idx i ->
-      let base_fp = my_fp.(idx) in
-      Array.iter
-        (fun j ->
+      Array.iteri
+        (fun jdx j ->
           if i < j then begin
-            let fp =
-              match adv.tamper_fp with
-              | Some f when is_corrupt i -> f ~me:i ~dst:j base_fp
-              | _ -> base_fp
-            in
-            Netsim.Net.send net ~src:i ~dst:j (encode_fp fp)
+            pairs.(!npairs) <- (idx * k) + jdx;
+            posmat.((idx * k) + jdx) <- !npairs;
+            incr npairs
           end)
         members_arr)
     members_arr;
+  let npairs = !npairs in
+  let decode_pos pos =
+    let code = pairs.(pos) in
+    (code / k, code mod k)
+  in
+  (* Round 1: each pair's fingerprint, built in parallel, committed in
+     pair order.  Bits on the wire are a pure function of (seed, key), so
+     the transcript is identical at any jobs count. *)
+  let payloads = Array.make npairs Bytes.empty in
+  par_positions pool ~n:npairs (fun pos ->
+      let idx, jdx = decode_pos pos in
+      let i = members_arr.(idx) and j = members_arr.(jdx) in
+      let sel = pair_selection i j in
+      let fp =
+        { Crypto.Fingerprint.primes = Array.map (fun s -> crs_primes.(s)) sel;
+          residues = Array.map (fun s -> member_residues.(idx).(s)) sel }
+      in
+      let fp =
+        match adv.tamper_fp with
+        | Some f when is_corrupt i -> f ~me:i ~dst:j fp
+        | _ -> fp
+      in
+      payloads.(pos) <- encode_fp fp);
+  for pos = 0 to npairs - 1 do
+    let idx, jdx = decode_pos pos in
+    Netsim.Net.send net ~src:members_arr.(idx) ~dst:members_arr.(jdx) payloads.(pos)
+  done;
   Netsim.Net.step net;
-  (* Round 2: receivers check and answer one bit. *)
-  Array.iter
-    (fun j ->
-      Array.iter
-        (fun i ->
+  (* Round 2: receivers check and answer one bit.  Draining the inboxes
+     touches shared network state, so it stays sequential; the residue
+     comparisons (and tamper-recovery Horner re-checks) parallelize. *)
+  let incoming = Array.make npairs [] in
+  for pos = 0 to npairs - 1 do
+    let idx, jdx = decode_pos pos in
+    incoming.(pos) <-
+      Netsim.Net.recv_from net ~dst:members_arr.(jdx) ~src:members_arr.(idx)
+  done;
+  let verdicts = Array.make npairs false in
+  let reported = Array.make npairs false in
+  par_positions pool ~n:npairs (fun pos ->
+      let idx, jdx = decode_pos pos in
+      let i = members_arr.(idx) and j = members_arr.(jdx) in
+      let verdict =
+        match incoming.(pos) with
+        | [ b ] -> (
+          match decode_fp b with
+          | Some fp -> (
+            (* The expected primes: re-derive the pair's selection.  Same
+               primes: compare residues directly; different primes (a
+               tampered message): fall back to recompute. *)
+            let sel = pair_selection i j in
+            let expected = Array.map (fun s -> crs_primes.(s)) sel in
+            if fp.Crypto.Fingerprint.primes = expected then
+              fp.Crypto.Fingerprint.residues
+              = Array.map (fun s -> member_residues.(jdx).(s)) sel
+            else Crypto.Fingerprint.check fp (value j))
+          | None -> false)
+        | _ -> false
+      in
+      verdicts.(pos) <- verdict;
+      reported.(pos) <-
+        (match adv.lie_verdict with
+        | Some f when is_corrupt j -> f ~me:j ~dst:i verdict
+        | _ -> verdict));
+  (* Commit in receiver-major order — the order the sequential loop sent
+     verdict bits in — and apply the verdict bookkeeping on the way. *)
+  Array.iteri
+    (fun jdx j ->
+      Array.iteri
+        (fun idx i ->
           if i < j then begin
-            let verdict =
-              match Netsim.Net.recv_from net ~dst:j ~src:i with
-              | [ b ] -> (
-                match decode_fp b with
-                | Some fp -> (
-                  (* Same primes: compare residues directly; different
-                     primes (a tampered message): fall back to recompute. *)
-                  let mine = fp_of j in
-                  if fp.Crypto.Fingerprint.primes = mine.Crypto.Fingerprint.primes then
-                    fp.Crypto.Fingerprint.residues = mine.Crypto.Fingerprint.residues
-                  else Crypto.Fingerprint.check fp (value j))
-                | None -> false)
-              | _ -> false
-            in
-            if not verdict then fail j;
-            let reported =
-              match adv.lie_verdict with
-              | Some f when is_corrupt j -> f ~me:j ~dst:i verdict
-              | _ -> verdict
-            in
+            let pos = posmat.((idx * k) + jdx) in
+            if not verdicts.(pos) then fail j;
             Netsim.Net.send net ~src:j ~dst:i
-              (Bytes.make 1 (if reported then '\001' else '\000'))
+              (Bytes.make 1 (if reported.(pos) then '\001' else '\000'))
           end)
         members_arr)
     members_arr;

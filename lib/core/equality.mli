@@ -40,13 +40,30 @@ val run :
   m2:bytes ->
   bool * bool
 
-(** [pairwise net rng params ~members ~value ~corruption ~adv] — every
-    unordered pair [{i, j}] of [members] runs [Equality_λ] on their values
-    (the lower id sends the fingerprint).  Returns, for each member in the
-    order given, [true] iff all tests it participated in accepted.
+(** [pairwise ?pool net rng params ~members ~value ~corruption ~adv] —
+    every unordered pair [{i, j}] of [members] runs [Equality_λ] on their
+    values (the lower id sends the fingerprint).  Returns, for each member
+    in the order given, [true] iff all tests it participated in accepted.
+
+    {b Randomness.}  The CRS draws a pool of [2t] random primes from
+    [rng] (after all values are fixed); each pair then selects its own
+    [t]-subset through a keyed substream [Prng.derive rng ~key:(i·n + j)].
+    Each selected prime is a uniformly random prime sampled after the
+    values were fixed, so Lemma 5's per-pair union bound is unchanged,
+    while members still evaluate Horner once per pool prime rather than
+    once per pair.
+
+    {b Parallelism.}  With [~pool], the per-member residue tables and the
+    ~|members|²/2 per-pair jobs (fingerprint build/encode, residue
+    comparison) are dispatched through [Util.Pool.map_jobs]; because every
+    pair's randomness comes from its keyed substream — a pure function of
+    the parent stream position and the key — and sends are committed back
+    in pair order on the calling domain, transcripts and verdicts are
+    byte-identical at any jobs count.
 
     Cost: [O(|members|² · λ · log n)] bits in two rounds. *)
 val pairwise :
+  ?pool:Util.Pool.t ->
   Netsim.Net.t ->
   Util.Prng.t ->
   Params.t ->

@@ -20,7 +20,7 @@ type result = {
 
 let claim_payload = Bytes.make 1 '\001'
 
-let run net rng params ~corruption ~adv =
+let run ?pool net rng params ~corruption ~adv =
   let n = Netsim.Net.n net in
   let p = Params.local_committee_prob params in
   let bound = Params.local_committee_bound params in
@@ -47,7 +47,7 @@ let run net rng params ~corruption ~adv =
       (fun i -> if claims.(i) && not aborted.(i) then Some (i, claim_payload) else None)
       (List.init n (fun i -> i))
   in
-  let gossip_outs = Gossip.run net rng params ~graph ~sources ~corruption ~adv:adv.gossip in
+  let gossip_outs = Gossip.run ?pool net rng params ~graph ~sources ~corruption ~adv:adv.gossip in
   let views = Array.make n [] in
   for i = 0 to n - 1 do
     match gossip_outs.(i) with

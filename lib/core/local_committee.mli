@@ -28,7 +28,11 @@ type result = {
       (** the routing graph (empty neighbor sets for aborted parties) *)
 }
 
+(** [?pool] shards the claim-gossip rounds across domains
+    ([Gossip.run]'s rng-free halves); the election coins and the routing
+    network stay on the calling domain for stream fidelity. *)
 val run :
+  ?pool:Util.Pool.t ->
   Netsim.Net.t ->
   Util.Prng.t ->
   Params.t ->

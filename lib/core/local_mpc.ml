@@ -30,7 +30,7 @@ let honest_theorem2_adv =
     tamper_pdec = None;
   }
 
-let run_theorem2 net rng config ~corruption ~inputs ~adv =
+let run_theorem2 ?pool net rng config ~corruption ~inputs ~adv =
   let params = config.params in
   let n = Netsim.Net.n net in
   if Array.length inputs <> n then invalid_arg "Local_mpc.run_theorem2: wrong input count";
@@ -71,7 +71,7 @@ let run_theorem2 net rng config ~corruption ~inputs ~adv =
       (fun i -> if aborted.(i) then None else Some (i, r1_message i))
       (List.init n (fun i -> i))
   in
-  let g1 = Gossip.run net rng params ~graph ~sources ~corruption ~adv:adv.gossip_r1 in
+  let g1 = Gossip.run ?pool net rng params ~graph ~sources ~corruption ~adv:adv.gossip_r1 in
   let r1_views = Array.make n None in
   for i = 0 to n - 1 do
     match g1.(i) with
@@ -101,7 +101,10 @@ let run_theorem2 net rng config ~corruption ~inputs ~adv =
       (fun i -> if aborted.(i) then None else Some (i, pdec_message i))
       (List.init n (fun i -> i))
   in
-  let g2 = Gossip.run net rng params ~graph ~sources:pdec_sources ~corruption ~adv:adv.gossip_pdec in
+  let g2 =
+    Gossip.run ?pool net rng params ~graph ~sources:pdec_sources ~corruption
+      ~adv:adv.gossip_pdec
+  in
   (* The ideal functionality's output on the effective inputs. *)
   let out =
     let bits = Circuit.pack_inputs ~width:config.input_width (Array.to_list effective) in
@@ -188,7 +191,7 @@ let decode_exchange b =
   | v -> Some v
   | exception Util.Codec.Decode_error _ -> None
 
-let run_theorem4_metered ?cover_size net rng config ~corruption ~inputs ~adv =
+let run_theorem4_metered ?cover_size ?pool net rng config ~corruption ~inputs ~adv =
   let module P = (val config.pke : Crypto.Pke.S) in
   let params = config.params in
   let n = Netsim.Net.n net in
@@ -207,7 +210,7 @@ let run_theorem4_metered ?cover_size net rng config ~corruption ~inputs ~adv =
 
   (* ---- Step 1: local committee election ---- *)
   let s0 = mark () in
-  let election = Local_committee.run net rng params ~corruption ~adv:adv.election in
+  let election = Local_committee.run ?pool net rng params ~corruption ~adv:adv.election in
   Array.iteri
     (fun i o -> match o with Outcome.Abort r -> set_abort i r | Outcome.Output _ -> ())
     election.Local_committee.views;
@@ -230,7 +233,7 @@ let run_theorem4_metered ?cover_size net rng config ~corruption ~inputs ~adv =
   let gen_results =
     if members = [] then []
     else
-      Enc_func.run net rng params ~participants:members
+      Enc_func.run ?pool net rng params ~participants:members
         ~private_input:(fun i ->
           Crypto.Kdf.expand
             ~key:(Util.Prng.bytes rng 32)
@@ -267,43 +270,61 @@ let run_theorem4_metered ?cover_size net rng config ~corruption ~inputs ~adv =
         Hashtbl.replace covers c sample
       end)
     members;
-  (* Step 4: forward pk to the cover. *)
-  List.iter
-    (fun c ->
-      if active c then
-        match Hashtbl.find_opt member_pk c with
-        | Some pkb ->
-          List.iter
-            (fun dst ->
-              if dst <> c then begin
-                let payload =
-                  match adv.pk_forward with
-                  | Some f when is_corrupt c -> f ~me:c ~dst pkb
-                  | _ -> pkb
-                in
-                Netsim.Net.send net ~src:c ~dst payload
-              end)
-            (Hashtbl.find covers c)
-        | None -> ())
-    members;
+  (* Step 4: forward pk to the cover.  Rng-free member fan-out — shards
+     through run_round like mpc_abort step 3; the commit replays sends in
+     ascending member id, exactly the sequential List.iter order. *)
+  let (_ : unit list) =
+    Netsim.Net.run_round ?pool net ~parties:members (fun p ->
+        let c = Netsim.Net.Party.id p in
+        if active c then
+          match Hashtbl.find_opt member_pk c with
+          | Some pkb ->
+            List.iter
+              (fun dst ->
+                if dst <> c then begin
+                  let payload =
+                    match adv.pk_forward with
+                    | Some f when is_corrupt c -> f ~me:c ~dst pkb
+                    | _ -> pkb
+                  in
+                  Netsim.Net.Party.send p ~dst payload
+                end)
+              (Hashtbl.find covers c)
+          | None -> ())
+  in
   Netsim.Net.step net;
-  (* Parties learn their responsible members and check pk consistency. *)
+  (* Parties learn their responsible members and check pk consistency:
+     pure per-inbox collection, sharded; the abort bookkeeping is applied
+     sequentially afterwards. *)
   let party_pk = Array.make n None in
   let responsible = Array.make n [] in
-  for i = 0 to n - 1 do
-    let msgs = Netsim.Net.recv net ~dst:i in
-    responsible.(i) <- List.sort_uniq compare (List.map fst msgs);
-    (* Committee members know pk directly. *)
-    let copies = List.map snd msgs in
-    let copies =
-      match Hashtbl.find_opt member_pk i with Some own -> own :: copies | None -> copies
-    in
-    match copies with
-    | [] -> () (* uncovered non-member: abort at the end (no output) *)
-    | first :: rest ->
-      if List.for_all (Bytes.equal first) rest then party_pk.(i) <- Some first
-      else if active i then set_abort i (Outcome.Equivocation "conflicting public keys")
-  done;
+  let pk_checks =
+    Netsim.Net.run_round ?pool net
+      ~parties:(List.init n (fun i -> i))
+      (fun p ->
+        let i = Netsim.Net.Party.id p in
+        let msgs = Netsim.Net.Party.recv p in
+        let senders = List.sort_uniq compare (List.map fst msgs) in
+        (* Committee members know pk directly. *)
+        let copies = List.map snd msgs in
+        let copies =
+          match Hashtbl.find_opt member_pk i with Some own -> own :: copies | None -> copies
+        in
+        match copies with
+        | [] -> (senders, `No_copies) (* uncovered non-member: abort at the end *)
+        | first :: rest ->
+          if List.for_all (Bytes.equal first) rest then (senders, `Pk first)
+          else (senders, `Conflict))
+  in
+  List.iteri
+    (fun i (senders, verdict) ->
+      responsible.(i) <- senders;
+      match verdict with
+      | `No_copies -> ()
+      | `Pk first -> party_pk.(i) <- Some first
+      | `Conflict ->
+        if active i then set_abort i (Outcome.Equivocation "conflicting public keys"))
+    pk_checks;
   (* Step 5: parties encrypt and send their input to responsible members. *)
   let input_bytes i = Bitpack.int_to_bytes inputs.(i) ~width:config.input_width in
   let own_ct = Hashtbl.create 8 in
@@ -330,11 +351,15 @@ let run_theorem4_metered ?cover_size net rng config ~corruption ~inputs ~adv =
       | None -> ()
   done;
   Netsim.Net.step net;
+  (* Input collection: each member filters its own inbox against its
+     cover — rng-free, sharded; the table is filled on the calling domain
+     from the returned entries. *)
   let collected = Hashtbl.create 8 in
-  List.iter
-    (fun c ->
-      if active c then begin
-        let msgs = Netsim.Net.recv net ~dst:c in
+  let collect_members = List.filter active members in
+  let collect_results =
+    Netsim.Net.run_round ?pool net ~parties:collect_members (fun p ->
+        let c = Netsim.Net.Party.id p in
+        let msgs = Netsim.Net.Party.recv p in
         let mine = Hashtbl.find covers c in
         let entries =
           List.filter_map
@@ -346,17 +371,22 @@ let run_theorem4_metered ?cover_size net rng config ~corruption ~inputs ~adv =
           | Some ct when List.mem c mine -> (c, ct) :: entries
           | _ -> entries
         in
-        Hashtbl.replace collected c (List.sort compare entries)
-      end)
-    members;
+        List.sort compare entries)
+  in
+  List.iter2
+    (fun c entries -> Hashtbl.replace collected c entries)
+    collect_members collect_results;
   let cover_bits = bits_since s2 in
 
   (* ---- Step 6: members exchange their collected inputs ---- *)
   let s3 = mark () in
-  let active_members () = List.filter active members in
-  List.iter
-    (fun c ->
-      if active c then begin
+  (* Both halves are rng-free: the O(|C|²) encode-and-send fan-out (the
+     CPU-heavy exchange encoding) and the per-member merge each shard
+     through run_round; abort bookkeeping lands after the round. *)
+  let active_members = List.filter active members in
+  let (_ : unit list) =
+    Netsim.Net.run_round ?pool net ~parties:active_members (fun p ->
+        let c = Netsim.Net.Party.id p in
         let entries = Hashtbl.find collected c in
         List.iter
           (fun c' ->
@@ -367,16 +397,15 @@ let run_theorem4_metered ?cover_size net rng config ~corruption ~inputs ~adv =
                   List.map (fun (party, ct) -> (party, f ~me:c ~dst:c' ~party ct)) entries
                 | _ -> entries
               in
-              Netsim.Net.send net ~src:c ~dst:c' (encode_exchange entries)
+              Netsim.Net.Party.send p ~dst:c' (encode_exchange entries)
             end)
-          (active_members ())
-      end)
-    members;
+          active_members)
+  in
   Netsim.Net.step net;
   let merged = Hashtbl.create 8 in
-  List.iter
-    (fun c ->
-      if active c then begin
+  let merge_results =
+    Netsim.Net.run_round ?pool net ~parties:active_members (fun p ->
+        let c = Netsim.Net.Party.id p in
         let tbl = Hashtbl.create n in
         let conflict = ref false in
         let add (id, ct) =
@@ -390,14 +419,16 @@ let run_theorem4_metered ?cover_size net rng config ~corruption ~inputs ~adv =
             match decode_exchange payload with
             | Some entries -> List.iter add entries
             | None -> conflict := true)
-          (Netsim.Net.recv net ~dst:c);
-        if !conflict then set_abort c (Outcome.Equivocation "conflicting ciphertexts in exchange")
-        else begin
-          let view = List.init n (fun i -> (i, Hashtbl.find_opt tbl i)) in
-          Hashtbl.replace merged c view
-        end
-      end)
-    members;
+          (Netsim.Net.Party.recv p);
+        if !conflict then `Conflict
+        else `View (List.init n (fun i -> (i, Hashtbl.find_opt tbl i))))
+  in
+  List.iter2
+    (fun c result ->
+      match result with
+      | `Conflict -> set_abort c (Outcome.Equivocation "conflicting ciphertexts in exchange")
+      | `View view -> Hashtbl.replace merged c view)
+    active_members merge_results;
   let exchange_bits = bits_since s3 in
 
   (* ---- Step 7: pairwise equality on the merged views ---- *)
@@ -405,7 +436,7 @@ let run_theorem4_metered ?cover_size net rng config ~corruption ~inputs ~adv =
   let eq_members = List.filter (fun c -> active c && Hashtbl.mem merged c) members in
   let verdicts =
     if List.length eq_members >= 2 then
-      Equality.pairwise net rng params ~members:eq_members
+      Equality.pairwise ?pool net rng params ~members:eq_members
         ~value:(fun c -> encode_ct_view (Hashtbl.find merged c))
         ~corruption ~adv:adv.eq
     else List.map (fun c -> (c, true)) eq_members
@@ -423,7 +454,7 @@ let run_theorem4_metered ?cover_size net rng config ~corruption ~inputs ~adv =
   let comp_results =
     if comp_members = [] then []
     else
-      Enc_func.run net rng params ~participants:comp_members
+      Enc_func.run ?pool net rng params ~participants:comp_members
         ~private_input:(fun c ->
           Crypto.Kdf.expand
             ~key:(Bytes.of_string (Printf.sprintf "t4skshare/%d" c))
@@ -475,41 +506,49 @@ let run_theorem4_metered ?cover_size net rng config ~corruption ~inputs ~adv =
   let compute_bits = bits_since s5 in
 
   (* ---- Step 9: output to covers ---- *)
+  (* Mirrors mpc_abort step 7: rng-free output fan-out and per-party
+     collection both shard; classification stays on the calling domain. *)
   let s6 = mark () in
-  List.iter
-    (fun c ->
-      if active c then
-        match Hashtbl.find_opt member_out c with
-        | Some out ->
-          List.iter
-            (fun dst ->
-              if dst <> c then begin
-                let payload =
-                  match adv.out_forward with
-                  | Some f when is_corrupt c -> f ~me:c ~dst out
-                  | _ -> out
-                in
-                Netsim.Net.send net ~src:c ~dst payload
-              end)
-            (Hashtbl.find covers c)
-        | None -> ())
-    members;
+  let (_ : unit list) =
+    Netsim.Net.run_round ?pool net ~parties:members (fun p ->
+        let c = Netsim.Net.Party.id p in
+        if active c then
+          match Hashtbl.find_opt member_out c with
+          | Some out ->
+            List.iter
+              (fun dst ->
+                if dst <> c then begin
+                  let payload =
+                    match adv.out_forward with
+                    | Some f when is_corrupt c -> f ~me:c ~dst out
+                    | _ -> out
+                  in
+                  Netsim.Net.Party.send p ~dst payload
+                end)
+              (Hashtbl.find covers c)
+          | None -> ())
+  in
   Netsim.Net.step net;
   let final = Array.make n (Outcome.Abort (Outcome.Missing "no output received")) in
-  for i = 0 to n - 1 do
-    let copies = List.map snd (Netsim.Net.recv net ~dst:i) in
-    let copies =
-      match Hashtbl.find_opt member_out i with Some own -> own :: copies | None -> copies
-    in
-    match abort.(i) with
-    | Some r -> final.(i) <- Outcome.Abort r
-    | None -> (
-      match copies with
-      | [] -> final.(i) <- Outcome.Abort (Outcome.Missing "no output received (uncovered)")
-      | first :: rest ->
-        if List.for_all (Bytes.equal first) rest then final.(i) <- Outcome.Output first
-        else final.(i) <- Outcome.Abort (Outcome.Equivocation "conflicting outputs"))
-  done;
+  let final_copies =
+    Netsim.Net.run_round ?pool net
+      ~parties:(List.init n (fun i -> i))
+      (fun p ->
+        let i = Netsim.Net.Party.id p in
+        let copies = List.map snd (Netsim.Net.Party.recv p) in
+        match Hashtbl.find_opt member_out i with Some own -> own :: copies | None -> copies)
+  in
+  List.iteri
+    (fun i copies ->
+      match abort.(i) with
+      | Some r -> final.(i) <- Outcome.Abort r
+      | None -> (
+        match copies with
+        | [] -> final.(i) <- Outcome.Abort (Outcome.Missing "no output received (uncovered)")
+        | first :: rest ->
+          if List.for_all (Bytes.equal first) rest then final.(i) <- Outcome.Output first
+          else final.(i) <- Outcome.Abort (Outcome.Equivocation "conflicting outputs")))
+    final_copies;
   let output_bits = bits_since s6 in
   ( final,
     {
@@ -522,5 +561,5 @@ let run_theorem4_metered ?cover_size net rng config ~corruption ~inputs ~adv =
       output_bits;
     } )
 
-let run_theorem4 net rng config ~corruption ~inputs ~adv =
-  fst (run_theorem4_metered net rng config ~corruption ~inputs ~adv)
+let run_theorem4 ?pool net rng config ~corruption ~inputs ~adv =
+  fst (run_theorem4_metered ?pool net rng config ~corruption ~inputs ~adv)

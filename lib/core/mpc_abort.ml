@@ -89,7 +89,7 @@ let run_metered ?pool net rng config ~corruption ~inputs ~adv =
   let gen_results =
     if members = [] then []
     else
-      Enc_func.run net rng params ~participants:members
+      Enc_func.run ?pool net rng params ~participants:members
         ~private_input:(fun i ->
           Crypto.Kdf.expand
             ~key:(Util.Prng.bytes rng 32)
@@ -230,7 +230,7 @@ let run_metered ?pool net rng config ~corruption ~inputs ~adv =
   let eq_members = List.filter active members in
   let verdicts =
     if List.length eq_members >= 2 then
-      Equality.pairwise net rng params ~members:eq_members
+      Equality.pairwise ?pool net rng params ~members:eq_members
         ~value:(fun c -> encode_ct_view (Hashtbl.find member_cts c))
         ~corruption ~adv:adv.eq
     else List.map (fun c -> (c, true)) eq_members
@@ -248,7 +248,7 @@ let run_metered ?pool net rng config ~corruption ~inputs ~adv =
   let comp_results =
     if comp_members = [] then []
     else
-      Enc_func.run net rng params ~participants:comp_members
+      Enc_func.run ?pool net rng params ~participants:comp_members
         ~private_input:(fun c ->
           Crypto.Kdf.expand
             ~key:(Bytes.of_string (Printf.sprintf "skshare/%d" c))

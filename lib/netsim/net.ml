@@ -272,18 +272,21 @@ let run_round ?pool t ~parties f =
       Array.map Option.get out
     | Some pool ->
       let nshards = max 1 (min len (Util.Pool.num_domains pool + 1)) in
-      let shards =
-        Array.init nshards (fun k -> (k * len / nshards, (k + 1) * len / nshards))
+      (* Size-aware sharding: weight each party by its undrained inbox
+         (+1 so empty-inbox parties still count), then greedy-bin-pack so
+         a single hot party no longer drags a whole contiguous block onto
+         one worker.  Shard composition is deterministic (pure function of
+         the inbox sizes, which are jobs-independent) and invisible to the
+         output: results land at each party's own index and the commit
+         below orders by party id, not by shard. *)
+      let weights = Array.map (fun me -> 1 + t.inboxes.(me).live) ps in
+      let shards = Util.Pool.pack_bins ~weights ~bins:nshards in
+      let out = Array.make len None in
+      let (_ : unit array) =
+        Util.Pool.map_jobs pool shards (fun shard ->
+            Array.iter (fun j -> out.(j) <- Some (f handles.(j))) shard)
       in
-      let parts =
-        Util.Pool.map_jobs pool shards (fun (lo, hi) ->
-            let out = Array.make (hi - lo) None in
-            for j = lo to hi - 1 do
-              out.(j - lo) <- Some (f handles.(j))
-            done;
-            Array.map Option.get out)
-      in
-      Array.concat (Array.to_list parts)
+      Array.map Option.get out
   in
   (* Commit phase: ascending sender id, each outbox in send order. *)
   let order = Array.init len (fun k -> k) in

@@ -115,10 +115,20 @@ end
 
     Compute phase: with [?pool] absent, steps run sequentially in list
     order — today's plain per-party loop.  With [~pool], [parties] is cut
-    into contiguous shards, one per pool domain (the calling domain
-    included), and shards run concurrently; each party may drain its own
-    inbox and buffer sends through its {!Party.p} handle, touching no
-    shared state.
+    into one shard per pool domain (the calling domain included), and
+    shards run concurrently; each party may drain its own inbox and
+    buffer sends through its {!Party.p} handle, touching no shared state.
+
+    {b Size-aware sharding.}  Shards are not contiguous equal-count
+    blocks: each party is weighted by its undrained inbox size and the
+    parties are greedy-bin-packed ([Util.Pool.pack_bins], heaviest first
+    into the lightest shard), so a hot party — one addressed by everyone
+    this round — ends up isolated in its own shard instead of
+    serializing a whole contiguous block behind it.  The packing is a
+    deterministic function of the inbox sizes (themselves identical at
+    any jobs count) and is unobservable in the output: results land at
+    each party's own index in the returned list and the commit below
+    orders by party id, never by shard.
 
     Commit phase (always sequential, on the calling domain): outboxes
     are replayed through {!val-send} in ascending {e sender id}, each in
@@ -131,8 +141,10 @@ end
     deliver the committed messages, as after plain {!val-send}s.
 
     Raises [Invalid_argument] on an out-of-range or duplicated party.
-    If a step raises, the exception propagates (for the first offending
-    party in list order) and {e no} sends are committed. *)
+    If a step raises, the exception propagates deterministically (the
+    first offending party in list order when sequential; the first
+    offending shard in shard order under a pool) and {e no} sends are
+    committed. *)
 val run_round : ?pool:Util.Pool.t -> t -> parties:int list -> (Party.p -> 'a) -> 'a list
 
 (** {1 Accounting} *)

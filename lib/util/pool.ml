@@ -8,6 +8,7 @@ type batch = {
   len : int;
   next : int Atomic.t;
   mutable remaining : int; (* jobs not yet completed; under the pool mutex *)
+  counts : int array; (* jobs drained per executor; slot i owned by executor i *)
 }
 
 type t = {
@@ -19,6 +20,7 @@ type t = {
   mutable current : batch option;
   mutable stop : bool;
   mutable domains : unit Domain.t list;
+  mutable last_counts : int array option; (* instrumentation; caller-domain reads only *)
 }
 
 let clamp_domains d = max 0 (min d 64)
@@ -37,8 +39,11 @@ let inside_pool : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
 (* Drain [b]: claim indices until the counter runs past the end.  Returns
    how many jobs this domain completed so the caller can settle the
-   batch's [remaining] under the mutex. *)
-let drain (b : batch) =
+   batch's [remaining] under the mutex.  [who] is this executor's slot in
+   [b.counts] (workers 0..n-1, the caller n) — each slot is written by
+   exactly one domain, and the caller only reads them after [remaining]
+   reaches zero under the mutex, so the counts need no atomics. *)
+let drain (b : batch) ~who =
   let completed = ref 0 in
   let rec go () =
     let i = Atomic.fetch_and_add b.next 1 in
@@ -49,6 +54,11 @@ let drain (b : batch) =
     end
   in
   go ();
+  (* A worker that woke up late drains 0 jobs; skipping the write keeps it
+     from touching [counts] after the caller has already collected them.
+     Nonzero contributions are written before [settle] decrements
+     [remaining], so the caller's read after completion is ordered. *)
+  if !completed > 0 then b.counts.(who) <- b.counts.(who) + !completed;
   !completed
 
 let settle t b completed =
@@ -57,7 +67,7 @@ let settle t b completed =
   if b.remaining = 0 then Condition.broadcast t.done_cv;
   Mutex.unlock t.m
 
-let worker t =
+let worker t ~who =
   Domain.DLS.set inside_pool true;
   let my_gen = ref 0 in
   let rec loop () =
@@ -71,7 +81,7 @@ let worker t =
       let b = t.current in
       Mutex.unlock t.m;
       (match b with
-      | Some b -> settle t b (drain b)
+      | Some b -> settle t b (drain b ~who)
       | None -> ());
       loop ()
     end
@@ -90,12 +100,14 @@ let create ?num_domains () =
       current = None;
       stop = false;
       domains = [];
+      last_counts = None;
     }
   in
-  t.domains <- List.init n (fun _ -> Domain.spawn (fun () -> worker t));
+  t.domains <- List.init n (fun who -> Domain.spawn (fun () -> worker t ~who));
   t
 
 let num_domains t = t.n
+let last_job_counts t = Option.map Array.copy t.last_counts
 
 let map_jobs t jobs f =
   let len = Array.length jobs in
@@ -114,7 +126,9 @@ let map_jobs t jobs f =
       in
       results.(i) <- Some r
     in
-    let b = { run; len; next = Atomic.make 0; remaining = len } in
+    let b =
+      { run; len; next = Atomic.make 0; remaining = len; counts = Array.make (t.n + 1) 0 }
+    in
     Mutex.lock t.m;
     if t.stop then begin
       Mutex.unlock t.m;
@@ -126,7 +140,7 @@ let map_jobs t jobs f =
     Mutex.unlock t.m;
     (* The caller is a worker too: with num_domains = 0 it does everything,
        and otherwise it never sits idle while jobs remain. *)
-    let completed = drain b in
+    let completed = drain b ~who:t.n in
     Mutex.lock t.m;
     b.remaining <- b.remaining - completed;
     while b.remaining > 0 do
@@ -134,6 +148,7 @@ let map_jobs t jobs f =
     done;
     t.current <- None;
     Mutex.unlock t.m;
+    t.last_counts <- Some b.counts;
     Array.map
       (function
         | Some (Ok v) -> v
@@ -141,6 +156,34 @@ let map_jobs t jobs f =
         | None -> assert false (* remaining = 0 implies every slot was written *))
       results
   end
+
+(* Greedy LPT (longest-processing-time) bin packing: place items
+   heaviest-first into the currently lightest bin.  Classic bound: the
+   heaviest bin carries at most (4/3 - 1/(3·bins)) of the optimum, so as
+   long as no single item dominates (w_max <= 1.5x the mean bin load) no
+   bin exceeds 2x the mean — the balance property test_net_parallel
+   asserts.  Everything is deterministic: ties break on the lower index,
+   and each bin lists its items in ascending index order. *)
+let pack_bins ~weights ~bins =
+  let n = Array.length weights in
+  let bins = max 1 bins in
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      match compare weights.(b) weights.(a) with 0 -> compare a b | c -> c)
+    order;
+  let loads = Array.make bins 0 in
+  let members = Array.make bins [] in
+  Array.iter
+    (fun i ->
+      let best = ref 0 in
+      for b = 1 to bins - 1 do
+        if loads.(b) < loads.(!best) then best := b
+      done;
+      loads.(!best) <- loads.(!best) + weights.(i);
+      members.(!best) <- i :: members.(!best))
+    order;
+  Array.map (fun l -> Array.of_list (List.sort compare l)) members
 
 let shutdown t =
   Mutex.lock t.m;

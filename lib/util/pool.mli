@@ -54,6 +54,24 @@ val num_domains : t -> int
     sequential map, which is observationally identical. *)
 val map_jobs : t -> 'a array -> ('a -> 'b) -> 'b array
 
+(** Instrumentation: how many jobs each executor drained in the most
+    recent {e non-inline} {!map_jobs} call on this pool — slots [0..n-1]
+    are the worker domains, slot [n] the calling domain; the counts sum to
+    the batch length.  [None] until a batch has run.  Nested (inline)
+    calls leave the record untouched.  The split between executors is
+    scheduling-dependent (workers race for jobs), so treat it as a load
+    observation, not something to assert exact values on. *)
+val last_job_counts : t -> int array option
+
+(** [pack_bins ~weights ~bins] partitions indices [0 .. length weights - 1]
+    into [max 1 bins] bins by greedy LPT (heaviest item first, into the
+    currently lightest bin).  Deterministic — ties break on the lower
+    index — and each bin lists its indices in ascending order.  Guarantee:
+    when no single weight exceeds 1.5x the mean bin load, no bin's total
+    exceeds 2x the mean (LPT's 4/3 bound).  Used by [Netsim.Net.run_round]
+    for size-aware sharding; pure, needs no pool. *)
+val pack_bins : weights:int array -> bins:int -> int array array
+
 (** Terminates the workers (idempotent).  Further {!map_jobs} calls raise
     [Invalid_argument]. *)
 val shutdown : t -> unit

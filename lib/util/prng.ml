@@ -42,6 +42,22 @@ let bits64 t =
 let split t = of_seed64 (bits64 t)
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 
+let derive t ~key =
+  (* Counter-keyed child stream: a pure function of the parent's current
+     state and [key].  Unlike [split], the parent is only read, never
+     advanced, so deriving many children is order-independent — the
+     property parallel per-pair protocol code relies on.  The four state
+     words are folded with rotations (so permuted states map to different
+     digests) and the key is pushed through two SplitMix64 steps before
+     [of_seed64] adds four more, decorrelating adjacent keys. *)
+  let open Int64 in
+  let digest =
+    logxor (logxor t.s0 (rotl t.s1 17)) (logxor (rotl t.s2 31) (rotl t.s3 47))
+  in
+  let st = ref (logxor digest (of_int key)) in
+  let seed = logxor (splitmix_next st) (splitmix_next st) in
+  of_seed64 seed
+
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
   (* Rejection sampling on the top 62 bits to avoid modulo bias. *)

@@ -16,6 +16,18 @@ val create : int -> t
 (** [split t] derives an independent generator; [t] advances. *)
 val split : t -> t
 
+(** [derive t ~key] is a counter-keyed child stream: a pure function of
+    [t]'s current state and [key].  The parent is read but {e not}
+    advanced, so the result does not depend on the order (or domain) in
+    which children are derived — [derive] with distinct keys can be called
+    concurrently from parallel jobs and still yields the same streams as
+    any sequential derivation order.  Distinct keys give independent
+    streams (up to the quality of the SplitMix64 mix).  Note that drawing
+    from the parent {e between} two derivations changes the state the
+    second child is keyed against — derive all children from one fixed
+    parent position. *)
+val derive : t -> key:int -> t
+
 (** [copy t] duplicates the current state (same future stream). *)
 val copy : t -> t
 

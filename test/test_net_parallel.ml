@@ -119,6 +119,46 @@ let test_skewed_shard () =
     (fun pool -> checkb "skewed schedule identical" true (execute ?pool n plan = reference))
     (all_pools ())
 
+let test_skewed_shard_balanced_plan () =
+  (* The packing run_round derives from the skewed schedule's weight
+     profile (1 + inbox size): the hot party must sit alone in its bin,
+     and capped-weight profiles must stay within 2x of the mean bin
+     load.  Asserted on the plan, not on runtime scheduling, so the check
+     is deterministic on any machine. *)
+  let hot = Array.init 12 (fun me -> if me = 3 then 101 else 2) in
+  let plan = Util.Pool.pack_bins ~weights:hot ~bins:8 in
+  Array.iter
+    (fun bin ->
+      if Array.exists (( = ) 3) bin then checki "hot party isolated" 1 (Array.length bin))
+    plan;
+  let capped = Array.init 64 (fun i -> 1 + (i mod 3)) in
+  let bins = 8 in
+  let mean = float_of_int (Array.fold_left ( + ) 0 capped) /. float_of_int bins in
+  Array.iter
+    (fun bin ->
+      let load = Array.fold_left (fun a j -> a + capped.(j)) 0 bin in
+      checkb "no bin above 2x mean load" true (float_of_int load <= 2.0 *. mean))
+    (Util.Pool.pack_bins ~weights:capped ~bins)
+
+let test_job_counts_cover_all_shards () =
+  (* The pool's per-executor instrumentation after a size-aware round:
+     every shard was drained exactly once, by somebody. *)
+  let pool = Lazy.force pool7 in
+  let net = Netsim.Net.create 12 in
+  ignore
+    (Netsim.Net.run_round ~pool net
+       ~parties:(List.init 12 Fun.id)
+       (fun p ->
+         Netsim.Net.Party.send p ~dst:((Netsim.Net.Party.id p + 1) mod 12) (Bytes.make 3 'm');
+         Netsim.Net.Party.id p));
+  Netsim.Net.step net;
+  match Util.Pool.last_job_counts pool with
+  | None -> Alcotest.fail "no job counts recorded after a pooled round"
+  | Some c ->
+    checki "slots = workers + caller" 8 (Array.length c);
+    checki "every shard drained exactly once" 8 (Array.fold_left ( + ) 0 c);
+    checkb "no negative counts" true (Array.for_all (fun x -> x >= 0) c)
+
 let test_empty_and_singleton_parties () =
   (* Degenerate shard shapes: fewer parties than executors, and none. *)
   let n = 4 in
@@ -223,6 +263,21 @@ let differential name (f : ?pool:Util.Pool.t -> unit -> 'a * Netsim.Net.t) =
 
 let corrupt n ids = Netsim.Corruption.make ~n ~corrupted:(Util.Iset.of_list ids)
 let params n h = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:2 ()
+
+(* Like [differential], but sweeps jobs ∈ {1, 2, 8}: the sequential run is
+   the jobs = 1 reference, then both pools must reproduce it. *)
+let differential_jobs name (f : ?pool:Util.Pool.t -> unit -> 'a * Netsim.Net.t) =
+  let seq, seq_net = f () in
+  let seq_obs = observe seq_net in
+  List.iter
+    (fun (jobs, pool) ->
+      let par, par_net = f ~pool () in
+      checkb (Printf.sprintf "%s: outcomes identical at jobs=%d" name jobs) true (seq = par);
+      checkb
+        (Printf.sprintf "%s: accounting identical at jobs=%d" name jobs)
+        true
+        (seq_obs = observe par_net))
+    [ (2, Lazy.force pool1); (8, Lazy.force pool7) ]
 
 let test_attacks_broadcast () =
   let n = 12 in
@@ -361,6 +416,157 @@ let test_attacks_gossip () =
       ("gossip_suppress_warnings", Mpc.Attacks.gossip_suppress_warnings);
     ]
 
+let test_attacks_equality_pairwise () =
+  (* The keyed-substream parallel pairwise: per-pair prime selections come
+     from [Prng.derive], so verdicts and every wire byte must match the
+     sequential run at any jobs count — including under fingerprint
+     tampering and verdict lies. *)
+  let n = 10 in
+  let members = [ 0; 1; 2; 3; 4; 5 ] in
+  let tamper =
+    {
+      Mpc.Equality.tamper_fp =
+        Some
+          (fun ~me:_ ~dst:_ fp ->
+            {
+              fp with
+              Crypto.Fingerprint.residues =
+                Array.map succ fp.Crypto.Fingerprint.residues;
+            });
+      lie_verdict = None;
+    }
+  in
+  let lie =
+    { Mpc.Equality.tamper_fp = None; lie_verdict = Some (fun ~me:_ ~dst:_ _ -> true) }
+  in
+  List.iter
+    (fun (name, adv, corrupted, value) ->
+      differential_jobs
+        (Printf.sprintf "equality_pairwise/%s" name)
+        (fun ?pool () ->
+          let net = Netsim.Net.create n in
+          let rng = Util.Prng.create 31 in
+          let verdicts =
+            Mpc.Equality.pairwise ?pool net rng (params n 5) ~members ~value
+              ~corruption:(corrupt n corrupted) ~adv
+          in
+          (verdicts, net)))
+    [
+      ("honest-equal", Mpc.Equality.honest_adv, [], fun _ -> Bytes.make 500 'v');
+      ( "outlier",
+        Mpc.Equality.honest_adv,
+        [],
+        fun i -> Bytes.of_string (if i = 2 then "odd one out" else "same") );
+      ("tampered-fp", tamper, [ 0 ], fun _ -> Bytes.of_string "same everywhere");
+      ( "lying-verdict",
+        lie,
+        [ 3 ],
+        fun i -> Bytes.of_string (if i = 1 then "divergent" else "base") );
+    ]
+
+let test_attacks_enc_func () =
+  let n = 8 in
+  let participants = [ 0; 1; 2; 3 ] in
+  let xor_eval inputs =
+    let acc = Bytes.make 1 '\000' in
+    List.iter
+      (fun (_, b) ->
+        Bytes.iter
+          (fun c -> Bytes.set acc 0 (Char.chr (Char.code (Bytes.get acc 0) lxor Char.code c)))
+          b)
+      inputs;
+    {
+      Mpc.Enc_func.public_output = Bytes.of_string "pub";
+      private_outputs = List.map (fun (i, _) -> (i, Bytes.copy acc)) inputs;
+    }
+  in
+  let tamper =
+    { Mpc.Enc_func.honest_adv with Mpc.Enc_func.tamper_partial = Some (fun ~me:_ ~dst:_ -> true) }
+  in
+  let drop =
+    { Mpc.Enc_func.honest_adv with Mpc.Enc_func.drop_partial = Some (fun ~me:_ ~dst:_ -> true) }
+  in
+  List.iter
+    (fun (name, adv, corrupted) ->
+      differential_jobs
+        (Printf.sprintf "enc_func/%s" name)
+        (fun ?pool () ->
+          let net = Netsim.Net.create n in
+          let rng = Util.Prng.create 37 in
+          let outs =
+            Mpc.Enc_func.run ?pool net rng (params n 4) ~participants
+              ~private_input:(fun i -> Bytes.make 4 (Char.chr (i + 65)))
+              ~depth:3 ~eval:xor_eval ~corruption:(corrupt n corrupted) ~adv
+          in
+          (outs, net)))
+    [
+      ("honest", Mpc.Enc_func.honest_adv, []);
+      ("tamper_partial", tamper, [ 1 ]);
+      ("drop_partial", drop, [ 2 ]);
+    ]
+
+let test_attacks_theorem2 () =
+  let n = 20 and h = 10 in
+  let config =
+    {
+      Mpc.Local_mpc.params = params n h;
+      pke = (module Crypto.Pke.Regev : Crypto.Pke.S);
+      circuit = Circuit.majority ~n;
+      input_width = 1;
+    }
+  in
+  let inputs = Array.init n (fun i -> i mod 2) in
+  let rng0 = Util.Prng.create 41 in
+  let corruption = Netsim.Corruption.random rng0 ~n ~h in
+  List.iter
+    (fun (name, adv) ->
+      differential_jobs
+        (Printf.sprintf "theorem2/%s" name)
+        (fun ?pool () ->
+          let net = Netsim.Net.create n in
+          let rng = Util.Prng.create 43 in
+          let outs = Mpc.Local_mpc.run_theorem2 ?pool net rng config ~corruption ~inputs ~adv in
+          (outs, net)))
+    [
+      ("honest", Mpc.Local_mpc.honest_theorem2_adv);
+      ( "gossip_equivocate",
+        { Mpc.Local_mpc.honest_theorem2_adv with
+          Mpc.Local_mpc.gossip_r1 = Mpc.Attacks.gossip_equivocate } );
+      ( "tamper_pdec",
+        { Mpc.Local_mpc.honest_theorem2_adv with
+          Mpc.Local_mpc.tamper_pdec = Some (fun ~me:_ -> true) } );
+    ]
+
+let test_attacks_theorem4 () =
+  let n = 25 and h = 12 in
+  let config =
+    {
+      Mpc.Local_mpc.params = params n h;
+      pke = (module Crypto.Pke.Regev : Crypto.Pke.S);
+      circuit = Circuit.majority ~n;
+      input_width = 1;
+    }
+  in
+  let inputs = Array.init n (fun i -> i mod 2) in
+  let rng0 = Util.Prng.create 47 in
+  let corruption = Netsim.Corruption.random rng0 ~n ~h in
+  List.iter
+    (fun (name, adv) ->
+      differential_jobs
+        (Printf.sprintf "theorem4/%s" name)
+        (fun ?pool () ->
+          let net = Netsim.Net.create n in
+          let rng = Util.Prng.create 53 in
+          let outs, costs =
+            Mpc.Local_mpc.run_theorem4_metered ?pool net rng config ~corruption ~inputs ~adv
+          in
+          ((outs, costs), net)))
+    [
+      ("honest", Mpc.Local_mpc.honest_theorem4_adv);
+      ("exchange_tamper", Mpc.Attacks.exchange_tamper);
+      ("output_tamper", Mpc.Attacks.t4_output_tamper);
+    ]
+
 let () =
   Alcotest.run "net_parallel"
     [
@@ -368,6 +574,8 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_parallel_matches_sequential;
           Alcotest.test_case "skewed shard" `Quick test_skewed_shard;
+          Alcotest.test_case "skewed shard: balanced plan" `Quick test_skewed_shard_balanced_plan;
+          Alcotest.test_case "job counts cover all shards" `Quick test_job_counts_cover_all_shards;
           Alcotest.test_case "empty and singleton parties" `Quick test_empty_and_singleton_parties;
         ] );
       ( "party handle",
@@ -386,5 +594,10 @@ let () =
           Alcotest.test_case "committee adversaries" `Quick test_attacks_committee;
           Alcotest.test_case "mpc_abort adversaries" `Quick test_attacks_mpc_abort;
           Alcotest.test_case "gossip adversaries" `Quick test_attacks_gossip;
+          Alcotest.test_case "equality pairwise adversaries, jobs 1/2/8" `Quick
+            test_attacks_equality_pairwise;
+          Alcotest.test_case "enc_func adversaries, jobs 1/2/8" `Quick test_attacks_enc_func;
+          Alcotest.test_case "theorem2 adversaries, jobs 1/2/8" `Quick test_attacks_theorem2;
+          Alcotest.test_case "theorem4 adversaries, jobs 1/2/8" `Quick test_attacks_theorem4;
         ] );
     ]

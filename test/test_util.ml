@@ -87,6 +87,44 @@ let test_prng_copy () =
   let b = Util.Prng.copy a in
   check Alcotest.int64 "copy continues identically" (Util.Prng.bits64 a) (Util.Prng.bits64 b)
 
+(* ---- Prng.derive: keyed substreams ---- *)
+
+(* Draw [n] words in a defined order (List.init's application order is
+   unspecified). *)
+let draws rng n =
+  let rec go acc i = if i = 0 then List.rev acc else go (Util.Prng.bits64 rng :: acc) (i - 1) in
+  go [] n
+
+let derive_prefix rng ~key = draws (Util.Prng.derive rng ~key) 4
+
+let prop_derive_order_independent =
+  QCheck.Test.make ~count:200 ~name:"derive: child streams independent of derivation order"
+    QCheck.(pair small_nat (list_of_size Gen.(int_range 1 8) small_nat))
+    (fun (seed, keys) ->
+      let keys = List.sort_uniq compare keys in
+      let rng = Util.Prng.create seed in
+      let forward = List.map (fun k -> (k, derive_prefix rng ~key:k)) keys in
+      let rng' = Util.Prng.create seed in
+      let backward = List.map (fun k -> (k, derive_prefix rng' ~key:k)) (List.rev keys) in
+      List.for_all (fun (k, prefix) -> List.assoc k backward = prefix) forward)
+
+let prop_derive_distinct_keys =
+  QCheck.Test.make ~count:200 ~name:"derive: distinct keys give distinct prefixes"
+    QCheck.(triple small_nat small_nat small_nat)
+    (fun (seed, k1, k2) ->
+      QCheck.assume (k1 <> k2);
+      let rng = Util.Prng.create seed in
+      derive_prefix rng ~key:k1 <> derive_prefix rng ~key:k2)
+
+let prop_derive_parent_untouched =
+  QCheck.Test.make ~count:200 ~name:"derive: parent stream position unaffected"
+    QCheck.(pair small_nat (list small_nat))
+    (fun (seed, keys) ->
+      let a = Util.Prng.create seed in
+      let b = Util.Prng.create seed in
+      List.iter (fun k -> ignore (Util.Prng.derive b ~key:k)) keys;
+      draws a 8 = draws b 8)
+
 let test_sample_without_replacement () =
   let rng = Util.Prng.create 13 in
   for k = 0 to 20 do
@@ -272,6 +310,9 @@ let () =
           Alcotest.test_case "bernoulli extremes" `Quick test_prng_bernoulli_extremes;
           Alcotest.test_case "split independence" `Quick test_prng_split_independent;
           Alcotest.test_case "copy" `Quick test_prng_copy;
+          QCheck_alcotest.to_alcotest prop_derive_order_independent;
+          QCheck_alcotest.to_alcotest prop_derive_distinct_keys;
+          QCheck_alcotest.to_alcotest prop_derive_parent_untouched;
           Alcotest.test_case "sample w/o replacement" `Quick test_sample_without_replacement;
           Alcotest.test_case "sample covers all" `Quick test_sample_covers_everything;
           Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
