@@ -12,6 +12,13 @@
      dune exec bench/main.exe -- --json F     -- also write a JSON report to F
      dune exec bench/main.exe -- --max-wall-s S   -- exit 2 if wall-clock > S
      dune exec bench/main.exe -- --diff A B   -- regression-diff two reports
+     dune exec bench/main.exe -- --seed S     -- replay seed (threaded into every
+                                                 experiment RNG/PKE and recorded in
+                                                 each run record's "seed" field)
+     dune exec bench/main.exe -- --only soak --seed S --schedules K
+                                              -- Byzantine fault-injection sweep
+     dune exec bench/main.exe -- --only soak --seed S --schedule K
+                                              -- replay one fault schedule verbosely
 
    Communication complexity is measured per the paper's definition (§3.1):
    bits sent by all parties in an honest execution.
@@ -58,6 +65,15 @@ let par_map arr f =
 
 let par_list xs f = Array.to_list (par_map (Array.of_list xs) f)
 
+(* --seed S: replay seed.  Every experiment's internal seed constant [k]
+   is remapped through [seed_of] (identity when no --seed was given, so
+   default reports stay byte-identical), threaded into RNG and simulated
+   PKE construction, and recorded in each run record's optional [seed]
+   field.  Set once at startup, before any job runs. *)
+let base_seed : int option ref = ref None
+let seed_of k = match !base_seed with None -> k | Some s -> (s * 0x3779F1) lxor k
+let prng k = Util.Prng.create (seed_of k)
+
 let run_of_net ~experiment ~series ~n ~h ~wall_ms net =
   {
     Analysis.Bench_io.experiment;
@@ -68,6 +84,7 @@ let run_of_net ~experiment ~series ~n ~h ~wall_ms net =
     messages = Netsim.Net.messages_sent net;
     rounds = Netsim.Net.rounds net;
     wall_ms;
+    seed = !base_seed;
   }
 
 let timed f =
@@ -75,7 +92,8 @@ let timed f =
   let v = f () in
   (v, 1000.0 *. (Unix.gettimeofday () -. t0))
 
-let sim_pke seed = Crypto.Pke.make_simulated ~lwe_params:Crypto.Pke.bench_lwe_params ~seed ()
+let sim_pke seed =
+  Crypto.Pke.make_simulated ~lwe_params:Crypto.Pke.bench_lwe_params ~seed:(seed_of seed) ()
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -101,7 +119,7 @@ let run_alg3 ?pool ~n ~h ~seed () =
   let corruption = Netsim.Corruption.none ~n in
   let inputs = Array.init n (fun i -> i land 1) in
   let net = Netsim.Net.create n in
-  let rng = Util.Prng.create seed in
+  let rng = prng seed in
   let outs =
     Mpc.Mpc_abort.run ?pool net rng config ~corruption ~inputs ~adv:Mpc.Mpc_abort.honest_adv
   in
@@ -215,7 +233,7 @@ let run_thm2 ~n ~h ~seed =
   let corruption = Netsim.Corruption.none ~n in
   let inputs = Array.init n (fun i -> i land 1) in
   let net = Netsim.Net.create n in
-  let rng = Util.Prng.create seed in
+  let rng = prng seed in
   let outs =
     Mpc.Local_mpc.run_theorem2 ?pool:!pool net rng config ~corruption ~inputs
       ~adv:Mpc.Local_mpc.honest_theorem2_adv
@@ -284,7 +302,7 @@ let run_thm4 ~n ~h ~seed =
   let corruption = Netsim.Corruption.none ~n in
   let inputs = Array.init n (fun i -> i land 1) in
   let net = Netsim.Net.create n in
-  let rng = Util.Prng.create seed in
+  let rng = prng seed in
   let outs, costs =
     Mpc.Local_mpc.run_theorem4_metered ?pool:!pool net rng config ~corruption ~inputs
       ~adv:Mpc.Local_mpc.honest_theorem4_adv
@@ -366,7 +384,7 @@ let e4 () =
   let points = List.concat_map (fun h -> List.map (fun d -> (h, d)) degrees) hs in
   let rates =
     par_list points (fun (h, degree) ->
-        let rng = Util.Prng.create (n + h + degree) in
+        let rng = prng (n + h + degree) in
         Mpc.Lower_bound.measure rng ~n ~h ~degree
           ~trials:(pick ~full:400 ~reduced:80)
           ~victim_is_sender:false)
@@ -408,7 +426,7 @@ let e5 () =
     par_list [ 2; 4; 8 ] (fun lambda ->
         let n = 64 in
         let params = Mpc.Params.make ~n ~h:32 ~lambda ~alpha:2 () in
-        let rng = Util.Prng.create lambda in
+        let rng = prng lambda in
         let net = Netsim.Net.create 2 in
         let trials = 1000 in
         let fa = ref 0 in
@@ -441,7 +459,7 @@ let e5 () =
     par_list
       [ 100; 1_000; 10_000; 100_000; 1_000_000 ]
       (fun len ->
-        let rng = Util.Prng.create len in
+        let rng = prng len in
         let net = Netsim.Net.create 2 in
         let m = Util.Prng.bytes rng len in
         ignore (Mpc.Equality.run net rng params ~p1:0 ~p2:1 ~m1:m ~m2:(Bytes.copy m));
@@ -476,7 +494,7 @@ let e6 () =
          ~reduced:[ (64, 16); (128, 32); (256, 64) ])
       (fun (n, h) ->
         let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:2 () in
-        let rng0 = Util.Prng.create (n * h) in
+        let rng0 = prng (n * h) in
         let trials = pick ~full:20 ~reduced:5 in
         let bits_acc = ref 0 and size_acc = ref 0 in
         let msgs_acc = ref 0 and rounds_acc = ref 0 in
@@ -486,7 +504,7 @@ let e6 () =
               for seed = 1 to trials do
                 let corruption = Netsim.Corruption.random rng0 ~n ~h in
                 let net = Netsim.Net.create n in
-                let rng = Util.Prng.create seed in
+                let rng = prng seed in
                 let outs =
                   Mpc.Committee.run net rng params ~corruption ~adv:Mpc.Committee.honest_adv
                 in
@@ -513,6 +531,7 @@ let e6 () =
             messages = !msgs_acc;
             rounds = !rounds_acc;
             wall_ms;
+            seed = !base_seed;
           }
         in
         ( run,
@@ -551,7 +570,7 @@ let e7 () =
          ~reduced:[ (64, 16); (128, 32); (256, 64) ])
       (fun (n, h) ->
         let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:3 () in
-        let rng0 = Util.Prng.create (7 * n) in
+        let rng0 = prng (7 * n) in
         let trials = pick ~full:20 ~reduced:5 in
         let connected = ref 0 and aborts = ref 0 and maxdeg = ref 0 in
         let bits_acc = ref 0 and msgs_acc = ref 0 and rounds_acc = ref 0 in
@@ -560,7 +579,7 @@ let e7 () =
               for seed = 1 to trials do
                 let corruption = Netsim.Corruption.random rng0 ~n ~h in
                 let net = Netsim.Net.create n in
-                let rng = Util.Prng.create seed in
+                let rng = prng seed in
                 let outs =
                   Mpc.Sparse_network.run net rng params ~corruption
                     ~adv:Mpc.Sparse_network.honest_adv
@@ -588,6 +607,7 @@ let e7 () =
             messages = !msgs_acc;
             rounds = !rounds_acc;
             wall_ms;
+            seed = !base_seed;
           }
         in
         (run, (trials, !connected, !aborts, !maxdeg, Mpc.Params.sparse_degree params)))
@@ -624,7 +644,7 @@ let e8 () =
         let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:2 () in
         let s = Mpc.Params.cover_size params in
         let p = Mpc.Params.local_committee_prob params in
-        let rng = Util.Prng.create (n + h) in
+        let rng = prng (n + h) in
         let trials = pick ~full:50 ~reduced:20 in
         let covered_all = ref 0 and honest_members_acc = ref 0 in
         for _ = 1 to trials do
@@ -672,7 +692,7 @@ let e9_huge () =
     let participants = List.init n (fun i -> i) in
     let input i = Crypto.Kdf.expand ~key:(Bytes.of_string (string_of_int i)) ~info:"e9" 64 in
     let net = Netsim.Net.create n in
-    let rng = Util.Prng.create n in
+    let rng = prng n in
     let outs, wall_ms =
       timed (fun () ->
           Mpc.All_to_all.run ?pool:!pool net rng params ~variant ~participants ~input
@@ -718,7 +738,7 @@ let e9 () =
         in
         let cost name variant =
           let net = Netsim.Net.create n in
-          let rng = Util.Prng.create n in
+          let rng = prng n in
           let outs, wall_ms =
             timed (fun () ->
                 Mpc.All_to_all.run net rng params ~variant ~participants ~input ~corruption
@@ -773,7 +793,7 @@ let e10 () =
         let corruption = Netsim.Corruption.none ~n in
         let inputs = Array.init n (fun i -> i land 1) in
         let net = Netsim.Net.create n in
-        let rng = Util.Prng.create (100 + s) in
+        let rng = prng (100 + s) in
         let (outs, costs), wall_ms =
           timed (fun () ->
               Mpc.Local_mpc.run_theorem4_metered ~cover_size:s ?pool:!pool net rng config
@@ -824,19 +844,19 @@ let e11 () =
     [
       ( "single-source broadcast (naive)",
         fun net ->
-          let rng = Util.Prng.create 1 in
+          let rng = prng 1 in
           ignore
             (Mpc.Broadcast.run net rng params ~variant:Mpc.Broadcast.Naive ~sender:0
                ~value:(Bytes.make 64 'v') ~corruption ~adv:Mpc.Broadcast.honest_adv) );
       ( "single-source broadcast (fingerprinted)",
         fun net ->
-          let rng = Util.Prng.create 2 in
+          let rng = prng 2 in
           ignore
             (Mpc.Broadcast.run net rng params ~variant:Mpc.Broadcast.Fingerprinted ~sender:0
                ~value:(Bytes.make 64 'v') ~corruption ~adv:Mpc.Broadcast.honest_adv) );
       ( "all-to-all broadcast (fingerprinted)",
         fun net ->
-          let rng = Util.Prng.create 3 in
+          let rng = prng 3 in
           ignore
             (Mpc.All_to_all.run net rng params ~variant:Mpc.All_to_all.Fingerprinted
                ~participants:(List.init n (fun i -> i))
@@ -844,12 +864,12 @@ let e11 () =
                ~corruption ~adv:Mpc.All_to_all.honest_adv) );
       ( "committee election (Alg 2)",
         fun net ->
-          let rng = Util.Prng.create 4 in
+          let rng = prng 4 in
           ignore (Mpc.Committee.run net rng params ~corruption ~adv:Mpc.Committee.honest_adv)
       );
       ( "MPC with abort (Alg 3, Thm 1)",
         fun net ->
-          let rng = Util.Prng.create 5 in
+          let rng = prng 5 in
           let config =
             { Mpc.Mpc_abort.params; pke = sim_pke 11; circuit = Circuit.parity ~n;
               input_width = 1 }
@@ -859,7 +879,7 @@ let e11 () =
                ~adv:Mpc.Mpc_abort.honest_adv) );
       ( "gossip MPC (Thm 2)",
         fun net ->
-          let rng = Util.Prng.create 6 in
+          let rng = prng 6 in
           let config =
             { Mpc.Local_mpc.params; pke = sim_pke 12; circuit = Circuit.parity ~n;
               input_width = 1 }
@@ -869,7 +889,7 @@ let e11 () =
                ~inputs:(Array.make n 0) ~adv:Mpc.Local_mpc.honest_theorem2_adv) );
       ( "local MPC (Alg 8, Thm 4)",
         fun net ->
-          let rng = Util.Prng.create 7 in
+          let rng = prng 7 in
           let config =
             { Mpc.Local_mpc.params; pke = sim_pke 13; circuit = Circuit.parity ~n;
               input_width = 1 }
@@ -910,7 +930,7 @@ let e12 () =
   section "E12  Crypto substrate microbenchmarks (Bechamel, ns/op)";
   let open Bechamel in
   let open Toolkit in
-  let rng = Util.Prng.create 99 in
+  let rng = prng 99 in
   let data64 = Util.Prng.bytes rng 64 in
   let data4k = Util.Prng.bytes rng 4096 in
   let key = Util.Prng.bytes rng 32 in
@@ -985,7 +1005,7 @@ let e13_huge () =
     let inputs = Array.init n (fun i -> i land 1) in
     let corruption = Netsim.Corruption.none ~n in
     let net = Netsim.Net.create n in
-    let rng = Util.Prng.create n in
+    let rng = prng n in
     let (), wall_ms =
       timed (fun () ->
           ignore
@@ -1001,7 +1021,7 @@ let e13_huge () =
     let params = Mpc.Params.make ~n ~h:(n / 4) ~lambda:8 ~alpha:2 () in
     let config = { Mpc.Mpc_abort.params; pke = sim_pke n; circuit; input_width = 1 } in
     let net = Netsim.Net.create n in
-    let rng = Util.Prng.create (n + 1) in
+    let rng = prng (n + 1) in
     let (), wall_ms =
       timed (fun () ->
           ignore
@@ -1042,7 +1062,7 @@ let e13 () =
         let corruption = Netsim.Corruption.none ~n in
         let gmw =
           let net = Netsim.Net.create n in
-          let rng = Util.Prng.create n in
+          let rng = prng n in
           let (), wall_ms =
             timed (fun () ->
                 ignore
@@ -1055,7 +1075,7 @@ let e13 () =
           let params = Mpc.Params.make ~n ~h:(n / 4) ~lambda:8 ~alpha:2 () in
           let config = { Mpc.Mpc_abort.params; pke = sim_pke n; circuit; input_width = 1 } in
           let net = Netsim.Net.create n in
-          let rng = Util.Prng.create (n + 1) in
+          let rng = prng (n + 1) in
           let (), wall_ms =
             timed (fun () ->
                 ignore
@@ -1127,7 +1147,7 @@ let e14 () =
   let rows =
     par_list [ 2; 4; 8 ] (fun width ->
         let circuit = Circuit.sum ~n:2 ~width in
-        let rng = Util.Prng.create width in
+        let rng = prng width in
         let yao =
           let net = Netsim.Net.create 2 in
           let (), wall_ms =
@@ -1235,6 +1255,63 @@ let pool_micro () =
   []
 
 (* ------------------------------------------------------------------ *)
+(* soak — Byzantine fault-injection sweep (opt-in via --only soak)      *)
+(* ------------------------------------------------------------------ *)
+
+(* --schedules K: how many fault schedules the sweep covers (default 200,
+   30 under --quick).  --schedule K: replay exactly one schedule id and
+   print each case verbosely — the command the soak runner prints for any
+   violation.  Both set once at startup. *)
+let soak_schedules : int option ref = ref None
+let soak_schedule : int option ref = ref None
+
+let soak () =
+  let seed = match !base_seed with Some s -> s | None -> 1 in
+  let describe_count rep =
+    Printf.sprintf "%d cases over %d schedules" rep.Mpc.Soak.total_cases
+      rep.Mpc.Soak.total_schedules
+  in
+  (match !soak_schedule with
+  | Some k ->
+    (* Replay mode: one schedule id, every protocol, verbose verdicts. *)
+    section (Printf.sprintf "soak replay: seed %d, schedule %d" seed k);
+    let cases = Mpc.Soak.run_schedule ~seed ~schedule:k () in
+    List.iter
+      (fun c ->
+        match c.Mpc.Soak.violation with
+        | None ->
+          Printf.printf "ok        %-16s n=%-3d h=%-3d spec: %s\n" c.Mpc.Soak.protocol
+            c.Mpc.Soak.n c.Mpc.Soak.h
+            (Netsim.Faults.spec_to_string c.Mpc.Soak.spec)
+        | Some _ -> print_endline (Mpc.Soak.describe (Mpc.Soak.shrink c)))
+      cases;
+    if List.exists (fun c -> c.Mpc.Soak.violation <> None) cases then exit 1
+  | None ->
+    let schedules =
+      match !soak_schedules with Some k -> k | None -> pick ~full:200 ~reduced:30
+    in
+    section
+      (Printf.sprintf "soak: %d fault schedules x %d protocols, seed %d" schedules
+         (List.length Mpc.Soak.protocols) seed);
+    let rep = Mpc.Soak.run_sweep ?pool:!pool ~seed ~schedules () in
+    Printf.printf "%s: %d violation(s)\n" (describe_count rep)
+      (List.length rep.Mpc.Soak.violations);
+    List.iter (fun c -> print_endline (Mpc.Soak.describe c)) rep.Mpc.Soak.violations;
+    (* Mutation sanity check: the deliberately broken broadcast variant
+       (echo-equality check disabled) must be flagged within the same
+       budget, proving the harness can actually fail. *)
+    let cn = Mpc.Soak.canary ?pool:!pool ~seed ~schedules:(min schedules 30) () in
+    Printf.printf "canary broken-broadcast (%s): %d violation(s) — %s\n" (describe_count cn)
+      (List.length cn.Mpc.Soak.violations)
+      (if cn.Mpc.Soak.violations = [] then "NOT caught (harness failure)"
+       else "caught, as required");
+    (match cn.Mpc.Soak.violations with
+    | c :: _ -> print_endline (Mpc.Soak.describe c)
+    | [] -> ());
+    if rep.Mpc.Soak.violations <> [] || cn.Mpc.Soak.violations = [] then exit 1);
+  []
+
+(* ------------------------------------------------------------------ *)
 
 let experiments : (string * string * (unit -> Analysis.Bench_io.run list)) list =
   [
@@ -1255,7 +1332,15 @@ let experiments : (string * string * (unit -> Analysis.Bench_io.run list)) list 
     ("pool-micro", "Pool.map_jobs dispatch overhead (ns/job)", pool_micro);
   ]
 
-let valid_ids () = String.concat " " (List.map (fun (id, _, _) -> id) experiments)
+(* Opt-in experiments: runnable via --only, never part of the default
+   sweep (soak is adversarial — it contributes no honest-cost run records
+   and gates on predicates instead). *)
+let extra_experiments : (string * string * (unit -> Analysis.Bench_io.run list)) list =
+  [ ("soak", "Byzantine fault-injection soak (--seed S --schedules K | --schedule K)", soak) ]
+
+let all_experiments = experiments @ extra_experiments
+
+let valid_ids () = String.concat " " (List.map (fun (id, _, _) -> id) all_experiments)
 
 let iso_date () =
   let tm = Unix.gmtime (Unix.gettimeofday ()) in
@@ -1310,10 +1395,23 @@ let () =
     exit (if drifted > 0 then 1 else 0)
   | None ->
     if List.mem "--list" args then
-      List.iter (fun (id, desc, _) -> Printf.printf "%-4s %s\n" id desc) experiments
+      List.iter (fun (id, desc, _) -> Printf.printf "%-4s %s\n" id desc) all_experiments
     else begin
       quick := List.mem "--quick" args;
       huge := List.mem "--huge" args;
+      let int_arg flag =
+        match find_arg args flag with
+        | None -> None
+        | Some s ->
+          (match int_of_string_opt s with
+          | Some v -> Some v
+          | None ->
+            Printf.eprintf "error: %s expects an integer, got %S\n" flag s;
+            exit 1)
+      in
+      base_seed := int_arg "--seed";
+      soak_schedules := int_arg "--schedules";
+      soak_schedule := int_arg "--schedule";
       let json_path = find_arg args "--json" in
       let max_wall_s = Option.map float_of_string (find_arg args "--max-wall-s") in
       let jobs = match find_arg args "--jobs" with None -> 1 | Some s -> parse_jobs s in
@@ -1328,7 +1426,7 @@ let () =
             List.filter (fun (id, _, _) -> List.mem id [ "E1"; "E9"; "E13" ]) experiments
           else experiments
         | Some id ->
-          (match List.filter (fun (eid, _, _) -> eid = id) experiments with
+          (match List.filter (fun (eid, _, _) -> eid = id) all_experiments with
           | [] ->
             Printf.eprintf "error: unknown experiment id %S; valid ids: %s\n" id
               (valid_ids ());

@@ -13,6 +13,7 @@ type run = {
   messages : int;
   rounds : int;
   wall_ms : float;
+  seed : int option;
 }
 
 type report = {
@@ -28,16 +29,20 @@ type report = {
 
 let run_to_json r =
   Json.Obj
-    [
-      ("experiment", Json.String r.experiment);
-      ("series", Json.String r.series);
-      ("n", Json.Int r.n);
-      ("h", Json.Int r.h);
-      ("bits", Json.Int r.bits);
-      ("messages", Json.Int r.messages);
-      ("rounds", Json.Int r.rounds);
-      ("wall_ms", Json.Float r.wall_ms);
-    ]
+    ([
+       ("experiment", Json.String r.experiment);
+       ("series", Json.String r.series);
+       ("n", Json.Int r.n);
+       ("h", Json.Int r.h);
+       ("bits", Json.Int r.bits);
+       ("messages", Json.Int r.messages);
+       ("rounds", Json.Int r.rounds);
+       ("wall_ms", Json.Float r.wall_ms);
+     ]
+    (* The seed key is emitted only when a --seed was given, so reports
+       from sites that never pass one are byte-identical to before and /2
+       readers that ignore unknown keys keep working. *)
+    @ (match r.seed with None -> [] | Some s -> [ ("seed", Json.Int s) ]))
 
 let report_to_json rep =
   Json.Obj
@@ -73,6 +78,7 @@ let run_of_json j =
     messages = field "messages" Json.get_int j;
     rounds = field "rounds" Json.get_int j;
     wall_ms = field "wall_ms" Json.get_float j;
+    seed = Option.bind (Json.member "seed" j) Json.get_int;
   }
 
 let report_of_json j =

@@ -24,6 +24,10 @@ type run = {
   messages : int;
   rounds : int;
   wall_ms : float;
+  seed : int option;
+      (** the harness-level [--seed] the run was produced under; [None]
+          (the default seeding) omits the key from the JSON entirely, so
+          the schema stays [mpc-aborts-bench/2]-compatible *)
 }
 
 type report = {

@@ -132,3 +132,179 @@ let t4_output_tamper =
     Local_mpc.out_forward =
       Some (fun ~me:_ ~dst out -> if dst mod 2 = 0 then flip_byte out else out);
   }
+
+(* ---- The generic adversary compiler -------------------------------- *)
+
+(* Each builder maps one protocol's hook record onto a [Netsim.Faults.t]
+   schedule.  Conventions:
+
+   - hooks that suppress a message use [Faults.drops] (which folds in the
+     crash stage, so a crashed party falls silent mid-protocol);
+   - hooks that substitute a value use [Faults.corrupt_payload]
+     (flip / truncate / replay / equivocate, at most one per message);
+   - boolean misbehavior hooks (lie, tamper, forge, false claims) draw a
+     pure [Faults.decide] coin: value-shaped lies at [Faults.value_prob],
+     out-of-thin-air amplification (forged rumors, claim inflation, extra
+     sparse-network targets) at the [duplicate] probability;
+   - equality-test hooks are kept stateless ([decide] only, never the
+     replay slot): [Equality.pairwise] invokes them from per-pair parallel
+     jobs, outside the per-party ownership contract the replay slot needs.
+
+   Stage numbers follow each protocol's phase order, so crash-at-stage-r
+   silences a party from phase r onward; the per-builder maps are noted
+   inline. *)
+
+module F = Netsim.Faults
+
+let fuzz rng ~schedule ~n spec = F.make rng ~schedule ~n spec
+
+(* Stages: [stage] = fingerprint sends, [stage+1] = verdict bits. *)
+let fuzz_equality f ~stage =
+  let vp = F.value_prob (F.spec f) in
+  {
+    Equality.tamper_fp =
+      Some
+        (fun ~me ~dst fp ->
+          if F.decide f ~stage ~me ~dst ~p:vp then begin
+            let residues = Array.copy fp.Crypto.Fingerprint.residues in
+            if Array.length residues > 0 then
+              residues.(0) <- (residues.(0) + 1) mod max 2 fp.Crypto.Fingerprint.primes.(0);
+            { fp with Crypto.Fingerprint.residues }
+          end
+          else fp);
+    lie_verdict =
+      Some (fun ~me ~dst v -> if F.decide f ~stage:(stage + 1) ~me ~dst ~p:vp then not v else v);
+  }
+
+(* Stages: 0 = sender fan-out, 1 = echoes. *)
+let fuzz_broadcast f ~sender ~value =
+  {
+    Broadcast.sender_value = Some (fun ~dst -> F.corrupt_payload f ~stage:0 ~me:sender ~dst value);
+    echo_value = Some (fun ~me ~dst received -> F.corrupt_payload f ~stage:1 ~me ~dst received);
+    drop =
+      Some (fun ~src ~dst -> F.drops f ~stage:(if src = sender then 0 else 1) ~me:src ~dst);
+  }
+
+(* Stages: 0 = input distribution, 1-2 = the equality phase. *)
+let fuzz_all_to_all f ~input =
+  {
+    All_to_all.input_value =
+      Some (fun ~me ~dst -> F.corrupt_payload f ~stage:0 ~me ~dst (input me));
+    drop = Some (fun ~src ~dst -> F.drops f ~stage:0 ~me:src ~dst);
+    eq = fuzz_equality f ~stage:1;
+  }
+
+(* Stages: 0 = claim coin, 1 = claim fan-out, 2-3 = view equality. *)
+let fuzz_committee f =
+  let sp = F.spec f in
+  {
+    Committee.false_claim =
+      Some
+        (fun ~me ->
+          (not (F.crashed f ~me ~stage:0)) && F.decide f ~stage:0 ~me ~dst:(-1) ~p:sp.F.duplicate);
+    claim_subset = Some (fun ~me ~dst -> not (F.drops f ~stage:1 ~me ~dst));
+    eq = fuzz_equality f ~stage:2;
+  }
+
+(* Stages: [stage] = round-0 forgeries, [stage+1] = every forwarding
+   round, [stage+2] = warning spreading. *)
+let fuzz_gossip ?(stage = 0) f =
+  let sp = F.spec f in
+  {
+    Gossip.equivocate =
+      Some
+        (fun ~me ~origin:_ ~dst v ->
+          let v' = F.corrupt_payload f ~stage:(stage + 1) ~me ~dst v in
+          if v' == v then None else Some v');
+    forge =
+      Some
+        (fun ~me ->
+          if F.decide f ~stage ~me ~dst:(-1) ~p:sp.F.duplicate then begin
+            let r = F.stream f ~stage ~me ~dst:(-1) ~salt:7 in
+            let origin = Util.Prng.int r (F.n f) in
+            [ (origin, Util.Prng.bytes r (1 + Util.Prng.int r 8)) ]
+          end
+          else []);
+    drop = Some (fun ~me ~origin:_ ~dst -> F.drops f ~stage:(stage + 1) ~me ~dst);
+    spread_warning = sp.F.drop = 0.0 && sp.F.crash = 0.0;
+  }
+
+(* Stages: [stage] = the round-1 simultaneous broadcast (and its equality
+   phase), [stage+1] = partial decryptions. *)
+let fuzz_enc_func f ~stage =
+  let vp = F.value_prob (F.spec f) in
+  {
+    Enc_func.sb =
+      {
+        All_to_all.input_value = None;
+        drop = Some (fun ~src ~dst -> F.drops f ~stage ~me:src ~dst);
+        eq = fuzz_equality f ~stage;
+      };
+    substitute_input =
+      Some (fun ~me b -> F.corrupt_payload f ~replay:false ~stage ~me ~dst:(-1) b);
+    tamper_partial = Some (fun ~me ~dst -> F.decide f ~stage:(stage + 1) ~me ~dst ~p:vp);
+    drop_partial = Some (fun ~me ~dst -> F.drops f ~stage:(stage + 1) ~me ~dst);
+  }
+
+(* Stages: 0-3 committee election, 4-5 F_Gen, 6 pk forwarding, 7 input
+   ciphertexts, 8-9 ciphertext equality, 10 output forwarding. *)
+let fuzz_mpc_abort f =
+  {
+    Mpc_abort.committee = fuzz_committee f;
+    encf = fuzz_enc_func f ~stage:4;
+    pk_forward = Some (fun ~me ~dst pk -> F.corrupt_payload f ~stage:6 ~me ~dst pk);
+    input_ct = Some (fun ~me ~dst ct -> F.corrupt_payload f ~stage:7 ~me ~dst ct);
+    eq = fuzz_equality f ~stage:8;
+    out_forward = Some (fun ~me ~dst out -> F.corrupt_payload f ~stage:10 ~me ~dst out);
+  }
+
+(* Stages: 0 = the sparse routing graph, 1-3 = round-1 gossip, 4-6 =
+   partial-decryption gossip, 7 = input substitution / pdec tampering. *)
+let fuzz_sparse f =
+  let sp = F.spec f in
+  {
+    Sparse_network.extra_targets =
+      Some
+        (fun ~me ->
+          if F.decide f ~stage:0 ~me ~dst:(-1) ~p:sp.F.duplicate then
+            [ Util.Prng.int (F.stream f ~stage:0 ~me ~dst:(-1) ~salt:8) (F.n f) ]
+          else []);
+    drop_notify = Some (fun ~me ~dst -> F.drops f ~stage:0 ~me ~dst);
+  }
+
+let fuzz_theorem2 f =
+  let vp = F.value_prob (F.spec f) in
+  {
+    Local_mpc.sparse = fuzz_sparse f;
+    gossip_r1 = fuzz_gossip f ~stage:1;
+    gossip_pdec = fuzz_gossip f ~stage:4;
+    substitute_input =
+      Some (fun ~me x -> if F.decide f ~stage:7 ~me ~dst:(-1) ~p:vp then x lxor 1 else x);
+    tamper_pdec = Some (fun ~me -> F.decide f ~stage:7 ~me ~dst:(-2) ~p:vp);
+  }
+
+(* Stages: 0 = routing graph, 1-3 = claim gossip, 4 = claims and view
+   equality, 5-6 = F_Gen, 7 = pk to covers, 8 = input ciphertexts, 9 =
+   step-6 exchange and step-7 equality, 10 = output forwarding. *)
+let fuzz_theorem4 f =
+  let sp = F.spec f in
+  {
+    Local_mpc.election =
+      {
+        Local_committee.sparse = fuzz_sparse f;
+        gossip = fuzz_gossip f ~stage:1;
+        false_claim =
+          Some
+            (fun ~me ->
+              (not (F.crashed f ~me ~stage:4))
+              && F.decide f ~stage:4 ~me ~dst:(-1) ~p:sp.F.duplicate);
+        eq = fuzz_equality f ~stage:4;
+      };
+    encf = fuzz_enc_func f ~stage:5;
+    pk_forward = Some (fun ~me ~dst pk -> F.corrupt_payload f ~stage:7 ~me ~dst pk);
+    input_ct = Some (fun ~me ~dst ct -> F.corrupt_payload f ~stage:8 ~me ~dst ct);
+    exchange_tamper =
+      Some (fun ~me ~dst ~party:_ ct -> F.corrupt_payload f ~stage:9 ~me ~dst ct);
+    eq = fuzz_equality f ~stage:9;
+    out_forward = Some (fun ~me ~dst out -> F.corrupt_payload f ~stage:10 ~me ~dst out);
+  }

@@ -86,3 +86,32 @@ val t4_output_tamper : Local_mpc.theorem4_adv
 (** [flip_byte b] — [b] with its first byte XOR 0xFF (distinct non-empty
     value of the same length); empty input becomes ["\255"]. *)
 val flip_byte : bytes -> bytes
+
+(** {1 The generic adversary compiler}
+
+    [fuzz rng ~schedule ~n spec] builds a {!Netsim.Faults} schedule (a
+    pure function of [rng]'s position, the schedule id and the spec), and
+    the [fuzz_*] builders compile it into each protocol's hook record:
+    message-suppressing hooks draw {!Netsim.Faults.drops} (drop + crash),
+    value hooks go through {!Netsim.Faults.corrupt_payload}
+    (flip/truncate/replay/equivocate), boolean lies draw pure
+    {!Netsim.Faults.decide} coins at {!Netsim.Faults.value_prob}, and
+    out-of-thin-air amplification (forged rumors, claim inflation, extra
+    routing targets) reuses the [duplicate] probability.  Equality-test
+    hooks are compiled stateless — {!Equality.pairwise} runs them from
+    per-pair parallel jobs, outside the per-party ownership contract the
+    replay slot requires.  Every builder documents its stage map (the
+    phase indices crash-at-stage-r silences). *)
+
+val fuzz : Util.Prng.t -> schedule:int -> n:int -> Netsim.Faults.spec -> Netsim.Faults.t
+
+val fuzz_equality : Netsim.Faults.t -> stage:int -> Equality.adv
+val fuzz_broadcast : Netsim.Faults.t -> sender:int -> value:bytes -> Broadcast.adv
+val fuzz_all_to_all : Netsim.Faults.t -> input:(int -> bytes) -> All_to_all.adv
+val fuzz_committee : Netsim.Faults.t -> Committee.adv
+val fuzz_gossip : ?stage:int -> Netsim.Faults.t -> Gossip.adv
+val fuzz_enc_func : Netsim.Faults.t -> stage:int -> Enc_func.adv
+val fuzz_sparse : Netsim.Faults.t -> Sparse_network.adv
+val fuzz_mpc_abort : Netsim.Faults.t -> Mpc_abort.adv
+val fuzz_theorem2 : Netsim.Faults.t -> Local_mpc.theorem2_adv
+val fuzz_theorem4 : Netsim.Faults.t -> Local_mpc.theorem4_adv

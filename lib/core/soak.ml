@@ -1,0 +1,323 @@
+type case = {
+  protocol : string;
+  seed : int;
+  schedule : int;
+  n : int;
+  h : int;
+  spec : Netsim.Faults.spec;
+  violation : string option;
+}
+
+let protocols =
+  [
+    "broadcast-naive";
+    "broadcast-fp";
+    "all-to-all";
+    "committee";
+    "gossip";
+    "mpc-abort";
+    "theorem2";
+    "theorem4";
+  ]
+
+(* Fixed per-protocol substream keys: adding an entry point must not
+   shift any existing protocol's derived randomness (replay commands in
+   old reports stay valid). *)
+let proto_key = function
+  | "broadcast-naive" -> 1
+  | "broadcast-fp" -> 2
+  | "all-to-all" -> 3
+  | "committee" -> 4
+  | "gossip" -> 5
+  | "mpc-abort" -> 6
+  | "theorem2" -> 7
+  | "theorem4" -> 8
+  | "broken-broadcast" -> 99
+  | p -> invalid_arg (Printf.sprintf "Soak.run_case: unknown protocol %S" p)
+
+(* The MPC protocols run full elections + F_Gen + F_Comp per case; keep
+   their networks a notch smaller so a 200-schedule sweep stays cheap. *)
+let heavy p = List.mem p [ "mpc-abort"; "theorem2"; "theorem4" ]
+
+(* ---- predicate helpers ---- *)
+
+let pairs_equal a b =
+  List.length a = List.length b
+  && List.for_all2 (fun (i, x) (j, y) -> i = j && Bytes.equal x y) a b
+
+let find_honest_violating corruption outs check =
+  let bad = ref None in
+  Array.iteri
+    (fun i o ->
+      if !bad = None && Netsim.Corruption.is_honest corruption i then
+        match o with
+        | Outcome.Output v -> ( match check i v with Some d -> bad := Some d | None -> ())
+        | Outcome.Abort _ -> ())
+    outs;
+  !bad
+
+(* ---- per-protocol runners ----
+   Each returns [Some detail] on a predicate violation, [None] otherwise.
+   Runners draw protocol dimensions from [r_dims] and hand [r_run] to the
+   protocol — both independent of the fault-spec substream, so shrinking
+   replays the identical execution under a smaller spec. *)
+
+let run_broadcast variant ~net ~params ~corruption ~faults ~r_dims ~r_run =
+  let n = Netsim.Net.n net in
+  let sender = Util.Prng.int r_dims n in
+  let value = Util.Prng.bytes r_dims (1 + Util.Prng.int r_dims 24) in
+  let adv = Attacks.fuzz_broadcast faults ~sender ~value in
+  let outs = Broadcast.run net r_run params ~variant ~sender ~value ~corruption ~adv in
+  if not (Outcome.agreement_or_abort ~equal:Bytes.equal outs corruption) then
+    Some "agreement-or-abort violated"
+  else if Netsim.Corruption.is_honest corruption sender then
+    find_honest_violating corruption outs (fun i v ->
+        if Bytes.equal v value then None
+        else Some (Printf.sprintf "honest sender, party %d output a different value" i))
+  else None
+
+let run_all_to_all ~net ~params ~corruption ~faults ~r_dims ~r_run =
+  let n = Netsim.Net.n net in
+  let variant = if Util.Prng.bool r_dims then All_to_all.Fingerprinted else All_to_all.Naive in
+  let inputs = Array.init n (fun _ -> Util.Prng.bytes r_dims (1 + Util.Prng.int r_dims 12)) in
+  let adv = Attacks.fuzz_all_to_all faults ~input:(fun i -> inputs.(i)) in
+  let results =
+    All_to_all.run net r_run params ~variant ~participants:(List.init n Fun.id)
+      ~input:(fun i -> inputs.(i))
+      ~corruption ~adv
+  in
+  let outs = Array.of_list (List.map snd results) in
+  if not (Outcome.agreement_or_abort ~equal:pairs_equal outs corruption) then
+    Some "agreement-or-abort violated"
+  else
+    find_honest_violating corruption outs (fun i vec ->
+        let bad = ref None in
+        List.iter
+          (fun (j, v) ->
+            if !bad = None && Netsim.Corruption.is_honest corruption j
+               && not (Bytes.equal v inputs.(j)) then
+              bad :=
+                Some (Printf.sprintf "party %d's vector misreports honest party %d's input" i j))
+          vec;
+        !bad)
+
+let run_committee ~net ~params ~corruption ~faults ~r_dims:_ ~r_run =
+  let adv = Attacks.fuzz_committee faults in
+  let outs = Committee.run net r_run params ~corruption ~adv in
+  (* Claims 12/14: all honest *elected* members share the committee view,
+     unless some honest party aborted. *)
+  let honest_views =
+    List.filter_map
+      (fun i ->
+        match outs.(i) with
+        | Outcome.Output v when v.Committee.elected -> Some v.Committee.committee
+        | _ -> None)
+      (Netsim.Corruption.honest_list corruption)
+  in
+  match honest_views with
+  | [] -> None
+  | first :: rest ->
+    if List.for_all (( = ) first) rest || Outcome.some_honest_aborted outs corruption then None
+    else Some "honest elected members hold diverging views without abort"
+
+let run_gossip ~net ~params ~corruption ~faults ~r_dims ~r_run =
+  let n = Netsim.Net.n net in
+  let graph = Array.init n (fun i -> Util.Iset.remove i (Util.Iset.range 0 (n - 1))) in
+  let k = 1 + Util.Prng.int r_dims (min 3 (n - 1)) in
+  let origins = Util.Prng.sample_without_replacement r_dims ~n ~k in
+  let sources =
+    List.map (fun o -> (o, Util.Prng.bytes r_dims (1 + Util.Prng.int r_dims 12))) origins
+  in
+  let adv = Attacks.fuzz_gossip faults in
+  let outs = Gossip.run net r_run params ~graph ~sources ~corruption ~adv in
+  if not (Outcome.agreement_or_abort ~equal:pairs_equal outs corruption) then
+    Some "agreement-or-abort violated"
+  else
+    (* Honest-origin correctness: the complete graph is trivially
+       connected on the honest parties, so Claim 21 applies — any honest
+       non-aborting party must hold the true value for an honest origin. *)
+    find_honest_violating corruption outs (fun i heard ->
+        let bad = ref None in
+        List.iter
+          (fun (o, v) ->
+            if !bad = None && Netsim.Corruption.is_honest corruption o then
+              match List.assoc_opt o heard with
+              | Some v' when Bytes.equal v v' -> ()
+              | Some _ -> bad := Some (Printf.sprintf "party %d heard a forged value for honest origin %d" i o)
+              | None -> bad := Some (Printf.sprintf "party %d never heard honest origin %d" i o))
+          sources;
+        !bad)
+
+let mpc_config ~params ~r_dims n =
+  let pke_seed = Util.Prng.int r_dims 1_000_000 in
+  ( Crypto.Pke.make_simulated ~seed:pke_seed (),
+    Circuit.parity ~n,
+    Array.init n (fun _ -> Util.Prng.int r_dims 2),
+    params )
+
+let run_mpc_abort ~net ~params ~corruption ~faults ~r_dims ~r_run =
+  let n = Netsim.Net.n net in
+  let pke, circuit, inputs, params = mpc_config ~params ~r_dims n in
+  let config = { Mpc_abort.params; pke; circuit; input_width = 1 } in
+  let adv = Attacks.fuzz_mpc_abort faults in
+  let outs = Mpc_abort.run net r_run config ~corruption ~inputs ~adv in
+  if not (Outcome.agreement_or_abort ~equal:Bytes.equal outs corruption) then
+    Some "agreement-or-abort violated"
+  else None
+
+let run_theorem2 ~net ~params ~corruption ~faults ~r_dims ~r_run =
+  let n = Netsim.Net.n net in
+  let pke, circuit, inputs, params = mpc_config ~params ~r_dims n in
+  let config = { Local_mpc.params; pke; circuit; input_width = 1 } in
+  let adv = Attacks.fuzz_theorem2 faults in
+  let outs = Local_mpc.run_theorem2 net r_run config ~corruption ~inputs ~adv in
+  if not (Outcome.agreement_or_abort ~equal:Bytes.equal outs corruption) then
+    Some "agreement-or-abort violated"
+  else None
+
+let run_theorem4 ~net ~params ~corruption ~faults ~r_dims ~r_run =
+  let n = Netsim.Net.n net in
+  let pke, circuit, inputs, params = mpc_config ~params ~r_dims n in
+  let config = { Local_mpc.params; pke; circuit; input_width = 1 } in
+  let adv = Attacks.fuzz_theorem4 faults in
+  let outs = Local_mpc.run_theorem4 net r_run config ~corruption ~inputs ~adv in
+  if not (Outcome.agreement_or_abort ~equal:Bytes.equal outs corruption) then
+    Some "agreement-or-abort violated"
+  else None
+
+(* The mutation sanity check: Goldwasser–Lindell broadcast with the echo
+   round (and hence the equality check) deleted — each party believes the
+   first value it hears.  An equivocating fault schedule must split the
+   honest outputs without triggering any abort, which the selective-abort
+   predicate flags; a harness that cannot catch this variant could not
+   catch a real regression either. *)
+let run_broken_broadcast ~net ~params:_ ~corruption ~faults ~r_dims ~r_run:_ =
+  let n = Netsim.Net.n net in
+  let value = Util.Prng.bytes r_dims (8 + Util.Prng.int r_dims 8) in
+  let sender =
+    match Netsim.Corruption.corrupted_list corruption with s :: _ -> s | [] -> 0
+  in
+  for dst = 0 to n - 1 do
+    if dst <> sender then
+      if Netsim.Corruption.is_corrupted corruption sender then
+        Netsim.Faults.send faults net ~stage:0 ~src:sender ~dst value
+      else Netsim.Net.send net ~src:sender ~dst value
+  done;
+  Netsim.Net.step net;
+  let outs =
+    Array.init n (fun i ->
+        if i = sender then Outcome.Output value
+        else
+          match Netsim.Net.recv_from net ~dst:i ~src:sender with
+          | v :: _ -> Outcome.Output v
+          | [] -> Outcome.Abort (Outcome.Missing "broken-broadcast: no value received"))
+  in
+  if not (Outcome.agreement_or_abort ~equal:Bytes.equal outs corruption) then
+    Some "agreement-or-abort violated (echo check disabled)"
+  else None
+
+let runner = function
+  | "broadcast-naive" -> run_broadcast Broadcast.Naive
+  | "broadcast-fp" -> run_broadcast Broadcast.Fingerprinted
+  | "all-to-all" -> run_all_to_all
+  | "committee" -> run_committee
+  | "gossip" -> run_gossip
+  | "mpc-abort" -> run_mpc_abort
+  | "theorem2" -> run_theorem2
+  | "theorem4" -> run_theorem4
+  | "broken-broadcast" -> run_broken_broadcast
+  | p -> invalid_arg (Printf.sprintf "Soak.run_case: unknown protocol %S" p)
+
+(* A generous bound: the deepest protocol (theorem2's double gossip) uses
+   a few dozen rounds at soak sizes, so only a genuine livelock hits it. *)
+let soak_max_rounds = 5000
+
+let run_case ?spec ~seed ~schedule protocol =
+  let run = runner protocol in
+  (* Independent keyed substreams per concern: overriding the spec (the
+     shrinking move) must not perturb dimensions, corruption, protocol
+     randomness, or the fault schedule itself. *)
+  let root = Util.Prng.create seed in
+  let rs = Util.Prng.derive root ~key:(0x50AC lxor (schedule * 0x9E3779B1)) in
+  let rc = Util.Prng.derive rs ~key:(proto_key protocol) in
+  let r_dims = Util.Prng.derive rc ~key:1 in
+  let r_spec = Util.Prng.derive rc ~key:2 in
+  let r_corr = Util.Prng.derive rc ~key:3 in
+  let r_run = Util.Prng.derive rc ~key:4 in
+  let r_flt = Util.Prng.derive rc ~key:5 in
+  let n = if heavy protocol then Util.Prng.int_in r_dims 6 9 else Util.Prng.int_in r_dims 6 14 in
+  let h = Util.Prng.int_in r_dims 1 (n - 1) in
+  let sp = match spec with Some s -> s | None -> Netsim.Faults.random_spec r_spec in
+  let corruption =
+    if Util.Prng.bool r_corr then Netsim.Corruption.random r_corr ~n ~h
+    else
+      let victim =
+        match Util.Prng.int r_corr 3 with
+        | 0 -> 0
+        | 1 -> n - 1
+        | _ -> Util.Prng.int r_corr n
+      in
+      Netsim.Corruption.targeting r_corr ~n ~h ~victim
+  in
+  let faults = Attacks.fuzz r_flt ~schedule ~n sp in
+  let net = Netsim.Net.create ~max_rounds:soak_max_rounds n in
+  let params = Params.make ~n ~h ~lambda:8 ~alpha:2 () in
+  let violation =
+    try run ~net ~params ~corruption ~faults ~r_dims ~r_run
+    with e -> Some ("exception: " ^ Printexc.to_string e)
+  in
+  { protocol; seed; schedule; n; h; spec = sp; violation }
+
+let run_schedule ?(protocols = protocols) ~seed ~schedule () =
+  List.map (fun p -> run_case ~seed ~schedule p) protocols
+
+let shrink case =
+  match case.violation with
+  | None -> case
+  | Some _ ->
+    List.fold_left
+      (fun best kind ->
+        let cand = Netsim.Faults.disable kind best.spec in
+        let c = run_case ~spec:cand ~seed:best.seed ~schedule:best.schedule best.protocol in
+        match c.violation with Some _ -> c | None -> best)
+      case
+      (Netsim.Faults.enabled case.spec)
+
+let replay_command c =
+  Printf.sprintf "dune exec bench/main.exe -- --only soak --seed %d --schedule %d" c.seed
+    c.schedule
+
+let describe c =
+  Printf.sprintf
+    "VIOLATION %s: n=%d h=%d seed=%d schedule=%d\n\
+    \  minimal spec: %s\n\
+    \  failure: %s\n\
+    \  replay: %s"
+    c.protocol c.n c.h c.seed c.schedule
+    (Netsim.Faults.spec_to_string c.spec)
+    (Option.value c.violation ~default:"-")
+    (replay_command c)
+
+type report = { total_cases : int; total_schedules : int; violations : case list }
+
+let sweep_with ?pool ~protocols ~seed ~schedules () =
+  let ids = Array.init (max 0 schedules) Fun.id in
+  let per_schedule =
+    match pool with
+    | None -> Array.map (fun k -> run_schedule ~protocols ~seed ~schedule:k ()) ids
+    | Some p ->
+      Util.Pool.map_jobs p ids (fun k -> run_schedule ~protocols ~seed ~schedule:k ())
+  in
+  let cases = List.concat (Array.to_list per_schedule) in
+  let violations =
+    List.filter_map
+      (fun c -> if c.violation = None then None else Some (shrink c))
+      cases
+  in
+  { total_cases = List.length cases; total_schedules = Array.length ids; violations }
+
+let run_sweep ?pool ?(protocols = protocols) ~seed ~schedules () =
+  sweep_with ?pool ~protocols ~seed ~schedules ()
+
+let canary ?pool ~seed ~schedules () =
+  sweep_with ?pool ~protocols:[ "broken-broadcast" ] ~seed ~schedules ()

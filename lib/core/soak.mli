@@ -1,0 +1,88 @@
+(** Randomized Byzantine soak testing: sweep the protocol suite under
+    {!Netsim.Faults} schedules and assert the paper's selective-abort
+    predicates on every run.
+
+    One {e case} is a single protocol execution, fully determined by a
+    [(seed, schedule-id, protocol)] triple: the case derives keyed
+    {!Util.Prng} substreams for its dimensions ([n], [h]), corruption
+    pattern ({!Netsim.Corruption.random} or [targeting], victim at the
+    boundaries or inside), fault spec, protocol randomness, and fault
+    schedule — so any reported violation replays byte-identically from
+    its printed command.  The spec substream is independent of the
+    others, which is what makes {!shrink} sound: re-running with a
+    smaller spec perturbs nothing else.
+
+    Checked predicates, per protocol:
+    - {!Outcome.agreement_or_abort} everywhere (the paper's guarantee);
+    - honest-sender correctness for broadcast, honest-entry correctness
+      for all-to-all vectors, honest-origin correctness for gossip,
+      honest-elected view agreement for committee election;
+    - no escaped exception ({!Netsim.Net.Livelock} and any other raise
+      is reported as a violation with the replay command).
+
+    The deliberately broken ["broken-broadcast"] variant (echo-equality
+    check disabled, first-heard-wins) is excluded from {!protocols}; the
+    {!canary} sweep runs it and must find violations — proving the
+    harness can actually fail. *)
+
+type case = {
+  protocol : string;
+  seed : int;
+  schedule : int;
+  n : int;
+  h : int;
+  spec : Netsim.Faults.spec;
+  violation : string option;  (** [None] = all predicates held *)
+}
+
+(** The default entry points, in execution order: ["broadcast-naive"],
+    ["broadcast-fp"], ["all-to-all"], ["committee"], ["gossip"],
+    ["mpc-abort"], ["theorem2"], ["theorem4"]. *)
+val protocols : string list
+
+(** [run_case ?spec ~seed ~schedule protocol] executes one case.  With
+    [?spec] the derived fault spec is overridden (the shrinking move) —
+    every other derived quantity is unchanged.  Raises [Invalid_argument]
+    on an unknown protocol name. *)
+val run_case : ?spec:Netsim.Faults.spec -> seed:int -> schedule:int -> string -> case
+
+(** All protocols (default {!protocols}) at one schedule id. *)
+val run_schedule :
+  ?protocols:string list -> seed:int -> schedule:int -> unit -> case list
+
+(** [shrink case] greedily disables one fault kind at a time, keeping a
+    kind disabled whenever the violation still reproduces without it;
+    returns the minimal still-violating case.  Identity on non-violating
+    cases. *)
+val shrink : case -> case
+
+(** The exact command that reproduces this case's schedule. *)
+val replay_command : case -> string
+
+(** One paragraph per violation: protocol, (n, h), the (shrunk) spec,
+    the failed predicate, and the replay command. *)
+val describe : case -> string
+
+type report = {
+  total_cases : int;
+  total_schedules : int;
+  violations : case list;  (** already shrunk *)
+}
+
+(** [run_sweep ?pool ?protocols ~seed ~schedules ()] — schedule ids
+    [0 .. schedules-1], optionally fanned across a {!Util.Pool} (each
+    schedule builds its own networks, RNGs and fault engines, so jobs
+    share nothing).  Violations are shrunk before reporting. *)
+val run_sweep :
+  ?pool:Util.Pool.t ->
+  ?protocols:string list ->
+  seed:int ->
+  schedules:int ->
+  unit ->
+  report
+
+(** [canary ~seed ~schedules] sweeps the broken-broadcast variant and
+    returns its violations (expected non-empty: the variant outputs the
+    first value heard and never cross-checks, so an equivocating fault
+    schedule splits honest outputs without any abort). *)
+val canary : ?pool:Util.Pool.t -> seed:int -> schedules:int -> unit -> report

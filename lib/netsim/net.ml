@@ -33,8 +33,19 @@ type inbox = {
   by_sender : (int, cell Queue.t) Hashtbl.t;
 }
 
+exception Livelock of { rounds : int; max_rounds : int }
+
+let () =
+  Printexc.register_printer (function
+    | Livelock { rounds; max_rounds } ->
+      Some
+        (Printf.sprintf "Netsim.Net.Livelock: round clock hit %d (max_rounds = %d)" rounds
+           max_rounds)
+    | _ -> None)
+
 type t = {
   num_parties : int;
+  max_rounds : int option;
   mutable round : int;
   inboxes : inbox array;
   pending : (int * bytes) Queue.t array; (* per sender: (dst, payload) *)
@@ -45,10 +56,14 @@ type t = {
   mutable total_messages : int;
 }
 
-let create num_parties =
+let create ?max_rounds num_parties =
   if num_parties <= 0 then invalid_arg "Net.create: need at least one party";
+  (match max_rounds with
+  | Some m when m <= 0 -> invalid_arg "Net.create: max_rounds must be positive"
+  | _ -> ());
   {
     num_parties;
+    max_rounds;
     round = 0;
     inboxes =
       Array.init num_parties (fun _ ->
@@ -102,6 +117,12 @@ let deliver t ~src ~dst payload =
   Queue.push cell q
 
 let step t =
+  (* Livelock watchdog: a fuzzed adversary that keeps a protocol loop
+     alive forever should fail diagnosably, not hang CI.  Checked before
+     delivery so the raise leaves the clock and mailboxes untouched. *)
+  (match t.max_rounds with
+  | Some m when t.round >= m -> raise (Livelock { rounds = t.round; max_rounds = m })
+  | _ -> ());
   (* Deterministic delivery: senders in increasing id order, each sender's
      messages in send order — no sort required. *)
   if t.pending_count > 0 then begin

@@ -50,8 +50,16 @@
 
 type t
 
-(** [create n] — a fresh network of parties [0 .. n-1]. *)
-val create : int -> t
+(** Raised by {!step} when the round clock reaches a [create]-time
+    [max_rounds] bound — the livelock watchdog for adversarial runs. *)
+exception Livelock of { rounds : int; max_rounds : int }
+
+(** [create ?max_rounds n] — a fresh network of parties [0 .. n-1].
+    With [~max_rounds:m] (must be positive), the [m+1]-th {!step} raises
+    {!Livelock} instead of advancing, so a protocol driven into an
+    unbounded loop by a fault schedule fails with a diagnosable exception
+    rather than hanging.  Default: no bound, exactly the old behavior. *)
+val create : ?max_rounds:int -> int -> t
 
 val n : t -> int
 

@@ -138,6 +138,7 @@ let sample_report =
           messages = 789;
           rounds = 42;
           wall_ms = 55.5;
+          seed = None;
         };
         {
           Analysis.Bench_io.experiment = "E9";
@@ -148,6 +149,7 @@ let sample_report =
           messages = 112;
           rounds = 2;
           wall_ms = 1.5;
+          seed = Some 7;
         };
       ];
   }
@@ -231,7 +233,7 @@ let gen_run =
   QCheck.Gen.(
     map
       (fun ((experiment, series, n, h), (bits, messages, rounds, wall_ms)) ->
-        { Analysis.Bench_io.experiment; series; n; h; bits; messages; rounds; wall_ms })
+        { Analysis.Bench_io.experiment; series; n; h; bits; messages; rounds; wall_ms; seed = None })
       (pair
          (quad gen_raw_string gen_raw_string small_nat small_nat)
          (quad small_nat small_nat small_nat gen_dyadic)))

@@ -1,0 +1,274 @@
+(* Tests for Netsim.Faults — the keyed-PRNG Byzantine fault schedule.
+   The load-bearing property throughout: every decision is a pure
+   function of (parent seed, schedule id, stage, me, dst, payload), so
+   rebuilding the engine from the same pair reproduces every decision
+   byte-identically — the contract the soak replay commands rely on. *)
+
+module F = Netsim.Faults
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let mk ?(seed = 7) ?(schedule = 3) ?(n = 8) sp =
+  F.make (Util.Prng.create seed) ~schedule ~n sp
+
+let noisy =
+  {
+    F.drop = 0.3;
+    duplicate = 0.3;
+    flip = 0.3;
+    truncate = 0.3;
+    replay = 0.3;
+    equivocate = 0.3;
+    crash = 0.3;
+    crash_stage = 4;
+  }
+
+(* ---- determinism / reproducibility ---- *)
+
+let test_rebuild_reproduces () =
+  let payload = Bytes.of_string "the quick brown fox" in
+  let observe () =
+    let f = mk noisy in
+    let acc = Buffer.create 256 in
+    for stage = 0 to 5 do
+      for me = 0 to 7 do
+        for dst = 0 to 7 do
+          Buffer.add_string acc
+            (Printf.sprintf "%b%b%b|%s;"
+               (F.crashed f ~me ~stage)
+               (F.drops f ~stage ~me ~dst)
+               (F.decide f ~stage ~me ~dst ~p:0.4)
+               (Bytes.to_string
+                  (F.corrupt_payload f ~replay:false ~stage ~me ~dst payload)))
+        done
+      done
+    done;
+    Buffer.contents acc
+  in
+  checkb "same (seed, schedule) => same schedule" true (observe () = observe ())
+
+let test_parent_not_advanced () =
+  let rng = Util.Prng.create 42 in
+  let before = Util.Prng.int rng 1_000_000 in
+  let rng = Util.Prng.create 42 in
+  ignore (F.make rng ~schedule:9 ~n:6 noisy);
+  ignore (F.make rng ~schedule:10 ~n:6 noisy);
+  checki "make reads, never advances, the parent" before (Util.Prng.int rng 1_000_000)
+
+let test_schedules_differ () =
+  (* Different schedule ids over the same parent must give different
+     decisions somewhere — they key independent substreams. *)
+  let f1 = mk ~schedule:1 noisy and f2 = mk ~schedule:2 noisy in
+  let differs = ref false in
+  for stage = 0 to 5 do
+    for me = 0 to 7 do
+      if F.decide f1 ~stage ~me ~dst:(-1) ~p:0.5 <> F.decide f2 ~stage ~me ~dst:(-1) ~p:0.5
+      then differs := true
+    done
+  done;
+  checkb "schedule id keys the stream" true !differs
+
+(* ---- honest spec is the identity ---- *)
+
+let test_honest_is_identity () =
+  let f = mk F.honest in
+  let payload = Bytes.of_string "payload" in
+  for stage = 0 to 9 do
+    for me = 0 to 7 do
+      checkb "never crashed" false (F.crashed f ~me ~stage);
+      for dst = 0 to 7 do
+        checkb "never drops" false (F.drops f ~stage ~me ~dst);
+        checkb "payload untouched" true
+          (F.corrupt_payload f ~stage ~me ~dst payload = payload)
+      done
+    done
+  done;
+  checkb "honest spec prints as honest" true (F.spec_to_string F.honest = "honest");
+  checkb "nothing enabled" true (F.enabled F.honest = [])
+
+(* ---- crash semantics ---- *)
+
+let test_crash_monotone () =
+  let sp = { F.honest with crash = 1.0; crash_stage = 5 } in
+  let f = mk sp in
+  for me = 0 to 7 do
+    (* crash = 1.0 means everyone crashes, at a stage in [1, 5]. *)
+    checkb "crashed by stage 5" true (F.crashed f ~me ~stage:5);
+    checkb "alive at stage 0" false (F.crashed f ~me ~stage:0);
+    let was = ref false in
+    for stage = 0 to 8 do
+      let c = F.crashed f ~me ~stage in
+      checkb "crash is monotone in stage" false ((not c) && !was);
+      was := c
+    done
+  done
+
+let test_crash_silences_sends () =
+  let sp = { F.honest with crash = 1.0; crash_stage = 1 } in
+  let f = mk ~n:3 sp in
+  let net = Netsim.Net.create 3 in
+  F.send f net ~stage:1 ~src:0 ~dst:1 (Bytes.of_string "x");
+  Netsim.Net.step net;
+  checki "crashed party sends nothing" 0 (List.length (Netsim.Net.recv net ~dst:1))
+
+(* ---- value mutations ---- *)
+
+let test_equivocate_per_recipient () =
+  let sp = { F.honest with equivocate = 1.0 } in
+  let f = mk sp in
+  let payload = Bytes.of_string "same story for everyone" in
+  let views =
+    List.init 7 (fun dst -> F.corrupt_payload f ~stage:0 ~me:7 ~dst:(dst + 0) payload)
+  in
+  List.iter
+    (fun v -> checki "equivocation preserves length" (Bytes.length payload) (Bytes.length v))
+    views;
+  checkb "some recipient sees a different value" true
+    (List.exists (fun v -> v <> payload) views);
+  checkb "recipients see different values from each other" true
+    (List.exists (fun v -> v <> List.hd views) (List.tl views))
+
+let test_flip_consistent_across_fanout () =
+  (* Flip must tell every recipient the same (wrong) story: one flipped
+     byte, identical for all dst of the same payload. *)
+  let sp = { F.honest with flip = 1.0 } in
+  let f = mk sp in
+  let payload = Bytes.of_string "abcdefgh" in
+  let views = List.init 7 (fun dst -> F.corrupt_payload f ~stage:2 ~me:7 ~dst payload) in
+  List.iter
+    (fun v ->
+      checkb "one consistent mutation" true (v = List.hd views);
+      checki "length preserved" (Bytes.length payload) (Bytes.length v);
+      let diffs = ref 0 in
+      Bytes.iteri (fun i c -> if c <> Bytes.get payload i then incr diffs) v;
+      checki "exactly one byte flipped" 1 !diffs)
+    views
+
+let test_truncate_prefix () =
+  let sp = { F.honest with truncate = 1.0 } in
+  let f = mk sp in
+  let payload = Bytes.of_string "0123456789" in
+  let v = F.corrupt_payload f ~stage:0 ~me:1 ~dst:2 payload in
+  checkb "strictly shorter or equal" true (Bytes.length v <= Bytes.length payload);
+  checkb "a prefix of the original" true
+    (Bytes.sub payload 0 (Bytes.length v) = v);
+  checkb "same prefix for every recipient" true
+    (List.for_all
+       (fun dst -> F.corrupt_payload f ~stage:0 ~me:1 ~dst payload = v)
+       (List.init 7 Fun.id))
+
+let test_replay_state () =
+  let sp = { F.honest with replay = 1.0 } in
+  let f = mk sp in
+  let a = Bytes.of_string "first" and b = Bytes.of_string "second" in
+  (* No previous payload yet: replay has nothing to substitute. *)
+  checkb "first send passes through" true (F.corrupt_payload f ~stage:0 ~me:0 ~dst:1 a = a);
+  checkb "second send replays the first" true
+    (F.corrupt_payload f ~stage:1 ~me:0 ~dst:1 b = a);
+  (* replay:false must neither read nor update the slot. *)
+  let c = Bytes.of_string "third" in
+  checkb "replay:false passes through" true
+    (F.corrupt_payload f ~replay:false ~stage:2 ~me:0 ~dst:1 c = c);
+  checkb "replay:false did not update the slot" true
+    (F.corrupt_payload f ~stage:3 ~me:0 ~dst:1 c = b);
+  (* Slots are per-party. *)
+  checkb "other party's slot is empty" true
+    (F.corrupt_payload f ~stage:0 ~me:5 ~dst:1 c = c)
+
+(* ---- transport wrappers ---- *)
+
+let count_after_step net ~dst =
+  Netsim.Net.step net;
+  List.length (Netsim.Net.recv net ~dst)
+
+let test_transport_duplicate () =
+  let sp = { F.honest with duplicate = 1.0 } in
+  let f = mk ~n:3 sp in
+  let net = Netsim.Net.create 3 in
+  F.send f net ~stage:0 ~src:0 ~dst:1 (Bytes.of_string "x");
+  checki "duplicate coin sends twice" 2 (count_after_step net ~dst:1)
+
+let test_transport_drop () =
+  let sp = { F.honest with drop = 1.0 } in
+  let f = mk ~n:3 sp in
+  let net = Netsim.Net.create 3 in
+  F.send f net ~stage:0 ~src:0 ~dst:1 (Bytes.of_string "x");
+  checki "drop suppresses the send" 0 (count_after_step net ~dst:1)
+
+let test_transport_honest_passthrough () =
+  let f = mk ~n:3 F.honest in
+  let net = Netsim.Net.create 3 in
+  F.send f net ~stage:0 ~src:0 ~dst:1 (Bytes.of_string "hello");
+  Netsim.Net.step net;
+  Alcotest.(check (list (pair int string)))
+    "exactly the honest message" [ (0, "hello") ]
+    (List.map (fun (s, b) -> (s, Bytes.to_string b)) (Netsim.Net.recv net ~dst:1))
+
+(* ---- spec helpers ---- *)
+
+let prop_random_spec_bounds =
+  QCheck.Test.make ~count:200 ~name:"random_spec probabilities within bounds"
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let sp = F.random_spec (Util.Prng.create seed) in
+      let ok p = p = 0.0 || (p >= 0.05 && p <= 0.5) in
+      ok sp.F.drop && ok sp.F.duplicate && ok sp.F.flip && ok sp.F.truncate
+      && ok sp.F.replay && ok sp.F.equivocate && ok sp.F.crash
+      && sp.F.crash_stage >= 1 && sp.F.crash_stage <= 8)
+
+let test_disable_enabled () =
+  let sp = { noisy with drop = 0.0 } in
+  checkb "enabled lists non-zero kinds in order" true
+    (F.enabled sp = [ F.Duplicate; F.Flip; F.Truncate; F.Replay; F.Equivocate; F.Crash ]);
+  let sp = List.fold_left (fun s k -> F.disable k s) sp F.all_kinds in
+  checkb "disabling everything reaches honest" true (F.enabled sp = []);
+  checkb "fully disabled spec injects nothing" true
+    (let f = mk sp in
+     let p = Bytes.of_string "z" in
+     F.corrupt_payload f ~stage:0 ~me:0 ~dst:1 p = p && not (F.drops f ~stage:0 ~me:0 ~dst:1))
+
+let test_value_prob () =
+  checkb "value_prob sums the value kinds, capped" true
+    (F.value_prob { F.honest with flip = 0.4; truncate = 0.4; replay = 0.4 } = 1.0
+    && F.value_prob { F.honest with flip = 0.2; equivocate = 0.1 } = 0.300_000_000_000_000_04
+       || F.value_prob { F.honest with flip = 0.2; equivocate = 0.1 } > 0.29)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "rebuild reproduces every decision" `Quick test_rebuild_reproduces;
+          Alcotest.test_case "parent RNG never advanced" `Quick test_parent_not_advanced;
+          Alcotest.test_case "schedule id keys the stream" `Quick test_schedules_differ;
+        ] );
+      ( "honest",
+        [ Alcotest.test_case "all-zero spec is the identity" `Quick test_honest_is_identity ] );
+      ( "crash",
+        [
+          Alcotest.test_case "monotone in stage" `Quick test_crash_monotone;
+          Alcotest.test_case "silences transport sends" `Quick test_crash_silences_sends;
+        ] );
+      ( "mutations",
+        [
+          Alcotest.test_case "equivocate differs per recipient" `Quick
+            test_equivocate_per_recipient;
+          Alcotest.test_case "flip consistent across fan-out" `Quick
+            test_flip_consistent_across_fanout;
+          Alcotest.test_case "truncate keeps a prefix" `Quick test_truncate_prefix;
+          Alcotest.test_case "replay slot semantics" `Quick test_replay_state;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "duplicate sends twice" `Quick test_transport_duplicate;
+          Alcotest.test_case "drop suppresses" `Quick test_transport_drop;
+          Alcotest.test_case "honest passthrough" `Quick test_transport_honest_passthrough;
+        ] );
+      ( "spec",
+        [
+          QCheck_alcotest.to_alcotest prop_random_spec_bounds;
+          Alcotest.test_case "disable reaches honest" `Quick test_disable_enabled;
+          Alcotest.test_case "value_prob" `Quick test_value_prob;
+        ] );
+    ]

@@ -278,6 +278,77 @@ let test_corruption_lists () =
   Alcotest.(check (list int)) "honest list" [ 0; 2 ] (Netsim.Corruption.honest_list c);
   Alcotest.(check (list int)) "corrupted list" [ 1; 3 ] (Netsim.Corruption.corrupted_list c)
 
+(* ---- max_rounds watchdog ---- *)
+
+let test_max_rounds_watchdog () =
+  let net = Netsim.Net.create ~max_rounds:3 2 in
+  for _ = 1 to 3 do
+    Netsim.Net.send net ~src:0 ~dst:1 (msg "tick");
+    Netsim.Net.step net
+  done;
+  checkb "livelock raised with the bound's payload" true
+    (try
+       Netsim.Net.step net;
+       false
+     with Netsim.Net.Livelock { rounds; max_rounds } -> rounds = 3 && max_rounds = 3)
+
+let test_max_rounds_default_unlimited () =
+  let net = Netsim.Net.create 2 in
+  for _ = 1 to 10_000 do
+    Netsim.Net.step net
+  done;
+  checki "rounds just count" 10_000 (Netsim.Net.rounds net)
+
+let test_max_rounds_bad_bound () =
+  checkb "non-positive bound rejected" true
+    (try
+       ignore (Netsim.Net.create ~max_rounds:0 2);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- corruption pattern edge cases ---- *)
+
+let test_corruption_extremes () =
+  let rng = Util.Prng.create 11 in
+  (* h = n: nobody corrupted, under both samplers. *)
+  let all = Netsim.Corruption.random rng ~n:6 ~h:6 in
+  checki "h=n corrupts nobody" 0 (Netsim.Corruption.num_corrupted all);
+  let all_t = Netsim.Corruption.targeting rng ~n:6 ~h:6 ~victim:0 in
+  checki "targeting h=n corrupts nobody" 0 (Netsim.Corruption.num_corrupted all_t);
+  (* h = 1: everyone but one corrupted; targeting pins who survives. *)
+  let one = Netsim.Corruption.random rng ~n:6 ~h:1 in
+  checki "h=1 leaves one honest" 1 (Netsim.Corruption.num_honest one);
+  let lone = Netsim.Corruption.targeting rng ~n:6 ~h:1 ~victim:4 in
+  checkb "h=1 survivor is the victim" true
+    (Netsim.Corruption.is_honest lone 4 && Netsim.Corruption.num_honest lone = 1)
+
+let test_corruption_targeting_boundaries () =
+  let rng = Util.Prng.create 12 in
+  List.iter
+    (fun victim ->
+      for trial = 0 to 19 do
+        ignore trial;
+        let c = Netsim.Corruption.targeting rng ~n:9 ~h:3 ~victim in
+        checkb "boundary victim honest" true (Netsim.Corruption.is_honest c victim);
+        checki "exact honest count" 3 (Netsim.Corruption.num_honest c)
+      done)
+    [ 0; 8 ]
+
+let prop_corruption_exact_counts =
+  QCheck.Test.make ~count:300 ~name:"samplers corrupt exactly n-h, victim honest"
+    QCheck.(triple (int_range 2 40) (int_range 1 40) small_nat)
+    (fun (n, h_raw, seed) ->
+      QCheck.assume (h_raw <= n);
+      let h = h_raw in
+      let rng = Util.Prng.create (1 + seed) in
+      let r = Netsim.Corruption.random rng ~n ~h in
+      let victim = seed mod n in
+      let t = Netsim.Corruption.targeting rng ~n ~h ~victim in
+      Netsim.Corruption.num_corrupted r = n - h
+      && Netsim.Corruption.num_honest r = h
+      && Netsim.Corruption.num_corrupted t = n - h
+      && Netsim.Corruption.is_honest t victim)
+
 let test_corruption_bad_args () =
   checkb "out of range corrupted" true
     (try
@@ -311,12 +382,22 @@ let () =
           Alcotest.test_case "messages accumulate" `Quick test_messages_cross_rounds;
           QCheck_alcotest.to_alcotest prop_matches_reference;
         ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "max_rounds bound raises Livelock" `Quick test_max_rounds_watchdog;
+          Alcotest.test_case "default is unlimited" `Quick test_max_rounds_default_unlimited;
+          Alcotest.test_case "non-positive bound rejected" `Quick test_max_rounds_bad_bound;
+        ] );
       ( "corruption",
         [
           Alcotest.test_case "none" `Quick test_corruption_none;
           Alcotest.test_case "random" `Quick test_corruption_random;
           Alcotest.test_case "targeting" `Quick test_corruption_targeting;
           Alcotest.test_case "lists" `Quick test_corruption_lists;
+          Alcotest.test_case "extremes h=1 and h=n" `Quick test_corruption_extremes;
+          Alcotest.test_case "targeting at index boundaries" `Quick
+            test_corruption_targeting_boundaries;
+          QCheck_alcotest.to_alcotest prop_corruption_exact_counts;
           Alcotest.test_case "bad arguments" `Quick test_corruption_bad_args;
         ] );
     ]

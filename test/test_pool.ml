@@ -65,6 +65,48 @@ let test_exception_lowest_index () =
            false
          with Failure s -> s = "3"))
 
+let test_poisoned_batch_then_reuse () =
+  (* A raising job must not wedge the pool: the batch's exception
+     propagates to the caller and the very same pool then serves clean
+     batches with correct results. *)
+  with_pool 7 (fun p ->
+      let poisoned () =
+        try
+          ignore
+            (Util.Pool.map_jobs p (Array.init 32 Fun.id) (fun i ->
+                 if i = 17 then failwith "poison" else i * 2));
+          false
+        with Failure s -> s = "poison"
+      in
+      checkb "first poisoned batch raises" true (poisoned ());
+      let jobs = Array.init 50 Fun.id in
+      checkb "pool usable after poison" true
+        (Util.Pool.map_jobs p jobs succ = Array.map succ jobs);
+      (* Alternate poisoned and clean batches: no deadlock, no stale
+         results leaking across batches. *)
+      for round = 1 to 10 do
+        checkb "repeated poison raises" true (poisoned ());
+        let f i = i + round in
+        checkb "clean batch after repeated poison" true
+          (Util.Pool.map_jobs p jobs f = Array.map f jobs)
+      done)
+
+let test_all_jobs_poisoned () =
+  (* Every job raising is the worst case for result collection: the
+     caller must still get exactly one exception (the lowest index) and
+     keep the pool alive. *)
+  with_pool 3 (fun p ->
+      for _ = 1 to 5 do
+        checkb "all-poisoned batch raises lowest" true
+          (try
+             ignore
+               (Util.Pool.map_jobs p (Array.init 16 Fun.id) (fun i ->
+                    failwith (string_of_int i)));
+             false
+           with Failure s -> s = "0")
+      done;
+      checkb "still alive" true (Util.Pool.map_jobs p [| 1; 2 |] succ = [| 2; 3 |]))
+
 (* ---- job-count instrumentation ---- *)
 
 let test_last_job_counts () =
@@ -163,6 +205,8 @@ let () =
           Alcotest.test_case "pool reuse across batches" `Quick test_pool_reuse;
           Alcotest.test_case "empty and singleton arrays" `Quick test_empty_and_singleton;
           Alcotest.test_case "exception of lowest index" `Quick test_exception_lowest_index;
+          Alcotest.test_case "poisoned batch, then reuse" `Quick test_poisoned_batch_then_reuse;
+          Alcotest.test_case "all jobs poisoned" `Quick test_all_jobs_poisoned;
         ] );
       ( "instrumentation",
         [

@@ -1,0 +1,145 @@
+(* Tests for Mpc.Soak — the Byzantine fault-injection soak harness.
+   Three things must hold for the harness to mean anything:
+   1. a small sweep over the real protocol suite is violation-free
+      (the paper's selective-abort guarantees survive the adversary);
+   2. every case is a pure function of (seed, schedule, protocol), so
+      replay commands reproduce violations byte-identically;
+   3. the deliberately broken broadcast variant IS flagged — the
+      predicates can actually fail (mutation sanity check). *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* Fixed seeds here, distinct from the CI sweep's, so this suite and the
+   bench smoke job cover different schedules. *)
+let seed = 1105
+
+let test_sweep_clean () =
+  let r = Mpc.Soak.run_sweep ~seed ~schedules:12 () in
+  checki "all protocols ran at every schedule"
+    (12 * List.length Mpc.Soak.protocols)
+    r.Mpc.Soak.total_cases;
+  (match r.Mpc.Soak.violations with
+  | [] -> ()
+  | v :: _ -> Alcotest.failf "unexpected violation:\n%s" (Mpc.Soak.describe v));
+  checki "no violations across the suite" 0 (List.length r.Mpc.Soak.violations)
+
+let test_sweep_clean_under_pool () =
+  (* Same schedules fanned across a pool: identical outcome, since each
+     schedule job builds its own nets, RNGs and fault engines. *)
+  let pool = Util.Pool.create ~num_domains:3 () in
+  Fun.protect
+    ~finally:(fun () -> Util.Pool.shutdown pool)
+    (fun () ->
+      let seq = Mpc.Soak.run_sweep ~seed ~schedules:6 () in
+      let par = Mpc.Soak.run_sweep ~pool ~seed ~schedules:6 () in
+      checki "same case count" seq.Mpc.Soak.total_cases par.Mpc.Soak.total_cases;
+      checki "pool run also clean" 0 (List.length par.Mpc.Soak.violations))
+
+let test_case_deterministic () =
+  List.iter
+    (fun protocol ->
+      let c1 = Mpc.Soak.run_case ~seed ~schedule:4 protocol in
+      let c2 = Mpc.Soak.run_case ~seed ~schedule:4 protocol in
+      checkb (protocol ^ " case replays identically") true (c1 = c2))
+    Mpc.Soak.protocols
+
+let test_run_schedule_matches_cases () =
+  let cases = Mpc.Soak.run_schedule ~seed ~schedule:2 () in
+  checki "one case per protocol" (List.length Mpc.Soak.protocols) (List.length cases);
+  List.iter
+    (fun c ->
+      let again = Mpc.Soak.run_case ~seed ~schedule:2 c.Mpc.Soak.protocol in
+      checkb "schedule run equals standalone replay" true (c = again))
+    cases
+
+let test_dims_in_range () =
+  List.iter
+    (fun c ->
+      checkb "n within soak bounds" true (c.Mpc.Soak.n >= 6 && c.Mpc.Soak.n <= 14);
+      checkb "at least one honest, one corrupted" true
+        (c.Mpc.Soak.h >= 1 && c.Mpc.Soak.h < c.Mpc.Soak.n))
+    (List.concat_map
+       (fun schedule -> Mpc.Soak.run_schedule ~seed ~schedule ())
+       [ 0; 1; 2; 3 ])
+
+let test_unknown_protocol_rejected () =
+  checkb "unknown protocol raises" true
+    (try
+       ignore (Mpc.Soak.run_case ~seed ~schedule:0 "no-such-protocol");
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- mutation sanity: the broken variant must be caught ---- *)
+
+let find_canary_violation () =
+  let r = Mpc.Soak.canary ~seed ~schedules:30 () in
+  match r.Mpc.Soak.violations with
+  | [] ->
+    Alcotest.fail
+      "canary found no violations in 30 schedules: the harness cannot detect a broadcast \
+       with its echo check removed"
+  | v :: _ -> v
+
+let test_canary_caught () =
+  let v = find_canary_violation () in
+  checkb "violation recorded" true (v.Mpc.Soak.violation <> None);
+  checkb "replay command names the schedule" true
+    (let cmd = Mpc.Soak.replay_command v in
+     let needle = Printf.sprintf "--schedule %d" v.Mpc.Soak.schedule in
+     let len_n = String.length needle and len_c = String.length cmd in
+     let rec scan i = i + len_n <= len_c && (String.sub cmd i len_n = needle || scan (i + 1)) in
+     scan 0)
+
+let test_shrunk_spec_still_violates () =
+  (* The shrinker's contract: the minimal spec it reports still
+     reproduces the violation, and re-running with that spec overridden
+     changes nothing else about the case. *)
+  let v = find_canary_violation () in
+  let shrunk = Mpc.Soak.shrink v in
+  checkb "shrunk case still violates" true (shrunk.Mpc.Soak.violation <> None);
+  checkb "shrunk spec no larger" true
+    (List.length (Netsim.Faults.enabled shrunk.Mpc.Soak.spec)
+    <= List.length (Netsim.Faults.enabled v.Mpc.Soak.spec));
+  let again =
+    Mpc.Soak.run_case ~spec:shrunk.Mpc.Soak.spec ~seed:shrunk.Mpc.Soak.seed
+      ~schedule:shrunk.Mpc.Soak.schedule shrunk.Mpc.Soak.protocol
+  in
+  checkb "shrunk case replays identically" true (again = shrunk);
+  checkb "dimensions unchanged by the spec override" true
+    (again.Mpc.Soak.n = v.Mpc.Soak.n && again.Mpc.Soak.h = v.Mpc.Soak.h)
+
+let test_honest_spec_never_violates () =
+  (* Zeroing the whole spec turns even the broken variant honest: no
+     faults, no disagreement — the violations really come from the
+     injected adversary, not the harness. *)
+  for schedule = 0 to 9 do
+    let c =
+      Mpc.Soak.run_case ~spec:Netsim.Faults.honest ~seed ~schedule "broken-broadcast"
+    in
+    checkb "honest spec is clean" true (c.Mpc.Soak.violation = None)
+  done
+
+let () =
+  Alcotest.run "soak"
+    [
+      ( "sweep",
+        [
+          Alcotest.test_case "12 schedules, all protocols, clean" `Quick test_sweep_clean;
+          Alcotest.test_case "pooled sweep matches" `Quick test_sweep_clean_under_pool;
+          Alcotest.test_case "dimensions in range" `Quick test_dims_in_range;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "cases are deterministic" `Quick test_case_deterministic;
+          Alcotest.test_case "run_schedule ≡ standalone cases" `Quick
+            test_run_schedule_matches_cases;
+          Alcotest.test_case "unknown protocol rejected" `Quick test_unknown_protocol_rejected;
+        ] );
+      ( "canary",
+        [
+          Alcotest.test_case "broken broadcast caught" `Quick test_canary_caught;
+          Alcotest.test_case "shrunk spec still violates" `Quick test_shrunk_spec_still_violates;
+          Alcotest.test_case "honest spec never violates" `Quick test_honest_spec_never_violates;
+        ] );
+    ]
