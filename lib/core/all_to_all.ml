@@ -10,12 +10,11 @@ let honest_adv = { input_value = None; drop = None; eq = Equality.honest_adv }
 
 (* A party's "view" after the distribution round: its own input plus what it
    heard from each other participant ([None] = silence). *)
-let encode_view view =
-  Util.Codec.encode
-    (fun w ->
-      Util.Codec.write_list w (fun w (id, v) ->
-          Util.Codec.write_varint w id;
-          Util.Codec.write_option w Util.Codec.write_bytes v))
+let write_view_msg w view =
+  Util.Codec.write_list w
+    (fun w (id, v) ->
+      Util.Codec.write_varint w id;
+      Util.Codec.write_option w Util.Codec.write_bytes v)
     view
 
 let run ?pool net rng params ~variant ~participants ~input ~corruption ~adv =
@@ -87,14 +86,11 @@ let run ?pool net rng params ~variant ~participants ~input ~corruption ~adv =
             Array.map
               (fun sender ->
                 if sender = i then Some (input sender)
-                else
-                  match Netsim.Net.Party.recv_from p ~src:sender with
-                  | [ v ] -> Some v
-                  | _ -> None)
+                else Netsim.Net.Party.recv_one p ~src:sender)
               member_arr
           in
           let w = Util.Codec.writer () in
-          Util.Codec.write_raw w (Bitpack.pack (Array.map (fun v -> v <> None) row));
+          Bitpack.pack_into w (Array.map (fun v -> v <> None) row);
           Array.iter
             (function Some v -> Util.Codec.write_bytes w v | None -> ())
             row;
@@ -108,15 +104,19 @@ let run ?pool net rng params ~variant ~participants ~input ~corruption ~adv =
     in
     let row_arr = Array.of_list rows in
     Netsim.Net.step net;
+    (* Zero-copy echo decode: the presence bitmap and every echoed value
+       stay as views into the received payload (which is immutable once
+       delivered — the Codec ownership contract), so decoding a Θ(|S|·ℓ)
+       echo allocates Θ(|S|) small view records instead of copying every
+       value back out of it. *)
     let decode_echo payload =
       match
         Util.Codec.decode
           (fun r ->
-            let bitmap = Util.Codec.read_raw r ((n_members + 7) / 8) in
-            let present = Bitpack.unpack bitmap ~nbits:n_members in
+            let bitmap = Util.Codec.read_raw_view r ((n_members + 7) / 8) in
             let vec = Array.make n_members None in
             for k = 0 to n_members - 1 do
-              if present.(k) then vec.(k) <- Some (Util.Codec.read_bytes r)
+              if Bitpack.test bitmap k then vec.(k) <- Some (Util.Codec.read_bytes_view r)
             done;
             vec)
           payload
@@ -134,9 +134,9 @@ let run ?pool net rng params ~variant ~participants ~input ~corruption ~adv =
               if j = i then None
               else
                 Some
-                  (match Netsim.Net.Party.recv_from p ~src:j with
-                  | [ payload ] -> decode_echo payload
-                  | _ -> None))
+                  (match Netsim.Net.Party.recv_one p ~src:j with
+                  | Some payload -> decode_echo payload
+                  | None -> None))
             members
         in
         (* A silent or garbled peer voids every sender's consistency, as a
@@ -155,7 +155,7 @@ let run ?pool net rng params ~variant ~participants ~input ~corruption ~adv =
                    | None -> false
                    | Some vec -> (
                      match (mine, vec.(k)) with
-                     | Some a, Some b -> Bytes.equal a b
+                     | Some a, Some b -> Util.Codec.view_equal_bytes b a
                      | None, None -> true
                      | _ -> false))
                  echoes
@@ -176,18 +176,22 @@ let run ?pool net rng params ~variant ~participants ~input ~corruption ~adv =
           List.map
             (fun src ->
               if src = i then (src, Some (input src))
-              else
-                match Netsim.Net.Party.recv_from p ~src with
-                | [ v ] -> (src, Some v)
-                | _ -> (src, None))
+              else (src, Netsim.Net.Party.recv_one p ~src))
             members)
     in
     let views = Hashtbl.create 16 in
     List.iter2 (fun i view -> Hashtbl.replace views i view) members views_in_order;
-    (* Round 2: pairwise equality over the concatenated views. *)
+    (* Round 2: pairwise equality over the concatenated views.  View
+       encodings go through one shared scratch writer: Equality.pairwise
+       evaluates [value] once per member on the calling domain (its
+       sizing fold fills the cache before any sharded phase), so the
+       scratch is single-owner and its grown capacity is reused across
+       all |S| encodes instead of re-doubling a Buffer per member. *)
+    let view_scratch = Util.Codec.writer () in
     let verdicts =
       Equality.pairwise ?pool net rng params ~members
-        ~value:(fun i -> encode_view (Hashtbl.find views i))
+        ~value:(fun i ->
+          Util.Codec.encode_into view_scratch write_view_msg (Hashtbl.find views i))
         ~corruption ~adv:adv.eq
     in
     List.map

@@ -9,6 +9,26 @@ let pack bits =
     bits;
   out
 
+let pack_into w bits =
+  let nbits = Array.length bits in
+  let nbytes = (nbits + 7) / 8 in
+  for byte = 0 to nbytes - 1 do
+    let acc = ref 0 in
+    let base = byte * 8 in
+    let hi = min 8 (nbits - base) - 1 in
+    for j = 0 to hi do
+      if Array.unsafe_get bits (base + j) then acc := !acc lor (1 lsl j)
+    done;
+    Util.Codec.write_byte w !acc
+  done
+
+let test (v : Util.Codec.view) k =
+  if k < 0 || k / 8 >= v.Util.Codec.len then false
+  else
+    (Char.code (Bytes.get v.Util.Codec.buf (v.Util.Codec.off + (k / 8))) lsr (k mod 8))
+    land 1
+    = 1
+
 let unpack b ~nbits =
   Array.init nbits (fun k ->
       if k / 8 >= Bytes.length b then false

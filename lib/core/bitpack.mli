@@ -5,6 +5,15 @@
 val pack : bool array -> bytes
 val unpack : bytes -> nbits:int -> bool array
 
+(** [pack_into w bits] appends exactly [pack bits] to [w] — byte-identical
+    wire output, without materializing the intermediate byte string. *)
+val pack_into : Util.Codec.writer -> bool array -> unit
+
+(** [test v k] — bit [k] of a packed bitmap read as a zero-copy
+    {!Util.Codec.view}; [false] past the end (mirroring {!unpack}'s
+    padding semantics). *)
+val test : Util.Codec.view -> int -> bool
+
 (** [int_to_bytes v ~width] — little-endian packing of the low [width] bits
     of [v]. *)
 val int_to_bytes : int -> width:int -> bytes

@@ -13,8 +13,12 @@ let honest_adv = { sender_value = None; echo_value = None; drop = None }
    silent sender is detected. *)
 let encode_echo_naive v = Util.Codec.encode (fun w -> Util.Codec.write_option w Util.Codec.write_bytes) v
 
+(* Zero-copy decode: the echoed value stays a view into the received
+   payload (immutable once delivered — the Codec ownership contract) and
+   is compared in place, so a naive echo round at size ℓ no longer copies
+   ℓ bytes per (echoer, checker) pair. *)
 let decode_echo_naive b =
-  match Util.Codec.decode (fun r -> Util.Codec.read_option r Util.Codec.read_bytes) b with
+  match Util.Codec.decode (fun r -> Util.Codec.read_option r Util.Codec.read_bytes_view) b with
   | v -> Some v
   | exception Util.Codec.Decode_error _ -> None
 
@@ -98,7 +102,7 @@ let run ?pool net rng params ~variant ~sender ~value ~corruption ~adv =
                | Some theirs ->
                  let same =
                    match (mine, theirs) with
-                   | Some a, Some b -> Bytes.equal a b
+                   | Some a, Some b -> Util.Codec.view_equal_bytes b a
                    | None, None -> true
                    | _ -> false
                  in

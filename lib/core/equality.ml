@@ -31,26 +31,33 @@ let run net rng params ~p1 ~p2 ~m1 ~m2 =
   in
   (p1_flag, verdict)
 
-(* Run [body pos] for every [pos] in [0, n): chunked across the pool when
-   one is supplied, plain loop otherwise.  [body] must be pure per
-   position (it may write to per-position slots of caller-owned arrays —
-   the Netsim.Net domain-safety discipline), so chunking is invisible. *)
-let par_positions pool ~n body =
+(* Run [body st pos] for every [pos] in [0, n): chunked across the pool
+   when one is supplied, plain loop otherwise.  [init ()] builds one
+   per-chunk scratch state (e.g. a reusable [Codec.writer]) owned by
+   exactly one domain for the chunk's lifetime — the Util.Pool scratch
+   discipline.  [body] must otherwise be pure per position (it may write
+   to per-position slots of caller-owned arrays — the Netsim.Net
+   domain-safety discipline), so chunking is invisible. *)
+let par_positions pool ~n ~init body =
   match pool with
   | Some p when n > 1 ->
     let nchunks = max 1 (min n ((Util.Pool.num_domains p + 1) * 8)) in
     let chunks = Array.init nchunks (fun c -> (c * n / nchunks, (c + 1) * n / nchunks)) in
     let (_ : unit array) =
       Util.Pool.map_jobs p chunks (fun (lo, hi) ->
+          let st = init () in
           for pos = lo to hi - 1 do
-            body pos
+            body st pos
           done)
     in
     ()
   | _ ->
+    let st = init () in
     for pos = 0 to n - 1 do
-      body pos
+      body st pos
     done
+
+let no_scratch () = ()
 
 let pairwise ?pool net rng params ~members ~value ~corruption ~adv =
   let members_arr = Array.of_list members in
@@ -90,16 +97,9 @@ let pairwise ?pool net rng params ~members ~value ~corruption ~adv =
   (* Per-member residue tables over the whole pool: rng-free, so the
      Horner evaluations (the CPU-heavy half at large values) can shard. *)
   let member_residues = Array.make k [||] in
-  par_positions pool ~n:k (fun idx ->
+  par_positions pool ~n:k ~init:no_scratch (fun () idx ->
       let v = value members_arr.(idx) in
-      member_residues.(idx) <- Array.map (Crypto.Fingerprint.residue v) crs_primes);
-  (* The pair's substream is keyed by the ordered pair of party ids — a
-     pure function of the parent stream position and the key, so jobs can
-     derive it in any scheduling order and produce identical transcripts. *)
-  let pair_selection i j =
-    let child = Util.Prng.derive rng ~key:((i * net_n) + j) in
-    Array.of_list (Util.Prng.sample_without_replacement child ~n:pool_size ~k:t)
-  in
+      member_residues.(idx) <- Crypto.Fingerprint.residues_many v crs_primes);
   (* Enumerate pairs in round-1 send order (sender-major, exactly the
      order the sequential loop used); [posmat] recovers a pair's position
      for the round-2 (receiver-major) commit. *)
@@ -118,63 +118,160 @@ let pairwise ?pool net rng params ~members ~value ~corruption ~adv =
         members_arr)
     members_arr;
   let npairs = !npairs in
-  let decode_pos pos =
-    let code = pairs.(pos) in
-    (code / k, code mod k)
-  in
   (* Round 1: each pair's fingerprint, built in parallel, committed in
      pair order.  Bits on the wire are a pure function of (seed, key), so
      the transcript is identical at any jobs count. *)
   let payloads = Array.make npairs Bytes.empty in
-  par_positions pool ~n:npairs (fun pos ->
-      let idx, jdx = decode_pos pos in
+  (* Selections are remembered across the two rounds: [Prng.derive] reads
+     the parent without advancing it and nothing draws from [rng] between
+     the rounds, so the round-2 recompute was a pure duplicate — caching
+     it halves the per-pair derive+shuffle work with a bit-identical
+     transcript.  Every selected index is < pool_size = 2t, which fits a
+     byte whenever pool_size <= 256 (any non-degenerate message length),
+     so the cache is one packed byte per selection — Θ(k²t) bytes, not
+     boxed-int words; page faults on fresh heap are the dominant kernel
+     cost at k = 2048.  In the t > 128 corner the cache is skipped and
+     round 2 re-derives the pair's substream — a pure function of
+     (seed, key), so the transcript is unchanged either way.  Pool jobs
+     write disjoint slices (the Util.Pool discipline). *)
+  let sel_store = if pool_size <= 256 then Some (Bytes.create (npairs * t)) else None in
+  (* The pair's substream is keyed by the ordered pair of party ids — a
+     pure function of the parent stream position and the key, so jobs can
+     derive it in any scheduling order and produce identical transcripts.
+     [sample_into] writes the pair's sorted t-subset into the chunk's
+     reusable [sel] scratch: the same draws as the list-returning
+     sampler, none of its per-pair array, list and polymorphic-sort
+     churn. *)
+  let pair_scratch () =
+    (Util.Codec.writer (), Array.make pool_size 0, Array.make t 0)
+  in
+  let select_pair ~perm ~sel i j =
+    let child = Util.Prng.derive rng ~key:((i * net_n) + j) in
+    Util.Prng.sample_into child ~n:pool_size ~k:t ~scratch:perm ~dst:sel ~pos:0
+  in
+  par_positions pool ~n:npairs ~init:pair_scratch
+    (fun (scratch, perm, sel) pos ->
+      let code = pairs.(pos) in
+      let idx = code / k and jdx = code mod k in
       let i = members_arr.(idx) and j = members_arr.(jdx) in
-      let sel = pair_selection i j in
-      let fp =
-        { Crypto.Fingerprint.primes = Array.map (fun s -> crs_primes.(s)) sel;
-          residues = Array.map (fun s -> member_residues.(idx).(s)) sel }
-      in
-      let fp =
-        match adv.tamper_fp with
-        | Some f when is_corrupt i -> f ~me:i ~dst:j fp
-        | _ -> fp
-      in
-      payloads.(pos) <- encode_fp fp);
+      select_pair ~perm ~sel i j;
+      (match sel_store with
+      | Some store ->
+        let off = pos * t in
+        for s = 0 to t - 1 do
+          Bytes.unsafe_set store (off + s) (Char.unsafe_chr sel.(s))
+        done
+      | None -> ());
+      match adv.tamper_fp with
+      | Some f when is_corrupt i ->
+        (* Tamper path: materialize the record so the adversary can mangle
+           it, then encode through the chunk's scratch writer. *)
+        let fp =
+          { Crypto.Fingerprint.primes = Array.map (fun s -> crs_primes.(s)) sel;
+            residues = Array.map (fun s -> member_residues.(idx).(s)) sel
+          }
+        in
+        let fp = f ~me:i ~dst:j fp in
+        payloads.(pos) <- Util.Codec.encode_into scratch Crypto.Fingerprint.encode fp
+      | _ ->
+        (* Honest fast path: stream [Fingerprint.encode]'s exact wire
+           layout (varint array of primes, varint array of residues)
+           straight from the CRS tables — no fp record, no per-selection
+           arrays, no per-pair Buffer.  Byte-identical to the record
+           path, so the transcript (and the bits accounting derived from
+           it) cannot move. *)
+        Util.Codec.reset scratch;
+        let res = member_residues.(idx) in
+        Util.Codec.write_varint scratch t;
+        for s = 0 to t - 1 do
+          Util.Codec.write_varint scratch crs_primes.(sel.(s))
+        done;
+        Util.Codec.write_varint scratch t;
+        for s = 0 to t - 1 do
+          Util.Codec.write_varint scratch res.(sel.(s))
+        done;
+        payloads.(pos) <- Util.Codec.contents scratch);
   for pos = 0 to npairs - 1 do
-    let idx, jdx = decode_pos pos in
-    Netsim.Net.send net ~src:members_arr.(idx) ~dst:members_arr.(jdx) payloads.(pos)
+    let code = pairs.(pos) in
+    Netsim.Net.send net ~src:members_arr.(code / k) ~dst:members_arr.(code mod k)
+      payloads.(pos)
   done;
   Netsim.Net.step net;
   (* Round 2: receivers check and answer one bit.  Draining the inboxes
      touches shared network state, so it stays sequential; the residue
      comparisons (and tamper-recovery Horner re-checks) parallelize. *)
-  let incoming = Array.make npairs [] in
+  let incoming = Array.make npairs None in
   for pos = 0 to npairs - 1 do
-    let idx, jdx = decode_pos pos in
+    let code = pairs.(pos) in
     incoming.(pos) <-
-      Netsim.Net.recv_from net ~dst:members_arr.(jdx) ~src:members_arr.(idx)
+      Netsim.Net.recv_one net ~dst:members_arr.(code mod k) ~src:members_arr.(code / k)
   done;
   let verdicts = Array.make npairs false in
   let reported = Array.make npairs false in
-  par_positions pool ~n:npairs (fun pos ->
-      let idx, jdx = decode_pos pos in
-      let i = members_arr.(idx) and j = members_arr.(jdx) in
+  (* Honest round-2 fast path: walk the incoming payload once, comparing
+     each decoded varint against the expected value — no fp record, no
+     residue arrays.  Any deviation (wrong length, wrong prime or residue,
+     trailing bytes, malformed varint) abandons the walk and re-runs the
+     full decode-and-check slow path, so adversarial semantics are
+     untouched; an accepted walk is exactly the condition under which the
+     slow path would answer [true]. *)
+  let verify_fast b sel res =
+    let r = Util.Codec.reader b in
+    match
+      Util.Codec.read_varint r = t
+      && (let ok = ref true in
+          let s = ref 0 in
+          while !ok && !s < t do
+            if Util.Codec.read_varint r <> crs_primes.(sel.(!s)) then ok := false;
+            incr s
+          done;
+          !ok)
+      && Util.Codec.read_varint r = t
+      && (let ok = ref true in
+          let s = ref 0 in
+          while !ok && !s < t do
+            if Util.Codec.read_varint r <> res.(sel.(!s)) then ok := false;
+            incr s
+          done;
+          !ok)
+      && Util.Codec.at_end r
+    with
+    | ok -> ok
+    | exception Util.Codec.Decode_error _ -> false
+  in
+  (* Refill [sel] with pair [pos]'s selection: unpacked from the byte
+     store, or re-derived in the corner where it wasn't cached. *)
+  let reload_selection ~perm ~sel pos i j =
+    match sel_store with
+    | Some store ->
+      let off = pos * t in
+      for s = 0 to t - 1 do
+        sel.(s) <- Char.code (Bytes.unsafe_get store (off + s))
+      done
+    | None -> select_pair ~perm ~sel i j
+  in
+  par_positions pool ~n:npairs ~init:pair_scratch
+    (fun (_, perm, sel) pos ->
+      let code = pairs.(pos) in
+      let jdx = code mod k in
+      let i = members_arr.(code / k) and j = members_arr.(jdx) in
+      reload_selection ~perm ~sel pos i j;
       let verdict =
         match incoming.(pos) with
-        | [ b ] -> (
-          match decode_fp b with
-          | Some fp -> (
-            (* The expected primes: re-derive the pair's selection.  Same
-               primes: compare residues directly; different primes (a
-               tampered message): fall back to recompute. *)
-            let sel = pair_selection i j in
-            let expected = Array.map (fun s -> crs_primes.(s)) sel in
-            if fp.Crypto.Fingerprint.primes = expected then
-              fp.Crypto.Fingerprint.residues
-              = Array.map (fun s -> member_residues.(jdx).(s)) sel
-            else Crypto.Fingerprint.check fp (value j))
-          | None -> false)
-        | _ -> false
+        | Some b ->
+          let res = member_residues.(jdx) in
+          verify_fast b sel res
+          || (match decode_fp b with
+             | Some fp -> (
+               (* The expected primes: the pair's cached selection.  Same
+                  primes: compare residues directly; different primes (a
+                  tampered message): fall back to recompute. *)
+               let expected = Array.map (fun s -> crs_primes.(s)) sel in
+               if fp.Crypto.Fingerprint.primes = expected then
+                 fp.Crypto.Fingerprint.residues = Array.map (fun s -> res.(s)) sel
+               else Crypto.Fingerprint.check fp (value j))
+             | None -> false)
+        | None -> false
       in
       verdicts.(pos) <- verdict;
       reported.(pos) <-
@@ -182,7 +279,12 @@ let pairwise ?pool net rng params ~members ~value ~corruption ~adv =
         | Some f when is_corrupt j -> f ~me:j ~dst:i verdict
         | _ -> verdict));
   (* Commit in receiver-major order — the order the sequential loop sent
-     verdict bits in — and apply the verdict bookkeeping on the way. *)
+     verdict bits in — and apply the verdict bookkeeping on the way.
+     The two 1-byte verdict payloads are shared across all Θ(k²) sends:
+     delivered payloads are read-only by convention, so aliasing one
+     bytes value from every mailbox is safe and saves an allocation per
+     pair. *)
+  let verdict_yes = Bytes.make 1 '\001' and verdict_no = Bytes.make 1 '\000' in
   Array.iteri
     (fun jdx j ->
       Array.iteri
@@ -191,7 +293,7 @@ let pairwise ?pool net rng params ~members ~value ~corruption ~adv =
             let pos = posmat.((idx * k) + jdx) in
             if not verdicts.(pos) then fail j;
             Netsim.Net.send net ~src:j ~dst:i
-              (Bytes.make 1 (if reported.(pos) then '\001' else '\000'))
+              (if reported.(pos) then verdict_yes else verdict_no)
           end)
         members_arr)
     members_arr;
@@ -202,8 +304,8 @@ let pairwise ?pool net rng params ~members ~value ~corruption ~adv =
         (fun j ->
           if i < j then begin
             let accepted =
-              match Netsim.Net.recv_from net ~dst:i ~src:j with
-              | [ b ] when Bytes.length b = 1 -> Bytes.get b 0 = '\001'
+              match Netsim.Net.recv_one net ~dst:i ~src:j with
+              | Some b when Bytes.length b = 1 -> Bytes.get b 0 = '\001'
               | _ -> false
             in
             if not accepted then fail i

@@ -2,6 +2,15 @@ type fp = { primes : int array; residues : int array }
 
 let prime_bits = 29
 
+(* The per-prime failure bound (#29-bit prime divisors of the difference /
+   #29-bit primes) exceeds 1 once msg_len >= 29/8 * 2^24 bytes (~61 MB):
+   past that point the crude divisor count says nothing and the raw
+   formula would take the log of a number >= 1.  Clamp each prime's
+   failure probability at 1/2 — t then degrades gracefully to the
+   ceil(lambda*log2 n) primes a one-bit-per-prime bound needs, instead of
+   collapsing to a nonsensical t = 1 via int_of_float nan. *)
+let degenerate_per_prime = 0.5
+
 let residues_needed ~lambda ~n ~msg_len =
   (* Failure of one prime: #(29-bit prime divisors of a |m|-byte difference)
      / #(29-bit primes) <= (8*msg_len/29) / 2^24 approx. msg_len <= 2^20 in
@@ -9,7 +18,7 @@ let residues_needed ~lambda ~n ~msg_len =
      (per_prime)^t <= n^-lambda. *)
   let per_prime =
     let divisors = max 1 (8 * max 1 msg_len / prime_bits) in
-    float_of_int divisors /. (2.0 ** 24.0)
+    min degenerate_per_prime (float_of_int divisors /. (2.0 ** 24.0))
   in
   let target = -.float_of_int lambda *. log (float_of_int (max 2 n)) in
   let t = int_of_float (ceil (target /. log per_prime)) in
@@ -37,12 +46,144 @@ let residue msg p =
   done;
   !acc
 
-let make rng ~t msg =
-  let primes = sample_primes rng t in
-  { primes; residues = Array.map (residue msg) primes }
+(* ---- Single-pass blocked multi-prime kernel ------------------------- *)
 
-let check fp msg =
-  Array.for_all2 (fun p r -> residue msg p = r) fp.primes fp.residues
+(* [residues_many] computes [residue msg p] for every prime of an array in
+   ONE sweep over the message per cache-sized block, instead of the t full
+   sweeps of [Array.map (residue msg)].  Two effects dominate:
+
+   - the message bytes are loaded once per block and reused for all t
+     primes while the block is L1-resident, so memory traffic is
+     independent of t;
+   - the inner loop updates t accumulators per 4-byte word, so the t
+     division chains are mutually independent and the CPU overlaps their
+     latencies — the per-prime Horner chain is serial in its own acc and
+     stalls on every idiv.
+
+   Blocks combine by Horner-over-blocks: with B = block_bytes and
+   step_p = 2^(8B) mod p (precomputed once per prime),
+
+     residue (b_1 .. b_m tail) p
+       = fold (fun acc b_k -> (acc * step_p + residue b_k p) mod p) 0,
+     then Horner-continue the (< B)-byte tail from the folded acc.
+
+   acc * step + block_res < 2^58 + 2^29, so nothing overflows 63-bit
+   ints.  Chunking a base-256 evaluation never changes its value mod p,
+   so the result is bit-identical to [residue] — QCheck-pinned across
+   block boundaries in test_fp_kernel. *)
+
+let block_bytes = 4096
+
+external get32u : bytes -> int -> int32 = "%caml_bytes_get32u"
+external swap32 : int32 -> int32 = "%bswap_int32"
+
+(* Big-endian 32-bit word at byte offset [k]; caller guarantees bounds. *)
+let[@inline] word_be msg k =
+  let w = if Sys.big_endian then get32u msg k else swap32 (get32u msg k) in
+  Int32.to_int w land 0xFFFFFFFF
+
+(* Residues for the prime slice [lo, hi) of [primes], written into the
+   same slice of [out].  Slices are disjoint across pool jobs, which is
+   the [Util.Pool] ownership discipline for result arrays. *)
+let rec residues_slice msg primes out lo hi =
+  let len = Bytes.length msg in
+  let nfull = len / block_bytes in
+  let width = hi - lo in
+  if width = 1 then
+    (* One prime has nothing to interleave: the reference sweep keeps its
+       accumulator in a register and skips the step-constant setup. *)
+    out.(lo) <- residue msg primes.(lo)
+  else if nfull = 0 then
+    (* Sub-block message: the tail loop below is the whole kernel; skip
+       the per-prime pow_mod setup entirely. *)
+    residues_tail msg primes out lo hi 0
+  else begin
+  (* Per-prime step constant 2^(8*block_bytes) mod p, indexed from 0. *)
+  let step =
+    Array.init width (fun k ->
+        Field.Modarith.pow_mod 256 block_bytes primes.(lo + k))
+  in
+  let bacc = Array.make width 0 in
+  for b = 0 to nfull - 1 do
+    let base = b * block_bytes in
+    (* Block-local residues from 0: one pass over the block, all primes. *)
+    Array.fill bacc 0 width 0;
+    let off = ref base in
+    let stop = base + block_bytes in
+    while !off < stop do
+      let w = word_be msg !off in
+      for k = 0 to width - 1 do
+        Array.unsafe_set bacc k
+          (((Array.unsafe_get bacc k lsl 32) lor w)
+          mod Array.unsafe_get primes (lo + k))
+      done;
+      off := !off + 4
+    done;
+    (* Horner over blocks: fold this block into the running residues. *)
+    for k = 0 to width - 1 do
+      let p = Array.unsafe_get primes (lo + k) in
+      out.(lo + k) <- ((out.(lo + k) * Array.unsafe_get step k) + Array.unsafe_get bacc k) mod p
+    done
+  done;
+  (* Tail block (< block_bytes): Horner-continue the running residues
+     directly — it is the last chunk, so no step constant is needed. *)
+  residues_tail msg primes out lo hi (nfull * block_bytes)
+  end
+
+(* Word-then-byte Horner continuation over [msg[from..len)], updating all
+   accumulators of the slice per word — the single-pass tail of the
+   blocked kernel, also the whole kernel for sub-block messages. *)
+and residues_tail msg primes out lo hi from =
+  let len = Bytes.length msg in
+  let width = hi - lo in
+  let off = ref from in
+  while !off + 4 <= len do
+    let w = word_be msg !off in
+    for k = 0 to width - 1 do
+      Array.unsafe_set out (lo + k)
+        (((Array.unsafe_get out (lo + k) lsl 32) lor w)
+        mod Array.unsafe_get primes (lo + k))
+    done;
+    off := !off + 4
+  done;
+  while !off < len do
+    let c = Char.code (Bytes.unsafe_get msg !off) in
+    for k = 0 to width - 1 do
+      Array.unsafe_set out (lo + k)
+        (((Array.unsafe_get out (lo + k) lsl 8) lor c)
+        mod Array.unsafe_get primes (lo + k))
+    done;
+    incr off
+  done
+
+(* Sharding the PRIME dimension pays only when each shard still sweeps a
+   large message for several primes; below this many prime*byte units the
+   dispatch overhead wins. *)
+let shard_min_work = 1 lsl 18
+
+let residues_many ?pool msg primes =
+  let t = Array.length primes in
+  let out = Array.make t 0 in
+  (match pool with
+  | Some pl
+    when t >= 2
+         && Bytes.length msg * t >= shard_min_work
+         && Util.Pool.num_domains pl > 0 ->
+    let shards = min t (Util.Pool.num_domains pl + 1) in
+    let bounds = Array.init shards (fun s -> (s * t / shards, (s + 1) * t / shards)) in
+    let (_ : unit array) =
+      Util.Pool.map_jobs pl bounds (fun (lo, hi) -> residues_slice msg primes out lo hi)
+    in
+    ()
+  | _ -> residues_slice msg primes out 0 t);
+  out
+
+let make ?pool rng ~t msg =
+  let primes = sample_primes rng t in
+  { primes; residues = residues_many ?pool msg primes }
+
+let check ?pool fp msg =
+  fp.residues = residues_many ?pool msg fp.primes
 
 let matches fp1 fp2 =
   if fp1.primes <> fp2.primes then
@@ -60,4 +201,13 @@ let decode r =
     raise (Util.Codec.Decode_error "fingerprint arity mismatch");
   { primes; residues }
 
-let size_bytes fp = Bytes.length (Util.Codec.encode encode fp)
+(* Wire size, computed arithmetically — encoding the whole fingerprint
+   just to measure it allocated a full copy per call. *)
+let size_bytes fp =
+  let varints a =
+    Array.fold_left
+      (fun acc v -> acc + Util.Codec.varint_size v)
+      (Util.Codec.varint_size (Array.length a))
+      a
+  in
+  varints fp.primes + varints fp.residues

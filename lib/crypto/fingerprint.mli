@@ -16,27 +16,55 @@
 type fp = { primes : int array; residues : int array }
 
 (** [residues_needed ~lambda ~n ~msg_len] — the number [t] of independent
-    primes needed so the failure probability is at most [n^-lambda]. *)
+    primes needed so the failure probability is at most [n^-lambda].
+    For [msg_len ≥ 29/8·2²⁴] (~61 MB) the per-prime divisor bound
+    degenerates (≥ 1); it is clamped at 1/2 so [t] stays finite and
+    monotone — [ceil (lambda·log₂ n)] primes at the clamp — instead of
+    the division collapsing to a meaningless value. *)
 val residues_needed : lambda:int -> n:int -> msg_len:int -> int
 
 (** [sample_primes rng t] draws [t] random 29-bit primes. *)
 val sample_primes : Util.Prng.t -> int -> int array
 
 (** [residue msg p] is the big-endian integer value of [msg] mod [p]
-    (Horner; [p < 2³¹]). *)
+    (Horner; [p < 2³¹]).  Reference implementation — one full sweep of
+    [msg] per call; batch work goes through {!residues_many}. *)
 val residue : bytes -> int -> int
 
-(** [make rng ~t msg] samples primes and computes the fingerprint. *)
-val make : Util.Prng.t -> t:int -> bytes -> fp
+(** Block size of the {!residues_many} kernel in bytes (a multiple of 4;
+    exposed so tests can pin lengths that straddle block boundaries). *)
+val block_bytes : int
 
-(** [check fp msg] recomputes the residues of [msg] at [fp.primes] and
-    compares — the receiver side of Algorithm 1. *)
-val check : fp -> bytes -> bool
+(** [residues_many ?pool msg primes] = [Array.map (residue msg) primes],
+    computed in a single pass over [msg] per {!block_bytes}-sized block:
+    each block is loaded once and folded into {e all} accumulators
+    word-by-word (the division chains of distinct primes are independent,
+    so the CPU overlaps their latencies), then combined across blocks by
+    Horner with the precomputed per-prime constant [2^(8·block_bytes) mod
+    p].  Bit-identical to the per-prime loop for any block decomposition.
+
+    [?pool] shards the {e prime} dimension across domains when the
+    [t × |msg|] work is large enough to amortize dispatch; each job owns a
+    disjoint slice of the result array (the [Util.Pool] discipline), so
+    the output is independent of the domain count.  Calls issued from
+    inside a pool job run inline (see {!Util.Pool.map_jobs}). *)
+val residues_many : ?pool:Util.Pool.t -> bytes -> int array -> int array
+
+(** [make ?pool rng ~t msg] samples primes and computes the fingerprint
+    (residues via {!residues_many}). *)
+val make : ?pool:Util.Pool.t -> Util.Prng.t -> t:int -> bytes -> fp
+
+(** [check ?pool fp msg] recomputes the residues of [msg] at [fp.primes]
+    in one {!residues_many} sweep and compares — the receiver side of
+    Algorithm 1. *)
+val check : ?pool:Util.Pool.t -> fp -> bytes -> bool
 
 (** [matches fp1 fp2] — equality of two fingerprints over the same primes;
     [Invalid_argument] if the primes differ. *)
 val matches : fp -> fp -> bool
 
+(** Encoded wire size in bytes, computed arithmetically (no allocation);
+    always equals [Bytes.length (Util.Codec.encode encode fp)]. *)
 val size_bytes : fp -> int
 
 (** Serialization. *)

@@ -30,7 +30,7 @@ type inbox = {
   mutable log : cell array; (* arrival order; indices < log_len are valid *)
   mutable log_len : int;
   mutable live : int; (* number of undrained cells in the log *)
-  by_sender : (int, cell Queue.t) Hashtbl.t;
+  by_sender : cell Queue.t option array; (* indexed by sender id, lazily allocated *)
 }
 
 exception Livelock of { rounds : int; max_rounds : int }
@@ -52,7 +52,7 @@ type t = {
   mutable pending_count : int;
   sent_bits : int array;
   recv_bits : int array;
-  peer_sets : Util.Iset.t array;
+  peer_bits : bytes array; (* peer_bits.(i): bit j set iff i exchanged with j *)
   mutable total_messages : int;
 }
 
@@ -67,12 +67,12 @@ let create ?max_rounds num_parties =
     round = 0;
     inboxes =
       Array.init num_parties (fun _ ->
-          { log = [||]; log_len = 0; live = 0; by_sender = Hashtbl.create 8 });
+          { log = [||]; log_len = 0; live = 0; by_sender = Array.make num_parties None });
     pending = Array.init num_parties (fun _ -> Queue.create ());
     pending_count = 0;
     sent_bits = Array.make num_parties 0;
     recv_bits = Array.make num_parties 0;
-    peer_sets = Array.make num_parties Util.Iset.empty;
+    peer_bits = Array.init num_parties (fun _ -> Bytes.make ((num_parties + 7) / 8) '\000');
     total_messages = 0;
   }
 
@@ -82,6 +82,16 @@ let check_party t i name =
   if i < 0 || i >= t.num_parties then
     invalid_arg (Printf.sprintf "Net.%s: party %d out of range" name i)
 
+(* Peer tracking is a bit per (party, peer): [send] marks two bits with no
+   allocation, where the persistent-set version paid two [Iset.add]
+   (O(log n) alloc each) on EVERY message — the single hottest line of the
+   all-to-all distribute phase under a GC-bound profile. *)
+let[@inline] mark_peer t i j =
+  let b = t.peer_bits.(i) in
+  let k = j lsr 3 in
+  Bytes.unsafe_set b k
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get b k) lor (1 lsl (j land 7))))
+
 let send t ~src ~dst payload =
   check_party t src "send";
   check_party t dst "send";
@@ -89,8 +99,8 @@ let send t ~src ~dst payload =
   let bits = 8 * Bytes.length payload in
   t.sent_bits.(src) <- t.sent_bits.(src) + bits;
   t.recv_bits.(dst) <- t.recv_bits.(dst) + bits;
-  t.peer_sets.(src) <- Util.Iset.add dst t.peer_sets.(src);
-  t.peer_sets.(dst) <- Util.Iset.add src t.peer_sets.(dst);
+  mark_peer t src dst;
+  mark_peer t dst src;
   t.total_messages <- t.total_messages + 1;
   Queue.push (dst, payload) t.pending.(src);
   t.pending_count <- t.pending_count + 1
@@ -107,11 +117,11 @@ let deliver t ~src ~dst payload =
   ib.log_len <- ib.log_len + 1;
   ib.live <- ib.live + 1;
   let q =
-    match Hashtbl.find_opt ib.by_sender src with
+    match ib.by_sender.(src) with
     | Some q -> q
     | None ->
       let q = Queue.create () in
-      Hashtbl.add ib.by_sender src q;
+      ib.by_sender.(src) <- Some q;
       q
   in
   Queue.push cell q
@@ -158,7 +168,7 @@ let recv t ~dst =
       let c = ib.log.(k) in
       if c.c_live then begin
         c.c_live <- false;
-        (match Hashtbl.find_opt ib.by_sender c.c_src with
+        (match ib.by_sender.(c.c_src) with
         | Some q -> Queue.clear q
         | None -> ());
         acc := (c.c_src, c.c_payload) :: !acc
@@ -171,7 +181,7 @@ let recv t ~dst =
 let recv_from t ~dst ~src =
   check_party t dst "recv_from";
   let ib = t.inboxes.(dst) in
-  match Hashtbl.find_opt ib.by_sender src with
+  match ib.by_sender.(src) with
   | None -> []
   | Some q ->
     let k = Queue.length q in
@@ -186,6 +196,38 @@ let recv_from t ~dst ~src =
       ib.live <- ib.live - k;
       if ib.live = 0 then reset_inbox ib;
       List.rev !acc
+    end
+
+let recv_one t ~dst ~src =
+  check_party t dst "recv_one";
+  let ib = t.inboxes.(dst) in
+  match ib.by_sender.(src) with
+  | None -> None
+  | Some q ->
+    let k = Queue.length q in
+    if k = 0 then None
+    else begin
+      (* [Some payload] iff exactly one message is queued — the lockstep
+         common case — draining the queue either way, so network state
+         afterwards is identical to [recv_from] matched against [[v]],
+         without the per-call list build. *)
+      let result =
+        if k = 1 then begin
+          let c = Queue.pop q in
+          c.c_live <- false;
+          Some c.c_payload
+        end
+        else begin
+          while not (Queue.is_empty q) do
+            let c = Queue.pop q in
+            c.c_live <- false
+          done;
+          None
+        end
+      in
+      ib.live <- ib.live - k;
+      if ib.live = 0 then reset_inbox ib;
+      result
     end
 
 let peek t ~dst =
@@ -213,9 +255,33 @@ let total_bits_of t parties = List.fold_left (fun acc i -> acc + bits_sent t i) 
 
 let peers t i =
   check_party t i "peers";
-  t.peer_sets.(i)
+  (* Rebuilt on demand: [peers] is a reporting call (end of run), while
+     [send] is the hot loop — the bitmap representation optimizes for the
+     latter and reconstitutes the set here. *)
+  let b = t.peer_bits.(i) in
+  let s = ref Util.Iset.empty in
+  for j = t.num_parties - 1 downto 0 do
+    if (Char.code (Bytes.unsafe_get b (j lsr 3)) lsr (j land 7)) land 1 = 1 then
+      s := Util.Iset.add j !s
+  done;
+  !s
 
-let locality t i = Util.Iset.cardinal (peers t i)
+let popcount8 =
+  Array.init 256 (fun v ->
+      let c = ref 0 in
+      for k = 0 to 7 do
+        c := !c + ((v lsr k) land 1)
+      done;
+      !c)
+
+let locality t i =
+  check_party t i "locality";
+  let b = t.peer_bits.(i) in
+  let c = ref 0 in
+  for k = 0 to Bytes.length b - 1 do
+    c := !c + Array.unsafe_get popcount8 (Char.code (Bytes.unsafe_get b k))
+  done;
+  !c
 
 let max_locality t =
   let best = ref 0 in
@@ -254,6 +320,7 @@ module Party = struct
   let id p = p.me
   let recv p = recv p.net ~dst:p.me
   let recv_from p ~src = recv_from p.net ~dst:p.me ~src
+  let recv_one p ~src = recv_one p.net ~dst:p.me ~src
   let peek p = peek p.net ~dst:p.me
 
   let send p ~dst payload =

@@ -22,7 +22,10 @@
     ascending order, which realizes the documented delivery order
     directly), {!recv} is linear in the messages returned, and
     {!recv_from} is linear in the messages from that one sender rather
-    than in the whole inbox.
+    than in the whole inbox.  Peer/locality tracking is a bit per
+    (party, peer): {!send} marks two bits allocation-free, and {!peers}
+    reconstitutes the set on demand (it is a reporting call, not a hot
+    one).
 
     Domain-safety contract: a [t] is single-owner mutable state with no
     internal locking.  Two domains must never touch the same instance;
@@ -82,6 +85,12 @@ val recv : t -> dst:int -> (int * bytes) list
     those). *)
 val recv_from : t -> dst:int -> src:int -> bytes list
 
+(** [recv_one t ~dst ~src] is [Some payload] iff exactly one message from
+    [src] is pending (draining the queue in every case, like
+    {!recv_from}) — the allocation-free form of matching {!recv_from}
+    against a one-element list, for lockstep hot loops. *)
+val recv_one : t -> dst:int -> src:int -> bytes option
+
 (** [peek t ~dst] — inbox contents without draining. *)
 val peek : t -> dst:int -> (int * bytes) list
 
@@ -109,6 +118,7 @@ module Party : sig
   val recv : p -> (int * bytes) list
 
   val recv_from : p -> src:int -> bytes list
+  val recv_one : p -> src:int -> bytes option
   val peek : p -> (int * bytes) list
 
   (** [send p ~dst payload] buffers a send from this party.  Argument

@@ -3,6 +3,16 @@ type writer = Buffer.t
 let writer () = Buffer.create 64
 let contents w = Buffer.to_bytes w
 
+(* Reusing one writer across many messages keeps the Buffer's grown
+   capacity, so the per-message cost is one [contents] copy instead of a
+   fresh allocation plus O(log size) doubling copies. *)
+let reset w = Buffer.clear w
+
+let encode_into w f v =
+  Buffer.clear w;
+  f w v;
+  Buffer.to_bytes w
+
 (* Varints use the LEB128-style 7-bits-per-byte scheme on the two's
    complement representation, so negative ints terminate (10 bytes max). *)
 let write_varint w v =
@@ -56,17 +66,29 @@ let write_option w f = function
     write_bool w true;
     f w v
 
-type reader = { data : bytes; mutable pos : int }
+(* A reader is a cursor over a [limit]-bounded window of [data]; the
+   whole-buffer constructor sets the window to the full buffer, [of_sub]
+   to a slice — decoding a message embedded in a larger buffer then needs
+   no [Bytes.sub] copy. *)
+type reader = { data : bytes; mutable pos : int; limit : int }
 
 exception Decode_error of string
 
-let reader data = { data; pos = 0 }
-let at_end r = r.pos >= Bytes.length r.data
+let reader data = { data; pos = 0; limit = Bytes.length data }
+
+let of_sub data ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length data then
+    invalid_arg
+      (Printf.sprintf "Codec.of_sub: [%d, %d+%d) outside buffer of %d bytes" pos pos len
+         (Bytes.length data));
+  { data; pos; limit = pos + len }
+
+let at_end r = r.pos >= r.limit
 
 let need r k =
   if k < 0 then raise (Decode_error "negative length");
-  if r.pos + k > Bytes.length r.data then
-    raise (Decode_error (Printf.sprintf "need %d bytes at %d, have %d" k r.pos (Bytes.length r.data)))
+  if r.pos + k > r.limit then
+    raise (Decode_error (Printf.sprintf "need %d bytes at %d, have %d" k r.pos r.limit))
 
 let read_byte r =
   need r 1;
@@ -109,6 +131,35 @@ let read_bytes r =
   let len = read_varint r in
   read_raw r len
 
+(* ---- Zero-copy views ---- *)
+
+type view = { buf : bytes; off : int; len : int }
+
+let read_raw_view r len =
+  need r len;
+  let v = { buf = r.data; off = r.pos; len } in
+  r.pos <- r.pos + len;
+  v
+
+let read_bytes_view r =
+  let len = read_varint r in
+  read_raw_view r len
+
+let view_to_bytes v = Bytes.sub v.buf v.off v.len
+
+let view_equal_bytes v b =
+  v.len = Bytes.length b
+  &&
+  let k = ref 0 in
+  while !k < v.len && Bytes.unsafe_get v.buf (v.off + !k) = Bytes.unsafe_get b !k do
+    incr k
+  done;
+  !k = v.len
+
+let reader_of_view v = { data = v.buf; pos = v.off; limit = v.off + v.len }
+
+let write_view w v = Buffer.add_subbytes w v.buf v.off v.len
+
 let read_string r = Bytes.to_string (read_bytes r)
 
 let read_list r f =
@@ -135,8 +186,15 @@ let decode f b =
   let r = reader b in
   let v = f r in
   if not (at_end r) then
-    raise (Decode_error (Printf.sprintf "%d trailing bytes" (Bytes.length b - r.pos)));
+    raise (Decode_error (Printf.sprintf "%d trailing bytes" (r.limit - r.pos)));
   v
+
+let decode_view f v =
+  let r = reader_of_view v in
+  let x = f r in
+  if not (at_end r) then
+    raise (Decode_error (Printf.sprintf "%d trailing bytes" (r.limit - r.pos)));
+  x
 
 let varint_size v =
   let rec go v acc = if v lsr 7 = 0 then acc else go (v lsr 7) (acc + 1) in

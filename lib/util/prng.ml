@@ -1,69 +1,227 @@
-type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+(* SplitMix64 seeding/derivation + Xoshiro256** core, computed on pairs of
+   32-bit limbs held in native ints.
 
-(* SplitMix64: used to expand a seed into the four Xoshiro words and to
-   derive split-off generators.  Reference: Steele, Lea, Flood (2014). *)
-let splitmix_next (state : int64 ref) : int64 =
-  let open Int64 in
-  state := add !state 0x9E3779B97F4A7C15L;
-  let z = !state in
-  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
-  logxor z (shift_right_logical z 31)
+   The obvious implementation (this module's original one) works on
+   [int64]; without flambda every [Int64] operation boxes its result, so
+   one Xoshiro step allocates ~30 words and one [derive] (six SplitMix64
+   steps) several hundred — and the equality protocol derives a child
+   stream per PAIR, putting the PRNG at the top of the E9 allocation
+   profile.  Splitting each 64-bit word into two 32-bit limbs keeps the
+   whole computation in immediate ints: a step allocates nothing, and
+   [derive] allocates exactly one child record.
 
-let of_seed64 (seed : int64) : t =
-  let st = ref seed in
-  let s0 = splitmix_next st in
-  let s1 = splitmix_next st in
-  let s2 = splitmix_next st in
-  let s3 = splitmix_next st in
+   Exactness: every limb stays in [0, 2^32); sums of a few limb products
+   fit the 63-bit native int; and where a 32x32 product may exceed 2^63
+   (so native arithmetic wraps), the wrap is harmless because it is
+   modulo 2^63 and we only keep the product modulo 2^32, which divides
+   it.  The full 64-bit low product needed by SplitMix64's multiplies is
+   reassembled from a 16/32 split whose partial products are exact.  A
+   test pins this arithmetic word-for-word against a straight [Int64]
+   reference implementation.
+
+   References: Steele, Lea, Flood (2014) for SplitMix64; Blackman &
+   Vigna for Xoshiro256**. *)
+
+type t = {
+  mutable s0h : int;
+  mutable s0l : int;
+  mutable s1h : int;
+  mutable s1l : int;
+  mutable s2h : int;
+  mutable s2l : int;
+  mutable s3h : int;
+  mutable s3l : int;
+  (* Output scratch: the last generated 64-bit word, as limbs.  Draw
+     operations own the generator (single-domain, like all its state);
+     [derive] never touches these fields on the parent. *)
+  mutable oh : int;
+  mutable ol : int;
+}
+
+let m32 = 0xFFFFFFFF
+
+(* SplitMix64 finalizer: given the already-incremented state (zh, zl),
+   mix and leave the output word in [dst.oh]/[dst.ol]. *)
+let sm_mix_into dst zh zl =
+  (* z ^= z >> 30 *)
+  let xh = zh lxor (zh lsr 30)
+  and xl = zl lxor (((zl lsr 30) lor (zh lsl 2)) land m32) in
+  (* z *= 0xBF58476D1CE4E5B9 *)
+  let t = (xl land 0xFFFF) * 0x1CE4E5B9 in
+  let u = (xl lsr 16) * 0x1CE4E5B9 in
+  let lo_full = t + ((u land 0xFFFF) lsl 16) in
+  let ph =
+    ((lo_full lsr 32) + (u lsr 16) + (xl * 0xBF58476D) + (xh * 0x1CE4E5B9)) land m32
+  in
+  let pl = lo_full land m32 in
+  (* z ^= z >> 27 *)
+  let xh = ph lxor (ph lsr 27)
+  and xl = pl lxor (((pl lsr 27) lor (ph lsl 5)) land m32) in
+  (* z *= 0x94D049BB133111EB *)
+  let t = (xl land 0xFFFF) * 0x133111EB in
+  let u = (xl lsr 16) * 0x133111EB in
+  let lo_full = t + ((u land 0xFFFF) lsl 16) in
+  let qh =
+    ((lo_full lsr 32) + (u lsr 16) + (xl * 0x94D049BB) + (xh * 0x133111EB)) land m32
+  in
+  let ql = lo_full land m32 in
+  (* z ^= z >> 31 *)
+  dst.oh <- qh lxor (qh lsr 31);
+  dst.ol <- ql lxor (((ql lsr 31) lor (qh lsl 1)) land m32)
+
+(* Four SplitMix64 steps expand the seed into the Xoshiro state, written
+   into [dst] (which doubles as the mix scratch).  The golden-ratio
+   increment 0x9E3779B97F4A7C15 is applied before each mix, as in the
+   reference. *)
+let expand_seed_into dst seedh seedl =
+  let l1 = seedl + 0x7F4A7C15 in
+  let h1 = (seedh + 0x9E3779B9 + (l1 lsr 32)) land m32 in
+  let l1 = l1 land m32 in
+  sm_mix_into dst h1 l1;
+  dst.s0h <- dst.oh;
+  dst.s0l <- dst.ol;
+  let l2 = l1 + 0x7F4A7C15 in
+  let h2 = (h1 + 0x9E3779B9 + (l2 lsr 32)) land m32 in
+  let l2 = l2 land m32 in
+  sm_mix_into dst h2 l2;
+  dst.s1h <- dst.oh;
+  dst.s1l <- dst.ol;
+  let l3 = l2 + 0x7F4A7C15 in
+  let h3 = (h2 + 0x9E3779B9 + (l3 lsr 32)) land m32 in
+  let l3 = l3 land m32 in
+  sm_mix_into dst h3 l3;
+  dst.s2h <- dst.oh;
+  dst.s2l <- dst.ol;
+  let l4 = l3 + 0x7F4A7C15 in
+  let h4 = (h3 + 0x9E3779B9 + (l4 lsr 32)) land m32 in
+  let l4 = l4 land m32 in
+  sm_mix_into dst h4 l4;
+  dst.s3h <- dst.oh;
+  dst.s3l <- dst.ol;
   (* Xoshiro must not start at the all-zero state. *)
-  if Int64.logor (Int64.logor s0 s1) (Int64.logor s2 s3) = 0L then
-    { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
-  else { s0; s1; s2; s3 }
+  if
+    dst.s0h lor dst.s0l lor dst.s1h lor dst.s1l lor dst.s2h lor dst.s2l lor dst.s3h
+    lor dst.s3l
+    = 0
+  then begin
+    dst.s0h <- 0;
+    dst.s0l <- 1;
+    dst.s1h <- 0;
+    dst.s1l <- 2;
+    dst.s2h <- 0;
+    dst.s2l <- 3;
+    dst.s3h <- 0;
+    dst.s3l <- 4
+  end
 
-let create seed = of_seed64 (Int64.of_int seed)
+let fresh () =
+  { s0h = 0; s0l = 0; s1h = 0; s1l = 0; s2h = 0; s2l = 0; s3h = 0; s3l = 0; oh = 0; ol = 0 }
 
-let rotl (x : int64) (k : int) : int64 =
-  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+let of_seed_limbs seedh seedl =
+  let t = fresh () in
+  expand_seed_into t seedh seedl;
+  t
 
-(* Xoshiro256** next. *)
+(* [create seed] seeds from the sign-extended 64-bit image of [seed],
+   exactly [Int64.of_int seed]. *)
+let create seed = of_seed_limbs ((seed asr 32) land m32) (seed land m32)
+
+(* Xoshiro256** step: advance the state and leave the output word in
+   [t.oh]/[t.ol].  All arithmetic is immediate-int; nothing allocates. *)
+let step t =
+  let s1h = t.s1h and s1l = t.s1l in
+  (* result = rotl(s1 * 5, 7) * 9 *)
+  let pf = s1l * 5 in
+  let pl = pf land m32 in
+  let ph = ((s1h * 5) + (pf lsr 32)) land m32 in
+  let rh = ((ph lsl 7) lor (pl lsr 25)) land m32 in
+  let rl = ((pl lsl 7) lor (ph lsr 25)) land m32 in
+  let qf = rl * 9 in
+  t.ol <- qf land m32;
+  t.oh <- ((rh * 9) + (qf lsr 32)) land m32;
+  (* tmp = s1 << 17 *)
+  let th = ((s1h lsl 17) lor (s1l lsr 15)) land m32 in
+  let tl = (s1l lsl 17) land m32 in
+  t.s2h <- t.s2h lxor t.s0h;
+  t.s2l <- t.s2l lxor t.s0l;
+  t.s3h <- t.s3h lxor s1h;
+  t.s3l <- t.s3l lxor s1l;
+  t.s1h <- s1h lxor t.s2h;
+  t.s1l <- s1l lxor t.s2l;
+  t.s0h <- t.s0h lxor t.s3h;
+  t.s0l <- t.s0l lxor t.s3l;
+  t.s2h <- t.s2h lxor th;
+  t.s2l <- t.s2l lxor tl;
+  (* s3 = rotl(s3, 45) — a 32-bit limb swap plus rotl 13. *)
+  let h3 = t.s3h and l3 = t.s3l in
+  t.s3h <- ((l3 lsl 13) lor (h3 lsr 19)) land m32;
+  t.s3l <- ((h3 lsl 13) lor (l3 lsr 19)) land m32
+
 let bits64 t =
-  let open Int64 in
-  let result = mul (rotl (mul t.s1 5L) 7) 9L in
-  let tmp = shift_left t.s1 17 in
-  t.s2 <- logxor t.s2 t.s0;
-  t.s3 <- logxor t.s3 t.s1;
-  t.s1 <- logxor t.s1 t.s2;
-  t.s0 <- logxor t.s0 t.s3;
-  t.s2 <- logxor t.s2 tmp;
-  t.s3 <- rotl t.s3 45;
-  result
+  step t;
+  Int64.logor (Int64.shift_left (Int64.of_int t.oh) 32) (Int64.of_int t.ol)
 
-let split t = of_seed64 (bits64 t)
-let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+let split t =
+  step t;
+  of_seed_limbs t.oh t.ol
+
+let copy t =
+  {
+    s0h = t.s0h;
+    s0l = t.s0l;
+    s1h = t.s1h;
+    s1l = t.s1l;
+    s2h = t.s2h;
+    s2l = t.s2l;
+    s3h = t.s3h;
+    s3l = t.s3l;
+    oh = 0;
+    ol = 0;
+  }
 
 let derive t ~key =
   (* Counter-keyed child stream: a pure function of the parent's current
      state and [key].  Unlike [split], the parent is only read, never
-     advanced, so deriving many children is order-independent — the
-     property parallel per-pair protocol code relies on.  The four state
-     words are folded with rotations (so permuted states map to different
-     digests) and the key is pushed through two SplitMix64 steps before
-     [of_seed64] adds four more, decorrelating adjacent keys. *)
-  let open Int64 in
-  let digest =
-    logxor (logxor t.s0 (rotl t.s1 17)) (logxor (rotl t.s2 31) (rotl t.s3 47))
+     advanced (and its scratch is untouched), so deriving many children
+     is order- and domain-independent — the property parallel per-pair
+     protocol code relies on.  The four state words are folded with
+     rotations (so permuted states map to different digests) and the key
+     is pushed through two SplitMix64 steps before the seed expansion
+     adds four more, decorrelating adjacent keys. *)
+  let dh =
+    t.s0h
+    lxor (((t.s1h lsl 17) lor (t.s1l lsr 15)) land m32)
+    lxor (((t.s2h lsl 31) lor (t.s2l lsr 1)) land m32)
+    lxor (((t.s3l lsl 15) lor (t.s3h lsr 17)) land m32)
+  and dl =
+    t.s0l
+    lxor (((t.s1l lsl 17) lor (t.s1h lsr 15)) land m32)
+    lxor (((t.s2l lsl 31) lor (t.s2h lsr 1)) land m32)
+    lxor (((t.s3h lsl 15) lor (t.s3l lsr 17)) land m32)
   in
-  let st = ref (logxor digest (of_int key)) in
-  let seed = logxor (splitmix_next st) (splitmix_next st) in
-  of_seed64 seed
+  let sth = dh lxor ((key asr 32) land m32) and stl = dl lxor (key land m32) in
+  (* seed = splitmix(st) ^ splitmix(st') — the child record doubles as
+     scratch for the two mixes before its state is expanded in place. *)
+  let child = fresh () in
+  let l1 = stl + 0x7F4A7C15 in
+  let h1 = (sth + 0x9E3779B9 + (l1 lsr 32)) land m32 in
+  let l1 = l1 land m32 in
+  sm_mix_into child h1 l1;
+  let o1h = child.oh and o1l = child.ol in
+  let l2 = l1 + 0x7F4A7C15 in
+  let h2 = (h1 + 0x9E3779B9 + (l2 lsr 32)) land m32 in
+  let l2 = l2 land m32 in
+  sm_mix_into child h2 l2;
+  expand_seed_into child (o1h lxor child.oh) (o1l lxor child.ol);
+  child
 
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
   (* Rejection sampling on the top 62 bits to avoid modulo bias. *)
   let mask = 0x3FFF_FFFF_FFFF_FFFF in
   let rec go () =
-    let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) land mask in
+    step t;
+    let r = (t.oh lsl 30) lor (t.ol lsr 2) in
     let v = r mod bound in
     if r - v > mask - bound + 1 then go () else v
   in
@@ -75,15 +233,20 @@ let int_in t lo hi =
 
 let float t =
   (* 53 random bits scaled to [0,1). *)
-  let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  step t;
+  let r = (t.oh lsl 21) lor (t.ol lsr 11) in
   float_of_int r *. (1.0 /. 9007199254740992.0)
 
-let bool t = Int64.logand (bits64 t) 1L = 1L
+let bool t =
+  step t;
+  t.ol land 1 = 1
 
 let bernoulli t p =
   if p <= 0.0 then false else if p >= 1.0 then true else float t < p
 
-let byte t = Int64.to_int (Int64.logand (bits64 t) 0xFFL)
+let byte t =
+  step t;
+  t.ol land 0xFF
 
 let bytes t len =
   let b = Bytes.create len in
@@ -125,6 +288,40 @@ let sample_without_replacement t ~n ~k =
     fill 0;
     Hashtbl.fold (fun v () acc -> v :: acc) seen [] |> List.sort compare
   end
+
+let sample_into t ~n ~k ~scratch ~dst ~pos =
+  if k < 0 || k > n then invalid_arg "Prng.sample_into";
+  if k = 0 then ()
+  else if 2 * k >= n then begin
+    (* Dense case, allocation-free: Fisher-Yates over the identity prefix
+       of [scratch] (draw-for-draw the [shuffle] loop on an [n]-array),
+       then an in-place insertion sort of the kept prefix — the same
+       sorted k-subset [sample_without_replacement] returns, without the
+       per-call array/list/polymorphic-sort churn. *)
+    if Array.length scratch < n then invalid_arg "Prng.sample_into: scratch too short";
+    for x = 0 to n - 1 do
+      scratch.(x) <- x
+    done;
+    for i = n - 1 downto 1 do
+      let j = int t (i + 1) in
+      let tmp = scratch.(i) in
+      scratch.(i) <- scratch.(j);
+      scratch.(j) <- tmp
+    done;
+    Array.blit scratch 0 dst pos k;
+    for x = pos + 1 to pos + k - 1 do
+      let v = dst.(x) in
+      let y = ref (x - 1) in
+      while !y >= pos && dst.(!y) > v do
+        dst.(!y + 1) <- dst.(!y);
+        decr y
+      done;
+      dst.(!y + 1) <- v
+    done
+  end
+  else
+    (* Sparse case: rejection sampling dominates, so reuse the list path. *)
+    List.iteri (fun i v -> dst.(pos + i) <- v) (sample_without_replacement t ~n ~k)
 
 let pick t lst =
   match lst with

@@ -62,6 +62,16 @@ val shuffle : t -> 'a array -> unit
     uniformly from [\[0, n)], in increasing order. Requires [0 <= k <= n]. *)
 val sample_without_replacement : t -> n:int -> k:int -> int list
 
+(** [sample_into t ~n ~k ~scratch ~dst ~pos] writes the same [k] sorted
+    draws [sample_without_replacement t ~n ~k] would return into
+    [dst.(pos) .. dst.(pos + k - 1)], consuming the identical draw
+    sequence from [t].  In the dense regime ([2k >= n]) it is
+    allocation-free, using [scratch] (length >= [n], contents ignored)
+    as permutation space — hot-loop callers keep one scratch per worker
+    and reuse it across calls. *)
+val sample_into :
+  t -> n:int -> k:int -> scratch:int array -> dst:int array -> pos:int -> unit
+
 (** [pick t lst] picks a uniform element. Requires a non-empty list. *)
 val pick : t -> 'a list -> 'a
 

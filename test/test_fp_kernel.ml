@@ -1,0 +1,163 @@
+(* Equivalence suite for the single-pass multi-prime fingerprint kernel:
+   [Fingerprint.residues_many] must agree bit-for-bit with the reference
+   per-prime [Fingerprint.residue] sweep on every message length (block
+   boundaries included), every prime set, and at every pool width — the
+   kernel is a pure rewrite of the arithmetic, never of the result. *)
+
+let checkb = Alcotest.(check bool)
+let bb = Crypto.Fingerprint.block_bytes
+
+let reference msg primes = Array.map (Crypto.Fingerprint.residue msg) primes
+
+(* Deterministic pseudo-random message of length [len]. *)
+let msg_of ~seed len = Util.Prng.bytes (Util.Prng.create (0x5EED + seed)) len
+
+let prime_set ~seed t =
+  Crypto.Fingerprint.sample_primes (Util.Prng.create (0xF00D + seed)) t
+
+(* Lengths that straddle every boundary the kernel treats specially:
+   empty, sub-word, word, the 4-byte-loop/byte-loop pivot, and the block
+   boundary with 0..5 bytes of tail on either side, plus multi-block. *)
+let boundary_lengths =
+  [ 0; 1; 2; 3; 4; 5; 7; 8; 63; 64; 65 ]
+  @ List.concat_map (fun b -> [ b - 5; b - 1; b; b + 1; b + 2; b + 5 ]) [ bb; 2 * bb ]
+  @ [ (2 * bb) + 1711; (3 * bb) + 3 ]
+
+let test_boundary_lengths () =
+  List.iteri
+    (fun k len ->
+      let msg = msg_of ~seed:k len in
+      let primes = prime_set ~seed:k 7 in
+      checkb (Printf.sprintf "len %d" len) true
+        (reference msg primes = Crypto.Fingerprint.residues_many msg primes))
+    boundary_lengths
+
+let test_empty_message_and_no_primes () =
+  let primes = prime_set ~seed:1 3 in
+  checkb "empty msg" true
+    (Crypto.Fingerprint.residues_many Bytes.empty primes = Array.make 3 0);
+  checkb "no primes" true (Crypto.Fingerprint.residues_many (msg_of ~seed:2 100) [||] = [||])
+
+let test_single_byte_tail_after_blocks () =
+  (* A message that is exactly k blocks plus one byte: the tail loop runs
+     its byte branch only. *)
+  List.iter
+    (fun blocks ->
+      let len = (blocks * bb) + 1 in
+      let msg = msg_of ~seed:blocks len in
+      let primes = prime_set ~seed:blocks 5 in
+      checkb (Printf.sprintf "%d blocks + 1" blocks) true
+        (reference msg primes = Crypto.Fingerprint.residues_many msg primes))
+    [ 1; 2; 3 ]
+
+let prop_kernel_equiv_reference =
+  QCheck.Test.make ~count:300 ~name:"residues_many = per-prime residue (random msg/primes)"
+    QCheck.(pair (pair small_nat small_nat) (int_range 1 40))
+    (fun ((seed, len_seed), t) ->
+      (* Random length biased to cross the block boundary often. *)
+      let len = len_seed * 67 mod ((2 * bb) + 97) in
+      let msg = msg_of ~seed len in
+      let primes = prime_set ~seed t in
+      reference msg primes = Crypto.Fingerprint.residues_many msg primes)
+
+let prop_kernel_pool_independent =
+  QCheck.Test.make ~count:40 ~name:"residues_many: pool sharding invisible"
+    QCheck.(pair small_nat (int_range 1 24))
+    (fun (seed, t) ->
+      (* Long enough to clear the sharding work threshold at every t. *)
+      let msg = msg_of ~seed ((3 * bb) + 11) in
+      let primes = prime_set ~seed t in
+      let seq = Crypto.Fingerprint.residues_many msg primes in
+      List.for_all
+        (fun d ->
+          let pool = Util.Pool.create ~num_domains:d () in
+          let r = Crypto.Fingerprint.residues_many ~pool msg primes in
+          Util.Pool.shutdown pool;
+          r = seq)
+        [ 1; 3 ])
+
+(* ---- residues_needed: degenerate clamp ---- *)
+
+(* The per-prime failure bound (8·msg_len/29)/2²⁴ reaches the 1/2 clamp at
+   msg_len = 29·2²³/8 — beyond it the divisor-count estimate is vacuous and
+   [t] must sit at the clamp value ceil(λ·log₂ n) instead of diverging (or
+   the division collapsing through 1.0, where log per_prime flips sign). *)
+let clamp_len = 29 * 8388608 / 8
+
+let test_residues_needed_clamp_value () =
+  List.iter
+    (fun (lambda, n) ->
+      let expected =
+        int_of_float (ceil (float_of_int lambda *. log (float_of_int (max 2 n)) /. log 2.0))
+      in
+      List.iter
+        (fun msg_len ->
+          Alcotest.(check int)
+            (Printf.sprintf "clamped t (lambda=%d n=%d len=%d)" lambda n msg_len)
+            (max 1 expected)
+            (Crypto.Fingerprint.residues_needed ~lambda ~n ~msg_len))
+        [ clamp_len; 2 * clamp_len; 1_000_000_000; max_int / 16 ])
+    [ (1, 2); (1, 64); (2, 1024); (3, 4096) ]
+
+let test_residues_needed_monotone_and_positive () =
+  List.iter
+    (fun (lambda, n) ->
+      let prev = ref 0 in
+      List.iter
+        (fun msg_len ->
+          let t = Crypto.Fingerprint.residues_needed ~lambda ~n ~msg_len in
+          checkb (Printf.sprintf "t >= 1 at len %d" msg_len) true (t >= 1);
+          checkb
+            (Printf.sprintf "t monotone at len %d (lambda=%d n=%d)" msg_len lambda n)
+            true (t >= !prev);
+          prev := t)
+        [ 0; 1; 64; 4096; 1_000_000; clamp_len - 1; clamp_len; clamp_len + 1; 10 * clamp_len ])
+    [ (1, 16); (2, 256); (3, 2048) ]
+
+(* ---- size_bytes: arithmetic size = encoded size ---- *)
+
+let prop_size_bytes_pins_encoding =
+  QCheck.Test.make ~count:300 ~name:"size_bytes = |encode fp| (no allocation)"
+    QCheck.(pair small_nat (int_range 0 24))
+    (fun (seed, t) ->
+      (* Random primes/residues spanning 1- and multi-byte varints. *)
+      let rng = Util.Prng.create (0xBEEF + seed) in
+      let fp =
+        { Crypto.Fingerprint.primes =
+            Array.init t (fun _ -> Util.Prng.int rng (1 lsl 29));
+          residues = Array.init t (fun _ -> Util.Prng.int rng (1 lsl 29))
+        }
+      in
+      Crypto.Fingerprint.size_bytes fp
+      = Bytes.length (Util.Codec.encode Crypto.Fingerprint.encode fp))
+
+let test_make_check_route_through_kernel () =
+  let rng = Util.Prng.create 77 in
+  let msg = msg_of ~seed:9 (bb + 257) in
+  let fp = Crypto.Fingerprint.make rng ~t:6 msg in
+  checkb "make = reference residues" true (fp.Crypto.Fingerprint.residues = reference msg fp.Crypto.Fingerprint.primes);
+  checkb "check accepts" true (Crypto.Fingerprint.check fp msg);
+  let tampered = Bytes.copy msg in
+  Bytes.set tampered 0 (Char.chr (Char.code (Bytes.get tampered 0) lxor 1));
+  checkb "check rejects flip" false (Crypto.Fingerprint.check fp tampered)
+
+let () =
+  Alcotest.run "fp_kernel"
+    [
+      ( "kernel",
+        [
+          Alcotest.test_case "block-boundary lengths" `Quick test_boundary_lengths;
+          Alcotest.test_case "empty msg / empty primes" `Quick test_empty_message_and_no_primes;
+          Alcotest.test_case "1-byte tails after blocks" `Quick test_single_byte_tail_after_blocks;
+          Alcotest.test_case "make/check routed" `Quick test_make_check_route_through_kernel;
+          QCheck_alcotest.to_alcotest prop_kernel_equiv_reference;
+          QCheck_alcotest.to_alcotest prop_kernel_pool_independent;
+        ] );
+      ( "sizing",
+        [
+          Alcotest.test_case "residues_needed clamp value" `Quick test_residues_needed_clamp_value;
+          Alcotest.test_case "residues_needed monotone, >= 1" `Quick
+            test_residues_needed_monotone_and_positive;
+          QCheck_alcotest.to_alcotest prop_size_bytes_pins_encoding;
+        ] );
+    ]

@@ -71,6 +71,28 @@ let test_recv_from_leaves_other_senders () =
     (List.map (fun (s, b) -> (s, Bytes.to_string b)) (Netsim.Net.recv net ~dst:0));
   checki "second recv_from empty" 0 (List.length (Netsim.Net.recv_from net ~dst:0 ~src:2))
 
+let test_recv_one () =
+  (* recv_one = recv_from matched against a one-element list: Some on a
+     singleton, None otherwise, draining the sender's bucket either way. *)
+  let net = Netsim.Net.create 4 in
+  Netsim.Net.send net ~src:1 ~dst:0 (msg "a");
+  Netsim.Net.send net ~src:2 ~dst:0 (msg "b1");
+  Netsim.Net.send net ~src:2 ~dst:0 (msg "b2");
+  Netsim.Net.step net;
+  Alcotest.(check (option string))
+    "singleton -> Some" (Some "a")
+    (Option.map Bytes.to_string (Netsim.Net.recv_one net ~dst:0 ~src:1));
+  Alcotest.(check (option string))
+    "two queued -> None" None
+    (Option.map Bytes.to_string (Netsim.Net.recv_one net ~dst:0 ~src:2));
+  (* Both buckets drained, whatever the answer was. *)
+  checki "src 1 drained" 0 (List.length (Netsim.Net.recv_from net ~dst:0 ~src:1));
+  checki "src 2 drained" 0 (List.length (Netsim.Net.recv_from net ~dst:0 ~src:2));
+  Alcotest.(check (option string))
+    "silent sender -> None" None
+    (Option.map Bytes.to_string (Netsim.Net.recv_one net ~dst:0 ~src:3));
+  checki "inbox empty" 0 (List.length (Netsim.Net.peek net ~dst:0))
+
 let test_self_send_rejected () =
   let net = Netsim.Net.create 2 in
   checkb "raises" true
@@ -373,6 +395,7 @@ let () =
           Alcotest.test_case "recv drains everything" `Quick test_recv_drains_everything;
           Alcotest.test_case "recv_from leaves other senders" `Quick
             test_recv_from_leaves_other_senders;
+          Alcotest.test_case "recv_one singleton/multi/silent" `Quick test_recv_one;
           Alcotest.test_case "self-send rejected" `Quick test_self_send_rejected;
           Alcotest.test_case "out-of-range rejected" `Quick test_out_of_range_rejected;
           Alcotest.test_case "bit accounting" `Quick test_bit_accounting;

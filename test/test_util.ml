@@ -125,6 +125,79 @@ let prop_derive_parent_untouched =
       List.iter (fun k -> ignore (Util.Prng.derive b ~key:k)) keys;
       draws a 8 = draws b 8)
 
+(* ---- Prng limb arithmetic vs straight Int64 reference ----
+
+   lib/util/prng.ml computes SplitMix64/Xoshiro256** on 32-bit native-int
+   limbs to avoid Int64 boxing.  This reference implementation is the
+   textbook Int64 version; the property pins the limb code word-for-word
+   against it across seeding, the main stream, and keyed derivation. *)
+module Prng_ref = struct
+  type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+  let splitmix_next (state : int64 ref) : int64 =
+    let open Int64 in
+    state := add !state 0x9E3779B97F4A7C15L;
+    let z = !state in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    logxor z (shift_right_logical z 31)
+
+  let of_seed64 (seed : int64) : t =
+    let st = ref seed in
+    let s0 = splitmix_next st in
+    let s1 = splitmix_next st in
+    let s2 = splitmix_next st in
+    let s3 = splitmix_next st in
+    if Int64.logor (Int64.logor s0 s1) (Int64.logor s2 s3) = 0L then
+      { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
+    else { s0; s1; s2; s3 }
+
+  let create seed = of_seed64 (Int64.of_int seed)
+
+  let rotl (x : int64) (k : int) : int64 =
+    Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+  let bits64 t =
+    let open Int64 in
+    let result = mul (rotl (mul t.s1 5L) 7) 9L in
+    let tmp = shift_left t.s1 17 in
+    t.s2 <- logxor t.s2 t.s0;
+    t.s3 <- logxor t.s3 t.s1;
+    t.s1 <- logxor t.s1 t.s2;
+    t.s0 <- logxor t.s0 t.s3;
+    t.s2 <- logxor t.s2 tmp;
+    t.s3 <- rotl t.s3 45;
+    result
+
+  let derive t ~key =
+    let open Int64 in
+    let digest =
+      logxor (logxor t.s0 (rotl t.s1 17)) (logxor (rotl t.s2 31) (rotl t.s3 47))
+    in
+    let st = ref (logxor digest (of_int key)) in
+    let seed = logxor (splitmix_next st) (splitmix_next st) in
+    of_seed64 seed
+end
+
+let prop_prng_matches_int64_reference =
+  QCheck.Test.make ~count:300 ~name:"prng: limb arithmetic = Int64 reference"
+    QCheck.(triple int small_nat small_nat)
+    (fun (seed, nsteps, key) ->
+      let a = Util.Prng.create seed in
+      let r = Prng_ref.create seed in
+      let ok = ref true in
+      for _ = 0 to nsteps do
+        if Util.Prng.bits64 a <> Prng_ref.bits64 r then ok := false
+      done;
+      (* Keyed derivation from the advanced state, then its stream. *)
+      let da = Util.Prng.derive a ~key and dr = Prng_ref.derive r ~key in
+      for _ = 0 to 7 do
+        if Util.Prng.bits64 da <> Prng_ref.bits64 dr then ok := false
+      done;
+      (* Negative keys exercise the sign-extended key fold. *)
+      let da' = Util.Prng.derive a ~key:(-key - 1) and dr' = Prng_ref.derive r ~key:(-key - 1) in
+      !ok && Util.Prng.bits64 da' = Prng_ref.bits64 dr')
+
 let test_sample_without_replacement () =
   let rng = Util.Prng.create 13 in
   for k = 0 to 20 do
@@ -234,6 +307,188 @@ let codec_prop_varint_list =
     QCheck.(list (int_bound 1_000_000))
     (fun lst -> Util.Codec.decode_int_list (Util.Codec.encode_int_list lst) = lst)
 
+(* ---- Slice readers and zero-copy views ---- *)
+
+(* One compound message exercising every combinator; decoding it through a
+   whole-buffer reader and through an [of_sub] window (the same payload
+   embedded in junk) must agree, byte-for-byte and error-for-error. *)
+type probe = {
+  p_varint : int;
+  p_int64 : int64;
+  p_bool : bool;
+  p_byte : int;
+  p_bytes : bytes;
+  p_raw : bytes;
+  p_string : string;
+  p_list : int list;
+  p_array : bool array;
+  p_pair : int * string;
+  p_option : bytes option;
+}
+
+let write_probe w p =
+  Util.Codec.write_varint w p.p_varint;
+  Util.Codec.write_int64 w p.p_int64;
+  Util.Codec.write_bool w p.p_bool;
+  Util.Codec.write_byte w p.p_byte;
+  Util.Codec.write_bytes w p.p_bytes;
+  Util.Codec.write_varint w (Bytes.length p.p_raw);
+  Util.Codec.write_raw w p.p_raw;
+  Util.Codec.write_string w p.p_string;
+  Util.Codec.write_list w Util.Codec.write_varint p.p_list;
+  Util.Codec.write_array w Util.Codec.write_bool p.p_array;
+  Util.Codec.write_pair w Util.Codec.write_varint Util.Codec.write_string p.p_pair;
+  Util.Codec.write_option w Util.Codec.write_bytes p.p_option
+
+let read_probe r =
+  let p_varint = Util.Codec.read_varint r in
+  let p_int64 = Util.Codec.read_int64 r in
+  let p_bool = Util.Codec.read_bool r in
+  let p_byte = Util.Codec.read_byte r in
+  let p_bytes = Util.Codec.read_bytes r in
+  let p_raw = Util.Codec.read_raw r (Util.Codec.read_varint r) in
+  let p_string = Util.Codec.read_string r in
+  let p_list = Util.Codec.read_list r Util.Codec.read_varint in
+  let p_array = Util.Codec.read_array r Util.Codec.read_bool in
+  let p_pair = Util.Codec.read_pair r Util.Codec.read_varint Util.Codec.read_string in
+  let p_option = Util.Codec.read_option r Util.Codec.read_bytes in
+  { p_varint; p_int64; p_bool; p_byte; p_bytes; p_raw; p_string; p_list; p_array; p_pair; p_option }
+
+let probe_gen =
+  QCheck.Gen.(
+    let bytes_gen = map Bytes.of_string (string_size (0 -- 40)) in
+    map
+      (fun ((v, i64, b, by), (bs, raw, s, l), (arr, pr, opt)) ->
+        { p_varint = v;
+          p_int64 = i64;
+          p_bool = b;
+          p_byte = by;
+          p_bytes = bs;
+          p_raw = raw;
+          p_string = s;
+          p_list = l;
+          p_array = Array.of_list arr;
+          p_pair = pr;
+          p_option = opt
+        })
+      (triple
+         (quad int int64 bool (0 -- 255))
+         (quad bytes_gen bytes_gen (string_size (0 -- 30)) (list_size (0 -- 20) int))
+         (triple (list_size (0 -- 20) bool) (pair int (string_size (0 -- 10)))
+            (option bytes_gen))))
+
+let probe_arb = QCheck.make probe_gen
+
+let codec_prop_slice_reader_equiv =
+  QCheck.Test.make ~name:"of_sub window decode = whole-buffer decode (all combinators)"
+    ~count:300
+    QCheck.(pair probe_arb (pair small_nat small_nat))
+    (fun (p, (npre, nsuf)) ->
+      let payload = Util.Codec.encode write_probe p in
+      let whole = Util.Codec.decode read_probe payload in
+      (* Embed the payload between junk prefix/suffix bytes; the window
+         reader must see exactly the same message. *)
+      let buf =
+        Bytes.concat Bytes.empty
+          [ Bytes.make npre '\xAA'; payload; Bytes.make nsuf '\xBB' ]
+      in
+      let r = Util.Codec.of_sub buf ~pos:npre ~len:(Bytes.length payload) in
+      let sliced = read_probe r in
+      whole = sliced && Util.Codec.at_end r)
+
+let codec_prop_slice_reader_bounds =
+  QCheck.Test.make ~name:"of_sub window bounds reads like a short buffer" ~count:300
+    QCheck.(pair probe_arb (1 -- 12))
+    (fun (p, cut) ->
+      let payload = Util.Codec.encode write_probe p in
+      let len = Bytes.length payload in
+      let cut = min cut len in
+      (* Truncating the window by [cut] bytes must fail exactly like
+         decoding a truncated copy of the buffer. *)
+      let window () =
+        let r = Util.Codec.of_sub payload ~pos:0 ~len:(len - cut) in
+        ignore (read_probe r)
+      in
+      let truncated () =
+        ignore (Util.Codec.decode read_probe (Bytes.sub payload 0 (len - cut)))
+      in
+      let fails f =
+        match f () with
+        | () -> false
+        | exception Util.Codec.Decode_error _ -> true
+      in
+      (* The cut can land inside trailing junk-tolerant space only if the
+         last field shrank; both readers must agree either way. *)
+      fails window = fails truncated)
+
+let codec_prop_views_equiv =
+  QCheck.Test.make ~name:"view reads = copying reads; views round-trip" ~count:300
+    QCheck.(pair (string_of_size Gen.(0 -- 80)) (string_of_size Gen.(0 -- 40)))
+    (fun (s1, s2) ->
+      let b1 = Bytes.of_string s1 and b2 = Bytes.of_string s2 in
+      let enc =
+        Util.Codec.encode
+          (fun w () ->
+            Util.Codec.write_bytes w b1;
+            Util.Codec.write_varint w (Bytes.length b2);
+            Util.Codec.write_raw w b2)
+          ()
+      in
+      (* Zero-copy pass. *)
+      let r = Util.Codec.reader enc in
+      let v1 = Util.Codec.read_bytes_view r in
+      let n2 = Util.Codec.read_varint r in
+      let v2 = Util.Codec.read_raw_view r n2 in
+      let ok_contents =
+        Bytes.equal (Util.Codec.view_to_bytes v1) b1
+        && Bytes.equal (Util.Codec.view_to_bytes v2) b2
+        && Util.Codec.view_equal_bytes v1 b1
+        && Util.Codec.view_equal_bytes v2 b2
+        && (Bytes.length b1 = Bytes.length b2 || not (Util.Codec.view_equal_bytes v1 b2))
+      in
+      (* A reader over the view sees the window, bounded by it. *)
+      let rv = Util.Codec.reader_of_view v1 in
+      let ok_reader =
+        Bytes.equal (Util.Codec.read_raw rv (Bytes.length b1)) b1 && Util.Codec.at_end rv
+      in
+      (* decode_view consumes the window exactly. *)
+      let ok_decode =
+        Bytes.equal (Util.Codec.decode_view (fun r -> Util.Codec.read_raw r (Bytes.length b2)) v2) b2
+      in
+      (* write_view appends the window verbatim (= write_raw of the copy). *)
+      let reenc =
+        Util.Codec.encode
+          (fun w () ->
+            Util.Codec.write_view w v1;
+            Util.Codec.write_view w v2)
+          ()
+      in
+      let ok_write = Bytes.equal reenc (Bytes.cat b1 b2) in
+      ok_contents && ok_reader && ok_decode && ok_write && Util.Codec.at_end r)
+
+(* ---- sample_into ≡ sample_without_replacement ---- *)
+
+let prop_sample_into_matches_list =
+  QCheck.Test.make ~name:"sample_into = sample_without_replacement (draws and result)"
+    ~count:500
+    QCheck.(triple small_nat (int_bound 60) (int_bound 60))
+    (fun (seed, n, k) ->
+      let n = max n 1 in
+      let k = min k n in
+      let r_list = Util.Prng.create (0x5A + seed) in
+      let r_into = Util.Prng.create (0x5A + seed) in
+      let expected = Util.Prng.sample_without_replacement r_list ~n ~k in
+      let pos = 3 in
+      let dst = Array.make (pos + k + 2) (-1) in
+      let scratch = Array.make (max n 1) 0 in
+      Util.Prng.sample_into r_into ~n ~k ~scratch ~dst ~pos;
+      let got = Array.to_list (Array.sub dst pos k) in
+      (* Identical draws consumed: the two streams must stay in lockstep. *)
+      got = expected
+      && Util.Prng.int r_list 1_000_000 = Util.Prng.int r_into 1_000_000
+      && dst.(0) = -1
+      && dst.(pos + k) = -1)
+
 (* ---- Stats ---- *)
 
 let feq ?(eps = 1e-9) a b = abs_float (a -. b) < eps
@@ -313,6 +568,8 @@ let () =
           QCheck_alcotest.to_alcotest prop_derive_order_independent;
           QCheck_alcotest.to_alcotest prop_derive_distinct_keys;
           QCheck_alcotest.to_alcotest prop_derive_parent_untouched;
+          QCheck_alcotest.to_alcotest prop_prng_matches_int64_reference;
+          QCheck_alcotest.to_alcotest prop_sample_into_matches_list;
           Alcotest.test_case "sample w/o replacement" `Quick test_sample_without_replacement;
           Alcotest.test_case "sample covers all" `Quick test_sample_covers_everything;
           Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
@@ -329,6 +586,9 @@ let () =
           Alcotest.test_case "int list helper" `Quick test_codec_int_list;
           QCheck_alcotest.to_alcotest codec_prop_bytes;
           QCheck_alcotest.to_alcotest codec_prop_varint_list;
+          QCheck_alcotest.to_alcotest codec_prop_slice_reader_equiv;
+          QCheck_alcotest.to_alcotest codec_prop_slice_reader_bounds;
+          QCheck_alcotest.to_alcotest codec_prop_views_equiv;
         ] );
       ( "stats",
         [
