@@ -8,9 +8,11 @@
      dune exec bench/main.exe -- --list       -- list experiments
      dune exec bench/main.exe -- --quick      -- reduced sweeps (CI tier)
      dune exec bench/main.exe -- --huge       -- n up to 2048 for E1/E9/E13 (see below)
+     dune exec bench/main.exe -- --giant      -- E7/E8 at n = 10^4..10^6 on Net.Sparse
      dune exec bench/main.exe -- --jobs N     -- N parallel executors ("max" = all cores)
      dune exec bench/main.exe -- --json F     -- also write a JSON report to F
      dune exec bench/main.exe -- --max-wall-s S   -- exit 2 if wall-clock > S
+     dune exec bench/main.exe -- --max-rss-mb M   -- exit 2 if peak RSS (VmHWM) > M MB
      dune exec bench/main.exe -- --diff A B   -- regression-diff two reports
      dune exec bench/main.exe -- --seed S     -- replay seed (threaded into every
                                                  experiment RNG/PKE and recorded in
@@ -56,6 +58,11 @@ let pick ~full ~reduced = if !quick then reduced else full
    [Netsim.Net.run_round] instead of across runs.  Set once at startup. *)
 let huge = ref false
 
+(* --giant: the streaming-backend tier — E7/E8 at n = 10⁴, 10⁵ and a 10⁶
+   smoke, on [Netsim.Net.Sparse] so memory is O(activity), not O(n²).
+   --giant --quick is the n = 10⁴ CI smoke.  Set once at startup. *)
+let giant = ref false
+
 (* The worker pool behind [par_map]; [None] (--jobs 1) is the pure
    sequential path with zero pool overhead. *)
 let pool : Util.Pool.t option ref = ref None
@@ -85,6 +92,7 @@ let run_of_net ~experiment ~series ~n ~h ~wall_ms net =
     rounds = Netsim.Net.rounds net;
     wall_ms;
     seed = !base_seed;
+    peak_rss_mb = Analysis.Bench_io.peak_rss_mb ();
   }
 
 let timed f =
@@ -532,6 +540,7 @@ let e6 () =
             rounds = !rounds_acc;
             wall_ms;
             seed = !base_seed;
+            peak_rss_mb = Analysis.Bench_io.peak_rss_mb ();
           }
         in
         ( run,
@@ -560,7 +569,138 @@ let e6 () =
 (* E7 — Claim 20: the sparse routing network                           *)
 (* ------------------------------------------------------------------ *)
 
+(* The giant tier exercises exactly the memory shape the streaming
+   backend exists for: [Net.Sparse] allocates party state on first touch,
+   [Sparse_network.run_iter] streams outcomes so the n-element [Iset]
+   array (gigabytes at n = 10⁶) is never materialized, and connectivity
+   is decided by a streaming union-find over the same edge set the
+   full-tier BFS walks.  Honest hop relations are symmetric (i samples j
+   ⟹ i notifies j ⟹ i ∈ outs(j) unless j aborted), so unioning each
+   undirected edge at its higher-id endpoint — by which time the lower
+   endpoint's abort status is known — yields the BFS verdict exactly;
+   test_net_sparse pins the two against each other at dense scales. *)
+let e7_giant () =
+  section "E7  (giant tier) SparseNetwork on the streaming backend, n up to 10^6";
+  Printf.printf
+    "same protocol as the full tier, run on Net.Sparse: party state is\n\
+     allocated lazily and outcomes stream through run_iter, so n = 10^5\n\
+     fits comfortably under 2 GB peak RSS and n = 10^6 completes.\n\n";
+  let points =
+    pick
+      ~full:[ (10_000, 2_500, 2); (100_000, 50_000, 1); (1_000_000, 1_000_000, 1) ]
+      ~reduced:[ (10_000, 2_500, 1) ]
+  in
+  let rows =
+    List.map
+      (fun (n, h, trials) ->
+        let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:2 () in
+        let rng0 = prng (7 * n) in
+        let connected = ref 0 and aborts = ref 0 and maxdeg = ref 0 in
+        let bits_acc = ref 0 and msgs_acc = ref 0 and rounds_acc = ref 0 in
+        let (), wall_ms =
+          timed (fun () ->
+              for seed = 1 to trials do
+                let corruption = Netsim.Corruption.random rng0 ~n ~h in
+                let net = Netsim.Net.create ~backend:Netsim.Net.Sparse n in
+                let rng = prng seed in
+                (* Union-find scaffolding: one int per party plus an
+                   abort byte — 9n bytes, versus the n Iset outcomes the
+                   full-tier path retains. *)
+                let parent = Array.init n (fun i -> i) in
+                let find i =
+                  let r = ref i in
+                  while parent.(!r) <> !r do
+                    r := parent.(!r)
+                  done;
+                  let j = ref i in
+                  while parent.(!j) <> !r do
+                    let next = parent.(!j) in
+                    parent.(!j) <- !r;
+                    j := next
+                  done;
+                  !r
+                in
+                let aborted = Bytes.make n '\000' in
+                let honest_abort = ref false in
+                let first_active = ref (-1) in
+                Mpc.Sparse_network.run_iter net rng params ~corruption
+                  ~adv:Mpc.Sparse_network.honest_adv ~f:(fun i out ->
+                    match out with
+                    | Mpc.Outcome.Abort _ ->
+                      Bytes.set aborted i '\001';
+                      if Netsim.Corruption.is_honest corruption i then honest_abort := true
+                    | Mpc.Outcome.Output s ->
+                      maxdeg := max !maxdeg (Util.Iset.cardinal s);
+                      if Netsim.Corruption.is_honest corruption i then begin
+                        if !first_active < 0 then first_active := i;
+                        Util.Iset.iter
+                          (fun j ->
+                            if
+                              j < i
+                              && Netsim.Corruption.is_honest corruption j
+                              && Bytes.get aborted j = '\000'
+                            then begin
+                              let ri = find i and rj = find j in
+                              if ri <> rj then parent.(ri) <- rj
+                            end)
+                          s
+                      end);
+                bits_acc := !bits_acc + Netsim.Net.total_bits net;
+                msgs_acc := !msgs_acc + Netsim.Net.messages_sent net;
+                rounds_acc := !rounds_acc + Netsim.Net.rounds net;
+                let all_connected = ref true in
+                if !first_active >= 0 then begin
+                  let root = find !first_active in
+                  for i = 0 to n - 1 do
+                    if
+                      Netsim.Corruption.is_honest corruption i
+                      && Bytes.get aborted i = '\000'
+                      && find i <> root
+                    then all_connected := false
+                  done
+                end;
+                if !all_connected then incr connected;
+                if !honest_abort then incr aborts
+              done)
+        in
+        let run =
+          {
+            Analysis.Bench_io.experiment = "E7";
+            series = Printf.sprintf "giant %d-trial total" trials;
+            n;
+            h;
+            bits = !bits_acc;
+            messages = !msgs_acc;
+            rounds = !rounds_acc;
+            wall_ms;
+            seed = !base_seed;
+            peak_rss_mb = Analysis.Bench_io.peak_rss_mb ();
+          }
+        in
+        (run, (trials, !connected, !aborts, !maxdeg, Mpc.Params.sparse_degree params)))
+      points
+  in
+  let t =
+    Analysis.Table.create ~title:"streaming backend (Net.Sparse), alpha = 2"
+      ~columns:
+        [ "n"; "h"; "d"; "max degree"; "cap 3d"; "connected"; "honest aborts"; "wall s";
+          "peak rss" ]
+  in
+  List.iter
+    (fun ((r : Analysis.Bench_io.run), (trials, connected, aborts, maxdeg, d)) ->
+      Analysis.Table.add_row t
+        [ string_of_int r.n; string_of_int r.h; string_of_int d; string_of_int maxdeg;
+          string_of_int (3 * d); Printf.sprintf "%d/%d" connected trials;
+          Printf.sprintf "%d/%d" aborts trials;
+          Printf.sprintf "%.1f" (r.wall_ms /. 1000.0);
+          (match r.peak_rss_mb with Some mb -> Printf.sprintf "%.0fMB" mb | None -> "-") ])
+    rows;
+  Analysis.Table.print t;
+  List.map fst rows
+
 let e7 () =
+  if !giant then e7_giant ()
+  else begin
   section "E7  Claim 20: SparseNetwork degree bound and honest connectivity";
   Printf.printf "paper: max degree O(alpha n log n / h); honest subgraph connected w.h.p.\n\n";
   let rows =
@@ -608,6 +748,7 @@ let e7 () =
             rounds = !rounds_acc;
             wall_ms;
             seed = !base_seed;
+            peak_rss_mb = Analysis.Bench_io.peak_rss_mb ();
           }
         in
         (run, (trials, !connected, !aborts, !maxdeg, Mpc.Params.sparse_degree params)))
@@ -625,12 +766,89 @@ let e7 () =
     rows;
   Analysis.Table.print t;
   List.map fst rows
+  end
 
 (* ------------------------------------------------------------------ *)
 (* E8 — Claim 23: the covering claim                                   *)
 (* ------------------------------------------------------------------ *)
 
+(* E8 is network-free Monte Carlo, so its giant rows carry zero
+   accounting; the records exist to pin the sweep's wall time and peak
+   RSS in the committed giant baseline. *)
+let e8_giant () =
+  section "E8  (giant tier) covering Monte Carlo at n up to 10^6";
+  Printf.printf
+    "same covering experiment as the full tier at n = 10^4..10^6: committee\n\
+     sampled Bernoulli(alpha log n / sqrt h), each honest member covers\n\
+     s = n/sqrt(h) parties.\n\n";
+  let points =
+    pick
+      ~full:[ (10_000, 2_500, 3); (100_000, 50_000, 2); (1_000_000, 1_000_000, 1) ]
+      ~reduced:[ (10_000, 2_500, 1) ]
+  in
+  let rows =
+    List.map
+      (fun (n, h, trials) ->
+        let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:2 () in
+        let s = Mpc.Params.cover_size params in
+        let p = Mpc.Params.local_committee_prob params in
+        let rng = prng (n + h) in
+        let covered_all = ref 0 and honest_members_acc = ref 0 in
+        let (), wall_ms =
+          timed (fun () ->
+              for _ = 1 to trials do
+                let committee = Util.Prng.subset_bernoulli rng ~n ~p in
+                let honest_members = List.filter (fun c -> c mod 2 = 0) committee in
+                honest_members_acc := !honest_members_acc + List.length honest_members;
+                let covered = Bytes.make n '\000' in
+                List.iter
+                  (fun _c ->
+                    List.iter
+                      (fun i -> Bytes.set covered i '\001')
+                      (Util.Prng.sample_without_replacement rng ~n ~k:s))
+                  honest_members;
+                let all = ref true in
+                for i = 0 to n - 1 do
+                  if Bytes.get covered i = '\000' then all := false
+                done;
+                if !all then incr covered_all
+              done)
+        in
+        let run =
+          {
+            Analysis.Bench_io.experiment = "E8";
+            series = Printf.sprintf "giant %d-trial total (no net)" trials;
+            n;
+            h;
+            bits = 0;
+            messages = 0;
+            rounds = 0;
+            wall_ms;
+            seed = !base_seed;
+            peak_rss_mb = Analysis.Bench_io.peak_rss_mb ();
+          }
+        in
+        (run, (s, trials, !honest_members_acc, !covered_all)))
+      points
+  in
+  let t =
+    Analysis.Table.create ~title:"giant covering sweep, alpha = 2"
+      ~columns:[ "n"; "h"; "s = n/sqrt h"; "E[|C and H|]"; "all covered"; "wall s" ]
+  in
+  List.iter
+    (fun ((r : Analysis.Bench_io.run), (s, trials, honest_members_acc, covered_all)) ->
+      Analysis.Table.add_row t
+        [ string_of_int r.n; string_of_int r.h; string_of_int s;
+          string_of_int (honest_members_acc / trials);
+          Printf.sprintf "%d/%d" covered_all trials;
+          Printf.sprintf "%.1f" (r.wall_ms /. 1000.0) ])
+    rows;
+  Analysis.Table.print t;
+  List.map fst rows
+
 let e8 () =
+  if !giant then e8_giant ()
+  else begin
   section "E8  Claim 23: every party is covered by an honest committee member";
   Printf.printf
     "paper: with |C and H| >= alpha sqrt(h) log n / 2 honest members and\n\
@@ -675,6 +893,7 @@ let e8 () =
     rows;
   Analysis.Table.print t;
   []
+  end
 
 (* ------------------------------------------------------------------ *)
 (* E9 — §2.1 baseline: GL05 O(n³) vs fingerprinted Õ(n²)               *)
@@ -1423,6 +1642,50 @@ let all_experiments = experiments @ extra_experiments
 
 let valid_ids () = String.concat " " (List.map (fun (id, _, _) -> id) all_experiments)
 
+(* --list metadata: which tier flags cover each experiment and what each
+   tier sweeps.  Hand-maintained next to the experiment bodies above —
+   when a sweep changes, change its line here in the same commit. *)
+let sweep_info : (string * string * string list) list =
+  [
+    ( "E1", "full quick huge",
+      [ "full:  n in {64..512} h=n/4; n in {48..288} h=12; h in {16..224} n=256";
+        "huge:  n in {512,1024,2048} h=n/4 (--quick: n=512)" ] );
+    ( "E2", "full quick",
+      [ "full:  n in {32,64,96,128} h=n/4; h in {12,24,48,80} n=96" ] );
+    ( "E3", "full quick",
+      [ "full:  n in {32,64,96,128,160} h=n/4; h in {16,32,64,100} n=128" ] );
+    ( "E4", "full quick",
+      [ "full:  n=96, h in {4,12} x degree in {1..32}, 400 trials (--quick: 80)" ] );
+    ( "E5", "full quick",
+      [ "full:  lambda in {2,4,8} x 1000 pairs; |m| in {1e2..1e6} bytes" ] );
+    ( "E6", "full quick",
+      [ "full:  (n,h) in {(64,16)..(512,128)}, 20 trials (--quick: drops n=512, 5 trials)" ] );
+    ( "E7", "full quick giant",
+      [ "full:  (n,h) in {(64,16)..(512,256)}, 20 trials (--quick: drops n=512, 5 trials)";
+        "giant: Net.Sparse, (n,h,trials) in {(1e4,2500,2),(1e5,5e4,1),(1e6,1e6,1)} (--quick: (1e4,2500,1))" ] );
+    ( "E8", "full quick giant",
+      [ "full:  (n,h) in {(64,32)..(512,256)}, 50 trials (--quick: 20)";
+        "giant: (n,h,trials) in {(1e4,2500,3),(1e5,5e4,2),(1e6,1e6,1)} (--quick: (1e4,2500,1))" ] );
+    ( "E9", "full quick huge",
+      [ "full:  n in {8,16,32,48}, naive vs fingerprinted, 512B inputs";
+        "huge:  naive n in {64,128}; fingerprinted n in {256..2048} (--quick: 64 / 1024), 64B inputs" ] );
+    ( "E10", "full quick",
+      [ "full:  n=96 h=25, cover size s in {1,2,5,19,38,96} (--quick: {2,5,19,38})" ] );
+    ( "E11", "full quick", [ "both:  n=48 h=24, one round-count row per protocol" ] );
+    ( "E12", "full quick",
+      [ "both:  crypto primitive ns/op (bechamel); --quick shrinks quotas; ignores --jobs" ] );
+    ( "E13", "full quick huge",
+      [ "full:  n in {16..384} both protocols (--quick: n <= 128)";
+        "huge:  gmw n=384, alg3 n in {512,1024,2048} (--quick: 128 / 512)" ] );
+    ( "E14", "full quick", [ "both:  widths w in {2,4,8}; Yao+LWE-OT vs Alg 3 at n=2" ] );
+    ( "pool-micro", "full quick",
+      [ "both:  pool widths {1,8,64}, 256 jobs/call; ignores --jobs" ] );
+    ( "fp-micro", "full quick",
+      [ "full:  sizes {64,4K,64K,1M} x t in {1,8,64} (--quick: {64,64K} x {1,8}); ignores --jobs" ] );
+    ( "soak", "opt-in (--only soak)",
+      [ "sweep: 200 fault schedules (--quick: 30); --schedules K / --schedule K override" ] );
+  ]
+
 let iso_date () =
   let tm = Unix.gmtime (Unix.gettimeofday ()) in
   Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
@@ -1445,15 +1708,23 @@ let parse_jobs s =
       exit 1
 
 let () =
+  let args = Array.to_list Sys.argv in
   (* The protocol hot loops are allocation-heavy (one short-lived message,
      selection, and reader per pair), and in OCaml 5 every minor
      collection is a stop-the-world with real syscall cost.  A 8M-word
      minor heap turns thousands of minor collections per huge-tier
      experiment into tens; space_overhead 200 keeps the major GC off the
-     hot path for the same reason.  Accounting (bits/messages/rounds) is
-     GC-independent, so dated baselines are unaffected except wall_ms. *)
-  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 1 lsl 23; Gc.space_overhead = 200 };
-  let args = Array.to_list Sys.argv in
+     hot path for the same reason.  The giant tier inverts both choices:
+     its footprint is long-lived party state, not message churn, so a
+     lower space_overhead buys headroom — and the runtime reserves
+     address space for Max_domains x minor_heap_size up front, so the
+     8M-word heap alone would reserve ~8GB and trip the CI smoke's
+     address-space ulimit before main even runs.  Accounting
+     (bits/messages/rounds) is GC-independent, so dated baselines are
+     unaffected except wall_ms and peak_rss_mb. *)
+  (if List.mem "--giant" args then
+     Gc.set { (Gc.get ()) with Gc.minor_heap_size = 1 lsl 20; Gc.space_overhead = 80 }
+   else Gc.set { (Gc.get ()) with Gc.minor_heap_size = 1 lsl 23; Gc.space_overhead = 200 });
   let rec find_diff = function
     | "--diff" :: a :: b :: _ -> Some (a, b)
     | _ :: rest -> find_diff rest
@@ -1484,10 +1755,23 @@ let () =
     exit (if drifted > 0 then 1 else 0)
   | None ->
     if List.mem "--list" args then
-      List.iter (fun (id, desc, _) -> Printf.printf "%-4s %s\n" id desc) all_experiments
+      List.iter
+        (fun (id, desc, _) ->
+          Printf.printf "%-4s %s\n" id desc;
+          match List.find_opt (fun (sid, _, _) -> sid = id) sweep_info with
+          | None -> ()
+          | Some (_, tiers, sweeps) ->
+            Printf.printf "       tiers: %s\n" tiers;
+            List.iter (Printf.printf "       %s\n") sweeps)
+        all_experiments
     else begin
       quick := List.mem "--quick" args;
       huge := List.mem "--huge" args;
+      giant := List.mem "--giant" args;
+      if !huge && !giant then begin
+        Printf.eprintf "error: --huge and --giant select disjoint tiers; pick one\n";
+        exit 1
+      end;
       let int_arg flag =
         match find_arg args flag with
         | None -> None
@@ -1503,6 +1787,7 @@ let () =
       soak_schedule := int_arg "--schedule";
       let json_path = find_arg args "--json" in
       let max_wall_s = Option.map float_of_string (find_arg args "--max-wall-s") in
+      let max_rss_mb = Option.map float_of_string (find_arg args "--max-rss-mb") in
       let jobs = match find_arg args "--jobs" with None -> 1 | Some s -> parse_jobs s in
       if jobs > 1 then pool := Some (Util.Pool.create ~num_domains:(jobs - 1) ());
       let selected =
@@ -1513,6 +1798,12 @@ let () =
              (it then runs its normal full/quick sweep). *)
           if !huge then
             List.filter (fun (id, _, _) -> List.mem id [ "E1"; "E9"; "E13" ]) experiments
+          else if !giant then
+            (* Only E7/E8 have giant sweeps: they are the protocols whose
+               cost model stays tractable at n = 10^6 (sparse routing and
+               network-free covering).  Everything else can still be
+               requested with --only and runs its normal tier. *)
+            List.filter (fun (id, _, _) -> List.mem id [ "E7"; "E8" ]) experiments
           else experiments
         | Some id ->
           (match List.filter (fun (eid, _, _) -> eid = id) all_experiments with
@@ -1537,11 +1828,13 @@ let () =
       Option.iter Util.Pool.shutdown !pool;
       Printf.printf "\nall experiments done in %.1fs (jobs=%d)%s\n" (total_wall_ms /. 1000.0)
         jobs
-        (match (!huge, !quick) with
-        | true, true -> " (huge smoke tier)"
-        | true, false -> " (huge tier)"
-        | false, true -> " (quick tier)"
-        | false, false -> "");
+        (match (!huge, !giant, !quick) with
+        | true, _, true -> " (huge smoke tier)"
+        | true, _, false -> " (huge tier)"
+        | false, true, true -> " (giant smoke tier)"
+        | false, true, false -> " (giant tier)"
+        | false, false, true -> " (quick tier)"
+        | false, false, false -> "");
       (match json_path with
       | Some path ->
         let report =
@@ -1558,10 +1851,25 @@ let () =
         Printf.printf "wrote %d run records to %s\n" (List.length report.Analysis.Bench_io.runs)
           path
       | None -> ());
-      match max_wall_s with
+      (match max_wall_s with
       | Some budget when total_wall_ms > 1000.0 *. budget ->
         Printf.eprintf "wall-clock budget exceeded: %.1fs > %.1fs (at jobs=%d)\n"
           (total_wall_ms /. 1000.0) budget jobs;
         exit 2
-      | _ -> ()
+      | _ -> ());
+      match max_rss_mb with
+      | Some budget -> (
+        (* The hard memory gate for CI's giant smoke: VmHWM is the
+           process-wide high-water, so it bounds every run above.  Where
+           /proc is unavailable the budget cannot be checked — warn and
+           pass rather than fail a platform, the Linux CI lane is the
+           enforcing one. *)
+        match Analysis.Bench_io.peak_rss_mb () with
+        | Some peak when peak > budget ->
+          Printf.eprintf "peak-RSS budget exceeded: %.0fMB > %.0fMB\n" peak budget;
+          exit 2
+        | Some peak -> Printf.printf "peak RSS %.0fMB within budget %.0fMB\n" peak budget
+        | None ->
+          Printf.eprintf "warning: --max-rss-mb set but /proc/self/status is unreadable\n")
+      | None -> ()
     end

@@ -1,8 +1,10 @@
-let schema = "mpc-aborts-bench/2"
+let schema = "mpc-aborts-bench/3"
 
 (* /1 reports predate the --jobs flag; they load with [jobs = 1], which is
-   accurate — the old harness was sequential. *)
+   accurate — the old harness was sequential.  /2 reports predate the
+   optional per-run [peak_rss_mb] field; they load with it [None]. *)
 let legacy_schema = "mpc-aborts-bench/1"
+let legacy_schema_2 = "mpc-aborts-bench/2"
 
 type run = {
   experiment : string;
@@ -14,6 +16,7 @@ type run = {
   rounds : int;
   wall_ms : float;
   seed : int option;
+  peak_rss_mb : float option;
 }
 
 type report = {
@@ -39,10 +42,14 @@ let run_to_json r =
        ("rounds", Json.Int r.rounds);
        ("wall_ms", Json.Float r.wall_ms);
      ]
-    (* The seed key is emitted only when a --seed was given, so reports
-       from sites that never pass one are byte-identical to before and /2
-       readers that ignore unknown keys keep working. *)
-    @ (match r.seed with None -> [] | Some s -> [ ("seed", Json.Int s) ]))
+    (* Optional keys are emitted only when present, so reports from sites
+       that never set them are byte-identical to before and older readers
+       that ignore unknown keys keep working. *)
+    @ (match r.seed with None -> [] | Some s -> [ ("seed", Json.Int s) ])
+    @
+    match r.peak_rss_mb with
+    | None -> []
+    | Some mb -> [ ("peak_rss_mb", Json.Float mb) ])
 
 let report_to_json rep =
   Json.Obj
@@ -79,11 +86,12 @@ let run_of_json j =
     rounds = field "rounds" Json.get_int j;
     wall_ms = field "wall_ms" Json.get_float j;
     seed = Option.bind (Json.member "seed" j) Json.get_int;
+    peak_rss_mb = Option.bind (Json.member "peak_rss_mb" j) Json.get_float;
   }
 
 let report_of_json j =
   (match Json.member "schema" j with
-  | Some (Json.String s) when s = schema || s = legacy_schema -> ()
+  | Some (Json.String s) when s = schema || s = legacy_schema || s = legacy_schema_2 -> ()
   | Some (Json.String s) -> failwith (Printf.sprintf "Bench_io: unknown schema %S" s)
   | _ -> failwith "Bench_io: missing schema field");
   {
@@ -140,7 +148,14 @@ let diff_table ~before ~after =
            (if after.quick then "quick" else "full"))
       ~columns:
         [ "experiment"; "series"; "n"; "h"; "bits"; "d-bits"; "d-msgs"; "d-rounds";
-          (if jobs_differ then "speedup (info)" else "speedup") ]
+          (if jobs_differ then "speedup (info)" else "speedup"); "rss (info)" ]
+  in
+  (* Peak RSS is informational like wall time: it is a property of the
+     whole process (GC settings, jobs count, what ran before), not of the
+     protocol, so it never counts as drift. *)
+  let fmt_rss = function Some mb -> Printf.sprintf "%.0fMB" mb | None -> "-" in
+  let rss_cell ~b ~a =
+    match (b, a) with None, None -> "-" | _ -> Printf.sprintf "%s -> %s" (fmt_rss b) (fmt_rss a)
   in
   let after_tbl = Hashtbl.create 64 in
   List.iter (fun r -> Hashtbl.replace after_tbl (run_key r) r) after.runs;
@@ -163,9 +178,45 @@ let diff_table ~before ~after =
             pct_delta ~before:b.messages ~after:a.messages;
             pct_delta ~before:b.rounds ~after:a.rounds;
             speedup ~before:b.wall_ms ~after:a.wall_ms;
+            rss_cell ~b:b.peak_rss_mb ~a:a.peak_rss_mb;
           ])
     before.runs;
   (t, !matched, !drifted)
+
+(* ---- process peak RSS ---- *)
+
+let peak_rss_mb () =
+  (* VmHWM ("high water mark") in /proc/self/status is the process's peak
+     resident set in kB, maintained by the kernel — monotone over the
+     process lifetime, free to read.  Linux-only by construction; any
+     platform without the file (or with a different layout) reports
+     [None] and the harness simply omits the field. *)
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+    let rec scan () =
+      match input_line ic with
+      | exception End_of_file -> None
+      | line ->
+        if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then begin
+          (* "VmHWM:\t  123456 kB" — whitespace-trimmed digit prefix. *)
+          let rest = String.trim (String.sub line 6 (String.length line - 6)) in
+          let len = String.length rest in
+          let j = ref 0 in
+          while !j < len && rest.[!j] >= '0' && rest.[!j] <= '9' do
+            incr j
+          done;
+          if !j = 0 then None
+          else
+            match int_of_string_opt (String.sub rest 0 !j) with
+            | Some kb -> Some (float_of_int kb /. 1024.0)
+            | None -> None
+        end
+        else scan ()
+    in
+    let r = scan () in
+    close_in ic;
+    r
 
 let print_diff ~before ~after =
   let t, matched, drifted = diff_table ~before ~after in

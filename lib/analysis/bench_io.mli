@@ -15,6 +15,10 @@ val schema : string
     still accepts it, defaulting {!type-report.jobs} to [1]. *)
 val legacy_schema : string
 
+(** The pre-[peak_rss_mb] schema ([mpc-aborts-bench/2]); also accepted,
+    loading with {!type-run.peak_rss_mb} = [None]. *)
+val legacy_schema_2 : string
+
 type run = {
   experiment : string;  (** e.g. ["E1"] *)
   series : string;  (** which sweep within the experiment, e.g. ["n-sweep h=n/4"] *)
@@ -27,7 +31,15 @@ type run = {
   seed : int option;
       (** the harness-level [--seed] the run was produced under; [None]
           (the default seeding) omits the key from the JSON entirely, so
-          the schema stays [mpc-aborts-bench/2]-compatible *)
+          older readers that ignore unknown keys keep working *)
+  peak_rss_mb : float option;
+      (** process peak resident set (VmHWM) when the record was made —
+          monotone over the process, so within one report it brackets
+          each run's memory high-water.  [None] (non-Linux, or a report
+          predating the field) omits the key.  Informational in diffs,
+          like wall time: it depends on jobs count, GC settings, and what
+          ran earlier in the process, so it never gates; the hard memory
+          gate is CI's address-space ulimit and [--max-rss-mb]. *)
 }
 
 type report = {
@@ -62,3 +74,8 @@ val diff_table : before:report -> after:report -> Table.t * int * int
     returns [(matched, drifted)] so the caller can fail both on
     accounting drift and on a vacuous diff with no comparable runs. *)
 val print_diff : before:report -> after:report -> int * int
+
+(** [peak_rss_mb ()] — the process's peak resident set in MB, read from
+    [/proc/self/status] (VmHWM).  [None] where unavailable (non-Linux).
+    Monotone non-decreasing over the process lifetime. *)
+val peak_rss_mb : unit -> float option

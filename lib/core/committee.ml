@@ -8,6 +8,10 @@ let honest_adv = { false_claim = None; claim_subset = None; eq = Equality.honest
 
 type view = { committee : int list; elected : bool }
 
+(* Shared one-byte claim notification (payloads are immutable by
+   convention, so one buffer serves every send). *)
+let claim_payload = Bytes.make 1 '\001'
+
 let run ?pool net rng params ~corruption ~adv =
   let n = Netsim.Net.n net in
   let p = Params.committee_prob params in
@@ -31,22 +35,29 @@ let run ?pool net rng params ~corruption ~adv =
             | Some f when is_corrupt i -> f ~me:i ~dst
             | _ -> true
           in
-          if deliver then Netsim.Net.send net ~src:i ~dst (Bytes.make 1 '\001')
+          if deliver then Netsim.Net.send net ~src:i ~dst claim_payload
         end
       done
   done;
   Netsim.Net.step net;
   (* Step 3: collect views, abort on too many claims.  Per-party inbox
-     drains are independent, so the collection shards across domains. *)
+     drains are independent, so the collection shards across domains.
+     Only the active frontier is stepped; a party nobody claimed to sees
+     the empty view it would have computed anyway, and the claim bound is
+     >= 1 (ceil of a positive number) so the empty view never aborts —
+     the restriction is exact.  Results carry their party id because the
+     frontier is no longer positional. *)
   let views = Array.make n [] in
   let aborted = Array.make n false in
   let collected =
     Netsim.Net.run_round ?pool net
-      ~parties:(List.init n (fun i -> i))
-      (fun p -> List.map fst (Netsim.Net.Party.recv p) |> List.sort_uniq compare)
+      ~parties:(Netsim.Net.active_parties net)
+      (fun p ->
+        ( Netsim.Net.Party.id p,
+          List.map fst (Netsim.Net.Party.recv p) |> List.sort_uniq compare ))
   in
-  List.iteri
-    (fun i senders ->
+  List.iter
+    (fun (i, senders) ->
       views.(i) <- senders;
       if List.length senders >= bound then aborted.(i) <- true)
     collected;

@@ -26,7 +26,7 @@ let run ?pool net rng params ~corruption ~adv =
   let bound = Params.local_committee_bound params in
   let is_corrupt i = Netsim.Corruption.is_corrupted corruption i in
   (* Step 1: the routing network. *)
-  let sparse_outs = Sparse_network.run net rng params ~corruption ~adv:adv.sparse in
+  let sparse_outs = Sparse_network.run ?pool net rng params ~corruption ~adv:adv.sparse in
   let graph =
     Array.map
       (function Outcome.Output s -> s | Outcome.Abort _ -> Util.Iset.empty)

@@ -45,7 +45,7 @@ let run_theorem2 ?pool net rng config ~corruption ~inputs ~adv =
       inputs
   in
   (* Phase 1: routing network. *)
-  let sparse_outs = Sparse_network.run net rng params ~corruption ~adv:adv.sparse in
+  let sparse_outs = Sparse_network.run ?pool net rng params ~corruption ~adv:adv.sparse in
   let graph =
     Array.map
       (function Outcome.Output s -> s | Outcome.Abort _ -> Util.Iset.empty)

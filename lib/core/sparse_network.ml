@@ -5,48 +5,90 @@ type adv = {
 
 let honest_adv = { extra_targets = None; drop_notify = None }
 
-let run net rng params ~corruption ~adv =
+(* One shared notification payload: the simulator treats payloads as
+   immutable, so every honest notification can ride the same byte string
+   instead of allocating n·d fresh one-byte buffers. *)
+let notify_payload = Bytes.make 1 '\001'
+
+let outcome_of_inbox ~bound ~out_hops i inbox =
+  let incoming = List.sort_uniq compare (List.map fst inbox) in
+  if List.length incoming > bound then
+    Outcome.Abort (Outcome.Flooded "incoming degree above 2d")
+  else
+    Outcome.Output
+      (Array.fold_left
+         (fun s v -> Util.Iset.add v s)
+         (Util.Iset.of_list incoming) out_hops.(i))
+
+let run_iter ?pool net rng params ~corruption ~adv ~f =
   let n = Netsim.Net.n net in
   let d = Params.sparse_degree params in
   let bound = Params.degree_bound params in
   let is_corrupt i = Netsim.Corruption.is_corrupted corruption i in
-  (* Step 1: sample outgoing hops (distinct, excluding self). *)
+  (* Step 1: sample outgoing hops (distinct, excluding self).  Int arrays,
+     not lists: at n = 10⁶ the three cons-cell words per hop alone cost
+     ~1 GB where the flat arrays cost a third of that. *)
   let out_hops =
     Array.init n (fun i ->
-        let sample = Util.Prng.sample_without_replacement rng ~n:(n - 1) ~k:(min d (n - 1)) in
+        let sample =
+          Util.Prng.sample_without_replacement rng ~n:(n - 1) ~k:(min d (n - 1))
+        in
         (* Map [0, n-2] onto [0, n-1] \ {i}. *)
-        List.map (fun v -> if v >= i then v + 1 else v) sample)
+        let a = Array.of_list sample in
+        for k = 0 to Array.length a - 1 do
+          if a.(k) >= i then a.(k) <- a.(k) + 1
+        done;
+        a)
   in
   (* Step 2: notification.  Corrupted parties may add extra targets (to
      flood a victim) or silently skip some notifications. *)
   for i = 0 to n - 1 do
-    let targets =
-      if is_corrupt i then
-        let extra = match adv.extra_targets with Some f -> f ~me:i | None -> [] in
-        List.sort_uniq compare (extra @ out_hops.(i))
-      else out_hops.(i)
-    in
-    List.iter
-      (fun dst ->
-        if dst <> i then begin
-          let dropped =
-            is_corrupt i
-            && match adv.drop_notify with Some f -> f ~me:i ~dst | None -> false
-          in
-          if not dropped then Netsim.Net.send net ~src:i ~dst (Bytes.make 1 '\001')
-        end)
-      targets
+    if is_corrupt i then begin
+      let extra = match adv.extra_targets with Some f -> f ~me:i | None -> [] in
+      let targets = List.sort_uniq compare (extra @ Array.to_list out_hops.(i)) in
+      List.iter
+        (fun dst ->
+          if dst <> i then begin
+            let dropped =
+              match adv.drop_notify with Some f -> f ~me:i ~dst | None -> false
+            in
+            if not dropped then Netsim.Net.send net ~src:i ~dst notify_payload
+          end)
+        targets
+    end
+    else
+      (* Honest hops exclude self by construction and arrive sorted. *)
+      Array.iter
+        (fun dst -> Netsim.Net.send net ~src:i ~dst notify_payload)
+        out_hops.(i)
   done;
   Netsim.Net.step net;
   (* Step 3: collect incoming notifications; abort on a flooded inbox.
      (The paper's step 3 text garbles the inequality; per the proof of
      Claim 20 the abort condition is |N_in| exceeding twice the expected
-     degree.) *)
-  Array.init n (fun i ->
-      let incoming = List.sort_uniq compare (List.map fst (Netsim.Net.recv net ~dst:i)) in
-      if List.length incoming > bound then
-        Outcome.Abort (Outcome.Flooded "incoming degree above 2d")
-      else Outcome.Output (Util.Iset.of_list (incoming @ out_hops.(i))))
+     degree.)  Outcomes stream through [f] in ascending party order; the
+     sequential path never holds more than one neighbor set live, which
+     is what keeps the n = 10⁶ runs inside memory (n retained [Iset]s of
+     degree d are gigabytes). *)
+  (match pool with
+  | None ->
+    for i = 0 to n - 1 do
+      f i (outcome_of_inbox ~bound ~out_hops i (Netsim.Net.recv net ~dst:i))
+    done
+  | Some _ ->
+    let outs =
+      Netsim.Net.run_round ?pool net
+        ~parties:(List.init n (fun i -> i))
+        (fun p ->
+          let i = Netsim.Net.Party.id p in
+          outcome_of_inbox ~bound ~out_hops i (Netsim.Net.Party.recv p))
+    in
+    List.iteri f outs)
+
+let run ?pool net rng params ~corruption ~adv =
+  let outs = Array.make (Netsim.Net.n net) (Outcome.Output Util.Iset.empty) in
+  run_iter ?pool net rng params ~corruption ~adv ~f:(fun i o -> outs.(i) <- o);
+  outs
 
 let honest_subgraph_connected outs corruption =
   let honest_active =

@@ -19,14 +19,33 @@ type adv = {
 
 val honest_adv : adv
 
-(** Per-party neighbor set, or abort. *)
+(** Per-party neighbor set, or abort.  With [~pool], the step-3
+    collection (inbox drain + neighbor-set build) shards across domains
+    through [Net.run_round]; outcomes are identical at any job count. *)
 val run :
+  ?pool:Util.Pool.t ->
   Netsim.Net.t ->
   Util.Prng.t ->
   Params.t ->
   corruption:Netsim.Corruption.t ->
   adv:adv ->
   Util.Iset.t Outcome.t array
+
+(** [run_iter ~f ...] is {!run} delivered as a stream: [f i outcome] is
+    called once per party in ascending [i] with exactly the outcomes
+    {!run} would store.  Without a pool no more than one neighbor set is
+    live at a time, so a giant-n caller (E7 at n = 10⁵–10⁶) can fold
+    degree/abort statistics without ever materializing the n-element
+    outcome array — which is gigabytes of [Iset] nodes at n = 10⁶. *)
+val run_iter :
+  ?pool:Util.Pool.t ->
+  Netsim.Net.t ->
+  Util.Prng.t ->
+  Params.t ->
+  corruption:Netsim.Corruption.t ->
+  adv:adv ->
+  f:(int -> Util.Iset.t Outcome.t -> unit) ->
+  unit
 
 (** [honest_subgraph_connected outs corruption] — true when the honest
     parties that did not abort form a connected subgraph under the mutual

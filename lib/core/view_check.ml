@@ -63,12 +63,14 @@ let run net rng params ~claims ~views ~corruption ~eq ~aborted =
     for i = 0 to j - 1 do
       if mutual i j then begin
         let verdict =
-          match Netsim.Net.recv_from net ~dst:j ~src:i with
-          | [ b ] -> (
+          (* [recv_one] drains like [recv_from] and is [Some] exactly on
+             the one-message case the [[ b ]] pattern matched. *)
+          match Netsim.Net.recv_one net ~dst:j ~src:i with
+          | Some b -> (
             match decode_fp b with
             | Some fp -> Crypto.Fingerprint.check fp (encoded_view j)
             | None -> false)
-          | _ -> false
+          | None -> false
         in
         if (not verdict) && not (is_corrupt j) then aborted.(j) <- true;
         let reported =
@@ -86,8 +88,8 @@ let run net rng params ~claims ~views ~corruption ~eq ~aborted =
     for j = i + 1 to n - 1 do
       if mutual i j then begin
         let accepted =
-          match Netsim.Net.recv_from net ~dst:i ~src:j with
-          | [ b ] when Bytes.length b = 1 -> Bytes.get b 0 = '\001'
+          match Netsim.Net.recv_one net ~dst:i ~src:j with
+          | Some b when Bytes.length b = 1 -> Bytes.get b 0 = '\001'
           | _ -> false
         in
         if not accepted then aborted.(i) <- true

@@ -18,9 +18,27 @@
      and repeated polling of an empty pair costs O(1).  A cell popped by
      one view is marked dead so the other view skips it.
 
-   Delivery order, accounting, and the external API are identical to the
-   list-based implementation (see test_netsim's model-equivalence
-   property test). *)
+   Two representations sit behind one [t]:
+
+   - {b Dense} — the original layout: one inbox, pending queue, and
+     counter slot per party, a peer bitmap of n²/8 bytes total.  O(1)
+     everything, but Θ(n²) resident even when almost every party is
+     idle, which caps runs near n = 2048.
+   - {b Sparse} — party state ([pstate]: inbox log, per-sender FIFOs,
+     bit counters, an {!Util.Intset} of peers) is allocated on first
+     touch and held in an [(int, pstate) Hashtbl]; undelivered traffic
+     lives in a per-{e active-sender} hash of FIFOs.  Memory is
+     O(touched parties + in-flight messages), so the sparse-graph
+     protocols (Algs 5–7) run at n = 10⁵–10⁶.  [step] sorts the active
+     sender ids (O(a log a), a = active senders) to realize the exact
+     dense delivery order.
+
+   Delivery order, accounting, and the external API are identical
+   between backends and to the original list-based implementation (see
+   test_netsim's model-equivalence property and test_net_sparse's
+   dense≡sparse differential suite). *)
+
+type backend = Dense | Sparse
 
 type cell = { c_src : int; c_payload : bytes; mutable c_live : bool }
 
@@ -32,6 +50,36 @@ type inbox = {
   mutable live : int; (* number of undrained cells in the log *)
   by_sender : cell Queue.t option array; (* indexed by sender id, lazily allocated *)
 }
+
+(* Sparse per-party state: everything the dense backend spreads over five
+   parallel arrays, packed into one lazily created record.  [p_by_sender]
+   replaces the O(n) option array with a hash keyed by the (few) senders
+   that actually addressed this party; [p_peers] replaces the n/8-byte
+   bitmap row with a compact int set sized to the party's degree. *)
+type pstate = {
+  mutable p_log : cell array;
+  mutable p_log_len : int;
+  mutable p_live : int;
+  p_by_sender : (int, cell Queue.t) Hashtbl.t;
+  mutable p_sent_bits : int;
+  mutable p_recv_bits : int;
+  p_peers : Util.Intset.t;
+}
+
+type dense = {
+  inboxes : inbox array;
+  d_pending : (int * bytes) Queue.t array; (* per sender: (dst, payload) *)
+  sent_bits : int array;
+  recv_bits : int array;
+  peer_bits : bytes array; (* peer_bits.(i): bit j set iff i exchanged with j *)
+}
+
+type sparse = {
+  states : (int, pstate) Hashtbl.t;
+  s_pending : (int, (int * bytes) Queue.t) Hashtbl.t; (* active senders only *)
+}
+
+type repr = D of dense | S of sparse
 
 exception Livelock of { rounds : int; max_rounds : int }
 
@@ -46,48 +94,86 @@ let () =
 type t = {
   num_parties : int;
   max_rounds : int option;
+  net_backend : backend;
   mutable round : int;
-  inboxes : inbox array;
-  pending : (int * bytes) Queue.t array; (* per sender: (dst, payload) *)
   mutable pending_count : int;
-  sent_bits : int array;
-  recv_bits : int array;
-  peer_bits : bytes array; (* peer_bits.(i): bit j set iff i exchanged with j *)
   mutable total_messages : int;
+  mutable total_sent_bits : int; (* running sum — [total_bits] must be O(1)
+                                    when only a handful of the n counters
+                                    are materialized *)
+  repr : repr;
 }
 
-let create ?max_rounds num_parties =
+let create ?(backend = Dense) ?max_rounds num_parties =
   if num_parties <= 0 then invalid_arg "Net.create: need at least one party";
   (match max_rounds with
   | Some m when m <= 0 -> invalid_arg "Net.create: max_rounds must be positive"
   | _ -> ());
+  let repr =
+    match backend with
+    | Dense ->
+      D
+        {
+          inboxes =
+            Array.init num_parties (fun _ ->
+                { log = [||]; log_len = 0; live = 0; by_sender = Array.make num_parties None });
+          d_pending = Array.init num_parties (fun _ -> Queue.create ());
+          sent_bits = Array.make num_parties 0;
+          recv_bits = Array.make num_parties 0;
+          peer_bits =
+            Array.init num_parties (fun _ -> Bytes.make ((num_parties + 7) / 8) '\000');
+        }
+    | Sparse -> S { states = Hashtbl.create 64; s_pending = Hashtbl.create 64 }
+  in
   {
     num_parties;
     max_rounds;
+    net_backend = backend;
     round = 0;
-    inboxes =
-      Array.init num_parties (fun _ ->
-          { log = [||]; log_len = 0; live = 0; by_sender = Array.make num_parties None });
-    pending = Array.init num_parties (fun _ -> Queue.create ());
     pending_count = 0;
-    sent_bits = Array.make num_parties 0;
-    recv_bits = Array.make num_parties 0;
-    peer_bits = Array.init num_parties (fun _ -> Bytes.make ((num_parties + 7) / 8) '\000');
     total_messages = 0;
+    total_sent_bits = 0;
+    repr;
   }
 
 let n t = t.num_parties
+let backend t = t.net_backend
 
 let check_party t i name =
   if i < 0 || i >= t.num_parties then
     invalid_arg (Printf.sprintf "Net.%s: party %d out of range" name i)
 
+(* ---- Sparse party state ---------------------------------------------- *)
+
+let fresh_pstate () =
+  {
+    p_log = [||];
+    p_log_len = 0;
+    p_live = 0;
+    p_by_sender = Hashtbl.create 4;
+    p_sent_bits = 0;
+    p_recv_bits = 0;
+    p_peers = Util.Intset.create ();
+  }
+
+let pstate s i =
+  match Hashtbl.find_opt s.states i with
+  | Some p -> p
+  | None ->
+    let p = fresh_pstate () in
+    Hashtbl.add s.states i p;
+    p
+
+let pstate_opt s i = Hashtbl.find_opt s.states i
+
+(* ---- Sending --------------------------------------------------------- *)
+
 (* Peer tracking is a bit per (party, peer): [send] marks two bits with no
    allocation, where the persistent-set version paid two [Iset.add]
    (O(log n) alloc each) on EVERY message — the single hottest line of the
    all-to-all distribute phase under a GC-bound profile. *)
-let[@inline] mark_peer t i j =
-  let b = t.peer_bits.(i) in
+let[@inline] mark_peer d i j =
+  let b = d.peer_bits.(i) in
   let k = j lsr 3 in
   Bytes.unsafe_set b k
     (Char.unsafe_chr (Char.code (Bytes.unsafe_get b k) lor (1 lsl (j land 7))))
@@ -97,16 +183,37 @@ let send t ~src ~dst payload =
   check_party t dst "send";
   if src = dst then invalid_arg "Net.send: self-send";
   let bits = 8 * Bytes.length payload in
-  t.sent_bits.(src) <- t.sent_bits.(src) + bits;
-  t.recv_bits.(dst) <- t.recv_bits.(dst) + bits;
-  mark_peer t src dst;
-  mark_peer t dst src;
+  (match t.repr with
+  | D d ->
+    d.sent_bits.(src) <- d.sent_bits.(src) + bits;
+    d.recv_bits.(dst) <- d.recv_bits.(dst) + bits;
+    mark_peer d src dst;
+    mark_peer d dst src;
+    Queue.push (dst, payload) d.d_pending.(src)
+  | S s ->
+    let ps = pstate s src in
+    ps.p_sent_bits <- ps.p_sent_bits + bits;
+    Util.Intset.add ps.p_peers dst;
+    let pd = pstate s dst in
+    pd.p_recv_bits <- pd.p_recv_bits + bits;
+    Util.Intset.add pd.p_peers src;
+    let q =
+      match Hashtbl.find_opt s.s_pending src with
+      | Some q -> q
+      | None ->
+        let q = Queue.create () in
+        Hashtbl.add s.s_pending src q;
+        q
+    in
+    Queue.push (dst, payload) q);
+  t.total_sent_bits <- t.total_sent_bits + bits;
   t.total_messages <- t.total_messages + 1;
-  Queue.push (dst, payload) t.pending.(src);
   t.pending_count <- t.pending_count + 1
 
-let deliver t ~src ~dst payload =
-  let ib = t.inboxes.(dst) in
+(* ---- Delivery -------------------------------------------------------- *)
+
+let deliver_dense d ~src ~dst payload =
+  let ib = d.inboxes.(dst) in
   let cell = { c_src = src; c_payload = payload; c_live = true } in
   (if ib.log_len = Array.length ib.log then begin
      let grown = Array.make (max 8 (2 * ib.log_len)) dummy_cell in
@@ -126,6 +233,27 @@ let deliver t ~src ~dst payload =
   in
   Queue.push cell q
 
+let deliver_sparse s ~src ~dst payload =
+  let p = pstate s dst in
+  let cell = { c_src = src; c_payload = payload; c_live = true } in
+  (if p.p_log_len = Array.length p.p_log then begin
+     let grown = Array.make (max 8 (2 * p.p_log_len)) dummy_cell in
+     Array.blit p.p_log 0 grown 0 p.p_log_len;
+     p.p_log <- grown
+   end);
+  p.p_log.(p.p_log_len) <- cell;
+  p.p_log_len <- p.p_log_len + 1;
+  p.p_live <- p.p_live + 1;
+  let q =
+    match Hashtbl.find_opt p.p_by_sender src with
+    | Some q -> q
+    | None ->
+      let q = Queue.create () in
+      Hashtbl.add p.p_by_sender src q;
+      q
+  in
+  Queue.push cell q
+
 let step t =
   (* Livelock watchdog: a fuzzed adversary that keeps a protocol loop
      alive forever should fail diagnosably, not hang CI.  Checked before
@@ -134,18 +262,34 @@ let step t =
   | Some m when t.round >= m -> raise (Livelock { rounds = t.round; max_rounds = m })
   | _ -> ());
   (* Deterministic delivery: senders in increasing id order, each sender's
-     messages in send order — no sort required. *)
-  if t.pending_count > 0 then begin
-    for src = 0 to t.num_parties - 1 do
-      let q = t.pending.(src) in
-      while not (Queue.is_empty q) do
-        let dst, payload = Queue.pop q in
-        deliver t ~src ~dst payload
-      done
-    done;
-    t.pending_count <- 0
-  end;
+     messages in send order.  The dense walk over [0 .. n-1] realizes that
+     for free; the sparse backend sorts the (few) active sender ids to the
+     same order. *)
+  (if t.pending_count > 0 then
+     match t.repr with
+     | D d ->
+       for src = 0 to t.num_parties - 1 do
+         let q = d.d_pending.(src) in
+         while not (Queue.is_empty q) do
+           let dst, payload = Queue.pop q in
+           deliver_dense d ~src ~dst payload
+         done
+       done
+     | S s ->
+       let srcs = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) s.s_pending []) in
+       List.iter
+         (fun src ->
+           let q = Hashtbl.find s.s_pending src in
+           while not (Queue.is_empty q) do
+             let dst, payload = Queue.pop q in
+             deliver_sparse s ~src ~dst payload
+           done)
+         srcs;
+       Hashtbl.reset s.s_pending);
+  t.pending_count <- 0;
   t.round <- t.round + 1
+
+(* ---- Receiving ------------------------------------------------------- *)
 
 let reset_inbox ib =
   (* Drop cell references so drained payloads can be collected. *)
@@ -155,116 +299,208 @@ let reset_inbox ib =
   ib.log_len <- 0;
   ib.live <- 0
 
+let reset_pstate_inbox p =
+  for k = 0 to p.p_log_len - 1 do
+    p.p_log.(k) <- dummy_cell
+  done;
+  p.p_log_len <- 0;
+  p.p_live <- 0;
+  (* [reset] (not [clear]) drops the bucket array back to its initial
+     size: a party that was hot once must not pin a large table forever. *)
+  Hashtbl.reset p.p_by_sender
+
 let recv t ~dst =
   check_party t dst "recv";
-  let ib = t.inboxes.(dst) in
-  if ib.live = 0 then begin
-    reset_inbox ib;
-    []
-  end
-  else begin
-    let acc = ref [] in
-    for k = ib.log_len - 1 downto 0 do
-      let c = ib.log.(k) in
-      if c.c_live then begin
-        c.c_live <- false;
-        (match ib.by_sender.(c.c_src) with
-        | Some q -> Queue.clear q
-        | None -> ());
-        acc := (c.c_src, c.c_payload) :: !acc
+  match t.repr with
+  | D d ->
+    let ib = d.inboxes.(dst) in
+    if ib.live = 0 then begin
+      reset_inbox ib;
+      []
+    end
+    else begin
+      let acc = ref [] in
+      for k = ib.log_len - 1 downto 0 do
+        let c = ib.log.(k) in
+        if c.c_live then begin
+          c.c_live <- false;
+          (match ib.by_sender.(c.c_src) with
+          | Some q -> Queue.clear q
+          | None -> ());
+          acc := (c.c_src, c.c_payload) :: !acc
+        end
+      done;
+      reset_inbox ib;
+      !acc
+    end
+  | S s -> (
+    match pstate_opt s dst with
+    | None -> []
+    | Some p ->
+      if p.p_live = 0 then begin
+        reset_pstate_inbox p;
+        []
       end
-    done;
-    reset_inbox ib;
-    !acc
-  end
+      else begin
+        let acc = ref [] in
+        for k = p.p_log_len - 1 downto 0 do
+          let c = p.p_log.(k) in
+          if c.c_live then begin
+            c.c_live <- false;
+            acc := (c.c_src, c.c_payload) :: !acc
+          end
+        done;
+        (* No per-sender queue clears needed: the whole index is reset. *)
+        reset_pstate_inbox p;
+        !acc
+      end)
 
 let recv_from t ~dst ~src =
   check_party t dst "recv_from";
-  let ib = t.inboxes.(dst) in
-  match ib.by_sender.(src) with
-  | None -> []
-  | Some q ->
-    let k = Queue.length q in
-    if k = 0 then []
-    else begin
-      let acc = ref [] in
-      while not (Queue.is_empty q) do
-        let c = Queue.pop q in
-        c.c_live <- false;
-        acc := c.c_payload :: !acc
-      done;
-      ib.live <- ib.live - k;
-      if ib.live = 0 then reset_inbox ib;
-      List.rev !acc
-    end
+  match t.repr with
+  | D d -> (
+    let ib = d.inboxes.(dst) in
+    match ib.by_sender.(src) with
+    | None -> []
+    | Some q ->
+      let k = Queue.length q in
+      if k = 0 then []
+      else begin
+        let acc = ref [] in
+        while not (Queue.is_empty q) do
+          let c = Queue.pop q in
+          c.c_live <- false;
+          acc := c.c_payload :: !acc
+        done;
+        ib.live <- ib.live - k;
+        if ib.live = 0 then reset_inbox ib;
+        List.rev !acc
+      end)
+  | S s -> (
+    match pstate_opt s dst with
+    | None -> []
+    | Some p -> (
+      match Hashtbl.find_opt p.p_by_sender src with
+      | None -> []
+      | Some q ->
+        let k = Queue.length q in
+        if k = 0 then []
+        else begin
+          let acc = ref [] in
+          while not (Queue.is_empty q) do
+            let c = Queue.pop q in
+            c.c_live <- false;
+            acc := c.c_payload :: !acc
+          done;
+          p.p_live <- p.p_live - k;
+          if p.p_live = 0 then reset_pstate_inbox p;
+          List.rev !acc
+        end))
+
+(* [Some payload] iff exactly one message is queued — the lockstep common
+   case — draining the queue either way, so network state afterwards is
+   identical to [recv_from] matched against [[v]], without the per-call
+   list build. *)
+let drain_one q =
+  let k = Queue.length q in
+  if k = 0 then (0, None)
+  else if k = 1 then begin
+    let c = Queue.pop q in
+    c.c_live <- false;
+    (1, Some c.c_payload)
+  end
+  else begin
+    while not (Queue.is_empty q) do
+      let c = Queue.pop q in
+      c.c_live <- false
+    done;
+    (k, None)
+  end
 
 let recv_one t ~dst ~src =
   check_party t dst "recv_one";
-  let ib = t.inboxes.(dst) in
-  match ib.by_sender.(src) with
-  | None -> None
-  | Some q ->
-    let k = Queue.length q in
-    if k = 0 then None
-    else begin
-      (* [Some payload] iff exactly one message is queued — the lockstep
-         common case — draining the queue either way, so network state
-         afterwards is identical to [recv_from] matched against [[v]],
-         without the per-call list build. *)
-      let result =
-        if k = 1 then begin
-          let c = Queue.pop q in
-          c.c_live <- false;
-          Some c.c_payload
-        end
-        else begin
-          while not (Queue.is_empty q) do
-            let c = Queue.pop q in
-            c.c_live <- false
-          done;
-          None
-        end
-      in
-      ib.live <- ib.live - k;
-      if ib.live = 0 then reset_inbox ib;
-      result
-    end
+  match t.repr with
+  | D d -> (
+    let ib = d.inboxes.(dst) in
+    match ib.by_sender.(src) with
+    | None -> None
+    | Some q ->
+      let k, result = drain_one q in
+      if k > 0 then begin
+        ib.live <- ib.live - k;
+        if ib.live = 0 then reset_inbox ib
+      end;
+      result)
+  | S s -> (
+    match pstate_opt s dst with
+    | None -> None
+    | Some p -> (
+      match Hashtbl.find_opt p.p_by_sender src with
+      | None -> None
+      | Some q ->
+        let k, result = drain_one q in
+        if k > 0 then begin
+          p.p_live <- p.p_live - k;
+          if p.p_live = 0 then reset_pstate_inbox p
+        end;
+        result))
 
 let peek t ~dst =
   check_party t dst "peek";
-  let ib = t.inboxes.(dst) in
-  let acc = ref [] in
-  for k = ib.log_len - 1 downto 0 do
-    let c = ib.log.(k) in
-    if c.c_live then acc := (c.c_src, c.c_payload) :: !acc
-  done;
-  !acc
+  match t.repr with
+  | D d ->
+    let ib = d.inboxes.(dst) in
+    let acc = ref [] in
+    for k = ib.log_len - 1 downto 0 do
+      let c = ib.log.(k) in
+      if c.c_live then acc := (c.c_src, c.c_payload) :: !acc
+    done;
+    !acc
+  | S s -> (
+    match pstate_opt s dst with
+    | None -> []
+    | Some p ->
+      let acc = ref [] in
+      for k = p.p_log_len - 1 downto 0 do
+        let c = p.p_log.(k) in
+        if c.c_live then acc := (c.c_src, c.c_payload) :: !acc
+      done;
+      !acc)
+
+(* ---- Accounting ------------------------------------------------------ *)
 
 let rounds t = t.round
 
 let bits_sent t i =
   check_party t i "bits_sent";
-  t.sent_bits.(i)
+  match t.repr with
+  | D d -> d.sent_bits.(i)
+  | S s -> ( match pstate_opt s i with Some p -> p.p_sent_bits | None -> 0)
 
 let bits_received t i =
   check_party t i "bits_received";
-  t.recv_bits.(i)
+  match t.repr with
+  | D d -> d.recv_bits.(i)
+  | S s -> ( match pstate_opt s i with Some p -> p.p_recv_bits | None -> 0)
 
-let total_bits t = Array.fold_left ( + ) 0 t.sent_bits
+let total_bits t = t.total_sent_bits
 let total_bits_of t parties = List.fold_left (fun acc i -> acc + bits_sent t i) 0 parties
 
 let peers t i =
   check_party t i "peers";
   (* Rebuilt on demand: [peers] is a reporting call (end of run), while
-     [send] is the hot loop — the bitmap representation optimizes for the
-     latter and reconstitutes the set here. *)
-  let b = t.peer_bits.(i) in
-  let s = ref Util.Iset.empty in
-  for j = t.num_parties - 1 downto 0 do
-    if (Char.code (Bytes.unsafe_get b (j lsr 3)) lsr (j land 7)) land 1 = 1 then
-      s := Util.Iset.add j !s
-  done;
-  !s
+     [send] is the hot loop — both representations optimize for the
+     latter and reconstitute the set here. *)
+  match t.repr with
+  | D d ->
+    let b = d.peer_bits.(i) in
+    let s = ref Util.Iset.empty in
+    for j = t.num_parties - 1 downto 0 do
+      if (Char.code (Bytes.unsafe_get b (j lsr 3)) lsr (j land 7)) land 1 = 1 then
+        s := Util.Iset.add j !s
+    done;
+    !s
+  | S s -> ( match pstate_opt s i with Some p -> Util.Intset.to_iset p.p_peers | None -> Util.Iset.empty)
 
 let popcount8 =
   Array.init 256 (fun v ->
@@ -276,21 +512,48 @@ let popcount8 =
 
 let locality t i =
   check_party t i "locality";
-  let b = t.peer_bits.(i) in
-  let c = ref 0 in
-  for k = 0 to Bytes.length b - 1 do
-    c := !c + Array.unsafe_get popcount8 (Char.code (Bytes.unsafe_get b k))
-  done;
-  !c
+  match t.repr with
+  | D d ->
+    let b = d.peer_bits.(i) in
+    let c = ref 0 in
+    for k = 0 to Bytes.length b - 1 do
+      c := !c + Array.unsafe_get popcount8 (Char.code (Bytes.unsafe_get b k))
+    done;
+    !c
+  | S s -> ( match pstate_opt s i with Some p -> Util.Intset.cardinal p.p_peers | None -> 0)
 
 let max_locality t =
-  let best = ref 0 in
-  for i = 0 to t.num_parties - 1 do
-    best := max !best (locality t i)
-  done;
-  !best
+  match t.repr with
+  | D _ ->
+    let best = ref 0 in
+    for i = 0 to t.num_parties - 1 do
+      best := max !best (locality t i)
+    done;
+    !best
+  | S s ->
+    (* Untouched parties have locality 0, so folding over the touched
+       ones is exact. *)
+    Hashtbl.fold (fun _ p acc -> max acc (Util.Intset.cardinal p.p_peers)) s.states 0
 
 let messages_sent t = t.total_messages
+
+let active_parties t =
+  match t.repr with
+  | D d ->
+    let acc = ref [] in
+    for i = t.num_parties - 1 downto 0 do
+      if d.inboxes.(i).live > 0 then acc := i :: !acc
+    done;
+    !acc
+  | S s ->
+    List.sort compare
+      (Hashtbl.fold (fun i p acc -> if p.p_live > 0 then i :: acc else acc) s.states [])
+
+(* Undrained-inbox size — the [run_round] shard weight. *)
+let live_of t i =
+  match t.repr with
+  | D d -> d.inboxes.(i).live
+  | S s -> ( match pstate_opt s i with Some p -> p.p_live | None -> 0)
 
 (* ---- Intra-round parallel party stepping ---------------------------- *)
 
@@ -312,7 +575,18 @@ let messages_sent t = t.total_messages
    is a pure function of {i which} messages each party produced — not of
    shard count or scheduling — so delivery order, bit/locality/message
    accounting, and all later [recv]s are bit-identical at any domain
-   count.  See test_net_parallel's differential property. *)
+   count.  See test_net_parallel's differential property.
+
+   Sparse caveat: [Party.recv]/[recv_from]/[recv_one] lazily create and
+   reset entries in the shared [states] hash from worker domains, which
+   would race.  They do not — a party whose pstate is absent receives
+   nothing, and the reset-on-empty path never {e removes} hash entries,
+   only mutates the pstate record it found.  The one genuinely shared
+   mutation, pstate {e creation}, happens only in [send] (commit phase,
+   sequential) and [deliver_sparse] ([step], sequential).  A compute
+   phase therefore only ever reads the hash structure and mutates
+   per-party records its shard exclusively owns — the same partitioned
+   ownership the dense backend gets from array indexing. *)
 
 module Party = struct
   type p = { net : t; me : int; outbox : (int * bytes) Queue.t }
@@ -336,13 +610,27 @@ let run_round ?pool t ~parties f =
   let ps = Array.of_list parties in
   let len = Array.length ps in
   (* Shard ownership must be exclusive: a duplicated party would be
-     stepped by two domains at once. *)
-  let seen = Array.make t.num_parties false in
+     stepped by two domains at once.  The membership structure is sized
+     to the frontier, not to n — an O(n) scratch array per call would
+     dominate at n = 10⁶ with a 100-party frontier. *)
+  let check_dup =
+    if t.num_parties <= 1 lsl 16 then begin
+      let seen = Array.make t.num_parties false in
+      fun i ->
+        if seen.(i) then invalid_arg "Net.run_round: duplicate party";
+        seen.(i) <- true
+    end
+    else begin
+      let seen = Hashtbl.create (2 * max 1 len) in
+      fun i ->
+        if Hashtbl.mem seen i then invalid_arg "Net.run_round: duplicate party";
+        Hashtbl.add seen i ()
+    end
+  in
   Array.iter
     (fun i ->
       check_party t i "run_round";
-      if seen.(i) then invalid_arg "Net.run_round: duplicate party";
-      seen.(i) <- true)
+      check_dup i)
     ps;
   let handles =
     Array.map (fun me -> { Party.net = t; me; outbox = Queue.create () }) ps
@@ -367,7 +655,7 @@ let run_round ?pool t ~parties f =
          the inbox sizes, which are jobs-independent) and invisible to the
          output: results land at each party's own index and the commit
          below orders by party id, not by shard. *)
-      let weights = Array.map (fun me -> 1 + t.inboxes.(me).live) ps in
+      let weights = Array.map (fun me -> 1 + live_of t me) ps in
       let shards = Util.Pool.pack_bins ~weights ~bins:nshards in
       let out = Array.make len None in
       let (_ : unit array) =

@@ -27,6 +27,20 @@
     reconstitutes the set on demand (it is a reporting call, not a hot
     one).
 
+    Two {!type-backend}s realize that contract with different memory
+    shapes.  {!Dense} (the default) materializes every party's mailbox,
+    counters, and an n²-bit peer bitmap up front — O(1) per operation
+    but Θ(n²) resident, which caps runs near n = 2048.  {!Sparse}
+    allocates a party's state lazily on first touch (first send to or
+    from it) in compact hash- and {!Util.Intset}-backed structures, and
+    keeps idle parties as pure aggregate accounting, so memory is
+    O(touched parties + in-flight messages) and the sparse-graph
+    protocols (Algorithms 5–7) run at n = 10⁵–10⁶.  Every observable —
+    delivery order, drain semantics, bit/message/locality/round
+    accounting, exceptions — is {e identical} between backends; the
+    dense≡sparse differential suite (test_net_sparse) pins that at every
+    n both can execute.
+
     Domain-safety contract: a [t] is single-owner mutable state with no
     internal locking.  Two domains must never touch the same instance;
     one domain may freely own many.  The bench harness's parallel
@@ -53,18 +67,27 @@
 
 type t
 
+(** Memory representation — semantics are identical, see the header. *)
+type backend =
+  | Dense  (** per-party arrays + n²-bit peer bitmap; O(n²) resident *)
+  | Sparse  (** lazy per-party state on first touch; O(activity) resident *)
+
 (** Raised by {!step} when the round clock reaches a [create]-time
     [max_rounds] bound — the livelock watchdog for adversarial runs. *)
 exception Livelock of { rounds : int; max_rounds : int }
 
-(** [create ?max_rounds n] — a fresh network of parties [0 .. n-1].
+(** [create ?backend ?max_rounds n] — a fresh network of parties
+    [0 .. n-1].  [backend] defaults to {!Dense}.
     With [~max_rounds:m] (must be positive), the [m+1]-th {!step} raises
     {!Livelock} instead of advancing, so a protocol driven into an
     unbounded loop by a fault schedule fails with a diagnosable exception
     rather than hanging.  Default: no bound, exactly the old behavior. *)
-val create : ?max_rounds:int -> int -> t
+val create : ?backend:backend -> ?max_rounds:int -> int -> t
 
 val n : t -> int
+
+(** The representation this instance was created with. *)
+val backend : t -> backend
 
 (** {1 Sending and receiving} *)
 
@@ -191,6 +214,15 @@ val locality : t -> int -> int
 val max_locality : t -> int
 
 val messages_sent : t -> int
+
+(** [active_parties t] — the ids of parties with at least one undrained
+    delivered message, in increasing order: the frontier a round-driving
+    loop should iterate instead of [0 .. n-1].  Cost is O(touched
+    parties) on the sparse backend (and O(n) on dense, where n is small
+    by construction).  A party whose step is a no-op on an empty inbox
+    is unobservable either way, so restricting a round to this frontier
+    is exact, not an approximation. *)
+val active_parties : t -> int list
 
 (** [snapshot t] captures current counters; [diff_snapshot] subtracts two
     snapshots so a protocol phase can be metered in isolation. *)

@@ -1,0 +1,61 @@
+(* Open-addressing int hash set: power-of-two table, linear probing,
+   [-1] = empty.  Load factor is kept <= 1/2 so probe chains stay short
+   even with the cheap multiplicative hash. *)
+
+type t = { mutable slots : int array; mutable size : int }
+
+let min_capacity = 8
+
+let rec pow2_at_least k n = if n >= k then n else pow2_at_least k (n * 2)
+
+let create ?(capacity = min_capacity) () =
+  let cap = pow2_at_least (max min_capacity capacity) min_capacity in
+  { slots = Array.make cap (-1); size = 0 }
+
+(* Fibonacci hashing: multiply by 2^63/phi and keep the top bits.  Party
+   ids are small and sequential, which a plain [v land mask] would pack
+   into one clustered run; the multiply spreads them over the table. *)
+let[@inline] slot_of slots v =
+  let mask = Array.length slots - 1 in
+  (v * 0x2545F4914F6CDD1D) lsr 8 land mask
+
+let[@inline] probe slots v =
+  (* Returns the index holding [v], or the empty index where it would
+     be inserted.  The table always has empty slots (load <= 1/2), so
+     the scan terminates. *)
+  let mask = Array.length slots - 1 in
+  let i = ref (slot_of slots v) in
+  while
+    let s = Array.unsafe_get slots !i in
+    s >= 0 && s <> v
+  do
+    i := (!i + 1) land mask
+  done;
+  !i
+
+let mem t v = v >= 0 && Array.unsafe_get t.slots (probe t.slots v) = v
+
+let grow t =
+  let old = t.slots in
+  t.slots <- Array.make (2 * Array.length old) (-1);
+  Array.iter (fun v -> if v >= 0 then t.slots.(probe t.slots v) <- v) old
+
+let add t v =
+  if v < 0 then invalid_arg "Intset.add: negative element";
+  let i = probe t.slots v in
+  if Array.unsafe_get t.slots i <> v then begin
+    t.slots.(i) <- v;
+    t.size <- t.size + 1;
+    if 2 * t.size > Array.length t.slots then grow t
+  end
+
+let cardinal t = t.size
+let iter f t = Array.iter (fun v -> if v >= 0 then f v) t.slots
+let fold f t init =
+  Array.fold_left (fun acc v -> if v >= 0 then f v acc else acc) init t.slots
+
+let to_sorted_list t =
+  let l = fold (fun v acc -> v :: acc) t [] in
+  List.sort compare l
+
+let to_iset t = fold Iset.add t Iset.empty

@@ -1,0 +1,44 @@
+(** Compact mutable set of non-negative ints — open addressing over a
+    flat [int array].
+
+    The streaming network backend keeps one of these per {e touched}
+    party for peer/locality tracking, so the representation is sized for
+    "hundreds of thousands of instances holding tens of elements each":
+    a three-word record plus one unboxed int array, no per-element boxes.
+    Compare [(int, unit) Hashtbl.t] (a bucket array plus a four-word
+    cons per element) or the persistent {!Iset} (a five-word AVL node
+    per element) — at n = 10⁶ parties with degree ~80 the difference is
+    gigabytes.
+
+    Membership is linear probing over a power-of-two table at load
+    factor <= 1/2; elements are stored directly, [(-1)] marks an empty
+    slot, which is why members must be [>= 0].  Not domain-safe: an
+    instance is single-owner mutable state, like the network that holds
+    it. *)
+
+type t
+
+(** [create ?capacity ()] — an empty set.  [capacity] is a size hint
+    (rounded up to a power of two, default 8); the table grows by
+    doubling regardless. *)
+val create : ?capacity:int -> unit -> t
+
+(** [add t v] inserts [v] ([>= 0], else [Invalid_argument]); no-op when
+    already present. *)
+val add : t -> int -> unit
+
+val mem : t -> int -> bool
+
+(** Number of elements, O(1). *)
+val cardinal : t -> int
+
+(** [iter f t] — {e unspecified} order (table order). *)
+val iter : (int -> unit) -> t -> unit
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** Members in increasing order (sorts on each call). *)
+val to_sorted_list : t -> int list
+
+(** The same elements as a persistent {!Iset}. *)
+val to_iset : t -> Iset.t

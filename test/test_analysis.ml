@@ -139,6 +139,7 @@ let sample_report =
           rounds = 42;
           wall_ms = 55.5;
           seed = None;
+          peak_rss_mb = Some 12.5;
         };
         {
           Analysis.Bench_io.experiment = "E9";
@@ -150,6 +151,7 @@ let sample_report =
           rounds = 2;
           wall_ms = 1.5;
           seed = Some 7;
+          peak_rss_mb = None;
         };
       ];
   }
@@ -233,7 +235,18 @@ let gen_run =
   QCheck.Gen.(
     map
       (fun ((experiment, series, n, h), (bits, messages, rounds, wall_ms)) ->
-        { Analysis.Bench_io.experiment; series; n; h; bits; messages; rounds; wall_ms; seed = None })
+        {
+          Analysis.Bench_io.experiment;
+          series;
+          n;
+          h;
+          bits;
+          messages;
+          rounds;
+          wall_ms;
+          seed = None;
+          peak_rss_mb = None;
+        })
       (pair
          (quad gen_raw_string gen_raw_string small_nat small_nat)
          (quad small_nat small_nat small_nat gen_dyadic)))

@@ -1,0 +1,438 @@
+(* Differential conformance suite for the streaming network backend
+   ([Netsim.Net.Sparse]): every observable — delivered payloads and their
+   order, per-party bit counters, peer sets, totals, the active-party
+   frontier — must be byte-identical to the dense backend at every jobs
+   count.  The protocol half drives the sparse family (Algorithm 5,
+   gossip, committee election, LocalCommitteeElect, Theorem 2) through
+   both backends, honest and adversarial, and pins the giant tier's
+   streaming union-find connectivity verdict against the BFS reference
+   at scales where both still run. *)
+
+let checkb = Alcotest.(check bool)
+
+let pool1 = lazy (Util.Pool.create ~num_domains:1 ())
+let pool7 = lazy (Util.Pool.create ~num_domains:7 ())
+let all_pools () = [ None; Some (Lazy.force pool1); Some (Lazy.force pool7) ]
+let backends = [ Netsim.Net.Dense; Netsim.Net.Sparse ]
+
+(* Everything observable about a network's accounting, as one comparable
+   value.  Peer sets are compared element-wise (sorted lists), never as
+   raw [Iset.t]: the two backends build them in different insertion
+   orders, and AVL shape is not an observable. *)
+type obs = {
+  bits_sent : int list;
+  bits_received : int list;
+  peers : int list list;
+  total_bits : int;
+  messages : int;
+  net_rounds : int;
+  max_locality : int;
+  active : int list;
+}
+
+let observe net =
+  let n = Netsim.Net.n net in
+  {
+    bits_sent = List.init n (Netsim.Net.bits_sent net);
+    bits_received = List.init n (Netsim.Net.bits_received net);
+    peers = List.init n (fun i -> Util.Iset.to_sorted_list (Netsim.Net.peers net i));
+    total_bits = Netsim.Net.total_bits net;
+    messages = Netsim.Net.messages_sent net;
+    net_rounds = Netsim.Net.rounds net;
+    max_locality = Netsim.Net.max_locality net;
+    active = Netsim.Net.active_parties net;
+  }
+
+(* ---- Op-script model property ------------------------------------ *)
+
+(* A script of raw network operations executed on both backends; the
+   receive results and final observables must match exactly.  Payloads
+   encode (op index, src, dst) so a misrouted or reordered delivery is a
+   byte difference, not just a count difference. *)
+type op =
+  | Send of int * int * int  (* src, dst (self redirected), extra length *)
+  | Step
+  | Recv of int
+  | Recv_from of int * int
+  | Recv_one of int * int
+  | Peek of int
+
+let payload ~k ~src ~dst ~len =
+  Bytes.of_string (Printf.sprintf "k%d.s%d.d%d.%s" k src dst (String.make len 'x'))
+
+let execute ~backend n ops =
+  let net = Netsim.Net.create ~backend n in
+  let strings l = List.map (fun (s, b) -> (s, Bytes.to_string b)) l in
+  let log =
+    List.mapi
+      (fun k op ->
+        match op with
+        | Send (src, dst0, len) ->
+          let dst = if dst0 = src then (src + 1) mod n else dst0 in
+          Netsim.Net.send net ~src ~dst (payload ~k ~src ~dst ~len);
+          []
+        | Step ->
+          Netsim.Net.step net;
+          []
+        | Recv dst -> strings (Netsim.Net.recv net ~dst)
+        | Recv_from (dst, src) ->
+          List.map (fun b -> (src, Bytes.to_string b)) (Netsim.Net.recv_from net ~dst ~src)
+        | Recv_one (dst, src) -> (
+          match Netsim.Net.recv_one net ~dst ~src with
+          | None -> []
+          | Some b -> [ (src, Bytes.to_string b) ])
+        | Peek dst -> strings (Netsim.Net.peek net ~dst))
+      ops
+  in
+  (* Undrained inboxes are state too. *)
+  let leftovers = List.init n (fun dst -> strings (Netsim.Net.recv net ~dst)) in
+  (log, leftovers, observe net)
+
+let gen_ops n =
+  QCheck.Gen.(
+    list_size (int_range 1 60)
+      (frequency
+         [
+           ( 6,
+             map
+               (fun (s, d, l) -> Send (s, d, l))
+               (triple (int_bound (n - 1)) (int_bound (n - 1)) (int_bound 10)) );
+           (2, return Step);
+           (1, map (fun d -> Recv d) (int_bound (n - 1)));
+           (1, map (fun (d, s) -> Recv_from (d, s)) (pair (int_bound (n - 1)) (int_bound (n - 1))));
+           (1, map (fun (d, s) -> Recv_one (d, s)) (pair (int_bound (n - 1)) (int_bound (n - 1))));
+           (1, map (fun d -> Peek d) (int_bound (n - 1)));
+         ]))
+
+let prop_op_script_backends_identical =
+  let n = 7 in
+  QCheck.Test.make ~count:150 ~name:"op script: dense and sparse byte-identical"
+    (QCheck.make (gen_ops n))
+    (fun ops -> execute ~backend:Netsim.Net.Dense n ops = execute ~backend:Netsim.Net.Sparse n ops)
+
+(* The run_round driver over both backends and jobs 1/2/8: the sharded
+   compute phase must not observe (or perturb) backend representation. *)
+let round_payload ~round ~src ~dst = Bytes.of_string (Printf.sprintf "r%d.s%d.d%d" round src dst)
+
+let execute_rounds ~backend ?pool n plan =
+  let net = Netsim.Net.create ~backend n in
+  let all = List.init n (fun i -> i) in
+  let trace =
+    List.mapi
+      (fun r per_party ->
+        let inboxes =
+          Netsim.Net.run_round ?pool net ~parties:all (fun p ->
+              let me = Netsim.Net.Party.id p in
+              let inbox = Netsim.Net.Party.recv p in
+              List.iter
+                (fun dst -> Netsim.Net.Party.send p ~dst (round_payload ~round:r ~src:me ~dst))
+                per_party.(me);
+              inbox)
+        in
+        Netsim.Net.step net;
+        inboxes)
+      plan
+  in
+  let leftovers = List.map (fun dst -> Netsim.Net.recv net ~dst) all in
+  (trace, leftovers, observe net)
+
+let prop_run_round_backends_identical =
+  let n = 9 in
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 4) (list_size (int_bound 25) (pair (int_bound (n - 1)) (int_bound (n - 1)))))
+  in
+  QCheck.Test.make ~count:40 ~name:"run_round: backends x jobs 1/2/8 byte-identical"
+    (QCheck.make gen)
+    (fun rounds ->
+      let plan =
+        List.map
+          (fun sends ->
+            let per = Array.make n [] in
+            List.iter
+              (fun (src, dst0) ->
+                let dst = if dst0 = src then (src + 1) mod n else dst0 in
+                per.(src) <- dst :: per.(src))
+              sends;
+            Array.map List.rev per)
+          rounds
+      in
+      let reference = execute_rounds ~backend:Netsim.Net.Dense n plan in
+      List.for_all
+        (fun pool ->
+          List.for_all
+            (fun backend -> execute_rounds ~backend ?pool n plan = reference)
+            backends)
+        (all_pools ()))
+
+(* ---- Protocol differentials -------------------------------------- *)
+
+let params ?(alpha = 3) n h = Mpc.Params.make ~n ~h ~lambda:8 ~alpha ()
+
+(* Run a protocol against a fresh net per (backend, jobs) combination —
+   same seed everywhere — and require every (result, observables) pair to
+   equal the dense sequential reference. *)
+let differential ~name ~n (f : pool:Util.Pool.t option -> Netsim.Net.t -> Util.Prng.t -> 'a) =
+  let run backend pool =
+    let net = Netsim.Net.create ~backend n in
+    let rng = Util.Prng.create 42 in
+    let r = f ~pool net rng in
+    (r, observe net)
+  in
+  let reference = run Netsim.Net.Dense None in
+  List.iter
+    (fun pool ->
+      List.iter
+        (fun backend -> checkb name true (run backend pool = reference))
+        backends)
+    (all_pools ())
+
+(* Iset-valued outcomes are normalized to sorted lists before comparison
+   (outcome {e contents} are the contract, AVL shape is not). *)
+let norm_iset_outs outs =
+  Array.to_list outs
+  |> List.map (function
+       | Mpc.Outcome.Output s -> Ok (Util.Iset.to_sorted_list s)
+       | Mpc.Outcome.Abort r -> Error r)
+
+let test_sparse_network_differential () =
+  let n = 48 and h = 16 in
+  let rng0 = Util.Prng.create 9 in
+  let corruption = Netsim.Corruption.random rng0 ~n ~h in
+  differential ~name:"sparse_network honest" ~n (fun ~pool net rng ->
+      norm_iset_outs
+        (Mpc.Sparse_network.run ?pool net rng (params n h) ~corruption
+           ~adv:Mpc.Sparse_network.honest_adv))
+
+let test_sparse_network_flood_differential () =
+  (* The flooding adversary trips the 2d inbox bound, so abort paths and
+     the Flooded reason string must also be backend-independent. *)
+  let n = 40 and h = 8 in
+  let victim = 5 in
+  let rng0 = Util.Prng.create 88 in
+  let corruption = Netsim.Corruption.targeting rng0 ~n ~h ~victim in
+  differential ~name:"sparse_network flood" ~n (fun ~pool net rng ->
+      norm_iset_outs
+        (Mpc.Sparse_network.run ?pool net rng (params n h) ~corruption
+           ~adv:(Mpc.Attacks.flood_victim ~victim)))
+
+let ring_graph n degree =
+  Array.init n (fun i -> Util.Iset.of_list (List.init degree (fun k -> (i + k + 1) mod n)))
+
+let test_gossip_differential () =
+  let n = 32 and h = 16 in
+  let graph = ring_graph n 4 in
+  let sources = [ (0, Bytes.of_string "alpha"); (7, Bytes.of_string "beta") ] in
+  let corruption = Netsim.Corruption.none ~n in
+  differential ~name:"gossip honest" ~n (fun ~pool net rng ->
+      Mpc.Gossip.run ?pool net rng (params n h) ~graph ~sources ~corruption
+        ~adv:Mpc.Gossip.honest_adv)
+
+let test_gossip_adversarial_differential () =
+  let n = 32 and h = 8 in
+  let graph = ring_graph n 4 in
+  let sources = [ (0, Bytes.of_string "alpha"); (3, Bytes.of_string "beta") ] in
+  let rng0 = Util.Prng.create 17 in
+  let corruption = Netsim.Corruption.random rng0 ~n ~h in
+  List.iter
+    (fun (label, adv) ->
+      differential ~name:("gossip " ^ label) ~n (fun ~pool net rng ->
+          Mpc.Gossip.run ?pool net rng (params n h) ~graph ~sources ~corruption ~adv))
+    [
+      ("equivocate", Mpc.Attacks.gossip_equivocate);
+      ("forge", Mpc.Attacks.gossip_forge ~origin:0 ~value:(Bytes.of_string "forged"));
+    ]
+
+let test_committee_differential () =
+  let n = 64 and h = 32 in
+  let rng0 = Util.Prng.create 5 in
+  let corruption = Netsim.Corruption.random rng0 ~n ~h in
+  List.iter
+    (fun (label, adv) ->
+      differential ~name:("committee " ^ label) ~n (fun ~pool net rng ->
+          Mpc.Committee.run ?pool net rng (params ~alpha:2 n h) ~corruption ~adv))
+    [ ("honest", Mpc.Committee.honest_adv); ("claim-all", Mpc.Attacks.claim_all) ]
+
+let test_local_committee_differential () =
+  let n = 36 and h = 18 in
+  let rng0 = Util.Prng.create 11 in
+  let corruption = Netsim.Corruption.random rng0 ~n ~h in
+  differential ~name:"local_committee" ~n (fun ~pool net rng ->
+      let r =
+        Mpc.Local_committee.run ?pool net rng (params ~alpha:2 n h) ~corruption
+          ~adv:Mpc.Local_committee.honest_adv
+      in
+      (Array.to_list r.Mpc.Local_committee.views,
+       List.map Util.Iset.to_sorted_list (Array.to_list r.Mpc.Local_committee.graph)))
+
+let test_theorem2_differential () =
+  (* The deepest stack over the backend: routing + two gossip phases +
+     threshold decryption, end to end. *)
+  let n = 24 and h = 12 in
+  let config =
+    {
+      Mpc.Local_mpc.params = params ~alpha:2 n h;
+      pke = (module Crypto.Pke.Regev : Crypto.Pke.S);
+      circuit = Circuit.parity ~n;
+      input_width = 1;
+    }
+  in
+  let inputs = Array.init n (fun i -> i land 1) in
+  let rng0 = Util.Prng.create 23 in
+  let corruption = Netsim.Corruption.random rng0 ~n ~h in
+  differential ~name:"theorem2" ~n (fun ~pool net rng ->
+      Mpc.Local_mpc.run_theorem2 ?pool net rng config ~corruption ~inputs
+        ~adv:Mpc.Local_mpc.honest_theorem2_adv)
+
+let test_dense_sparse_at_scale () =
+  (* The largest n the dense backend still handles comfortably: one
+     honest Algorithm 5 execution at n = 2048 must agree between the
+     backends on outcomes and every counter. *)
+  let n = 2048 and h = 512 in
+  let corruption = Netsim.Corruption.none ~n in
+  let run backend =
+    let net = Netsim.Net.create ~backend n in
+    let rng = Util.Prng.create 7 in
+    let outs =
+      Mpc.Sparse_network.run net rng (params ~alpha:2 n h) ~corruption
+        ~adv:Mpc.Sparse_network.honest_adv
+    in
+    (norm_iset_outs outs, observe net)
+  in
+  checkb "n=2048 dense = sparse" true (run Netsim.Net.Dense = run Netsim.Net.Sparse)
+
+(* ---- Streaming connectivity vs the BFS reference ------------------ *)
+
+(* The giant tier replaces [honest_subgraph_connected]'s BFS (which needs
+   all n outcomes live) with a streaming union-find that unions each
+   undirected edge at its higher-id endpoint.  Correctness leans on hop
+   symmetry for honest non-aborted pairs; this pins the two procedures
+   against each other across random corruptions and a flooding adversary
+   (whose aborts are exactly the case where naive edge-unioning would
+   bridge dead components). *)
+let uf_connected outs corruption =
+  let n = Array.length outs in
+  let parent = Array.init n (fun i -> i) in
+  let find i =
+    let r = ref i in
+    while parent.(!r) <> !r do
+      r := parent.(!r)
+    done;
+    let j = ref i in
+    while parent.(!j) <> !r do
+      let next = parent.(!j) in
+      parent.(!j) <- !r;
+      j := next
+    done;
+    !r
+  in
+  let aborted = Array.map (fun o -> Mpc.Outcome.is_abort o) outs in
+  let honest i = Netsim.Corruption.is_honest corruption i in
+  let first_active = ref (-1) in
+  Array.iteri
+    (fun i out ->
+      match out with
+      | Mpc.Outcome.Abort _ -> ()
+      | Mpc.Outcome.Output s ->
+        if honest i then begin
+          if !first_active < 0 then first_active := i;
+          Util.Iset.iter
+            (fun j ->
+              if j < i && honest j && not aborted.(j) then begin
+                let ri = find i and rj = find j in
+                if ri <> rj then parent.(ri) <- rj
+              end)
+            s
+        end)
+    outs;
+  if !first_active < 0 then true
+  else begin
+    let root = find !first_active in
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      if honest i && not aborted.(i) && find i <> root then ok := false
+    done;
+    !ok
+  end
+
+let test_union_find_matches_bfs () =
+  let n = 200 in
+  let rng0 = Util.Prng.create 31 in
+  let cases =
+    List.concat_map
+      (fun h ->
+        List.map
+          (fun seed -> (h, seed, Netsim.Corruption.random rng0 ~n ~h))
+          [ 1; 2; 3; 4; 5; 6; 7; 8 ])
+      [ 8; 50; 100 ]
+    @ List.map
+        (fun seed -> (20, seed, Netsim.Corruption.targeting rng0 ~n ~h:20 ~victim:3))
+        [ 9; 10; 11 ]
+  in
+  List.iter
+    (fun (h, seed, corruption) ->
+      let net = Netsim.Net.create ~backend:Netsim.Net.Sparse n in
+      let rng = Util.Prng.create seed in
+      let adv =
+        if Netsim.Corruption.num_corrupted corruption > 0 && seed mod 3 = 0 then
+          Mpc.Attacks.flood_victim ~victim:3
+        else Mpc.Sparse_network.honest_adv
+      in
+      let outs = Mpc.Sparse_network.run net rng (params n h) ~corruption ~adv in
+      checkb
+        (Printf.sprintf "uf = bfs at h=%d seed=%d" h seed)
+        (Mpc.Sparse_network.honest_subgraph_connected outs corruption)
+        (uf_connected outs corruption))
+    cases
+
+(* run_iter's streaming order and contents against the materialized
+   array, both pooled and not. *)
+let test_run_iter_matches_run () =
+  let n = 60 and h = 20 in
+  let rng0 = Util.Prng.create 13 in
+  let corruption = Netsim.Corruption.random rng0 ~n ~h in
+  let reference =
+    let net = Netsim.Net.create ~backend:Netsim.Net.Sparse n in
+    let rng = Util.Prng.create 3 in
+    norm_iset_outs
+      (Mpc.Sparse_network.run net rng (params n h) ~corruption
+         ~adv:Mpc.Sparse_network.honest_adv)
+  in
+  List.iter
+    (fun pool ->
+      let net = Netsim.Net.create ~backend:Netsim.Net.Sparse n in
+      let rng = Util.Prng.create 3 in
+      let seen = ref [] in
+      Mpc.Sparse_network.run_iter ?pool net rng (params n h) ~corruption
+        ~adv:Mpc.Sparse_network.honest_adv ~f:(fun i out -> seen := (i, out) :: !seen);
+      let ordered = List.rev !seen in
+      checkb "run_iter visits 0..n-1 in order" true (List.map fst ordered = List.init n Fun.id);
+      checkb "run_iter outcomes match run" true
+        (norm_iset_outs (Array.of_list (List.map snd ordered)) = reference))
+    (all_pools ())
+
+let () =
+  Alcotest.run "net_sparse"
+    [
+      ( "model",
+        [
+          QCheck_alcotest.to_alcotest prop_op_script_backends_identical;
+          QCheck_alcotest.to_alcotest prop_run_round_backends_identical;
+        ] );
+      ( "protocols",
+        [
+          Alcotest.test_case "sparse_network honest" `Quick test_sparse_network_differential;
+          Alcotest.test_case "sparse_network flood" `Quick test_sparse_network_flood_differential;
+          Alcotest.test_case "gossip honest" `Quick test_gossip_differential;
+          Alcotest.test_case "gossip adversarial" `Quick test_gossip_adversarial_differential;
+          Alcotest.test_case "committee" `Quick test_committee_differential;
+          Alcotest.test_case "local committee" `Quick test_local_committee_differential;
+          Alcotest.test_case "theorem2" `Quick test_theorem2_differential;
+          Alcotest.test_case "n=2048 at scale" `Slow test_dense_sparse_at_scale;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "union-find = BFS" `Quick test_union_find_matches_bfs;
+          Alcotest.test_case "run_iter = run" `Quick test_run_iter_matches_run;
+        ] );
+    ]
