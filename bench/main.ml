@@ -14,6 +14,11 @@
      dune exec bench/main.exe -- --max-wall-s S   -- exit 2 if wall-clock > S
      dune exec bench/main.exe -- --max-rss-mb M   -- exit 2 if peak RSS (VmHWM) > M MB
      dune exec bench/main.exe -- --diff A B   -- regression-diff two reports
+     dune exec bench/main.exe -- --audit F    -- re-check a saved report against the
+                                                 symbolic cost specs (exit 1 on mismatch)
+     dune exec bench/main.exe -- --only cost-audit
+                                              -- run every cost spec against one honest
+                                                 execution; phase tables + extrapolation
      dune exec bench/main.exe -- --seed S     -- replay seed (threaded into every
                                                  experiment RNG/PKE and recorded in
                                                  each run record's "seed" field)
@@ -81,7 +86,49 @@ let base_seed : int option ref = ref None
 let seed_of k = match !base_seed with None -> k | Some s -> (s * 0x3779F1) lxor k
 let prng k = Util.Prng.create (seed_of k)
 
-let run_of_net ~experiment ~series ~n ~h ~wall_ms net =
+(* ---- symbolic cost predictions (Analysis.Costs) ----
+
+   Every metered run evaluates its protocol's cost spec at the run's
+   parameters (plus the structural observables the protocol recorded into
+   an [Obs.t]) and asserts the measured counters against it: bits within
+   the spec's declared-slack interval, messages and rounds exact.  A
+   mismatch prints the spec's verdict and flips [cost_mismatch], which
+   fails the whole bench invocation with exit 1 — the closed forms are
+   part of the repo's correctness contract, not decoration.  The totals
+   ride along in the run record's [predicted_*] fields so --diff can gate
+   on formula drift independently of measurement drift. *)
+let cost_mismatch = ref false
+
+(* [checked_totals ~env ~spec net] — evaluate, assert against [net]'s
+   counters, return the totals.  Only ever sets [cost_mismatch] to true,
+   so concurrent jobs may share the flag without a lock. *)
+let checked_totals ~env ~spec net =
+  let totals = Analysis.Costs.totals env spec in
+  let v =
+    Analysis.Costs.check env spec ~bits:(Netsim.Net.total_bits net)
+      ~messages:(Netsim.Net.messages_sent net) ~rounds:(Netsim.Net.rounds net)
+  in
+  if not v.Analysis.Costs.ok then begin
+    cost_mismatch := true;
+    Printf.eprintf "COST MISMATCH [%s]:\n" spec.Analysis.Costs.name;
+    List.iter (Printf.eprintf "  %s\n") v.Analysis.Costs.detail
+  end;
+  totals
+
+let zero_totals =
+  { Analysis.Costs.bits_hi = 0; bits_lo = 0; messages = 0; rounds = 0 }
+
+(* Trial-summed experiments (E6/E7) accumulate one prediction per trial
+   into the aggregated record. *)
+let add_totals a b =
+  {
+    Analysis.Costs.bits_hi = a.Analysis.Costs.bits_hi + b.Analysis.Costs.bits_hi;
+    bits_lo = a.Analysis.Costs.bits_lo + b.Analysis.Costs.bits_lo;
+    messages = a.Analysis.Costs.messages + b.Analysis.Costs.messages;
+    rounds = a.Analysis.Costs.rounds + b.Analysis.Costs.rounds;
+  }
+
+let run_of_net ?predicted ~experiment ~series ~n ~h ~wall_ms net =
   {
     Analysis.Bench_io.experiment;
     series;
@@ -93,6 +140,10 @@ let run_of_net ~experiment ~series ~n ~h ~wall_ms net =
     wall_ms;
     seed = !base_seed;
     peak_rss_mb = Analysis.Bench_io.peak_rss_mb ();
+    predicted_bits = Option.map (fun t -> t.Analysis.Costs.bits_hi) predicted;
+    predicted_bits_lo = Option.map (fun t -> t.Analysis.Costs.bits_lo) predicted;
+    predicted_messages = Option.map (fun t -> t.Analysis.Costs.messages) predicted;
+    predicted_rounds = Option.map (fun t -> t.Analysis.Costs.rounds) predicted;
   }
 
 let timed f =
@@ -119,20 +170,35 @@ let bits_measure ~x (r : Analysis.Bench_io.run) =
 (* E1 — Theorem 1: Algorithm 3 communication Õ(n²/h)                   *)
 (* ------------------------------------------------------------------ *)
 
+(* Cost spec of one honest Algorithm 3 run, evaluated against [net]'s
+   counters via the observables recorded into [obs]. *)
+let alg3_totals ~pke ~circuit ~input_width ~n ~obs net =
+  let open Analysis.Costs in
+  let spec =
+    Mpc.Mpc_abort.cost_spec ~pke
+      ~depth:(Const (Circuit.depth circuit))
+      ~input_width:(Const input_width)
+      ~out_bits:(Const (Circuit.num_outputs circuit))
+      ~n:(Const n) ~lambda:(Const 8)
+  in
+  checked_totals ~env:(env ~obs []) ~spec net
+
 let run_alg3 ?pool ~n ~h ~seed () =
   let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:2 () in
-  let config =
-    { Mpc.Mpc_abort.params; pke = sim_pke seed; circuit = Circuit.parity ~n; input_width = 1 }
-  in
+  let pke = sim_pke seed in
+  let circuit = Circuit.parity ~n in
+  let config = { Mpc.Mpc_abort.params; pke; circuit; input_width = 1 } in
   let corruption = Netsim.Corruption.none ~n in
   let inputs = Array.init n (fun i -> i land 1) in
   let net = Netsim.Net.create n in
   let rng = prng seed in
+  let obs = Analysis.Costs.Obs.create () in
   let outs =
-    Mpc.Mpc_abort.run ?pool net rng config ~corruption ~inputs ~adv:Mpc.Mpc_abort.honest_adv
+    Mpc.Mpc_abort.run ?pool ~obs net rng config ~corruption ~inputs
+      ~adv:Mpc.Mpc_abort.honest_adv
   in
   assert (Array.for_all Mpc.Outcome.is_output outs);
-  net
+  (net, alg3_totals ~pke ~circuit ~input_width:1 ~n ~obs net)
 
 let e1_huge () =
   section "E1  (huge tier) Algorithm 3 at n up to 2048";
@@ -144,8 +210,8 @@ let e1_huge () =
     List.map
       (fun n ->
         let h = n / 4 in
-        let net, wall_ms = timed (run_alg3 ?pool:!pool ~n ~h ~seed:n) in
-        run_of_net ~experiment:"E1" ~series:"n-sweep h=n/4" ~n ~h ~wall_ms net)
+        let (net, predicted), wall_ms = timed (run_alg3 ?pool:!pool ~n ~h ~seed:n) in
+        run_of_net ~predicted ~experiment:"E1" ~series:"n-sweep h=n/4" ~n ~h ~wall_ms net)
       (pick ~full:[ 512; 1024; 2048 ] ~reduced:[ 512 ])
   in
   let t =
@@ -173,8 +239,8 @@ let e1 () =
       (pick ~full:[ 64; 128; 256; 384; 512 ] ~reduced:[ 64; 128; 256 ])
       (fun n ->
         let h = n / 4 in
-        let net, wall_ms = timed (run_alg3 ~n ~h ~seed:n) in
-        run_of_net ~experiment:"E1" ~series:"n-sweep h=n/4" ~n ~h ~wall_ms net)
+        let (net, predicted), wall_ms = timed (run_alg3 ~n ~h ~seed:n) in
+        run_of_net ~predicted ~experiment:"E1" ~series:"n-sweep h=n/4" ~n ~h ~wall_ms net)
   in
   let t = Analysis.Table.create ~title:"sweep n at fixed ratio h = n/4 (n^2/h = 4n: expect ~linear)" ~columns:[ "n"; "h"; "bits"; "bits*h/n^2" ] in
   let ms_n =
@@ -194,8 +260,8 @@ let e1 () =
     par_list
       (pick ~full:[ 48; 96; 192; 288 ] ~reduced:[ 48; 96; 192 ])
       (fun n ->
-        let net, wall_ms = timed (run_alg3 ~n ~h:12 ~seed:(4000 + n)) in
-        run_of_net ~experiment:"E1" ~series:"n-sweep h=12" ~n ~h:12 ~wall_ms net)
+        let (net, predicted), wall_ms = timed (run_alg3 ~n ~h:12 ~seed:(4000 + n)) in
+        run_of_net ~predicted ~experiment:"E1" ~series:"n-sweep h=12" ~n ~h:12 ~wall_ms net)
   in
   let tf = Analysis.Table.create ~title:"sweep n at fixed h = 12 (expect ~n^2 polylog)" ~columns:[ "n"; "bits" ] in
   let ms_f =
@@ -212,8 +278,8 @@ let e1 () =
     par_list
       (pick ~full:[ 16; 32; 64; 128; 224 ] ~reduced:[ 32; 64; 128 ])
       (fun h ->
-        let net, wall_ms = timed (run_alg3 ~n:256 ~h ~seed:(1000 + h)) in
-        run_of_net ~experiment:"E1" ~series:"h-sweep n=256" ~n:256 ~h ~wall_ms net)
+        let (net, predicted), wall_ms = timed (run_alg3 ~n:256 ~h ~seed:(1000 + h)) in
+        run_of_net ~predicted ~experiment:"E1" ~series:"h-sweep n=256" ~n:256 ~h ~wall_ms net)
   in
   let t2 = Analysis.Table.create ~title:"sweep h (n = 256)" ~columns:[ "h"; "bits"; "bits*h" ] in
   let ms_h =
@@ -235,19 +301,30 @@ let e1 () =
 
 let run_thm2 ~n ~h ~seed =
   let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:2 () in
-  let config =
-    { Mpc.Local_mpc.params; pke = sim_pke seed; circuit = Circuit.parity ~n; input_width = 1 }
-  in
+  let circuit = Circuit.parity ~n in
+  let config = { Mpc.Local_mpc.params; pke = sim_pke seed; circuit; input_width = 1 } in
   let corruption = Netsim.Corruption.none ~n in
   let inputs = Array.init n (fun i -> i land 1) in
   let net = Netsim.Net.create n in
   let rng = prng seed in
+  let obs = Analysis.Costs.Obs.create () in
   let outs =
-    Mpc.Local_mpc.run_theorem2 ?pool:!pool net rng config ~corruption ~inputs
+    Mpc.Local_mpc.run_theorem2 ?pool:!pool ~obs net rng config ~corruption ~inputs
       ~adv:Mpc.Local_mpc.honest_theorem2_adv
   in
   assert (Array.for_all Mpc.Outcome.is_output outs);
-  net
+  let predicted =
+    let open Analysis.Costs in
+    let spec =
+      Mpc.Local_mpc.cost_spec_theorem2 ~n:(Const n) ~h:(Const h) ~lambda:(Const 8)
+        ~alpha:(Const 2)
+        ~depth:(Const (Circuit.depth circuit))
+        ~input_width:(Const 1)
+        ~out_bits:(Const (Circuit.num_outputs circuit))
+    in
+    checked_totals ~env:(env ~obs []) ~spec net
+  in
+  (net, predicted)
 
 let e2 () =
   section "E2  Theorem 2: gossip MPC uses O~(n^3/h) bits with locality O~(n/h)";
@@ -257,8 +334,8 @@ let e2 () =
       (pick ~full:[ 32; 64; 96; 128 ] ~reduced:[ 32; 64; 96 ])
       (fun n ->
         let h = n / 4 in
-        let net, wall_ms = timed (fun () -> run_thm2 ~n ~h ~seed:n) in
-        (run_of_net ~experiment:"E2" ~series:"n-sweep h=n/4" ~n ~h ~wall_ms net,
+        let (net, predicted), wall_ms = timed (fun () -> run_thm2 ~n ~h ~seed:n) in
+        (run_of_net ~predicted ~experiment:"E2" ~series:"n-sweep h=n/4" ~n ~h ~wall_ms net,
          Netsim.Net.max_locality net))
   in
   let t =
@@ -282,8 +359,8 @@ let e2 () =
     par_list
       (pick ~full:[ 12; 24; 48; 80 ] ~reduced:[ 24; 48; 80 ])
       (fun h ->
-        let net, wall_ms = timed (fun () -> run_thm2 ~n:96 ~h ~seed:(2000 + h)) in
-        (run_of_net ~experiment:"E2" ~series:"h-sweep n=96" ~n:96 ~h ~wall_ms net,
+        let (net, predicted), wall_ms = timed (fun () -> run_thm2 ~n:96 ~h ~seed:(2000 + h)) in
+        (run_of_net ~predicted ~experiment:"E2" ~series:"h-sweep n=96" ~n:96 ~h ~wall_ms net,
          Netsim.Net.max_locality net))
   in
   let t2 = Analysis.Table.create ~title:"sweep h (n = 96)" ~columns:[ "h"; "bits"; "locality" ] in
@@ -302,21 +379,36 @@ let e2 () =
 (* E3 — Theorem 4: Algorithm 8, Õ(n³/h^{3/2}) bits, locality Õ(n/√h)   *)
 (* ------------------------------------------------------------------ *)
 
+(* Cost spec of one Theorem 4 run; shared by E3 and E10 (the cover-size
+   override flows through the cover fan-out observables, so the same
+   formulas cover both). *)
+let thm4_totals ~pke ~circuit ~input_width ~n ~h ~alpha ~obs net =
+  let open Analysis.Costs in
+  let spec =
+    Mpc.Local_mpc.cost_spec_theorem4 ~pke
+      ~depth:(Const (Circuit.depth circuit))
+      ~input_width:(Const input_width)
+      ~out_bits:(Const (Circuit.num_outputs circuit))
+      ~n:(Const n) ~h:(Const h) ~lambda:(Const 8) ~alpha:(Const alpha)
+  in
+  checked_totals ~env:(env ~obs []) ~spec net
+
 let run_thm4 ~n ~h ~seed =
   let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:1 () in
-  let config =
-    { Mpc.Local_mpc.params; pke = sim_pke seed; circuit = Circuit.parity ~n; input_width = 1 }
-  in
+  let pke = sim_pke seed in
+  let circuit = Circuit.parity ~n in
+  let config = { Mpc.Local_mpc.params; pke; circuit; input_width = 1 } in
   let corruption = Netsim.Corruption.none ~n in
   let inputs = Array.init n (fun i -> i land 1) in
   let net = Netsim.Net.create n in
   let rng = prng seed in
+  let obs = Analysis.Costs.Obs.create () in
   let outs, costs =
-    Mpc.Local_mpc.run_theorem4_metered ?pool:!pool net rng config ~corruption ~inputs
+    Mpc.Local_mpc.run_theorem4_metered ?pool:!pool ~obs net rng config ~corruption ~inputs
       ~adv:Mpc.Local_mpc.honest_theorem4_adv
   in
   ignore outs;
-  (net, costs)
+  (net, costs, thm4_totals ~pke ~circuit ~input_width:1 ~n ~h ~alpha:1 ~obs net)
 
 let e3 () =
   section "E3  Theorem 4: Algorithm 8 uses O~(n^3/h^1.5) bits, locality O~(n/sqrt h)";
@@ -331,8 +423,8 @@ let e3 () =
       (pick ~full:[ 32; 64; 96; 128; 160 ] ~reduced:[ 32; 64; 96 ])
       (fun n ->
         let h = n / 4 in
-        let (net, _), wall_ms = timed (fun () -> run_thm4 ~n ~h ~seed:n) in
-        (run_of_net ~experiment:"E3" ~series:"n-sweep h=n/4" ~n ~h ~wall_ms net,
+        let (net, _, predicted), wall_ms = timed (fun () -> run_thm4 ~n ~h ~seed:n) in
+        (run_of_net ~predicted ~experiment:"E3" ~series:"n-sweep h=n/4" ~n ~h ~wall_ms net,
          Netsim.Net.max_locality net))
   in
   let t =
@@ -355,8 +447,8 @@ let e3 () =
     par_list
       (pick ~full:[ 16; 32; 64; 100 ] ~reduced:[ 32; 64; 100 ])
       (fun h ->
-        let (net, _), wall_ms = timed (fun () -> run_thm4 ~n:128 ~h ~seed:(3000 + h)) in
-        (run_of_net ~experiment:"E3" ~series:"h-sweep n=128" ~n:128 ~h ~wall_ms net,
+        let (net, _, predicted), wall_ms = timed (fun () -> run_thm4 ~n:128 ~h ~seed:(3000 + h)) in
+        (run_of_net ~predicted ~experiment:"E3" ~series:"h-sweep n=128" ~n:128 ~h ~wall_ms net,
          Netsim.Net.max_locality net))
   in
   let t2 =
@@ -507,15 +599,21 @@ let e6 () =
         let bits_acc = ref 0 and size_acc = ref 0 in
         let msgs_acc = ref 0 and rounds_acc = ref 0 in
         let member_ok = ref 0 and consistent = ref 0 and aborts = ref 0 in
+        let pred_acc = ref zero_totals in
         let (), wall_ms =
           timed (fun () ->
               for seed = 1 to trials do
                 let corruption = Netsim.Corruption.random rng0 ~n ~h in
                 let net = Netsim.Net.create n in
                 let rng = prng seed in
+                let obs = Analysis.Costs.Obs.create () in
                 let outs =
-                  Mpc.Committee.run net rng params ~corruption ~adv:Mpc.Committee.honest_adv
+                  Mpc.Committee.run ~obs net rng params ~corruption
+                    ~adv:Mpc.Committee.honest_adv
                 in
+                (let open Analysis.Costs in
+                 let spec = Mpc.Committee.cost_spec ~n:(Const n) ~lambda:(Const 8) in
+                 pred_acc := add_totals !pred_acc (checked_totals ~env:(env ~obs []) ~spec net));
                 bits_acc := !bits_acc + Netsim.Net.total_bits net;
                 msgs_acc := !msgs_acc + Netsim.Net.messages_sent net;
                 rounds_acc := !rounds_acc + Netsim.Net.rounds net;
@@ -541,6 +639,10 @@ let e6 () =
             wall_ms;
             seed = !base_seed;
             peak_rss_mb = Analysis.Bench_io.peak_rss_mb ();
+            predicted_bits = Some !pred_acc.Analysis.Costs.bits_hi;
+            predicted_bits_lo = Some !pred_acc.Analysis.Costs.bits_lo;
+            predicted_messages = Some !pred_acc.Analysis.Costs.messages;
+            predicted_rounds = Some !pred_acc.Analysis.Costs.rounds;
           }
         in
         ( run,
@@ -594,9 +696,15 @@ let e7_giant () =
     List.map
       (fun (n, h, trials) ->
         let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:2 () in
+        let sparse_spec =
+          let open Analysis.Costs in
+          Mpc.Sparse_network.cost_spec ~n:(Const n) ~h:(Const h) ~lambda:(Const 8)
+            ~alpha:(Const 2)
+        in
         let rng0 = prng (7 * n) in
         let connected = ref 0 and aborts = ref 0 and maxdeg = ref 0 in
         let bits_acc = ref 0 and msgs_acc = ref 0 and rounds_acc = ref 0 in
+        let pred_acc = ref zero_totals in
         let (), wall_ms =
           timed (fun () ->
               for seed = 1 to trials do
@@ -645,6 +753,9 @@ let e7_giant () =
                             end)
                           s
                       end);
+                pred_acc :=
+                  add_totals !pred_acc
+                    (checked_totals ~env:(Analysis.Costs.env []) ~spec:sparse_spec net);
                 bits_acc := !bits_acc + Netsim.Net.total_bits net;
                 msgs_acc := !msgs_acc + Netsim.Net.messages_sent net;
                 rounds_acc := !rounds_acc + Netsim.Net.rounds net;
@@ -675,6 +786,10 @@ let e7_giant () =
             wall_ms;
             seed = !base_seed;
             peak_rss_mb = Analysis.Bench_io.peak_rss_mb ();
+            predicted_bits = Some !pred_acc.Analysis.Costs.bits_hi;
+            predicted_bits_lo = Some !pred_acc.Analysis.Costs.bits_lo;
+            predicted_messages = Some !pred_acc.Analysis.Costs.messages;
+            predicted_rounds = Some !pred_acc.Analysis.Costs.rounds;
           }
         in
         (run, (trials, !connected, !aborts, !maxdeg, Mpc.Params.sparse_degree params)))
@@ -710,10 +825,16 @@ let e7 () =
          ~reduced:[ (64, 16); (128, 32); (256, 64) ])
       (fun (n, h) ->
         let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:3 () in
+        let sparse_spec =
+          let open Analysis.Costs in
+          Mpc.Sparse_network.cost_spec ~n:(Const n) ~h:(Const h) ~lambda:(Const 8)
+            ~alpha:(Const 3)
+        in
         let rng0 = prng (7 * n) in
         let trials = pick ~full:20 ~reduced:5 in
         let connected = ref 0 and aborts = ref 0 and maxdeg = ref 0 in
         let bits_acc = ref 0 and msgs_acc = ref 0 and rounds_acc = ref 0 in
+        let pred_acc = ref zero_totals in
         let (), wall_ms =
           timed (fun () ->
               for seed = 1 to trials do
@@ -724,6 +845,9 @@ let e7 () =
                   Mpc.Sparse_network.run net rng params ~corruption
                     ~adv:Mpc.Sparse_network.honest_adv
                 in
+                pred_acc :=
+                  add_totals !pred_acc
+                    (checked_totals ~env:(Analysis.Costs.env []) ~spec:sparse_spec net);
                 bits_acc := !bits_acc + Netsim.Net.total_bits net;
                 msgs_acc := !msgs_acc + Netsim.Net.messages_sent net;
                 rounds_acc := !rounds_acc + Netsim.Net.rounds net;
@@ -749,6 +873,10 @@ let e7 () =
             wall_ms;
             seed = !base_seed;
             peak_rss_mb = Analysis.Bench_io.peak_rss_mb ();
+            predicted_bits = Some !pred_acc.Analysis.Costs.bits_hi;
+            predicted_bits_lo = Some !pred_acc.Analysis.Costs.bits_lo;
+            predicted_messages = Some !pred_acc.Analysis.Costs.messages;
+            predicted_rounds = Some !pred_acc.Analysis.Costs.rounds;
           }
         in
         (run, (trials, !connected, !aborts, !maxdeg, Mpc.Params.sparse_degree params)))
@@ -826,6 +954,12 @@ let e8_giant () =
             wall_ms;
             seed = !base_seed;
             peak_rss_mb = Analysis.Bench_io.peak_rss_mb ();
+            (* Network-free Monte Carlo: the spec is the zero spec, and
+               the zero accounting must match it. *)
+            predicted_bits = Some 0;
+            predicted_bits_lo = Some 0;
+            predicted_messages = Some 0;
+            predicted_rounds = Some 0;
           }
         in
         (run, (s, trials, !honest_members_acc, !covered_all)))
@@ -899,6 +1033,17 @@ let e8 () =
 (* E9 — §2.1 baseline: GL05 O(n³) vs fingerprinted Õ(n²)               *)
 (* ------------------------------------------------------------------ *)
 
+(* Cost spec of one honest all-to-all over the full party set with
+   uniform [len]-byte inputs (closed form: no observables). *)
+let a2a_totals ~variant ~n ~len net =
+  let open Analysis.Costs in
+  let spec =
+    Mpc.All_to_all.cost_spec ~variant ~k:(Const n)
+      ~idsum:(Const (varint_sum_ids (List.init n (fun i -> i))))
+      ~len:(Const len) ~n:(Const n) ~lambda:(Const 8)
+  in
+  checked_totals ~env:(env []) ~spec net
+
 let e9_huge () =
   section "E9  (huge tier) all-to-all broadcast at n up to 2048";
   Printf.printf
@@ -918,7 +1063,8 @@ let e9_huge () =
             ~corruption ~adv:Mpc.All_to_all.honest_adv)
     in
     assert (List.for_all (fun (_, o) -> Mpc.Outcome.is_output o) outs);
-    run_of_net ~experiment:"E9" ~series:name ~n ~h:(n / 2) ~wall_ms net
+    let predicted = a2a_totals ~variant ~n ~len:64 net in
+    run_of_net ~predicted ~experiment:"E9" ~series:name ~n ~h:(n / 2) ~wall_ms net
   in
   let naive_rows =
     List.map
@@ -964,7 +1110,8 @@ let e9 () =
                   ~adv:Mpc.All_to_all.honest_adv)
           in
           assert (List.for_all (fun (_, o) -> Mpc.Outcome.is_output o) outs);
-          run_of_net ~experiment:"E9" ~series:name ~n ~h:(n / 2) ~wall_ms net
+          let predicted = a2a_totals ~variant ~n ~len:512 net in
+          run_of_net ~predicted ~experiment:"E9" ~series:name ~n ~h:(n / 2) ~wall_ms net
         in
         let naive = cost "naive 512B" Mpc.All_to_all.Naive in
         let fp = cost "fingerprinted 512B" Mpc.All_to_all.Fingerprinted in
@@ -1005,24 +1152,25 @@ let e10 () =
       (pick ~full:[ 1; 2; 5; 19; 38; 96 ] ~reduced:[ 2; 5; 19; 38 ])
       (fun s ->
         let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:1 () in
-        let config =
-          { Mpc.Local_mpc.params; pke = sim_pke 10; circuit = Circuit.parity ~n;
-            input_width = 1 }
-        in
+        let pke = sim_pke 10 in
+        let circuit = Circuit.parity ~n in
+        let config = { Mpc.Local_mpc.params; pke; circuit; input_width = 1 } in
         let corruption = Netsim.Corruption.none ~n in
         let inputs = Array.init n (fun i -> i land 1) in
         let net = Netsim.Net.create n in
         let rng = prng (100 + s) in
+        let obs = Analysis.Costs.Obs.create () in
         let (outs, costs), wall_ms =
           timed (fun () ->
-              Mpc.Local_mpc.run_theorem4_metered ~cover_size:s ?pool:!pool net rng config
+              Mpc.Local_mpc.run_theorem4_metered ~cover_size:s ?pool:!pool ~obs net rng config
                 ~corruption ~inputs ~adv:Mpc.Local_mpc.honest_theorem4_adv)
         in
         let aborts =
           Array.fold_left (fun a o -> a + if Mpc.Outcome.is_abort o then 1 else 0) 0 outs
         in
-        ( run_of_net ~experiment:"E10" ~series:(Printf.sprintf "cover s=%d" s) ~n ~h ~wall_ms
-            net,
+        let predicted = thm4_totals ~pke ~circuit ~input_width:1 ~n ~h ~alpha:1 ~obs net in
+        ( run_of_net ~predicted ~experiment:"E10" ~series:(Printf.sprintf "cover s=%d" s) ~n
+            ~h ~wall_ms net,
           (s, costs, aborts) ))
   in
   let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:1 () in
@@ -1059,20 +1207,34 @@ let e11 () =
   let n = 48 and h = 24 in
   let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:2 () in
   let corruption = Netsim.Corruption.none ~n in
-  let protocols : (string * (Netsim.Net.t -> unit)) list =
+  (* Each protocol closure also returns its evaluated cost-spec totals,
+     so every E11 row carries (and is checked against) its prediction. *)
+  let protocols : (string * (Netsim.Net.t -> Analysis.Costs.totals)) list =
     [
       ( "single-source broadcast (naive)",
         fun net ->
           let rng = prng 1 in
           ignore
             (Mpc.Broadcast.run net rng params ~variant:Mpc.Broadcast.Naive ~sender:0
-               ~value:(Bytes.make 64 'v') ~corruption ~adv:Mpc.Broadcast.honest_adv) );
+               ~value:(Bytes.make 64 'v') ~corruption ~adv:Mpc.Broadcast.honest_adv);
+          let open Analysis.Costs in
+          let spec =
+            Mpc.Broadcast.cost_spec ~variant:Mpc.Broadcast.Naive ~n:(Const n)
+              ~lambda:(Const 8) ~len:(Const 64)
+          in
+          checked_totals ~env:(env []) ~spec net );
       ( "single-source broadcast (fingerprinted)",
         fun net ->
           let rng = prng 2 in
           ignore
             (Mpc.Broadcast.run net rng params ~variant:Mpc.Broadcast.Fingerprinted ~sender:0
-               ~value:(Bytes.make 64 'v') ~corruption ~adv:Mpc.Broadcast.honest_adv) );
+               ~value:(Bytes.make 64 'v') ~corruption ~adv:Mpc.Broadcast.honest_adv);
+          let open Analysis.Costs in
+          let spec =
+            Mpc.Broadcast.cost_spec ~variant:Mpc.Broadcast.Fingerprinted ~n:(Const n)
+              ~lambda:(Const 8) ~len:(Const 64)
+          in
+          checked_totals ~env:(env []) ~spec net );
       ( "all-to-all broadcast (fingerprinted)",
         fun net ->
           let rng = prng 3 in
@@ -1080,49 +1242,64 @@ let e11 () =
             (Mpc.All_to_all.run net rng params ~variant:Mpc.All_to_all.Fingerprinted
                ~participants:(List.init n (fun i -> i))
                ~input:(fun i -> Bytes.make 64 (Char.chr (65 + (i mod 26))))
-               ~corruption ~adv:Mpc.All_to_all.honest_adv) );
+               ~corruption ~adv:Mpc.All_to_all.honest_adv);
+          a2a_totals ~variant:Mpc.All_to_all.Fingerprinted ~n ~len:64 net );
       ( "committee election (Alg 2)",
         fun net ->
           let rng = prng 4 in
-          ignore (Mpc.Committee.run net rng params ~corruption ~adv:Mpc.Committee.honest_adv)
-      );
+          let obs = Analysis.Costs.Obs.create () in
+          ignore
+            (Mpc.Committee.run ~obs net rng params ~corruption ~adv:Mpc.Committee.honest_adv);
+          let open Analysis.Costs in
+          let spec = Mpc.Committee.cost_spec ~n:(Const n) ~lambda:(Const 8) in
+          checked_totals ~env:(env ~obs []) ~spec net );
       ( "MPC with abort (Alg 3, Thm 1)",
         fun net ->
           let rng = prng 5 in
-          let config =
-            { Mpc.Mpc_abort.params; pke = sim_pke 11; circuit = Circuit.parity ~n;
-              input_width = 1 }
-          in
+          let pke = sim_pke 11 in
+          let circuit = Circuit.parity ~n in
+          let config = { Mpc.Mpc_abort.params; pke; circuit; input_width = 1 } in
+          let obs = Analysis.Costs.Obs.create () in
           ignore
-            (Mpc.Mpc_abort.run net rng config ~corruption ~inputs:(Array.make n 0)
-               ~adv:Mpc.Mpc_abort.honest_adv) );
+            (Mpc.Mpc_abort.run ~obs net rng config ~corruption ~inputs:(Array.make n 0)
+               ~adv:Mpc.Mpc_abort.honest_adv);
+          alg3_totals ~pke ~circuit ~input_width:1 ~n ~obs net );
       ( "gossip MPC (Thm 2)",
         fun net ->
           let rng = prng 6 in
-          let config =
-            { Mpc.Local_mpc.params; pke = sim_pke 12; circuit = Circuit.parity ~n;
-              input_width = 1 }
-          in
+          let circuit = Circuit.parity ~n in
+          let config = { Mpc.Local_mpc.params; pke = sim_pke 12; circuit; input_width = 1 } in
+          let obs = Analysis.Costs.Obs.create () in
           ignore
-            (Mpc.Local_mpc.run_theorem2 ?pool:!pool net rng config ~corruption
-               ~inputs:(Array.make n 0) ~adv:Mpc.Local_mpc.honest_theorem2_adv) );
+            (Mpc.Local_mpc.run_theorem2 ?pool:!pool ~obs net rng config ~corruption
+               ~inputs:(Array.make n 0) ~adv:Mpc.Local_mpc.honest_theorem2_adv);
+          let open Analysis.Costs in
+          let spec =
+            Mpc.Local_mpc.cost_spec_theorem2 ~n:(Const n) ~h:(Const h) ~lambda:(Const 8)
+              ~alpha:(Const 2)
+              ~depth:(Const (Circuit.depth circuit))
+              ~input_width:(Const 1)
+              ~out_bits:(Const (Circuit.num_outputs circuit))
+          in
+          checked_totals ~env:(env ~obs []) ~spec net );
       ( "local MPC (Alg 8, Thm 4)",
         fun net ->
           let rng = prng 7 in
-          let config =
-            { Mpc.Local_mpc.params; pke = sim_pke 13; circuit = Circuit.parity ~n;
-              input_width = 1 }
-          in
+          let pke = sim_pke 13 in
+          let circuit = Circuit.parity ~n in
+          let config = { Mpc.Local_mpc.params; pke; circuit; input_width = 1 } in
+          let obs = Analysis.Costs.Obs.create () in
           ignore
-            (Mpc.Local_mpc.run_theorem4 ?pool:!pool net rng config ~corruption
-               ~inputs:(Array.make n 0) ~adv:Mpc.Local_mpc.honest_theorem4_adv) );
+            (Mpc.Local_mpc.run_theorem4 ?pool:!pool ~obs net rng config ~corruption
+               ~inputs:(Array.make n 0) ~adv:Mpc.Local_mpc.honest_theorem4_adv);
+          thm4_totals ~pke ~circuit ~input_width:1 ~n ~h ~alpha:2 ~obs net );
     ]
   in
   let rows =
     par_list protocols (fun (name, f) ->
         let net = Netsim.Net.create n in
-        let (), wall_ms = timed (fun () -> f net) in
-        ( run_of_net ~experiment:"E11" ~series:name ~n ~h ~wall_ms net,
+        let predicted, wall_ms = timed (fun () -> f net) in
+        ( run_of_net ~predicted ~experiment:"E11" ~series:name ~n ~h ~wall_ms net,
           Netsim.Net.max_locality net ))
   in
   let t =
@@ -1231,23 +1408,32 @@ let e13_huge () =
             (Mpc.Gmw.run net rng ~circuit ~input_width:1 ~inputs ~corruption
                ~adv:Mpc.Gmw.honest_adv))
     in
-    run_of_net ~experiment:"E13" ~series:"gmw majority" ~n ~h:0 ~wall_ms net
+    let predicted =
+      let open Analysis.Costs in
+      let spec = Mpc.Gmw.cost_spec ~circuit ~input_width:1 ~n:(Const n) in
+      checked_totals ~env:(env []) ~spec net
+    in
+    run_of_net ~predicted ~experiment:"E13" ~series:"gmw majority" ~n ~h:0 ~wall_ms net
   in
   let alg3_point n =
     let circuit = Circuit.majority ~n in
     let inputs = Array.init n (fun i -> i land 1) in
     let corruption = Netsim.Corruption.none ~n in
     let params = Mpc.Params.make ~n ~h:(n / 4) ~lambda:8 ~alpha:2 () in
-    let config = { Mpc.Mpc_abort.params; pke = sim_pke n; circuit; input_width = 1 } in
+    let pke = sim_pke n in
+    let config = { Mpc.Mpc_abort.params; pke; circuit; input_width = 1 } in
     let net = Netsim.Net.create n in
     let rng = prng (n + 1) in
+    let obs = Analysis.Costs.Obs.create () in
     let (), wall_ms =
       timed (fun () ->
           ignore
-            (Mpc.Mpc_abort.run ?pool:!pool net rng config ~corruption ~inputs
+            (Mpc.Mpc_abort.run ?pool:!pool ~obs net rng config ~corruption ~inputs
                ~adv:Mpc.Mpc_abort.honest_adv))
     in
-    run_of_net ~experiment:"E13" ~series:"alg3 majority h=n/4" ~n ~h:(n / 4) ~wall_ms net
+    let predicted = alg3_totals ~pke ~circuit ~input_width:1 ~n ~obs net in
+    run_of_net ~predicted ~experiment:"E13" ~series:"alg3 majority h=n/4" ~n ~h:(n / 4)
+      ~wall_ms net
   in
   let gmw_rows = List.map gmw_point (pick ~full:[ 384 ] ~reduced:[ 128 ]) in
   let alg3_rows = List.map alg3_point (pick ~full:[ 512; 1024; 2048 ] ~reduced:[ 512 ]) in
@@ -1288,21 +1474,29 @@ let e13 () =
                   (Mpc.Gmw.run net rng ~circuit ~input_width:1 ~inputs ~corruption
                      ~adv:Mpc.Gmw.honest_adv))
           in
-          run_of_net ~experiment:"E13" ~series:"gmw majority" ~n ~h:0 ~wall_ms net
+          let predicted =
+            let open Analysis.Costs in
+            let spec = Mpc.Gmw.cost_spec ~circuit ~input_width:1 ~n:(Const n) in
+            checked_totals ~env:(env []) ~spec net
+          in
+          run_of_net ~predicted ~experiment:"E13" ~series:"gmw majority" ~n ~h:0 ~wall_ms net
         in
         let alg3 =
           let params = Mpc.Params.make ~n ~h:(n / 4) ~lambda:8 ~alpha:2 () in
-          let config = { Mpc.Mpc_abort.params; pke = sim_pke n; circuit; input_width = 1 } in
+          let pke = sim_pke n in
+          let config = { Mpc.Mpc_abort.params; pke; circuit; input_width = 1 } in
           let net = Netsim.Net.create n in
           let rng = prng (n + 1) in
+          let obs = Analysis.Costs.Obs.create () in
           let (), wall_ms =
             timed (fun () ->
                 ignore
-                  (Mpc.Mpc_abort.run net rng config ~corruption ~inputs
+                  (Mpc.Mpc_abort.run ~obs net rng config ~corruption ~inputs
                      ~adv:Mpc.Mpc_abort.honest_adv))
           in
-          run_of_net ~experiment:"E13" ~series:"alg3 majority h=n/4" ~n ~h:(n / 4) ~wall_ms
-            net
+          let predicted = alg3_totals ~pke ~circuit ~input_width:1 ~n ~obs net in
+          run_of_net ~predicted ~experiment:"E13" ~series:"alg3 majority h=n/4" ~n ~h:(n / 4)
+            ~wall_ms net
         in
         (gmw, alg3, Mpc.Gmw.triples_used ~circuit))
   in
@@ -1375,25 +1569,29 @@ let e14 () =
                 | Mpc.Outcome.Output _ -> ()
                 | Mpc.Outcome.Abort r -> failwith (Mpc.Outcome.reason_to_string r))
           in
-          run_of_net ~experiment:"E14" ~series:(Printf.sprintf "yao w=%d" width) ~n:2 ~h:1
-            ~wall_ms net
+          let predicted =
+            let spec = Mpc.Two_party.cost_spec ~circuit ~input_width:width in
+            checked_totals ~env:(Analysis.Costs.env []) ~spec net
+          in
+          run_of_net ~predicted ~experiment:"E14" ~series:(Printf.sprintf "yao w=%d" width)
+            ~n:2 ~h:1 ~wall_ms net
         in
         let alg3 =
           let params = Mpc.Params.make ~n:2 ~h:1 ~lambda:8 ~alpha:2 () in
-          let config =
-            { Mpc.Mpc_abort.params; pke = (module Crypto.Pke.Regev : Crypto.Pke.S); circuit;
-              input_width = width }
-          in
+          let pke = (module Crypto.Pke.Regev : Crypto.Pke.S) in
+          let config = { Mpc.Mpc_abort.params; pke; circuit; input_width = width } in
           let net = Netsim.Net.create 2 in
           let corruption = Netsim.Corruption.none ~n:2 in
+          let obs = Analysis.Costs.Obs.create () in
           let (), wall_ms =
             timed (fun () ->
                 ignore
-                  (Mpc.Mpc_abort.run net rng config ~corruption ~inputs:[| 1; 2 |]
+                  (Mpc.Mpc_abort.run ~obs net rng config ~corruption ~inputs:[| 1; 2 |]
                      ~adv:Mpc.Mpc_abort.honest_adv))
           in
-          run_of_net ~experiment:"E14" ~series:(Printf.sprintf "alg3 w=%d" width) ~n:2 ~h:1
-            ~wall_ms net
+          let predicted = alg3_totals ~pke ~circuit ~input_width:width ~n:2 ~obs net in
+          run_of_net ~predicted ~experiment:"E14" ~series:(Printf.sprintf "alg3 w=%d" width)
+            ~n:2 ~h:1 ~wall_ms net
         in
         (width, yao, alg3))
   in
@@ -1554,6 +1752,243 @@ let fp_micro () =
   []
 
 (* ------------------------------------------------------------------ *)
+(* cost-audit — symbolic cost specs vs measured accounting             *)
+(* ------------------------------------------------------------------ *)
+
+(* --only cost-audit: one honest execution of every protocol with a cost
+   spec; each spec's per-phase breakdown is printed next to the measured
+   counters and the totals are asserted — bits within the declared slack,
+   messages and rounds exact.  Any mismatch fails the invocation with
+   exit 1 (through [cost_mismatch]), which is what CI gates on.  Gossip
+   and Enc_func have no standalone case here because their entry points
+   need a routing graph / an elected committee; their specs are exercised
+   through every pipeline that embeds them (local-committee, Thm 2,
+   Alg 3, Alg 8).  Closes with the extrapolation table: the closed-form
+   specs evaluated at n = 10⁴..10⁶ — three orders of magnitude past what
+   the simulator executes — at the paper's h regimes. *)
+let cost_audit () =
+  section "cost-audit  Symbolic cost specs vs measured accounting";
+  let n = pick ~full:48 ~reduced:16 in
+  let h = n / 2 in
+  let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:2 () in
+  let corruption = Netsim.Corruption.none ~n in
+  let open Analysis.Costs in
+  let a2a_case variant =
+    let spec =
+      Mpc.All_to_all.cost_spec ~variant ~k:(Const n)
+        ~idsum:(Const (varint_sum_ids (List.init n (fun i -> i))))
+        ~len:(Const 64) ~n:(Const n) ~lambda:(Const 8)
+    in
+    fun () ->
+      let net = Netsim.Net.create n in
+      let rng = prng 43 in
+      ignore
+        (Mpc.All_to_all.run net rng params ~variant
+           ~participants:(List.init n (fun i -> i))
+           ~input:(fun i -> Bytes.make 64 (Char.chr (65 + (i mod 26))))
+           ~corruption ~adv:Mpc.All_to_all.honest_adv);
+      (net, spec, env [])
+  in
+  let cases : (unit -> Netsim.Net.t * spec * env) list =
+    [
+      (fun () ->
+        let eqp = Mpc.Params.make ~n:64 ~h:32 ~lambda:8 ~alpha:2 () in
+        let net = Netsim.Net.create 2 in
+        let rng = prng 41 in
+        let m = Util.Prng.bytes rng 1024 in
+        ignore (Mpc.Equality.run net rng eqp ~p1:0 ~p2:1 ~m1:m ~m2:(Bytes.copy m));
+        (net, Mpc.Equality.cost_spec_run ~n:(Const 64) ~lambda:(Const 8) ~len:(Const 1024),
+         env []));
+      (fun () ->
+        let net = Netsim.Net.create n in
+        let rng = prng 42 in
+        ignore
+          (Mpc.Broadcast.run net rng params ~variant:Mpc.Broadcast.Naive ~sender:0
+             ~value:(Bytes.make 64 'v') ~corruption ~adv:Mpc.Broadcast.honest_adv);
+        ( net,
+          Mpc.Broadcast.cost_spec ~variant:Mpc.Broadcast.Naive ~n:(Const n) ~lambda:(Const 8)
+            ~len:(Const 64),
+          env [] ));
+      (fun () ->
+        let net = Netsim.Net.create n in
+        let rng = prng 42 in
+        ignore
+          (Mpc.Broadcast.run net rng params ~variant:Mpc.Broadcast.Fingerprinted ~sender:0
+             ~value:(Bytes.make 64 'v') ~corruption ~adv:Mpc.Broadcast.honest_adv);
+        ( net,
+          Mpc.Broadcast.cost_spec ~variant:Mpc.Broadcast.Fingerprinted ~n:(Const n)
+            ~lambda:(Const 8) ~len:(Const 64),
+          env [] ));
+      a2a_case Mpc.All_to_all.Naive;
+      a2a_case Mpc.All_to_all.Fingerprinted;
+      (fun () ->
+        let net = Netsim.Net.create n in
+        let rng = prng 44 in
+        ignore (Mpc.Sparse_network.run net rng params ~corruption ~adv:Mpc.Sparse_network.honest_adv);
+        ( net,
+          Mpc.Sparse_network.cost_spec ~n:(Const n) ~h:(Const h) ~lambda:(Const 8)
+            ~alpha:(Const 2),
+          env [] ));
+      (fun () ->
+        let net = Netsim.Net.create n in
+        let rng = prng 45 in
+        let obs = Obs.create () in
+        ignore (Mpc.Committee.run ~obs net rng params ~corruption ~adv:Mpc.Committee.honest_adv);
+        (net, Mpc.Committee.cost_spec ~n:(Const n) ~lambda:(Const 8), env ~obs []));
+      (fun () ->
+        let net = Netsim.Net.create n in
+        let rng = prng 46 in
+        let obs = Obs.create () in
+        ignore
+          (Mpc.Local_committee.run ~obs net rng params ~corruption
+             ~adv:Mpc.Local_committee.honest_adv);
+        ( net,
+          Mpc.Local_committee.cost_spec ~n:(Const n) ~h:(Const h) ~lambda:(Const 8)
+            ~alpha:(Const 2),
+          env ~obs [] ));
+      (fun () ->
+        let pke = sim_pke 47 in
+        let circuit = Circuit.parity ~n in
+        let config = { Mpc.Mpc_abort.params; pke; circuit; input_width = 1 } in
+        let net = Netsim.Net.create n in
+        let rng = prng 47 in
+        let obs = Obs.create () in
+        ignore
+          (Mpc.Mpc_abort.run ~obs net rng config ~corruption
+             ~inputs:(Array.init n (fun i -> i land 1))
+             ~adv:Mpc.Mpc_abort.honest_adv);
+        ( net,
+          Mpc.Mpc_abort.cost_spec ~pke
+            ~depth:(Const (Circuit.depth circuit))
+            ~input_width:(Const 1)
+            ~out_bits:(Const (Circuit.num_outputs circuit))
+            ~n:(Const n) ~lambda:(Const 8),
+          env ~obs [] ));
+      (fun () ->
+        let circuit = Circuit.parity ~n in
+        let config = { Mpc.Local_mpc.params; pke = sim_pke 48; circuit; input_width = 1 } in
+        let net = Netsim.Net.create n in
+        let rng = prng 48 in
+        let obs = Obs.create () in
+        ignore
+          (Mpc.Local_mpc.run_theorem2 ~obs net rng config ~corruption
+             ~inputs:(Array.init n (fun i -> i land 1))
+             ~adv:Mpc.Local_mpc.honest_theorem2_adv);
+        ( net,
+          Mpc.Local_mpc.cost_spec_theorem2 ~n:(Const n) ~h:(Const h) ~lambda:(Const 8)
+            ~alpha:(Const 2)
+            ~depth:(Const (Circuit.depth circuit))
+            ~input_width:(Const 1)
+            ~out_bits:(Const (Circuit.num_outputs circuit)),
+          env ~obs [] ));
+      (fun () ->
+        let pke = sim_pke 49 in
+        let circuit = Circuit.parity ~n in
+        let config = { Mpc.Local_mpc.params; pke; circuit; input_width = 1 } in
+        let net = Netsim.Net.create n in
+        let rng = prng 49 in
+        let obs = Obs.create () in
+        ignore
+          (Mpc.Local_mpc.run_theorem4 ~obs net rng config ~corruption
+             ~inputs:(Array.init n (fun i -> i land 1))
+             ~adv:Mpc.Local_mpc.honest_theorem4_adv);
+        ( net,
+          Mpc.Local_mpc.cost_spec_theorem4 ~pke
+            ~depth:(Const (Circuit.depth circuit))
+            ~input_width:(Const 1)
+            ~out_bits:(Const (Circuit.num_outputs circuit))
+            ~n:(Const n) ~h:(Const h) ~lambda:(Const 8) ~alpha:(Const 2),
+          env ~obs [] ));
+      (fun () ->
+        let ng = 32 in
+        let circuit = Circuit.majority ~n:ng in
+        let net = Netsim.Net.create ng in
+        let rng = prng 50 in
+        ignore
+          (Mpc.Gmw.run net rng ~circuit ~input_width:1
+             ~inputs:(Array.init ng (fun i -> i land 1))
+             ~corruption:(Netsim.Corruption.none ~n:ng) ~adv:Mpc.Gmw.honest_adv);
+        (net, Mpc.Gmw.cost_spec ~circuit ~input_width:1 ~n:(Const ng), env []));
+      (fun () ->
+        let circuit = Circuit.sum ~n:2 ~width:8 in
+        let net = Netsim.Net.create 2 in
+        let rng = prng 51 in
+        (match Mpc.Two_party.run net rng ~circuit ~input_width:8 ~x0:3 ~x1:5 with
+        | Mpc.Outcome.Output _ -> ()
+        | Mpc.Outcome.Abort r -> failwith (Mpc.Outcome.reason_to_string r));
+        (net, Mpc.Two_party.cost_spec ~circuit ~input_width:8, env []));
+    ]
+  in
+  let all_ok = ref true in
+  List.iter
+    (fun case ->
+      let net, spec, e = case () in
+      let bits = Netsim.Net.total_bits net
+      and messages = Netsim.Net.messages_sent net
+      and rounds = Netsim.Net.rounds net in
+      let v = check e spec ~bits ~messages ~rounds in
+      Analysis.Table.print (phase_table e spec);
+      Printf.printf "measured: %d bits, %d messages, %d rounds -> %s\n\n" bits messages
+        rounds
+        (if v.ok then "OK" else "MISMATCH");
+      if not v.ok then begin
+        all_ok := false;
+        cost_mismatch := true;
+        List.iter (Printf.printf "  %s\n") v.detail
+      end)
+    cases;
+  Printf.printf "cost-audit: %s\n"
+    (if !all_ok then "all specs match the measured accounting"
+     else "MISMATCHES FOUND (exit 1)");
+  (* Extrapolation: the closed-form specs evaluated where the simulator
+     cannot follow.  The naive all-to-all column stops at n = 10^5: at
+     10^6 its O(n^3 l) bit count overflows 63-bit arithmetic — which is
+     the paper's point about that baseline.  Pipeline specs (Alg 3,
+     Thm 2/4) consume realized observables, so they extrapolate through
+     EXPERIMENTS.md's formulas rather than this table. *)
+  let e = env [] in
+  let isqrt x = int_of_float (sqrt (float_of_int x)) in
+  let t =
+    Analysis.Table.create
+      ~title:"closed-form extrapolation (lambda = 8, 64-byte inputs, bits upper bounds)"
+      ~columns:
+        [ "n"; "h"; "sparse net"; "a2a naive"; "a2a fingerprinted"; "equality 1MB" ]
+  in
+  List.iter
+    (fun (np, hp) ->
+      let sparse =
+        (totals e
+           (Mpc.Sparse_network.cost_spec ~n:(Const np) ~h:(Const hp) ~lambda:(Const 8)
+              ~alpha:(Const 2)))
+          .bits_hi
+      in
+      let a2a variant =
+        (totals e
+           (Mpc.All_to_all.cost_spec ~variant ~k:(Const np)
+              ~idsum:(sum_varint_below (Const np))
+              ~len:(Const 64) ~n:(Const np) ~lambda:(Const 8)))
+          .bits_hi
+      in
+      let eq =
+        (totals e
+           (Mpc.Equality.cost_spec_run ~n:(Const np) ~lambda:(Const 8)
+              ~len:(Const 1_000_000)))
+          .bits_hi
+      in
+      Analysis.Table.add_row t
+        [ string_of_int np; string_of_int hp; fmt_bits sparse;
+          (if np > 100_000 then "overflow" else fmt_bits (a2a Mpc.All_to_all.Naive));
+          fmt_bits (a2a Mpc.All_to_all.Fingerprinted); fmt_bits eq ])
+    (List.concat_map
+       (fun np -> [ (np, np / 4); (np, isqrt np) ])
+       [ 10_000; 100_000; 1_000_000 ]);
+  Analysis.Table.print t;
+  Printf.printf
+    "the factor-n gap between the all-to-all columns is Sec 2.1's claim,\n\
+     now as evaluated formulas rather than fitted exponents.\n";
+  []
+
+(* ------------------------------------------------------------------ *)
 (* soak — Byzantine fault-injection sweep (opt-in via --only soak)      *)
 (* ------------------------------------------------------------------ *)
 
@@ -1636,7 +2071,12 @@ let experiments : (string * string * (unit -> Analysis.Bench_io.run list)) list 
    sweep (soak is adversarial — it contributes no honest-cost run records
    and gates on predicates instead). *)
 let extra_experiments : (string * string * (unit -> Analysis.Bench_io.run list)) list =
-  [ ("soak", "Byzantine fault-injection soak (--seed S --schedules K | --schedule K)", soak) ]
+  [
+    ("soak", "Byzantine fault-injection soak (--seed S --schedules K | --schedule K)", soak);
+    ( "cost-audit",
+      "symbolic cost specs vs measured counters (+ n=10^4..10^6 extrapolation)",
+      cost_audit );
+  ]
 
 let all_experiments = experiments @ extra_experiments
 
@@ -1684,7 +2124,100 @@ let sweep_info : (string * string * string list) list =
       [ "full:  sizes {64,4K,64K,1M} x t in {1,8,64} (--quick: {64,64K} x {1,8}); ignores --jobs" ] );
     ( "soak", "opt-in (--only soak)",
       [ "sweep: 200 fault schedules (--quick: 30); --schedules K / --schedule K override" ] );
+    ( "cost-audit", "opt-in (--only cost-audit)",
+      [ "13 honest executions, one per cost spec, phase tables + assertions";
+        "closed-form extrapolation table at n = 10^4..10^6" ] );
   ]
+
+(* --audit FILE: re-check a saved report against the symbolic cost specs
+   without re-running any protocol.  Two kinds of checks:
+   - any record carrying predicted_* fields is checked for internal
+     consistency (measured bits within [lo, hi], messages/rounds equal);
+   - E7 and E8 records are re-derived from the closed-form specs even
+     when the report predates the predicted_* fields (the giant
+     baselines): trial count is parsed from the series label, E7's
+     per-trial sparse-network spec is scaled by it (giant tier runs
+     alpha = 2, the full tier alpha = 3), and E8's network-free Monte
+     Carlo gets the zero spec.
+   Exits 1 on any mismatch so CI can gate dated baselines on it. *)
+let audit_report path =
+  let rep =
+    try Analysis.Bench_io.load path with
+    | Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+    | Failure msg | Analysis.Json.Parse_error msg ->
+      Printf.eprintf "error: %s is not a bench report: %s\n" path msg;
+      exit 1
+  in
+  let checked = ref 0 and mismatched = ref 0 and skipped = ref 0 in
+  let scan fmt s = try Some (Scanf.sscanf s fmt (fun k -> k)) with _ -> None in
+  List.iter
+    (fun (r : Analysis.Bench_io.run) ->
+      let check_against (t : Analysis.Costs.totals) =
+        incr checked;
+        let complain fmt =
+          Printf.ksprintf
+            (fun msg ->
+              incr mismatched;
+              Printf.printf "MISMATCH %s / %s (n=%d h=%d): %s\n" r.experiment r.series r.n
+                r.h msg)
+            fmt
+        in
+        if r.bits < t.Analysis.Costs.bits_lo || r.bits > t.Analysis.Costs.bits_hi then
+          complain "bits %d outside predicted [%d, %d]" r.bits t.Analysis.Costs.bits_lo
+            t.Analysis.Costs.bits_hi;
+        if r.messages <> t.Analysis.Costs.messages then
+          complain "messages %d <> predicted %d" r.messages t.Analysis.Costs.messages;
+        if r.rounds <> t.Analysis.Costs.rounds then
+          complain "rounds %d <> predicted %d" r.rounds t.Analysis.Costs.rounds
+      in
+      let scale k (t : Analysis.Costs.totals) =
+        {
+          Analysis.Costs.bits_hi = k * t.Analysis.Costs.bits_hi;
+          bits_lo = k * t.Analysis.Costs.bits_lo;
+          messages = k * t.Analysis.Costs.messages;
+          rounds = k * t.Analysis.Costs.rounds;
+        }
+      in
+      match r.experiment with
+      | "E7" -> (
+        let sparse alpha =
+          let open Analysis.Costs in
+          totals (env [])
+            (Mpc.Sparse_network.cost_spec ~n:(Const r.n) ~h:(Const r.h) ~lambda:(Const 8)
+               ~alpha:(Const alpha))
+        in
+        match (scan "giant %d-trial total" r.series, scan "%d-trial total" r.series) with
+        | Some k, _ -> check_against (scale k (sparse 2))
+        | None, Some k -> check_against (scale k (sparse 3))
+        | None, None -> incr skipped)
+      | "E8" ->
+        (* Network-free Monte Carlo: every counter must be zero. *)
+        check_against zero_totals
+      | _ -> (
+        match (r.predicted_bits, r.predicted_messages, r.predicted_rounds) with
+        | Some hi, Some m, Some rr ->
+          check_against
+            {
+              Analysis.Costs.bits_hi = hi;
+              bits_lo = Option.value r.predicted_bits_lo ~default:hi;
+              messages = m;
+              rounds = rr;
+            }
+        | _ -> incr skipped))
+    rep.Analysis.Bench_io.runs;
+  Printf.printf
+    "audited %s: %d run records, %d checked against specs, %d without predictions, %d \
+     mismatches\n"
+    path
+    (List.length rep.Analysis.Bench_io.runs)
+    !checked !skipped !mismatched;
+  if !checked = 0 then begin
+    Printf.eprintf "error: nothing to audit — no record carries predictions or a closed form\n";
+    exit 1
+  end;
+  exit (if !mismatched > 0 then 1 else 0)
 
 let iso_date () =
   let tm = Unix.gmtime (Unix.gettimeofday ()) in
@@ -1753,7 +2286,10 @@ let () =
       exit 1
     end;
     exit (if drifted > 0 then 1 else 0)
-  | None ->
+  | None -> (
+    match find_arg args "--audit" with
+    | Some path -> audit_report path
+    | None ->
     if List.mem "--list" args then
       List.iter
         (fun (id, desc, _) ->
@@ -1857,7 +2393,7 @@ let () =
           (total_wall_ms /. 1000.0) budget jobs;
         exit 2
       | _ -> ());
-      match max_rss_mb with
+      (match max_rss_mb with
       | Some budget -> (
         (* The hard memory gate for CI's giant smoke: VmHWM is the
            process-wide high-water, so it bounds every run above.  Where
@@ -1871,5 +2407,12 @@ let () =
         | Some peak -> Printf.printf "peak RSS %.0fMB within budget %.0fMB\n" peak budget
         | None ->
           Printf.eprintf "warning: --max-rss-mb set but /proc/self/status is unreadable\n")
-      | None -> ()
-    end
+      | None -> ());
+      (* Every checked_totals call above recorded spec-vs-measured
+         mismatches here; failing at the very end lets a full run report
+         all of them rather than dying at the first. *)
+      if !cost_mismatch then begin
+        Printf.eprintf "cost specs disagree with measured accounting (see COST MISMATCH above)\n";
+        exit 1
+      end
+    end)

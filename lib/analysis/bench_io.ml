@@ -1,10 +1,13 @@
-let schema = "mpc-aborts-bench/3"
+let schema = "mpc-aborts-bench/4"
 
 (* /1 reports predate the --jobs flag; they load with [jobs = 1], which is
    accurate — the old harness was sequential.  /2 reports predate the
-   optional per-run [peak_rss_mb] field; they load with it [None]. *)
+   optional per-run [peak_rss_mb] field; they load with it [None].  /3
+   reports predate the symbolic-cost [predicted_*] fields; they load with
+   all of them [None]. *)
 let legacy_schema = "mpc-aborts-bench/1"
 let legacy_schema_2 = "mpc-aborts-bench/2"
+let legacy_schema_3 = "mpc-aborts-bench/3"
 
 type run = {
   experiment : string;
@@ -17,6 +20,10 @@ type run = {
   wall_ms : float;
   seed : int option;
   peak_rss_mb : float option;
+  predicted_bits : int option;
+  predicted_bits_lo : int option;
+  predicted_messages : int option;
+  predicted_rounds : int option;
 }
 
 type report = {
@@ -46,10 +53,22 @@ let run_to_json r =
        that never set them are byte-identical to before and older readers
        that ignore unknown keys keep working. *)
     @ (match r.seed with None -> [] | Some s -> [ ("seed", Json.Int s) ])
+    @ (match r.peak_rss_mb with
+      | None -> []
+      | Some mb -> [ ("peak_rss_mb", Json.Float mb) ])
+    @ (match r.predicted_bits with None -> [] | Some v -> [ ("predicted_bits", Json.Int v) ])
+    (* The lower bound is only emitted when a declared slack makes it
+       differ from the upper bound, so exact predictions stay one key. *)
+    @ (match (r.predicted_bits_lo, r.predicted_bits) with
+      | Some lo, Some hi when lo <> hi -> [ ("predicted_bits_lo", Json.Int lo) ]
+      | _ -> [])
+    @ (match r.predicted_messages with
+      | None -> []
+      | Some v -> [ ("predicted_messages", Json.Int v) ])
     @
-    match r.peak_rss_mb with
+    match r.predicted_rounds with
     | None -> []
-    | Some mb -> [ ("peak_rss_mb", Json.Float mb) ])
+    | Some v -> [ ("predicted_rounds", Json.Int v) ])
 
 let report_to_json rep =
   Json.Obj
@@ -87,11 +106,21 @@ let run_of_json j =
     wall_ms = field "wall_ms" Json.get_float j;
     seed = Option.bind (Json.member "seed" j) Json.get_int;
     peak_rss_mb = Option.bind (Json.member "peak_rss_mb" j) Json.get_float;
+    predicted_bits = Option.bind (Json.member "predicted_bits" j) Json.get_int;
+    predicted_bits_lo =
+      (* Reconstruct the elided exact case: lo defaults to the upper
+         bound whenever a prediction is present at all. *)
+      (match Option.bind (Json.member "predicted_bits_lo" j) Json.get_int with
+      | Some lo -> Some lo
+      | None -> Option.bind (Json.member "predicted_bits" j) Json.get_int);
+    predicted_messages = Option.bind (Json.member "predicted_messages" j) Json.get_int;
+    predicted_rounds = Option.bind (Json.member "predicted_rounds" j) Json.get_int;
   }
 
 let report_of_json j =
   (match Json.member "schema" j with
-  | Some (Json.String s) when s = schema || s = legacy_schema || s = legacy_schema_2 -> ()
+  | Some (Json.String s)
+    when s = schema || s = legacy_schema || s = legacy_schema_2 || s = legacy_schema_3 -> ()
   | Some (Json.String s) -> failwith (Printf.sprintf "Bench_io: unknown schema %S" s)
   | _ -> failwith "Bench_io: missing schema field");
   {
@@ -147,7 +176,7 @@ let diff_table ~before ~after =
            after.date
            (if after.quick then "quick" else "full"))
       ~columns:
-        [ "experiment"; "series"; "n"; "h"; "bits"; "d-bits"; "d-msgs"; "d-rounds";
+        [ "experiment"; "series"; "n"; "h"; "bits"; "d-bits"; "d-msgs"; "d-rounds"; "d-pred";
           (if jobs_differ then "speedup (info)" else "speedup"); "rss (info)" ]
   in
   (* Peak RSS is informational like wall time: it is a property of the
@@ -166,7 +195,17 @@ let diff_table ~before ~after =
       | None -> ()
       | Some a ->
         incr matched;
-        if a.bits <> b.bits || a.messages <> b.messages || a.rounds <> b.rounds then incr drifted;
+        (* Predicted fields gate only when both records carry them: a /3
+           baseline diffed against a /4 report must not flag every row as
+           drifted just because the new side gained predictions. *)
+        let opt_drift bo ao = match (bo, ao) with Some x, Some y -> x <> y | _ -> false in
+        if
+          a.bits <> b.bits || a.messages <> b.messages || a.rounds <> b.rounds
+          || opt_drift b.predicted_bits a.predicted_bits
+          || opt_drift b.predicted_bits_lo a.predicted_bits_lo
+          || opt_drift b.predicted_messages a.predicted_messages
+          || opt_drift b.predicted_rounds a.predicted_rounds
+        then incr drifted;
         Table.add_row t
           [
             b.experiment;
@@ -177,6 +216,10 @@ let diff_table ~before ~after =
             pct_delta ~before:b.bits ~after:a.bits;
             pct_delta ~before:b.messages ~after:a.messages;
             pct_delta ~before:b.rounds ~after:a.rounds;
+            (match (b.predicted_bits, a.predicted_bits) with
+            | Some pb, Some pa -> pct_delta ~before:pb ~after:pa
+            | None, Some _ -> "new"
+            | _ -> "-");
             speedup ~before:b.wall_ms ~after:a.wall_ms;
             rss_cell ~b:b.peak_rss_mb ~a:a.peak_rss_mb;
           ])

@@ -19,6 +19,10 @@ val legacy_schema : string
     loading with {!type-run.peak_rss_mb} = [None]. *)
 val legacy_schema_2 : string
 
+(** The pre-[predicted_*] schema ([mpc-aborts-bench/3]); also accepted,
+    loading with every predicted field [None]. *)
+val legacy_schema_3 : string
+
 type run = {
   experiment : string;  (** e.g. ["E1"] *)
   series : string;  (** which sweep within the experiment, e.g. ["n-sweep h=n/4"] *)
@@ -40,6 +44,16 @@ type run = {
           like wall time: it depends on jobs count, GC settings, and what
           ran earlier in the process, so it never gates; the hard memory
           gate is CI's address-space ulimit and [--max-rss-mb]. *)
+  predicted_bits : int option;
+      (** upper bound on [bits] from the protocol's symbolic cost spec
+          ({!Costs}), evaluated at this run's parameters and observables;
+          [None] on reports predating the field or runs without a spec *)
+  predicted_bits_lo : int option;
+      (** lower end of the spec's declared-slack interval; equals
+          [predicted_bits] for exact specs (the JSON key is then elided
+          and reconstructed on load) *)
+  predicted_messages : int option;  (** always exact when present *)
+  predicted_rounds : int option;  (** always exact when present *)
 }
 
 type report = {

@@ -8,12 +8,27 @@ let sweep ~xs ~runs f =
       { x = float_of_int x; value = Util.Stats.mean values })
     xs
 
+(* Log-log regression needs at least two points with positive coordinates;
+   anything less used to flow through [Util.Stats.loglog_exponent] and come
+   back as NaN (or a garbage slope through a single point), which then
+   passed every [check_exponent] tolerance silently.  Fail loudly
+   instead. *)
+let require_fittable name ms =
+  let positive = List.filter (fun m -> m.x > 0.0 && m.value > 0.0) ms in
+  if List.length positive < 2 then
+    invalid_arg
+      (Printf.sprintf
+         "Analysis.Complexity.%s: need >= 2 measurements with positive x and value (got %d of %d)"
+         name (List.length positive) (List.length ms));
+  positive
+
 let fit ms =
-  let pts = List.map (fun m -> (m.x, m.value)) ms in
+  let pts = List.map (fun m -> (m.x, m.value)) (require_fittable "fit" ms) in
   let exponent, constant, r2 = Util.Stats.loglog_exponent pts in
   { exponent; constant; r2 }
 
 let fit_with_polylog ms =
+  let ms = require_fittable "fit_with_polylog" ms in
   let candidates =
     List.map
       (fun j ->

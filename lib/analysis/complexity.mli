@@ -22,13 +22,18 @@ type fit = {
     averages the measured value per x. *)
 val sweep : xs:int list -> runs:int -> (x:int -> rep:int -> float) -> measurement list
 
-(** [fit ms] — least squares in log-log space. Requires ≥ 2 points with
-    positive coordinates. *)
+(** [fit ms] — least squares in log-log space over the points with
+    positive coordinates (non-positive points cannot enter a log-log
+    regression and are dropped).  Raises [Invalid_argument] when fewer
+    than 2 such points remain — a single point or an all-zero series has
+    no slope, and the old NaN result passed every tolerance check
+    silently. *)
 val fit : measurement list -> fit
 
 (** [fit_with_polylog ms] — fits [value ≈ c·x^k·(log x)^j] by first dividing
     out the best integer [j ∈ 0..3]; returns the fit with highest r².
-    Useful because the paper's bounds are all [Õ(·)]. *)
+    Useful because the paper's bounds are all [Õ(·)].  Raises
+    [Invalid_argument] on degenerate input exactly like {!fit}. *)
 val fit_with_polylog : measurement list -> fit * int
 
 (** [check_exponent ~expected ~tolerance fit] — true when the fitted

@@ -1,0 +1,211 @@
+type expr =
+  | Const of int
+  | Var of string
+  | Add of expr list
+  | Sub of expr * expr
+  | Mul of expr list
+  | Ceil_div of expr * expr
+  | Min of expr * expr
+  | Max of expr * expr
+  | Choose2 of expr
+  | Ge of expr * expr
+  | Call of string * (int array -> int) * expr array
+
+module Obs = struct
+  type t = { tbl : (string, int) Hashtbl.t; prefix : string }
+
+  let create () = { tbl = Hashtbl.create 32; prefix = "" }
+  let scoped t p = { t with prefix = t.prefix ^ p ^ "." }
+  let set t k v = Hashtbl.replace t.tbl (t.prefix ^ k) v
+
+  let add t k v =
+    let key = t.prefix ^ k in
+    Hashtbl.replace t.tbl key (v + Option.value (Hashtbl.find_opt t.tbl key) ~default:0)
+
+  let get_opt t k = Hashtbl.find_opt t.tbl k
+
+  let bindings t =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+end
+
+type env = { vars : (string * int) list; obs : Obs.t option }
+
+let env ?obs vars = { vars; obs }
+
+let lookup e name =
+  match List.assoc_opt name e.vars with
+  | Some v -> v
+  | None -> (
+    match Option.bind e.obs (fun o -> Obs.get_opt o name) with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Costs.eval: unbound variable %S" name))
+
+let rec eval e = function
+  | Const c -> c
+  | Var name -> lookup e name
+  | Add xs -> List.fold_left (fun acc x -> acc + eval e x) 0 xs
+  | Sub (a, b) -> eval e a - eval e b
+  | Mul xs -> List.fold_left (fun acc x -> acc * eval e x) 1 xs
+  | Ceil_div (a, b) ->
+    let b = eval e b in
+    if b <= 0 then invalid_arg "Costs.eval: Ceil_div by non-positive";
+    (eval e a + b - 1) / b
+  | Min (a, b) -> min (eval e a) (eval e b)
+  | Max (a, b) -> max (eval e a) (eval e b)
+  | Choose2 k ->
+    let k = eval e k in
+    k * (k - 1) / 2
+  | Ge (a, b) -> if eval e a >= eval e b then 1 else 0
+  | Call (_, f, args) -> f (Array.map (eval e) args)
+
+let rec to_string = function
+  | Const c -> string_of_int c
+  | Var v -> v
+  | Add xs -> "(" ^ String.concat " + " (List.map to_string xs) ^ ")"
+  | Sub (a, b) -> Printf.sprintf "(%s - %s)" (to_string a) (to_string b)
+  | Mul xs -> String.concat "*" (List.map to_string xs)
+  | Ceil_div (a, b) -> Printf.sprintf "ceil(%s / %s)" (to_string a) (to_string b)
+  | Min (a, b) -> Printf.sprintf "min(%s, %s)" (to_string a) (to_string b)
+  | Max (a, b) -> Printf.sprintf "max(%s, %s)" (to_string a) (to_string b)
+  | Choose2 k -> Printf.sprintf "C(%s,2)" (to_string k)
+  | Ge (a, b) -> Printf.sprintf "[%s >= %s]" (to_string a) (to_string b)
+  | Call (name, _, args) ->
+    Printf.sprintf "%s(%s)" name (String.concat ", " (Array.to_list (Array.map to_string args)))
+
+(* ---- common sub-expressions ---- *)
+
+let varint_e x = Call ("varint", (fun a -> Util.Codec.varint_size a.(0)), [| x |])
+
+(* Σ_{i=0}^{k-1} varint_size i, analytically: values in [2^(7w-7), 2^(7w)-1]
+   take w bytes, so sum the widths band by band — O(1) in k, which matters
+   because the extrapolation table evaluates specs at n = 10⁶ and beyond. *)
+let sum_varint_below_int k =
+  let rec bands acc lo w =
+    if lo >= k then acc
+    else
+      let hi = if w >= 9 then max_int else (1 lsl (7 * w)) - 1 in
+      let upper = min hi (k - 1) in
+      bands (acc + ((upper - lo + 1) * w)) (upper + 1) (w + 1)
+  in
+  if k <= 0 then 0 else bands 0 0 1
+
+let sum_varint_below k = Call ("sum_varint_below", (fun a -> sum_varint_below_int a.(0)), [| k |])
+let varint_sum_ids ids = List.fold_left (fun acc id -> acc + Util.Codec.varint_size id) 0 ids
+let bits_of_bytes e = Mul [ Const 8; e ]
+
+(* ---- specs ---- *)
+
+type phase = {
+  label : string;
+  edge : string;
+  bits : expr;
+  bits_slack : expr;
+  reason : string;
+  messages : expr;
+  rounds : expr;
+}
+
+let exact ~label ~edge ~bits ~messages ~rounds =
+  { label; edge; bits; bits_slack = Const 0; reason = ""; messages; rounds }
+
+let bounded ~label ~edge ~bits ~slack ~reason ~messages ~rounds =
+  { label; edge; bits; bits_slack = slack; reason; messages; rounds }
+
+let rec prefix_vars p = function
+  | Const _ as e -> e
+  | Var v -> Var (p ^ "." ^ v)
+  | Add xs -> Add (List.map (prefix_vars p) xs)
+  | Sub (a, b) -> Sub (prefix_vars p a, prefix_vars p b)
+  | Mul xs -> Mul (List.map (prefix_vars p) xs)
+  | Ceil_div (a, b) -> Ceil_div (prefix_vars p a, prefix_vars p b)
+  | Min (a, b) -> Min (prefix_vars p a, prefix_vars p b)
+  | Max (a, b) -> Max (prefix_vars p a, prefix_vars p b)
+  | Choose2 k -> Choose2 (prefix_vars p k)
+  | Ge (a, b) -> Ge (prefix_vars p a, prefix_vars p b)
+  | Call (name, f, args) -> Call (name, f, Array.map (prefix_vars p) args)
+
+let prefix_phases p phases =
+  List.map
+    (fun ph ->
+      {
+        ph with
+        label = p ^ "." ^ ph.label;
+        bits = prefix_vars p ph.bits;
+        bits_slack = prefix_vars p ph.bits_slack;
+        messages = prefix_vars p ph.messages;
+        rounds = prefix_vars p ph.rounds;
+      })
+    phases
+
+let guard g phases =
+  let scale e = Mul [ g; e ] in
+  List.map
+    (fun ph ->
+      {
+        ph with
+        bits = scale ph.bits;
+        bits_slack = scale ph.bits_slack;
+        messages = scale ph.messages;
+        rounds = scale ph.rounds;
+      })
+    phases
+
+type spec = { name : string; phases : phase list }
+type totals = { bits_hi : int; bits_lo : int; messages : int; rounds : int }
+
+let totals e spec =
+  List.fold_left
+    (fun acc ph ->
+      let hi = eval e ph.bits in
+      {
+        bits_hi = acc.bits_hi + hi;
+        bits_lo = acc.bits_lo + hi - eval e ph.bits_slack;
+        messages = acc.messages + eval e ph.messages;
+        rounds = acc.rounds + eval e ph.rounds;
+      })
+    { bits_hi = 0; bits_lo = 0; messages = 0; rounds = 0 }
+    spec.phases
+
+type verdict = { ok : bool; detail : string list }
+
+let check e spec ~bits ~messages ~rounds =
+  let t = totals e spec in
+  let detail = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> detail := s :: !detail) fmt in
+  if bits > t.bits_hi || bits < t.bits_lo then
+    fail "%s: measured bits %d outside predicted [%d, %d]" spec.name bits t.bits_lo t.bits_hi;
+  if messages <> t.messages then
+    fail "%s: measured messages %d <> predicted %d" spec.name messages t.messages;
+  if rounds <> t.rounds then
+    fail "%s: measured rounds %d <> predicted %d" spec.name rounds t.rounds;
+  { ok = !detail = []; detail = List.rev !detail }
+
+let phase_table e spec =
+  let t =
+    Table.create ~title:(Printf.sprintf "cost spec: %s" spec.name)
+      ~columns:[ "phase"; "edge"; "bits (hi)"; "slack"; "messages"; "rounds" ]
+  in
+  List.iter
+    (fun ph ->
+      Table.add_row t
+        [
+          ph.label;
+          ph.edge;
+          string_of_int (eval e ph.bits);
+          string_of_int (eval e ph.bits_slack);
+          string_of_int (eval e ph.messages);
+          string_of_int (eval e ph.rounds);
+        ])
+    spec.phases;
+  let tot = totals e spec in
+  Table.add_row t
+    [
+      "TOTAL";
+      "";
+      string_of_int tot.bits_hi;
+      string_of_int (tot.bits_hi - tot.bits_lo);
+      string_of_int tot.messages;
+      string_of_int tot.rounds;
+    ];
+  t

@@ -17,6 +17,52 @@ let write_view_msg w view =
       Util.Codec.write_option w Util.Codec.write_bytes v)
     view
 
+(* Cost phases (see Analysis.Costs) for an honest run over [k] members
+   with uniform [len]-byte inputs.  [idsum] is Σ varint_size(id) over the
+   member ids (the id column of the view encoding; callers with a prefix
+   range use [Costs.sum_varint_below]).  Naive: distribute + batched echo
+   (2 rounds).  Fingerprinted: distribute + Equality.pairwise over the
+   encoded views (3 rounds). *)
+let cost_phases ~variant ~pre ~k ~idsum ~len ~n ~lambda =
+  let open Analysis.Costs in
+  let jn s = if pre = "" then s else pre ^ "." ^ s in
+  let ordered = Mul [ k; Sub (k, Const 1) ] in
+  let distribute =
+    exact ~label:(jn "distribute") ~edge:"member->member"
+      ~bits:(Cost_expr.bits (Mul [ ordered; len ]))
+      ~messages:ordered ~rounds:(Const 1)
+  in
+  match variant with
+  | Naive ->
+    (* Echo payload: presence bitmap + every present framed value; honest
+       runs have all k present. *)
+    let echo_payload =
+      Add [ Ceil_div (k, Const 8); Mul [ k; Add [ varint_e len; len ] ] ]
+    in
+    [
+      distribute;
+      exact ~label:(jn "echo") ~edge:"member->member"
+        ~bits:(Cost_expr.bits (Mul [ ordered; echo_payload ]))
+        ~messages:ordered ~rounds:(Const 1);
+    ]
+  | Fingerprinted ->
+    (* write_view_msg: varint k, then per member varint id + option byte +
+       framed value. *)
+    let view_bytes =
+      Add [ varint_e k; idsum; Mul [ k; Add [ Const 1; varint_e len; len ] ] ]
+    in
+    distribute
+    :: Equality.cost_phases_pairwise ~pre:(jn "eq") ~k ~maxlen:view_bytes ~n ~lambda
+
+let cost_spec ~variant ~k ~idsum ~len ~n ~lambda =
+  {
+    Analysis.Costs.name =
+      (match variant with
+      | Naive -> "all_to_all.naive"
+      | Fingerprinted -> "all_to_all.fingerprinted");
+    phases = cost_phases ~variant ~pre:"" ~k ~idsum ~len ~n ~lambda;
+  }
+
 let run ?pool net rng params ~variant ~participants ~input ~corruption ~adv =
   (* Input thunks may consume randomness; evaluate once per participant so
      the value sent, echoed and placed in views is identical.  The cache is

@@ -50,3 +50,29 @@ val run :
   corruption:Netsim.Corruption.t ->
   adv:adv ->
   (int * (int * bytes) list Outcome.t) list
+
+(** {1 Cost specs} (see {!Analysis.Costs})
+
+    Honest-run accounting over [k] members with uniform [len]-byte
+    inputs; [idsum] = Σ varint_size(id) over the member ids.  Naive is
+    exact; Fingerprinted carries the fingerprint-residue slack from its
+    embedded {!Equality.cost_phases_pairwise}. *)
+
+val cost_phases :
+  variant:variant ->
+  pre:string ->
+  k:Analysis.Costs.expr ->
+  idsum:Analysis.Costs.expr ->
+  len:Analysis.Costs.expr ->
+  n:Analysis.Costs.expr ->
+  lambda:Analysis.Costs.expr ->
+  Analysis.Costs.phase list
+
+val cost_spec :
+  variant:variant ->
+  k:Analysis.Costs.expr ->
+  idsum:Analysis.Costs.expr ->
+  len:Analysis.Costs.expr ->
+  n:Analysis.Costs.expr ->
+  lambda:Analysis.Costs.expr ->
+  Analysis.Costs.spec

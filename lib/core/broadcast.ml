@@ -30,6 +30,42 @@ let decode_echo_fp b =
   | v -> Some v
   | exception Util.Codec.Decode_error _ -> None
 
+(* Cost spec (see Analysis.Costs) for an honest run over [n] parties and a
+   [len]-byte value: the sender's fan-out round, then the all-to-all echo
+   round — full framed value (naive) or option-framed fingerprint.  Two
+   rounds in both variants. *)
+let cost_spec ~variant ~n ~lambda ~len =
+  let open Analysis.Costs in
+  let nm1 = Sub (n, Const 1) in
+  let send =
+    exact ~label:"send" ~edge:"sender->all"
+      ~bits:(Cost_expr.bits (Mul [ nm1; len ]))
+      ~messages:nm1 ~rounds:(Const 1)
+  in
+  let echo_msgs = Mul [ n; nm1 ] in
+  let echo =
+    match variant with
+    | Naive ->
+      (* write_option Some + write_bytes: 1 + varint(len) + len. *)
+      exact ~label:"echo" ~edge:"all->all"
+        ~bits:(Cost_expr.bits (Mul [ echo_msgs; Add [ Const 1; varint_e len; len ] ]))
+        ~messages:echo_msgs ~rounds:(Const 1)
+    | Fingerprinted ->
+      let t = Cost_expr.fp_t ~lambda ~n ~len:(Max (len, Const 1)) in
+      bounded ~label:"echo" ~edge:"all->all"
+        ~bits:
+          (Cost_expr.bits (Mul [ echo_msgs; Add [ Const 1; Cost_expr.fp_bytes_hi t ] ]))
+        ~slack:(Cost_expr.bits (Mul [ echo_msgs; Cost_expr.fp_slack_bytes t ]))
+        ~reason:Cost_expr.fp_reason ~messages:echo_msgs ~rounds:(Const 1)
+  in
+  {
+    name =
+      (match variant with
+      | Naive -> "broadcast.naive"
+      | Fingerprinted -> "broadcast.fingerprinted");
+    phases = [ send; echo ];
+  }
+
 let run ?pool net rng params ~variant ~sender ~value ~corruption ~adv =
   let n = Netsim.Net.n net in
   let all_parties = List.init n (fun i -> i) in

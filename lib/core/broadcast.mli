@@ -50,3 +50,14 @@ val run :
   corruption:Netsim.Corruption.t ->
   adv:adv ->
   bytes Outcome.t array
+
+(** Closed-form cost spec of an honest {!run} at [n] parties broadcasting
+    a [len]-byte value (see {!Analysis.Costs}): fan-out round plus echo
+    round, 2 rounds in both variants; the {!Fingerprinted} echo carries
+    the declared fingerprint-residue slack. *)
+val cost_spec :
+  variant:variant ->
+  n:Analysis.Costs.expr ->
+  lambda:Analysis.Costs.expr ->
+  len:Analysis.Costs.expr ->
+  Analysis.Costs.spec

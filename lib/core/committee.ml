@@ -12,7 +12,24 @@ type view = { committee : int list; elected : bool }
    convention, so one buffer serves every send). *)
 let claim_payload = Bytes.make 1 '\001'
 
-let run ?pool net rng params ~corruption ~adv =
+(* Cost phases (see Analysis.Costs): one claim-notification round (K·(n−1)
+   one-byte messages, K = the sampled number of claimants, recorded as
+   observable [claims] under [pre]) followed by View_check's two rounds.
+   Total rounds: 3, a constant — itself one of the paper's claims. *)
+let cost_phases ~pre ~n ~lambda =
+  let open Analysis.Costs in
+  let jn s = if pre = "" then s else pre ^ "." ^ s in
+  let claims = Var (jn "claims") in
+  exact ~label:(jn "claims") ~edge:"claimant->all"
+    ~bits:(Cost_expr.bits (Mul [ claims; Sub (n, Const 1) ]))
+    ~messages:(Mul [ claims; Sub (n, Const 1) ])
+    ~rounds:(Const 1)
+  :: View_check.cost_phases ~pre:(jn "vc") ~n ~lambda
+
+let cost_spec ~n ~lambda =
+  { Analysis.Costs.name = "committee.run"; phases = cost_phases ~pre:"" ~n ~lambda }
+
+let run ?pool ?obs net rng params ~corruption ~adv =
   let n = Netsim.Net.n net in
   let p = Params.committee_prob params in
   let bound = Params.committee_bound params in
@@ -25,6 +42,11 @@ let run ?pool net rng params ~corruption ~adv =
         | Some f when is_corrupt i -> f ~me:i
         | _ -> coin.(i))
   in
+  (match obs with
+  | Some o ->
+    Analysis.Costs.Obs.set o "claims"
+      (Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 claims)
+  | None -> ());
   (* Step 2: election notification. *)
   for i = 0 to n - 1 do
     if claims.(i) then
@@ -62,7 +84,9 @@ let run ?pool net rng params ~corruption ~adv =
       if List.length senders >= bound then aborted.(i) <- true)
     collected;
   (* Step 4: pairwise equality over committee views. *)
-  View_check.run net rng params ~claims ~views ~corruption ~eq:adv.eq ~aborted;
+  View_check.run
+    ?obs:(Option.map (fun o -> Analysis.Costs.Obs.scoped o "vc") obs)
+    net rng params ~claims ~views ~corruption ~eq:adv.eq ~aborted;
   Array.init n (fun i ->
       if aborted.(i) then
         Outcome.Abort

@@ -28,15 +28,30 @@ type view = { committee : int list; elected : bool }
     deduplicating its claim inbox) shards across domains via
     {!Netsim.Net.run_round}; coins, claims, and the equality phase stay
     on the calling domain.  Output is bit-identical at any domain
-    count. *)
+    count.
+
+    [?obs] records cost-spec observables: [claims] (number of claimant
+    parties) plus View_check's observables under prefix [vc]. *)
 val run :
   ?pool:Util.Pool.t ->
+  ?obs:Analysis.Costs.Obs.t ->
   Netsim.Net.t ->
   Util.Prng.t ->
   Params.t ->
   corruption:Netsim.Corruption.t ->
   adv:adv ->
   view Outcome.t array
+
+(** Cost phases of {!run} (see {!Analysis.Costs}): the claim-notification
+    round plus {!View_check.cost_phases} under prefix [vc] — always
+    exactly 3 rounds. *)
+val cost_phases :
+  pre:string ->
+  n:Analysis.Costs.expr ->
+  lambda:Analysis.Costs.expr ->
+  Analysis.Costs.phase list
+
+val cost_spec : n:Analysis.Costs.expr -> lambda:Analysis.Costs.expr -> Analysis.Costs.spec
 
 (** [consistent_committee outs corruption] — the common honest-member view
     if all honest elected members agree, used by the MPC protocols to

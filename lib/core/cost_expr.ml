@@ -1,0 +1,66 @@
+(* Shared sub-expressions for the per-protocol cost specs.
+
+   Every formula that sizes a wire object goes through a [Call] into the
+   same function the protocol itself uses ([Fingerprint.residues_needed],
+   [Cost_model.round1_bytes], a PKE module's [ciphertext_size], ...), so
+   the spec and the encoder cannot drift apart silently: a wire-format
+   change shows up as a cost-audit mismatch, not a stale formula. *)
+
+open Analysis.Costs
+
+let c k = Const k
+let bits = bits_of_bytes
+
+(* Fingerprint test count for a value of [len] bytes — the exact function
+   [Params.fingerprint_t] delegates to. *)
+let fp_t ~lambda ~n ~len =
+  Call
+    ( "fp_t",
+      (fun a -> Crypto.Fingerprint.residues_needed ~lambda:a.(0) ~n:a.(1) ~msg_len:a.(2)),
+      [| lambda; n; len |] )
+
+(* Upper-bound wire bytes of a [t]-residue fingerprint
+   ([Fingerprint.encode]: varint t, t primes, varint t, t residues).
+   Primes are exactly 29 bits ([random_prime_bits ~bits:29] samples from
+   [2^28, 2^29)), so each prime varint is exactly 5 bytes; residues lie in
+   [0, p) and encode in 1–5 bytes depending on the sampled value, so the
+   bound charges 5 and declares a 4-byte-per-residue slack. *)
+let fp_bytes_hi t = Add [ Mul [ c 2; varint_e t ]; Mul [ c 10; t ] ]
+let fp_slack_bytes t = Mul [ c 4; t ]
+
+let fp_reason =
+  "residue varints are 1-5 bytes depending on the sampled value; the bound charges 5 per residue"
+
+(* [Cost_model] sizes, by Call so depth/width changes flow through. *)
+let round1_bytes ~lambda ~depth ~input_bits =
+  Call
+    ( "round1_bytes",
+      (fun a -> Cost_model.round1_bytes ~lambda:a.(0) ~depth:a.(1) ~input_bits:a.(2)),
+      [| lambda; depth; input_bits |] )
+
+(* The per-recipient partial-decryption payload of [Enc_func]: a validity
+   byte plus one share per packed output block. *)
+let pdec_payload ~lambda ~depth ~out_bytes =
+  Call
+    ( "pdec_payload",
+      (fun a ->
+        1 + (Cost_model.partial_dec_bytes ~lambda:a.(0) ~depth:a.(1) * Cost_model.blocks (8 * max 1 a.(2)))),
+      [| lambda; depth; out_bytes |] )
+
+(* PKE wire sizes, taken from the same first-class module the protocol
+   encrypts with. *)
+let pke_pk_bytes (module P : Crypto.Pke.S) = c P.public_key_size
+
+let pke_ct_bytes (module P : Crypto.Pke.S) ~plaintext_len =
+  Call
+    ("ct_bytes", (fun a -> P.ciphertext_size ~plaintext_len:a.(0)), [| plaintext_len |])
+
+(* Sparse-network degree actually used: [Params.sparse_degree] capped at
+   n − 1 by the sampler. *)
+let sparse_degree ~n ~h ~lambda ~alpha =
+  Call
+    ( "sparse_degree",
+      (fun a ->
+        let p = Params.make ~n:(max 2 a.(0)) ~h:a.(1) ~lambda:a.(2) ~alpha:a.(3) () in
+        min (Params.sparse_degree p) (a.(0) - 1)),
+      [| n; h; lambda; alpha |] )

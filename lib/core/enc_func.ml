@@ -39,6 +39,34 @@ let partial_dec_message params ~depth ~me ~dst ~out_bytes ~tampered =
   let head = Bytes.make 1 (if tampered then '\001' else '\000') in
   Bytes.cat head body
 
+(* Cost phases (see Analysis.Costs): the round-1 simultaneous broadcast
+   is a fingerprinted All_to_all run over [k] members carrying
+   [Cost_model.round1_bytes]-sized payloads, then every participant sends
+   a partial decryption to each of the [recipients] parties holding a
+   nonempty private output (one step), and the final collection drains
+   inboxes without stepping.  All phase parameters are closed-form given
+   the participant set and the output layout; only the embedded
+   fingerprint residues carry slack. *)
+let cost_phases ~pre ~k ~idsum ~depth ~inbits ~outbytes ~recipients ~n ~lambda =
+  let open Analysis.Costs in
+  let jn s = if pre = "" then s else pre ^ "." ^ s in
+  let r1 = Cost_expr.round1_bytes ~lambda ~depth ~input_bits:inbits in
+  let pdec = Cost_expr.pdec_payload ~lambda ~depth ~out_bytes:outbytes in
+  let pdec_msgs = Mul [ recipients; Sub (k, Const 1) ] in
+  All_to_all.cost_phases ~variant:All_to_all.Fingerprinted ~pre:(jn "sb") ~k ~idsum ~len:r1
+    ~n ~lambda
+  @ [
+      exact ~label:(jn "pdec") ~edge:"member->recipient"
+        ~bits:(Cost_expr.bits (Mul [ pdec_msgs; pdec ]))
+        ~messages:pdec_msgs ~rounds:(Const 1);
+    ]
+
+let cost_spec ~k ~idsum ~depth ~inbits ~outbytes ~recipients ~n ~lambda =
+  {
+    Analysis.Costs.name = "enc_func.run";
+    phases = cost_phases ~pre:"" ~k ~idsum ~depth ~inbits ~outbytes ~recipients ~n ~lambda;
+  }
+
 let run ?pool net rng params ~participants ~private_input ~depth ~eval ~corruption ~adv =
   let members = List.sort_uniq compare participants in
   let is_corrupt i = Netsim.Corruption.is_corrupted corruption i in

@@ -78,3 +78,35 @@ val run :
   corruption:Netsim.Corruption.t ->
   adv:adv ->
   (int * (bytes * bytes) Outcome.t) list
+
+(** Cost phases of {!run} (see {!Analysis.Costs}) for [k] participants
+    (id varint sizes summing to [idsum]) with uniform [inbits]-bit
+    private inputs, [recipients] parties receiving a nonempty
+    [outbytes]-byte private output, and circuit depth [depth]: a
+    fingerprinted {!All_to_all} over {!Cost_model.round1_bytes}-sized
+    payloads (3 rounds, sub-phases under [pre].sb), then one
+    partial-decryption round of [recipients·(k−1)] messages sized
+    [1 + partial_dec_bytes·blocks(8·outbytes)].  Total 4 rounds; only
+    fingerprint residues carry slack. *)
+val cost_phases :
+  pre:string ->
+  k:Analysis.Costs.expr ->
+  idsum:Analysis.Costs.expr ->
+  depth:Analysis.Costs.expr ->
+  inbits:Analysis.Costs.expr ->
+  outbytes:Analysis.Costs.expr ->
+  recipients:Analysis.Costs.expr ->
+  n:Analysis.Costs.expr ->
+  lambda:Analysis.Costs.expr ->
+  Analysis.Costs.phase list
+
+val cost_spec :
+  k:Analysis.Costs.expr ->
+  idsum:Analysis.Costs.expr ->
+  depth:Analysis.Costs.expr ->
+  inbits:Analysis.Costs.expr ->
+  outbytes:Analysis.Costs.expr ->
+  recipients:Analysis.Costs.expr ->
+  n:Analysis.Costs.expr ->
+  lambda:Analysis.Costs.expr ->
+  Analysis.Costs.spec

@@ -5,6 +5,42 @@ type adv = {
 
 let honest_adv = { tamper_fp = None; lie_verdict = None }
 
+(* ---- cost specs (see Analysis.Costs) ---------------------------------- *)
+
+let cost_spec_run ~n ~lambda ~len =
+  let open Analysis.Costs in
+  let t = Cost_expr.fp_t ~lambda ~n ~len in
+  {
+    name = "equality.run";
+    phases =
+      [
+        bounded ~label:"fingerprint" ~edge:"p1->p2"
+          ~bits:(Cost_expr.bits (Cost_expr.fp_bytes_hi t))
+          ~slack:(Cost_expr.bits (Cost_expr.fp_slack_bytes t))
+          ~reason:Cost_expr.fp_reason ~messages:(Const 1) ~rounds:(Const 1);
+        exact ~label:"verdict" ~edge:"p2->p1" ~bits:(Const 8) ~messages:(Const 1)
+          ~rounds:(Const 1);
+      ];
+  }
+
+(* Both steps of [pairwise] run even when there are fewer than 2 members
+   (the send loops are just empty), so rounds is unconditionally 2;
+   callers that skip the whole call below a threshold wrap these in
+   [Costs.guard]. *)
+let cost_phases_pairwise ~pre ~k ~maxlen ~n ~lambda =
+  let open Analysis.Costs in
+  let jn s = if pre = "" then s else pre ^ "." ^ s in
+  let t = Cost_expr.fp_t ~lambda ~n ~len:maxlen in
+  let pairs = Choose2 k in
+  [
+    bounded ~label:(jn "fingerprints") ~edge:"member->member"
+      ~bits:(Cost_expr.bits (Mul [ pairs; Cost_expr.fp_bytes_hi t ]))
+      ~slack:(Cost_expr.bits (Mul [ pairs; Cost_expr.fp_slack_bytes t ]))
+      ~reason:Cost_expr.fp_reason ~messages:pairs ~rounds:(Const 1);
+    exact ~label:(jn "verdicts") ~edge:"member->member" ~bits:(Cost_expr.bits pairs)
+      ~messages:pairs ~rounds:(Const 1);
+  ]
+
 let encode_fp fp = Util.Codec.encode Crypto.Fingerprint.encode fp
 
 let decode_fp b =

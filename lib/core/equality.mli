@@ -72,3 +72,25 @@ val pairwise :
   corruption:Netsim.Corruption.t ->
   adv:adv ->
   (int * bool) list
+
+(** {1 Cost specs} (see {!Analysis.Costs})
+
+    Exact message/round counts; bits carry the declared fingerprint-residue
+    slack.  Expression arguments: [n]/[lambda] the security parameters,
+    [len] the (max) compared value length in bytes. *)
+
+(** Closed-form spec for {!run}: one fingerprint, one verdict byte, two
+    rounds. *)
+val cost_spec_run : n:Analysis.Costs.expr -> lambda:Analysis.Costs.expr -> len:Analysis.Costs.expr -> Analysis.Costs.spec
+
+(** Phases of {!pairwise} over [k] members comparing values of (max)
+    [maxlen] bytes — C(k,2) fingerprints then C(k,2) verdict bytes, one
+    round each (both steps run even for [k < 2]).  [pre] prefixes phase
+    labels for embedding into pipeline specs. *)
+val cost_phases_pairwise :
+  pre:string ->
+  k:Analysis.Costs.expr ->
+  maxlen:Analysis.Costs.expr ->
+  n:Analysis.Costs.expr ->
+  lambda:Analysis.Costs.expr ->
+  Analysis.Costs.phase list

@@ -93,6 +93,42 @@ let triples_used ~circuit =
     (fun acc g -> match g with FAnd _ | FOr _ -> acc + 1 | _ -> acc)
     0 f.gates
 
+(* Cost spec (see Analysis.Costs): fully closed-form given the circuit —
+   input sharing, one batched Beaver opening per layer that actually
+   contains multiplicative gates (layers without them neither send nor
+   step), and the output opening.  Every phase is an all-pairs exchange
+   of one packed message. *)
+let cost_spec ~circuit ~input_width ~n =
+  let open Analysis.Costs in
+  let flat = flatten circuit in
+  let layer_mults = Hashtbl.create 16 in
+  Array.iteri
+    (fun id g ->
+      match g with
+      | FAnd _ | FOr _ ->
+        let l = flat.depths.(id) in
+        Hashtbl.replace layer_mults l (1 + try Hashtbl.find layer_mults l with Not_found -> 0)
+      | _ -> ())
+    flat.gates;
+  let layers =
+    List.sort compare (Hashtbl.fold (fun l m acc -> (l, m) :: acc) layer_mults [])
+  in
+  let pairs = Mul [ n; Sub (n, Const 1) ] in
+  let exchange label payload_bytes =
+    exact ~label ~edge:"all-pairs"
+      ~bits:(Mul [ Const 8; pairs; Const payload_bytes ])
+      ~messages:pairs ~rounds:(Const 1)
+  in
+  {
+    name = "gmw.run";
+    phases =
+      (exchange "input_share" ((input_width + 7) / 8)
+      :: List.map
+           (fun (l, m) -> exchange (Printf.sprintf "layer%d" l) (((2 * m) + 7) / 8))
+           layers)
+      @ [ exchange "output" ((Array.length flat.outputs + 7) / 8) ];
+  }
+
 (* ---- Bit-packing helpers for batched openings ---- *)
 
 let pack_bits bits =

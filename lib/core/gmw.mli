@@ -45,3 +45,12 @@ val run :
 (** [triples_used ~circuit] — the number of AND gates = Beaver triples the
     dealer must supply. *)
 val triples_used : circuit:Circuit.t -> int
+
+(** Closed-form cost spec of {!run} (see {!Analysis.Costs}): input
+    sharing, one batched Beaver opening per layer containing
+    multiplicative gates, and the output opening — each an all-pairs
+    exchange of one packed message, so [n(n−1)] messages per phase and
+    rounds = 2 + the number of multiplicative layers.  Exact (no
+    randomness in any payload size). *)
+val cost_spec :
+  circuit:Circuit.t -> input_width:int -> n:Analysis.Costs.expr -> Analysis.Costs.spec

@@ -70,7 +70,36 @@ let parse payload =
   | items -> Batch items
   | exception Util.Codec.Decode_error _ -> Garbage
 
-let run ?pool net _rng _params ~graph ~sources ~corruption ~adv =
+(* Cost phases (see Analysis.Costs) for an honest run whose rumor values
+   are all [len] bytes.  Gossip traffic depends on the sampled graph, so
+   the spec is written over structural observables recorded by [run]
+   under [pre]: [batches] (messages), [rounds], [rumors] (rumor items
+   summed over all batches), [hdr_bytes] (Σ varint(item count)),
+   [bitmap_bytes] (Σ ⌈count/8⌉ kind bitmaps) and [origin_bytes]
+   (Σ varint(origin)).  The observables are item counts and id widths —
+   never payload lengths — so the byte reconstruction below still checks
+   the wire format of [encode_batch]. *)
+let cost_phases ~pre ~len =
+  let open Analysis.Costs in
+  let jn s = if pre = "" then s else pre ^ "." ^ s in
+  let v s = Var (jn s) in
+  [
+    exact ~label:(jn "batches") ~edge:"graph-neighbors"
+      ~bits:
+        (Cost_expr.bits
+           (Add
+              [
+                v "hdr_bytes";
+                v "bitmap_bytes";
+                v "origin_bytes";
+                Mul [ v "rumors"; Add [ varint_e len; len ] ];
+              ]))
+      ~messages:(v "batches") ~rounds:(v "rounds");
+  ]
+
+let cost_spec ~len = { Analysis.Costs.name = "gossip.run"; phases = cost_phases ~pre:"" ~len }
+
+let run ?pool ?obs net _rng _params ~graph ~sources ~corruption ~adv =
   let n = Netsim.Net.n net in
   if Array.length graph <> n then invalid_arg "Gossip.run: graph arity";
   let is_corrupt i = Netsim.Corruption.is_corrupted corruption i in
@@ -195,9 +224,51 @@ let run ?pool net _rng _params ~graph ~sources ~corruption ~adv =
   let max_rounds = (2 * n) + 2 in
   let round = ref 0 in
   let batches = ref !round0 in
+  (* Observable recording happens here on the calling domain (never inside
+     the sharded compute closures): each outgoing batch is re-parsed for
+     its structural item counts.  [parse] only extracts structure — the
+     predicted byte count is reconstructed arithmetically by the cost
+     spec, so a framing change in [encode_batch] still shows up as a
+     mismatch against the measured accounting. *)
+  let observe_batch =
+    match obs with
+    | None -> fun _ -> ()
+    | Some o ->
+      let add = Analysis.Costs.Obs.add o in
+      fun payload ->
+        add "batches" 1;
+        (match parse payload with
+        | Garbage -> ()
+        | Batch items ->
+          let count = List.length items in
+          add "hdr_bytes" (Util.Codec.varint_size count);
+          add "bitmap_bytes" ((count + 7) / 8);
+          List.iter
+            (function
+              | Rx_warning -> ()
+              | Rx_rumor (origin, v) ->
+                add "rumors" 1;
+                add "origin_bytes" (Util.Codec.varint_size origin);
+                add "value_bytes"
+                  (let len = v.Util.Codec.len in
+                   Util.Codec.varint_size len + len))
+            items)
+  in
+  (match obs with
+  | None -> ()
+  | Some o ->
+    (* Pre-bind every counter so quiescent runs still have all spec
+       variables defined. *)
+    List.iter
+      (fun k -> Analysis.Costs.Obs.add o k 0)
+      [ "batches"; "hdr_bytes"; "bitmap_bytes"; "rumors"; "origin_bytes"; "value_bytes" ]);
   while !batches <> [] && !round < max_rounds do
     incr round;
-    List.iter (fun (src, dst, payload) -> Netsim.Net.send net ~src ~dst payload) !batches;
+    List.iter
+      (fun (src, dst, payload) ->
+        observe_batch payload;
+        Netsim.Net.send net ~src ~dst payload)
+      !batches;
     Netsim.Net.step net;
     let produced =
       Netsim.Net.run_round ?pool net ~parties:(Netsim.Net.active_parties net) (fun p ->
@@ -242,6 +313,9 @@ let run ?pool net _rng _params ~graph ~sources ~corruption ~adv =
     in
     batches := List.concat produced
   done;
+  (match obs with
+  | None -> ()
+  | Some o -> Analysis.Costs.Obs.set o "rounds" !round);
   Array.init n (fun i ->
       if warned.(i) then Outcome.Abort (Outcome.Equivocation "conflicting rumor or warning")
       else

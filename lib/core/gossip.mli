@@ -40,6 +40,7 @@ val honest_adv : adv
     must be pure (all of {!Attacks}' are). *)
 val run :
   ?pool:Util.Pool.t ->
+  ?obs:Analysis.Costs.Obs.t ->
   Netsim.Net.t ->
   Util.Prng.t ->
   Params.t ->
@@ -48,3 +49,13 @@ val run :
   corruption:Netsim.Corruption.t ->
   adv:adv ->
   (int * bytes) list Outcome.t array
+
+(** Cost phases of {!run} for honest traffic with uniform [len]-byte rumor
+    values, over the structural observables [run] records into [?obs]
+    under prefix [pre] ([batches], [rounds], [rumors], [hdr_bytes],
+    [bitmap_bytes], [origin_bytes]); see {!Analysis.Costs}.  The byte
+    count is reconstructed arithmetically from [encode_batch]'s framing,
+    so it is exact — no slack. *)
+val cost_phases : pre:string -> len:Analysis.Costs.expr -> Analysis.Costs.phase list
+
+val cost_spec : len:Analysis.Costs.expr -> Analysis.Costs.spec

@@ -20,7 +20,21 @@ type result = {
 
 let claim_payload = Bytes.make 1 '\001'
 
-let run ?pool net rng params ~corruption ~adv =
+(* Cost phases (see Analysis.Costs): the sparse routing network (closed
+   form), the claim gossip over the sampled graph (gossip observables
+   under [pre].gossip, claim payloads are 1 byte), then View_check's two
+   rounds (observables under [pre].vc). *)
+let cost_phases ~pre ~n ~h ~lambda ~alpha =
+  let jn s = if pre = "" then s else pre ^ "." ^ s in
+  let sparse = (Sparse_network.cost_spec ~n ~h ~lambda ~alpha).Analysis.Costs.phases in
+  sparse
+  @ Gossip.cost_phases ~pre:(jn "gossip") ~len:(Analysis.Costs.Const 1)
+  @ View_check.cost_phases ~pre:(jn "vc") ~n ~lambda
+
+let cost_spec ~n ~h ~lambda ~alpha =
+  { Analysis.Costs.name = "local_committee.run"; phases = cost_phases ~pre:"" ~n ~h ~lambda ~alpha }
+
+let run ?pool ?obs net rng params ~corruption ~adv =
   let n = Netsim.Net.n net in
   let p = Params.local_committee_prob params in
   let bound = Params.local_committee_bound params in
@@ -47,7 +61,11 @@ let run ?pool net rng params ~corruption ~adv =
       (fun i -> if claims.(i) && not aborted.(i) then Some (i, claim_payload) else None)
       (List.init n (fun i -> i))
   in
-  let gossip_outs = Gossip.run ?pool net rng params ~graph ~sources ~corruption ~adv:adv.gossip in
+  let gossip_outs =
+    Gossip.run ?pool
+      ?obs:(Option.map (fun o -> Analysis.Costs.Obs.scoped o "gossip") obs)
+      net rng params ~graph ~sources ~corruption ~adv:adv.gossip
+  in
   let views = Array.make n [] in
   for i = 0 to n - 1 do
     match gossip_outs.(i) with
@@ -60,7 +78,9 @@ let run ?pool net rng params ~corruption ~adv =
   done;
   (* Step 5: equality among mutually-known committee members over direct
      channels. *)
-  View_check.run net rng params ~claims ~views ~corruption ~eq:adv.eq ~aborted;
+  View_check.run
+    ?obs:(Option.map (fun o -> Analysis.Costs.Obs.scoped o "vc") obs)
+    net rng params ~claims ~views ~corruption ~eq:adv.eq ~aborted;
   let view_outs =
     Array.init n (fun i ->
         if aborted.(i) then

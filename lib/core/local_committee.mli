@@ -33,9 +33,28 @@ type result = {
     network stay on the calling domain for stream fidelity. *)
 val run :
   ?pool:Util.Pool.t ->
+  ?obs:Analysis.Costs.Obs.t ->
   Netsim.Net.t ->
   Util.Prng.t ->
   Params.t ->
   corruption:Netsim.Corruption.t ->
   adv:adv ->
   result
+
+(** Cost phases of {!run} (see {!Analysis.Costs}): sparse network (closed
+    form) + claim gossip (observables under [pre].gossip) + view check
+    (observables under [pre].vc).  Rounds: 1 + gossip rounds + 2. *)
+val cost_phases :
+  pre:string ->
+  n:Analysis.Costs.expr ->
+  h:Analysis.Costs.expr ->
+  lambda:Analysis.Costs.expr ->
+  alpha:Analysis.Costs.expr ->
+  Analysis.Costs.phase list
+
+val cost_spec :
+  n:Analysis.Costs.expr ->
+  h:Analysis.Costs.expr ->
+  lambda:Analysis.Costs.expr ->
+  alpha:Analysis.Costs.expr ->
+  Analysis.Costs.spec

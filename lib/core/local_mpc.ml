@@ -30,9 +30,35 @@ let honest_theorem2_adv =
     tamper_pdec = None;
   }
 
-let run_theorem2 ?pool net rng config ~corruption ~inputs ~adv =
+(* Cost phases of [run_theorem2] (see Analysis.Costs): the routing
+   network (closed form), then two gossip phases — the Theorem 9 round-1
+   messages (observables under [pre].g1) and the partial decryptions
+   (under [pre].g2).  Payload sizes are closed-form in λ, D and the
+   input/output widths; everything is exact (gossip has no slack). *)
+let cost_phases_theorem2 ~pre ~n ~h ~lambda ~alpha ~depth ~input_width ~out_bits =
+  let open Analysis.Costs in
+  let jn s = if pre = "" then s else pre ^ "." ^ s in
+  let r1_len =
+    Cost_expr.round1_bytes ~lambda ~depth
+      ~input_bits:(Mul [ Const 8; Ceil_div (input_width, Const 8) ])
+  in
+  let pdec_len =
+    Cost_expr.pdec_payload ~lambda ~depth ~out_bytes:(Ceil_div (out_bits, Const 8))
+  in
+  (Sparse_network.cost_spec ~n ~h ~lambda ~alpha).Analysis.Costs.phases
+  @ Gossip.cost_phases ~pre:(jn "g1") ~len:r1_len
+  @ Gossip.cost_phases ~pre:(jn "g2") ~len:pdec_len
+
+let cost_spec_theorem2 ~n ~h ~lambda ~alpha ~depth ~input_width ~out_bits =
+  {
+    Analysis.Costs.name = "local_mpc.theorem2";
+    phases = cost_phases_theorem2 ~pre:"" ~n ~h ~lambda ~alpha ~depth ~input_width ~out_bits;
+  }
+
+let run_theorem2 ?pool ?obs net rng config ~corruption ~inputs ~adv =
   let params = config.params in
   let n = Netsim.Net.n net in
+  let sub_obs name = Option.map (fun o -> Analysis.Costs.Obs.scoped o name) obs in
   if Array.length inputs <> n then invalid_arg "Local_mpc.run_theorem2: wrong input count";
   let is_corrupt i = Netsim.Corruption.is_corrupted corruption i in
   let depth = Circuit.depth config.circuit in
@@ -71,7 +97,10 @@ let run_theorem2 ?pool net rng config ~corruption ~inputs ~adv =
       (fun i -> if aborted.(i) then None else Some (i, r1_message i))
       (List.init n (fun i -> i))
   in
-  let g1 = Gossip.run ?pool net rng params ~graph ~sources ~corruption ~adv:adv.gossip_r1 in
+  let g1 =
+    Gossip.run ?pool ?obs:(sub_obs "g1") net rng params ~graph ~sources ~corruption
+      ~adv:adv.gossip_r1
+  in
   let r1_views = Array.make n None in
   for i = 0 to n - 1 do
     match g1.(i) with
@@ -102,8 +131,8 @@ let run_theorem2 ?pool net rng config ~corruption ~inputs ~adv =
       (List.init n (fun i -> i))
   in
   let g2 =
-    Gossip.run ?pool net rng params ~graph ~sources:pdec_sources ~corruption
-      ~adv:adv.gossip_pdec
+    Gossip.run ?pool ?obs:(sub_obs "g2") net rng params ~graph ~sources:pdec_sources
+      ~corruption ~adv:adv.gossip_pdec
   in
   (* The ideal functionality's output on the effective inputs. *)
   let out =
@@ -191,10 +220,85 @@ let decode_exchange b =
   | v -> Some v
   | exception Util.Codec.Decode_error _ -> None
 
-let run_theorem4_metered ?cover_size ?pool net rng config ~corruption ~inputs ~adv =
+(* Cost phases of [run_theorem4] (see Analysis.Costs): the nine
+   Algorithm 8 steps.  Observables recorded by [run_theorem4_metered
+   ?obs] under [pre]: [members]/[memb_idsum] after election, [pk_sends]
+   and [out_sends] (cover fan-outs, Σ_c |S_c \ {c}| over members holding
+   the value), [input_sends] (step-5 submissions), the step-6 exchange
+   structure ([exch_senders], [exch_hdr], [exch_idsum], [exch_entries] —
+   the encode_exchange framing reconstructed arithmetically), [ctv_some]
+   (populated entries in the widest merged view), plus sub-protocol
+   observables under [pre].lc / [pre].gen / [pre].eq / [pre].comp.  The
+   keygen/compute Enc_func runs are guarded on a nonempty committee and
+   the step-7 equality on K ≥ 2; the step-4/5/6/9 [Net.step] calls are
+   unconditional.  Only fingerprint residues carry slack. *)
+let cost_phases_theorem4 ~pre ~pke ~depth ~input_width ~out_bits ~n ~h ~lambda ~alpha =
+  let open Analysis.Costs in
+  let jn s = if pre = "" then s else pre ^ "." ^ s in
+  let v name = Var (jn name) in
+  let k = v "members" in
+  let idsum = v "memb_idsum" in
+  let seed_bytes = Call ("seed_bytes", (fun a -> max 8 (a.(0) / 8)), [| lambda |]) in
+  let seed_bits = Mul [ Const 8; seed_bytes ] in
+  let pk_b = Cost_expr.pke_pk_bytes pke in
+  let ct_b = Cost_expr.pke_ct_bytes pke ~plaintext_len:(Ceil_div (input_width, Const 8)) in
+  let out_b = Ceil_div (out_bits, Const 8) in
+  let eqv_b =
+    Add
+      [
+        varint_e n;
+        sum_varint_below n;
+        n;
+        Mul [ v "ctv_some"; Add [ varint_e ct_b; ct_b ] ];
+      ]
+  in
+  let exch_msgs = Mul [ v "exch_senders"; Sub (v "exch_senders", Const 1) ] in
+  let exch_payload_sum =
+    Add [ v "exch_hdr"; v "exch_idsum"; Mul [ v "exch_entries"; Add [ varint_e ct_b; ct_b ] ] ]
+  in
+  let fan label sends payload_b =
+    exact ~label:(jn label) ~edge:"member->cover"
+      ~bits:(Cost_expr.bits (Mul [ sends; payload_b ]))
+      ~messages:sends ~rounds:(Const 1)
+  in
+  Local_committee.cost_phases ~pre:(jn "lc") ~n ~h ~lambda ~alpha
+  @ guard (Ge (k, Const 1))
+      (Enc_func.cost_phases ~pre:(jn "gen") ~k ~idsum ~depth:(Const 1) ~inbits:seed_bits
+         ~outbytes:(Const 1) ~recipients:(Const 0) ~n ~lambda)
+  @ [
+      fan "pk_cover" (v "pk_sends") pk_b;
+      exact ~label:(jn "input") ~edge:"party->member"
+        ~bits:(Cost_expr.bits (Mul [ v "input_sends"; ct_b ]))
+        ~messages:(v "input_sends") ~rounds:(Const 1);
+      (* Step 6: every active member sends its whole collected batch to
+         each other active member — (K'−1) copies of Σ_c payload_c. *)
+      exact ~label:(jn "exchange") ~edge:"member->member"
+        ~bits:
+          (Cost_expr.bits (Mul [ Sub (v "exch_senders", Const 1); exch_payload_sum ]))
+        ~messages:exch_msgs ~rounds:(Const 1);
+    ]
+  @ guard (Ge (k, Const 2))
+      (Equality.cost_phases_pairwise ~pre:(jn "eq") ~k ~maxlen:eqv_b ~n ~lambda)
+  @ guard (Ge (k, Const 1))
+      (Enc_func.cost_phases ~pre:(jn "comp") ~k ~idsum ~depth ~inbits:seed_bits
+         ~outbytes:out_b ~recipients:k ~n ~lambda)
+  @ [ fan "output" (v "out_sends") out_b ]
+
+let cost_spec_theorem4 ~pke ~depth ~input_width ~out_bits ~n ~h ~lambda ~alpha =
+  {
+    Analysis.Costs.name = "local_mpc.theorem4";
+    phases =
+      cost_phases_theorem4 ~pre:"" ~pke ~depth ~input_width ~out_bits ~n ~h ~lambda ~alpha;
+  }
+
+let run_theorem4_metered ?cover_size ?pool ?obs net rng config ~corruption ~inputs ~adv =
   let module P = (val config.pke : Crypto.Pke.S) in
   let params = config.params in
   let n = Netsim.Net.n net in
+  let ob key value =
+    match obs with Some o -> Analysis.Costs.Obs.set o key value | None -> ()
+  in
+  let sub_obs name = Option.map (fun o -> Analysis.Costs.Obs.scoped o name) obs in
   if Array.length inputs <> n then invalid_arg "Local_mpc.run_theorem4: wrong input count";
   if n * config.input_width <> config.circuit.Circuit.num_inputs then
     invalid_arg "Local_mpc.run_theorem4: circuit arity mismatch";
@@ -210,7 +314,10 @@ let run_theorem4_metered ?cover_size ?pool net rng config ~corruption ~inputs ~a
 
   (* ---- Step 1: local committee election ---- *)
   let s0 = mark () in
-  let election = Local_committee.run ?pool net rng params ~corruption ~adv:adv.election in
+  let election =
+    Local_committee.run ?pool ?obs:(sub_obs "lc") net rng params ~corruption
+      ~adv:adv.election
+  in
   Array.iteri
     (fun i o -> match o with Outcome.Abort r -> set_abort i r | Outcome.Output _ -> ())
     election.Local_committee.views;
@@ -225,6 +332,8 @@ let run_theorem4_metered ?cover_size ?pool net rng config ~corruption ~inputs ~a
         active i && match my_view i with Some v -> v.Committee.elected | None -> false)
       (List.init n (fun i -> i))
   in
+  ob "members" (List.length members);
+  ob "memb_idsum" (List.fold_left (fun acc i -> acc + Util.Codec.varint_size i) 0 members);
   let election_bits = bits_since s0 in
 
   (* ---- Step 2: F_Gen inside the committee ---- *)
@@ -273,6 +382,15 @@ let run_theorem4_metered ?cover_size ?pool net rng config ~corruption ~inputs ~a
   (* Step 4: forward pk to the cover.  Rng-free member fan-out — shards
      through run_round like mpc_abort step 3; the commit replays sends in
      ascending member id, exactly the sequential List.iter order. *)
+  let cover_sends holds =
+    List.fold_left
+      (fun acc c ->
+        if active c && holds c then
+          acc + List.length (List.filter (fun d -> d <> c) (Hashtbl.find covers c))
+        else acc)
+      0 members
+  in
+  ob "pk_sends" (cover_sends (Hashtbl.mem member_pk));
   let (_ : unit list) =
     Netsim.Net.run_round ?pool net ~parties:members (fun p ->
         let c = Netsim.Net.Party.id p in
@@ -328,6 +446,7 @@ let run_theorem4_metered ?cover_size ?pool net rng config ~corruption ~inputs ~a
   (* Step 5: parties encrypt and send their input to responsible members. *)
   let input_bytes i = Bitpack.int_to_bytes inputs.(i) ~width:config.input_width in
   let own_ct = Hashtbl.create 8 in
+  let input_sends = ref 0 in
   for i = 0 to n - 1 do
     if active i then
       match party_pk.(i) with
@@ -345,11 +464,13 @@ let run_theorem4_metered ?cover_size ?pool net rng config ~corruption ~inputs ~a
                   | Some f when is_corrupt i -> f ~me:i ~dst:c ct
                   | _ -> ct
                 in
+                incr input_sends;
                 Netsim.Net.send net ~src:i ~dst:c payload
               end)
             responsible.(i))
       | None -> ()
   done;
+  ob "input_sends" !input_sends;
   Netsim.Net.step net;
   (* Input collection: each member filters its own inbox against its
      cover — rng-free, sharded; the table is filled on the calling domain
@@ -384,6 +505,20 @@ let run_theorem4_metered ?cover_size ?pool net rng config ~corruption ~inputs ~a
      CPU-heavy exchange encoding) and the per-member merge each shard
      through run_round; abort bookkeeping lands after the round. *)
   let active_members = List.filter active members in
+  ob "exch_senders" (List.length active_members);
+  let exch_hdr, exch_idsum, exch_entries =
+    List.fold_left
+      (fun (hdr, idsum, cnt) c ->
+        let entries = Hashtbl.find collected c in
+        ( hdr + Util.Codec.varint_size (List.length entries),
+          idsum
+          + List.fold_left (fun a (id, _) -> a + Util.Codec.varint_size id) 0 entries,
+          cnt + List.length entries ))
+      (0, 0, 0) active_members
+  in
+  ob "exch_hdr" exch_hdr;
+  ob "exch_idsum" exch_idsum;
+  ob "exch_entries" exch_entries;
   let (_ : unit list) =
     Netsim.Net.run_round ?pool net ~parties:active_members (fun p ->
         let c = Netsim.Net.Party.id p in
@@ -434,6 +569,12 @@ let run_theorem4_metered ?cover_size ?pool net rng config ~corruption ~inputs ~a
   (* ---- Step 7: pairwise equality on the merged views ---- *)
   let s4 = mark () in
   let eq_members = List.filter (fun c -> active c && Hashtbl.mem merged c) members in
+  ob "ctv_some"
+    (List.fold_left
+       (fun acc c ->
+         let view = Hashtbl.find merged c in
+         max acc (List.length (List.filter (fun (_, ct) -> ct <> None) view)))
+       0 eq_members);
   let verdicts =
     if List.length eq_members >= 2 then
       Equality.pairwise ?pool net rng params ~members:eq_members
@@ -509,6 +650,7 @@ let run_theorem4_metered ?cover_size ?pool net rng config ~corruption ~inputs ~a
   (* Mirrors mpc_abort step 7: rng-free output fan-out and per-party
      collection both shard; classification stays on the calling domain. *)
   let s6 = mark () in
+  ob "out_sends" (cover_sends (Hashtbl.mem member_out));
   let (_ : unit list) =
     Netsim.Net.run_round ?pool net ~parties:members (fun p ->
         let c = Netsim.Net.Party.id p in
@@ -561,5 +703,5 @@ let run_theorem4_metered ?cover_size ?pool net rng config ~corruption ~inputs ~a
       output_bits;
     } )
 
-let run_theorem4 ?pool net rng config ~corruption ~inputs ~adv =
-  fst (run_theorem4_metered ?pool net rng config ~corruption ~inputs ~adv)
+let run_theorem4 ?pool ?obs net rng config ~corruption ~inputs ~adv =
+  fst (run_theorem4_metered ?pool ?obs net rng config ~corruption ~inputs ~adv)

@@ -44,6 +44,7 @@ val honest_theorem2_adv : theorem2_adv
     results and accounting are byte-identical at any jobs count. *)
 val run_theorem2 :
   ?pool:Util.Pool.t ->
+  ?obs:Analysis.Costs.Obs.t ->
   Netsim.Net.t ->
   Util.Prng.t ->
   config ->
@@ -51,6 +52,32 @@ val run_theorem2 :
   inputs:int array ->
   adv:theorem2_adv ->
   bytes Outcome.t array
+
+(** Cost phases of {!run_theorem2} (see {!Analysis.Costs}): the sparse
+    routing network (closed form) and the two gossip phases — round-1
+    messages under [pre].g1, partial decryptions under [pre].g2 —
+    consuming the observables {!run_theorem2} records into [?obs].
+    [out_bits] is the circuit's output bit count.  Fully exact. *)
+val cost_phases_theorem2 :
+  pre:string ->
+  n:Analysis.Costs.expr ->
+  h:Analysis.Costs.expr ->
+  lambda:Analysis.Costs.expr ->
+  alpha:Analysis.Costs.expr ->
+  depth:Analysis.Costs.expr ->
+  input_width:Analysis.Costs.expr ->
+  out_bits:Analysis.Costs.expr ->
+  Analysis.Costs.phase list
+
+val cost_spec_theorem2 :
+  n:Analysis.Costs.expr ->
+  h:Analysis.Costs.expr ->
+  lambda:Analysis.Costs.expr ->
+  alpha:Analysis.Costs.expr ->
+  depth:Analysis.Costs.expr ->
+  input_width:Analysis.Costs.expr ->
+  out_bits:Analysis.Costs.expr ->
+  Analysis.Costs.spec
 
 type theorem4_adv = {
   election : Local_committee.adv;
@@ -86,6 +113,7 @@ type theorem4_costs = {
     byte-identical at any jobs count. *)
 val run_theorem4 :
   ?pool:Util.Pool.t ->
+  ?obs:Analysis.Costs.Obs.t ->
   Netsim.Net.t ->
   Util.Prng.t ->
   config ->
@@ -96,10 +124,15 @@ val run_theorem4 :
 
 (** [run_theorem4_metered] additionally returns the Equation (1) phase
     decomposition, and allows overriding the committee bias and cover size
-    for the E10 balance experiment. *)
+    for the E10 balance experiment.  [?obs] records the structural
+    observables {!cost_phases_theorem4} consumes (committee size, cover
+    fan-out counts, input submissions, exchange framing, populated merged
+    view entries, plus sub-protocol observables under [pre].lc / .gen /
+    .eq / .comp); recording happens only on the calling domain. *)
 val run_theorem4_metered :
   ?cover_size:int ->
   ?pool:Util.Pool.t ->
+  ?obs:Analysis.Costs.Obs.t ->
   Netsim.Net.t ->
   Util.Prng.t ->
   config ->
@@ -107,5 +140,35 @@ val run_theorem4_metered :
   inputs:int array ->
   adv:theorem4_adv ->
   bytes Outcome.t array * theorem4_costs
+
+(** Cost phases of {!run_theorem4} (see {!Analysis.Costs}): the nine
+    Algorithm 8 steps composed from {!Local_committee.cost_phases},
+    {!Enc_func.cost_phases} (keygen at depth 1, compute at [depth]), the
+    step-7 {!Equality.cost_phases_pairwise} on merged views, and the
+    exact cover/exchange fan-outs.  Keygen/compute are guarded on a
+    nonempty committee, the equality on K ≥ 2; only fingerprint residues
+    carry slack. *)
+val cost_phases_theorem4 :
+  pre:string ->
+  pke:(module Crypto.Pke.S) ->
+  depth:Analysis.Costs.expr ->
+  input_width:Analysis.Costs.expr ->
+  out_bits:Analysis.Costs.expr ->
+  n:Analysis.Costs.expr ->
+  h:Analysis.Costs.expr ->
+  lambda:Analysis.Costs.expr ->
+  alpha:Analysis.Costs.expr ->
+  Analysis.Costs.phase list
+
+val cost_spec_theorem4 :
+  pke:(module Crypto.Pke.S) ->
+  depth:Analysis.Costs.expr ->
+  input_width:Analysis.Costs.expr ->
+  out_bits:Analysis.Costs.expr ->
+  n:Analysis.Costs.expr ->
+  h:Analysis.Costs.expr ->
+  lambda:Analysis.Costs.expr ->
+  alpha:Analysis.Costs.expr ->
+  Analysis.Costs.spec
 
 val expected_output : config -> inputs:int array -> bytes

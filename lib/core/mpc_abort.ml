@@ -49,7 +49,73 @@ let encode_ct_view view =
           Util.Codec.write_option w Util.Codec.write_bytes ct))
     view
 
-let run_metered ?pool net rng config ~corruption ~inputs ~adv =
+(* Cost phases (see Analysis.Costs): the seven steps of Algorithm 3,
+   composed from the sub-protocol specs.  Structural observables recorded
+   by [run_metered ?obs] under [pre]: [members] (committee size K after
+   election), [memb_idsum] (Σ varint_size over member ids), [pk_senders]
+   and [out_senders] (members that actually fan out in steps 3/7),
+   [input_sends] (ciphertext submissions of step 4), [ctv_some] (populated
+   entries in the widest member ciphertext view of step 5), plus the
+   sub-protocol observables under [pre].comm / [pre].gen / [pre].eq /
+   [pre].comp.  Byte counts are reconstructed arithmetically from the
+   encoders' framing; only fingerprint residues carry slack.  The keygen
+   and compute {!Enc_func} runs are skipped when the committee is empty
+   and the equality when K < 2 (guarded); the step-3/4/7 [Net.step] calls
+   are unconditional, so those rounds are not. *)
+let cost_phases ~pre ~pke ~depth ~input_width ~out_bits ~n ~lambda =
+  let open Analysis.Costs in
+  let jn s = if pre = "" then s else pre ^ "." ^ s in
+  let v name = Var (jn name) in
+  let k = v "members" in
+  let idsum = v "memb_idsum" in
+  let seed_bytes = Call ("seed_bytes", (fun a -> max 8 (a.(0) / 8)), [| lambda |]) in
+  let seed_bits = Mul [ Const 8; seed_bytes ] in
+  let pk_b = Cost_expr.pke_pk_bytes pke in
+  let ct_b = Cost_expr.pke_ct_bytes pke ~plaintext_len:(Ceil_div (input_width, Const 8)) in
+  let out_b = Ceil_div (out_bits, Const 8) in
+  (* m_c of step 5: write_list over all n parties of (varint id ·
+     write_option write_bytes ct); every entry costs its id varint plus
+     one option byte, populated ones add the ciphertext with its length
+     varint. *)
+  let eqv_b =
+    Add
+      [
+        varint_e n;
+        sum_varint_below n;
+        n;
+        Mul [ v "ctv_some"; Add [ varint_e ct_b; ct_b ] ];
+      ]
+  in
+  let fan label senders payload_b =
+    exact ~label:(jn label) ~edge:"member->all"
+      ~bits:(Cost_expr.bits (Mul [ senders; Sub (n, Const 1); payload_b ]))
+      ~messages:(Mul [ senders; Sub (n, Const 1) ])
+      ~rounds:(Const 1)
+  in
+  Committee.cost_phases ~pre:(jn "comm") ~n ~lambda
+  @ guard (Ge (k, Const 1))
+      (Enc_func.cost_phases ~pre:(jn "gen") ~k ~idsum ~depth:(Const 1) ~inbits:seed_bits
+         ~outbytes:(Const 1) ~recipients:(Const 0) ~n ~lambda)
+  @ [
+      fan "pk_forward" (v "pk_senders") pk_b;
+      exact ~label:(jn "input") ~edge:"party->member"
+        ~bits:(Cost_expr.bits (Mul [ v "input_sends"; ct_b ]))
+        ~messages:(v "input_sends") ~rounds:(Const 1);
+    ]
+  @ guard (Ge (k, Const 2))
+      (Equality.cost_phases_pairwise ~pre:(jn "eq") ~k ~maxlen:eqv_b ~n ~lambda)
+  @ guard (Ge (k, Const 1))
+      (Enc_func.cost_phases ~pre:(jn "comp") ~k ~idsum ~depth ~inbits:seed_bits
+         ~outbytes:out_b ~recipients:k ~n ~lambda)
+  @ [ fan "output" (v "out_senders") out_b ]
+
+let cost_spec ~pke ~depth ~input_width ~out_bits ~n ~lambda =
+  {
+    Analysis.Costs.name = "mpc_abort.run";
+    phases = cost_phases ~pre:"" ~pke ~depth ~input_width ~out_bits ~n ~lambda;
+  }
+
+let run_metered ?pool ?obs net rng config ~corruption ~inputs ~adv =
   let module P = (val config.pke : Crypto.Pke.S) in
   let params = config.params in
   let n = Netsim.Net.n net in
@@ -57,6 +123,10 @@ let run_metered ?pool net rng config ~corruption ~inputs ~adv =
   if n * config.input_width <> config.circuit.Circuit.num_inputs then
     invalid_arg "Mpc_abort.run: circuit arity mismatch";
   let is_corrupt i = Netsim.Corruption.is_corrupted corruption i in
+  let ob key value =
+    match obs with Some o -> Analysis.Costs.Obs.set o key value | None -> ()
+  in
+  let sub_obs name = Option.map (fun o -> Analysis.Costs.Obs.scoped o name) obs in
   let mark_phase () = Netsim.Net.snapshot net in
   let phase_bits before =
     (Netsim.Net.diff_snapshot ~before ~after:(Netsim.Net.snapshot net)).Netsim.Net.snap_bits
@@ -68,7 +138,7 @@ let run_metered ?pool net rng config ~corruption ~inputs ~adv =
 
   (* ---- Step 1: committee election ---- *)
   let s0 = mark_phase () in
-  let views = Committee.run ?pool net rng params ~corruption ~adv:adv.committee in
+  let views = Committee.run ?pool ?obs:(sub_obs "comm") net rng params ~corruption ~adv:adv.committee in
   Array.iteri
     (fun i o -> match o with Outcome.Abort r -> set_abort i r | Outcome.Output _ -> ())
     views;
@@ -81,6 +151,8 @@ let run_metered ?pool net rng config ~corruption ~inputs ~adv =
         active i && match my_view i with Some v -> v.Committee.elected | None -> false)
       (List.init n (fun i -> i))
   in
+  ob "members" (List.length members);
+  ob "memb_idsum" (List.fold_left (fun acc i -> acc + Util.Codec.varint_size i) 0 members);
   let election_bits = phase_bits s0 in
 
   (* ---- Step 2: F_Gen — threshold key generation inside the committee ---- *)
@@ -127,6 +199,8 @@ let run_metered ?pool net rng config ~corruption ~inputs ~adv =
      conflict check each run through {!Netsim.Net.run_round}; abort
      bookkeeping is applied on the calling domain afterwards. *)
   let s2 = mark_phase () in
+  ob "pk_senders"
+    (List.length (List.filter (fun c -> active c && Hashtbl.mem member_pk c) members));
   let (_ : unit list) =
     Netsim.Net.run_round ?pool net ~parties:members (fun p ->
         let c = Netsim.Net.Party.id p in
@@ -176,6 +250,7 @@ let run_metered ?pool net rng config ~corruption ~inputs ~adv =
   let input_bytes i = Bitpack.int_to_bytes inputs.(i) ~width:config.input_width in
   (* Committee members encrypt their own input locally (no transmission). *)
   let own_ct = Hashtbl.create 8 in
+  let input_sends = ref 0 in
   for i = 0 to n - 1 do
     if active i then
       match (party_pk.(i), my_view i) with
@@ -193,11 +268,13 @@ let run_metered ?pool net rng config ~corruption ~inputs ~adv =
                   | Some f when is_corrupt i -> f ~me:i ~dst:c ct
                   | _ -> ct
                 in
+                incr input_sends;
                 Netsim.Net.send net ~src:i ~dst:c payload
               end)
             v.Committee.committee)
       | _ -> ()
   done;
+  ob "input_sends" !input_sends;
   Netsim.Net.step net;
   (* Encryption above consumes the shared [rng] and stays sequential; the
      members' ciphertext-view assembly below is pure per-inbox work and
@@ -228,6 +305,12 @@ let run_metered ?pool net rng config ~corruption ~inputs ~adv =
   (* ---- Step 5: pairwise equality on ciphertext views ---- *)
   let s4 = mark_phase () in
   let eq_members = List.filter active members in
+  ob "ctv_some"
+    (List.fold_left
+       (fun acc c ->
+         let view = Hashtbl.find member_cts c in
+         max acc (List.length (List.filter (fun (_, ct) -> ct <> None) view)))
+       0 eq_members);
   let verdicts =
     if List.length eq_members >= 2 then
       Equality.pairwise ?pool net rng params ~members:eq_members
@@ -308,6 +391,8 @@ let run_metered ?pool net rng config ~corruption ~inputs ~adv =
   (* Same shape as step 3: rng-free fan-out plus per-party conflict check,
      both sharded; the abort verdicts merge on the calling domain. *)
   let s6 = mark_phase () in
+  ob "out_senders"
+    (List.length (List.filter (fun c -> active c && Hashtbl.mem member_out c) members));
   let (_ : unit list) =
     Netsim.Net.run_round ?pool net ~parties:members (fun p ->
         let c = Netsim.Net.Party.id p in
@@ -361,5 +446,5 @@ let run_metered ?pool net rng config ~corruption ~inputs ~adv =
       output_bits;
     } )
 
-let run ?pool net rng config ~corruption ~inputs ~adv =
-  fst (run_metered ?pool net rng config ~corruption ~inputs ~adv)
+let run ?pool ?obs net rng config ~corruption ~inputs ~adv =
+  fst (run_metered ?pool ?obs net rng config ~corruption ~inputs ~adv)

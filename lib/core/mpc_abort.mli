@@ -54,9 +54,15 @@ val honest_adv : adv
     and conflict check (step 7).  Everything that draws from the shared
     [rng] — coins, key generation, input encryption, equality
     fingerprints — stays on the calling domain in party order, so results
-    and accounting are bit-identical at any domain count. *)
+    and accounting are bit-identical at any domain count.
+
+    [?obs] records the structural observables the cost spec consumes
+    (committee size, fan-out sender counts, ciphertext submissions,
+    populated view entries — see {!cost_phases}); recording happens only
+    on the calling domain. *)
 val run :
   ?pool:Util.Pool.t ->
+  ?obs:Analysis.Costs.Obs.t ->
   Netsim.Net.t ->
   Util.Prng.t ->
   config ->
@@ -83,6 +89,7 @@ type phase_costs = {
 (** [run_metered] — like {!run} but also returns per-phase bit counts. *)
 val run_metered :
   ?pool:Util.Pool.t ->
+  ?obs:Analysis.Costs.Obs.t ->
   Netsim.Net.t ->
   Util.Prng.t ->
   config ->
@@ -90,3 +97,33 @@ val run_metered :
   inputs:int array ->
   adv:adv ->
   bytes Outcome.t array * phase_costs
+
+(** Cost phases of {!run} (see {!Analysis.Costs}): the seven Algorithm 3
+    steps composed from {!Committee.cost_phases}, {!Enc_func.cost_phases}
+    (keygen at depth 1, compute at [depth]), the step-5
+    {!Equality.cost_phases_pairwise} on ciphertext views, and the exact
+    step-3/4/7 fan-outs.  Consumes the observables {!run} records under
+    [pre] ([members], [memb_idsum], [pk_senders], [input_sends],
+    [ctv_some], [out_senders]) and under [pre].comm / [pre].gen /
+    [pre].eq / [pre].comp.  [out_bits] is the circuit's output bit count;
+    [depth] and [input_width] are the circuit depth and per-party input
+    width.  Keygen/compute are guarded on a nonempty committee and the
+    equality on K ≥ 2; only fingerprint residues carry slack. *)
+val cost_phases :
+  pre:string ->
+  pke:(module Crypto.Pke.S) ->
+  depth:Analysis.Costs.expr ->
+  input_width:Analysis.Costs.expr ->
+  out_bits:Analysis.Costs.expr ->
+  n:Analysis.Costs.expr ->
+  lambda:Analysis.Costs.expr ->
+  Analysis.Costs.phase list
+
+val cost_spec :
+  pke:(module Crypto.Pke.S) ->
+  depth:Analysis.Costs.expr ->
+  input_width:Analysis.Costs.expr ->
+  out_bits:Analysis.Costs.expr ->
+  n:Analysis.Costs.expr ->
+  lambda:Analysis.Costs.expr ->
+  Analysis.Costs.spec

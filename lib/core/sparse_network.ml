@@ -20,6 +20,24 @@ let outcome_of_inbox ~bound ~out_hops i inbox =
          (fun s v -> Util.Iset.add v s)
          (Util.Iset.of_list incoming) out_hops.(i))
 
+(* Cost spec (see Analysis.Costs): fully closed-form — every party sends
+   one 1-byte notification to each of its min(d, n−1) distinct sampled
+   hops, in one round.  Under [honest_adv] this holds for corrupted
+   parties too (the adversary hooks are inert), so the E7 sweeps audit
+   exactly even with random corruption. *)
+let cost_spec ~n ~h ~lambda ~alpha =
+  let open Analysis.Costs in
+  let deff = Cost_expr.sparse_degree ~n ~h ~lambda ~alpha in
+  let sends = Mul [ n; deff ] in
+  {
+    name = "sparse_network.run";
+    phases =
+      [
+        exact ~label:"notify" ~edge:"party->hops" ~bits:(Cost_expr.bits sends)
+          ~messages:sends ~rounds:(Const 1);
+      ];
+  }
+
 let run_iter ?pool net rng params ~corruption ~adv ~f =
   let n = Netsim.Net.n net in
   let d = Params.sparse_degree params in

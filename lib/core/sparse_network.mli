@@ -31,6 +31,17 @@ val run :
   adv:adv ->
   Util.Iset.t Outcome.t array
 
+(** Closed-form cost spec of {!run} under [honest_adv] (see
+    {!Analysis.Costs}): n·min(d, n−1) one-byte notifications in one
+    round, exact even with corrupted parties present (the honest
+    adversary's hooks are inert). *)
+val cost_spec :
+  n:Analysis.Costs.expr ->
+  h:Analysis.Costs.expr ->
+  lambda:Analysis.Costs.expr ->
+  alpha:Analysis.Costs.expr ->
+  Analysis.Costs.spec
+
 (** [run_iter ~f ...] is {!run} delivered as a stream: [f i outcome] is
     called once per party in ascending [i] with exactly the outcomes
     {!run} would store.  Without a pool no more than one neighbor set is

@@ -1,6 +1,41 @@
 let garbler = 0
 let evaluator = 1
 
+(* Cost spec (see Analysis.Costs): three point-to-point messages, each
+   exactly sized from the codec framing — the evaluator's batched OT
+   round-1 keys, the garbler's tables + own labels + OT replies, and the
+   evaluator's packed output bits.  Everything is structural: OT blobs
+   are fixed-size for the default LWE params, label transfers are
+   16 bytes each, and the garbled tables have a label-independent size
+   ({!Crypto.Garble.blob_size}). *)
+let cost_spec ~circuit ~input_width =
+  let open Analysis.Costs in
+  let vs = Util.Codec.varint_size in
+  let framed b = vs b + b in
+  let r1 = Crypto.Ot.round1_size in
+  let r2 = Crypto.Ot.round2_size ~plaintext_len:Crypto.Garble.label_size in
+  let msg1 = vs input_width + (input_width * framed r1) in
+  let msg2 =
+    framed (Crypto.Garble.blob_size circuit)
+    + (vs input_width + (input_width * framed Crypto.Garble.label_size))
+    + (vs input_width + (input_width * framed r2))
+  in
+  let msg3 = (Circuit.num_outputs circuit + 7) / 8 in
+  let one label b dir =
+    exact ~label ~edge:dir
+      ~bits:(Const (8 * b))
+      ~messages:(Const 1) ~rounds:(Const 1)
+  in
+  {
+    name = "two_party.yao";
+    phases =
+      [
+        one "ot_round1" msg1 "evaluator->garbler";
+        one "tables+ot_round2" msg2 "garbler->evaluator";
+        one "output" msg3 "evaluator->garbler";
+      ];
+  }
+
 let run net rng ~circuit ~input_width ~x0 ~x1 =
   if Netsim.Net.n net < 2 then invalid_arg "Two_party.run: need two parties";
   if circuit.Circuit.num_inputs <> 2 * input_width then

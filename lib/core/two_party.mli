@@ -24,3 +24,9 @@ val run :
   x0:int ->
   x1:int ->
   (bytes * bytes) Outcome.t
+
+(** Exact cost spec of a successful {!run} (see {!Analysis.Costs}): three
+    messages / three rounds — batched OT round-1 keys, the garbler's
+    tables + labels + OT replies (structural size via
+    {!Crypto.Garble.blob_size}), and the packed output.  No slack. *)
+val cost_spec : circuit:Circuit.t -> input_width:int -> Analysis.Costs.spec

@@ -8,8 +8,29 @@ let decode_fp b =
   | fp -> Some fp
   | exception Util.Codec.Decode_error _ -> None
 
-let run net rng params ~claims ~views ~corruption ~eq ~aborted =
+(* Cost phases (see Analysis.Costs).  Observables recorded by [run] under
+   [pre]: [maxlen] (longest encoded claimant view — input to the
+   fingerprint sizing, not a wire measurement), [fp_pairs] (mutual pairs
+   whose lower id had not aborted before round A) and [pairs] (all mutual
+   pairs; round B answers each).  Both steps always run, so rounds = 2. *)
+let cost_phases ~pre ~n ~lambda =
+  let open Analysis.Costs in
+  let jn s = if pre = "" then s else pre ^ "." ^ s in
+  let v s = Var (jn s) in
+  let t = Cost_expr.fp_t ~lambda ~n ~len:(v "maxlen") in
+  [
+    bounded ~label:(jn "fingerprints") ~edge:"claimant->claimant"
+      ~bits:(Cost_expr.bits (Mul [ v "fp_pairs"; Cost_expr.fp_bytes_hi t ]))
+      ~slack:(Cost_expr.bits (Mul [ v "fp_pairs"; Cost_expr.fp_slack_bytes t ]))
+      ~reason:Cost_expr.fp_reason ~messages:(v "fp_pairs") ~rounds:(Const 1);
+    exact ~label:(jn "verdicts") ~edge:"claimant->claimant"
+      ~bits:(Cost_expr.bits (v "pairs"))
+      ~messages:(v "pairs") ~rounds:(Const 1);
+  ]
+
+let run ?obs net rng params ~claims ~views ~corruption ~eq ~aborted =
   let n = Netsim.Net.n net in
+  let ob k v = match obs with Some o -> Analysis.Costs.Obs.set o k v | None -> () in
   let is_corrupt i = Netsim.Corruption.is_corrupted corruption i in
   (* Encode each claimant's view once: the same bytes are fingerprinted by
      [i] and re-hashed by every partner [j], so per-pair re-encoding was a
@@ -28,6 +49,7 @@ let run net rng params ~claims ~views ~corruption ~eq ~aborted =
     !len
   in
   let t = Params.fingerprint_t params ~msg_len:max_len in
+  ob "maxlen" max_len;
   (* Adjacency bitmap: [mutual] is evaluated for every ordered pair, and
      [List.mem] over committee-sized view lists made it O(n^2 |C|). *)
   let sees = Array.make (n * n) false in
@@ -37,6 +59,20 @@ let run net rng params ~claims ~views ~corruption ~eq ~aborted =
   let mutual i j =
     claims.(i) && claims.(j) && sees.((i * n) + j) && sees.((j * n) + i)
   in
+  (* Structural counts for the cost spec: how many ordered-pair channels
+     each round uses.  Round A skips pairs whose lower id already aborted;
+     round B answers every mutual pair, so the two counts can differ. *)
+  let fp_pairs = ref 0 and pairs = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if mutual i j then begin
+        incr pairs;
+        if not aborted.(i) then incr fp_pairs
+      end
+    done
+  done;
+  ob "fp_pairs" !fp_pairs;
+  ob "pairs" !pairs;
   (* Round A: lower id sends its fingerprint. *)
   let my_fp = Array.make n None in
   for i = 0 to n - 1 do

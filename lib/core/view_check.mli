@@ -10,7 +10,10 @@
     boundary is the caller-owned [aborted] array.  Safe under
     [Util.Pool] jobs that own their network/RNG/arrays. *)
 
+(** [?obs] records the structural observables the cost spec needs
+    ([maxlen], [fp_pairs], [pairs]); see {!cost_phases}. *)
 val run :
+  ?obs:Analysis.Costs.Obs.t ->
   Netsim.Net.t ->
   Util.Prng.t ->
   Params.t ->
@@ -20,6 +23,15 @@ val run :
   eq:Equality.adv ->
   aborted:bool array ->
   unit
+
+(** Cost phases of {!run} (always exactly 2 rounds): C(claimants, 2)
+    mutual-pair fingerprints, then one verdict byte per mutual pair.
+    Observable variables are read under label/obs prefix [pre]. *)
+val cost_phases :
+  pre:string ->
+  n:Analysis.Costs.expr ->
+  lambda:Analysis.Costs.expr ->
+  Analysis.Costs.phase list
 
 (** [self_view ~claims ~views i] — party [i]'s view of the committee
     including itself when elected (the string compared by the tests and

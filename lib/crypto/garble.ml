@@ -203,3 +203,26 @@ let eval ~tables ~input_labels =
   | exception Invalid_argument _ -> None
 
 let size_bytes g = Bytes.length g.blob
+
+(* Structural blob size: every field the garbler writes is either fixed
+   width (gate tags, rows, labels) or a varint of a structural quantity
+   (gate ids, wire ids), so the size is label-independent and computable
+   without garbling. *)
+let blob_size circuit =
+  let gates, outputs = flatten circuit in
+  let vs = Util.Codec.varint_size in
+  let total = ref (vs (Array.length gates)) in
+  Array.iter
+    (fun (fg, _) ->
+      total :=
+        !total + 1
+        +
+        match fg with
+        | GInput wire -> vs wire
+        | GConst _ -> vs label_size + label_size
+        | GNot child -> vs child
+        | GBin (ia, ib) -> vs ia + vs ib + (4 * row_size))
+    gates;
+  total := !total + vs (Array.length outputs);
+  Array.iter (fun out_id -> total := !total + vs out_id + 1) outputs;
+  !total

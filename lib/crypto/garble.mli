@@ -47,4 +47,9 @@ val eval : tables:bytes -> input_labels:label array -> bool array option
     garbled circuit), ~[4·(16+1)·C] bytes. *)
 val size_bytes : garbled -> int
 
+(** [blob_size circuit] — the exact {!size_bytes} any garbling of
+    [circuit] will have, computed structurally (every encoded field is
+    fixed-width or a varint of a wire/gate id, never label-dependent). *)
+val blob_size : Circuit.t -> int
+
 val label_size : int

@@ -71,10 +71,19 @@ let receiver_finish st ~round2 =
   | exception Util.Codec.Decode_error _ -> None
   | ct0, ct1 -> Lwe.decrypt_bytes st.sk (if st.choice then ct1 else ct0)
 
-let round1_size =
-  (* two encoded public keys with their length prefixes *)
-  let pk_bytes = Lwe.public_key_size params + 8 in
-  2 * (pk_bytes + 4)
+(* Exact wire sizes, mirroring the encoders above byte for byte: an
+   encoded public key is the 4-varint params header plus 2 bytes per
+   matrix/vector coordinate, and each round message is two write_bytes
+   frames (varint length prefix + payload). *)
+let encoded_pk_size =
+  Util.Codec.varint_size params.Lwe.dim
+  + Util.Codec.varint_size params.Lwe.samples
+  + Util.Codec.varint_size params.Lwe.q
+  + Util.Codec.varint_size params.Lwe.err_bound
+  + Lwe.public_key_size params
+
+let round1_size = 2 * (Util.Codec.varint_size encoded_pk_size + encoded_pk_size)
 
 let round2_size ~plaintext_len =
-  2 * (Lwe.ciphertext_blob_size params ~plaintext_len + 4)
+  let ct = Lwe.ciphertext_blob_size params ~plaintext_len in
+  2 * (Util.Codec.varint_size ct + ct)

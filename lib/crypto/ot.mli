@@ -29,7 +29,8 @@ val sender_round2 : Util.Prng.t -> round1:bytes -> m0:bytes -> m1:bytes -> bytes
 (** [receiver_finish st ~round2] — the chosen message. *)
 val receiver_finish : receiver_state -> round2:bytes -> bytes option
 
-(** Message sizes for cost accounting (both ≈ two Regev keys /
-    ciphertexts). *)
+(** Exact message sizes for cost accounting, mirroring the encoders byte
+    for byte: two length-prefixed Regev public keys (round 1) / two
+    length-prefixed ciphertext blobs (round 2). *)
 val round1_size : int
 val round2_size : plaintext_len:int -> int

@@ -41,6 +41,33 @@ let test_fit_with_polylog () =
   Alcotest.(check int) "polylog power" 2 j;
   checkb "exponent near 2" true (abs_float (f.Analysis.Complexity.exponent -. 2.0) < 0.05)
 
+(* Degenerate series used to come back as NaN slopes (or a garbage fit
+   through one point) and silently pass every tolerance check; they must
+   raise instead. *)
+let test_fit_degenerate_inputs () =
+  let raises ms =
+    try
+      ignore (Analysis.Complexity.fit ms);
+      false
+    with Invalid_argument _ -> true
+  in
+  let m x value = { Analysis.Complexity.x; value } in
+  checkb "empty" true (raises []);
+  checkb "single point" true (raises [ m 4.0 100.0 ]);
+  checkb "all-zero values" true (raises [ m 2.0 0.0; m 4.0 0.0; m 8.0 0.0 ]);
+  checkb "nonpositive x" true (raises [ m 0.0 5.0; m (-2.0) 7.0 ]);
+  (* One positive point among junk is still degenerate... *)
+  checkb "one usable point" true (raises [ m 4.0 100.0; m 8.0 0.0; m 0.0 3.0 ]);
+  (* ...two are enough: junk points are dropped, not fatal. *)
+  let f = Analysis.Complexity.fit [ m 2.0 4.0; m 4.0 16.0; m 8.0 0.0 ] in
+  checkb "junk dropped, slope from the positive pair" true
+    (abs_float (f.Analysis.Complexity.exponent -. 2.0) < 1e-6);
+  checkb "fit_with_polylog raises too" true
+    (try
+       ignore (Analysis.Complexity.fit_with_polylog [ m 4.0 100.0 ]);
+       false
+     with Invalid_argument _ -> true)
+
 let test_table_rendering () =
   let t = Analysis.Table.create ~title:"T" ~columns:[ "n"; "bits" ] in
   Analysis.Table.add_row t [ "16"; "1.00 Kb" ];
@@ -140,6 +167,12 @@ let sample_report =
           wall_ms = 55.5;
           seed = None;
           peak_rss_mb = Some 12.5;
+          (* A bounded-slack prediction: lo < hi exercises the explicit
+             predicted_bits_lo key. *)
+          predicted_bits = Some 123500;
+          predicted_bits_lo = Some 123000;
+          predicted_messages = Some 789;
+          predicted_rounds = Some 42;
         };
         {
           Analysis.Bench_io.experiment = "E9";
@@ -152,6 +185,10 @@ let sample_report =
           wall_ms = 1.5;
           seed = Some 7;
           peak_rss_mb = None;
+          predicted_bits = None;
+          predicted_bits_lo = None;
+          predicted_messages = None;
+          predicted_rounds = None;
         };
       ];
   }
@@ -187,6 +224,65 @@ let test_bench_io_legacy_schema () =
   let rep = Analysis.Bench_io.report_of_json (Analysis.Json.parse legacy) in
   Alcotest.(check int) "legacy jobs defaults to 1" 1 rep.Analysis.Bench_io.jobs;
   Alcotest.(check bool) "legacy quick preserved" true rep.Analysis.Bench_io.quick
+
+(* ---- committed fixtures: golden /4 and the three legacy schemas ---- *)
+
+(* dune runtest runs with cwd = test/ (where the deps clause materializes
+   fixtures/); a direct `dune exec test/test_analysis.exe` runs from the
+   project root. *)
+let fixture name =
+  let local = Filename.concat "fixtures" name in
+  if Sys.file_exists local then local else Filename.concat "test/fixtures" name
+
+(* The golden file was produced by [Bench_io.save]; loading and
+   re-serializing it must reproduce the bytes exactly, so any encoder
+   change (key order, float formatting, optional-key elision) shows up as
+   a fixture diff instead of silently rewriting every dated baseline. *)
+let test_fixture_v4_golden_roundtrip () =
+  let path = fixture "bench_v4.json" in
+  let raw = In_channel.with_open_bin path In_channel.input_all in
+  let rep = Analysis.Bench_io.load path in
+  let out = Filename.temp_file "bench_v4_out" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove out)
+    (fun () ->
+      Analysis.Bench_io.save out rep;
+      let rewritten = In_channel.with_open_bin out In_channel.input_all in
+      checkb "byte-identical re-serialization" true (String.equal raw rewritten));
+  (* The fixture exercises every optional field, including bounded-slack
+     predictions (lo < hi). *)
+  match rep.Analysis.Bench_io.runs with
+  | first :: _ ->
+    checkb "has seed" true (first.Analysis.Bench_io.seed <> None);
+    checkb "has rss" true (first.Analysis.Bench_io.peak_rss_mb <> None);
+    (match (first.Analysis.Bench_io.predicted_bits_lo, first.Analysis.Bench_io.predicted_bits) with
+    | Some lo, Some hi -> checkb "bounded slack" true (lo < hi)
+    | _ -> Alcotest.fail "fixture lost its predictions")
+  | [] -> Alcotest.fail "empty fixture"
+
+let test_fixture_legacy_schemas_load () =
+  let v1 = Analysis.Bench_io.load (fixture "bench_v1.json") in
+  Alcotest.(check int) "/1 jobs defaults to 1" 1 v1.Analysis.Bench_io.jobs;
+  let v2 = Analysis.Bench_io.load (fixture "bench_v2.json") in
+  Alcotest.(check int) "/2 keeps jobs" 4 v2.Analysis.Bench_io.jobs;
+  let v3 = Analysis.Bench_io.load (fixture "bench_v3.json") in
+  List.iter
+    (fun (label, (rep : Analysis.Bench_io.report)) ->
+      List.iter
+        (fun (r : Analysis.Bench_io.run) ->
+          checkb (label ^ " has no predictions") true
+            (r.Analysis.Bench_io.predicted_bits = None
+            && r.Analysis.Bench_io.predicted_bits_lo = None
+            && r.Analysis.Bench_io.predicted_messages = None
+            && r.Analysis.Bench_io.predicted_rounds = None))
+        rep.Analysis.Bench_io.runs)
+    [ ("/1", v1); ("/2", v2); ("/3", v3) ];
+  (match (List.hd v2.Analysis.Bench_io.runs).Analysis.Bench_io.seed with
+  | Some 9 -> ()
+  | _ -> Alcotest.fail "/2 seed lost");
+  match (List.hd v3.Analysis.Bench_io.runs).Analysis.Bench_io.peak_rss_mb with
+  | Some _ -> ()
+  | None -> Alcotest.fail "/3 peak_rss_mb lost"
 
 (* ---- QCheck round-trip properties ---- *)
 
@@ -231,10 +327,26 @@ let prop_json_roundtrip =
       Analysis.Json.parse (Analysis.Json.to_string j) = j
       && Analysis.Json.parse (Analysis.Json.to_string ~pretty:true j) = j)
 
+(* Predictions come all-or-nothing (the harness sets the four fields
+   together), with [lo <= hi]; slack 0 exercises the elided-lo encoding,
+   nonzero slack the explicit predicted_bits_lo key. *)
+let gen_predictions =
+  QCheck.Gen.(
+    oneof
+      [
+        return (None, None, None, None);
+        map
+          (fun ((hi, slack), (m, r)) -> (Some hi, Some (max 0 (hi - slack)), Some m, Some r))
+          (pair (pair small_nat small_nat) (pair small_nat small_nat));
+      ])
+
 let gen_run =
   QCheck.Gen.(
     map
-      (fun ((experiment, series, n, h), (bits, messages, rounds, wall_ms)) ->
+      (fun (((experiment, series, n, h), (bits, messages, rounds, wall_ms)), preds) ->
+        let predicted_bits, predicted_bits_lo, predicted_messages, predicted_rounds =
+          preds
+        in
         {
           Analysis.Bench_io.experiment;
           series;
@@ -246,10 +358,16 @@ let gen_run =
           wall_ms;
           seed = None;
           peak_rss_mb = None;
+          predicted_bits;
+          predicted_bits_lo;
+          predicted_messages;
+          predicted_rounds;
         })
       (pair
-         (quad gen_raw_string gen_raw_string small_nat small_nat)
-         (quad small_nat small_nat small_nat gen_dyadic)))
+         (pair
+            (quad gen_raw_string gen_raw_string small_nat small_nat)
+            (quad small_nat small_nat small_nat gen_dyadic))
+         gen_predictions))
 
 let gen_report =
   QCheck.Gen.(
@@ -289,7 +407,46 @@ let test_bench_io_diff_counts_drift () =
     Analysis.Bench_io.diff_table ~before:sample_report ~after:drifted_report
   in
   Alcotest.(check int) "still matches" 2 matched';
-  Alcotest.(check int) "one drifted run" 1 drifted'
+  Alcotest.(check int) "one drifted run" 1 drifted';
+  (* A changed prediction is drift too — but only when both sides carry
+     one, so a /3-era baseline never flags against a /4 report. *)
+  let bump_pred r =
+    {
+      r with
+      Analysis.Bench_io.predicted_bits =
+        Option.map (fun b -> b + 8) r.Analysis.Bench_io.predicted_bits;
+    }
+  in
+  let pred_report =
+    {
+      sample_report with
+      Analysis.Bench_io.runs = List.map bump_pred sample_report.Analysis.Bench_io.runs;
+    }
+  in
+  let _, matched'', drifted'' =
+    Analysis.Bench_io.diff_table ~before:sample_report ~after:pred_report
+  in
+  Alcotest.(check int) "prediction diff matches" 2 matched'';
+  Alcotest.(check int) "only the record with a prediction drifts" 1 drifted'';
+  let strip_pred r =
+    {
+      r with
+      Analysis.Bench_io.predicted_bits = None;
+      predicted_bits_lo = None;
+      predicted_messages = None;
+      predicted_rounds = None;
+    }
+  in
+  let stripped =
+    {
+      sample_report with
+      Analysis.Bench_io.runs = List.map strip_pred sample_report.Analysis.Bench_io.runs;
+    }
+  in
+  let _, _, drifted_gain =
+    Analysis.Bench_io.diff_table ~before:stripped ~after:sample_report
+  in
+  Alcotest.(check int) "gaining predictions is not drift" 0 drifted_gain
 
 let () =
   Alcotest.run "analysis"
@@ -299,6 +456,7 @@ let () =
           Alcotest.test_case "sweep averages" `Quick test_sweep_averages;
           Alcotest.test_case "exact power law" `Quick test_fit_exact_power_law;
           Alcotest.test_case "polylog factor" `Quick test_fit_with_polylog;
+          Alcotest.test_case "degenerate inputs raise" `Quick test_fit_degenerate_inputs;
         ] );
       ( "table",
         [
@@ -320,6 +478,10 @@ let () =
           Alcotest.test_case "schema checked" `Quick test_bench_io_schema_checked;
           Alcotest.test_case "legacy /1 schema loads" `Quick test_bench_io_legacy_schema;
           Alcotest.test_case "diff counts drift" `Quick test_bench_io_diff_counts_drift;
+          Alcotest.test_case "golden /4 fixture byte-stable" `Quick
+            test_fixture_v4_golden_roundtrip;
+          Alcotest.test_case "legacy /1../3 fixtures load" `Quick
+            test_fixture_legacy_schemas_load;
           QCheck_alcotest.to_alcotest prop_bench_io_roundtrip;
         ] );
     ]
