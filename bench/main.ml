@@ -105,8 +105,9 @@ let cost_mismatch = ref false
 let checked_totals ~env ~spec net =
   let totals = Analysis.Costs.totals env spec in
   let v =
-    Analysis.Costs.check env spec ~bits:(Netsim.Net.total_bits net)
-      ~messages:(Netsim.Net.messages_sent net) ~rounds:(Netsim.Net.rounds net)
+    Analysis.Costs.check ~locality:(Netsim.Net.max_locality net) env spec
+      ~bits:(Netsim.Net.total_bits net) ~messages:(Netsim.Net.messages_sent net)
+      ~rounds:(Netsim.Net.rounds net)
   in
   if not v.Analysis.Costs.ok then begin
     cost_mismatch := true;
@@ -200,20 +201,21 @@ let run_alg3 ?pool ~n ~h ~seed () =
   assert (Array.for_all Mpc.Outcome.is_output outs);
   (net, alg3_totals ~pke ~circuit ~input_width:1 ~n ~obs net)
 
+(* One huge-tier E1 row, shared verbatim by [e1_huge] and the dist job
+   fleet ("bench.e1") — byte-identity of the records at any --workers
+   count is by construction. *)
+let e1_row ?pool n =
+  let h = n / 4 in
+  let (net, predicted), wall_ms = timed (run_alg3 ?pool ~n ~h ~seed:n) in
+  run_of_net ~predicted ~experiment:"E1" ~series:"n-sweep h=n/4" ~n ~h ~wall_ms net
+
 let e1_huge () =
   section "E1  (huge tier) Algorithm 3 at n up to 2048";
   Printf.printf
     "same protocol, series, and seeds as the full tier's h = n/4 sweep,\n\
      pushed to n = 2048; each run shards its rounds across the --jobs pool\n\
      via Net.run_round, so records are bit-identical at any --jobs value.\n\n";
-  let rows =
-    List.map
-      (fun n ->
-        let h = n / 4 in
-        let (net, predicted), wall_ms = timed (run_alg3 ?pool:!pool ~n ~h ~seed:n) in
-        run_of_net ~predicted ~experiment:"E1" ~series:"n-sweep h=n/4" ~n ~h ~wall_ms net)
-      (pick ~full:[ 512; 1024; 2048 ] ~reduced:[ 512 ])
-  in
+  let rows = List.map (e1_row ?pool:!pool) (pick ~full:[ 512; 1024; 2048 ] ~reduced:[ 512 ]) in
   let t =
     Analysis.Table.create ~title:"sweep n at fixed ratio h = n/4 (n^2/h = 4n: expect ~linear)"
       ~columns:[ "n"; "h"; "bits"; "bits*h/n^2"; "wall ms" ]
@@ -841,13 +843,17 @@ let e7 () =
                 let corruption = Netsim.Corruption.random rng0 ~n ~h in
                 let net = Netsim.Net.create n in
                 let rng = prng seed in
+                let obs = Analysis.Costs.Obs.create () in
                 let outs =
-                  Mpc.Sparse_network.run net rng params ~corruption
+                  Mpc.Sparse_network.run ~obs net rng params ~corruption
                     ~adv:Mpc.Sparse_network.honest_adv
                 in
+                (* The obs carries the trial's structural union_degmax, so
+                   checked_totals also asserts the spec's max_locality
+                   formula against the measured peer counts. *)
                 pred_acc :=
                   add_totals !pred_acc
-                    (checked_totals ~env:(Analysis.Costs.env []) ~spec:sparse_spec net);
+                    (checked_totals ~env:(Analysis.Costs.env ~obs []) ~spec:sparse_spec net);
                 bits_acc := !bits_acc + Netsim.Net.total_bits net;
                 msgs_acc := !msgs_acc + Netsim.Net.messages_sent net;
                 rounds_acc := !rounds_acc + Netsim.Net.rounds net;
@@ -1044,36 +1050,39 @@ let a2a_totals ~variant ~n ~len net =
   in
   checked_totals ~env:(env []) ~spec net
 
+(* One huge-tier E9 row, shared verbatim by [e9_huge] and the dist
+   paths (the naive sessions through Dist.run_program and the
+   "bench.e9fp" job fleet) — same keys, same seeds, same counters. *)
+let e9_row ?pool ~n name variant =
+  let params = Mpc.Params.make ~n ~h:(n / 2) ~lambda:8 ~alpha:2 () in
+  let corruption = Netsim.Corruption.none ~n in
+  let participants = List.init n (fun i -> i) in
+  let input i = Crypto.Kdf.expand ~key:(Bytes.of_string (string_of_int i)) ~info:"e9" 64 in
+  let net = Netsim.Net.create n in
+  let rng = prng n in
+  let outs, wall_ms =
+    timed (fun () ->
+        Mpc.All_to_all.run ?pool net rng params ~variant ~participants ~input ~corruption
+          ~adv:Mpc.All_to_all.honest_adv)
+  in
+  assert (List.for_all (fun (_, o) -> Mpc.Outcome.is_output o) outs);
+  let predicted = a2a_totals ~variant ~n ~len:64 net in
+  run_of_net ~predicted ~experiment:"E9" ~series:name ~n ~h:(n / 2) ~wall_ms net
+
 let e9_huge () =
   section "E9  (huge tier) all-to-all broadcast at n up to 2048";
   Printf.printf
     "64-byte inputs keep one round's in-flight traffic in memory at\n\
      n = 2048.  naive is O(n^3 l) and capped at n <= 128 — the cap is the\n\
      point: past it only the fingerprinted protocol is feasible.\n\n";
-  let cost ~n name variant =
-    let params = Mpc.Params.make ~n ~h:(n / 2) ~lambda:8 ~alpha:2 () in
-    let corruption = Netsim.Corruption.none ~n in
-    let participants = List.init n (fun i -> i) in
-    let input i = Crypto.Kdf.expand ~key:(Bytes.of_string (string_of_int i)) ~info:"e9" 64 in
-    let net = Netsim.Net.create n in
-    let rng = prng n in
-    let outs, wall_ms =
-      timed (fun () ->
-          Mpc.All_to_all.run ?pool:!pool net rng params ~variant ~participants ~input
-            ~corruption ~adv:Mpc.All_to_all.honest_adv)
-    in
-    assert (List.for_all (fun (_, o) -> Mpc.Outcome.is_output o) outs);
-    let predicted = a2a_totals ~variant ~n ~len:64 net in
-    run_of_net ~predicted ~experiment:"E9" ~series:name ~n ~h:(n / 2) ~wall_ms net
-  in
   let naive_rows =
     List.map
-      (fun n -> cost ~n "naive 64B" Mpc.All_to_all.Naive)
+      (fun n -> e9_row ?pool:!pool ~n "naive 64B" Mpc.All_to_all.Naive)
       (pick ~full:[ 64; 128 ] ~reduced:[ 64 ])
   in
   let fp_rows =
     List.map
-      (fun n -> cost ~n "fingerprinted 64B" Mpc.All_to_all.Fingerprinted)
+      (fun n -> e9_row ?pool:!pool ~n "fingerprinted 64B" Mpc.All_to_all.Fingerprinted)
       (pick ~full:[ 256; 512; 1024; 2048 ] ~reduced:[ 1024 ])
   in
   let t =
@@ -1824,11 +1833,31 @@ let cost_audit () =
       (fun () ->
         let net = Netsim.Net.create n in
         let rng = prng 44 in
-        ignore (Mpc.Sparse_network.run net rng params ~corruption ~adv:Mpc.Sparse_network.honest_adv);
+        let obs = Obs.create () in
+        ignore
+          (Mpc.Sparse_network.run ~obs net rng params ~corruption
+             ~adv:Mpc.Sparse_network.honest_adv);
         ( net,
           Mpc.Sparse_network.cost_spec ~n:(Const n) ~h:(Const h) ~lambda:(Const 8)
             ~alpha:(Const 2),
-          env [] ));
+          env ~obs [] ));
+      (fun () ->
+        (* Standalone gossip over a deterministic degree-4 graph (ring +
+           distance-2 chords): every party hears the rumor, so the spec's
+           max_locality formula (graph_degmax) is exact. *)
+        let net = Netsim.Net.create n in
+        let rng = prng 52 in
+        let graph =
+          Array.init n (fun i ->
+              Util.Iset.of_list
+                [ (i + 1) mod n; (i + n - 1) mod n; (i + 2) mod n; (i + n - 2) mod n ])
+        in
+        let obs = Obs.create () in
+        ignore
+          (Mpc.Gossip.run ~obs net rng params ~graph
+             ~sources:[ (0, Bytes.make 64 'r') ]
+             ~corruption ~adv:Mpc.Gossip.honest_adv);
+        (net, Mpc.Gossip.cost_spec ~len:(Const 64), env ~obs []));
       (fun () ->
         let net = Netsim.Net.create n in
         let rng = prng 45 in
@@ -1926,7 +1955,7 @@ let cost_audit () =
       let bits = Netsim.Net.total_bits net
       and messages = Netsim.Net.messages_sent net
       and rounds = Netsim.Net.rounds net in
-      let v = check e spec ~bits ~messages ~rounds in
+      let v = check ~locality:(Netsim.Net.max_locality net) e spec ~bits ~messages ~rounds in
       Analysis.Table.print (phase_table e spec);
       Printf.printf "measured: %d bits, %d messages, %d rounds -> %s\n\n" bits messages
         rounds
@@ -2046,6 +2075,235 @@ let soak () =
   []
 
 (* ------------------------------------------------------------------ *)
+(* dist-serve — multi-process session serving (--workers N)            *)
+(* ------------------------------------------------------------------ *)
+
+(* The worker fleet, created in main() BEFORE the domain pool (forking a
+   multi-domain OCaml runtime is undefined) and only when
+   [--only dist-serve --workers N>0] asks for it. *)
+let dist_engine : Netsim.Dist.t option ref = ref None
+let dist_workers = ref 0
+let dist_crash = ref None (* --crash-schedule S *)
+
+(* Domains available to each worker's inner pool: the --jobs budget
+   split across the fleet.  Set before the fork so children inherit it;
+   each worker lazily creates (and caches) its own pool — domains must
+   never exist in the pre-fork image. *)
+let dist_inner_jobs = ref 0
+let dist_worker_pool : (int * Util.Pool.t) option ref = ref None
+
+let dist_job_pool () =
+  let inner = !dist_inner_jobs in
+  if inner <= 0 then None
+  else
+    match !dist_worker_pool with
+    | Some (d, p) when d = inner -> Some p
+    | _ ->
+      let p = Util.Pool.create ~num_domains:inner () in
+      dist_worker_pool := Some (inner, p);
+      Some p
+
+(* Wire form of a run record for job results.  peak_rss_mb is filled by
+   [run_of_net] in the worker process, so the coordinator's report
+   carries genuine per-worker high-water marks. *)
+let encode_run w (r : Analysis.Bench_io.run) =
+  let open Util.Codec in
+  write_string w r.Analysis.Bench_io.experiment;
+  write_string w r.series;
+  write_varint w r.n;
+  write_varint w r.h;
+  write_varint w r.bits;
+  write_varint w r.messages;
+  write_varint w r.rounds;
+  write_int64 w (Int64.bits_of_float r.wall_ms);
+  write_option w (fun w s -> write_int64 w (Int64.of_int s)) r.seed;
+  write_option w (fun w f -> write_int64 w (Int64.bits_of_float f)) r.peak_rss_mb;
+  write_option w write_varint r.predicted_bits;
+  write_option w write_varint r.predicted_bits_lo;
+  write_option w write_varint r.predicted_messages;
+  write_option w write_varint r.predicted_rounds
+
+let decode_run r =
+  let open Util.Codec in
+  let experiment = read_string r in
+  let series = read_string r in
+  let n = read_varint r in
+  let h = read_varint r in
+  let bits = read_varint r in
+  let messages = read_varint r in
+  let rounds = read_varint r in
+  let wall_ms = Int64.float_of_bits (read_int64 r) in
+  let seed = read_option r (fun r -> Int64.to_int (read_int64 r)) in
+  let peak_rss_mb = read_option r (fun r -> Int64.float_of_bits (read_int64 r)) in
+  let predicted_bits = read_option r read_varint in
+  let predicted_bits_lo = read_option r read_varint in
+  let predicted_messages = read_option r read_varint in
+  let predicted_rounds = read_option r read_varint in
+  {
+    Analysis.Bench_io.experiment;
+    series;
+    n;
+    h;
+    bits;
+    messages;
+    rounds;
+    wall_ms;
+    seed;
+    peak_rss_mb;
+    predicted_bits;
+    predicted_bits_lo;
+    predicted_messages;
+    predicted_rounds;
+  }
+
+(* Job bodies run the exact huge-tier row helpers; the result frame
+   carries the row plus whether its cost-spec assertion tripped (the
+   flag lives per-process, so workers report and the coordinator ORs). *)
+let () =
+  let with_mismatch_flag f =
+    let before = !cost_mismatch in
+    cost_mismatch := false;
+    let row = f () in
+    let tripped = !cost_mismatch in
+    cost_mismatch := before || tripped;
+    Util.Codec.encode
+      (fun w () ->
+        Util.Codec.write_bool w tripped;
+        encode_run w row)
+      ()
+  in
+  Netsim.Dist.register_job "bench.e1" (fun args ->
+      let n = Util.Codec.decode Util.Codec.read_varint args in
+      with_mismatch_flag (fun () -> e1_row ?pool:(dist_job_pool ()) n));
+  Netsim.Dist.register_job "bench.e9fp" (fun args ->
+      let n = Util.Codec.decode Util.Codec.read_varint args in
+      with_mismatch_flag (fun () ->
+          e9_row ?pool:(dist_job_pool ()) ~n "fingerprinted 64B" Mpc.All_to_all.Fingerprinted));
+  Mpc.Dist_programs.register ()
+
+let e_dist_serve () =
+  let workers = !dist_workers in
+  section
+    (if workers > 0 then
+       Printf.sprintf "dist-serve  sessions over %d worker process%s" workers
+         (if workers = 1 then "" else "es")
+     else "dist-serve  in-process reference (--workers 0)");
+  Printf.printf
+    "naive all-to-all sessions shard their parties over the fleet via\n\
+     Dist.run_program (gathered sends replay through the in-process\n\
+     simulator in canonical order, so accounting is byte-identical at any\n\
+     --workers count), and the huge-tier E1/E9 rows run as jobs over the\n\
+     same fleet.  --diff against a --workers 0 report gates the identity.\n\n";
+  (* A --crash-schedule derives which worker dies, and when, from the
+     same keyed Faults machinery the soak runner uses: crash stages 1/2
+     map to the scatter of rounds 1/2 of the first session. *)
+  let crash_point =
+    match !dist_crash with
+    | Some s when workers > 0 ->
+      let faults =
+        Netsim.Faults.make (prng 0xD157) ~schedule:s ~n:workers
+          { Netsim.Faults.honest with crash = 1.0; crash_stage = 2 }
+      in
+      let w =
+        match
+          List.find_opt
+            (fun w -> Netsim.Faults.crashed faults ~me:w ~stage:2)
+            (List.init workers (fun w -> w))
+        with
+        | Some w -> w
+        | None -> 0
+      in
+      let r = if Netsim.Faults.crashed faults ~me:w ~stage:1 then 1 else 2 in
+      Printf.printf
+        "crash schedule %d: worker %d dies on the round-%d scatter of the first session\n\
+         and while running its first job; both recover by spare promotion + replay.\n\n"
+        s w r;
+      Some (w, r)
+    | _ -> None
+  in
+  let serve_row i n =
+    let args = Mpc.Dist_programs.encode_args ~len:64 ~info:"e9" in
+    let net = Netsim.Net.create n in
+    let crash = if i = 0 then crash_point else None in
+    let verdicts, wall_ms =
+      timed (fun () ->
+          match !dist_engine with
+          | Some t -> Netsim.Dist.run_program ?crash t ~name:"a2a.naive" ~n ~args ~net
+          | None -> Netsim.Dist.run_local ~name:"a2a.naive" ~n ~args ~net)
+    in
+    Array.iteri
+      (fun i v ->
+        if Util.Codec.read_varint (Util.Codec.reader v) <> 1 then
+          failwith (Printf.sprintf "dist-serve: party %d aborted in an honest session" i))
+      verdicts;
+    let predicted = a2a_totals ~variant:Mpc.All_to_all.Naive ~n ~len:64 net in
+    run_of_net ~predicted ~experiment:"E9" ~series:"naive 64B" ~n ~h:(n / 2) ~wall_ms net
+  in
+  let session_rows = List.mapi serve_row (pick ~full:[ 64; 128 ] ~reduced:[ 64 ]) in
+  let job_specs =
+    List.map (fun n -> ("bench.e1", n)) (pick ~full:[ 512; 1024; 2048 ] ~reduced:[ 512 ])
+    @ List.map (fun n -> ("bench.e9fp", n)) (pick ~full:[ 256; 512; 1024; 2048 ] ~reduced:[ 1024 ])
+  in
+  let job_rows =
+    match !dist_engine with
+    | Some t ->
+      let jobs =
+        List.map
+          (fun (name, n) ->
+            (name, Util.Codec.encode (fun w () -> Util.Codec.write_varint w n) ()))
+          job_specs
+      in
+      let crash_job = Option.map (fun (w, _) -> w mod List.length jobs) crash_point in
+      Netsim.Dist.run_jobs ?crash:crash_job t jobs
+      |> List.map (fun b ->
+             let tripped, row =
+               Util.Codec.decode
+                 (fun r ->
+                   let tripped = Util.Codec.read_bool r in
+                   (tripped, decode_run r))
+                 b
+             in
+             if tripped then cost_mismatch := true;
+             row)
+    | None ->
+      List.map
+        (fun (name, n) ->
+          if name = "bench.e1" then e1_row ?pool:!pool n
+          else e9_row ?pool:!pool ~n "fingerprinted 64B" Mpc.All_to_all.Fingerprinted)
+        job_specs
+  in
+  let rows = session_rows @ job_rows in
+  let t =
+    Analysis.Table.create ~title:"served rows (session + job)"
+      ~columns:[ "experiment"; "series"; "n"; "bits"; "wall ms"; "rss MB" ]
+  in
+  List.iter
+    (fun (r : Analysis.Bench_io.run) ->
+      Analysis.Table.add_row t
+        [ r.experiment; r.series; string_of_int r.n; fmt_bits r.bits;
+          Printf.sprintf "%.0f" r.wall_ms;
+          (match r.peak_rss_mb with Some f -> Printf.sprintf "%.0f" f | None -> "-") ])
+    rows;
+  Analysis.Table.print t;
+  (match !dist_engine with
+  | Some t ->
+    let stats = Netsim.Dist.stats t in
+    let tt =
+      Analysis.Table.create ~title:"worker fleet"
+        ~columns:[ "worker"; "pid"; "sessions"; "jobs"; "respawns"; "peak_rss_mb" ]
+    in
+    Array.iteri
+      (fun i (s : Netsim.Dist.stat) ->
+        Analysis.Table.add_row tt
+          [ string_of_int i; string_of_int s.pid; string_of_int s.sessions;
+            string_of_int s.jobs_run; string_of_int s.respawns;
+            (match s.peak_rss_mb with Some f -> Printf.sprintf "%.0f" f | None -> "-") ])
+      stats;
+    Analysis.Table.print tt
+  | None -> ());
+  rows
+
+(* ------------------------------------------------------------------ *)
 
 let experiments : (string * string * (unit -> Analysis.Bench_io.run list)) list =
   [
@@ -2076,6 +2334,9 @@ let extra_experiments : (string * string * (unit -> Analysis.Bench_io.run list))
     ( "cost-audit",
       "symbolic cost specs vs measured counters (+ n=10^4..10^6 extrapolation)",
       cost_audit );
+    ( "dist-serve",
+      "sessions + jobs over sharded worker processes (--workers N, --crash-schedule S)",
+      e_dist_serve );
   ]
 
 let all_experiments = experiments @ extra_experiments
@@ -2125,8 +2386,13 @@ let sweep_info : (string * string * string list) list =
     ( "soak", "opt-in (--only soak)",
       [ "sweep: 200 fault schedules (--quick: 30); --schedules K / --schedule K override" ] );
     ( "cost-audit", "opt-in (--only cost-audit)",
-      [ "13 honest executions, one per cost spec, phase tables + assertions";
+      [ "14 honest executions, one per cost spec, phase tables + assertions";
         "closed-form extrapolation table at n = 10^4..10^6" ] );
+    ( "dist-serve", "opt-in (--only dist-serve)",
+      [ "sessions: naive a2a n in {64,128} via Dist.run_program (--quick: {64})";
+        "jobs: E1 n in {512..2048}, E9 fp n in {256..2048} over the fleet (--quick: 512 / 1024)";
+        "--workers N shards over N processes (0 = in-process reference);";
+        "--crash-schedule S kills one worker mid-round + mid-job, recovered by replay" ] );
   ]
 
 (* --audit FILE: re-check a saved report against the symbolic cost specs
@@ -2321,10 +2587,26 @@ let () =
       base_seed := int_arg "--seed";
       soak_schedules := int_arg "--schedules";
       soak_schedule := int_arg "--schedule";
+      (dist_workers :=
+         match int_arg "--workers" with
+         | None -> 0
+         | Some w when w >= 0 -> w
+         | Some w ->
+           Printf.eprintf "error: --workers expects a non-negative integer, got %d\n" w;
+           exit 1);
+      dist_crash := int_arg "--crash-schedule";
       let json_path = find_arg args "--json" in
       let max_wall_s = Option.map float_of_string (find_arg args "--max-wall-s") in
       let max_rss_mb = Option.map float_of_string (find_arg args "--max-rss-mb") in
       let jobs = match find_arg args "--jobs" with None -> 1 | Some s -> parse_jobs s in
+      (* Fork the dist fleet BEFORE any domain exists — forking a
+         multi-domain OCaml runtime is undefined behavior.  Each worker
+         gets its share of the --jobs budget for a worker-local inner
+         pool (created lazily, post-fork). *)
+      if !dist_workers > 0 && find_arg args "--only" = Some "dist-serve" then begin
+        dist_inner_jobs := max 0 ((jobs - 1) / !dist_workers);
+        dist_engine := Some (Netsim.Dist.create ~workers:!dist_workers ())
+      end;
       if jobs > 1 then pool := Some (Util.Pool.create ~num_domains:(jobs - 1) ());
       let selected =
         match find_arg args "--only" with
@@ -2362,6 +2644,7 @@ let () =
       in
       let total_wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
       Option.iter Util.Pool.shutdown !pool;
+      Option.iter Netsim.Dist.shutdown !dist_engine;
       Printf.printf "\nall experiments done in %.1fs (jobs=%d)%s\n" (total_wall_ms /. 1000.0)
         jobs
         (match (!huge, !giant, !quick) with

@@ -151,7 +151,14 @@ let guard g phases =
       })
     phases
 
-type spec = { name : string; phases : phase list }
+(* [max_locality], when present, is a closed form for the network's
+   measured [Net.max_locality] on an honest run — the per-party count of
+   distinct peers.  Unlike bits/messages/rounds it does NOT sum across
+   phases (two phases touching the same peers cost their union, not
+   their sum), so it lives on the spec, is only meaningful standalone
+   (pipeline specs embedding other phases leave it [None]), and is
+   checked exactly when the caller supplies a measurement. *)
+type spec = { name : string; phases : phase list; max_locality : expr option }
 type totals = { bits_hi : int; bits_lo : int; messages : int; rounds : int }
 
 let totals e spec =
@@ -169,7 +176,7 @@ let totals e spec =
 
 type verdict = { ok : bool; detail : string list }
 
-let check e spec ~bits ~messages ~rounds =
+let check ?locality e spec ~bits ~messages ~rounds =
   let t = totals e spec in
   let detail = ref [] in
   let fail fmt = Printf.ksprintf (fun s -> detail := s :: !detail) fmt in
@@ -179,6 +186,17 @@ let check e spec ~bits ~messages ~rounds =
     fail "%s: measured messages %d <> predicted %d" spec.name messages t.messages;
   if rounds <> t.rounds then
     fail "%s: measured rounds %d <> predicted %d" spec.name rounds t.rounds;
+  (match (spec.max_locality, locality) with
+  | Some formula, Some measured -> (
+    (* A formula may refer to observables the caller did not record
+       (e.g. a run without an [Obs.t]); an unbound variable means "not
+       checkable here", not a mismatch. *)
+    match eval e formula with
+    | predicted ->
+      if predicted <> measured then
+        fail "%s: measured max_locality %d <> predicted %d" spec.name measured predicted
+    | exception Invalid_argument _ -> ())
+  | _ -> ());
   { ok = !detail = []; detail = List.rev !detail }
 
 let phase_table e spec =
@@ -208,4 +226,10 @@ let phase_table e spec =
       string_of_int tot.messages;
       string_of_int tot.rounds;
     ];
+  (match spec.max_locality with
+  | Some f -> (
+    match eval e f with
+    | v -> Table.add_row t [ "max_locality"; "peers/party"; string_of_int v; ""; ""; "" ]
+    | exception Invalid_argument _ -> ())
+  | None -> ());
   t

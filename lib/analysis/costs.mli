@@ -147,7 +147,15 @@ val prefix_phases : string -> phase list -> phase list
     pipeline skips entirely below a threshold, including their rounds. *)
 val guard : expr -> phase list -> phase list
 
-type spec = { name : string; phases : phase list }
+(** A protocol's cost model: summed {!phase}s plus an optional symbolic
+    locality bound.  [max_locality], when present, is a closed form for
+    the measured [Netsim.Net.max_locality] of an honest run — the
+    maximum over parties of distinct peers touched.  Locality does {e
+    not} sum across phases (phases touching the same peers cost their
+    union), so the formula lives on the whole spec and only standalone
+    specs carry one; pipeline specs that embed other protocols' phases
+    leave it [None]. *)
+type spec = { name : string; phases : phase list; max_locality : expr option }
 
 type totals = { bits_hi : int; bits_lo : int; messages : int; rounds : int }
 
@@ -161,9 +169,16 @@ type verdict = {
 }
 
 (** [check env spec ~bits ~messages ~rounds] — measured totals against
-    the spec: bits within [[lo, hi]], messages and rounds exact. *)
-val check : env -> spec -> bits:int -> messages:int -> rounds:int -> verdict
+    the spec: bits within [[lo, hi]], messages and rounds exact.  With
+    [?locality] and a spec carrying a [max_locality] formula, the
+    measured maximum locality is additionally checked {e exactly};
+    a formula referring to an observable the caller never recorded is
+    silently skipped (unbound variable = "not checkable here"), never
+    reported as a mismatch. *)
+val check : ?locality:int -> env -> spec -> bits:int -> messages:int -> rounds:int -> verdict
 
 (** Per-phase breakdown at an environment: one row per phase
-    (label, edge, bits hi, slack, messages, rounds) plus a totals row. *)
+    (label, edge, bits hi, slack, messages, rounds) plus a totals row,
+    and a [max_locality] row when the spec declares a checkable
+    formula. *)
 val phase_table : env -> spec -> Table.t

@@ -61,6 +61,7 @@ let cost_spec ~variant ~k ~idsum ~len ~n ~lambda =
       | Naive -> "all_to_all.naive"
       | Fingerprinted -> "all_to_all.fingerprinted");
     phases = cost_phases ~variant ~pre:"" ~k ~idsum ~len ~n ~lambda;
+    max_locality = None;
   }
 
 let run ?pool net rng params ~variant ~participants ~input ~corruption ~adv =

@@ -64,6 +64,7 @@ let cost_spec ~variant ~n ~lambda ~len =
       | Naive -> "broadcast.naive"
       | Fingerprinted -> "broadcast.fingerprinted");
     phases = [ send; echo ];
+    max_locality = None;
   }
 
 let run ?pool net rng params ~variant ~sender ~value ~corruption ~adv =

@@ -27,7 +27,16 @@ let cost_phases ~pre ~n ~lambda =
   :: View_check.cost_phases ~pre:(jn "vc") ~n ~lambda
 
 let cost_spec ~n ~lambda =
-  { Analysis.Costs.name = "committee.run"; phases = cost_phases ~pre:"" ~n ~lambda }
+  let open Analysis.Costs in
+  {
+    name = "committee.run";
+    phases = cost_phases ~pre:"" ~n ~lambda;
+    (* Exact locality: a claimant notifies all n−1 peers, so with K ≥ 1
+       claims some party touches everyone (and View_check's committee
+       traffic is a subset of those peers); with K = 0 nothing is sent
+       at all.  Exact under honest_adv even with corrupted parties. *)
+    max_locality = Some (Mul [ Ge (Var "claims", Const 1); Sub (n, Const 1) ]);
+  }
 
 let run ?pool ?obs net rng params ~corruption ~adv =
   let n = Netsim.Net.n net in

@@ -1,0 +1,145 @@
+module Codec = Util.Codec
+
+let encode_args ~len ~info =
+  Codec.encode
+    (fun w () ->
+      Codec.write_varint w len;
+      Codec.write_string w info)
+    ()
+
+let decode_args args =
+  Codec.decode
+    (fun r ->
+      let len = Codec.read_varint r in
+      let info = Codec.read_string r in
+      (len, info))
+    args
+
+let input_of ~info ~len i = Crypto.Kdf.expand ~key:(Bytes.of_string (string_of_int i)) ~info len
+
+(* Verdict wire form, shared by the worker-side program and the
+   in-process comparison path. *)
+let encode_a2a_outcome outcome =
+  Codec.encode
+    (fun w (o : (int * bytes) list Outcome.t) ->
+      match o with
+      | Outcome.Output view ->
+        Codec.write_varint w 1;
+        Codec.write_list w
+          (fun w (id, v) ->
+            Codec.write_varint w id;
+            Codec.write_bytes w v)
+          view
+      | Outcome.Abort (Outcome.Equivocation s) ->
+        Codec.write_varint w 0;
+        Codec.write_string w s
+      | Outcome.Abort reason ->
+        Codec.write_varint w 2;
+        Codec.write_string w (Outcome.reason_to_string reason))
+    outcome
+
+(* The honest All_to_all [Naive] party, as a [Dist.party_step]: same
+   send order, same payload bytes, same verdicts as [All_to_all.run
+   ~variant:Naive] over participants [0..n-1] with KDF-derived inputs —
+   the byte-identity the dist tests and the bench's [--diff] gate pin.
+   Deterministic in [(args, me)] alone, so a crashed worker's replay
+   reconstructs the exact same run. *)
+let a2a_naive ~n ~args ~me =
+  let len, info = decode_args args in
+  let input i = input_of ~info ~len i in
+  let mine = input me in
+  let row = ref [||] in
+  let recv_one inbox ~src =
+    match List.filter (fun (s, _) -> s = src) inbox with
+    | [ (_, payload) ] -> Some payload
+    | _ -> None
+  in
+  fun ~round ~inbox ~send ->
+    match round with
+    | 0 ->
+      (* Distribution: raw input to every other member, ascending. *)
+      for dst = 0 to n - 1 do
+        if dst <> me then send ~dst mine
+      done;
+      None
+    | 1 ->
+      (* Echo: presence bitmap over the received row + present values,
+         one batched payload to everyone. *)
+      let r =
+        Array.init n (fun sender ->
+            if sender = me then Some mine else recv_one inbox ~src:sender)
+      in
+      row := r;
+      let w = Codec.writer () in
+      Bitpack.pack_into w (Array.map (fun v -> v <> None) r);
+      Array.iter (function Some v -> Codec.write_bytes w v | None -> ()) r;
+      let payload = Codec.contents w in
+      for dst = 0 to n - 1 do
+        if dst <> me then send ~dst payload
+      done;
+      None
+    | 2 ->
+      (* Decision: compare every echo against the own row. *)
+      let decode_echo payload =
+        match
+          Codec.decode
+            (fun r ->
+              let bitmap = Codec.read_raw_view r ((n + 7) / 8) in
+              let vec = Array.make n None in
+              for k = 0 to n - 1 do
+                if Bitpack.test bitmap k then vec.(k) <- Some (Codec.read_bytes_view r)
+              done;
+              vec)
+            payload
+        with
+        | vec -> Some vec
+        | exception Codec.Decode_error _ -> None
+      in
+      let echoes =
+        List.filter_map
+          (fun j ->
+            if j = me then None
+            else
+              Some
+                (match recv_one inbox ~src:j with
+                | Some payload -> decode_echo payload
+                | None -> None))
+          (List.init n (fun j -> j))
+      in
+      let all_echoed = List.for_all (fun e -> e <> None) echoes in
+      let ok = ref all_echoed in
+      let view = ref [] in
+      for k = n - 1 downto 0 do
+        let my_val = !row.(k) in
+        let agreed =
+          all_echoed
+          && List.for_all
+               (fun e ->
+                 match e with
+                 | None -> false
+                 | Some vec -> (
+                   match (my_val, vec.(k)) with
+                   | Some a, Some b -> Codec.view_equal_bytes b a
+                   | None, None -> true
+                   | _ -> false))
+               echoes
+        in
+        if not agreed then ok := false;
+        match (if agreed then my_val else None) with
+        | Some v -> view := (k, v) :: !view
+        | None -> ()
+      done;
+      let outcome =
+        if !ok && List.length !view = n then Outcome.Output !view
+        else Outcome.Abort (Outcome.Equivocation "all-to-all naive mismatch")
+      in
+      Some (encode_a2a_outcome outcome)
+    | _ -> invalid_arg "dist a2a.naive: stepped past the decision round"
+
+let registered = ref false
+
+let register () =
+  if not !registered then begin
+    registered := true;
+    Netsim.Dist.register_program "a2a.naive" a2a_naive
+  end

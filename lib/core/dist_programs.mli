@@ -1,0 +1,25 @@
+(** Registered {!Netsim.Dist} programs for the protocol library.
+
+    [a2a.naive] replicates the honest [All_to_all.run ~variant:Naive]
+    party over participants [0..n-1] with KDF-derived inputs (the E9
+    naive workload): byte-identical send sequence, payloads, round
+    structure and verdicts, deterministic in [(args, me)] alone so a
+    crashed worker replays to the same state.  Args are
+    {!encode_args}[ ~len ~info]; party [i]'s input is
+    [Crypto.Kdf.expand ~key:(string_of_int i) ~info len]. *)
+
+(** Codec-encode the [a2a.naive] argument record. *)
+val encode_args : len:int -> info:string -> bytes
+
+(** Party [i]'s input under the given args — same derivation the program
+    uses, for in-process comparison runs. *)
+val input_of : info:string -> len:int -> int -> bytes
+
+(** The wire form of an [a2a.naive] verdict; applying it to
+    [All_to_all.run Naive] outcomes yields the exact bytes the dist
+    program returns, which is how the byte-identity tests compare. *)
+val encode_a2a_outcome : (int * bytes) list Outcome.t -> bytes
+
+(** Register all programs (idempotent).  Call before
+    {!Netsim.Dist.create} so forked workers inherit the registry. *)
+val register : unit -> unit

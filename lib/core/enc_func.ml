@@ -65,6 +65,7 @@ let cost_spec ~k ~idsum ~depth ~inbits ~outbytes ~recipients ~n ~lambda =
   {
     Analysis.Costs.name = "enc_func.run";
     phases = cost_phases ~pre:"" ~k ~idsum ~depth ~inbits ~outbytes ~recipients ~n ~lambda;
+    max_locality = None;
   }
 
 let run ?pool net rng params ~participants ~private_input ~depth ~eval ~corruption ~adv =

@@ -21,6 +21,7 @@ let cost_spec_run ~n ~lambda ~len =
         exact ~label:"verdict" ~edge:"p2->p1" ~bits:(Const 8) ~messages:(Const 1)
           ~rounds:(Const 1);
       ];
+    max_locality = None;
   }
 
 (* Both steps of [pairwise] run even when there are fewer than 2 members

@@ -127,6 +127,7 @@ let cost_spec ~circuit ~input_width ~n =
            (fun (l, m) -> exchange (Printf.sprintf "layer%d" l) (((2 * m) + 7) / 8))
            layers)
       @ [ exchange "output" ((Array.length flat.outputs + 7) / 8) ];
+    max_locality = None;
   }
 
 (* ---- Bit-packing helpers for batched openings ---- *)

@@ -97,7 +97,17 @@ let cost_phases ~pre ~len =
       ~messages:(v "batches") ~rounds:(v "rounds");
   ]
 
-let cost_spec ~len = { Analysis.Costs.name = "gossip.run"; phases = cost_phases ~pre:"" ~len }
+let cost_spec ~len =
+  {
+    Analysis.Costs.name = "gossip.run";
+    phases = cost_phases ~pre:"" ~len;
+    (* Exact when every party hears at least one rumor (connected graph,
+       ≥ 1 honest source): a party that hears forwards to {e all} its
+       graph neighbors, so its peer set is exactly its neighbor set and
+       the max locality is the graph's max degree — recorded by [run] as
+       the structural observable [graph_degmax]. *)
+    max_locality = Some (Var "graph_degmax");
+  }
 
 let run ?pool ?obs net _rng _params ~graph ~sources ~corruption ~adv =
   let n = Netsim.Net.n net in
@@ -261,7 +271,18 @@ let run ?pool ?obs net _rng _params ~graph ~sources ~corruption ~adv =
        variables defined. *)
     List.iter
       (fun k -> Analysis.Costs.Obs.add o k 0)
-      [ "batches"; "hdr_bytes"; "bitmap_bytes"; "rumors"; "origin_bytes"; "value_bytes" ]);
+      [ "batches"; "hdr_bytes"; "bitmap_bytes"; "rumors"; "origin_bytes"; "value_bytes" ];
+    (* Structural max degree of the routing graph (self-loops excluded —
+       parties never message themselves).  Derived from the graph alone,
+       never from wire traffic, so the spec's locality formula is a
+       genuine structure-vs-accounting cross-check. *)
+    let degmax = ref 0 in
+    Array.iteri
+      (fun i s ->
+        let d = Util.Iset.cardinal s - (if Util.Iset.mem i s then 1 else 0) in
+        if d > !degmax then degmax := d)
+      graph;
+    Analysis.Costs.Obs.set o "graph_degmax" !degmax);
   while !batches <> [] && !round < max_rounds do
     incr round;
     List.iter

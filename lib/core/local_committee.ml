@@ -32,7 +32,11 @@ let cost_phases ~pre ~n ~h ~lambda ~alpha =
   @ View_check.cost_phases ~pre:(jn "vc") ~n ~lambda
 
 let cost_spec ~n ~h ~lambda ~alpha =
-  { Analysis.Costs.name = "local_committee.run"; phases = cost_phases ~pre:"" ~n ~h ~lambda ~alpha }
+  {
+    Analysis.Costs.name = "local_committee.run";
+    phases = cost_phases ~pre:"" ~n ~h ~lambda ~alpha;
+    max_locality = None;
+  }
 
 let run ?pool ?obs net rng params ~corruption ~adv =
   let n = Netsim.Net.n net in

@@ -53,6 +53,7 @@ let cost_spec_theorem2 ~n ~h ~lambda ~alpha ~depth ~input_width ~out_bits =
   {
     Analysis.Costs.name = "local_mpc.theorem2";
     phases = cost_phases_theorem2 ~pre:"" ~n ~h ~lambda ~alpha ~depth ~input_width ~out_bits;
+    max_locality = None;
   }
 
 let run_theorem2 ?pool ?obs net rng config ~corruption ~inputs ~adv =
@@ -289,6 +290,7 @@ let cost_spec_theorem4 ~pke ~depth ~input_width ~out_bits ~n ~h ~lambda ~alpha =
     Analysis.Costs.name = "local_mpc.theorem4";
     phases =
       cost_phases_theorem4 ~pre:"" ~pke ~depth ~input_width ~out_bits ~n ~h ~lambda ~alpha;
+    max_locality = None;
   }
 
 let run_theorem4_metered ?cover_size ?pool ?obs net rng config ~corruption ~inputs ~adv =

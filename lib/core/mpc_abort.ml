@@ -113,6 +113,7 @@ let cost_spec ~pke ~depth ~input_width ~out_bits ~n ~lambda =
   {
     Analysis.Costs.name = "mpc_abort.run";
     phases = cost_phases ~pre:"" ~pke ~depth ~input_width ~out_bits ~n ~lambda;
+    max_locality = None;
   }
 
 let run_metered ?pool ?obs net rng config ~corruption ~inputs ~adv =

@@ -36,9 +36,45 @@ let cost_spec ~n ~h ~lambda ~alpha =
         exact ~label:"notify" ~edge:"party->hops" ~bits:(Cost_expr.bits sends)
           ~messages:sends ~rounds:(Const 1);
       ];
+    (* The hop graph is sampled, so the locality has no closed form in
+       the public parameters alone; the exact value is the max union
+       degree |out(i) ∪ in(i)| of the sampled graph, recorded by [run]
+       as the structural observable [union_degmax] (computed from the
+       hop arrays, never from wire traffic — a genuine cross-check).
+       Exact under honest_adv. *)
+    max_locality = Some (Var "union_degmax");
   }
 
-let run_iter ?pool net rng params ~corruption ~adv ~f =
+(* Structural max union degree of the sampled hop graph: each party's
+   peers are its own out-hops plus every party that sampled it.  Binary
+   search keeps this O(n·d·log d) — the hop arrays are sorted by
+   construction (sorted sample, order-preserving shift). *)
+let union_degmax out_hops =
+  let n = Array.length out_hops in
+  let mem_sorted a v =
+    let lo = ref 0 and hi = ref (Array.length a) in
+    while !hi - !lo > 0 do
+      let mid = (!lo + !hi) / 2 in
+      if a.(mid) < v then lo := mid + 1 else hi := mid
+    done;
+    !lo < Array.length a && a.(!lo) = v
+  in
+  let extra_in = Array.make n 0 in
+  Array.iteri
+    (fun j hops ->
+      Array.iter
+        (fun dst ->
+          if not (mem_sorted out_hops.(dst) j) then extra_in.(dst) <- extra_in.(dst) + 1)
+        hops)
+    out_hops;
+  let best = ref 0 in
+  for i = 0 to n - 1 do
+    let d = Array.length out_hops.(i) + extra_in.(i) in
+    if d > !best then best := d
+  done;
+  !best
+
+let run_iter ?pool ?obs net rng params ~corruption ~adv ~f =
   let n = Netsim.Net.n net in
   let d = Params.sparse_degree params in
   let bound = Params.degree_bound params in
@@ -58,6 +94,9 @@ let run_iter ?pool net rng params ~corruption ~adv ~f =
         done;
         a)
   in
+  (match obs with
+  | Some o -> Analysis.Costs.Obs.set o "union_degmax" (union_degmax out_hops)
+  | None -> ());
   (* Step 2: notification.  Corrupted parties may add extra targets (to
      flood a victim) or silently skip some notifications. *)
   for i = 0 to n - 1 do
@@ -103,9 +142,9 @@ let run_iter ?pool net rng params ~corruption ~adv ~f =
     in
     List.iteri f outs)
 
-let run ?pool net rng params ~corruption ~adv =
+let run ?pool ?obs net rng params ~corruption ~adv =
   let outs = Array.make (Netsim.Net.n net) (Outcome.Output Util.Iset.empty) in
-  run_iter ?pool net rng params ~corruption ~adv ~f:(fun i o -> outs.(i) <- o);
+  run_iter ?pool ?obs net rng params ~corruption ~adv ~f:(fun i o -> outs.(i) <- o);
   outs
 
 let honest_subgraph_connected outs corruption =

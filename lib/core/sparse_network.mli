@@ -21,9 +21,13 @@ val honest_adv : adv
 
 (** Per-party neighbor set, or abort.  With [~pool], the step-3
     collection (inbox drain + neighbor-set build) shards across domains
-    through [Net.run_round]; outcomes are identical at any job count. *)
+    through [Net.run_round]; outcomes are identical at any job count.
+    With [~obs], records [union_degmax] — the sampled hop graph's max
+    union degree |out(i) ∪ in(i)|, computed structurally from the hop
+    arrays — which the cost spec's [max_locality] formula consumes. *)
 val run :
   ?pool:Util.Pool.t ->
+  ?obs:Analysis.Costs.Obs.t ->
   Netsim.Net.t ->
   Util.Prng.t ->
   Params.t ->
@@ -50,6 +54,7 @@ val cost_spec :
     outcome array — which is gigabytes of [Iset] nodes at n = 10⁶. *)
 val run_iter :
   ?pool:Util.Pool.t ->
+  ?obs:Analysis.Costs.Obs.t ->
   Netsim.Net.t ->
   Util.Prng.t ->
   Params.t ->

@@ -34,6 +34,7 @@ let cost_spec ~circuit ~input_width =
         one "tables+ot_round2" msg2 "garbler->evaluator";
         one "output" msg3 "evaluator->garbler";
       ];
+    max_locality = None;
   }
 
 let run net rng ~circuit ~input_width ~x0 ~x1 =

@@ -1,0 +1,576 @@
+module Codec = Util.Codec
+
+exception Worker_lost of string
+
+type party_step = round:int -> inbox:(int * bytes) list -> send:(dst:int -> bytes -> unit) -> bytes option
+type program = n:int -> args:bytes -> me:int -> party_step
+
+let programs : (string, program) Hashtbl.t = Hashtbl.create 8
+let jobs_registry : (string, bytes -> bytes) Hashtbl.t = Hashtbl.create 8
+let register_program name make = Hashtbl.replace programs name make
+let register_job name f = Hashtbl.replace jobs_registry name f
+
+let find_program name =
+  match Hashtbl.find_opt programs name with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Dist: program %S is not registered" name)
+
+(* ---- frame tags ---- *)
+
+let tag_start = 1 (* C->W: open a program session *)
+let tag_scatter = 2 (* C->W: one round's inbound batch *)
+let tag_job = 3 (* C->W: one-shot job *)
+let tag_shutdown = 4 (* C->W *)
+let tag_gather = 5 (* W->C: one round's outbound sends + new verdicts *)
+let tag_job_resp = 6 (* W->C *)
+let tag_stat_req = 7 (* C->W *)
+let tag_stat_resp = 8 (* W->C *)
+
+(* ---- worker side ---- *)
+
+let vmhwm_mb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+    let rec go () =
+      match input_line ic with
+      | line ->
+        if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+          try Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d" (fun kb ->
+                  Some (float_of_int kb /. 1024.))
+          with Scanf.Scan_failure _ | Failure _ -> None
+        else go ()
+      | exception End_of_file -> None
+    in
+    let r = go () in
+    close_in ic;
+    r
+
+type wsession = {
+  slot_of : (int, int) Hashtbl.t; (* party id -> index in [steps] *)
+  steps : party_step array;
+  finished : bool array;
+  mutable remaining : int;
+}
+
+(* Step the listed parties (already in ascending id order) and return
+   (sends as (src, dst, payload) in canonical order, new verdicts). *)
+let run_shard_round s ~round msgs =
+  let send_batches = ref [] (* reverse party order; each batch in call order *) in
+  let newly_done = ref [] in
+  List.iter
+    (fun (p, inbox) ->
+      match Hashtbl.find_opt s.slot_of p with
+      | None -> ()
+      | Some k ->
+        if not s.finished.(k) then begin
+          let out = ref [] in
+          let send ~dst payload = out := (p, dst, payload) :: !out in
+          (match s.steps.(k) ~round ~inbox ~send with
+          | Some v ->
+            s.finished.(k) <- true;
+            s.remaining <- s.remaining - 1;
+            newly_done := (p, v) :: !newly_done
+          | None -> ());
+          send_batches := List.rev !out :: !send_batches
+        end)
+    msgs;
+  (List.concat (List.rev !send_batches), List.rev !newly_done)
+
+let worker_loop wire =
+  let sessions : (int, wsession) Hashtbl.t = Hashtbl.create 4 in
+  let write_gather w ~sid ~round (sends, newly_done) =
+    Codec.write_byte w tag_gather;
+    Codec.write_varint w sid;
+    Codec.write_varint w round;
+    Codec.write_list w
+      (fun w (src, dst, payload) ->
+        Codec.write_varint w src;
+        Codec.write_varint w dst;
+        Codec.write_bytes w payload)
+      sends;
+    Codec.write_list w
+      (fun w (p, v) ->
+        Codec.write_varint w p;
+        Codec.write_bytes w v)
+      newly_done
+  in
+  let rec loop () =
+    let continue_ =
+      Wire.recv wire (fun r ->
+          match Codec.read_byte r with
+          | 1 (* start *) ->
+            let sid = Codec.read_varint r in
+            let name = Codec.read_string r in
+            let n = Codec.read_varint r in
+            let args = Codec.read_bytes r in
+            let parties = Codec.read_array r Codec.read_varint in
+            let make = find_program name in
+            let slot_of = Hashtbl.create (Array.length parties) in
+            Array.iteri (fun k p -> Hashtbl.replace slot_of p k) parties;
+            Hashtbl.replace sessions sid
+              {
+                slot_of;
+                steps = Array.map (fun me -> make ~n ~args ~me) parties;
+                finished = Array.make (Array.length parties) false;
+                remaining = Array.length parties;
+              };
+            true
+          | 2 (* scatter *) ->
+            let sid = Codec.read_varint r in
+            let round = Codec.read_varint r in
+            let replay = Codec.read_bool r in
+            let crash = Codec.read_bool r in
+            let msgs =
+              Codec.read_list r (fun r ->
+                  let p = Codec.read_varint r in
+                  let inbox =
+                    Codec.read_list r (fun r ->
+                        let src = Codec.read_varint r in
+                        let payload = Codec.read_bytes r in
+                        (src, payload))
+                  in
+                  (p, inbox))
+            in
+            if crash && not replay then Unix._exit 42;
+            let result =
+              match Hashtbl.find_opt sessions sid with
+              | None -> ([], []) (* whole shard finished earlier: empty ack *)
+              | Some s ->
+                let res = run_shard_round s ~round msgs in
+                if s.remaining = 0 then Hashtbl.remove sessions sid;
+                res
+            in
+            if not replay then
+              Wire.send wire (fun w -> write_gather w ~sid ~round result);
+            true
+          | 3 (* job *) ->
+            let jid = Codec.read_varint r in
+            let name = Codec.read_string r in
+            let args = Codec.read_bytes r in
+            let crash = Codec.read_bool r in
+            if crash then Unix._exit 42;
+            let f =
+              match Hashtbl.find_opt jobs_registry name with
+              | Some f -> f
+              | None -> invalid_arg (Printf.sprintf "Dist: job %S is not registered" name)
+            in
+            let result = f args in
+            Wire.send wire (fun w ->
+                Codec.write_byte w tag_job_resp;
+                Codec.write_varint w jid;
+                Codec.write_bytes w result);
+            true
+          | 7 (* stat request *) ->
+            Wire.send wire (fun w ->
+                Codec.write_byte w tag_stat_resp;
+                Codec.write_option w
+                  (fun w rss -> Codec.write_int64 w (Int64.bits_of_float rss))
+                  (vmhwm_mb ()));
+            true
+          | 4 (* shutdown *) -> false
+          | tag -> failwith (Printf.sprintf "dist worker: unknown frame tag %d" tag))
+    in
+    if continue_ then loop ()
+  in
+  loop ()
+
+(* ---- coordinator side ---- *)
+
+type slot = {
+  mutable pid : int;
+  mutable wire : Wire.t;
+  mutable jobs_run : int;
+  mutable session_count : int;
+  mutable respawns : int;
+}
+
+type t = {
+  slots : slot array;
+  mutable spares : (int * Wire.t) list;
+  mutable next_sid : int;
+  mutable alive : bool;
+}
+
+type stat = {
+  pid : int;
+  jobs_run : int;
+  sessions : int;
+  respawns : int;
+  peak_rss_mb : float option;
+}
+
+let workers t = Array.length t.slots
+
+let reap pid = try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+
+let create ?(spares = 2) ~workers () =
+  if workers < 1 then invalid_arg "Dist.create: workers must be >= 1";
+  if spares < 0 then invalid_arg "Dist.create: spares must be >= 0";
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* Parent-side fds created so far: each child closes every one it
+     inherited, so a worker's death is visible to the coordinator as a
+     clean EOF (no stray copy keeps the pair open). *)
+  let parent_fds = ref [] in
+  let spawn () =
+    let pfd, cfd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.fork () with
+    | 0 ->
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) !parent_fds;
+      Unix.close pfd;
+      (* _exit, never exit: the child inherited the parent's stdio
+         buffers and at_exit handlers and must not run them. *)
+      (try worker_loop (Wire.of_fd cfd) with
+      | Wire.Closed -> Unix._exit 0
+      | exn ->
+        prerr_endline ("dist worker: " ^ Printexc.to_string exn);
+        Unix._exit 3);
+      Unix._exit 0
+    | pid ->
+      Unix.close cfd;
+      parent_fds := pfd :: !parent_fds;
+      (pid, Wire.of_fd pfd)
+  in
+  let slots =
+    Array.init workers (fun _ ->
+        let pid, wire = spawn () in
+        { pid; wire; jobs_run = 0; session_count = 0; respawns = 0 })
+  in
+  let spares = List.init spares (fun _ -> spawn ()) in
+  { slots; spares; next_sid = 0; alive = true }
+
+let shutdown t =
+  if t.alive then begin
+    t.alive <- false;
+    let stop wire pid =
+      (try Wire.send wire (fun w -> Codec.write_byte w tag_shutdown) with
+      | Wire.Closed -> ());
+      (try Wire.close wire with Wire.Closed -> ());
+      reap pid
+    in
+    Array.iter (fun s -> stop s.wire s.pid) t.slots;
+    List.iter (fun (pid, wire) -> stop wire pid) t.spares;
+    t.spares <- []
+  end
+
+(* Replace a dead worker with a spare; the caller replays its history. *)
+let promote t w reason =
+  let s = t.slots.(w) in
+  (try Wire.close s.wire with Wire.Closed -> ());
+  reap s.pid;
+  match t.spares with
+  | [] -> raise (Worker_lost (Printf.sprintf "worker %d died (%s); no spare left" w reason))
+  | (pid, wire) :: rest ->
+    t.spares <- rest;
+    s.pid <- pid;
+    s.wire <- wire;
+    s.respawns <- s.respawns + 1
+
+let check_alive t fn =
+  if not t.alive then invalid_arg (Printf.sprintf "Dist.%s: engine is shut down" fn)
+
+(* The shared coordinator loop.  [scatter w round msgs] delivers one
+   round's inbound batch to shard [w] and [gather w] collects its
+   (sends, newly_done); in the multi-process engine these are wire
+   frames, in [run_local] direct calls.  Everything downstream of the
+   merge is identical, which is the byte-identity argument in one
+   place. *)
+let coordinate ~name ~n ~net ~shards ~scatter ~gather =
+  let nw = Array.length shards in
+  let verdicts = Array.make n Bytes.empty in
+  let have = Array.make n false in
+  let done_count = ref 0 in
+  let inboxes = Array.make n [] in
+  let round = ref 0 in
+  let rec loop () =
+    let cur =
+      Array.map
+        (fun shard ->
+          Array.to_list shard
+          |> List.filter_map (fun p -> if have.(p) then None else Some (p, inboxes.(p))))
+        shards
+    in
+    for w = 0 to nw - 1 do
+      scatter w !round cur.(w)
+    done;
+    let per_worker = Array.init nw (fun w -> gather w !round cur.(w)) in
+    (* Canonical merge: each worker's batch is already sender-ascending
+       (it steps its parties in ascending id order), so a stable sort by
+       sender reconstructs the exact in-process send sequence. *)
+    let merged =
+      List.stable_sort
+        (fun (a, _, _) (b, _, _) -> compare a b)
+        (List.concat_map fst (Array.to_list per_worker))
+    in
+    Array.iter
+      (fun (_, newly_done) ->
+        List.iter
+          (fun (p, v) ->
+            if not have.(p) then begin
+              have.(p) <- true;
+              verdicts.(p) <- v;
+              incr done_count
+            end)
+          newly_done)
+      per_worker;
+    if merged <> [] then begin
+      List.iter (fun (src, dst, payload) -> Net.send net ~src ~dst payload) merged;
+      Net.step net;
+      for p = 0 to n - 1 do
+        let inbox = Net.recv net ~dst:p in
+        inboxes.(p) <- (if have.(p) then [] else inbox)
+      done
+    end
+    else Array.fill inboxes 0 n [];
+    if !done_count < n then
+      if merged = [] then
+        failwith
+          (Printf.sprintf "Dist %s: no progress at round %d with %d parties unfinished" name
+             !round (n - !done_count))
+      else begin
+        incr round;
+        loop ()
+      end
+  in
+  loop ();
+  verdicts
+
+let ones n = Array.make n 1
+
+let run_local ~name ~n ~args ~net =
+  let make = find_program name in
+  let session =
+    {
+      slot_of =
+        (let h = Hashtbl.create n in
+         for p = 0 to n - 1 do
+           Hashtbl.replace h p p
+         done;
+         h);
+      steps = Array.init n (fun me -> make ~n ~args ~me);
+      finished = Array.make n false;
+      remaining = n;
+    }
+  in
+  let shards = [| Array.init n (fun p -> p) |] in
+  let result = ref ([], []) in
+  coordinate ~name ~n ~net ~shards
+    ~scatter:(fun _ round msgs -> result := run_shard_round session ~round msgs)
+    ~gather:(fun _ _ _ -> !result)
+
+let run_program ?crash t ~name ~n ~args ~net =
+  check_alive t "run_program";
+  ignore (find_program name : program);
+  let nw = Array.length t.slots in
+  let shards = Util.Pool.pack_bins ~weights:(ones n) ~bins:nw in
+  let sid = t.next_sid in
+  t.next_sid <- sid + 1;
+  let history = Array.make nw [] (* reversed (round, msgs) per worker *) in
+  let crashed_once = ref false in
+  let send_start w =
+    Wire.send t.slots.(w).wire (fun wr ->
+        Codec.write_byte wr tag_start;
+        Codec.write_varint wr sid;
+        Codec.write_string wr name;
+        Codec.write_varint wr n;
+        Codec.write_bytes wr args;
+        Codec.write_array wr Codec.write_varint shards.(w))
+  in
+  let scatter_frame wr ~round ~replay ~crash msgs =
+    Codec.write_byte wr tag_scatter;
+    Codec.write_varint wr sid;
+    Codec.write_varint wr round;
+    Codec.write_bool wr replay;
+    Codec.write_bool wr crash;
+    Codec.write_list wr
+      (fun wr (p, inbox) ->
+        Codec.write_varint wr p;
+        Codec.write_list wr
+          (fun wr (src, payload) ->
+            Codec.write_varint wr src;
+            Codec.write_bytes wr payload)
+          inbox)
+      msgs
+  in
+  let send_scatter w ~round ~crash msgs =
+    Wire.send t.slots.(w).wire (fun wr -> scatter_frame wr ~round ~replay:false ~crash msgs)
+  in
+  (* Rebuild a dead worker on a spare: fresh Start, full history as
+     replay frames (no gathers), then the current round live. *)
+  let recover w ~round ~cur_msgs reason =
+    promote t w reason;
+    try
+      send_start w;
+      List.iter
+        (fun (r, msgs) ->
+          Wire.send t.slots.(w).wire (fun wr ->
+              scatter_frame wr ~round:r ~replay:true ~crash:false msgs))
+        (List.rev history.(w));
+      send_scatter w ~round ~crash:false cur_msgs
+    with Wire.Closed ->
+      raise (Worker_lost (Printf.sprintf "worker %d replacement died during replay" w))
+  in
+  let read_gather w ~round =
+    Wire.recv t.slots.(w).wire (fun r ->
+        let tag = Codec.read_byte r in
+        if tag <> tag_gather then
+          failwith (Printf.sprintf "dist: expected gather from worker %d, got tag %d" w tag);
+        let g_sid = Codec.read_varint r in
+        let g_round = Codec.read_varint r in
+        if g_sid <> sid || g_round <> round then
+          failwith
+            (Printf.sprintf "dist: gather (sid %d, round %d) from worker %d, wanted (%d, %d)"
+               g_sid g_round w sid round);
+        let sends =
+          Codec.read_list r (fun r ->
+              let src = Codec.read_varint r in
+              let dst = Codec.read_varint r in
+              let payload = Codec.read_bytes r in
+              (src, dst, payload))
+        in
+        let newly_done =
+          Codec.read_list r (fun r ->
+              let p = Codec.read_varint r in
+              let v = Codec.read_bytes r in
+              (p, v))
+        in
+        (sends, newly_done))
+  in
+  Array.iteri
+    (fun w s ->
+      s.session_count <- s.session_count + 1;
+      try send_start w
+      with Wire.Closed ->
+        promote t w "died before session start";
+        send_start w)
+    t.slots;
+  coordinate ~name ~n ~net ~shards
+    ~scatter:(fun w round msgs ->
+      let crash_here =
+        match crash with
+        | Some (cw, cr) -> cw = w && cr = round && not !crashed_once
+        | None -> false
+      in
+      if crash_here then crashed_once := true;
+      try send_scatter w ~round ~crash:crash_here msgs
+      with Wire.Closed -> recover w ~round ~cur_msgs:msgs "send failed")
+    ~gather:(fun w round msgs ->
+      let result =
+        try read_gather w ~round
+        with Wire.Closed ->
+          recover w ~round ~cur_msgs:msgs "died mid-round";
+          (try read_gather w ~round
+           with Wire.Closed ->
+             raise (Worker_lost (Printf.sprintf "worker %d replacement died mid-round" w)))
+      in
+      history.(w) <- (round, msgs) :: history.(w);
+      result)
+
+let run_jobs ?crash t jobs =
+  check_alive t "run_jobs";
+  let jobs = Array.of_list jobs in
+  let m = Array.length jobs in
+  let nw = Array.length t.slots in
+  let results = Array.make m Bytes.empty in
+  let next = ref 0 in
+  let current = Array.make nw None in
+  let outstanding = ref 0 in
+  let crashed_once = ref false in
+  let send_job w j =
+    let name, args = jobs.(j) in
+    let crash_here = crash = Some j && not !crashed_once in
+    if crash_here then crashed_once := true;
+    let rec attempt retried =
+      try
+        Wire.send t.slots.(w).wire (fun wr ->
+            Codec.write_byte wr tag_job;
+            Codec.write_varint wr j;
+            Codec.write_string wr name;
+            Codec.write_bytes wr args;
+            Codec.write_bool wr crash_here)
+      with Wire.Closed ->
+        promote t w "died before job dispatch";
+        if retried then
+          raise (Worker_lost (Printf.sprintf "worker %d replacement died before job %d" w j))
+        else attempt true
+    in
+    attempt false;
+    current.(w) <- Some j;
+    incr outstanding;
+    t.slots.(w).jobs_run <- t.slots.(w).jobs_run + 1
+  in
+  let dispatch w =
+    if !next < m then begin
+      let j = !next in
+      incr next;
+      send_job w j
+    end
+  in
+  for w = 0 to nw - 1 do
+    dispatch w
+  done;
+  while !outstanding > 0 do
+    let busy = List.filter (fun w -> current.(w) <> None) (List.init nw (fun w -> w)) in
+    (* A buffered frame makes the fd look idle to select — drain those
+       workers first. *)
+    let ready =
+      match List.filter (fun w -> Wire.has_buffered_frame t.slots.(w).wire) busy with
+      | [] ->
+        let fds = List.map (fun w -> Wire.fd t.slots.(w).wire) busy in
+        let readable, _, _ =
+          try Unix.select fds [] [] (-1.)
+          with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+        in
+        List.filter (fun w -> List.memq (Wire.fd t.slots.(w).wire) readable) busy
+      | buffered -> buffered
+    in
+    List.iter
+      (fun w ->
+        match
+          Wire.recv t.slots.(w).wire (fun r ->
+              let tag = Codec.read_byte r in
+              if tag <> tag_job_resp then
+                failwith (Printf.sprintf "dist: expected job response, got tag %d" tag);
+              let jid = Codec.read_varint r in
+              let result = Codec.read_bytes r in
+              (jid, result))
+        with
+        | jid, result ->
+          results.(jid) <- result;
+          current.(w) <- None;
+          decr outstanding;
+          dispatch w
+        | exception Wire.Closed ->
+          (* Worker died running its job: promote a spare and re-dispatch
+             the same job (crash flag already consumed, so it runs clean). *)
+          let j = match current.(w) with Some j -> j | None -> assert false in
+          promote t w (Printf.sprintf "died running job %d" j);
+          current.(w) <- None;
+          decr outstanding;
+          send_job w j)
+      ready
+  done;
+  Array.to_list results
+
+let stats t =
+  check_alive t "stats";
+  Array.map
+    (fun s ->
+      let rss =
+        try
+          Wire.send s.wire (fun w -> Codec.write_byte w tag_stat_req);
+          Wire.recv s.wire (fun r ->
+              let tag = Codec.read_byte r in
+              if tag <> tag_stat_resp then
+                failwith (Printf.sprintf "dist: expected stat response, got tag %d" tag);
+              Codec.read_option r (fun r -> Int64.float_of_bits (Codec.read_int64 r)))
+        with Wire.Closed -> None
+      in
+      {
+        pid = s.pid;
+        jobs_run = s.jobs_run;
+        sessions = s.session_count;
+        respawns = s.respawns;
+        peak_rss_mb = rss;
+      })
+    t.slots

@@ -1,0 +1,108 @@
+(** Multi-process execution engine: party shards in worker OS processes,
+    a coordinator owning the round barrier and cross-shard routing.
+
+    The coordinator forks [workers] pre-forked worker processes (plus
+    idle spares) connected by Unix-domain socketpairs speaking the
+    {!Wire} frame format.  A {e program} is a per-party step function
+    registered by name before {!create} — children inherit the registry
+    through [fork], so the coordinator never ships code, only names and
+    [Util.Codec]-encoded arguments.
+
+    {2 Round protocol}
+
+    Parties [0..n-1] are sharded over workers with
+    [Util.Pool.pack_bins] (greedy LPT — same assignment at any worker
+    count given the same weights).  Each round the coordinator scatters
+    every shard's inbound messages as one length-prefixed batch per
+    worker (small payloads coalesce into a single [write(2)] per link),
+    workers step their non-finished parties in ascending id order, and
+    the coordinator gathers outbound sends.  Gathered sends are merged
+    in canonical (sender id, send order) — each worker's batch is
+    already sender-ascending, so a stable sort by sender reconstructs
+    exactly the send sequence the in-process loop would produce — and
+    committed through the caller's [Net.t].  The simulator therefore
+    observes the identical send sequence and round structure at any
+    worker count: accounting ([total_bits], [messages_sent], [rounds],
+    [max_locality]) is byte-identical to {!run_local}, which is what the
+    bench harness's [--diff] gate checks.
+
+    {2 Determinism and crash recovery}
+
+    Step functions must be deterministic in [(round, inbox)]: any
+    randomness must come from keyed [Util.Prng.derive] substreams seeded
+    by [(args, me)], never from ambient state.  That makes a worker's
+    state a pure function of its scatter history, so when a worker dies
+    mid-round the coordinator promotes a spare, replays the dead
+    worker's full scatter history (replay frames produce no gathers),
+    re-sends the current round's scatter live, and continues — verdicts
+    and counters are byte-identical to an uninterrupted run.
+
+    Single-owner, no locking, same contract as [Net.t]. *)
+
+type t
+
+(** Raised when a worker dies and no spare is left to promote, or when a
+    promoted replacement dies during replay. *)
+exception Worker_lost of string
+
+(** One party's step function: called once per round with the messages
+    delivered to it this round (in the simulator's delivery order, i.e.
+    ascending (sender id, send order) of the previous round).  Calls
+    [send] for this round's outbound messages; returns [Some verdict]
+    when finished (the party is never stepped again; later inbound
+    messages to it are discarded). *)
+type party_step = round:int -> inbox:(int * bytes) list -> send:(dst:int -> bytes -> unit) -> bytes option
+
+(** [register_program name make] — [make ~n ~args ~me] builds party
+    [me]'s step function.  Must be called before {!create} so worker
+    children inherit the registry.  Re-registering a name replaces it. *)
+val register_program : string -> (n:int -> args:bytes -> me:int -> party_step) -> unit
+
+(** [register_job name f] — a one-shot [bytes -> bytes] job for
+    {!run_jobs}.  Same pre-fork inheritance rule as programs. *)
+val register_job : string -> (bytes -> bytes) -> unit
+
+(** Fork the worker fleet.  [workers >= 1]; [spares] (default 2) extra
+    idle processes kept for crash promotion.  Fork before spawning any
+    domains (a [Util.Pool] in the parent must be created {e after} this)
+    — forking a multi-domain OCaml runtime is undefined. *)
+val create : ?spares:int -> workers:int -> unit -> t
+
+val workers : t -> int
+
+(** Run a registered program over [n] parties, committing all traffic
+    through [net].  [crash:(w, r)] makes worker [w] exit mid-round at
+    round [r] (once — the respawned replacement runs it clean), which is
+    how the bench's [Faults]-derived crash schedules are injected.
+    Returns per-party verdicts.  Raises [Invalid_argument] on an
+    unregistered name, [Failure] if a round makes no progress with
+    unfinished parties. *)
+val run_program :
+  ?crash:int * int -> t -> name:string -> n:int -> args:bytes -> net:Net.t -> bytes array
+
+(** In-process reference: same loop, same canonical ordering, no worker
+    processes.  [run_program] at any worker count must match this
+    byte-for-byte. *)
+val run_local : name:string -> n:int -> args:bytes -> net:Net.t -> bytes array
+
+(** Run [(job name, args)] list over the fleet, one outstanding job per
+    worker, multiplexed with [Unix.select]; results in input order.
+    [crash:i] kills the worker running job [i] on receipt (the job is
+    re-dispatched to the replacement, clean). *)
+val run_jobs : ?crash:int -> t -> (string * bytes) list -> bytes list
+
+type stat = {
+  pid : int;  (** current worker pid (changes on respawn) *)
+  jobs_run : int;
+  sessions : int;  (** program sessions started on this slot *)
+  respawns : int;  (** spare promotions into this slot *)
+  peak_rss_mb : float option;  (** worker-side VmHWM, [None] off-Linux *)
+}
+
+(** Per-worker-slot statistics; queries each live worker for its own
+    peak RSS. *)
+val stats : t -> stat array
+
+(** Terminate and reap the whole fleet (workers and spares).
+    Idempotent. *)
+val shutdown : t -> unit

@@ -1,0 +1,140 @@
+exception Closed
+
+type t = {
+  fd : Unix.file_descr;
+  mutable rbuf : bytes;
+  mutable rpos : int;  (* consumed prefix of [rbuf] *)
+  mutable rlen : int;  (* filled prefix of [rbuf] *)
+  wbuf : Buffer.t;
+  scratch : Util.Codec.writer;  (* reused payload writer (keeps capacity) *)
+  mutable closed : bool;
+}
+
+let of_fd fd =
+  {
+    fd;
+    rbuf = Bytes.create 65536;
+    rpos = 0;
+    rlen = 0;
+    wbuf = Buffer.create 65536;
+    scratch = Util.Codec.writer ();
+    closed = false;
+  }
+
+let fd t = t.fd
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+(* ---- writing ---- *)
+
+let write_varint_buf buf v =
+  let rec go v =
+    let low = v land 0x7F in
+    let rest = v lsr 7 in
+    if rest = 0 then Buffer.add_char buf (Char.chr low)
+    else begin
+      Buffer.add_char buf (Char.chr (low lor 0x80));
+      go rest
+    end
+  in
+  go v
+
+let queue t enc =
+  let payload = Util.Codec.encode_into t.scratch (fun w () -> enc w) () in
+  write_varint_buf t.wbuf (Bytes.length payload);
+  Buffer.add_bytes t.wbuf payload
+
+let flush t =
+  if t.closed then raise Closed;
+  let data = Buffer.to_bytes t.wbuf in
+  Buffer.clear t.wbuf;
+  let len = Bytes.length data in
+  let off = ref 0 in
+  while !off < len do
+    match Unix.write t.fd data !off (len - !off) with
+    | k -> off := !off + k
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> raise Closed
+  done
+
+let send t enc =
+  queue t enc;
+  flush t
+
+(* ---- reading ---- *)
+
+(* Ensure at least [k] unconsumed bytes are buffered, refilling in
+   buffer-sized chunks.  Compacts (or grows) before reading so the
+   needed span is always contiguous. *)
+let ensure t k =
+  if t.rlen - t.rpos < k then begin
+    if t.rpos > 0 then begin
+      Bytes.blit t.rbuf t.rpos t.rbuf 0 (t.rlen - t.rpos);
+      t.rlen <- t.rlen - t.rpos;
+      t.rpos <- 0
+    end;
+    if k > Bytes.length t.rbuf then begin
+      let nb = Bytes.create (max k (2 * Bytes.length t.rbuf)) in
+      Bytes.blit t.rbuf 0 nb 0 t.rlen;
+      t.rbuf <- nb
+    end;
+    while t.rlen < k do
+      if t.closed then raise Closed;
+      match Unix.read t.fd t.rbuf t.rlen (Bytes.length t.rbuf - t.rlen) with
+      | 0 -> raise Closed
+      | got -> t.rlen <- t.rlen + got
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> raise Closed
+    done
+  end
+
+(* Parse a buffered varint without consuming; returns (value, width) or
+   None if more bytes are needed. *)
+let peek_varint t =
+  let rec go off shift acc =
+    if t.rpos + off >= t.rlen then None
+    else
+      let b = Char.code (Bytes.get t.rbuf (t.rpos + off)) in
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 = 0 then Some (acc, off + 1) else go (off + 1) (shift + 7) acc
+  in
+  go 0 0 0
+
+let rec read_length t =
+  match peek_varint t with
+  | Some (v, width) ->
+    t.rpos <- t.rpos + width;
+    v
+  | None ->
+    ensure t (t.rlen - t.rpos + 1);
+    read_length t
+
+let recv t dec =
+  let len = read_length t in
+  ensure t len;
+  let r = Util.Codec.of_sub t.rbuf ~pos:t.rpos ~len in
+  (* The frame is consumed whether or not the decoder succeeds — the
+     boundary is known, so a bad payload must not desync the stream. *)
+  let frame_end = t.rpos + len in
+  match dec r with
+  | v ->
+    let trailing = frame_end - Util.Codec.pos r in
+    t.rpos <- frame_end;
+    if trailing > 0 then
+      raise
+        (Util.Codec.Decode_error
+           (Printf.sprintf "frame decoder left %d trailing bytes in a %d-byte frame" trailing
+              len));
+    v
+  | exception e ->
+    t.rpos <- frame_end;
+    raise e
+
+let has_buffered_frame t =
+  match peek_varint t with
+  | None -> false
+  | Some (len, width) -> t.rlen - t.rpos >= width + len

@@ -1,0 +1,57 @@
+(** Length-prefixed [Util.Codec] frames over a file descriptor — the
+    framing layer under {!Dist}'s coordinator/worker protocol.
+
+    A frame on the wire is a {!Util.Codec} varint byte length followed by
+    that many payload bytes; the payload is itself Codec-encoded and is
+    decoded with the usual whole-message discipline (trailing bytes are a
+    {!Util.Codec.Decode_error}, whose message carries the failing
+    offset).
+
+    The connection buffers in both directions: reads refill a growable
+    input buffer in large chunks (a cheap frame never costs a syscall per
+    byte), and writes accumulate into an output buffer until {!flush} —
+    so a round's worth of small cross-shard payloads coalesces into one
+    [write(2)] per link, which is the per-link frame coalescing the
+    coordinator's hot path relies on.
+
+    Single-owner, no locking — same contract as [Net.t].  Peer death
+    (EOF, [EPIPE], [ECONNRESET]) surfaces as {!Closed} from whichever
+    call observes it; {!Dist} turns that into respawn-and-replay. *)
+
+type t
+
+(** Raised when the peer is gone: EOF on read, or a broken pipe /
+    connection reset on write or flush. *)
+exception Closed
+
+(** Wrap a connected stream fd (socketpair or socket).  The fd is
+    managed by the caller except that {!close} closes it. *)
+val of_fd : Unix.file_descr -> t
+
+val fd : t -> Unix.file_descr
+
+(** [queue t enc] appends one frame (length prefix + [enc]-written
+    payload) to the output buffer without writing to the fd. *)
+val queue : t -> (Util.Codec.writer -> unit) -> unit
+
+(** Write out all buffered frames.  No-op when nothing is queued. *)
+val flush : t -> unit
+
+(** [send t enc] is [queue] followed by {!flush} — one frame, one write. *)
+val send : t -> (Util.Codec.writer -> unit) -> unit
+
+(** [recv t dec] blocks for the next complete frame and decodes its
+    payload with [dec] (whole-message: trailing bytes raise).  Raises
+    {!Closed} on EOF at a frame boundary or mid-frame.  A frame is
+    consumed even when [dec] raises — a bad payload never desyncs the
+    stream, so the caller can keep reading after reporting it. *)
+val recv : t -> (Util.Codec.reader -> 'a) -> 'a
+
+(** A complete frame is already buffered — {!recv} would return without
+    touching the fd.  Check before multiplexing on [Unix.select]: a
+    buffered frame makes the fd look idle. *)
+val has_buffered_frame : t -> bool
+
+(** Close the underlying fd (idempotent).  Subsequent calls raise
+    {!Closed}. *)
+val close : t -> unit

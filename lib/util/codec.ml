@@ -84,11 +84,20 @@ let of_sub data ~pos ~len =
   { data; pos; limit = pos + len }
 
 let at_end r = r.pos >= r.limit
+let pos r = r.pos
 
+(* Every decode error names the failing offset and, where a length was
+   involved, the expected vs available byte counts — framed socket
+   traffic (Netsim.Wire) surfaces these messages verbatim, and "which
+   offset of which frame" is the whole diagnosis. *)
 let need r k =
-  if k < 0 then raise (Decode_error "negative length");
+  if k < 0 then
+    raise (Decode_error (Printf.sprintf "negative length %d at offset %d" k r.pos));
   if r.pos + k > r.limit then
-    raise (Decode_error (Printf.sprintf "need %d bytes at %d, have %d" k r.pos r.limit))
+    raise
+      (Decode_error
+         (Printf.sprintf "need %d bytes at offset %d, but only %d remain (window ends at %d)"
+            k r.pos (r.limit - r.pos) r.limit))
 
 let read_byte r =
   need r 1;
@@ -97,8 +106,13 @@ let read_byte r =
   v
 
 let read_varint r =
+  let start = r.pos in
   let rec go shift acc =
-    if shift > 62 then raise (Decode_error "varint too long");
+    if shift > 62 then
+      raise
+        (Decode_error
+           (Printf.sprintf "varint at offset %d too long (10th continuation byte at offset %d)"
+              start r.pos));
     let b = read_byte r in
     let acc = acc lor ((b land 0x7F) lsl shift) in
     if b land 0x80 = 0 then acc else go (shift + 7) acc
@@ -119,7 +133,7 @@ let read_bool r =
   match read_byte r with
   | 0 -> false
   | 1 -> true
-  | b -> raise (Decode_error (Printf.sprintf "bad bool byte %d" b))
+  | b -> raise (Decode_error (Printf.sprintf "bad bool byte %d at offset %d" b (r.pos - 1)))
 
 let read_raw r len =
   need r len;
@@ -182,18 +196,22 @@ let encode f v =
   f w v;
   contents w
 
+let trailing r =
+  raise
+    (Decode_error
+       (Printf.sprintf "%d trailing bytes at offset %d (window ends at %d)" (r.limit - r.pos)
+          r.pos r.limit))
+
 let decode f b =
   let r = reader b in
   let v = f r in
-  if not (at_end r) then
-    raise (Decode_error (Printf.sprintf "%d trailing bytes" (r.limit - r.pos)));
+  if not (at_end r) then trailing r;
   v
 
 let decode_view f v =
   let r = reader_of_view v in
   let x = f r in
-  if not (at_end r) then
-    raise (Decode_error (Printf.sprintf "%d trailing bytes" (r.limit - r.pos)));
+  if not (at_end r) then trailing r;
   x
 
 let varint_size v =

@@ -48,6 +48,11 @@ val write_option : writer -> (writer -> 'a -> unit) -> 'a option -> unit
 
 type reader
 
+(** Raised on malformed input.  The message always names the failing
+    absolute offset (within the reader's underlying buffer), and — when a
+    length was involved — the expected vs available byte counts and the
+    window end, so a bad frame on a socket can be diagnosed from the
+    message alone. *)
 exception Decode_error of string
 
 val reader : bytes -> reader
@@ -62,6 +67,11 @@ val of_sub : bytes -> pos:int -> len:int -> reader
 
 (** [at_end r] is true when every byte has been consumed. *)
 val at_end : reader -> bool
+
+(** Current absolute offset within the underlying buffer — the same
+    offset {!Decode_error} messages report.  Framing layers use it to
+    count trailing bytes without copying the frame out. *)
+val pos : reader -> int
 
 val read_varint : reader -> int
 val read_int64 : reader -> int64

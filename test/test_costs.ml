@@ -72,6 +72,7 @@ let test_pin_equality_pairwise () =
           phases =
             Mpc.Equality.cost_phases_pairwise ~pre:"" ~k:(Const n) ~maxlen:(Const 64)
               ~n:(Const n) ~lambda:(Const 8);
+          max_locality = None;
         }
         (env []))
     ns

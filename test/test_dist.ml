@@ -1,0 +1,234 @@
+(* Tests for the multi-process execution engine (Netsim.Dist): shard
+   byte-identity against the in-process protocol at several worker
+   counts, crash recovery mid-round, and the job fleet. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* Registrations must precede every Dist.create so forked workers
+   inherit them. *)
+
+(* A program whose parties finish at different rounds: party [me]
+   returns at round [me], sending one byte to its successor each round
+   before that — exercises the done-party bookkeeping (finished parties
+   dropped from scatters, their inbound discarded). *)
+let countdown ~n ~args:_ ~me ~round ~inbox:_ ~send =
+  if round < me then begin
+    send ~dst:((me + 1) mod n) (Bytes.make 1 '\001');
+    None
+  end
+  else Some (Bytes.of_string (string_of_int me))
+
+let () = Netsim.Dist.register_program "test.countdown" (fun ~n ~args ~me -> countdown ~n ~args ~me)
+let () = Mpc.Dist_programs.register ()
+
+(* Job: sum the bytes of the argument, return as a decimal string. *)
+let () =
+  Netsim.Dist.register_job "test.bytesum" (fun args ->
+      let s = ref 0 in
+      Bytes.iter (fun c -> s := !s + Char.code c) args;
+      Bytes.of_string (string_of_int !s))
+
+let counters net =
+  Netsim.Net.
+    (total_bits net, messages_sent net, rounds net, max_locality net)
+
+(* ---- Wire framing over a socketpair ---- *)
+
+let test_wire_roundtrip () =
+  let a_fd, b_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let a = Netsim.Wire.of_fd a_fd and b = Netsim.Wire.of_fd b_fd in
+  (* Two queued frames coalesce into one flush; both arrive intact. *)
+  Netsim.Wire.queue a (fun w -> Util.Codec.write_string w "hello");
+  Netsim.Wire.queue a (fun w ->
+      Util.Codec.write_list w Util.Codec.write_varint [ 1; 2; 300 ]);
+  Netsim.Wire.flush a;
+  Alcotest.(check string) "frame 1" "hello" (Netsim.Wire.recv b Util.Codec.read_string);
+  Alcotest.(check (list int)) "frame 2" [ 1; 2; 300 ]
+    (Netsim.Wire.recv b (fun r -> Util.Codec.read_list r Util.Codec.read_varint));
+  checkb "nothing buffered" false (Netsim.Wire.has_buffered_frame b);
+  (* Trailing bytes in a frame are a decode error. *)
+  Netsim.Wire.send a (fun w ->
+      Util.Codec.write_varint w 1;
+      Util.Codec.write_varint w 2);
+  checkb "trailing rejected" true
+    (try
+       ignore (Netsim.Wire.recv b (fun r -> Util.Codec.read_varint r));
+       false
+     with Util.Codec.Decode_error _ -> true);
+  (* Peer close surfaces as Closed on the read side. *)
+  Netsim.Wire.close a;
+  checkb "closed on EOF" true
+    (try
+       ignore (Netsim.Wire.recv b Util.Codec.read_string);
+       false
+     with Netsim.Wire.Closed -> true);
+  Netsim.Wire.close b;
+  Netsim.Wire.close b (* idempotent *)
+
+(* ---- byte-identity: dist vs in-process protocol ---- *)
+
+let n_a2a = 12
+let a2a_len = 16
+let a2a_info = "test-dist"
+let a2a_args = Mpc.Dist_programs.encode_args ~len:a2a_len ~info:a2a_info
+
+(* The in-process reference: the real protocol through All_to_all.run. *)
+let reference_a2a () =
+  let net = Netsim.Net.create n_a2a in
+  let rng = Util.Prng.create 7 in
+  let params = Mpc.Params.make ~n:n_a2a ~h:(n_a2a / 2) ~lambda:8 ~alpha:2 () in
+  let outs =
+    Mpc.All_to_all.run net rng params ~variant:Mpc.All_to_all.Naive
+      ~participants:(List.init n_a2a (fun i -> i))
+      ~input:(Mpc.Dist_programs.input_of ~info:a2a_info ~len:a2a_len)
+      ~corruption:(Netsim.Corruption.none ~n:n_a2a)
+      ~adv:Mpc.All_to_all.honest_adv
+  in
+  let verdicts = Array.make n_a2a Bytes.empty in
+  List.iter (fun (i, o) -> verdicts.(i) <- Mpc.Dist_programs.encode_a2a_outcome o) outs;
+  (verdicts, counters net)
+
+let check_verdicts label expected actual =
+  checki (label ^ ": verdict count") (Array.length expected) (Array.length actual);
+  Array.iteri
+    (fun i v -> checkb (Printf.sprintf "%s: verdict %d" label i) true (Bytes.equal v actual.(i)))
+    expected
+
+let test_run_local_matches_protocol () =
+  let expected_verdicts, expected_counters = reference_a2a () in
+  let net = Netsim.Net.create n_a2a in
+  let verdicts = Netsim.Dist.run_local ~name:"a2a.naive" ~n:n_a2a ~args:a2a_args ~net in
+  check_verdicts "run_local" expected_verdicts verdicts;
+  Alcotest.(check (pair (pair int int) (pair int int)))
+    "run_local counters"
+    (let a, b, c, d = expected_counters in
+     ((a, b), (c, d)))
+    (let a, b, c, d = counters net in
+     ((a, b), (c, d)))
+
+let test_workers_byte_identical () =
+  let expected_verdicts, expected_counters = reference_a2a () in
+  List.iter
+    (fun workers ->
+      let t = Netsim.Dist.create ~spares:0 ~workers () in
+      Fun.protect
+        ~finally:(fun () -> Netsim.Dist.shutdown t)
+        (fun () ->
+          let net = Netsim.Net.create n_a2a in
+          let verdicts =
+            Netsim.Dist.run_program t ~name:"a2a.naive" ~n:n_a2a ~args:a2a_args ~net
+          in
+          let label = Printf.sprintf "workers=%d" workers in
+          check_verdicts label expected_verdicts verdicts;
+          checkb (label ^ ": counters") true (counters net = expected_counters)))
+    [ 1; 2; 4 ]
+
+let test_countdown_done_party_bookkeeping () =
+  let n = 7 in
+  let net_local = Netsim.Net.create n in
+  let local =
+    Netsim.Dist.run_local ~name:"test.countdown" ~n ~args:Bytes.empty ~net:net_local
+  in
+  Array.iteri
+    (fun me v -> Alcotest.(check string) "verdict" (string_of_int me) (Bytes.to_string v))
+    local;
+  let t = Netsim.Dist.create ~spares:0 ~workers:3 () in
+  Fun.protect
+    ~finally:(fun () -> Netsim.Dist.shutdown t)
+    (fun () ->
+      let net = Netsim.Net.create n in
+      let dist = Netsim.Dist.run_program t ~name:"test.countdown" ~n ~args:Bytes.empty ~net in
+      check_verdicts "countdown" local dist;
+      checkb "countdown counters" true (counters net = counters net_local))
+
+(* ---- crash recovery (satellite d) ---- *)
+
+let test_crash_recovery_byte_identical () =
+  let expected_verdicts, expected_counters = reference_a2a () in
+  (* Derive the crash point from a Faults schedule, as the bench does:
+     crash_stage 1 means the worker dies on the round-1 scatter. *)
+  let workers = 2 in
+  let faults =
+    Netsim.Faults.make (Util.Prng.create 99) ~schedule:1 ~n:workers
+      { Netsim.Faults.honest with crash = 1.0; crash_stage = 1 }
+  in
+  let crash_worker =
+    match
+      List.find_opt (fun w -> Netsim.Faults.crashed faults ~me:w ~stage:1)
+        (List.init workers (fun w -> w))
+    with
+    | Some w -> w
+    | None -> 0
+  in
+  let t = Netsim.Dist.create ~spares:1 ~workers () in
+  Fun.protect
+    ~finally:(fun () -> Netsim.Dist.shutdown t)
+    (fun () ->
+      let net = Netsim.Net.create n_a2a in
+      let verdicts =
+        Netsim.Dist.run_program ~crash:(crash_worker, 1) t ~name:"a2a.naive" ~n:n_a2a
+          ~args:a2a_args ~net
+      in
+      check_verdicts "crash" expected_verdicts verdicts;
+      checkb "crash counters" true (counters net = expected_counters);
+      let stats = Netsim.Dist.stats t in
+      checki "respawned once" 1 stats.(crash_worker).Netsim.Dist.respawns;
+      checkb "replacement has a pid" true (stats.(crash_worker).Netsim.Dist.pid > 0))
+
+let test_crash_without_spare_is_worker_lost () =
+  let t = Netsim.Dist.create ~spares:0 ~workers:2 () in
+  Fun.protect
+    ~finally:(fun () -> Netsim.Dist.shutdown t)
+    (fun () ->
+      let net = Netsim.Net.create n_a2a in
+      checkb "raises Worker_lost" true
+        (try
+           ignore
+             (Netsim.Dist.run_program ~crash:(0, 0) t ~name:"a2a.naive" ~n:n_a2a
+                ~args:a2a_args ~net);
+           false
+         with Netsim.Dist.Worker_lost _ -> true))
+
+(* ---- job fleet ---- *)
+
+let test_run_jobs_order_and_crash_redispatch () =
+  let jobs =
+    List.init 9 (fun i -> ("test.bytesum", Bytes.make (i + 1) (Char.chr (i + 1))))
+  in
+  let expected = List.init 9 (fun i -> string_of_int ((i + 1) * (i + 1))) in
+  let t = Netsim.Dist.create ~spares:1 ~workers:3 () in
+  Fun.protect
+    ~finally:(fun () -> Netsim.Dist.shutdown t)
+    (fun () ->
+      let plain = Netsim.Dist.run_jobs t jobs in
+      Alcotest.(check (list string)) "results in input order" expected
+        (List.map Bytes.to_string plain);
+      (* Kill the worker running job 4; it must be re-dispatched clean. *)
+      let crashed = Netsim.Dist.run_jobs ~crash:4 t jobs in
+      Alcotest.(check (list string)) "crash run identical" expected
+        (List.map Bytes.to_string crashed);
+      let stats = Netsim.Dist.stats t in
+      let respawns = Array.fold_left (fun a s -> a + s.Netsim.Dist.respawns) 0 stats in
+      checki "one respawn across the fleet" 1 respawns)
+
+let () =
+  Alcotest.run "dist"
+    [
+      ("wire", [ Alcotest.test_case "roundtrip + close" `Quick test_wire_roundtrip ]);
+      ( "byte-identity",
+        [
+          Alcotest.test_case "run_local = protocol" `Quick test_run_local_matches_protocol;
+          Alcotest.test_case "workers 1/2/4 = protocol" `Quick test_workers_byte_identical;
+          Alcotest.test_case "done-party bookkeeping" `Quick
+            test_countdown_done_party_bookkeeping;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "respawn + replay byte-identical" `Quick
+            test_crash_recovery_byte_identical;
+          Alcotest.test_case "no spare -> Worker_lost" `Quick
+            test_crash_without_spare_is_worker_lost;
+        ] );
+      ("jobs", [ Alcotest.test_case "order + crash re-dispatch" `Quick test_run_jobs_order_and_crash_redispatch ]);
+    ]

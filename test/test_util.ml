@@ -279,8 +279,47 @@ let test_codec_compound () =
 
 let test_codec_trailing_bytes_rejected () =
   let b = Bytes.of_string "\001\002" in
-  Alcotest.check_raises "trailing" (Util.Codec.Decode_error "1 trailing bytes") (fun () ->
+  Alcotest.check_raises "trailing"
+    (Util.Codec.Decode_error "1 trailing bytes at offset 1 (window ends at 2)") (fun () ->
       ignore (Util.Codec.decode (fun r -> Util.Codec.read_byte r) b))
+
+(* Decode errors carry the failing offset and the expected/actual byte
+   counts — the contract that makes framed socket traffic (Netsim.Wire)
+   debuggable from the message alone. *)
+let test_codec_error_offsets () =
+  let msg f =
+    try
+      ignore (f ());
+      Alcotest.fail "expected Decode_error"
+    with Util.Codec.Decode_error m -> m
+  in
+  (* Underflow: 3 bytes wanted at offset 1 of a 2-byte buffer. *)
+  let m =
+    msg (fun () ->
+        Util.Codec.decode
+          (fun r ->
+            ignore (Util.Codec.read_byte r);
+            Util.Codec.read_raw r 3)
+          (Bytes.of_string "\001\002"))
+  in
+  checkb "underflow names offset" true
+    (m = "need 3 bytes at offset 1, but only 1 remain (window ends at 2)");
+  (* Unterminated varint: ten continuation bytes. *)
+  let m =
+    msg (fun () -> Util.Codec.decode Util.Codec.read_varint (Bytes.make 10 '\xff'))
+  in
+  checkb "varint names start offset" true
+    (m = "varint at offset 0 too long (10th continuation byte at offset 9)");
+  (* Bad bool byte, not at offset 0. *)
+  let m =
+    msg (fun () ->
+        Util.Codec.decode
+          (fun r ->
+            ignore (Util.Codec.read_byte r);
+            Util.Codec.read_bool r)
+          (Bytes.of_string "\000\007"))
+  in
+  checkb "bool names offset" true (m = "bad bool byte 7 at offset 1")
 
 let test_codec_underflow_rejected () =
   let b = Bytes.of_string "" in
@@ -623,6 +662,41 @@ let test_imap_multi () =
   check Alcotest.(list string) "multi" [ "b"; "a" ] (Util.Imap.find_list 1 m);
   check Alcotest.(list string) "missing" [] (Util.Imap.find_list 2 m)
 
+(* ---- Pool lifecycle (the scheduling semantics live in test_pool.ml) ---- *)
+
+let map_jobs_raises p =
+  try
+    ignore (Util.Pool.map_jobs p [| 1 |] (fun x -> x));
+    false
+  with Invalid_argument _ -> true
+
+let test_pool_shutdown_idempotent () =
+  let p = Util.Pool.create ~num_domains:2 () in
+  checki "pool works before shutdown" 6
+    (Array.fold_left ( + ) 0 (Util.Pool.map_jobs p [| 1; 2; 3 |] (fun x -> x)));
+  (* Documented idempotent: repeated shutdowns must neither raise nor hang. *)
+  Util.Pool.shutdown p;
+  Util.Pool.shutdown p;
+  Util.Pool.shutdown p
+
+let test_pool_use_after_shutdown_raises () =
+  let p = Util.Pool.create ~num_domains:1 () in
+  Util.Pool.shutdown p;
+  checkb "map_jobs after shutdown raises" true (map_jobs_raises p);
+  (* A redundant shutdown must not resurrect the pool. *)
+  Util.Pool.shutdown p;
+  checkb "map_jobs still raises after double shutdown" true (map_jobs_raises p);
+  checkb "and keeps raising" true (map_jobs_raises p)
+
+let test_pool_zero_domains_shutdown () =
+  (* The degenerate sequential pool follows the same lifecycle contract. *)
+  let p = Util.Pool.create ~num_domains:0 () in
+  checki "inline map works" 2
+    (Array.fold_left ( + ) 0 (Util.Pool.map_jobs p [| 1 |] (fun x -> x + 1)));
+  Util.Pool.shutdown p;
+  Util.Pool.shutdown p;
+  checkb "map_jobs after shutdown raises" true (map_jobs_raises p)
+
 let () =
   Alcotest.run "util"
     [
@@ -657,12 +731,19 @@ let () =
           Alcotest.test_case "compound structures" `Quick test_codec_compound;
           Alcotest.test_case "trailing bytes rejected" `Quick test_codec_trailing_bytes_rejected;
           Alcotest.test_case "underflow rejected" `Quick test_codec_underflow_rejected;
+          Alcotest.test_case "error offsets" `Quick test_codec_error_offsets;
           Alcotest.test_case "int list helper" `Quick test_codec_int_list;
           QCheck_alcotest.to_alcotest codec_prop_bytes;
           QCheck_alcotest.to_alcotest codec_prop_varint_list;
           QCheck_alcotest.to_alcotest codec_prop_slice_reader_equiv;
           QCheck_alcotest.to_alcotest codec_prop_slice_reader_bounds;
           QCheck_alcotest.to_alcotest codec_prop_views_equiv;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "shutdown idempotent" `Quick test_pool_shutdown_idempotent;
+          Alcotest.test_case "use after shutdown raises" `Quick test_pool_use_after_shutdown_raises;
+          Alcotest.test_case "zero-domain lifecycle" `Quick test_pool_zero_domains_shutdown;
         ] );
       ( "stats",
         [
