@@ -26,6 +26,10 @@
                                               -- Byzantine fault-injection sweep
      dune exec bench/main.exe -- --only soak --seed S --schedule K
                                               -- replay one fault schedule verbosely
+     dune exec bench/main.exe -- --async      -- event-transport variants: E1/E6/E9
+                                                 async rows; with --only soak, the
+                                                 sweep runs every case on a derived
+                                                 adversarially-scheduled transport
 
    Communication complexity is measured per the paper's definition (§3.1):
    bits sent by all parties in an honest execution.
@@ -167,13 +171,84 @@ let fit_line label ms =
 let bits_measure ~x (r : Analysis.Bench_io.run) =
   { Analysis.Complexity.x = float_of_int x; value = float_of_int r.Analysis.Bench_io.bits }
 
+(* ---- --async: event-transport variants ----
+
+   Under --async, E1/E6/E9 re-run representative rows on the
+   adversarially-scheduled event transport (Netsim.Event_net) at a fixed
+   config, and the soak sweep switches to per-case random configs.
+   Accounting is metered at send time, so async bits and messages are
+   asserted against the same closed forms as the sync rows; measured
+   rounds depend on the delivery schedule, so the sync closed form is
+   printed as an informational delta instead, and the async records
+   carry no rounds prediction (--audit skips them; --diff matches them
+   only against other async reports via the distinct series suffix). *)
+let async_mode = ref false
+
+let async_cfg =
+  {
+    Netsim.Event_net.latency = Netsim.Event_net.Uniform (1, 3);
+    horizon = 1;
+    scheduler = Netsim.Event_net.Adversarial { hold = 0.25 };
+  }
+
+(* Protocol deadline = the transport's fairness span: every in-flight
+   message lands within [span] ticks of submission, so honest async runs
+   lose nothing and still produce outputs, not aborts. *)
+let async_deadline = Netsim.Event_net.span async_cfg
+
+let async_net ~seed n =
+  let rng = Util.Prng.derive (prng seed) ~key:0xA5ED in
+  Netsim.Net.create ~transport:(Netsim.Event_net.transport ~rng async_cfg) n
+
+(* The async counterpart of [checked_totals]: bits within slack and
+   messages exact, rounds deliberately unchecked. *)
+let async_checked_totals ~env ~spec net =
+  let totals = Analysis.Costs.totals env spec in
+  let bits = Netsim.Net.total_bits net in
+  let messages = Netsim.Net.messages_sent net in
+  if
+    bits < totals.Analysis.Costs.bits_lo
+    || bits > totals.Analysis.Costs.bits_hi
+    || messages <> totals.Analysis.Costs.messages
+  then begin
+    cost_mismatch := true;
+    Printf.eprintf
+      "COST MISMATCH [%s, async]: bits %d (predicted [%d, %d]), messages %d (predicted %d)\n"
+      spec.Analysis.Costs.name bits totals.Analysis.Costs.bits_lo
+      totals.Analysis.Costs.bits_hi messages totals.Analysis.Costs.messages
+  end;
+  totals
+
+let async_run_of_net ~predicted ~experiment ~series ~n ~h ~wall_ms net =
+  {
+    (run_of_net ~predicted ~experiment ~series ~n ~h ~wall_ms net) with
+    Analysis.Bench_io.predicted_rounds = None;
+  }
+
+(* Rows paired with their sync closed-form round counts. *)
+let async_rounds_table rows =
+  let t =
+    Analysis.Table.create
+      ~title:
+        (Printf.sprintf "async rounds-to-completion vs sync closed form (%s)"
+           (Netsim.Event_net.config_to_string async_cfg))
+      ~columns:[ "series"; "n"; "rounds"; "sync form"; "delta" ]
+  in
+  List.iter
+    (fun ((r : Analysis.Bench_io.run), sync_rounds) ->
+      Analysis.Table.add_row t
+        [ r.series; string_of_int r.n; string_of_int r.rounds; string_of_int sync_rounds;
+          Printf.sprintf "%+d" (r.rounds - sync_rounds) ])
+    rows;
+  Analysis.Table.print t
+
 (* ------------------------------------------------------------------ *)
 (* E1 — Theorem 1: Algorithm 3 communication Õ(n²/h)                   *)
 (* ------------------------------------------------------------------ *)
 
 (* Cost spec of one honest Algorithm 3 run, evaluated against [net]'s
    counters via the observables recorded into [obs]. *)
-let alg3_totals ~pke ~circuit ~input_width ~n ~obs net =
+let alg3_totals ?(async = false) ~pke ~circuit ~input_width ~n ~obs net =
   let open Analysis.Costs in
   let spec =
     Mpc.Mpc_abort.cost_spec ~pke
@@ -182,24 +257,43 @@ let alg3_totals ~pke ~circuit ~input_width ~n ~obs net =
       ~out_bits:(Const (Circuit.num_outputs circuit))
       ~n:(Const n) ~lambda:(Const 8)
   in
-  checked_totals ~env:(env ~obs []) ~spec net
+  (if async then async_checked_totals else checked_totals) ~env:(env ~obs []) ~spec net
 
-let run_alg3 ?pool ~n ~h ~seed () =
+let run_alg3 ?pool ?(async = false) ~n ~h ~seed () =
   let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:2 () in
   let pke = sim_pke seed in
   let circuit = Circuit.parity ~n in
   let config = { Mpc.Mpc_abort.params; pke; circuit; input_width = 1 } in
   let corruption = Netsim.Corruption.none ~n in
   let inputs = Array.init n (fun i -> i land 1) in
-  let net = Netsim.Net.create n in
+  let net = if async then async_net ~seed n else Netsim.Net.create n in
+  let deadline = if async then async_deadline else 1 in
   let rng = prng seed in
   let obs = Analysis.Costs.Obs.create () in
   let outs =
-    Mpc.Mpc_abort.run ?pool ~obs net rng config ~corruption ~inputs
+    Mpc.Mpc_abort.run ?pool ~deadline ~obs net rng config ~corruption ~inputs
       ~adv:Mpc.Mpc_abort.honest_adv
   in
   assert (Array.for_all Mpc.Outcome.is_output outs);
-  (net, alg3_totals ~pke ~circuit ~input_width:1 ~n ~obs net)
+  (net, alg3_totals ~async ~pke ~circuit ~input_width:1 ~n ~obs net)
+
+(* The --async E1 rows: same protocol and seeds as the h = n/4 sweep, on
+   the adversarial event transport with the phase deadline at the
+   transport's span. *)
+let e1_async () =
+  section "E1  (--async) Algorithm 3 on the adversarial event transport";
+  let rows =
+    par_list
+      (pick ~full:[ 64; 128; 256 ] ~reduced:[ 64; 128 ])
+      (fun n ->
+        let h = n / 4 in
+        let (net, predicted), wall_ms = timed (run_alg3 ~async:true ~n ~h ~seed:n) in
+        ( async_run_of_net ~predicted ~experiment:"E1" ~series:"n-sweep h=n/4 (async)" ~n ~h
+            ~wall_ms net,
+          predicted.Analysis.Costs.rounds ))
+  in
+  async_rounds_table rows;
+  List.map fst rows
 
 (* One huge-tier E1 row, shared verbatim by [e1_huge] and the dist job
    fleet ("bench.e1") — byte-identity of the records at any --workers
@@ -294,7 +388,7 @@ let e1 () =
   in
   Analysis.Table.print t2;
   ignore (fit_line "exponent in h at fixed n (paper: ~-1; the committee-internal |C|^2 terms push toward -2 until h >> log^2 n)" ms_h);
-  r1 @ r2 @ r3
+  r1 @ r2 @ r3 @ (if !async_mode then e1_async () else [])
   end
 
 (* ------------------------------------------------------------------ *)
@@ -582,6 +676,39 @@ let e5 () =
 (* E6 — Claims 12/14: committee election                               *)
 (* ------------------------------------------------------------------ *)
 
+(* The --async E6 rows: one honest election per (n, h) on the event
+   transport.  Single-trial (the sync rows aggregate 20) — the point is
+   the rounds-vs-closed-form delta, not abort statistics. *)
+let e6_async () =
+  section "E6  (--async) CommitteeElect on the adversarial event transport";
+  let rows =
+    par_list
+      (pick ~full:[ (64, 16); (128, 32); (256, 64) ] ~reduced:[ (64, 16); (128, 32) ])
+      (fun (n, h) ->
+        let params = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:2 () in
+        let corruption = Netsim.Corruption.none ~n in
+        let net = async_net ~seed:(n * h) n in
+        let rng = prng (n * h) in
+        let obs = Analysis.Costs.Obs.create () in
+        let outs, wall_ms =
+          timed (fun () ->
+              Mpc.Committee.run ~deadline:async_deadline ~obs net rng params ~corruption
+                ~adv:Mpc.Committee.honest_adv)
+        in
+        assert (Array.length outs = n);
+        let predicted =
+          let open Analysis.Costs in
+          async_checked_totals ~env:(env ~obs [])
+            ~spec:(Mpc.Committee.cost_spec ~n:(Const n) ~lambda:(Const 8))
+            net
+        in
+        ( async_run_of_net ~predicted ~experiment:"E6" ~series:"single-trial (async)" ~n ~h
+            ~wall_ms net,
+          predicted.Analysis.Costs.rounds ))
+  in
+  async_rounds_table rows;
+  List.map fst rows
+
 let e6 () =
   section "E6  Claims 12 & 14: CommitteeElect";
   Printf.printf
@@ -667,6 +794,7 @@ let e6 () =
           Printf.sprintf "%d/%d" aborts trials ])
     rows;
   Analysis.Table.print t;
+  if !async_mode then List.map fst rows @ e6_async () else
   List.map fst rows
 
 (* ------------------------------------------------------------------ *)
@@ -1041,14 +1169,47 @@ let e8 () =
 
 (* Cost spec of one honest all-to-all over the full party set with
    uniform [len]-byte inputs (closed form: no observables). *)
-let a2a_totals ~variant ~n ~len net =
+let a2a_totals ?(async = false) ~variant ~n ~len net =
   let open Analysis.Costs in
   let spec =
     Mpc.All_to_all.cost_spec ~variant ~k:(Const n)
       ~idsum:(Const (varint_sum_ids (List.init n (fun i -> i))))
       ~len:(Const len) ~n:(Const n) ~lambda:(Const 8)
   in
-  checked_totals ~env:(env []) ~spec net
+  (if async then async_checked_totals else checked_totals) ~env:(env []) ~spec net
+
+(* The --async E9 rows: both variants at small n on the event transport,
+   512-byte inputs as in the full tier. *)
+let e9_async () =
+  section "E9  (--async) all-to-all broadcast on the adversarial event transport";
+  let rows =
+    par_list [ 8; 16; 32 ] (fun n ->
+        let params = Mpc.Params.make ~n ~h:(n / 2) ~lambda:8 ~alpha:2 () in
+        let corruption = Netsim.Corruption.none ~n in
+        let participants = List.init n (fun i -> i) in
+        let input i =
+          Crypto.Kdf.expand ~key:(Bytes.of_string (string_of_int i)) ~info:"e9" 512
+        in
+        let cost name variant =
+          let net = async_net ~seed:n n in
+          let rng = prng n in
+          let outs, wall_ms =
+            timed (fun () ->
+                Mpc.All_to_all.run ~deadline:async_deadline net rng params ~variant
+                  ~participants ~input ~corruption ~adv:Mpc.All_to_all.honest_adv)
+          in
+          assert (List.for_all (fun (_, o) -> Mpc.Outcome.is_output o) outs);
+          let predicted = a2a_totals ~async:true ~variant ~n ~len:512 net in
+          ( async_run_of_net ~predicted ~experiment:"E9" ~series:name ~n ~h:(n / 2) ~wall_ms
+              net,
+            predicted.Analysis.Costs.rounds )
+        in
+        ( cost "naive 512B (async)" Mpc.All_to_all.Naive,
+          cost "fingerprinted 512B (async)" Mpc.All_to_all.Fingerprinted ))
+  in
+  let flat = List.concat_map (fun (a, b) -> [ a; b ]) rows in
+  async_rounds_table flat;
+  List.map fst flat
 
 (* One huge-tier E9 row, shared verbatim by [e9_huge] and the dist
    paths (the naive sessions through Dist.run_program and the
@@ -1143,6 +1304,7 @@ let e9 () =
   let slope, _, _ = Util.Stats.linear_fit (List.rev ratios) in
   Printf.printf "speedup grows linearly in n (slope %.2f per party) — the factor-n win.\n" slope;
   List.concat_map (fun (naive, fp) -> [ naive; fp ]) rows
+  @ (if !async_mode then e9_async () else [])
   end
 
 (* ------------------------------------------------------------------ *)
@@ -2034,11 +2196,14 @@ let soak () =
     Printf.sprintf "%d cases over %d schedules" rep.Mpc.Soak.total_cases
       rep.Mpc.Soak.total_schedules
   in
+  let async = !async_mode in
   (match !soak_schedule with
   | Some k ->
     (* Replay mode: one schedule id, every protocol, verbose verdicts. *)
-    section (Printf.sprintf "soak replay: seed %d, schedule %d" seed k);
-    let cases = Mpc.Soak.run_schedule ~seed ~schedule:k () in
+    section
+      (Printf.sprintf "soak replay: seed %d, schedule %d%s" seed k
+         (if async then " (async event transport)" else ""));
+    let cases = Mpc.Soak.run_schedule ~async ~seed ~schedule:k () in
     List.iter
       (fun c ->
         match c.Mpc.Soak.violation with
@@ -2053,10 +2218,12 @@ let soak () =
     let schedules =
       match !soak_schedules with Some k -> k | None -> pick ~full:200 ~reduced:30
     in
+    let plist = if async then Mpc.Soak.async_protocols else Mpc.Soak.protocols in
     section
-      (Printf.sprintf "soak: %d fault schedules x %d protocols, seed %d" schedules
-         (List.length Mpc.Soak.protocols) seed);
-    let rep = Mpc.Soak.run_sweep ?pool:!pool ~seed ~schedules () in
+      (Printf.sprintf "soak%s: %d fault schedules x %d protocols, seed %d"
+         (if async then " (async event transport)" else "")
+         schedules (List.length plist) seed);
+    let rep = Mpc.Soak.run_sweep ?pool:!pool ~async ~seed ~schedules () in
     Printf.printf "%s: %d violation(s)\n" (describe_count rep)
       (List.length rep.Mpc.Soak.violations);
     List.iter (fun c -> print_endline (Mpc.Soak.describe c)) rep.Mpc.Soak.violations;
@@ -2384,7 +2551,8 @@ let sweep_info : (string * string * string list) list =
     ( "fp-micro", "full quick",
       [ "full:  sizes {64,4K,64K,1M} x t in {1,8,64} (--quick: {64,64K} x {1,8}); ignores --jobs" ] );
     ( "soak", "opt-in (--only soak)",
-      [ "sweep: 200 fault schedules (--quick: 30); --schedules K / --schedule K override" ] );
+      [ "sweep: 200 fault schedules (--quick: 30); --schedules K / --schedule K override";
+        "--async: every case on a derived adversarially-scheduled event transport" ] );
     ( "cost-audit", "opt-in (--only cost-audit)",
       [ "14 honest executions, one per cost spec, phase tables + assertions";
         "closed-form extrapolation table at n = 10^4..10^6" ] );
@@ -2570,6 +2738,7 @@ let () =
       quick := List.mem "--quick" args;
       huge := List.mem "--huge" args;
       giant := List.mem "--giant" args;
+      async_mode := List.mem "--async" args;
       if !huge && !giant then begin
         Printf.eprintf "error: --huge and --giant select disjoint tiers; pick one\n";
         exit 1

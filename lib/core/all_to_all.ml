@@ -64,7 +64,7 @@ let cost_spec ~variant ~k ~idsum ~len ~n ~lambda =
     max_locality = None;
   }
 
-let run ?pool net rng params ~variant ~participants ~input ~corruption ~adv =
+let run ?pool ?deadline net rng params ~variant ~participants ~input ~corruption ~adv =
   (* Input thunks may consume randomness; evaluate once per participant so
      the value sent, echoed and placed in views is identical.  The cache is
      filled on the calling domain before any sharded round (thunks may pull
@@ -105,7 +105,7 @@ let run ?pool net rng params ~variant ~participants ~input ~corruption ~adv =
               end)
             members)
     in
-    Netsim.Net.step net
+    Netsim.Net.step_until_quiet ?deadline net
   in
   match variant with
   | Naive ->
@@ -150,7 +150,7 @@ let run ?pool net rng params ~variant ~participants ~input ~corruption ~adv =
           row)
     in
     let row_arr = Array.of_list rows in
-    Netsim.Net.step net;
+    Netsim.Net.step_until_quiet ?deadline net;
     (* Zero-copy echo decode: the presence bitmap and every echoed value
        stay as views into the received payload (which is immutable once
        delivered — the Codec ownership contract), so decoding a Θ(|S|·ℓ)
@@ -236,7 +236,7 @@ let run ?pool net rng params ~variant ~participants ~input ~corruption ~adv =
        all |S| encodes instead of re-doubling a Buffer per member. *)
     let view_scratch = Util.Codec.writer () in
     let verdicts =
-      Equality.pairwise ?pool net rng params ~members
+      Equality.pairwise ?pool ?deadline net rng params ~members
         ~value:(fun i ->
           Util.Codec.encode_into view_scratch write_view_msg (Hashtbl.find views i))
         ~corruption ~adv:adv.eq

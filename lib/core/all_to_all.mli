@@ -41,6 +41,7 @@ val honest_adv : adv
     [participants]. *)
 val run :
   ?pool:Util.Pool.t ->
+  ?deadline:int ->
   Netsim.Net.t ->
   Util.Prng.t ->
   Params.t ->

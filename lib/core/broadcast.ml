@@ -67,7 +67,7 @@ let cost_spec ~variant ~n ~lambda ~len =
     max_locality = None;
   }
 
-let run ?pool net rng params ~variant ~sender ~value ~corruption ~adv =
+let run ?pool ?deadline net rng params ~variant ~sender ~value ~corruption ~adv =
   let n = Netsim.Net.n net in
   let all_parties = List.init n (fun i -> i) in
   let is_corrupt i = Netsim.Corruption.is_corrupted corruption i in
@@ -85,7 +85,7 @@ let run ?pool net rng params ~variant ~sender ~value ~corruption ~adv =
       Netsim.Net.send net ~src:sender ~dst v
     end
   done;
-  Netsim.Net.step net;
+  Netsim.Net.step_until_quiet ?deadline net;
   (* Per-party collection of the sender's value shards across domains:
      each party only drains its own inbox. *)
   let received = Array.make n None in
@@ -124,7 +124,7 @@ let run ?pool net rng params ~variant ~sender ~value ~corruption ~adv =
             end
           done)
     in
-    Netsim.Net.step net;
+    Netsim.Net.step_until_quiet ?deadline net;
     (* Step 3: output step. *)
     mark_aborted
       (Netsim.Net.run_round ?pool net ~parties:all_parties (fun p ->
@@ -166,7 +166,7 @@ let run ?pool net rng params ~variant ~sender ~value ~corruption ~adv =
         end
       done
     done;
-    Netsim.Net.step net;
+    Netsim.Net.step_until_quiet ?deadline net;
     mark_aborted
       (Netsim.Net.run_round ?pool net ~parties:all_parties (fun p ->
            let i = Netsim.Net.Party.id p in

@@ -41,6 +41,7 @@ val honest_adv : adv
     adversary callbacks must be pure (all of {!Attacks}' are). *)
 val run :
   ?pool:Util.Pool.t ->
+  ?deadline:int ->
   Netsim.Net.t ->
   Util.Prng.t ->
   Params.t ->

@@ -38,7 +38,7 @@ let cost_spec ~n ~lambda =
     max_locality = Some (Mul [ Ge (Var "claims", Const 1); Sub (n, Const 1) ]);
   }
 
-let run ?pool ?obs net rng params ~corruption ~adv =
+let run ?pool ?deadline ?obs net rng params ~corruption ~adv =
   let n = Netsim.Net.n net in
   let p = Params.committee_prob params in
   let bound = Params.committee_bound params in
@@ -70,7 +70,7 @@ let run ?pool ?obs net rng params ~corruption ~adv =
         end
       done
   done;
-  Netsim.Net.step net;
+  Netsim.Net.step_until_quiet ?deadline net;
   (* Step 3: collect views, abort on too many claims.  Per-party inbox
      drains are independent, so the collection shards across domains.
      Only the active frontier is stepped; a party nobody claimed to sees
@@ -93,7 +93,7 @@ let run ?pool ?obs net rng params ~corruption ~adv =
       if List.length senders >= bound then aborted.(i) <- true)
     collected;
   (* Step 4: pairwise equality over committee views. *)
-  View_check.run
+  View_check.run ?deadline
     ?obs:(Option.map (fun o -> Analysis.Costs.Obs.scoped o "vc") obs)
     net rng params ~claims ~views ~corruption ~eq:adv.eq ~aborted;
   Array.init n (fun i ->

@@ -34,6 +34,7 @@ type view = { committee : int list; elected : bool }
     parties) plus View_check's observables under prefix [vc]. *)
 val run :
   ?pool:Util.Pool.t ->
+  ?deadline:int ->
   ?obs:Analysis.Costs.Obs.t ->
   Netsim.Net.t ->
   Util.Prng.t ->

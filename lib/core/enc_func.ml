@@ -68,7 +68,7 @@ let cost_spec ~k ~idsum ~depth ~inbits ~outbytes ~recipients ~n ~lambda =
     max_locality = None;
   }
 
-let run ?pool net rng params ~participants ~private_input ~depth ~eval ~corruption ~adv =
+let run ?pool ?deadline net rng params ~participants ~private_input ~depth ~eval ~corruption ~adv =
   let members = List.sort_uniq compare participants in
   let is_corrupt i = Netsim.Corruption.is_corrupted corruption i in
   (* Evaluate each party's input exactly once: input thunks may consume
@@ -90,7 +90,8 @@ let run ?pool net rng params ~participants ~private_input ~depth ~eval ~corrupti
   in
   (* Phase 1: simultaneous broadcast of the round-1 messages. *)
   let sb_results =
-    All_to_all.run ?pool net rng params ~variant:All_to_all.Fingerprinted ~participants:members
+    All_to_all.run ?pool ?deadline net rng params ~variant:All_to_all.Fingerprinted
+      ~participants:members
       ~input:(fun i -> round1_message params ~depth ~me:i ~input:(effective_input i))
       ~corruption ~adv:adv.sb
   in
@@ -144,7 +145,7 @@ let run ?pool net rng params ~participants ~private_input ~depth ~eval ~corrupti
                end)
              members)
       : unit list);
-  Netsim.Net.step net;
+  Netsim.Net.step_until_quiet ?deadline net;
   (* Phase 3: recipients verify the proofs and assemble their outputs.
      Pure per-recipient collection (each drains only its own inbox), so it
      shards too; run_round returns results in member-list order, exactly

@@ -68,6 +68,7 @@ val honest_adv : adv
     [(public_output, its private output or empty)]. *)
 val run :
   ?pool:Util.Pool.t ->
+  ?deadline:int ->
   Netsim.Net.t ->
   Util.Prng.t ->
   Params.t ->

@@ -49,18 +49,18 @@ let decode_fp b =
   | fp -> Some fp
   | exception Util.Codec.Decode_error _ -> None
 
-let run net rng params ~p1 ~p2 ~m1 ~m2 =
+let run ?deadline net rng params ~p1 ~p2 ~m1 ~m2 =
   let t = Params.fingerprint_t params ~msg_len:(max (Bytes.length m1) (Bytes.length m2)) in
   let fp = Crypto.Fingerprint.make rng ~t m1 in
   Netsim.Net.send net ~src:p1 ~dst:p2 (encode_fp fp);
-  Netsim.Net.step net;
+  Netsim.Net.step_until_quiet ?deadline net;
   let verdict =
     match Netsim.Net.recv_from net ~dst:p2 ~src:p1 with
     | [ b ] -> ( match decode_fp b with Some fp -> Crypto.Fingerprint.check fp m2 | None -> false)
     | _ -> false
   in
   Netsim.Net.send net ~src:p2 ~dst:p1 (Bytes.make 1 (if verdict then '\001' else '\000'));
-  Netsim.Net.step net;
+  Netsim.Net.step_until_quiet ?deadline net;
   let p1_flag =
     match Netsim.Net.recv_from net ~dst:p1 ~src:p2 with
     | [ b ] when Bytes.length b = 1 -> Bytes.get b 0 = '\001'
@@ -96,7 +96,7 @@ let par_positions pool ~n ~init body =
 
 let no_scratch () = ()
 
-let pairwise ?pool net rng params ~members ~value ~corruption ~adv =
+let pairwise ?pool ?deadline net rng params ~members ~value ~corruption ~adv =
   let members_arr = Array.of_list members in
   (* Callers often encode large views in [value]; evaluate once per member
      (it is consulted again for sizing and for tamper-recovery checks).
@@ -233,7 +233,7 @@ let pairwise ?pool net rng params ~members ~value ~corruption ~adv =
     Netsim.Net.send net ~src:members_arr.(code / k) ~dst:members_arr.(code mod k)
       payloads.(pos)
   done;
-  Netsim.Net.step net;
+  Netsim.Net.step_until_quiet ?deadline net;
   (* Round 2: receivers check and answer one bit.  Draining the inboxes
      touches shared network state, so it stays sequential; the residue
      comparisons (and tamper-recovery Horner re-checks) parallelize. *)
@@ -334,7 +334,7 @@ let pairwise ?pool net rng params ~members ~value ~corruption ~adv =
           end)
         members_arr)
     members_arr;
-  Netsim.Net.step net;
+  Netsim.Net.step_until_quiet ?deadline net;
   Array.iter
     (fun i ->
       Array.iter

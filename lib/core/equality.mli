@@ -29,8 +29,17 @@ val honest_adv : adv
 (** [run net rng params ~p1 ~p2 ~m1 ~m2] — the two-party protocol of
     Algorithm 1 between parties [p1] (sender of the fingerprint) and [p2].
     Returns the flags output by [(p1, p2)]. Used directly in tests; the
-    protocols use {!pairwise}. *)
+    protocols use {!pairwise}.
+
+    [?deadline] (here and on {!pairwise}) is the per-phase round timeout
+    forwarded to [Net.step_until_quiet]: on the synchronous transports
+    any value behaves identically to the default lockstep step, while on
+    an event transport each protocol phase waits up to [deadline] ticks
+    for in-flight traffic; a message still missing then surfaces as the
+    protocol's own failed-check path ([false] verdicts here), never as a
+    livelock. *)
 val run :
+  ?deadline:int ->
   Netsim.Net.t ->
   Util.Prng.t ->
   Params.t ->
@@ -64,6 +73,7 @@ val run :
     Cost: [O(|members|² · λ · log n)] bits in two rounds. *)
 val pairwise :
   ?pool:Util.Pool.t ->
+  ?deadline:int ->
   Netsim.Net.t ->
   Util.Prng.t ->
   Params.t ->

@@ -109,7 +109,8 @@ let cost_spec ~len =
     max_locality = Some (Var "graph_degmax");
   }
 
-let run ?pool ?obs net _rng _params ~graph ~sources ~corruption ~adv =
+let run ?pool ?(deadline = 1) ?obs net _rng _params ~graph ~sources ~corruption ~adv =
+  if deadline < 1 then invalid_arg "Gossip.run: deadline must be >= 1";
   let n = Netsim.Net.n net in
   if Array.length graph <> n then invalid_arg "Gossip.run: graph arity";
   let is_corrupt i = Netsim.Corruption.is_corrupted corruption i in
@@ -222,7 +223,17 @@ let run ?pool ?obs net _rng _params ~graph ~sources ~corruption ~adv =
            (src, dst, encode_batch (List.rev !(Hashtbl.find per_pair (src, dst)))))
          (List.rev !order))
   in
-  (* Gossip rounds until quiescence (bounded by 2n + 2 as a safety net).
+  (* Gossip rounds until quiescence, bounded by (2n + 2) · deadline as a
+     safety net.  The bound used to be a private loop counter; it now
+     rides the shared [Net] watchdog via [with_round_limit] (below), so
+     it is enforced — and, if ever overrun by a bug, reported via
+     [Net.Livelock]'s registered printer — in one place.  The loop stops
+     {e before} tripping the watchdog ([steps_remaining] guard): hitting
+     the cap degrades gracefully to whatever each party heard, exactly
+     the old local-counter behavior.  The deadline factor covers event
+     transports, where one flood hop can take up to [span] ticks instead
+     of one.
+
      Each iteration sends the previous round's batches, steps, then runs
      the {e active frontier}'s drain-and-forward steps — sharded across
      domains when a pool is supplied; batch contents and ordering are
@@ -231,7 +242,7 @@ let run ?pool ?obs net _rng _params ~graph ~sources ~corruption ~adv =
      an empty inbox drains nothing, mutates nothing, and batches nothing,
      so skipping it is unobservable — while at n = 10⁶ with degree ~40
      it is the difference between O(frontier) and O(n) work per round. *)
-  let max_rounds = (2 * n) + 2 in
+  let cap = ((2 * n) + 2) * deadline in
   let round = ref 0 in
   let batches = ref !round0 in
   (* Observable recording happens here on the calling domain (never inside
@@ -283,7 +294,14 @@ let run ?pool ?obs net _rng _params ~graph ~sources ~corruption ~adv =
         if d > !degmax then degmax := d)
       graph;
     Analysis.Costs.Obs.set o "graph_degmax" !degmax);
-  while !batches <> [] && !round < max_rounds do
+  Netsim.Net.with_round_limit net ~extra:cap (fun () ->
+  (* The loop also keeps spinning while messages are still in flight
+     (event transports deliver a hop over several ticks): exiting with
+     traffic en route would silently drop rumors.  On the synchronous
+     transports [in_flight] is always 0 here, so the condition — and the
+     iteration count — is exactly the historical one. *)
+  while (!batches <> [] || Netsim.Net.in_flight net > 0)
+        && Netsim.Net.steps_remaining net > 0 do
     incr round;
     List.iter
       (fun (src, dst, payload) ->
@@ -333,7 +351,7 @@ let run ?pool ?obs net _rng _params ~graph ~sources ~corruption ~adv =
           batch_up me (List.rev !out))
     in
     batches := List.concat produced
-  done;
+  done);
   (match obs with
   | None -> ()
   | Some o -> Analysis.Costs.Obs.set o "rounds" !round);

@@ -40,6 +40,7 @@ val honest_adv : adv
     must be pure (all of {!Attacks}' are). *)
 val run :
   ?pool:Util.Pool.t ->
+  ?deadline:int ->
   ?obs:Analysis.Costs.Obs.t ->
   Netsim.Net.t ->
   Util.Prng.t ->

@@ -116,7 +116,7 @@ let cost_spec ~pke ~depth ~input_width ~out_bits ~n ~lambda =
     max_locality = None;
   }
 
-let run_metered ?pool ?obs net rng config ~corruption ~inputs ~adv =
+let run_metered ?pool ?deadline ?obs net rng config ~corruption ~inputs ~adv =
   let module P = (val config.pke : Crypto.Pke.S) in
   let params = config.params in
   let n = Netsim.Net.n net in
@@ -139,7 +139,7 @@ let run_metered ?pool ?obs net rng config ~corruption ~inputs ~adv =
 
   (* ---- Step 1: committee election ---- *)
   let s0 = mark_phase () in
-  let views = Committee.run ?pool ?obs:(sub_obs "comm") net rng params ~corruption ~adv:adv.committee in
+  let views = Committee.run ?pool ?deadline ?obs:(sub_obs "comm") net rng params ~corruption ~adv:adv.committee in
   Array.iteri
     (fun i o -> match o with Outcome.Abort r -> set_abort i r | Outcome.Output _ -> ())
     views;
@@ -162,7 +162,7 @@ let run_metered ?pool ?obs net rng config ~corruption ~inputs ~adv =
   let gen_results =
     if members = [] then []
     else
-      Enc_func.run ?pool net rng params ~participants:members
+      Enc_func.run ?pool ?deadline net rng params ~participants:members
         ~private_input:(fun i ->
           Crypto.Kdf.expand
             ~key:(Util.Prng.bytes rng 32)
@@ -220,7 +220,7 @@ let run_metered ?pool ?obs net rng config ~corruption ~inputs ~adv =
             done
           | None -> ())
   in
-  Netsim.Net.step net;
+  Netsim.Net.step_until_quiet ?deadline net;
   let party_pk = Array.make n None in
   let pk_verdicts =
     Netsim.Net.run_round ?pool net
@@ -276,7 +276,7 @@ let run_metered ?pool ?obs net rng config ~corruption ~inputs ~adv =
       | _ -> ()
   done;
   ob "input_sends" !input_sends;
-  Netsim.Net.step net;
+  Netsim.Net.step_until_quiet ?deadline net;
   (* Encryption above consumes the shared [rng] and stays sequential; the
      members' ciphertext-view assembly below is pure per-inbox work and
      shards across domains. *)
@@ -314,7 +314,7 @@ let run_metered ?pool ?obs net rng config ~corruption ~inputs ~adv =
        0 eq_members);
   let verdicts =
     if List.length eq_members >= 2 then
-      Equality.pairwise ?pool net rng params ~members:eq_members
+      Equality.pairwise ?pool ?deadline net rng params ~members:eq_members
         ~value:(fun c -> encode_ct_view (Hashtbl.find member_cts c))
         ~corruption ~adv:adv.eq
     else List.map (fun c -> (c, true)) eq_members
@@ -332,7 +332,7 @@ let run_metered ?pool ?obs net rng config ~corruption ~inputs ~adv =
   let comp_results =
     if comp_members = [] then []
     else
-      Enc_func.run ?pool net rng params ~participants:comp_members
+      Enc_func.run ?pool ?deadline net rng params ~participants:comp_members
         ~private_input:(fun c ->
           Crypto.Kdf.expand
             ~key:(Bytes.of_string (Printf.sprintf "skshare/%d" c))
@@ -412,7 +412,7 @@ let run_metered ?pool ?obs net rng config ~corruption ~inputs ~adv =
             done
           | None -> ())
   in
-  Netsim.Net.step net;
+  Netsim.Net.step_until_quiet ?deadline net;
   let final = Array.make n (Outcome.Abort (Outcome.Missing "no output received")) in
   let classified =
     Netsim.Net.run_round ?pool net
@@ -447,5 +447,5 @@ let run_metered ?pool ?obs net rng config ~corruption ~inputs ~adv =
       output_bits;
     } )
 
-let run ?pool ?obs net rng config ~corruption ~inputs ~adv =
-  fst (run_metered ?pool ?obs net rng config ~corruption ~inputs ~adv)
+let run ?pool ?deadline ?obs net rng config ~corruption ~inputs ~adv =
+  fst (run_metered ?pool ?deadline ?obs net rng config ~corruption ~inputs ~adv)

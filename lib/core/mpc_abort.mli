@@ -62,6 +62,7 @@ val honest_adv : adv
     on the calling domain. *)
 val run :
   ?pool:Util.Pool.t ->
+  ?deadline:int ->
   ?obs:Analysis.Costs.Obs.t ->
   Netsim.Net.t ->
   Util.Prng.t ->
@@ -89,6 +90,7 @@ type phase_costs = {
 (** [run_metered] — like {!run} but also returns per-phase bit counts. *)
 val run_metered :
   ?pool:Util.Pool.t ->
+  ?deadline:int ->
   ?obs:Analysis.Costs.Obs.t ->
   Netsim.Net.t ->
   Util.Prng.t ->

@@ -5,6 +5,7 @@ type case = {
   n : int;
   h : int;
   spec : Netsim.Faults.spec;
+  async : bool;
   violation : string option;
 }
 
@@ -19,6 +20,14 @@ let protocols =
     "theorem2";
     "theorem4";
   ]
+
+(* The async sweep covers the deadline-aware entry points: each of these
+   degrades a late message into its own failed-check/abort path, so an
+   adversarial delivery schedule can at worst force the abort the paper
+   already permits.  The MPC pipelines are exercised through their
+   committee/equality/broadcast components rather than end-to-end. *)
+let async_protocols =
+  [ "broadcast-naive"; "broadcast-fp"; "all-to-all"; "committee"; "gossip" ]
 
 (* Fixed per-protocol substream keys: adding an entry point must not
    shift any existing protocol's derived randomness (replay commands in
@@ -60,14 +69,16 @@ let find_honest_violating corruption outs check =
    Each returns [Some detail] on a predicate violation, [None] otherwise.
    Runners draw protocol dimensions from [r_dims] and hand [r_run] to the
    protocol — both independent of the fault-spec substream, so shrinking
-   replays the identical execution under a smaller spec. *)
+   replays the identical execution under a smaller spec.  [~deadline] is
+   the per-phase round timeout for deadline-aware protocols (1 on the
+   synchronous transport; the transport's fairness span under async). *)
 
-let run_broadcast variant ~net ~params ~corruption ~faults ~r_dims ~r_run =
+let run_broadcast variant ~net ~params ~corruption ~faults ~r_dims ~r_run ~deadline =
   let n = Netsim.Net.n net in
   let sender = Util.Prng.int r_dims n in
   let value = Util.Prng.bytes r_dims (1 + Util.Prng.int r_dims 24) in
   let adv = Attacks.fuzz_broadcast faults ~sender ~value in
-  let outs = Broadcast.run net r_run params ~variant ~sender ~value ~corruption ~adv in
+  let outs = Broadcast.run ~deadline net r_run params ~variant ~sender ~value ~corruption ~adv in
   if not (Outcome.agreement_or_abort ~equal:Bytes.equal outs corruption) then
     Some "agreement-or-abort violated"
   else if Netsim.Corruption.is_honest corruption sender then
@@ -76,13 +87,13 @@ let run_broadcast variant ~net ~params ~corruption ~faults ~r_dims ~r_run =
         else Some (Printf.sprintf "honest sender, party %d output a different value" i))
   else None
 
-let run_all_to_all ~net ~params ~corruption ~faults ~r_dims ~r_run =
+let run_all_to_all ~net ~params ~corruption ~faults ~r_dims ~r_run ~deadline =
   let n = Netsim.Net.n net in
   let variant = if Util.Prng.bool r_dims then All_to_all.Fingerprinted else All_to_all.Naive in
   let inputs = Array.init n (fun _ -> Util.Prng.bytes r_dims (1 + Util.Prng.int r_dims 12)) in
   let adv = Attacks.fuzz_all_to_all faults ~input:(fun i -> inputs.(i)) in
   let results =
-    All_to_all.run net r_run params ~variant ~participants:(List.init n Fun.id)
+    All_to_all.run ~deadline net r_run params ~variant ~participants:(List.init n Fun.id)
       ~input:(fun i -> inputs.(i))
       ~corruption ~adv
   in
@@ -101,9 +112,9 @@ let run_all_to_all ~net ~params ~corruption ~faults ~r_dims ~r_run =
           vec;
         !bad)
 
-let run_committee ~net ~params ~corruption ~faults ~r_dims:_ ~r_run =
+let run_committee ~net ~params ~corruption ~faults ~r_dims:_ ~r_run ~deadline =
   let adv = Attacks.fuzz_committee faults in
-  let outs = Committee.run net r_run params ~corruption ~adv in
+  let outs = Committee.run ~deadline net r_run params ~corruption ~adv in
   (* Claims 12/14: all honest *elected* members share the committee view,
      unless some honest party aborted. *)
   let honest_views =
@@ -120,7 +131,7 @@ let run_committee ~net ~params ~corruption ~faults ~r_dims:_ ~r_run =
     if List.for_all (( = ) first) rest || Outcome.some_honest_aborted outs corruption then None
     else Some "honest elected members hold diverging views without abort"
 
-let run_gossip ~net ~params ~corruption ~faults ~r_dims ~r_run =
+let run_gossip ~net ~params ~corruption ~faults ~r_dims ~r_run ~deadline =
   let n = Netsim.Net.n net in
   let graph = Array.init n (fun i -> Util.Iset.remove i (Util.Iset.range 0 (n - 1))) in
   let k = 1 + Util.Prng.int r_dims (min 3 (n - 1)) in
@@ -129,7 +140,7 @@ let run_gossip ~net ~params ~corruption ~faults ~r_dims ~r_run =
     List.map (fun o -> (o, Util.Prng.bytes r_dims (1 + Util.Prng.int r_dims 12))) origins
   in
   let adv = Attacks.fuzz_gossip faults in
-  let outs = Gossip.run net r_run params ~graph ~sources ~corruption ~adv in
+  let outs = Gossip.run ~deadline net r_run params ~graph ~sources ~corruption ~adv in
   if not (Outcome.agreement_or_abort ~equal:pairs_equal outs corruption) then
     Some "agreement-or-abort violated"
   else
@@ -155,7 +166,7 @@ let mpc_config ~params ~r_dims n =
     Array.init n (fun _ -> Util.Prng.int r_dims 2),
     params )
 
-let run_mpc_abort ~net ~params ~corruption ~faults ~r_dims ~r_run =
+let run_mpc_abort ~net ~params ~corruption ~faults ~r_dims ~r_run ~deadline:_ =
   let n = Netsim.Net.n net in
   let pke, circuit, inputs, params = mpc_config ~params ~r_dims n in
   let config = { Mpc_abort.params; pke; circuit; input_width = 1 } in
@@ -165,7 +176,7 @@ let run_mpc_abort ~net ~params ~corruption ~faults ~r_dims ~r_run =
     Some "agreement-or-abort violated"
   else None
 
-let run_theorem2 ~net ~params ~corruption ~faults ~r_dims ~r_run =
+let run_theorem2 ~net ~params ~corruption ~faults ~r_dims ~r_run ~deadline:_ =
   let n = Netsim.Net.n net in
   let pke, circuit, inputs, params = mpc_config ~params ~r_dims n in
   let config = { Local_mpc.params; pke; circuit; input_width = 1 } in
@@ -175,7 +186,7 @@ let run_theorem2 ~net ~params ~corruption ~faults ~r_dims ~r_run =
     Some "agreement-or-abort violated"
   else None
 
-let run_theorem4 ~net ~params ~corruption ~faults ~r_dims ~r_run =
+let run_theorem4 ~net ~params ~corruption ~faults ~r_dims ~r_run ~deadline:_ =
   let n = Netsim.Net.n net in
   let pke, circuit, inputs, params = mpc_config ~params ~r_dims n in
   let config = { Local_mpc.params; pke; circuit; input_width = 1 } in
@@ -191,7 +202,7 @@ let run_theorem4 ~net ~params ~corruption ~faults ~r_dims ~r_run =
    honest outputs without triggering any abort, which the selective-abort
    predicate flags; a harness that cannot catch this variant could not
    catch a real regression either. *)
-let run_broken_broadcast ~net ~params:_ ~corruption ~faults ~r_dims ~r_run:_ =
+let run_broken_broadcast ~net ~params:_ ~corruption ~faults ~r_dims ~r_run:_ ~deadline:_ =
   let n = Netsim.Net.n net in
   let value = Util.Prng.bytes r_dims (8 + Util.Prng.int r_dims 8) in
   let sender =
@@ -232,11 +243,15 @@ let runner = function
    a few dozen rounds at soak sizes, so only a genuine livelock hits it. *)
 let soak_max_rounds = 5000
 
-let run_case ?spec ~seed ~schedule protocol =
+let run_case ?spec ?(async = false) ~seed ~schedule protocol =
+  if async && not (List.mem protocol async_protocols) then
+    invalid_arg
+      (Printf.sprintf "Soak.run_case: protocol %S has no async (deadline-aware) mode" protocol);
   let run = runner protocol in
   (* Independent keyed substreams per concern: overriding the spec (the
      shrinking move) must not perturb dimensions, corruption, protocol
-     randomness, or the fault schedule itself. *)
+     randomness, or the fault schedule itself.  Key 6 ([r_net]) is drawn
+     only in async mode, so sync replays from old reports are unchanged. *)
   let root = Util.Prng.create seed in
   let rs = Util.Prng.derive root ~key:(0x50AC lxor (schedule * 0x9E3779B1)) in
   let rc = Util.Prng.derive rs ~key:(proto_key protocol) in
@@ -260,16 +275,36 @@ let run_case ?spec ~seed ~schedule protocol =
       Netsim.Corruption.targeting r_corr ~n ~h ~victim
   in
   let faults = Attacks.fuzz r_flt ~schedule ~n sp in
-  let net = Netsim.Net.create ~max_rounds:soak_max_rounds n in
+  let net, deadline =
+    if async then begin
+      (* Transport config from its own substream; the adversarial delivery
+         scheduler draws from the fault schedule's reserved slot, so the
+         message timing replays from the same (seed, schedule) pair as the
+         payload faults.  deadline = span: fairness guarantees any honest
+         in-flight message lands within [span] ticks of submission, so an
+         honest run loses nothing and a late (adversarially held) message
+         can only force the abort path the predicates already accept. *)
+      let cfg = Netsim.Event_net.random_config (Util.Prng.derive rc ~key:6) in
+      let transport =
+        Netsim.Event_net.transport ~rng:(Netsim.Faults.scheduler_stream faults) cfg
+      in
+      ( Netsim.Net.create ~transport ~max_rounds:soak_max_rounds n,
+        Netsim.Event_net.span cfg )
+    end
+    else (Netsim.Net.create ~max_rounds:soak_max_rounds n, 1)
+  in
   let params = Params.make ~n ~h ~lambda:8 ~alpha:2 () in
   let violation =
-    try run ~net ~params ~corruption ~faults ~r_dims ~r_run
+    try run ~net ~params ~corruption ~faults ~r_dims ~r_run ~deadline
     with e -> Some ("exception: " ^ Printexc.to_string e)
   in
-  { protocol; seed; schedule; n; h; spec = sp; violation }
+  { protocol; seed; schedule; n; h; spec = sp; async; violation }
 
-let run_schedule ?(protocols = protocols) ~seed ~schedule () =
-  List.map (fun p -> run_case ~seed ~schedule p) protocols
+let run_schedule ?protocols:ps ?(async = false) ~seed ~schedule () =
+  let ps =
+    match ps with Some ps -> ps | None -> if async then async_protocols else protocols
+  in
+  List.map (fun p -> run_case ~async ~seed ~schedule p) ps
 
 let shrink case =
   match case.violation with
@@ -278,35 +313,41 @@ let shrink case =
     List.fold_left
       (fun best kind ->
         let cand = Netsim.Faults.disable kind best.spec in
-        let c = run_case ~spec:cand ~seed:best.seed ~schedule:best.schedule best.protocol in
+        let c =
+          run_case ~spec:cand ~async:best.async ~seed:best.seed ~schedule:best.schedule
+            best.protocol
+        in
         match c.violation with Some _ -> c | None -> best)
       case
       (Netsim.Faults.enabled case.spec)
 
 let replay_command c =
-  Printf.sprintf "dune exec bench/main.exe -- --only soak --seed %d --schedule %d" c.seed
+  Printf.sprintf "dune exec bench/main.exe -- --only soak --seed %d --schedule %d%s" c.seed
     c.schedule
+    (if c.async then " --async" else "")
 
 let describe c =
   Printf.sprintf
-    "VIOLATION %s: n=%d h=%d seed=%d schedule=%d\n\
+    "VIOLATION %s%s: n=%d h=%d seed=%d schedule=%d\n\
     \  minimal spec: %s\n\
     \  failure: %s\n\
     \  replay: %s"
-    c.protocol c.n c.h c.seed c.schedule
+    c.protocol
+    (if c.async then " [async]" else "")
+    c.n c.h c.seed c.schedule
     (Netsim.Faults.spec_to_string c.spec)
     (Option.value c.violation ~default:"-")
     (replay_command c)
 
 type report = { total_cases : int; total_schedules : int; violations : case list }
 
-let sweep_with ?pool ~protocols ~seed ~schedules () =
+let sweep_with ?pool ?(async = false) ~protocols ~seed ~schedules () =
   let ids = Array.init (max 0 schedules) Fun.id in
   let per_schedule =
     match pool with
-    | None -> Array.map (fun k -> run_schedule ~protocols ~seed ~schedule:k ()) ids
+    | None -> Array.map (fun k -> run_schedule ~protocols ~async ~seed ~schedule:k ()) ids
     | Some p ->
-      Util.Pool.map_jobs p ids (fun k -> run_schedule ~protocols ~seed ~schedule:k ())
+      Util.Pool.map_jobs p ids (fun k -> run_schedule ~protocols ~async ~seed ~schedule:k ())
   in
   let cases = List.concat (Array.to_list per_schedule) in
   let violations =
@@ -316,8 +357,11 @@ let sweep_with ?pool ~protocols ~seed ~schedules () =
   in
   { total_cases = List.length cases; total_schedules = Array.length ids; violations }
 
-let run_sweep ?pool ?(protocols = protocols) ~seed ~schedules () =
-  sweep_with ?pool ~protocols ~seed ~schedules ()
+let run_sweep ?pool ?protocols:ps ?(async = false) ~seed ~schedules () =
+  let ps =
+    match ps with Some ps -> ps | None -> if async then async_protocols else protocols
+  in
+  sweep_with ?pool ~async ~protocols:ps ~seed ~schedules ()
 
 let canary ?pool ~seed ~schedules () =
   sweep_with ?pool ~protocols:[ "broken-broadcast" ] ~seed ~schedules ()

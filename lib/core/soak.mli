@@ -32,6 +32,7 @@ type case = {
   n : int;
   h : int;
   spec : Netsim.Faults.spec;
+  async : bool;  (** ran on an adversarially-scheduled event transport *)
   violation : string option;  (** [None] = all predicates held *)
 }
 
@@ -40,15 +41,31 @@ type case = {
     ["mpc-abort"], ["theorem2"], ["theorem4"]. *)
 val protocols : string list
 
-(** [run_case ?spec ~seed ~schedule protocol] executes one case.  With
-    [?spec] the derived fault spec is overridden (the shrinking move) —
-    every other derived quantity is unchanged.  Raises [Invalid_argument]
-    on an unknown protocol name. *)
-val run_case : ?spec:Netsim.Faults.spec -> seed:int -> schedule:int -> string -> case
+(** The deadline-aware subset swept in async mode: ["broadcast-naive"],
+    ["broadcast-fp"], ["all-to-all"], ["committee"], ["gossip"].  Each of
+    these turns a message missing its round deadline into its own
+    failed-check/abort path, which is exactly what the async predicates
+    probe. *)
+val async_protocols : string list
 
-(** All protocols (default {!protocols}) at one schedule id. *)
+(** [run_case ?spec ?async ~seed ~schedule protocol] executes one case.
+    With [?spec] the derived fault spec is overridden (the shrinking
+    move) — every other derived quantity is unchanged.  With
+    [~async:true] the case runs on a {!Netsim.Event_net} transport: the
+    latency/horizon/scheduler config is drawn from the case's own keyed
+    substream, the adversarial delivery scheduler from
+    {!Netsim.Faults.scheduler_stream} (so timing replays with the payload
+    faults), and every deadline-aware phase waits up to the transport's
+    fairness span.  Raises [Invalid_argument] on an unknown protocol
+    name, or on [~async:true] for a protocol outside
+    {!async_protocols}. *)
+val run_case :
+  ?spec:Netsim.Faults.spec -> ?async:bool -> seed:int -> schedule:int -> string -> case
+
+(** All protocols (default {!protocols}, or {!async_protocols} when
+    [~async:true]) at one schedule id. *)
 val run_schedule :
-  ?protocols:string list -> seed:int -> schedule:int -> unit -> case list
+  ?protocols:string list -> ?async:bool -> seed:int -> schedule:int -> unit -> case list
 
 (** [shrink case] greedily disables one fault kind at a time, keeping a
     kind disabled whenever the violation still reproduces without it;
@@ -69,13 +86,17 @@ type report = {
   violations : case list;  (** already shrunk *)
 }
 
-(** [run_sweep ?pool ?protocols ~seed ~schedules ()] — schedule ids
-    [0 .. schedules-1], optionally fanned across a {!Util.Pool} (each
+(** [run_sweep ?pool ?protocols ?async ~seed ~schedules ()] — schedule
+    ids [0 .. schedules-1], optionally fanned across a {!Util.Pool} (each
     schedule builds its own networks, RNGs and fault engines, so jobs
-    share nothing).  Violations are shrunk before reporting. *)
+    share nothing).  With [~async:true] every case runs on its derived
+    event transport (see {!run_case}) and the default protocol list is
+    {!async_protocols}.  Violations are shrunk before reporting (the
+    shrink replays under the same transport). *)
 val run_sweep :
   ?pool:Util.Pool.t ->
   ?protocols:string list ->
+  ?async:bool ->
   seed:int ->
   schedules:int ->
   unit ->

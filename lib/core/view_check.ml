@@ -28,7 +28,7 @@ let cost_phases ~pre ~n ~lambda =
       ~messages:(v "pairs") ~rounds:(Const 1);
   ]
 
-let run ?obs net rng params ~claims ~views ~corruption ~eq ~aborted =
+let run ?deadline ?obs net rng params ~claims ~views ~corruption ~eq ~aborted =
   let n = Netsim.Net.n net in
   let ob k v = match obs with Some o -> Analysis.Costs.Obs.set o k v | None -> () in
   let is_corrupt i = Netsim.Corruption.is_corrupted corruption i in
@@ -93,7 +93,7 @@ let run ?obs net rng params ~claims ~views ~corruption ~eq ~aborted =
         | None -> ()
     done
   done;
-  Netsim.Net.step net;
+  Netsim.Net.step_until_quiet ?deadline net;
   (* Round B: receivers verify and reply one bit. *)
   for j = 0 to n - 1 do
     for i = 0 to j - 1 do
@@ -119,7 +119,7 @@ let run ?obs net rng params ~claims ~views ~corruption ~eq ~aborted =
       end
     done
   done;
-  Netsim.Net.step net;
+  Netsim.Net.step_until_quiet ?deadline net;
   for i = 0 to n - 1 do
     for j = i + 1 to n - 1 do
       if mutual i j then begin

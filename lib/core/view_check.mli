@@ -13,6 +13,7 @@
 (** [?obs] records the structural observables the cost spec needs
     ([maxlen], [fp_pairs], [pairs]); see {!cost_phases}. *)
 val run :
+  ?deadline:int ->
   ?obs:Analysis.Costs.Obs.t ->
   Netsim.Net.t ->
   Util.Prng.t ->

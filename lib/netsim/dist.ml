@@ -190,6 +190,7 @@ type t = {
   mutable spares : (int * Wire.t) list;
   mutable next_sid : int;
   mutable alive : bool;
+  timeout : float option; (* heartbeat: max seconds a busy worker may stay silent *)
 }
 
 type stat = {
@@ -201,12 +202,24 @@ type stat = {
 }
 
 let workers t = Array.length t.slots
+let worker_pids t = Array.map (fun (s : slot) -> s.pid) t.slots
 
 let reap pid = try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
 
-let create ?(spares = 2) ~workers () =
+(* A worker declared dead by the heartbeat may still be alive — stopped
+   by a signal, or wedged in a loop — and such a process never EOFs its
+   socket, and [reap]'s blocking waitpid would hang on it forever.  So
+   the timeout paths SIGKILL first: after that the child is a zombie and
+   promote's close-and-reap runs to completion.  Kill errors (ESRCH: it
+   really did die in the meantime) are ignored. *)
+let kill_silent pid = try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()
+
+let create ?(spares = 2) ?worker_timeout_s ~workers () =
   if workers < 1 then invalid_arg "Dist.create: workers must be >= 1";
   if spares < 0 then invalid_arg "Dist.create: spares must be >= 0";
+  (match worker_timeout_s with
+  | Some dt when dt <= 0.0 -> invalid_arg "Dist.create: worker_timeout_s must be > 0"
+  | _ -> ());
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   (* Parent-side fds created so far: each child closes every one it
      inherited, so a worker's death is visible to the coordinator as a
@@ -237,7 +250,7 @@ let create ?(spares = 2) ~workers () =
         { pid; wire; jobs_run = 0; session_count = 0; respawns = 0 })
   in
   let spares = List.init spares (fun _ -> spawn ()) in
-  { slots; spares; next_sid = 0; alive = true }
+  { slots; spares; next_sid = 0; alive = true; timeout = worker_timeout_s }
 
 let shutdown t =
   if t.alive then begin
@@ -410,8 +423,11 @@ let run_program ?crash t ~name ~n ~args ~net =
     with Wire.Closed ->
       raise (Worker_lost (Printf.sprintf "worker %d replacement died during replay" w))
   in
+  (* [None] = heartbeat timeout: the worker is busy but has stayed
+     silent past [worker_timeout_s].  Without a timeout this blocks
+     indefinitely, as before. *)
   let read_gather w ~round =
-    Wire.recv t.slots.(w).wire (fun r ->
+    let dec r =
         let tag = Codec.read_byte r in
         if tag <> tag_gather then
           failwith (Printf.sprintf "dist: expected gather from worker %d, got tag %d" w tag);
@@ -434,7 +450,11 @@ let run_program ?crash t ~name ~n ~args ~net =
               let v = Codec.read_bytes r in
               (p, v))
         in
-        (sends, newly_done))
+        (sends, newly_done)
+    in
+    match t.timeout with
+    | None -> Some (Wire.recv t.slots.(w).wire dec)
+    | Some dt -> Wire.recv_deadline t.slots.(w).wire ~deadline:(Unix.gettimeofday () +. dt) dec
   in
   Array.iteri
     (fun w s ->
@@ -455,13 +475,28 @@ let run_program ?crash t ~name ~n ~args ~net =
       try send_scatter w ~round ~crash:crash_here msgs
       with Wire.Closed -> recover w ~round ~cur_msgs:msgs "send failed")
     ~gather:(fun w round msgs ->
+      let replacement_read () =
+        match read_gather w ~round with
+        | Some v -> v
+        | None ->
+          kill_silent t.slots.(w).pid;
+          raise (Worker_lost (Printf.sprintf "worker %d replacement silent mid-round" w))
+        | exception Wire.Closed ->
+          raise (Worker_lost (Printf.sprintf "worker %d replacement died mid-round" w))
+      in
       let result =
-        try read_gather w ~round
-        with Wire.Closed ->
+        match read_gather w ~round with
+        | Some v -> v
+        | None ->
+          (* Alive-but-silent worker: SIGKILL it (a stopped process
+             never EOFs, and reaping it would block), then promote a
+             spare and replay as for a crash. *)
+          kill_silent t.slots.(w).pid;
+          recover w ~round ~cur_msgs:msgs "silent past heartbeat";
+          replacement_read ()
+        | exception Wire.Closed ->
           recover w ~round ~cur_msgs:msgs "died mid-round";
-          (try read_gather w ~round
-           with Wire.Closed ->
-             raise (Worker_lost (Printf.sprintf "worker %d replacement died mid-round" w)))
+          replacement_read ()
       in
       history.(w) <- (round, msgs) :: history.(w);
       result)
@@ -474,6 +509,7 @@ let run_jobs ?crash t jobs =
   let results = Array.make m Bytes.empty in
   let next = ref 0 in
   let current = Array.make nw None in
+  let started = Array.make nw 0.0 (* dispatch time, for the heartbeat *) in
   let outstanding = ref 0 in
   let crashed_once = ref false in
   let send_job w j =
@@ -496,6 +532,7 @@ let run_jobs ?crash t jobs =
     in
     attempt false;
     current.(w) <- Some j;
+    started.(w) <- Unix.gettimeofday ();
     incr outstanding;
     t.slots.(w).jobs_run <- t.slots.(w).jobs_run + 1
   in
@@ -517,13 +554,46 @@ let run_jobs ?crash t jobs =
       match List.filter (fun w -> Wire.has_buffered_frame t.slots.(w).wire) busy with
       | [] ->
         let fds = List.map (fun w -> Wire.fd t.slots.(w).wire) busy in
+        (* With a heartbeat the wait is bounded by the earliest busy
+           worker's deadline instead of the historical select(-1.) —
+           this is the coordinator's only liveness guard against a
+           worker that is alive but silent. *)
+        let stall =
+          match t.timeout with
+          | None -> -1.
+          | Some dt ->
+            let now = Unix.gettimeofday () in
+            let earliest =
+              List.fold_left (fun acc w -> min acc (started.(w) +. dt)) infinity busy
+            in
+            max 0.0 (earliest -. now)
+        in
         let readable, _, _ =
-          try Unix.select fds [] [] (-1.)
+          try Unix.select fds [] [] stall
           with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
         in
         List.filter (fun w -> List.memq (Wire.fd t.slots.(w).wire) readable) busy
       | buffered -> buffered
     in
+    (* Heartbeat expiry: any busy worker silent past the timeout with
+       still nothing readable is treated as dead — SIGKILL (it may be
+       merely stopped, and a stopped child never EOFs), promote a spare,
+       re-dispatch its job. *)
+    (match t.timeout with
+    | Some dt when ready = [] ->
+      let now = Unix.gettimeofday () in
+      List.iter
+        (fun w ->
+          if now -. started.(w) >= dt then begin
+            let j = match current.(w) with Some j -> j | None -> assert false in
+            kill_silent t.slots.(w).pid;
+            promote t w (Printf.sprintf "silent past %.3fs heartbeat on job %d" dt j);
+            current.(w) <- None;
+            decr outstanding;
+            send_job w j
+          end)
+        busy
+    | _ -> ());
     List.iter
       (fun w ->
         match

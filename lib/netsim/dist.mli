@@ -65,10 +65,26 @@ val register_job : string -> (bytes -> bytes) -> unit
 (** Fork the worker fleet.  [workers >= 1]; [spares] (default 2) extra
     idle processes kept for crash promotion.  Fork before spawning any
     domains (a [Util.Pool] in the parent must be created {e after} this)
-    — forking a multi-domain OCaml runtime is undefined. *)
-val create : ?spares:int -> workers:int -> unit -> t
+    — forking a multi-domain OCaml runtime is undefined.
+
+    [worker_timeout_s] (must be [> 0] when given) arms a heartbeat: a
+    worker that owes the coordinator a frame (a gather, or a job
+    response) and stays silent longer than this is treated as dead even
+    though its socket never closed — the coordinator SIGKILLs it (a
+    process stopped by a signal, or wedged in a loop, never EOFs),
+    promotes a spare, and replays/re-dispatches exactly as for a crash.
+    Without it the coordinator's waits are unbounded ([select(-1)] /
+    blocking [recv]), so an alive-but-silent worker hangs the whole
+    engine.  Choose it well above the longest honest round/job time;
+    {!Worker_lost} is raised when the spares run dry. *)
+val create : ?spares:int -> ?worker_timeout_s:float -> workers:int -> unit -> t
 
 val workers : t -> int
+
+(** Current pid of each worker slot (changes when a spare is promoted).
+    Exposed for fault-injection tests that stop or kill a live worker by
+    pid. *)
+val worker_pids : t -> int array
 
 (** Run a registered program over [n] parties, committing all traffic
     through [net].  [crash:(w, r)] makes worker [w] exit mid-round at

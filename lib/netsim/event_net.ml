@@ -1,0 +1,165 @@
+type latency = Fixed of int | Uniform of int * int | Heavy_tail of { cap : int }
+type scheduler = Fifo | Adversarial of { hold : float }
+type config = { latency : latency; horizon : int; scheduler : scheduler }
+
+let zero_latency_fifo = { latency = Fixed 1; horizon = 0; scheduler = Fifo }
+
+let max_latency = function
+  | Fixed k -> k
+  | Uniform (_, hi) -> hi
+  | Heavy_tail { cap } -> cap
+
+let span cfg = max_latency cfg.latency + cfg.horizon
+
+let latency_to_string = function
+  | Fixed k -> Printf.sprintf "fixed:%d" k
+  | Uniform (lo, hi) -> Printf.sprintf "uniform:%d..%d" lo hi
+  | Heavy_tail { cap } -> Printf.sprintf "heavy-tail:cap=%d" cap
+
+let config_to_string cfg =
+  let sched =
+    match cfg.scheduler with
+    | Fifo -> "fifo"
+    | Adversarial { hold } -> Printf.sprintf "adversarial:hold=%.2f" hold
+  in
+  Printf.sprintf "latency=%s horizon=%d scheduler=%s" (latency_to_string cfg.latency)
+    cfg.horizon sched
+
+let validate cfg =
+  (match cfg.latency with
+  | Fixed k when k < 1 -> invalid_arg "Event_net: Fixed latency must be >= 1"
+  | Uniform (lo, hi) when lo < 1 || hi < lo ->
+    invalid_arg "Event_net: Uniform latency needs 1 <= lo <= hi"
+  | Heavy_tail { cap } when cap < 1 -> invalid_arg "Event_net: Heavy_tail cap must be >= 1"
+  | _ -> ());
+  if cfg.horizon < 0 then invalid_arg "Event_net: horizon must be >= 0";
+  match cfg.scheduler with
+  | Adversarial { hold } when not (hold >= 0.0 && hold < 1.0) ->
+    invalid_arg "Event_net: adversarial hold must be in [0, 1)"
+  | _ -> ()
+
+let random_config rng =
+  let latency =
+    match Util.Prng.int rng 4 with
+    | 0 -> Fixed 1
+    | 1 -> Fixed 2
+    | 2 -> Uniform (1, 3)
+    | _ -> Heavy_tail { cap = 4 }
+  in
+  let horizon = Util.Prng.int rng 3 in
+  let scheduler =
+    match Util.Prng.int rng 3 with
+    | 0 -> Fifo
+    | 1 -> Adversarial { hold = 0.25 }
+    | _ -> Adversarial { hold = 0.5 }
+  in
+  { latency; horizon; scheduler }
+
+(* One in-flight message.  [e_seq] is the global submission number — the
+   key every per-message substream is derived from, and the final
+   tiebreaker that makes delivery order total. *)
+type msg = { e_src : int; e_dst : int; e_payload : bytes; e_seq : int; e_due : int; e_limit : int }
+
+let draw_latency r = function
+  | Fixed k -> k
+  | Uniform (lo, hi) -> Util.Prng.int_in r lo hi
+  | Heavy_tail { cap } ->
+    (* Truncated Pareto: P(L >= k) ~ k^(-alpha) with alpha ~ 1.4 — most
+       draws are 1, the occasional straggler reaches [cap]. *)
+    let u = Util.Prng.float r in
+    let lat = int_of_float (1.0 /. ((1.0 -. u) ** 0.7)) in
+    min cap (max 1 lat)
+
+let transport ~rng cfg =
+  validate cfg;
+  let rng = Util.Prng.copy rng in
+  (* Fixed-position parents for the two substream families (latency vs
+     scheduling), so their per-message/per-tick keys can never collide. *)
+  let r_lat = Util.Prng.derive rng ~key:1 in
+  let r_sched = Util.Prng.derive rng ~key:2 in
+  let now = ref 0 in
+  let seq = ref 0 in
+  let count = ref 0 in
+  (* Due-tick buckets.  Ticks advance one at a time and every submission
+     lands at least one tick in the future, so the only bucket that can
+     be due when [advance] runs is the current tick's. *)
+  let buckets : (int, msg Queue.t) Hashtbl.t = Hashtbl.create 64 in
+  let bucket_push due m =
+    let q =
+      match Hashtbl.find_opt buckets due with
+      | Some q -> q
+      | None ->
+        let q = Queue.create () in
+        Hashtbl.add buckets due q;
+        q
+    in
+    Queue.push m q
+  in
+  let submit ~src ~dst payload =
+    let s = !seq in
+    seq := s + 1;
+    let lat = draw_latency (Util.Prng.derive r_lat ~key:s) cfg.latency in
+    let due = !now + lat in
+    let m =
+      { e_src = src; e_dst = dst; e_payload = payload; e_seq = s; e_due = due;
+        e_limit = due + cfg.horizon }
+    in
+    bucket_push due m;
+    incr count
+  in
+  let advance ~deliver =
+    now := !now + 1;
+    match Hashtbl.find_opt buckets !now with
+    | None -> ()
+    | Some q ->
+      Hashtbl.remove buckets !now;
+      let due_now = Array.init (Queue.length q) (fun _ -> Queue.pop q) in
+      (* Canonical order first: (original due, sender, submission order).
+         On the zero-latency FIFO config this is exactly the synchronous
+         walk — ascending sender id, then send order. *)
+      Array.sort
+        (fun a b ->
+          let c = compare a.e_due b.e_due in
+          if c <> 0 then c
+          else
+            let c = compare a.e_src b.e_src in
+            if c <> 0 then c else compare a.e_seq b.e_seq)
+        due_now;
+      let releasable =
+        match cfg.scheduler with
+        | Fifo -> due_now
+        | Adversarial { hold } ->
+          (* Hold: push a deliverable message to the next tick unless its
+             fairness limit says it must fire now.  Pure per-(msg, tick)
+             coin, so replay is exact. *)
+          let kept =
+            Array.to_list due_now
+            |> List.filter (fun m ->
+                   if
+                     m.e_limit > !now
+                     && Util.Prng.bernoulli
+                          (Util.Prng.derive r_sched ~key:((m.e_seq * 1_000_003) + !now))
+                          hold
+                   then begin
+                     bucket_push (!now + 1) m;
+                     false
+                   end
+                   else true)
+          in
+          let arr = Array.of_list kept in
+          (* The adversary picks the firing order of what remains. *)
+          Util.Prng.shuffle (Util.Prng.derive r_sched ~key:(-(!now + 1))) arr;
+          arr
+      in
+      Array.iter
+        (fun m ->
+          deliver ~src:m.e_src ~dst:m.e_dst m.e_payload;
+          decr count)
+        releasable
+  in
+  {
+    Transport.name = Printf.sprintf "event(%s)" (config_to_string cfg);
+    submit;
+    advance;
+    in_flight = (fun () -> !count);
+  }

@@ -118,6 +118,10 @@ let n t = Array.length t.crash_at
 let stream t ~stage ~me ~dst ~salt =
   Util.Prng.derive t.base ~key:(mix (key4 salt stage me dst) 1)
 
+(* A slot no per-message decision uses: the whole-network scheduler is a
+   property of the schedule, not of any (stage, party, recipient). *)
+let scheduler_stream t = stream t ~stage:max_int ~me:(-1) ~dst:(-1) ~salt:0x5C4ED
+
 let crashed t ~me ~stage =
   if me < 0 || me >= Array.length t.crash_at then false else stage >= t.crash_at.(me)
 

@@ -88,6 +88,13 @@ val n : t -> int
     position. *)
 val stream : t -> stage:int -> me:int -> dst:int -> salt:int -> Util.Prng.t
 
+(** [scheduler_stream t] — the substream that drives an adversarial
+    {!Event_net} delivery scheduler for this schedule: pass it as the
+    event transport's [~rng] so message timing is decided by the same
+    [(seed, schedule-id)] pair as the payload faults, and replays with
+    them.  Pure in [t], drawn from a slot no per-message decision uses. *)
+val scheduler_stream : t -> Util.Prng.t
+
 (** [crashed t ~me ~stage] — party [me]'s crash stage is [<= stage].
     Monotone in [stage]. *)
 val crashed : t -> me:int -> stage:int -> bool

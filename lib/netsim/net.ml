@@ -7,10 +7,14 @@
 
    The rewrite buckets traffic by sender at both ends:
 
-   - [pending.(src)] is a FIFO of [(dst, payload)].  [send] is O(1) and
-     [step] delivers by walking sender ids in increasing order — which IS
-     the documented delivery order (sender id, then send order), so no
-     sort is ever needed.
+   - Sent-but-undelivered messages live in a {!Transport.t} (per-sender
+     FIFOs for the synchronous transports).  [send] is O(1) and the sync
+     [advance] delivers by walking sender ids in increasing order — which
+     IS the documented delivery order (sender id, then send order), so no
+     sort is ever needed.  [Net] keeps mailboxes, accounting, and the
+     round clock; the transport keeps only the in-flight buffer and the
+     delivery schedule, so an event-queue transport (Event_net) can delay
+     and reorder under identical protocol code.
    - Each recipient keeps an arrival-order [log] (growable array of
      cells) plus per-sender FIFOs of the same cells, built lazily in a
      hash table keyed by sender.  [recv] walks the log once; [recv_from]
@@ -20,18 +24,18 @@
 
    Two representations sit behind one [t]:
 
-   - {b Dense} — the original layout: one inbox, pending queue, and
-     counter slot per party, a peer bitmap of n²/8 bytes total.  O(1)
-     everything, but Θ(n²) resident even when almost every party is
-     idle, which caps runs near n = 2048.
+   - {b Dense} — the original layout: one inbox and counter slot per
+     party, a peer bitmap of n²/8 bytes total (pending queues in
+     [Transport.sync_dense]).  O(1) everything, but Θ(n²) resident even
+     when almost every party is idle, which caps runs near n = 2048.
    - {b Sparse} — party state ([pstate]: inbox log, per-sender FIFOs,
      bit counters, an {!Util.Intset} of peers) is allocated on first
      touch and held in an [(int, pstate) Hashtbl]; undelivered traffic
-     lives in a per-{e active-sender} hash of FIFOs.  Memory is
-     O(touched parties + in-flight messages), so the sparse-graph
-     protocols (Algs 5–7) run at n = 10⁵–10⁶.  [step] sorts the active
-     sender ids (O(a log a), a = active senders) to realize the exact
-     dense delivery order.
+     lives in [Transport.sync_sparse]'s per-{e active-sender} hash of
+     FIFOs.  Memory is O(touched parties + in-flight messages), so the
+     sparse-graph protocols (Algs 5–7) run at n = 10⁵–10⁶.  [advance]
+     sorts the active sender ids (O(a log a), a = active senders) to
+     realize the exact dense delivery order.
 
    Delivery order, accounting, and the external API are identical
    between backends and to the original list-based implementation (see
@@ -68,16 +72,12 @@ type pstate = {
 
 type dense = {
   inboxes : inbox array;
-  d_pending : (int * bytes) Queue.t array; (* per sender: (dst, payload) *)
   sent_bits : int array;
   recv_bits : int array;
   peer_bits : bytes array; (* peer_bits.(i): bit j set iff i exchanged with j *)
 }
 
-type sparse = {
-  states : (int, pstate) Hashtbl.t;
-  s_pending : (int, (int * bytes) Queue.t) Hashtbl.t; (* active senders only *)
-}
+type sparse = { states : (int, pstate) Hashtbl.t }
 
 type repr = D of dense | S of sparse
 
@@ -93,48 +93,17 @@ let () =
 
 type t = {
   num_parties : int;
-  max_rounds : int option;
+  mutable max_rounds : int option; (* mutable for [with_round_limit] *)
   net_backend : backend;
+  transport : Transport.t; (* owns sent-but-undelivered messages *)
+  deliver : src:int -> dst:int -> bytes -> unit; (* into [repr]'s mailboxes *)
   mutable round : int;
-  mutable pending_count : int;
   mutable total_messages : int;
   mutable total_sent_bits : int; (* running sum — [total_bits] must be O(1)
                                     when only a handful of the n counters
                                     are materialized *)
   repr : repr;
 }
-
-let create ?(backend = Dense) ?max_rounds num_parties =
-  if num_parties <= 0 then invalid_arg "Net.create: need at least one party";
-  (match max_rounds with
-  | Some m when m <= 0 -> invalid_arg "Net.create: max_rounds must be positive"
-  | _ -> ());
-  let repr =
-    match backend with
-    | Dense ->
-      D
-        {
-          inboxes =
-            Array.init num_parties (fun _ ->
-                { log = [||]; log_len = 0; live = 0; by_sender = Array.make num_parties None });
-          d_pending = Array.init num_parties (fun _ -> Queue.create ());
-          sent_bits = Array.make num_parties 0;
-          recv_bits = Array.make num_parties 0;
-          peer_bits =
-            Array.init num_parties (fun _ -> Bytes.make ((num_parties + 7) / 8) '\000');
-        }
-    | Sparse -> S { states = Hashtbl.create 64; s_pending = Hashtbl.create 64 }
-  in
-  {
-    num_parties;
-    max_rounds;
-    net_backend = backend;
-    round = 0;
-    pending_count = 0;
-    total_messages = 0;
-    total_sent_bits = 0;
-    repr;
-  }
 
 let n t = t.num_parties
 let backend t = t.net_backend
@@ -188,27 +157,20 @@ let send t ~src ~dst payload =
     d.sent_bits.(src) <- d.sent_bits.(src) + bits;
     d.recv_bits.(dst) <- d.recv_bits.(dst) + bits;
     mark_peer d src dst;
-    mark_peer d dst src;
-    Queue.push (dst, payload) d.d_pending.(src)
+    mark_peer d dst src
   | S s ->
     let ps = pstate s src in
     ps.p_sent_bits <- ps.p_sent_bits + bits;
     Util.Intset.add ps.p_peers dst;
     let pd = pstate s dst in
     pd.p_recv_bits <- pd.p_recv_bits + bits;
-    Util.Intset.add pd.p_peers src;
-    let q =
-      match Hashtbl.find_opt s.s_pending src with
-      | Some q -> q
-      | None ->
-        let q = Queue.create () in
-        Hashtbl.add s.s_pending src q;
-        q
-    in
-    Queue.push (dst, payload) q);
+    Util.Intset.add pd.p_peers src);
+  (* Metering happens at send time regardless of when (or in what order)
+     the transport chooses to deliver — cost is a property of what the
+     protocol said, not of the schedule. *)
+  t.transport.Transport.submit ~src ~dst payload;
   t.total_sent_bits <- t.total_sent_bits + bits;
-  t.total_messages <- t.total_messages + 1;
-  t.pending_count <- t.pending_count + 1
+  t.total_messages <- t.total_messages + 1
 
 (* ---- Delivery -------------------------------------------------------- *)
 
@@ -254,40 +216,91 @@ let deliver_sparse s ~src ~dst payload =
   in
   Queue.push cell q
 
+let create ?(backend = Dense) ?transport ?max_rounds num_parties =
+  if num_parties <= 0 then invalid_arg "Net.create: need at least one party";
+  (match max_rounds with
+  | Some m when m <= 0 -> invalid_arg "Net.create: max_rounds must be positive"
+  | _ -> ());
+  let repr =
+    match backend with
+    | Dense ->
+      D
+        {
+          inboxes =
+            Array.init num_parties (fun _ ->
+                { log = [||]; log_len = 0; live = 0; by_sender = Array.make num_parties None });
+          sent_bits = Array.make num_parties 0;
+          recv_bits = Array.make num_parties 0;
+          peer_bits =
+            Array.init num_parties (fun _ -> Bytes.make ((num_parties + 7) / 8) '\000');
+        }
+    | Sparse -> S { states = Hashtbl.create 64 }
+  in
+  let transport =
+    match transport with
+    | Some tr -> tr
+    | None -> (
+      match backend with
+      | Dense -> Transport.sync_dense ~n:num_parties
+      | Sparse -> Transport.sync_sparse ())
+  in
+  let deliver =
+    match repr with
+    | D d -> fun ~src ~dst payload -> deliver_dense d ~src ~dst payload
+    | S s -> fun ~src ~dst payload -> deliver_sparse s ~src ~dst payload
+  in
+  {
+    num_parties;
+    max_rounds;
+    net_backend = backend;
+    transport;
+    deliver;
+    round = 0;
+    total_messages = 0;
+    total_sent_bits = 0;
+    repr;
+  }
+
 let step t =
   (* Livelock watchdog: a fuzzed adversary that keeps a protocol loop
-     alive forever should fail diagnosably, not hang CI.  Checked before
-     delivery so the raise leaves the clock and mailboxes untouched. *)
+     alive forever should fail diagnosably, not hang CI.  The clock a
+     [max_rounds] bound counts is the same virtual clock the transports
+     tick on (one tick per [step]), so under the event transport this is
+     a virtual-time bound on the whole schedule, not just on lockstep
+     rounds.  Checked before delivery so the raise leaves the clock and
+     mailboxes untouched. *)
   (match t.max_rounds with
   | Some m when t.round >= m -> raise (Livelock { rounds = t.round; max_rounds = m })
   | _ -> ());
-  (* Deterministic delivery: senders in increasing id order, each sender's
-     messages in send order.  The dense walk over [0 .. n-1] realizes that
-     for free; the sparse backend sorts the (few) active sender ids to the
-     same order. *)
-  (if t.pending_count > 0 then
-     match t.repr with
-     | D d ->
-       for src = 0 to t.num_parties - 1 do
-         let q = d.d_pending.(src) in
-         while not (Queue.is_empty q) do
-           let dst, payload = Queue.pop q in
-           deliver_dense d ~src ~dst payload
-         done
-       done
-     | S s ->
-       let srcs = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) s.s_pending []) in
-       List.iter
-         (fun src ->
-           let q = Hashtbl.find s.s_pending src in
-           while not (Queue.is_empty q) do
-             let dst, payload = Queue.pop q in
-             deliver_sparse s ~src ~dst payload
-           done)
-         srcs;
-       Hashtbl.reset s.s_pending);
-  t.pending_count <- 0;
+  (* One transport tick.  The synchronous transports deliver everything
+     in flight in the canonical order (ascending sender id, then send
+     order); the event transport releases whatever its schedule says is
+     due.  Skipped entirely when nothing is in flight, so idle steps
+     stay O(1) on the sparse backend. *)
+  if t.transport.Transport.in_flight () > 0 then t.transport.Transport.advance ~deliver:t.deliver;
   t.round <- t.round + 1
+
+let in_flight t = t.transport.Transport.in_flight ()
+
+let step_until_quiet ?(deadline = 1) t =
+  if deadline < 1 then invalid_arg "Net.step_until_quiet: deadline must be >= 1";
+  step t;
+  let steps = ref 1 in
+  while !steps < deadline && in_flight t > 0 do
+    step t;
+    incr steps
+  done
+
+let steps_remaining t =
+  match t.max_rounds with Some m -> max 0 (m - t.round) | None -> max_int
+
+let with_round_limit t ~extra f =
+  if extra <= 0 then invalid_arg "Net.with_round_limit: extra must be positive";
+  let saved = t.max_rounds in
+  let cap = t.round + extra in
+  (* Only ever tighten: a create-time bound stays authoritative. *)
+  t.max_rounds <- Some (match saved with Some m -> min m cap | None -> cap);
+  Fun.protect ~finally:(fun () -> t.max_rounds <- saved) f
 
 (* ---- Receiving ------------------------------------------------------- *)
 

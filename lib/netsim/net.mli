@@ -72,17 +72,29 @@ type backend =
   | Dense  (** per-party arrays + n²-bit peer bitmap; O(n²) resident *)
   | Sparse  (** lazy per-party state on first touch; O(activity) resident *)
 
-(** Raised by {!step} when the round clock reaches a [create]-time
-    [max_rounds] bound — the livelock watchdog for adversarial runs. *)
+(** Raised by {!step} when the round clock reaches a [max_rounds] bound
+    (set at [create] or tightened by {!with_round_limit}) — the livelock
+    watchdog for adversarial runs.  The clock it counts is the same
+    virtual clock the transports tick on (one tick per {!step}), so
+    under {!Event_net} this is a virtual-time bound on the whole
+    delivery schedule, not just on lockstep rounds. *)
 exception Livelock of { rounds : int; max_rounds : int }
 
-(** [create ?backend ?max_rounds n] — a fresh network of parties
-    [0 .. n-1].  [backend] defaults to {!Dense}.
+(** [create ?backend ?transport ?max_rounds n] — a fresh network of
+    parties [0 .. n-1].  [backend] defaults to {!Dense}.
+
+    [transport] is the delivery schedule ({!Transport.t}); it defaults
+    to the synchronous lockstep transport matching [backend]
+    ([Transport.sync_dense] / [Transport.sync_sparse]), which preserves
+    the historical semantics bit-for-bit.  Pass [Event_net.transport]
+    for asynchronous delivery with latency, reordering, and adversarial
+    scheduling.
+
     With [~max_rounds:m] (must be positive), the [m+1]-th {!step} raises
     {!Livelock} instead of advancing, so a protocol driven into an
     unbounded loop by a fault schedule fails with a diagnosable exception
     rather than hanging.  Default: no bound, exactly the old behavior. *)
-val create : ?backend:backend -> ?max_rounds:int -> int -> t
+val create : ?backend:backend -> ?transport:Transport.t -> ?max_rounds:int -> int -> t
 
 val n : t -> int
 
@@ -95,10 +107,44 @@ val backend : t -> backend
     {!step}.  Self-sends are free and forbidden ([Invalid_argument]). *)
 val send : t -> src:int -> dst:int -> bytes -> unit
 
-(** [step t] delivers all pending messages and advances the round clock.
-    Messages become readable by their recipients in arrival order
-    (deterministic: sorted by sender id, then send order). *)
+(** [step t] advances the round clock by one tick, delivering whatever
+    the transport releases for that tick.  Under the default synchronous
+    transports that is {e all} pending messages, readable by their
+    recipients in arrival order (deterministic: sorted by sender id,
+    then send order); under an event transport, only the messages whose
+    schedule says they are due. *)
 val step : t -> unit
+
+(** [in_flight t] — messages sent but not yet delivered.  Always zero
+    after {!step} on the synchronous transports; may stay positive for
+    up to [Event_net.span] ticks on an event transport. *)
+val in_flight : t -> int
+
+(** [step_until_quiet ?deadline t] — {!step} once, then keep stepping
+    while messages remain in flight, up to [deadline] steps total
+    (default 1; must be >= 1).  This is the protocol-level round-timeout
+    knob: on a synchronous transport the network quiesces after one step
+    so any [deadline] behaves identically to plain {!step} (accounting
+    and round counts unchanged), while on an event transport a phase
+    that allows [deadline >= Event_net.span cfg] steps observes every
+    message sent before the phase began, and a smaller deadline makes
+    late messages surface as the protocol's own abort path (missing
+    value / failed check) rather than a livelock. *)
+val step_until_quiet : ?deadline:int -> t -> unit
+
+(** [steps_remaining t] — how many more {!step}s the watchdog allows
+    ([max_int] when unbounded).  Round-driving loops use this to stop
+    {e before} tripping {!Livelock} when they have a graceful-degrade
+    path. *)
+val steps_remaining : t -> int
+
+(** [with_round_limit t ~extra f] runs [f ()] with the watchdog
+    tightened to [rounds t + extra] (never loosened: an existing tighter
+    bound stays authoritative), restoring the previous bound on exit.
+    This is how a protocol with a local round cap (gossip) expresses it
+    through the one shared {!Livelock} mechanism instead of a private
+    counter.  [extra] must be positive. *)
+val with_round_limit : t -> extra:int -> (unit -> 'a) -> 'a
 
 (** [recv t ~dst] drains and returns party [dst]'s inbox as
     [(sender, payload)] pairs. *)

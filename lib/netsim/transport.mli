@@ -1,0 +1,53 @@
+(** The delivery seam under {!Net}: a transport owns every message that
+    has been sent but not yet delivered, and decides — when the round
+    clock ticks — which of them become readable.
+
+    {!Net.send} meters a message (bits, message count, peer bits) and
+    then hands it to the transport via [submit]; {!Net.step} calls
+    [advance], and the transport calls [deliver] back once per message it
+    releases, in the order it wants them to arrive.  Mailboxes,
+    accounting, and the round clock stay in {!Net}; the transport is
+    {e only} the in-flight buffer plus the delivery schedule.  That split
+    is what lets the synchronous backend stay byte-identical while an
+    event-queue backend ({!Event_net}) reorders and delays traffic under
+    the same protocol code — and it is the seam a future socket-backed
+    transport plugs into.
+
+    Contract required of any implementation:
+    - {b Eventual delivery.}  Every submitted message is delivered after
+      finitely many [advance] calls ([Net]'s livelock watchdog assumes
+      this; {!Event_net} enforces it with a per-message forced-delivery
+      bound).
+    - {b Determinism.}  The delivery schedule is a pure function of the
+      submission sequence and the transport's construction arguments
+      (including any PRNG state captured at construction) — never of
+      wall-clock time or domain scheduling.
+    - {b Single owner.}  Same as [Net.t]: no internal locking, one
+      owning domain.
+
+    The synchronous transports below reproduce the historical lockstep
+    semantics {e exactly}: one [advance] delivers everything in flight,
+    senders in ascending id order, each sender's messages in send order. *)
+
+type t = {
+  name : string;  (** for reports and error messages, e.g. ["sync"] *)
+  submit : src:int -> dst:int -> bytes -> unit;
+      (** Take ownership of one metered message. *)
+  advance : deliver:(src:int -> dst:int -> bytes -> unit) -> unit;
+      (** One clock tick: release zero or more in-flight messages through
+          [deliver].  Called by {!Net.step} only when [in_flight () > 0],
+          so an implementation may treat ticks as relative to activity. *)
+  in_flight : unit -> int;  (** Messages submitted but not yet delivered. *)
+}
+
+(** Lockstep delivery over a dense per-sender queue array — the
+    historical {!Net.Dense} pending structure, verbatim: [submit] is
+    O(1), [advance] walks sender ids [0 .. n-1] and empties each queue in
+    send order. *)
+val sync_dense : n:int -> t
+
+(** Lockstep delivery for the sparse backend: per-{e active}-sender
+    queues in a hash table, [advance] sorts the (few) active sender ids
+    to realize the exact dense delivery order — the historical
+    {!Net.Sparse} pending structure, verbatim. *)
+val sync_sparse : unit -> t

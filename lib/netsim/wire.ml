@@ -138,3 +138,58 @@ let has_buffered_frame t =
   match peek_varint t with
   | None -> false
   | Some (len, width) -> t.rlen - t.rpos >= width + len
+
+(* ---- deadline reads ---- *)
+
+(* Block until [t.fd] is readable or the absolute [deadline] passes;
+   [false] = timed out.  EINTR and select's own early returns re-check
+   the wall clock, so the deadline is honored across signal storms. *)
+let wait_readable t ~deadline =
+  let rec go () =
+    let left = deadline -. Unix.gettimeofday () in
+    if left <= 0.0 then false
+    else
+      match Unix.select [ t.fd ] [] [] left with
+      | [], _, _ -> go ()
+      | _ :: _, _, _ -> true
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+(* One read syscall's worth of refill, compacting the consumed prefix
+   (or doubling the buffer) first so there is always room.  Callers
+   check readability beforehand, so the read returns promptly. *)
+let refill_once t =
+  if t.closed then raise Closed;
+  if t.rlen = Bytes.length t.rbuf then
+    if t.rpos > 0 then begin
+      Bytes.blit t.rbuf t.rpos t.rbuf 0 (t.rlen - t.rpos);
+      t.rlen <- t.rlen - t.rpos;
+      t.rpos <- 0
+    end
+    else begin
+      let nb = Bytes.create (2 * Bytes.length t.rbuf) in
+      Bytes.blit t.rbuf 0 nb 0 t.rlen;
+      t.rbuf <- nb
+    end;
+  match Unix.read t.fd t.rbuf t.rlen (Bytes.length t.rbuf - t.rlen) with
+  | 0 -> raise Closed
+  | got -> t.rlen <- t.rlen + got
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> raise Closed
+
+let recv_deadline t ~deadline dec =
+  (* Nothing is consumed until the whole frame is buffered: a timeout
+     leaves any partial bytes in place, so the stream stays in sync and
+     a later recv/recv_deadline picks up exactly where this one left
+     off.  Once the frame is complete, [recv] serves it from the buffer
+     without touching the fd. *)
+  let rec go () =
+    if has_buffered_frame t then Some (recv t dec)
+    else if wait_readable t ~deadline then begin
+      refill_once t;
+      go ()
+    end
+    else None
+  in
+  go ()

@@ -52,6 +52,17 @@ val recv : t -> (Util.Codec.reader -> 'a) -> 'a
     buffered frame makes the fd look idle. *)
 val has_buffered_frame : t -> bool
 
+(** [recv_deadline t ~deadline dec] is {!recv} bounded by an absolute
+    wall-clock deadline ([Unix.gettimeofday] scale): [None] if no
+    complete frame arrives in time.  Nothing is consumed on timeout —
+    partially received frame bytes stay buffered, so the stream remains
+    in sync and a later [recv]/[recv_deadline] resumes exactly where
+    this one stopped.  This is the heartbeat primitive under {!Dist}'s
+    [worker_timeout_s]: a worker that is alive but silent (e.g. stopped
+    by a signal, or wedged in a loop) never EOFs its socket, so a plain
+    {!recv} would block the coordinator forever. *)
+val recv_deadline : t -> deadline:float -> (Util.Codec.reader -> 'a) -> 'a option
+
 (** Close the underlying fd (idempotent).  Subsequent calls raise
     {!Closed}. *)
 val close : t -> unit

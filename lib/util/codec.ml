@@ -176,12 +176,25 @@ let write_view w v = Buffer.add_subbytes w v.buf v.off v.len
 
 let read_string r = Bytes.to_string (read_bytes r)
 
+(* Every list/array element occupies at least one wire byte, so a count
+   exceeding the remaining window is garbage (a torn or corrupted frame).
+   Rejecting it BEFORE allocating matters: [Array.init] materializes the
+   full array up front, so an unchecked 2^40 claimed by a flipped varint
+   is an out-of-memory bomb rather than a clean [Decode_error]. *)
+let read_count r len =
+  if len > r.limit - r.pos then
+    raise
+      (Decode_error
+         (Printf.sprintf "implausible count %d at offset %d (only %d bytes left)" len r.pos
+            (r.limit - r.pos)));
+  len
+
 let read_list r f =
-  let len = read_varint r in
+  let len = read_count r (read_varint r) in
   List.init len (fun _ -> f r)
 
 let read_array r f =
-  let len = read_varint r in
+  let len = read_count r (read_varint r) in
   Array.init len (fun _ -> f r)
 
 let read_pair r fa fb =

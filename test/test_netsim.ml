@@ -328,6 +328,13 @@ let test_max_rounds_bad_bound () =
        false
      with Invalid_argument _ -> true)
 
+let test_livelock_printer () =
+  (* The registered printer is what soak/bench failure logs show — pin
+     its exact text so a livelock report stays greppable. *)
+  Alcotest.(check string)
+    "printer output" "Netsim.Net.Livelock: round clock hit 3 (max_rounds = 3)"
+    (Printexc.to_string (Netsim.Net.Livelock { rounds = 3; max_rounds = 3 }))
+
 (* ---- corruption pattern edge cases ---- *)
 
 let test_corruption_extremes () =
@@ -410,6 +417,7 @@ let () =
           Alcotest.test_case "max_rounds bound raises Livelock" `Quick test_max_rounds_watchdog;
           Alcotest.test_case "default is unlimited" `Quick test_max_rounds_default_unlimited;
           Alcotest.test_case "non-positive bound rejected" `Quick test_max_rounds_bad_bound;
+          Alcotest.test_case "Livelock printer pinned" `Quick test_livelock_printer;
         ] );
       ( "corruption",
         [

@@ -1,0 +1,247 @@
+(* Tests for the pluggable transport seam (Netsim.Transport /
+   Netsim.Event_net):
+
+   - differential: the sync transports and the event transport on the
+     degenerate zero-latency-FIFO config produce identical outcomes AND
+     identical accounting for real protocols, at several pool sizes —
+     the byte-identity argument for the refactor;
+   - determinism: the event schedule is a pure function of (rng, config,
+     submissions), so equal seeds replay equal transcripts;
+   - fairness: under an adversarial scheduler every message is delivered
+     within [Event_net.span] ticks of submission;
+   - the step_until_quiet / with_round_limit watchdog plumbing. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let pool2 = lazy (Util.Pool.create ~num_domains:2 ())
+let pool8 = lazy (Util.Pool.create ~num_domains:8 ())
+
+let pools = [ ("seq", None); ("pool2", Some pool2); ("pool8", Some pool8) ]
+let force = Option.map Lazy.force
+
+let params n h = Mpc.Params.make ~n ~h ~lambda:8 ~alpha:2 ()
+
+let counters net =
+  Netsim.Net.(total_bits net, messages_sent net, rounds net, max_locality net)
+
+(* An event net on the degenerate config: delivery is scheduled through
+   the event queue but with Fixed-1 latency, no horizon, FIFO order —
+   observationally the synchronous lockstep network. *)
+let zero_latency_net n =
+  let rng = Util.Prng.create 4242 in
+  Netsim.Net.create
+    ~transport:(Netsim.Event_net.transport ~rng Netsim.Event_net.zero_latency_fifo)
+    n
+
+(* Run [f] once on a plain sync net and once on the zero-latency event
+   net; outcomes and all four counters must agree exactly. *)
+let differential label f =
+  List.iter
+    (fun (pname, pool) ->
+      let pool = force pool in
+      let sync_net = Netsim.Net.create 16 in
+      let sync_out = f ?pool:(Option.map Fun.id pool) sync_net in
+      let ev_net = zero_latency_net 16 in
+      let ev_out = f ?pool:(Option.map Fun.id pool) ev_net in
+      checkb (Printf.sprintf "%s/%s: outcomes equal" label pname) true (sync_out = ev_out);
+      checkb
+        (Printf.sprintf "%s/%s: accounting equal" label pname)
+        true
+        (counters sync_net = counters ev_net))
+    pools
+
+let test_differential_equality () =
+  differential "equality" (fun ?pool net ->
+      let n = Netsim.Net.n net in
+      let rng = Util.Prng.create 11 in
+      Mpc.Equality.pairwise ?pool net rng (params n (n / 2))
+        ~members:(List.init n (fun i -> i))
+        ~value:(fun i -> Bytes.make 24 (Char.chr (65 + (i mod 3))))
+        ~corruption:(Netsim.Corruption.none ~n)
+        ~adv:Mpc.Equality.honest_adv)
+
+let test_differential_broadcast () =
+  List.iter
+    (fun (vname, variant) ->
+      differential ("broadcast-" ^ vname) (fun ?pool net ->
+          let n = Netsim.Net.n net in
+          let rng = Util.Prng.create 12 in
+          let corruption =
+            Netsim.Corruption.random (Util.Prng.create 5) ~n ~h:(n / 2)
+          in
+          Mpc.Broadcast.run ?pool net rng (params n (n / 2)) ~variant ~sender:0
+            ~value:(Bytes.of_string "transport differential")
+            ~corruption
+            ~adv:
+              (Mpc.Attacks.equivocating_sender ~v1:(Bytes.of_string "left")
+                 ~v2:(Bytes.of_string "right"))))
+    [ ("naive", Mpc.Broadcast.Naive); ("fp", Mpc.Broadcast.Fingerprinted) ]
+
+let test_differential_gossip () =
+  differential "gossip" (fun ?pool net ->
+      let n = Netsim.Net.n net in
+      let rng = Util.Prng.create 13 in
+      let graph = Array.init n (fun i -> Util.Iset.remove i (Util.Iset.range 0 (n - 1))) in
+      let sources = [ (0, Bytes.of_string "rumor-a"); (3, Bytes.of_string "rumor-b") ] in
+      Mpc.Gossip.run ?pool net rng (params n (n / 2)) ~graph ~sources
+        ~corruption:(Netsim.Corruption.none ~n)
+        ~adv:Mpc.Gossip.honest_adv)
+
+(* ---- determinism of the event schedule ---- *)
+
+let adversarial_cfg =
+  {
+    Netsim.Event_net.latency = Netsim.Event_net.Uniform (1, 3);
+    horizon = 2;
+    scheduler = Netsim.Event_net.Adversarial { hold = 0.5 };
+  }
+
+(* Drive a raw net: fan-out a burst of tagged messages, then step and
+   record the exact delivery transcript (tick, dst, src, payload). *)
+let transcript net ~bursts =
+  let n = Netsim.Net.n net in
+  let log = ref [] in
+  List.iter
+    (fun burst ->
+      List.iter
+        (fun (src, dst, tag) -> Netsim.Net.send net ~src ~dst (Bytes.make 3 tag))
+        burst;
+      Netsim.Net.step net;
+      for dst = 0 to n - 1 do
+        List.iter
+          (fun (src, payload) ->
+            log := (Netsim.Net.rounds net, dst, src, Bytes.to_string payload) :: !log)
+          (Netsim.Net.recv net ~dst)
+      done)
+    bursts;
+  (* Drain the in-flight tail. *)
+  while Netsim.Net.in_flight net > 0 do
+    Netsim.Net.step net;
+    for dst = 0 to n - 1 do
+      List.iter
+        (fun (src, payload) ->
+          log := (Netsim.Net.rounds net, dst, src, Bytes.to_string payload) :: !log)
+        (Netsim.Net.recv net ~dst)
+    done
+  done;
+  List.rev !log
+
+let bursts =
+  [
+    [ (0, 1, 'a'); (0, 2, 'b'); (1, 3, 'c'); (2, 0, 'd') ];
+    [ (3, 0, 'e'); (1, 0, 'f') ];
+    [];
+    [ (2, 3, 'g'); (3, 1, 'h'); (0, 3, 'i') ];
+  ]
+
+let event_net seed =
+  Netsim.Net.create
+    ~transport:(Netsim.Event_net.transport ~rng:(Util.Prng.create seed) adversarial_cfg)
+    4
+
+let test_event_determinism () =
+  let t1 = transcript (event_net 7) ~bursts in
+  let t2 = transcript (event_net 7) ~bursts in
+  checkb "same seed, same transcript" true (t1 = t2);
+  let t3 = transcript (event_net 8) ~bursts in
+  (* Different seed: schedules should differ for this config (not a
+     hard guarantee per message, but a frozen property of these seeds —
+     if it ever fails, the rng plumbing collapsed to a constant). *)
+  checkb "different seed, different transcript" true (t1 <> t3)
+
+let test_event_fairness () =
+  (* Every message is delivered within span ticks of submission, even
+     under the adversarial scheduler: submit one burst, step span times,
+     nothing may remain in flight. *)
+  let span = Netsim.Event_net.span adversarial_cfg in
+  for seed = 1 to 20 do
+    let net = event_net seed in
+    List.iter
+      (fun (src, dst, tag) -> Netsim.Net.send net ~src ~dst (Bytes.make 1 tag))
+      (List.concat bursts);
+    for _ = 1 to span do
+      Netsim.Net.step net
+    done;
+    checki (Printf.sprintf "seed %d: drained within span" seed) 0 (Netsim.Net.in_flight net)
+  done
+
+(* ---- watchdog plumbing ---- *)
+
+let test_step_until_quiet_sync_is_one_step () =
+  let net = Netsim.Net.create 4 in
+  Netsim.Net.send net ~src:0 ~dst:1 (Bytes.make 2 'x');
+  Netsim.Net.step_until_quiet ~deadline:50 net;
+  (* Sync transport quiesces after one step: a generous deadline must
+     not inflate the round count (this is the zero-drift argument for
+     threading ?deadline through every protocol). *)
+  checki "one round only" 1 (Netsim.Net.rounds net);
+  checki "nothing in flight" 0 (Netsim.Net.in_flight net)
+
+let test_step_until_quiet_event_drains () =
+  let net = event_net 3 in
+  let span = Netsim.Event_net.span adversarial_cfg in
+  Netsim.Net.send net ~src:0 ~dst:1 (Bytes.make 2 'x');
+  Netsim.Net.send net ~src:2 ~dst:3 (Bytes.make 2 'y');
+  Netsim.Net.step_until_quiet ~deadline:span net;
+  checki "event net drained at deadline=span" 0 (Netsim.Net.in_flight net);
+  checkb "messages arrived" true
+    (Netsim.Net.recv net ~dst:1 <> [] && Netsim.Net.recv net ~dst:3 <> [])
+
+let test_with_round_limit_tighten_and_restore () =
+  let net = Netsim.Net.create 2 in
+  let tripped =
+    try
+      Netsim.Net.with_round_limit net ~extra:2 (fun () ->
+          Netsim.Net.step net;
+          Netsim.Net.step net;
+          Netsim.Net.step net;
+          false)
+    with Netsim.Net.Livelock { rounds; max_rounds } ->
+      checki "tripped at the tightened bound" 2 max_rounds;
+      checki "after two steps" 2 rounds;
+      true
+  in
+  checkb "livelock tripped" true tripped;
+  (* The previous (unbounded) limit is restored on exceptional exit. *)
+  Netsim.Net.step net;
+  Netsim.Net.step net;
+  checki "stepping freely again" 4 (Netsim.Net.rounds net);
+  (* An existing tighter bound stays authoritative. *)
+  let bounded = Netsim.Net.create ~max_rounds:3 2 in
+  Netsim.Net.with_round_limit bounded ~extra:100 (fun () -> Netsim.Net.step bounded);
+  checkb "outer bound still live" true
+    (try
+       Netsim.Net.step bounded;
+       Netsim.Net.step bounded;
+       Netsim.Net.step bounded;
+       false
+     with Netsim.Net.Livelock _ -> true)
+
+let () =
+  Alcotest.run "transport"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "equality: sync = zero-latency event" `Quick
+            test_differential_equality;
+          Alcotest.test_case "broadcast: sync = zero-latency event" `Quick
+            test_differential_broadcast;
+          Alcotest.test_case "gossip: sync = zero-latency event" `Quick
+            test_differential_gossip;
+        ] );
+      ( "event",
+        [
+          Alcotest.test_case "determinism by seed" `Quick test_event_determinism;
+          Alcotest.test_case "fairness within span" `Quick test_event_fairness;
+        ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "step_until_quiet: sync = 1 step" `Quick
+            test_step_until_quiet_sync_is_one_step;
+          Alcotest.test_case "step_until_quiet: event drains at span" `Quick
+            test_step_until_quiet_event_drains;
+          Alcotest.test_case "with_round_limit tighten + restore" `Quick
+            test_with_round_limit_tighten_and_restore;
+        ] );
+    ]
